@@ -1,0 +1,102 @@
+// Ablation (DESIGN.md): the two label-handling choices of Section 4.4.1 —
+// (1) Huber vs squared loss on log targets, (2) log-transformed vs raw
+// targets — evaluated with ccnn on SDSS answer-size prediction. Metrics
+// are qerror percentiles in the original label space, so all variants are
+// comparable.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "harness/harness.h"
+#include "sqlfacil/models/cnn_model.h"
+#include "sqlfacil/util/stats.h"
+#include "sqlfacil/util/string_util.h"
+#include "sqlfacil/util/table_printer.h"
+
+namespace {
+
+using sqlfacil::models::Dataset;
+
+// qerror of raw-space prediction vs raw-space truth, clamped to >= 1.
+double QError(double y, double yhat) {
+  y = std::max(1.0, y);
+  yhat = std::max(1.0, yhat);
+  return std::max(y / yhat, yhat / y);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sqlfacil;
+  const auto config = bench::ConfigFromEnv();
+  bench::PrintBanner("Ablation: loss function & label transform (SDSS, ccnn)",
+                     config);
+
+  auto sdss = bench::GetSdssWorkload(config);
+  Rng rng(config.seed ^ 0x7A);
+  const auto split = workload::RandomSplit(sdss.workload, &rng);
+  auto task =
+      core::BuildTask(sdss.workload, split, core::Problem::kAnswerSize);
+
+  // Raw-target variant of the same datasets.
+  auto to_raw = [&](const Dataset& d) {
+    Dataset raw = d;
+    for (auto& t : raw.targets) {
+      t = static_cast<float>(task.transform.Invert(t));
+    }
+    return raw;
+  };
+  const Dataset raw_train = to_raw(task.train);
+  const Dataset raw_valid = to_raw(task.valid);
+
+  struct Variant {
+    const char* name;
+    bool log_targets;
+    bool squared;
+  };
+  const Variant variants[] = {
+      {"log + Huber (paper)", true, false},
+      {"log + squared", true, true},
+      {"raw + Huber", false, false},
+  };
+
+  TablePrinter table({"Variant", "qerror p50", "p75", "p90", "p95"});
+  for (const auto& variant : variants) {
+    models::CnnModel::Config mconfig;
+    mconfig.granularity = sql::Granularity::kChar;
+    mconfig.epochs = config.epochs;
+    mconfig.use_squared_loss = variant.squared;
+    if (!variant.log_targets) {
+      // Raw answer sizes reach ~1e5; a delta of 1 would make Huber purely
+      // linear. Use a larger delta so the comparison is about the
+      // transform, not a degenerate loss.
+      mconfig.huber_delta = 100.0f;
+    }
+    models::CnnModel model(mconfig);
+    Rng mrng(config.seed ^ reinterpret_cast<uintptr_t>(variant.name));
+    Dataset train = variant.log_targets ? task.train : raw_train;
+    bench::CapTrainSet(&train, config.train_cap, &mrng);
+    model.Fit(train, variant.log_targets ? task.valid : raw_valid, &mrng);
+
+    std::vector<double> qerrors;
+    for (size_t i = 0; i < task.test.size(); ++i) {
+      const double pred = model.Predict(task.test.statements[i], 0)[0];
+      const double y = task.transform.Invert(task.test.targets[i]);
+      const double yhat =
+          variant.log_targets ? task.transform.Invert(pred) : pred;
+      qerrors.push_back(QError(y, yhat));
+    }
+    table.AddRow({variant.name, FmtN(Percentile(qerrors, 50), 2),
+                  FmtN(Percentile(qerrors, 75), 2),
+                  FmtN(Percentile(qerrors, 90), 2),
+                  FmtN(Percentile(qerrors, 95), 2)});
+    std::printf("[ablation] %s done\n", variant.name);
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: the paper's log+Huber combination dominates; raw\n"
+      "targets are crippled by the heavy tail, squared loss inflates the\n"
+      "tail percentiles relative to Huber.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation (DESIGN.md): TFIDF n-gram order sweep. Section 5.1 fixes
+// "up to 5-grams"; this quantifies what each order buys for ctfidf on
+// SDSS error classification and answer-size prediction.
+
+#include <cstdio>
+
+#include "harness/harness.h"
+#include "sqlfacil/core/evaluator.h"
+#include "sqlfacil/models/tfidf_model.h"
+#include "sqlfacil/util/string_util.h"
+#include "sqlfacil/util/table_printer.h"
+
+int main() {
+  using namespace sqlfacil;
+  const auto config = bench::ConfigFromEnv();
+  bench::PrintBanner("Ablation: TFIDF n-gram order (SDSS, ctfidf)", config);
+
+  auto sdss = bench::GetSdssWorkload(config);
+  Rng rng(config.seed ^ 0x7A);
+  const auto split = workload::RandomSplit(sdss.workload, &rng);
+  auto cls_task = core::BuildTask(sdss.workload, split,
+                                  core::Problem::kErrorClassification);
+  auto reg_task =
+      core::BuildTask(sdss.workload, split, core::Problem::kAnswerSize);
+
+  TablePrinter table({"max_n", "v", "error acc.", "error loss",
+                      "answer-size loss", "answer-size MSE"});
+  for (int max_n = 1; max_n <= 5; ++max_n) {
+    models::TfidfModel::Config mconfig;
+    mconfig.granularity = sql::Granularity::kChar;
+    mconfig.max_n = max_n;
+    mconfig.epochs = std::max(4, config.epochs * 2);
+
+    models::TfidfModel classifier(mconfig);
+    Rng rng1(config.seed ^ max_n);
+    models::Dataset capped_cls = cls_task.train;
+    bench::CapTrainSet(&capped_cls, config.train_cap, &rng1);
+    classifier.Fit(capped_cls, cls_task.valid, &rng1);
+    auto cls_metrics = core::EvaluateClassification(classifier, cls_task.test);
+
+    models::TfidfModel regressor(mconfig);
+    Rng rng2(config.seed ^ (max_n + 100));
+    models::Dataset capped_reg = reg_task.train;
+    bench::CapTrainSet(&capped_reg, config.train_cap, &rng2);
+    regressor.Fit(capped_reg, reg_task.valid, &rng2);
+    auto reg_metrics = core::EvaluateRegression(regressor, reg_task.test);
+
+    table.AddRow({std::to_string(max_n),
+                  std::to_string(classifier.vocab_size()),
+                  Fmt4(cls_metrics.accuracy), Fmt4(cls_metrics.loss),
+                  Fmt4(reg_metrics.loss), Fmt4(reg_metrics.mse)});
+    std::printf("[ablation] max_n=%d done\n", max_n);
+  }
+  std::printf("\n%s\n", table.ToString().c_str());
+  std::printf("Expected shape: gains saturate by n=3-5; 1-grams alone are\n"
+              "noticeably worse on the regression task.\n");
+  return 0;
+}

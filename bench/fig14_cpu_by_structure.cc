@@ -1,0 +1,126 @@
+// Reproduces Figure 14: squared error of CPU-time prediction bucketed by
+// number of characters (all models, left column) and by nestedness level
+// (ccnn, right column) in all three settings — Homogeneous Instance
+// (SDSS), Homogeneous Schema and Heterogeneous Schema (SQLShare).
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness/harness.h"
+#include "sqlfacil/core/evaluator.h"
+#include "sqlfacil/sql/features.h"
+#include "sqlfacil/util/string_util.h"
+#include "sqlfacil/util/table_printer.h"
+
+namespace {
+
+int CharBucket(int chars) {
+  if (chars <= 0) return 0;
+  return static_cast<int>(std::floor(std::log2(chars)));
+}
+
+}  // namespace
+
+int main() {
+  using namespace sqlfacil;
+  const auto config = bench::ConfigFromEnv();
+  bench::PrintBanner("Figure 14: CPU-time error by structure", config);
+
+  auto sdss = bench::GetSdssWorkload(config);
+  auto sqlshare = bench::GetSqlShareWorkload(config);
+  Rng rng(config.seed ^ 0x7A);
+
+  struct Setting {
+    const char* name;
+    const workload::QueryWorkload* workload;
+    workload::DataSplit split;
+  };
+  std::vector<Setting> settings;
+  settings.push_back({"Homogeneous Instance (SDSS)", &sdss.workload,
+                      workload::RandomSplit(sdss.workload, &rng)});
+  settings.push_back({"Homogeneous Schema (SQLShare)", &sqlshare,
+                      workload::RandomSplit(sqlshare, &rng)});
+  settings.push_back({"Heterogeneous Schema (SQLShare)", &sqlshare,
+                      workload::SplitByUser(sqlshare, &rng)});
+
+  for (const auto& setting : settings) {
+    std::printf("=== %s ===\n", setting.name);
+    auto task = core::BuildTask(*setting.workload, setting.split,
+                                core::Problem::kCpuTime);
+    std::vector<sql::SyntacticFeatures> features;
+    for (const auto& s : task.test.statements) {
+      features.push_back(sql::ExtractFeatures(s));
+    }
+
+    std::vector<std::pair<std::string, std::vector<double>>> model_errors;
+    double overall_mse_median = 0;
+    {
+      auto median = core::MakeModel("median", core::ZooConfig{});
+      Rng brng(config.seed);
+      median->Fit(task.train, task.valid, &brng);
+      auto errors = core::SquaredErrors(*median, task.test);
+      for (double e : errors) overall_mse_median += e;
+      overall_mse_median /= std::max<size_t>(1, errors.size());
+      model_errors.emplace_back("median", std::move(errors));
+    }
+    auto trained =
+        bench::TrainModels(core::LearnedModelNames(), task, config);
+    for (const auto& tm : trained) {
+      model_errors.emplace_back(tm.name,
+                                core::SquaredErrors(*tm.model, task.test));
+    }
+
+    // Left panel: error by number-of-characters bucket, all models.
+    int max_bucket = 0;
+    for (const auto& f : features) {
+      max_bucket = std::max(max_bucket, CharBucket(f.num_characters));
+    }
+    std::vector<std::string> header = {"Model", "overall MSE"};
+    for (int b = 0; b <= max_bucket; ++b) {
+      header.push_back("2^" + std::to_string(b));
+    }
+    TablePrinter table(header);
+    for (const auto& [name, errors] : model_errors) {
+      std::vector<double> sums(max_bucket + 1, 0.0);
+      std::vector<size_t> counts(max_bucket + 1, 0);
+      double overall = 0.0;
+      for (size_t i = 0; i < errors.size(); ++i) {
+        const int b = CharBucket(features[i].num_characters);
+        sums[b] += errors[i];
+        ++counts[b];
+        overall += errors[i];
+      }
+      std::vector<std::string> row = {
+          name, Fmt4(overall / std::max<size_t>(1, errors.size()))};
+      for (int b = 0; b <= max_bucket; ++b) {
+        row.push_back(counts[b] == 0 ? "-" : FmtN(sums[b] / counts[b], 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s", table.ToString().c_str());
+
+    // Right panel: ccnn error by nestedness level.
+    for (const auto& [name, errors] : model_errors) {
+      if (name != "ccnn") continue;
+      std::printf("\nccnn error by nestedness level:\n");
+      std::vector<double> sums(8, 0.0);
+      std::vector<size_t> counts(8, 0);
+      for (size_t i = 0; i < errors.size(); ++i) {
+        const int level = std::min(7, features[i].nestedness_level);
+        sums[level] += errors[i];
+        ++counts[level];
+      }
+      for (int level = 0; level < 8; ++level) {
+        if (counts[level] == 0) continue;
+        std::printf("    level %d: mse=%.3f (n=%zu)\n", level,
+                    sums[level] / counts[level], counts[level]);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper (Figure 14) shape: MSE rises from Homogeneous Instance to\n"
+      "Homogeneous Schema to Heterogeneous Schema for every model; within\n"
+      "each setting error grows with statement length and nesting.\n");
+  return 0;
+}

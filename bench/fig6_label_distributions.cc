@@ -1,0 +1,61 @@
+// Reproduces Figure 6: label distributions — (a) SDSS error classes,
+// (b) SDSS session classes, (c) SDSS answer sizes, (d) SDSS CPU times,
+// (e) SQLShare CPU times.
+
+#include <cstdio>
+
+#include "harness/harness.h"
+#include "sqlfacil/util/stats.h"
+#include "sqlfacil/workload/analysis.h"
+
+int main() {
+  using namespace sqlfacil;
+  const auto config = bench::ConfigFromEnv();
+  bench::PrintBanner("Figure 6: label distributions", config);
+
+  auto sdss = bench::GetSdssWorkload(config);
+  auto sqlshare = bench::GetSqlShareWorkload(config);
+  workload::WorkloadAnalyzer sdss_analyzer(sdss.workload);
+  workload::WorkloadAnalyzer share_analyzer(sqlshare);
+
+  const double n = static_cast<double>(sdss.workload.queries.size());
+
+  std::printf("(a) SDSS error classes (paper: success 97.22%%,"
+              " non_severe 1.93%%, severe 0.85%%)\n");
+  auto error_counts = sdss_analyzer.ErrorClassCounts();
+  for (int c = 0; c < workload::kNumErrorClasses; ++c) {
+    std::printf("    %-11s %8zu  (%5.2f%%)\n",
+                std::string(workload::ErrorClassName(
+                    static_cast<workload::ErrorClass>(c))).c_str(),
+                error_counts[c], 100.0 * error_counts[c] / n);
+  }
+
+  std::printf("\n(b) SDSS session classes (paper: bot 25.98%%,"
+              " program 7.93%%, ...)\n");
+  auto session_counts = sdss_analyzer.SessionClassCounts();
+  for (int c = 0; c < workload::kNumSessionClasses; ++c) {
+    std::printf("    %-11s %8zu  (%5.2f%%)\n",
+                std::string(workload::SessionClassName(
+                    static_cast<workload::SessionClass>(c))).c_str(),
+                session_counts[c], 100.0 * session_counts[c] / n);
+  }
+
+  auto print_regression = [](const char* title,
+                             const std::vector<double>& values,
+                             const char* paper_note) {
+    const Summary s = Summarize(values);
+    std::printf("\n%s  %s\n", title, paper_note);
+    std::printf("    mu=%.2f sigma=%.2f min=%.2f max=%.2f mode=%.2f"
+                " median=%.2f\n",
+                s.mean, s.stddev, s.min, s.max, s.mode, s.median);
+    std::printf("%s", RenderHistogram(LogHistogram(values, 10)).c_str());
+  };
+  print_regression("(c) SDSS answer size (#tuples)",
+                   sdss_analyzer.AnswerSizes(),
+                   "(paper: median 1, heavy right tail)");
+  print_regression("(d) SDSS CPU time (sec)", sdss_analyzer.CpuTimes(),
+                   "(paper: mode 0, heavy right tail)");
+  print_regression("(e) SQLShare CPU time (sec)", share_analyzer.CpuTimes(),
+                   "(paper: median 16, heavy right tail)");
+  return 0;
+}

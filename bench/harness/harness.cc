@@ -1,0 +1,180 @@
+#include "harness/harness.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "sqlfacil/util/env.h"
+#include "sqlfacil/util/logging.h"
+#include "sqlfacil/workload/io.h"
+
+namespace sqlfacil::bench {
+
+namespace {
+
+std::string CacheKey(const HarnessConfig& config, const char* name) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s_scale%.3g_seed%llu", name, config.scale,
+                static_cast<unsigned long long>(config.seed));
+  return buf;
+}
+
+}  // namespace
+
+HarnessConfig ConfigFromEnv() {
+  HarnessConfig config;
+  config.scale = GetScaleFromEnv();
+  config.epochs = GetEpochsFromEnv(config.epochs);
+  config.seed = GetSeedFromEnv(config.seed);
+  if (const char* cap = std::getenv("SQLFACIL_TRAIN_CAP")) {
+    config.train_cap = static_cast<size_t>(std::atoll(cap));
+  }
+  if (const char* dir = std::getenv("SQLFACIL_CACHE_DIR")) {
+    config.cache_dir = dir;
+  }
+  return config;
+}
+
+void PrintBanner(const std::string& experiment, const HarnessConfig& config) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf(
+      "seed=%llu scale=%.3g epochs=%d train_cap=%zu\n"
+      "(set SQLFACIL_SCALE / SQLFACIL_EPOCHS / SQLFACIL_TRAIN_CAP /"
+      " SQLFACIL_SEED to change)\n\n",
+      static_cast<unsigned long long>(config.seed), config.scale,
+      config.epochs, config.train_cap);
+}
+
+workload::SdssBuildResult GetSdssWorkload(const HarnessConfig& config) {
+  std::filesystem::create_directories(config.cache_dir);
+  const std::string base = config.cache_dir + "/" + CacheKey(config, "sdss");
+  const std::string tsv = base + ".tsv";
+  const std::string meta = base + ".meta";
+
+  workload::SdssBuildResult result;
+  auto loaded = workload::LoadWorkload(tsv);
+  if (loaded.ok()) {
+    std::ifstream meta_in(meta);
+    if (meta_in.good()) {
+      size_t num_samples = 0, num_groups = 0;
+      double repeated = 0.0;
+      meta_in >> num_samples >> repeated >> num_groups;
+      result.statement_repetitions.resize(num_groups);
+      for (auto& c : result.statement_repetitions) meta_in >> c;
+      if (meta_in.good() || meta_in.eof()) {
+        result.workload = std::move(loaded).value();
+        result.num_session_samples = num_samples;
+        result.repeated_fraction = repeated;
+        std::printf("[harness] loaded cached SDSS workload (%zu queries)\n\n",
+                    result.workload.queries.size());
+        return result;
+      }
+    }
+  }
+
+  std::printf("[harness] building SDSS workload (this executes every query"
+              " once)...\n");
+  workload::SdssWorkloadConfig wconfig;
+  wconfig.scale = config.scale;
+  wconfig.seed = config.seed;
+  const auto start = std::chrono::steady_clock::now();
+  result = workload::BuildSdssWorkload(wconfig);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("[harness] built %zu unique statements from %zu samples in"
+              " %.1fs\n\n",
+              result.workload.queries.size(), result.num_session_samples,
+              secs);
+  SQLFACIL_CHECK_OK(workload::SaveWorkload(result.workload, tsv));
+  std::ofstream meta_out(meta);
+  meta_out << result.num_session_samples << ' ' << result.repeated_fraction
+           << ' ' << result.statement_repetitions.size() << '\n';
+  for (size_t c : result.statement_repetitions) meta_out << c << ' ';
+  meta_out << '\n';
+  return result;
+}
+
+workload::QueryWorkload GetSqlShareWorkload(const HarnessConfig& config) {
+  std::filesystem::create_directories(config.cache_dir);
+  const std::string tsv =
+      config.cache_dir + "/" + CacheKey(config, "sqlshare") + ".tsv";
+  auto loaded = workload::LoadWorkload(tsv);
+  if (loaded.ok()) {
+    std::printf("[harness] loaded cached SQLShare workload (%zu queries)\n\n",
+                loaded->queries.size());
+    return std::move(loaded).value();
+  }
+  std::printf("[harness] building SQLShare workload...\n");
+  workload::SqlShareWorkloadConfig wconfig;
+  wconfig.scale = config.scale;
+  wconfig.seed = config.seed ^ 0x5151;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = workload::BuildSqlShareWorkload(wconfig);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("[harness] built %zu queries in %.1fs\n\n",
+              result.workload.queries.size(), secs);
+  SQLFACIL_CHECK_OK(workload::SaveWorkload(result.workload, tsv));
+  return result.workload;
+}
+
+void CapTrainSet(models::Dataset* train, size_t cap, Rng* rng) {
+  if (cap == 0 || train->size() <= cap) return;
+  auto perm = rng->Permutation(train->size());
+  models::Dataset capped;
+  capped.kind = train->kind;
+  capped.num_classes = train->num_classes;
+  for (size_t i = 0; i < cap; ++i) {
+    const size_t idx = perm[i];
+    capped.statements.push_back(std::move(train->statements[idx]));
+    capped.opt_costs.push_back(train->opt_costs[idx]);
+    if (!train->labels.empty()) capped.labels.push_back(train->labels[idx]);
+    if (!train->targets.empty()) {
+      capped.targets.push_back(train->targets[idx]);
+    }
+  }
+  *train = std::move(capped);
+}
+
+core::ZooConfig ZooFromConfig(const HarnessConfig& config) {
+  core::ZooConfig zoo;
+  zoo.epochs = config.epochs;
+  return zoo;
+}
+
+std::vector<TrainedModel> TrainModels(const std::vector<std::string>& names,
+                                      const core::TaskData& task,
+                                      const HarnessConfig& config) {
+  std::vector<TrainedModel> trained;
+  const core::ZooConfig zoo = ZooFromConfig(config);
+  for (const auto& name : names) {
+    Rng rng(config.seed ^ std::hash<std::string>{}(name));
+    core::TaskData capped_task;  // shallow copy of datasets we can cap
+    capped_task.train = task.train;
+    Rng cap_rng = rng.Fork();
+    CapTrainSet(&capped_task.train, config.train_cap, &cap_rng);
+
+    TrainedModel tm;
+    tm.name = name;
+    tm.model = core::MakeModel(name, zoo);
+    const auto start = std::chrono::steady_clock::now();
+    tm.model->Fit(capped_task.train, task.valid, &rng);
+    tm.fit_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::printf("[harness] trained %-7s in %6.1fs (v=%zu, p=%zu)\n",
+                name.c_str(), tm.fit_seconds, tm.model->vocab_size(),
+                tm.model->num_parameters());
+    std::fflush(stdout);
+    trained.push_back(std::move(tm));
+  }
+  std::printf("\n");
+  return trained;
+}
+
+}  // namespace sqlfacil::bench

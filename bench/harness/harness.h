@@ -1,0 +1,62 @@
+#ifndef SQLFACIL_BENCH_HARNESS_H_
+#define SQLFACIL_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlfacil/core/model_zoo.h"
+#include "sqlfacil/core/tasks.h"
+#include "sqlfacil/workload/sdss.h"
+#include "sqlfacil/workload/sqlshare.h"
+
+namespace sqlfacil::bench {
+
+/// Environment-driven experiment knobs:
+///   SQLFACIL_SCALE      multiplies workload sizes   (default 1.0)
+///   SQLFACIL_EPOCHS     training epochs per model   (default 3)
+///   SQLFACIL_SEED       master seed                 (default 20200221)
+///   SQLFACIL_TRAIN_CAP  max train examples per model (default 4000;
+///                       0 = unlimited)
+///   SQLFACIL_CACHE_DIR  workload cache directory    (default ./bench_cache)
+struct HarnessConfig {
+  double scale = 1.0;
+  int epochs = 3;
+  uint64_t seed = 20200221;
+  size_t train_cap = 4000;
+  std::string cache_dir = "bench_cache";
+};
+
+HarnessConfig ConfigFromEnv();
+
+/// Prints a standard experiment banner (seed/scale/sizes) so runs are
+/// reproducible from the log alone.
+void PrintBanner(const std::string& experiment, const HarnessConfig& config);
+
+/// Builds (or loads from cache) the SDSS workload. The pipeline metadata
+/// (session sample count, repetition histogram) is cached alongside.
+workload::SdssBuildResult GetSdssWorkload(const HarnessConfig& config);
+
+/// Builds (or loads from cache) the SQLShare workload.
+workload::QueryWorkload GetSqlShareWorkload(const HarnessConfig& config);
+
+/// Truncates a training set to the harness cap (random subsample).
+void CapTrainSet(models::Dataset* train, size_t cap, Rng* rng);
+
+/// ZooConfig matching the harness knobs.
+core::ZooConfig ZooFromConfig(const HarnessConfig& config);
+
+/// One trained model with its wall-clock fit time.
+struct TrainedModel {
+  std::string name;
+  models::ModelPtr model;
+  double fit_seconds = 0.0;
+};
+
+/// Trains the named models on a task (train capped per the config).
+std::vector<TrainedModel> TrainModels(const std::vector<std::string>& names,
+                                      const core::TaskData& task,
+                                      const HarnessConfig& config);
+
+}  // namespace sqlfacil::bench
+
+#endif  // SQLFACIL_BENCH_HARNESS_H_

@@ -1,0 +1,113 @@
+// Micro-benchmarks of the relational engine: index point lookups vs full
+// scans, predicate scans with scalar functions, hash joins, aggregation.
+
+#include <benchmark/benchmark.h>
+
+#include "sqlfacil/engine/datagen.h"
+#include "sqlfacil/engine/executor.h"
+#include "sqlfacil/sql/parser.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::engine {
+namespace {
+
+class EngineFixture {
+ public:
+  EngineFixture() {
+    Rng rng(99);
+    catalog_.RegisterBuiltinFunctions();
+    catalog_.AddTable(GenerateTable(
+        "PhotoObj",
+        {ColumnGenSpec::Id("objid"), ColumnGenSpec::UniformInt("type", 0, 8),
+         ColumnGenSpec::UniformDouble("ra", 0, 360),
+         ColumnGenSpec::UniformDouble("dec", -20, 85),
+         ColumnGenSpec::BitFlags("flags", 12),
+         ColumnGenSpec::NormalDouble("r", 20, 2)},
+        20000, &rng));
+    catalog_.AddTable(GenerateTable(
+        "SpecObj",
+        {ColumnGenSpec::Id("specobjid"),
+         ColumnGenSpec::UniformInt("bestobjid", 0, 19999),
+         ColumnGenSpec::UniformDouble("z", 0, 3)},
+        2000, &rng));
+    catalog_.AddFunction(ScalarFunction{
+        "dbo.fPhotoFlags", 1, 1, 6.0,
+        [](const std::vector<Value>& args) -> StatusOr<Value> {
+          return Value(int64_t{1} << (args[0].ToString().size() % 12));
+        }});
+  }
+
+  double Run(const char* text) {
+    auto stmt = sql::ParseStatement(text);
+    SQLFACIL_CHECK(stmt.ok());
+    Executor executor(&catalog_);
+    auto result = executor.Execute(*stmt->select);
+    SQLFACIL_CHECK(result.ok()) << result.status().ToString();
+    return static_cast<double>(result->answer_rows);
+  }
+
+ private:
+  Catalog catalog_;
+};
+
+EngineFixture& Fixture() {
+  static auto* fixture = new EngineFixture();
+  return *fixture;
+}
+
+void BM_PointLookupViaIndex(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Fixture().Run("SELECT * FROM PhotoObj WHERE objid = 12345"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointLookupViaIndex);
+
+void BM_FullScanRangeFilter(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Fixture().Run("SELECT ra FROM PhotoObj WHERE ra BETWEEN 10 AND 20"));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_FullScanRangeFilter);
+
+void BM_ScanWithScalarFunction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fixture().Run(
+        "SELECT objid FROM PhotoObj WHERE flags & dbo.fPhotoFlags('BLENDED')"
+        " > 0"));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_ScanWithScalarFunction);
+
+void BM_HashJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fixture().Run(
+        "SELECT s.z FROM SpecObj s, PhotoObj p WHERE s.bestobjid = p.objid"));
+  }
+  state.SetItemsProcessed(state.iterations() * 22000);
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fixture().Run(
+        "SELECT type, COUNT(*), AVG(r) FROM PhotoObj GROUP BY type"));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_GroupByAggregate);
+
+void BM_TopOrderBy(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fixture().Run(
+        "SELECT TOP 100 objid, ra FROM PhotoObj WHERE type = 3 ORDER BY ra"));
+  }
+}
+BENCHMARK(BM_TopOrderBy);
+
+}  // namespace
+}  // namespace sqlfacil::engine

@@ -1,0 +1,77 @@
+// Micro-benchmarks of the SQL front-end: lexing, parsing, tokenization,
+// and syntactic feature extraction over representative SDSS statements.
+
+#include <benchmark/benchmark.h>
+
+#include "sqlfacil/sql/features.h"
+#include "sqlfacil/sql/lexer.h"
+#include "sqlfacil/sql/parser.h"
+#include "sqlfacil/sql/tokenizer.h"
+
+namespace sqlfacil::sql {
+namespace {
+
+const char* kSimple = "SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018";
+const char* kComplex =
+    "SELECT dbo.fGetURLExpid(objid) FROM SpecPhoto "
+    "WHERE modelmag_u - modelmag_g = "
+    "(SELECT min(modelmag_u - modelmag_g) FROM SpecPhoto AS s "
+    "INNER JOIN PhotoObj AS p ON s.objid = p.objid "
+    "WHERE (s.flags_g = 0 OR p.psfmagerr_g <= 0.2 AND p.psfmagerr_u <= 0.2))";
+
+void BM_Lex(benchmark::State& state) {
+  const char* q = state.range(0) == 0 ? kSimple : kComplex;
+  for (auto _ : state) {
+    auto tokens = Lex(q);
+    benchmark::DoNotOptimize(tokens.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Lex)->Arg(0)->Arg(1);
+
+void BM_Parse(benchmark::State& state) {
+  const char* q = state.range(0) == 0 ? kSimple : kComplex;
+  for (auto _ : state) {
+    auto stmt = ParseStatement(q);
+    benchmark::DoNotOptimize(stmt.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Parse)->Arg(0)->Arg(1);
+
+void BM_ParseGarbage(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = ParseStatement("how do I find bright galaxies near m31?");
+    benchmark::DoNotOptimize(stmt.ok());
+  }
+}
+BENCHMARK(BM_ParseGarbage);
+
+void BM_ExtractFeatures(benchmark::State& state) {
+  const char* q = state.range(0) == 0 ? kSimple : kComplex;
+  for (auto _ : state) {
+    auto features = ExtractFeatures(q);
+    benchmark::DoNotOptimize(features.num_predicates);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExtractFeatures)->Arg(0)->Arg(1);
+
+void BM_CharTokens(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tokens = CharTokens(kComplex);
+    benchmark::DoNotOptimize(tokens.size());
+  }
+}
+BENCHMARK(BM_CharTokens);
+
+void BM_WordTokens(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tokens = WordTokens(kComplex);
+    benchmark::DoNotOptimize(tokens.size());
+  }
+}
+BENCHMARK(BM_WordTokens);
+
+}  // namespace
+}  // namespace sqlfacil::sql

@@ -1,0 +1,88 @@
+// Reproduces Table 2: query error classification (accuracy + per-class
+// F-measure + test loss), CPU time prediction (test Huber loss), and
+// answer size prediction (test Huber loss) in the Homogeneous Instance
+// setting (SDSS), for the baselines and all six learned models.
+
+#include <cstdio>
+
+#include "harness/harness.h"
+#include "sqlfacil/core/evaluator.h"
+#include "sqlfacil/models/baselines.h"
+#include "sqlfacil/util/string_util.h"
+#include "sqlfacil/util/table_printer.h"
+
+int main() {
+  using namespace sqlfacil;
+  const auto config = bench::ConfigFromEnv();
+  bench::PrintBanner("Table 2: Homogeneous Instance (SDSS)", config);
+
+  auto sdss = bench::GetSdssWorkload(config);
+  Rng rng(config.seed ^ 0x7A);
+  const auto split = workload::RandomSplit(sdss.workload, &rng);
+
+  // --- Error classification ---
+  auto error_task = core::BuildTask(sdss.workload, split,
+                                    core::Problem::kErrorClassification);
+  std::printf("-- error classification: train=%zu valid=%zu test=%zu --\n",
+              error_task.train.size(), error_task.valid.size(),
+              error_task.test.size());
+
+  TablePrinter error_table({"Model", "v", "p", "Accuracy", "F_severe",
+                            "F_success", "F_non_severe", "Loss"});
+  {
+    models::MfreqModel mfreq;
+    Rng brng(config.seed);
+    mfreq.Fit(error_task.train, error_task.valid, &brng);
+    auto m = core::EvaluateClassification(mfreq, error_task.test);
+    error_table.AddRow({"baseline (mfreq)", "-", "-", Fmt4(m.accuracy),
+                        Fmt4(m.per_class_f1[0]), Fmt4(m.per_class_f1[1]),
+                        Fmt4(m.per_class_f1[2]), Fmt4(m.loss)});
+  }
+  auto error_models =
+      bench::TrainModels(core::LearnedModelNames(), error_task, config);
+  for (const auto& tm : error_models) {
+    auto m = core::EvaluateClassification(*tm.model, error_task.test);
+    error_table.AddRow({tm.name, std::to_string(tm.model->vocab_size()),
+                        std::to_string(tm.model->num_parameters()),
+                        Fmt4(m.accuracy), Fmt4(m.per_class_f1[0]),
+                        Fmt4(m.per_class_f1[1]), Fmt4(m.per_class_f1[2]),
+                        Fmt4(m.loss)});
+  }
+  std::printf("%s\n", error_table.ToString().c_str());
+  {
+    auto counts = core::EvaluateClassification(
+        *error_models[0].model, error_task.test).class_counts;
+    std::printf("test class sizes: severe=%zu success=%zu non_severe=%zu\n\n",
+                counts[0], counts[1], counts[2]);
+  }
+
+  // --- CPU time and answer size regression ---
+  for (core::Problem problem :
+       {core::Problem::kCpuTime, core::Problem::kAnswerSize}) {
+    auto task = core::BuildTask(sdss.workload, split, problem);
+    std::printf("-- %s: train=%zu test=%zu --\n", core::ProblemName(problem),
+                task.train.size(), task.test.size());
+    TablePrinter table({"Model", "v", "p", "Loss", "MSE"});
+    {
+      models::MedianModel median;
+      Rng brng(config.seed);
+      median.Fit(task.train, task.valid, &brng);
+      auto m = core::EvaluateRegression(median, task.test);
+      table.AddRow({"baseline (median)", "-", "-", Fmt4(m.loss), Fmt4(m.mse)});
+    }
+    auto models = bench::TrainModels(core::LearnedModelNames(), task, config);
+    for (const auto& tm : models) {
+      auto m = core::EvaluateRegression(*tm.model, task.test);
+      table.AddRow({tm.name, std::to_string(tm.model->vocab_size()),
+                    std::to_string(tm.model->num_parameters()), Fmt4(m.loss),
+                    Fmt4(m.mse)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf(
+      "Paper (Table 2) shape: every learned model beats mfreq; ccnn has the\n"
+      "highest accuracy and a strong F_severe; neural models (c/w cnn+lstm)\n"
+      "reach far lower regression loss than tfidf and the baselines.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Table 3: answer-size prediction qerror percentiles on SDSS
+// (Homogeneous Instance) for median and the six learned models.
+
+#include <cstdio>
+
+#include "harness/harness.h"
+#include "sqlfacil/core/evaluator.h"
+#include "sqlfacil/models/baselines.h"
+#include "sqlfacil/util/stats.h"
+#include "sqlfacil/util/string_util.h"
+#include "sqlfacil/util/table_printer.h"
+
+int main() {
+  using namespace sqlfacil;
+  const auto config = bench::ConfigFromEnv();
+  bench::PrintBanner("Table 3: answer size qerror (SDSS)", config);
+
+  auto sdss = bench::GetSdssWorkload(config);
+  Rng rng(config.seed ^ 0x7A);
+  const auto split = workload::RandomSplit(sdss.workload, &rng);
+  auto task =
+      core::BuildTask(sdss.workload, split, core::Problem::kAnswerSize);
+
+  const std::vector<double> percentiles = {50, 75, 80, 85, 90, 95};
+  TablePrinter table(
+      {"Model", "50%", "75%", "80%", "85%", "90%", "95%"});
+  auto add_row = [&](const std::string& name, const models::Model& model) {
+    auto qerrors = core::ComputeQErrors(model, task.test, task.transform);
+    std::vector<std::string> row = {name};
+    for (double p : percentiles) {
+      row.push_back(FmtN(Percentile(qerrors, p), 2));
+    }
+    table.AddRow(std::move(row));
+  };
+
+  {
+    models::MedianModel median;
+    Rng brng(config.seed);
+    median.Fit(task.train, task.valid, &brng);
+    add_row("median", median);
+  }
+  for (const auto& tm :
+       bench::TrainModels(core::LearnedModelNames(), task, config)) {
+    add_row(tm.name, *tm.model);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper (Table 3) shape: all models are near-perfect at the median;\n"
+      "the tail (75%%+) separates them — ccnn/clstm lowest, median baseline\n"
+      "orders of magnitude worse, tfidf in between.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Table 5: CPU time prediction on SQLShare in the Homogeneous
+// Schema (random split) and Heterogeneous Schema (by-user split) settings,
+// for median, opt (optimizer-estimate linear regression), and the six
+// learned models.
+
+#include <cstdio>
+
+#include "harness/harness.h"
+#include "sqlfacil/core/evaluator.h"
+#include "sqlfacil/util/string_util.h"
+#include "sqlfacil/util/table_printer.h"
+
+int main() {
+  using namespace sqlfacil;
+  const auto config = bench::ConfigFromEnv();
+  bench::PrintBanner("Table 5: CPU time prediction (SQLShare)", config);
+
+  auto sqlshare = bench::GetSqlShareWorkload(config);
+  Rng rng(config.seed ^ 0x7A);
+  const auto homog_split = workload::RandomSplit(sqlshare, &rng);
+  const auto heterog_split = workload::SplitByUser(sqlshare, &rng);
+
+  TablePrinter table({"Model", "v", "p", "Loss (Homog. Schema)",
+                      "Loss (Heterog. Schema)"});
+
+  struct Row {
+    std::string name;
+    size_t v = 0, p = 0;
+    double homog = 0.0, heterog = 0.0;
+  };
+  std::vector<Row> rows = {{"median"}, {"opt"}};
+  for (const auto& name : core::LearnedModelNames()) {
+    rows.push_back({name});
+  }
+
+  for (int setting = 0; setting < 2; ++setting) {
+    const auto& split = setting == 0 ? homog_split : heterog_split;
+    auto task = core::BuildTask(sqlshare, split, core::Problem::kCpuTime);
+    std::printf("-- %s: train=%zu valid=%zu test=%zu --\n",
+                setting == 0 ? "Homogeneous Schema" : "Heterogeneous Schema",
+                task.train.size(), task.valid.size(), task.test.size());
+
+    size_t row_idx = 0;
+    for (const char* bname : {"median", "opt"}) {
+      auto model = core::MakeModel(bname, core::ZooConfig{});
+      Rng brng(config.seed);
+      model->Fit(task.train, task.valid, &brng);
+      const double loss = core::EvaluateRegression(*model, task.test).loss;
+      (setting == 0 ? rows[row_idx].homog : rows[row_idx].heterog) = loss;
+      ++row_idx;
+    }
+    for (const auto& tm :
+         bench::TrainModels(core::LearnedModelNames(), task, config)) {
+      const double loss = core::EvaluateRegression(*tm.model, task.test).loss;
+      Row& row = rows[row_idx];
+      row.v = tm.model->vocab_size();
+      row.p = tm.model->num_parameters();
+      (setting == 0 ? row.homog : row.heterog) = loss;
+      ++row_idx;
+    }
+  }
+
+  for (const auto& row : rows) {
+    table.AddRow({row.name, row.v == 0 ? "-" : std::to_string(row.v),
+                  row.p == 0 ? "-" : std::to_string(row.p), Fmt4(row.homog),
+                  Fmt4(row.heterog)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper (Table 5) shape: ccnn wins both settings; every model's loss\n"
+      "is higher under Heterogeneous Schema; the opt baseline is close to\n"
+      "median (optimizer cost estimates are poor CPU-time predictors);\n"
+      "word-level models degrade most across settings.\n");
+  return 0;
+}

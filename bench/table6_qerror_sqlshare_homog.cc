@@ -1,0 +1,47 @@
+// Reproduces Table 6: CPU-time prediction qerror percentiles on SQLShare
+// under Homogeneous Schema (random split).
+
+#include <cstdio>
+
+#include "harness/harness.h"
+#include "sqlfacil/core/evaluator.h"
+#include "sqlfacil/util/stats.h"
+#include "sqlfacil/util/string_util.h"
+#include "sqlfacil/util/table_printer.h"
+
+int main() {
+  using namespace sqlfacil;
+  const auto config = bench::ConfigFromEnv();
+  bench::PrintBanner("Table 6: CPU time qerror (SQLShare, Homogeneous Schema)",
+                     config);
+
+  auto sqlshare = bench::GetSqlShareWorkload(config);
+  Rng rng(config.seed ^ 0x7A);
+  const auto split = workload::RandomSplit(sqlshare, &rng);
+  auto task = core::BuildTask(sqlshare, split, core::Problem::kCpuTime);
+
+  const std::vector<double> percentiles = {40, 50, 60, 70, 75, 80};
+  TablePrinter table({"Model", "40%", "50%", "60%", "70%", "75%", "80%"});
+  auto add_row = [&](const std::string& name, const models::Model& model) {
+    auto qerrors = core::ComputeQErrors(model, task.test, task.transform);
+    std::vector<std::string> row = {name};
+    for (double p : percentiles) row.push_back(FmtN(Percentile(qerrors, p), 2));
+    table.AddRow(std::move(row));
+  };
+
+  for (const char* bname : {"median", "opt"}) {
+    auto model = core::MakeModel(bname, core::ZooConfig{});
+    Rng brng(config.seed);
+    model->Fit(task.train, task.valid, &brng);
+    add_row(bname, *model);
+  }
+  for (const auto& tm :
+       bench::TrainModels(core::LearnedModelNames(), task, config)) {
+    add_row(tm.name, *tm.model);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper (Table 6) shape: ccnn lowest across percentiles; tail\n"
+      "percentiles blow up for median and the lstm models.\n");
+  return 0;
+}

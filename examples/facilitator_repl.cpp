@@ -1,0 +1,67 @@
+// Interactive facilitator: train once (or load a checkpoint), then read
+// SQL statements from stdin and print pre-execution insights per line.
+//
+//   $ ./build/examples/facilitator_repl [checkpoint.bin]
+//
+// If a checkpoint path is given and exists, it is loaded; otherwise a
+// model is trained on a synthesized SDSS workload and saved there (so the
+// second launch is instant) — demonstrating the deploy-from-checkpoint
+// workflow.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sqlfacil/core/facilitator.h"
+#include "sqlfacil/workload/sdss.h"
+
+int main(int argc, char** argv) {
+  using namespace sqlfacil;
+  const std::string checkpoint = argc > 1 ? argv[1] : "";
+
+  core::QueryFacilitator::Options options;
+  options.model_name = "ctfidf";
+  options.zoo.epochs = 4;
+  core::QueryFacilitator facilitator(options);
+
+  bool loaded = false;
+  if (!checkpoint.empty()) {
+    if (facilitator.Load(checkpoint).ok()) {
+      std::printf("loaded checkpoint %s\n", checkpoint.c_str());
+      loaded = true;
+    }
+  }
+  if (!loaded) {
+    std::printf("training on a synthesized SDSS workload...\n");
+    workload::SdssWorkloadConfig wconfig;
+    wconfig.num_sessions = 3000;
+    auto built = workload::BuildSdssWorkload(wconfig);
+    facilitator.Train(built.workload);
+    if (!checkpoint.empty()) {
+      if (auto s = facilitator.Save(checkpoint); s.ok()) {
+        std::printf("saved checkpoint to %s\n", checkpoint.c_str());
+      } else {
+        std::fprintf(stderr, "checkpoint save failed: %s\n",
+                     s.ToString().c_str());
+      }
+    }
+  }
+
+  std::printf("\nenter SQL statements (one per line, Ctrl-D to quit):\n> ");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty()) {
+      const auto insights = facilitator.Analyze(line);
+      std::printf("  error=%s session=%s answer=%.0f rows cpu=%.4fs\n",
+                  std::string(workload::ErrorClassName(insights.error_class))
+                      .c_str(),
+                  std::string(workload::SessionClassName(
+                      insights.session_class)).c_str(),
+                  insights.answer_size, insights.cpu_time_seconds);
+    }
+    std::printf("> ");
+  }
+  std::printf("\n");
+  return 0;
+}

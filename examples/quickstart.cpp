@@ -1,0 +1,65 @@
+// Quickstart: build a small SDSS-style workload, train a QueryFacilitator,
+// and ask for pre-execution insights about a few statements.
+//
+//   $ ./build/examples/quickstart
+//
+// This is the whole public API: BuildSdssWorkload (or your own workload
+// loaded via workload::LoadWorkload), QueryFacilitator::Train, and
+// QueryFacilitator::Analyze.
+
+#include <cstdio>
+
+#include "sqlfacil/core/facilitator.h"
+#include "sqlfacil/workload/sdss.h"
+
+int main() {
+  using namespace sqlfacil;
+
+  // 1. A query workload: {(statement, labels)} pairs. Here we synthesize
+  //    an SDSS-like one; in production you would export your DBMS logs.
+  std::printf("building workload (executes every query once)...\n");
+  workload::SdssWorkloadConfig wconfig;
+  wconfig.num_sessions = 3000;
+  wconfig.catalog.photoobj_rows = 8000;
+  wconfig.catalog.phototag_rows = 8000;
+  wconfig.catalog.galaxy_rows = 4000;
+  wconfig.catalog.star_rows = 3000;
+  wconfig.catalog.specobj_rows = 800;
+  wconfig.catalog.specphoto_rows = 800;
+  auto built = workload::BuildSdssWorkload(wconfig);
+  std::printf("workload: %zu unique statements\n\n",
+              built.workload.queries.size());
+
+  // 2. Train. The facilitator fits one model per label the workload has
+  //    (error class, session class, answer size, CPU time).
+  core::QueryFacilitator::Options options;
+  options.model_name = "ctfidf";  // fast; use "ccnn" for best accuracy
+  options.zoo.epochs = 4;
+  core::QueryFacilitator facilitator(options);
+  std::printf("training (model=%s)...\n\n", options.model_name.c_str());
+  facilitator.Train(built.workload);
+
+  // 3. Analyze statements before running them.
+  const char* statements[] = {
+      "SELECT * FROM PhotoTag WHERE objId=17",
+      "SELECT p.objid,p.ra,p.dec,p.u,p.g,p.r,p.i,p.z FROM PhotoObj AS p "
+      "WHERE type=6 AND p.ra BETWEEN 156.3 AND 156.7 "
+      "AND p.dec BETWEEN 62.6 AND 63.0 ORDER BY p.objid",
+      "how do I find galaxies near ra 180",
+  };
+  for (const char* statement : statements) {
+    const auto insights = facilitator.Analyze(statement);
+    std::printf("Q: %s\n", statement);
+    std::printf("   predicted error class:  %s\n",
+                std::string(workload::ErrorClassName(insights.error_class))
+                    .c_str());
+    std::printf("   predicted session type: %s\n",
+                std::string(workload::SessionClassName(
+                    insights.session_class)).c_str());
+    std::printf("   predicted answer size:  %.0f rows\n",
+                insights.answer_size);
+    std::printf("   predicted CPU time:     %.4f s\n\n",
+                insights.cpu_time_seconds);
+  }
+  return 0;
+}

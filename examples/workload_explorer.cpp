@@ -1,0 +1,83 @@
+// Workload explorer: the workload-analysis toolkit of Section 4 as a
+// command-line report. Builds (or loads) a workload and prints statement
+// type shares, structural property statistics, label distributions, and
+// the property correlation matrix — the data behind Figures 3-8.
+//
+//   $ ./build/examples/workload_explorer [path/to/workload.tsv]
+
+#include <cstdio>
+
+#include "sqlfacil/util/stats.h"
+#include "sqlfacil/workload/analysis.h"
+#include "sqlfacil/workload/io.h"
+#include "sqlfacil/workload/sdss.h"
+
+int main(int argc, char** argv) {
+  using namespace sqlfacil;
+
+  workload::QueryWorkload wl;
+  if (argc > 1) {
+    auto loaded = workload::LoadWorkload(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    wl = std::move(loaded).value();
+    std::printf("loaded workload '%s' (%zu queries)\n\n", wl.name.c_str(),
+                wl.queries.size());
+  } else {
+    std::printf("no workload file given; synthesizing a small SDSS one...\n");
+    workload::SdssWorkloadConfig wconfig;
+    wconfig.num_sessions = 2000;
+    wconfig.catalog.photoobj_rows = 8000;
+    wconfig.catalog.phototag_rows = 8000;
+    wl = workload::BuildSdssWorkload(wconfig).workload;
+    std::printf("built %zu unique statements\n\n", wl.queries.size());
+  }
+
+  workload::WorkloadAnalyzer analyzer(wl);
+
+  std::printf("== statement types ==\n");
+  std::printf("SELECT share: %.2f%%\n", 100.0 * analyzer.SelectFraction());
+  for (const auto& [type, count] : analyzer.NonSelectTypeCounts()) {
+    std::printf("  %-14s %zu\n", type.c_str(), count);
+  }
+
+  std::printf("\n== structural properties ==\n");
+  for (int p = 0; p < 10; ++p) {
+    const Summary s = analyzer.PropertySummary(p);
+    const auto name = sql::SyntacticFeatures::Names()[p];
+    std::printf("%-28.*s mu=%8.2f sd=%8.2f max=%8.0f median=%6.1f\n",
+                static_cast<int>(name.size()), name.data(), s.mean, s.stddev,
+                s.max, s.median);
+  }
+
+  const auto shares = analyzer.ComputeStructureShares();
+  std::printf("\njoins: %.2f%%  multi-table: %.2f%%  nested: %.2f%%"
+              "  nested-agg: %.2f%%\n",
+              100 * shares.with_join, 100 * shares.multi_table,
+              100 * shares.nested, 100 * shares.nested_aggregation);
+
+  std::printf("\n== labels ==\n");
+  auto sizes = analyzer.AnswerSizes();
+  if (!sizes.empty()) {
+    const Summary s = Summarize(sizes);
+    std::printf("answer size: mu=%.1f median=%.1f max=%.0f\n", s.mean,
+                s.median, s.max);
+  }
+  auto cpu = analyzer.CpuTimes();
+  if (!cpu.empty()) {
+    const Summary s = Summarize(cpu);
+    std::printf("cpu time:    mu=%.4fs median=%.4fs max=%.2fs\n", s.mean,
+                s.median, s.max);
+    std::printf("%s", RenderHistogram(LogHistogram(cpu, 8)).c_str());
+  }
+
+  std::printf("\n== property correlations (chars/words/joins/tables) ==\n");
+  auto m = analyzer.CorrelationMatrix();
+  std::printf("chars-words: %.2f  chars-nestedness: %.2f  joins-tables:"
+              " %.2f\n",
+              m[0][1], m[0][8], m[3][4]);
+  return 0;
+}

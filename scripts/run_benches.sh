@@ -1,0 +1,18 @@
+#!/bin/sh
+# Runs every bench binary, writing bench_logs/<name>.log, skipping binaries
+# whose log already ends with the DONE marker. Re-run until all complete.
+set -u
+mkdir -p bench_logs
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name=$(basename "$b")
+  log="bench_logs/$name.log"
+  if [ -f "$log" ] && tail -1 "$log" | grep -q "^__DONE__"; then
+    continue
+  fi
+  echo "running $name..."
+  "$b" > "$log" 2>&1
+  rc=$?
+  echo "__DONE__ rc=$rc" >> "$log"
+done
+echo "ALL_BENCHES_COMPLETE"

@@ -1,0 +1,99 @@
+#include "sqlfacil/core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::core {
+
+ClassificationMetrics EvaluateClassification(const models::Model& model,
+                                             const models::Dataset& test) {
+  SQLFACIL_CHECK(test.kind == models::TaskKind::kClassification);
+  const int c = test.num_classes;
+  ClassificationMetrics metrics;
+  metrics.class_counts.assign(c, 0);
+  std::vector<size_t> true_positive(c, 0), predicted(c, 0);
+  double loss = 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const auto probs = model.Predict(test.statements[i], test.opt_costs[i]);
+    SQLFACIL_CHECK(static_cast<int>(probs.size()) == c);
+    const int truth = test.labels[i];
+    const int argmax = static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+    ++metrics.class_counts[truth];
+    ++predicted[argmax];
+    if (argmax == truth) {
+      ++correct;
+      ++true_positive[truth];
+    }
+    loss -= std::log(std::max(1e-12, static_cast<double>(probs[truth])));
+  }
+  const double n = static_cast<double>(std::max<size_t>(1, test.size()));
+  metrics.loss = loss / n;
+  metrics.accuracy = static_cast<double>(correct) / n;
+  metrics.per_class_f1.assign(c, 0.0);
+  for (int k = 0; k < c; ++k) {
+    const double tp = static_cast<double>(true_positive[k]);
+    const double precision =
+        predicted[k] > 0 ? tp / static_cast<double>(predicted[k]) : 0.0;
+    const double recall =
+        metrics.class_counts[k] > 0
+            ? tp / static_cast<double>(metrics.class_counts[k])
+            : 0.0;
+    metrics.per_class_f1[k] = (precision + recall) > 0
+                                  ? 2.0 * precision * recall /
+                                        (precision + recall)
+                                  : 0.0;
+  }
+  return metrics;
+}
+
+RegressionMetrics EvaluateRegression(const models::Model& model,
+                                     const models::Dataset& test,
+                                     double huber_delta) {
+  SQLFACIL_CHECK(test.kind == models::TaskKind::kRegression);
+  RegressionMetrics metrics;
+  double loss = 0.0, mse = 0.0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const auto pred = model.Predict(test.statements[i], test.opt_costs[i]);
+    const double r = pred[0] - test.targets[i];
+    const double ar = std::fabs(r);
+    loss += ar <= huber_delta ? 0.5 * r * r
+                              : huber_delta * (ar - 0.5 * huber_delta);
+    mse += r * r;
+  }
+  const double n = static_cast<double>(std::max<size_t>(1, test.size()));
+  metrics.loss = loss / n;
+  metrics.mse = mse / n;
+  return metrics;
+}
+
+std::vector<double> ComputeQErrors(const models::Model& model,
+                                   const models::Dataset& test,
+                                   const LabelTransform& transform) {
+  std::vector<double> qerrors;
+  qerrors.reserve(test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    const auto pred = model.Predict(test.statements[i], test.opt_costs[i]);
+    const double y = std::max(1.0, transform.Invert(test.targets[i]));
+    const double yhat = std::max(1.0, transform.Invert(pred[0]));
+    qerrors.push_back(std::max(y / yhat, yhat / y));
+  }
+  return qerrors;
+}
+
+std::vector<double> SquaredErrors(const models::Model& model,
+                                  const models::Dataset& test) {
+  std::vector<double> errors;
+  errors.reserve(test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    const auto pred = model.Predict(test.statements[i], test.opt_costs[i]);
+    const double r = pred[0] - test.targets[i];
+    errors.push_back(r * r);
+  }
+  return errors;
+}
+
+}  // namespace sqlfacil::core

@@ -1,0 +1,48 @@
+#ifndef SQLFACIL_CORE_EVALUATOR_H_
+#define SQLFACIL_CORE_EVALUATOR_H_
+
+#include <vector>
+
+#include "sqlfacil/core/labels.h"
+#include "sqlfacil/models/model.h"
+
+namespace sqlfacil::core {
+
+/// Metrics of Section 6.1 for classification problems: mean cross-entropy
+/// test loss, accuracy, and per-class F-measure (precision/recall per
+/// class; F = 0 for empty classes).
+struct ClassificationMetrics {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  std::vector<double> per_class_f1;
+  std::vector<size_t> class_counts;  // #test samples per class
+};
+
+ClassificationMetrics EvaluateClassification(const models::Model& model,
+                                             const models::Dataset& test);
+
+/// Metrics for regression problems: mean Huber test loss and MSE, both on
+/// the log-transformed labels (Section 6.1).
+struct RegressionMetrics {
+  double loss = 0.0;
+  double mse = 0.0;
+};
+
+RegressionMetrics EvaluateRegression(const models::Model& model,
+                                     const models::Dataset& test,
+                                     double huber_delta = 1.0);
+
+/// Per-query qerror = max(y/yhat, yhat/y) in the original label space
+/// (Section 6.1, following [37]); both sides are clamped to >= 1 so the
+/// ratio is defined for zero/negative labels (errored queries).
+std::vector<double> ComputeQErrors(const models::Model& model,
+                                   const models::Dataset& test,
+                                   const LabelTransform& transform);
+
+/// Per-query squared errors on log labels (Figures 12-14).
+std::vector<double> SquaredErrors(const models::Model& model,
+                                  const models::Dataset& test);
+
+}  // namespace sqlfacil::core
+
+#endif  // SQLFACIL_CORE_EVALUATOR_H_

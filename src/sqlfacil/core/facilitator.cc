@@ -1,0 +1,121 @@
+#include "sqlfacil/core/facilitator.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "sqlfacil/models/serialize_util.h"
+
+namespace sqlfacil::core {
+
+QueryFacilitator::QueryFacilitator() = default;
+
+QueryFacilitator::QueryFacilitator(Options options)
+    : options_(std::move(options)) {}
+
+void QueryFacilitator::Train(const workload::QueryWorkload& workload) {
+  Rng rng(options_.seed);
+  Rng split_rng = rng.Fork();
+  const auto split = workload::RandomSplit(workload, &split_rng,
+                                           options_.train_frac,
+                                           options_.valid_frac);
+  for (Problem problem :
+       {Problem::kErrorClassification, Problem::kSessionClassification,
+        Problem::kCpuTime, Problem::kAnswerSize}) {
+    TaskData task = BuildTask(workload, split, problem);
+    if (task.train.size() == 0) continue;
+    auto model = MakeModel(options_.model_name, options_.zoo);
+    Rng fit_rng = rng.Fork();
+    model->Fit(task.train, task.valid, &fit_rng);
+    trained_models_[problem] = std::move(model);
+    transforms_[problem] = task.transform;
+  }
+}
+
+Status QueryFacilitator::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  models::serialize::WriteTag(out, "sqlfacil_facilitator.v1");
+  models::serialize::WriteU64(out, trained_models_.size());
+  for (const auto& [problem, model] : trained_models_) {
+    models::serialize::WriteI32(out, static_cast<int32_t>(problem));
+    models::serialize::WriteString(out, model->name());
+    auto it = transforms_.find(problem);
+    models::serialize::WriteF64(
+        out, it == transforms_.end() ? 0.0 : it->second.min_label());
+    if (Status s = model->SaveTo(out); !s.ok()) return s;
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Status QueryFacilitator::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("cannot open '" + path + "'");
+  if (Status s =
+          models::serialize::ExpectTag(in, "sqlfacil_facilitator.v1");
+      !s.ok()) {
+    return s;
+  }
+  auto count = models::serialize::ReadU64(in);
+  if (!count.ok()) return count.status();
+  std::map<Problem, models::ModelPtr> loaded_models;
+  std::map<Problem, LabelTransform> loaded_transforms;
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto problem = models::serialize::ReadI32(in);
+    if (!problem.ok()) return problem.status();
+    auto name = models::serialize::ReadString(in);
+    if (!name.ok()) return name.status();
+    auto min_label = models::serialize::ReadF64(in);
+    if (!min_label.ok()) return min_label.status();
+    auto model = MakeModel(*name, options_.zoo);
+    if (Status s = model->LoadFrom(in); !s.ok()) return s;
+    const Problem p = static_cast<Problem>(*problem);
+    loaded_transforms[p] = LabelTransform::Fit({*min_label});
+    loaded_models[p] = std::move(model);
+  }
+  trained_models_ = std::move(loaded_models);
+  transforms_ = std::move(loaded_transforms);
+  return Status::Ok();
+}
+
+QueryFacilitator::Insights QueryFacilitator::Analyze(
+    const std::string& statement) const {
+  Insights insights;
+  for (const auto& [problem, model] : trained_models_) {
+    const auto scores = model->Predict(statement, /*opt_cost=*/0.0);
+    switch (problem) {
+      case Problem::kErrorClassification: {
+        insights.has_error = true;
+        insights.error_probs = scores;
+        const int argmax = static_cast<int>(
+            std::max_element(scores.begin(), scores.end()) - scores.begin());
+        insights.error_class = static_cast<workload::ErrorClass>(argmax);
+        break;
+      }
+      case Problem::kSessionClassification: {
+        insights.has_session = true;
+        insights.session_probs = scores;
+        const int argmax = static_cast<int>(
+            std::max_element(scores.begin(), scores.end()) - scores.begin());
+        insights.session_class = static_cast<workload::SessionClass>(argmax);
+        break;
+      }
+      case Problem::kAnswerSize:
+        insights.has_answer_size = true;
+        insights.answer_size =
+            std::max(0.0, transforms_.at(problem).Invert(scores[0]));
+        break;
+      case Problem::kCpuTime:
+        insights.has_cpu_time = true;
+        insights.cpu_time_seconds =
+            std::max(0.0, transforms_.at(problem).Invert(scores[0]));
+        break;
+    }
+  }
+  return insights;
+}
+
+}  // namespace sqlfacil::core

@@ -1,0 +1,73 @@
+#ifndef SQLFACIL_CORE_FACILITATOR_H_
+#define SQLFACIL_CORE_FACILITATOR_H_
+
+#include <map>
+#include <string>
+
+#include "sqlfacil/core/model_zoo.h"
+#include "sqlfacil/core/tasks.h"
+#include "sqlfacil/workload/types.h"
+
+namespace sqlfacil::core {
+
+/// The library's user-facing façade: train once on a query workload, then
+/// get pre-execution insights about any SQL statement — predicted error
+/// class, session class, answer size, and CPU time (Sections 1-3). This is
+/// what an end-user IDE plugin or a DBA dashboard would embed.
+class QueryFacilitator {
+ public:
+  struct Options {
+    /// Model used for every problem (the paper's overall winner is ccnn).
+    std::string model_name = "ccnn";
+    ZooConfig zoo;
+    uint64_t seed = 42;
+    double train_frac = 0.8;
+    double valid_frac = 0.1;
+  };
+
+  /// Pre-execution insights for one statement. Fields are only meaningful
+  /// when the corresponding `has_*` flag is set (a workload without
+  /// session labels yields no session prediction, etc.).
+  struct Insights {
+    workload::ErrorClass error_class = workload::ErrorClass::kSuccess;
+    std::vector<float> error_probs;
+    bool has_error = false;
+
+    workload::SessionClass session_class = workload::SessionClass::kNoWebHit;
+    std::vector<float> session_probs;
+    bool has_session = false;
+
+    double answer_size = 0.0;
+    bool has_answer_size = false;
+
+    double cpu_time_seconds = 0.0;
+    bool has_cpu_time = false;
+  };
+
+  QueryFacilitator();
+  explicit QueryFacilitator(Options options);
+
+  /// Trains one model per problem whose label the workload carries.
+  void Train(const workload::QueryWorkload& workload);
+
+  /// Predicts all available properties for a statement, prior to any
+  /// execution and with no access to a database instance.
+  Insights Analyze(const std::string& statement) const;
+
+  /// Persists every trained model + label transform to one file, so a
+  /// deployment can train offline and serve from the checkpoint.
+  Status Save(const std::string& path) const;
+  /// Restores a facilitator saved with Save().
+  Status Load(const std::string& path);
+
+  bool trained() const { return !trained_models_.empty(); }
+
+ private:
+  Options options_;
+  std::map<Problem, models::ModelPtr> trained_models_;
+  std::map<Problem, LabelTransform> transforms_;
+};
+
+}  // namespace sqlfacil::core
+
+#endif  // SQLFACIL_CORE_FACILITATOR_H_

@@ -1,0 +1,25 @@
+#include "sqlfacil/core/labels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqlfacil::core {
+
+LabelTransform LabelTransform::Fit(const std::vector<double>& labels) {
+  LabelTransform t;
+  if (!labels.empty()) {
+    t.min_ = *std::min_element(labels.begin(), labels.end());
+  }
+  return t;
+}
+
+double LabelTransform::Apply(double y) const {
+  // eps = 1 keeps the argument >= 1, so the transform is non-negative.
+  return std::log(std::max(1e-9, y + 1.0 - min_));
+}
+
+double LabelTransform::Invert(double y_prime) const {
+  return std::exp(y_prime) - 1.0 + min_;
+}
+
+}  // namespace sqlfacil::core

@@ -1,0 +1,32 @@
+#ifndef SQLFACIL_CORE_LABELS_H_
+#define SQLFACIL_CORE_LABELS_H_
+
+#include <vector>
+
+namespace sqlfacil::core {
+
+/// The logarithmic label transform of Section 4.4.1:
+///   y' = ln(y + eps - min(y)),  eps = 1,
+/// where min(y) is taken over the label vector of all queries. Makes the
+/// heavy-tailed regression labels (answer size, CPU time) well-scaled and
+/// non-negative.
+class LabelTransform {
+ public:
+  LabelTransform() = default;
+
+  /// Fits min(y) from the label vector.
+  static LabelTransform Fit(const std::vector<double>& labels);
+
+  double Apply(double y) const;
+  /// Inverse transform back to the original label space.
+  double Invert(double y_prime) const;
+
+  double min_label() const { return min_; }
+
+ private:
+  double min_ = 0.0;
+};
+
+}  // namespace sqlfacil::core
+
+#endif  // SQLFACIL_CORE_LABELS_H_

@@ -1,0 +1,97 @@
+#include "sqlfacil/core/model_zoo.h"
+
+#include <fstream>
+
+#include "sqlfacil/models/baselines.h"
+#include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/models/cnn_model.h"
+#include "sqlfacil/models/lstm_model.h"
+#include "sqlfacil/models/tfidf_model.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::core {
+
+namespace {
+
+sql::Granularity GranularityOf(const std::string& name) {
+  return name[0] == 'c' ? sql::Granularity::kChar : sql::Granularity::kWord;
+}
+
+}  // namespace
+
+models::ModelPtr MakeModel(const std::string& name, const ZooConfig& config) {
+  if (name == "mfreq") return std::make_unique<models::MfreqModel>();
+  if (name == "median") return std::make_unique<models::MedianModel>();
+  if (name == "opt") return std::make_unique<models::OptModel>();
+  if (name == "ctfidf" || name == "wtfidf") {
+    models::TfidfModel::Config c;
+    c.granularity = GranularityOf(name);
+    c.max_features = config.tfidf_max_features;
+    c.epochs = std::max(4, config.epochs * 2);  // cheap epochs
+    c.batch_size = config.batch_size;
+    return std::make_unique<models::TfidfModel>(c);
+  }
+  if (name == "ccnn" || name == "wcnn") {
+    models::CnnModel::Config c;
+    c.granularity = GranularityOf(name);
+    c.max_vocab = config.neural_max_vocab;
+    c.embed_dim = config.embed_dim;
+    c.kernels_per_width = config.cnn_kernels;
+    c.epochs = config.epochs;
+    c.batch_size = config.batch_size;
+    c.clip_norm = config.clip_norm;
+    c.lr = config.cnn_lr;
+    return std::make_unique<models::CnnModel>(c);
+  }
+  if (name == "clstm" || name == "wlstm") {
+    models::LstmModel::Config c;
+    c.granularity = GranularityOf(name);
+    c.max_vocab = config.neural_max_vocab;
+    c.embed_dim = config.embed_dim;
+    c.hidden_dim = config.lstm_hidden;
+    c.num_layers = config.lstm_layers;
+    c.epochs = config.epochs;
+    c.batch_size = config.batch_size;
+    c.clip_norm = config.clip_norm;
+    c.lr = config.lstm_lr;
+    return std::make_unique<models::LstmModel>(c);
+  }
+  SQLFACIL_CHECK(false) << "unknown model name '" << name << "'";
+  return nullptr;
+}
+
+const std::vector<std::string>& LearnedModelNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "ctfidf", "ccnn", "clstm", "wtfidf", "wcnn", "wlstm"};
+  return *kNames;
+}
+
+Status SaveModelToFile(const models::Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  models::serialize::WriteTag(out, "sqlfacil_model.v1");
+  models::serialize::WriteString(out, model.name());
+  if (Status s = model.SaveTo(out); !s.ok()) return s;
+  out.flush();
+  if (!out.good()) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+StatusOr<models::ModelPtr> LoadModelFromFile(const std::string& path,
+                                             const ZooConfig& config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("cannot open '" + path + "'");
+  if (Status s = models::serialize::ExpectTag(in, "sqlfacil_model.v1");
+      !s.ok()) {
+    return s;
+  }
+  auto name = models::serialize::ReadString(in);
+  if (!name.ok()) return name.status();
+  models::ModelPtr model = MakeModel(*name, config);
+  if (Status s = model->LoadFrom(in); !s.ok()) return s;
+  return model;
+}
+
+}  // namespace sqlfacil::core

@@ -1,0 +1,51 @@
+#ifndef SQLFACIL_CORE_MODEL_ZOO_H_
+#define SQLFACIL_CORE_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlfacil/models/model.h"
+
+namespace sqlfacil::core {
+
+/// Knobs shared by every learned model; benches scale these through the
+/// environment (SQLFACIL_EPOCHS).
+struct ZooConfig {
+  int epochs = 3;
+  int batch_size = 16;
+  /// Gradient clipping for the neural models (paper: rate in {0.25, 0}).
+  float clip_norm = 0.25f;
+  /// TFIDF feature-space cap (the paper used 500,000 on 618K queries; the
+  /// default here matches our smaller workloads).
+  size_t tfidf_max_features = 20000;
+  /// Neural vocabulary cap at word level (chars are naturally small).
+  size_t neural_max_vocab = 5000;
+  int embed_dim = 16;
+  int cnn_kernels = 48;
+  int lstm_hidden = 32;
+  int lstm_layers = 3;
+  /// Learning rates sized for our step counts (thousands of AdaMax steps,
+  /// vs the paper's hundreds of thousands at lr 1e-3).
+  float cnn_lr = 3e-3f;
+  float lstm_lr = 6e-3f;
+};
+
+/// Builds a model by its paper name: mfreq, median, opt, ctfidf, wtfidf,
+/// ccnn, wcnn, clstm, wlstm. CHECK-fails on unknown names.
+models::ModelPtr MakeModel(const std::string& name, const ZooConfig& config);
+
+/// The six learned models compared in every table, in the paper's row
+/// order: ctfidf, ccnn, clstm, wtfidf, wcnn, wlstm.
+const std::vector<std::string>& LearnedModelNames();
+
+/// Writes a trained model (name header + checkpoint) to a file.
+Status SaveModelToFile(const models::Model& model, const std::string& path);
+
+/// Reads a model file: reconstructs the model by its stored name and
+/// restores the trained state.
+StatusOr<models::ModelPtr> LoadModelFromFile(const std::string& path,
+                                             const ZooConfig& config = {});
+
+}  // namespace sqlfacil::core
+
+#endif  // SQLFACIL_CORE_MODEL_ZOO_H_

@@ -1,0 +1,96 @@
+#include "sqlfacil/core/tasks.h"
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::core {
+
+namespace {
+
+using workload::LabeledQuery;
+
+bool HasLabel(const LabeledQuery& q, Problem problem) {
+  switch (problem) {
+    case Problem::kErrorClassification:
+      return q.has_error_class;
+    case Problem::kSessionClassification:
+      return q.has_session_class;
+    case Problem::kCpuTime:
+      return q.has_cpu_time;
+    case Problem::kAnswerSize:
+      return q.has_answer_size;
+  }
+  return false;
+}
+
+double RawLabel(const LabeledQuery& q, Problem problem) {
+  return problem == Problem::kCpuTime ? q.cpu_time : q.answer_size;
+}
+
+}  // namespace
+
+const char* ProblemName(Problem problem) {
+  switch (problem) {
+    case Problem::kErrorClassification:
+      return "error_classification";
+    case Problem::kSessionClassification:
+      return "session_classification";
+    case Problem::kCpuTime:
+      return "cpu_time";
+    case Problem::kAnswerSize:
+      return "answer_size";
+  }
+  return "?";
+}
+
+TaskData BuildTask(const workload::QueryWorkload& workload,
+                   const workload::DataSplit& split, Problem problem) {
+  TaskData task;
+  task.problem = problem;
+  const bool classification = problem == Problem::kErrorClassification ||
+                              problem == Problem::kSessionClassification;
+
+  if (!classification) {
+    std::vector<double> all_labels;
+    for (const auto& q : workload.queries) {
+      if (HasLabel(q, problem)) all_labels.push_back(RawLabel(q, problem));
+    }
+    task.transform = LabelTransform::Fit(all_labels);
+  }
+
+  auto fill = [&](const std::vector<size_t>& indices,
+                  models::Dataset* dataset) {
+    dataset->kind = classification ? models::TaskKind::kClassification
+                                   : models::TaskKind::kRegression;
+    dataset->num_classes =
+        problem == Problem::kErrorClassification
+            ? workload::kNumErrorClasses
+            : (problem == Problem::kSessionClassification
+                   ? workload::kNumSessionClasses
+                   : 0);
+    for (size_t i : indices) {
+      const LabeledQuery& q = workload.queries[i];
+      if (!HasLabel(q, problem)) continue;
+      dataset->statements.push_back(q.statement);
+      dataset->opt_costs.push_back(q.opt_cost);
+      switch (problem) {
+        case Problem::kErrorClassification:
+          dataset->labels.push_back(static_cast<int>(q.error_class));
+          break;
+        case Problem::kSessionClassification:
+          dataset->labels.push_back(static_cast<int>(q.session_class));
+          break;
+        case Problem::kCpuTime:
+        case Problem::kAnswerSize:
+          dataset->targets.push_back(
+              static_cast<float>(task.transform.Apply(RawLabel(q, problem))));
+          break;
+      }
+    }
+  };
+  fill(split.train, &task.train);
+  fill(split.valid, &task.valid);
+  fill(split.test, &task.test);
+  return task;
+}
+
+}  // namespace sqlfacil::core

@@ -1,0 +1,39 @@
+#ifndef SQLFACIL_CORE_TASKS_H_
+#define SQLFACIL_CORE_TASKS_H_
+
+#include "sqlfacil/core/labels.h"
+#include "sqlfacil/models/dataset.h"
+#include "sqlfacil/workload/split.h"
+#include "sqlfacil/workload/types.h"
+
+namespace sqlfacil::core {
+
+/// The four query facilitation problems of Definition 4.
+enum class Problem {
+  kErrorClassification,
+  kSessionClassification,
+  kCpuTime,
+  kAnswerSize,
+};
+
+const char* ProblemName(Problem problem);
+
+/// A problem instantiated over a workload split: train/valid/test datasets
+/// plus (for regression) the fitted label transform.
+struct TaskData {
+  Problem problem = Problem::kErrorClassification;
+  models::Dataset train;
+  models::Dataset valid;
+  models::Dataset test;
+  LabelTransform transform;
+};
+
+/// Assembles a TaskData from a workload and a split. Queries lacking the
+/// problem's label are skipped. Regression targets are log-transformed
+/// (Section 4.4.1) with min(y) fitted over the whole workload.
+TaskData BuildTask(const workload::QueryWorkload& workload,
+                   const workload::DataSplit& split, Problem problem);
+
+}  // namespace sqlfacil::core
+
+#endif  // SQLFACIL_CORE_TASKS_H_

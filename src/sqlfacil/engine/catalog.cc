@@ -1,0 +1,136 @@
+#include "sqlfacil/engine/catalog.h"
+
+#include <cmath>
+
+#include "sqlfacil/util/string_util.h"
+
+namespace sqlfacil::engine {
+
+namespace {
+
+StatusOr<Value> RequireNumeric(const Value& v, const char* fn) {
+  if (!v.is_numeric()) {
+    return Status::ExecutionError(std::string(fn) +
+                                  " requires a numeric argument");
+  }
+  return v;
+}
+
+}  // namespace
+
+void Catalog::AddTable(std::shared_ptr<Table> table) {
+  tables_[ToLowerAscii(table->name())] = std::move(table);
+}
+
+std::shared_ptr<const Table> Catalog::FindTable(
+    const std::string& name) const {
+  auto it = tables_.find(ToLowerAscii(name));
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+void Catalog::AddFunction(ScalarFunction fn) {
+  const std::string key = ToLowerAscii(fn.name);
+  functions_[key] = std::move(fn);
+}
+
+const ScalarFunction* Catalog::FindFunction(
+    const std::string& dotted_name) const {
+  auto it = functions_.find(ToLowerAscii(dotted_name));
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+void Catalog::RegisterBuiltinFunctions() {
+  auto unary_math = [this](const char* name, double (*fn)(double),
+                           double cost) {
+    AddFunction(ScalarFunction{
+        name, 1, 1, cost,
+        [fn, name](const std::vector<Value>& args) -> StatusOr<Value> {
+          if (args[0].is_null()) return Value::Null();
+          auto v = RequireNumeric(args[0], name);
+          if (!v.ok()) return v.status();
+          const double out = fn(v->ToDouble());
+          if (std::isnan(out) || std::isinf(out)) {
+            return Status::ExecutionError(std::string(name) +
+                                          ": domain error");
+          }
+          return Value(out);
+        }});
+  };
+  unary_math("abs", [](double x) { return std::fabs(x); }, 1.0);
+  unary_math("sqrt", [](double x) { return std::sqrt(x); }, 1.0);
+  unary_math("floor", [](double x) { return std::floor(x); }, 1.0);
+  unary_math("ceiling", [](double x) { return std::ceil(x); }, 1.0);
+  unary_math("log", [](double x) { return std::log(x); }, 1.0);
+  unary_math("log10", [](double x) { return std::log10(x); }, 1.0);
+  unary_math("exp", [](double x) { return std::exp(x); }, 1.0);
+  unary_math("sin", [](double x) { return std::sin(x); }, 1.0);
+  unary_math("cos", [](double x) { return std::cos(x); }, 1.0);
+  unary_math("tan", [](double x) { return std::tan(x); }, 1.0);
+  unary_math("radians", [](double x) { return x * M_PI / 180.0; }, 1.0);
+  unary_math("degrees", [](double x) { return x * 180.0 / M_PI; }, 1.0);
+
+  AddFunction(ScalarFunction{
+      "power", 2, 2, 1.5,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args[0].is_null() || args[1].is_null()) return Value::Null();
+        if (!args[0].is_numeric() || !args[1].is_numeric()) {
+          return Status::ExecutionError("power requires numeric arguments");
+        }
+        const double out = std::pow(args[0].ToDouble(), args[1].ToDouble());
+        if (std::isnan(out) || std::isinf(out)) {
+          return Status::ExecutionError("power: domain error");
+        }
+        return Value(out);
+      }});
+  AddFunction(ScalarFunction{
+      "round", 1, 2, 1.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args[0].is_null()) return Value::Null();
+        if (!args[0].is_numeric()) {
+          return Status::ExecutionError("round requires a numeric argument");
+        }
+        double digits = 0.0;
+        if (args.size() > 1 && args[1].is_numeric()) {
+          digits = args[1].ToDouble();
+        }
+        const double scale = std::pow(10.0, digits);
+        return Value(std::round(args[0].ToDouble() * scale) / scale);
+      }});
+  AddFunction(ScalarFunction{
+      "len", 1, 1, 1.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args[0].is_null()) return Value::Null();
+        return Value(static_cast<int64_t>(args[0].ToString().size()));
+      }});
+  AddFunction(ScalarFunction{
+      "upper", 1, 1, 1.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args[0].is_null()) return Value::Null();
+        return Value(ToUpperAscii(args[0].ToString()));
+      }});
+  AddFunction(ScalarFunction{
+      "lower", 1, 1, 1.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        if (args[0].is_null()) return Value::Null();
+        return Value(ToLowerAscii(args[0].ToString()));
+      }});
+  AddFunction(ScalarFunction{
+      "str", 1, 1, 1.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        return Value(args[0].ToString());
+      }});
+  AddFunction(ScalarFunction{
+      "isnull", 2, 2, 1.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        return args[0].is_null() ? args[1] : args[0];
+      }});
+}
+
+}  // namespace sqlfacil::engine

@@ -1,0 +1,63 @@
+#ifndef SQLFACIL_ENGINE_CATALOG_H_
+#define SQLFACIL_ENGINE_CATALOG_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlfacil/engine/table.h"
+#include "sqlfacil/engine/value.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::engine {
+
+/// A registered scalar function. `cost_units` is charged per invocation —
+/// this reproduces the Figure 1b pathology where a WHERE-clause function is
+/// invoked once per scanned row.
+struct ScalarFunction {
+  std::string name;  // dotted, lower-case, e.g. "dbo.fphotoflags"
+  int min_args = 0;
+  int max_args = 0;
+  double cost_units = 1.0;
+  std::function<StatusOr<Value>(const std::vector<Value>&)> eval;
+};
+
+/// Holds the tables and scalar functions visible to the executor. Names are
+/// case-insensitive; multi-part table names (server.db.schema.Table) resolve
+/// by their final component, like SDSS CasJobs contexts.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a table; replaces an existing table of the same name.
+  void AddTable(std::shared_ptr<Table> table);
+
+  /// Case-insensitive lookup by simple name. Null when absent.
+  std::shared_ptr<const Table> FindTable(const std::string& name) const;
+
+  /// Registers a scalar function (dotted names allowed).
+  void AddFunction(ScalarFunction fn);
+
+  const ScalarFunction* FindFunction(const std::string& dotted_name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Installs the built-in math/string functions every catalog supports
+  /// (abs, sqrt, power, floor, round, log, exp, len, upper, lower, str,
+  /// sin/cos/radians, isnull, coalesce-2).
+  void RegisterBuiltinFunctions();
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+  std::unordered_map<std::string, ScalarFunction> functions_;
+};
+
+}  // namespace sqlfacil::engine
+
+#endif  // SQLFACIL_ENGINE_CATALOG_H_

@@ -1,0 +1,200 @@
+#include "sqlfacil/engine/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/util/string_util.h"
+
+namespace sqlfacil::engine {
+
+namespace {
+
+using sql::BinaryExpr;
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::SelectQuery;
+
+constexpr double kDefaultSelectivity = 1.0 / 3.0;
+constexpr double kRangeSelectivity = 0.25;
+constexpr double kLikeSelectivity = 0.1;
+constexpr double kScanCostPerRow = 1.0;
+constexpr double kJoinCostPerRow = 1.5;
+constexpr double kSortCostFactor = 0.9;
+constexpr double kOutputCostPerRow = 0.4;
+
+struct TableInfo {
+  std::string alias_lower;
+  std::shared_ptr<const Table> table;  // null for derived tables
+  double rows = 1.0;
+};
+
+void CountConjuncts(const Expr* e, int* eq, int* range, int* like,
+                    int* other) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary) {
+    const auto* b = static_cast<const BinaryExpr*>(e);
+    if (b->op == BinaryOp::kAnd) {
+      CountConjuncts(b->lhs.get(), eq, range, like, other);
+      CountConjuncts(b->rhs.get(), eq, range, like, other);
+      return;
+    }
+    switch (b->op) {
+      case BinaryOp::kEq:
+        ++*eq;
+        return;
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+      case BinaryOp::kNe:
+        ++*range;
+        return;
+      case BinaryOp::kLike:
+        ++*like;
+        return;
+      default:
+        ++*other;
+        return;
+    }
+  }
+  if (e->kind == ExprKind::kBetween) {
+    ++*range;
+    return;
+  }
+  ++*other;
+}
+
+struct Estimator {
+  const Catalog* catalog;
+
+  StatusOr<CostEstimate> Estimate(const SelectQuery& q) {
+    CostEstimate est;
+    std::vector<TableInfo> tables;
+    int num_joins = 0;
+    if (Status s = CollectTables(q, &tables, &num_joins, &est); !s.ok()) {
+      return s;
+    }
+
+    // Base cardinality: product of table sizes.
+    double card = 1.0;
+    double scan_cost = 0.0;
+    double max_table = 1.0;
+    for (const auto& t : tables) {
+      card *= std::max(1.0, t.rows);
+      scan_cost += t.rows * kScanCostPerRow;
+      max_table = std::max(max_table, t.rows);
+    }
+
+    // Selectivities from WHERE conjuncts.
+    int eq = 0, range = 0, like = 0, other = 0;
+    CountConjuncts(q.where.get(), &eq, &range, &like, &other);
+    // ON predicates of explicit joins behave like equality conjuncts.
+    eq += num_joins;
+
+    double selectivity = 1.0;
+    for (int i = 0; i < eq; ++i) {
+      // Equality: 1/distinct, approximated by 1/max(10, sqrt(maxtable)).
+      selectivity /= std::max(10.0, std::sqrt(max_table));
+    }
+    for (int i = 0; i < range; ++i) selectivity *= kRangeSelectivity;
+    for (int i = 0; i < like; ++i) selectivity *= kLikeSelectivity;
+    for (int i = 0; i < other; ++i) selectivity *= kDefaultSelectivity;
+
+    double rows = card * selectivity;
+    if (!q.group_by.empty()) {
+      rows = std::max(1.0, std::sqrt(rows));  // grouping collapses rows
+    } else {
+      bool has_agg = false;
+      for (const auto& item : q.select_items) {
+        if (item.expr->kind == ExprKind::kFuncCall) has_agg = true;
+      }
+      if (has_agg && q.group_by.empty()) rows = std::min(rows, 1.0);
+    }
+    if (q.top_n.has_value()) {
+      rows = std::min(rows, static_cast<double>(*q.top_n));
+    }
+    rows = std::max(rows, 0.0);
+
+    double cost = scan_cost;
+    if (tables.size() > 1) {
+      cost += card * selectivity * kJoinCostPerRow *
+              static_cast<double>(tables.size() - 1);
+    }
+    if (!q.order_by.empty() && rows > 1.0) {
+      cost += kSortCostFactor * rows * std::log2(std::max(2.0, rows));
+    }
+    cost += rows * kOutputCostPerRow;
+
+    est.estimated_rows = rows;
+    est.estimated_cost += cost;
+    return est;
+  }
+
+  Status CollectTables(const SelectQuery& q, std::vector<TableInfo>* tables,
+                       int* num_joins, CostEstimate* est) {
+    for (const auto& ref : q.from) {
+      if (Status s = CollectTableRef(ref.get(), tables, num_joins, est);
+          !s.ok()) {
+        return s;
+      }
+    }
+    if (q.from.size() > 1) {
+      *num_joins += static_cast<int>(q.from.size()) - 1;
+    }
+    return Status::Ok();
+  }
+
+  Status CollectTableRef(const sql::TableRef* ref,
+                         std::vector<TableInfo>* tables, int* num_joins,
+                         CostEstimate* est) {
+    switch (ref->kind) {
+      case sql::TableRefKind::kBaseTable: {
+        const auto* bt = static_cast<const sql::BaseTable*>(ref);
+        auto table = catalog->FindTable(bt->SimpleName());
+        if (table == nullptr) {
+          return Status::NotFound("invalid object name '" + bt->FullName() +
+                                  "'");
+        }
+        TableInfo info;
+        info.table = table;
+        info.rows = static_cast<double>(table->num_rows());
+        tables->push_back(std::move(info));
+        return Status::Ok();
+      }
+      case sql::TableRefKind::kDerivedTable: {
+        const auto* dt = static_cast<const sql::DerivedTable*>(ref);
+        auto sub = Estimate(*dt->subquery);
+        if (!sub.ok()) return sub.status();
+        est->estimated_cost += sub->estimated_cost;
+        TableInfo info;
+        info.rows = sub->estimated_rows;
+        tables->push_back(std::move(info));
+        return Status::Ok();
+      }
+      case sql::TableRefKind::kJoin: {
+        const auto* join = static_cast<const sql::JoinRef*>(ref);
+        ++*num_joins;
+        if (Status s =
+                CollectTableRef(join->left.get(), tables, num_joins, est);
+            !s.ok()) {
+          return s;
+        }
+        return CollectTableRef(join->right.get(), tables, num_joins, est);
+      }
+    }
+    return Status::Internal("unknown table ref kind");
+  }
+};
+
+}  // namespace
+
+StatusOr<CostEstimate> EstimateQuery(const sql::SelectQuery& query,
+                                     const Catalog& catalog) {
+  Estimator estimator{&catalog};
+  return estimator.Estimate(query);
+}
+
+}  // namespace sqlfacil::engine

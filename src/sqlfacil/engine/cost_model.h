@@ -1,0 +1,30 @@
+#ifndef SQLFACIL_ENGINE_COST_MODEL_H_
+#define SQLFACIL_ENGINE_COST_MODEL_H_
+
+#include "sqlfacil/engine/catalog.h"
+#include "sqlfacil/sql/ast.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::engine {
+
+/// Optimizer-style estimates derived from table statistics only (no
+/// execution). These feed the paper's `opt` baseline (Section 6.1), which
+/// fits a linear regression from optimizer cost estimates to CPU time.
+struct CostEstimate {
+  double estimated_rows = 0.0;   // cardinality estimate
+  double estimated_cost = 0.0;   // abstract cost units
+};
+
+/// Classic textbook estimator: per-table cardinalities from row counts,
+/// selectivity of predicates under uniformity/independence assumptions
+/// (equality -> 1/distinct, range -> 1/4, LIKE -> 1/10, fallback 1/3),
+/// join cardinality |L||R|/max(distinct keys), cost = scan + join +
+/// sort + output. The deliberate imprecision of these assumptions is the
+/// point: the paper argues (Sections 1, 6.2.2) that such models are poor
+/// CPU-time predictors compared to learned text models.
+StatusOr<CostEstimate> EstimateQuery(const sql::SelectQuery& query,
+                                     const Catalog& catalog);
+
+}  // namespace sqlfacil::engine
+
+#endif  // SQLFACIL_ENGINE_COST_MODEL_H_

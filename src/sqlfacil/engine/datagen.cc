@@ -1,0 +1,152 @@
+#include "sqlfacil/engine/datagen.h"
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::engine {
+
+ColumnType ColumnGenSpec::Type() const {
+  switch (kind) {
+    case Kind::kSequentialId:
+    case Kind::kUniformInt:
+    case Kind::kZipfInt:
+    case Kind::kBitFlags:
+      return ColumnType::kInt64;
+    case Kind::kNormalDouble:
+    case Kind::kUniformDouble:
+      return ColumnType::kDouble;
+    case Kind::kCategoricalString:
+      return ColumnType::kString;
+  }
+  return ColumnType::kInt64;
+}
+
+ColumnGenSpec ColumnGenSpec::Id(std::string name) {
+  ColumnGenSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kSequentialId;
+  return spec;
+}
+
+ColumnGenSpec ColumnGenSpec::UniformInt(std::string name, int64_t lo,
+                                        int64_t hi) {
+  ColumnGenSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kUniformInt;
+  spec.lo = static_cast<double>(lo);
+  spec.hi = static_cast<double>(hi);
+  return spec;
+}
+
+ColumnGenSpec ColumnGenSpec::ZipfInt(std::string name, int64_t cardinality,
+                                     double skew) {
+  ColumnGenSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kZipfInt;
+  spec.cardinality = cardinality;
+  spec.skew = skew;
+  return spec;
+}
+
+ColumnGenSpec ColumnGenSpec::NormalDouble(std::string name, double mean,
+                                          double stddev) {
+  ColumnGenSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kNormalDouble;
+  spec.mean = mean;
+  spec.stddev = stddev;
+  return spec;
+}
+
+ColumnGenSpec ColumnGenSpec::UniformDouble(std::string name, double lo,
+                                           double hi) {
+  ColumnGenSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kUniformDouble;
+  spec.lo = lo;
+  spec.hi = hi;
+  return spec;
+}
+
+ColumnGenSpec ColumnGenSpec::Categorical(std::string name,
+                                         std::vector<std::string> options,
+                                         std::vector<double> weights) {
+  ColumnGenSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kCategoricalString;
+  spec.options = std::move(options);
+  spec.weights = std::move(weights);
+  return spec;
+}
+
+ColumnGenSpec ColumnGenSpec::BitFlags(std::string name, int64_t bits) {
+  ColumnGenSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kBitFlags;
+  spec.cardinality = bits;
+  return spec;
+}
+
+std::shared_ptr<Table> GenerateTable(const std::string& table_name,
+                                     const std::vector<ColumnGenSpec>& specs,
+                                     size_t num_rows, Rng* rng) {
+  SQLFACIL_CHECK(rng != nullptr);
+  TableSchema schema;
+  schema.name = table_name;
+  for (const auto& spec : specs) {
+    schema.columns.push_back(ColumnDef{spec.name, spec.Type()});
+  }
+  auto table = std::make_shared<Table>(std::move(schema));
+  std::vector<Value> row(specs.size());
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t c = 0; c < specs.size(); ++c) {
+      const ColumnGenSpec& spec = specs[c];
+      switch (spec.kind) {
+        case ColumnGenSpec::Kind::kSequentialId:
+          row[c] = Value(static_cast<int64_t>(r));
+          break;
+        case ColumnGenSpec::Kind::kUniformInt:
+          row[c] = Value(rng->UniformInt(static_cast<int64_t>(spec.lo),
+                                         static_cast<int64_t>(spec.hi)));
+          break;
+        case ColumnGenSpec::Kind::kZipfInt:
+          row[c] = Value(static_cast<int64_t>(
+              rng->Zipf(static_cast<uint64_t>(spec.cardinality), spec.skew)));
+          break;
+        case ColumnGenSpec::Kind::kNormalDouble:
+          row[c] = Value(rng->Normal(spec.mean, spec.stddev));
+          break;
+        case ColumnGenSpec::Kind::kUniformDouble:
+          row[c] = Value(rng->Uniform(spec.lo, spec.hi));
+          break;
+        case ColumnGenSpec::Kind::kCategoricalString: {
+          SQLFACIL_CHECK(!spec.options.empty());
+          size_t idx;
+          if (spec.weights.empty()) {
+            idx = rng->NextUint64(spec.options.size());
+          } else {
+            idx = rng->Categorical(spec.weights);
+          }
+          row[c] = Value(spec.options[idx]);
+          break;
+        }
+        case ColumnGenSpec::Kind::kBitFlags: {
+          int64_t flags = 0;
+          for (int64_t bit = 0; bit < spec.cardinality; ++bit) {
+            if (rng->Bernoulli(0.15)) flags |= (int64_t{1} << bit);
+          }
+          row[c] = Value(flags);
+          break;
+        }
+      }
+    }
+    table->AppendRow(row);
+  }
+  for (const auto& spec : specs) {
+    if (spec.kind == ColumnGenSpec::Kind::kSequentialId) {
+      SQLFACIL_CHECK_OK(table->BuildIndex(spec.name));
+    }
+  }
+  return table;
+}
+
+}  // namespace sqlfacil::engine

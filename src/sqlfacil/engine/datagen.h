@@ -1,0 +1,63 @@
+#ifndef SQLFACIL_ENGINE_DATAGEN_H_
+#define SQLFACIL_ENGINE_DATAGEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/engine/table.h"
+#include "sqlfacil/util/random.h"
+
+namespace sqlfacil::engine {
+
+/// How a synthetic column's values are drawn. Distribution families chosen
+/// to mirror real catalog data: dense ids, skewed categorical codes
+/// (zipfian), physical measurements (normal / uniform doubles).
+struct ColumnGenSpec {
+  enum class Kind {
+    kSequentialId,     // 0, 1, 2, ... (unique; indexable)
+    kUniformInt,       // UniformInt(lo, hi)
+    kZipfInt,          // Zipf rank in [0, cardinality) with skew
+    kNormalDouble,     // Normal(mean, stddev)
+    kUniformDouble,    // Uniform(lo, hi)
+    kCategoricalString,  // weighted choice among options
+    kBitFlags,         // OR of up to `cardinality` random bits (flag masks)
+  };
+
+  std::string name;
+  Kind kind = Kind::kUniformInt;
+  double lo = 0.0;
+  double hi = 1.0;
+  double mean = 0.0;
+  double stddev = 1.0;
+  int64_t cardinality = 16;
+  double skew = 1.0;
+  std::vector<std::string> options;
+  std::vector<double> weights;  // empty = uniform
+
+  ColumnType Type() const;
+
+  // Convenience factories.
+  static ColumnGenSpec Id(std::string name);
+  static ColumnGenSpec UniformInt(std::string name, int64_t lo, int64_t hi);
+  static ColumnGenSpec ZipfInt(std::string name, int64_t cardinality,
+                               double skew);
+  static ColumnGenSpec NormalDouble(std::string name, double mean,
+                                    double stddev);
+  static ColumnGenSpec UniformDouble(std::string name, double lo, double hi);
+  static ColumnGenSpec Categorical(std::string name,
+                                   std::vector<std::string> options,
+                                   std::vector<double> weights = {});
+  static ColumnGenSpec BitFlags(std::string name, int64_t bits);
+};
+
+/// Generates a table of `num_rows` rows named `table_name` from the column
+/// specs, drawing from `rng`. Sequential-id columns automatically receive an
+/// equality index.
+std::shared_ptr<Table> GenerateTable(const std::string& table_name,
+                                     const std::vector<ColumnGenSpec>& specs,
+                                     size_t num_rows, Rng* rng);
+
+}  // namespace sqlfacil::engine
+
+#endif  // SQLFACIL_ENGINE_DATAGEN_H_

@@ -1,0 +1,1466 @@
+#include "sqlfacil/engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/string_util.h"
+
+namespace sqlfacil::engine {
+
+namespace {
+
+// Cost-unit constants. These are the engine's deterministic work accounting;
+// the workload layer maps accumulated units to "CPU seconds".
+constexpr double kScanRowCost = 1.0;
+constexpr double kPredEvalCost = 0.15;
+constexpr double kIndexLookupCost = 8.0;
+constexpr double kHashBuildCost = 1.2;
+constexpr double kHashProbeCost = 0.8;
+constexpr double kEmitRowCost = 0.4;
+constexpr double kSortCostFactor = 0.9;
+constexpr double kOutputValueCost = 0.05;
+
+using sql::BinaryExpr;
+using sql::BinaryOp;
+using sql::CaseExpr;
+using sql::CastExpr;
+using sql::ColumnRefExpr;
+using sql::Expr;
+using sql::ExprKind;
+using sql::FuncCallExpr;
+using sql::InExpr;
+using sql::IsNullExpr;
+using sql::LiteralExpr;
+using sql::SelectQuery;
+using sql::SubqueryExpr;
+using sql::UnaryExpr;
+using sql::UnaryOp;
+
+bool IsAggregateFunction(const std::string& lower) {
+  return lower == "count" || lower == "sum" || lower == "avg" ||
+         lower == "min" || lower == "max" || lower == "count_big" ||
+         lower == "stdev" || lower == "var";
+}
+
+/// Hash/grouping key for a value: numeric values of equal magnitude map to
+/// the same key regardless of int/double representation.
+std::string ValueKey(const Value& v) {
+  if (v.is_null()) return "\x01N";
+  if (v.is_numeric()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "n%.17g", v.ToDouble());
+    return buf;
+  }
+  return "s" + v.AsString();
+}
+
+std::string RowKey(const std::vector<Value>& row) {
+  std::string key;
+  for (const auto& v : row) {
+    key += ValueKey(v);
+    key.push_back('\x02');
+  }
+  return key;
+}
+
+bool ExprContainsAggregate(const Expr* e) {
+  if (e == nullptr) return false;
+  switch (e->kind) {
+    case ExprKind::kFuncCall: {
+      const auto* call = static_cast<const FuncCallExpr*>(e);
+      if (IsAggregateFunction(ToLowerAscii(call->name))) return true;
+      for (const auto& a : call->args) {
+        if (ExprContainsAggregate(a.get())) return true;
+      }
+      return false;
+    }
+    case ExprKind::kUnary:
+      return ExprContainsAggregate(
+          static_cast<const UnaryExpr*>(e)->operand.get());
+    case ExprKind::kBinary: {
+      const auto* b = static_cast<const BinaryExpr*>(e);
+      return ExprContainsAggregate(b->lhs.get()) ||
+             ExprContainsAggregate(b->rhs.get());
+    }
+    case ExprKind::kCast:
+      return ExprContainsAggregate(
+          static_cast<const CastExpr*>(e)->value.get());
+    case ExprKind::kBetween: {
+      const auto* bt = static_cast<const sql::BetweenExpr*>(e);
+      return ExprContainsAggregate(bt->value.get()) ||
+             ExprContainsAggregate(bt->lo.get()) ||
+             ExprContainsAggregate(bt->hi.get());
+    }
+    case ExprKind::kCase: {
+      const auto* c = static_cast<const CaseExpr*>(e);
+      if (ExprContainsAggregate(c->operand.get())) return true;
+      for (const auto& [w, t] : c->when_then) {
+        if (ExprContainsAggregate(w.get()) || ExprContainsAggregate(t.get()))
+          return true;
+      }
+      return ExprContainsAggregate(c->else_expr.get());
+    }
+    default:
+      return false;
+  }
+}
+
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary) {
+    const auto* b = static_cast<const BinaryExpr*>(e);
+    if (b->op == BinaryOp::kAnd) {
+      SplitConjuncts(b->lhs.get(), out);
+      SplitConjuncts(b->rhs.get(), out);
+      return;
+    }
+  }
+  out->push_back(e);
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  const std::string t = ToLowerAscii(text);
+  const std::string p = ToLowerAscii(pattern);
+  // Iterative two-pointer match with backtracking on the last '%'.
+  size_t ti = 0, pi = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (ti < t.size()) {
+    if (pi < p.size() && (p[pi] == '_' || p[pi] == t[ti])) {
+      ++ti;
+      ++pi;
+    } else if (pi < p.size() && p[pi] == '%') {
+      star_p = pi++;
+      star_t = ti;
+    } else if (star_p != std::string::npos) {
+      pi = star_p + 1;
+      ti = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (pi < p.size() && p[pi] == '%') ++pi;
+  return pi == p.size();
+}
+
+// ---------------------------------------------------------------------------
+// Impl
+// ---------------------------------------------------------------------------
+
+class Executor::Impl {
+ public:
+  Impl(const Catalog* catalog, const ExecOptions& options)
+      : catalog_(catalog), options_(options) {}
+
+  StatusOr<Relation> Run(const SelectQuery& query) {
+    auto rel = RunSelect(query);
+    if (!rel.ok()) return rel.status();
+    Relation result = std::move(rel).value();
+    // Set operations.
+    for (const auto& rhs_query : query.set_ops) {
+      auto rhs = RunSelect(*rhs_query);
+      if (!rhs.ok()) return rhs.status();
+      // UNION semantics with dedup require full materialization.
+      if (result.rows.size() < result.total_rows ||
+          rhs->rows.size() < rhs->total_rows) {
+        return Status::ResourceExhausted(
+            "set operation over a result too large to materialize");
+      }
+      std::unordered_set<std::string> seen;
+      for (const auto& row : result.rows) seen.insert(RowKey(row));
+      for (auto& row : rhs->rows) {
+        if (seen.insert(RowKey(row)).second) {
+          result.rows.push_back(std::move(row));
+        }
+      }
+      result.total_rows = result.rows.size();
+    }
+    return result;
+  }
+
+  double cost_units() const { return cost_; }
+
+ private:
+  // One relation bound in a FROM clause: a catalog base table or a
+  // materialized derived table.
+  struct BoundRel {
+    std::shared_ptr<const Table> base;
+    std::shared_ptr<Relation> derived;
+    std::string alias_lower;
+    std::vector<std::string> column_names_lower;
+
+    size_t NumRows() const {
+      return base ? base->num_rows() : derived->rows.size();
+    }
+    size_t NumColumns() const { return column_names_lower.size(); }
+    Value Get(uint32_t row, size_t col) const {
+      return base ? base->GetValue(row, col) : derived->rows[row][col];
+    }
+    int FindColumn(const std::string& lower) const {
+      for (size_t i = 0; i < column_names_lower.size(); ++i) {
+        if (column_names_lower[i] == lower) return static_cast<int>(i);
+      }
+      return -1;
+    }
+  };
+
+  using Tuple = std::vector<uint32_t>;  // one row id per BoundRel
+
+  struct Binding {
+    int rel = -1;
+    int col = -1;
+  };
+
+  // Evaluation context: the bound relations and the current tuple.
+  struct EvalCtx {
+    const std::vector<BoundRel>* rels = nullptr;
+    const Tuple* tuple = nullptr;
+  };
+
+  Status ChargeRows(double n) {
+    row_visits_ += n;
+    if (row_visits_ > options_.row_budget) {
+      return Status::ResourceExhausted("query exceeded its execution budget");
+    }
+    return Status::Ok();
+  }
+
+  // --- FROM binding -------------------------------------------------------
+
+  Status BindTableRef(const sql::TableRef* ref, std::vector<BoundRel>* rels,
+                      std::vector<const Expr*>* join_preds) {
+    switch (ref->kind) {
+      case sql::TableRefKind::kBaseTable: {
+        const auto* bt = static_cast<const sql::BaseTable*>(ref);
+        auto table = catalog_->FindTable(bt->SimpleName());
+        if (table == nullptr) {
+          return Status::NotFound("invalid object name '" + bt->FullName() +
+                                  "'");
+        }
+        BoundRel rel;
+        rel.base = table;
+        rel.alias_lower = ToLowerAscii(
+            bt->alias.empty() ? bt->SimpleName() : bt->alias);
+        for (const auto& col : table->schema().columns) {
+          rel.column_names_lower.push_back(ToLowerAscii(col.name));
+        }
+        rels->push_back(std::move(rel));
+        return Status::Ok();
+      }
+      case sql::TableRefKind::kDerivedTable: {
+        const auto* dt = static_cast<const sql::DerivedTable*>(ref);
+        auto sub = RunSelectCached(dt->subquery.get());
+        if (!sub.ok()) return sub.status();
+        const auto& relation = *sub;
+        if (relation->rows.size() < relation->total_rows) {
+          return Status::ResourceExhausted(
+              "derived table too large to materialize");
+        }
+        BoundRel rel;
+        rel.derived = *sub;
+        rel.alias_lower = ToLowerAscii(dt->alias);
+        for (const auto& name : relation->column_names) {
+          rel.column_names_lower.push_back(ToLowerAscii(name));
+        }
+        rels->push_back(std::move(rel));
+        return Status::Ok();
+      }
+      case sql::TableRefKind::kJoin: {
+        const auto* join = static_cast<const sql::JoinRef*>(ref);
+        // Outer joins run with inner-join semantics (documented
+        // simplification; row counts differ only for unmatched rows).
+        if (Status s = BindTableRef(join->left.get(), rels, join_preds);
+            !s.ok()) {
+          return s;
+        }
+        if (Status s = BindTableRef(join->right.get(), rels, join_preds);
+            !s.ok()) {
+          return s;
+        }
+        if (join->on != nullptr) join_preds->push_back(join->on.get());
+        return Status::Ok();
+      }
+    }
+    return Status::Internal("unknown table ref kind");
+  }
+
+  // --- Column resolution ---------------------------------------------------
+
+  StatusOr<Binding> ResolveColumn(const ColumnRefExpr* col,
+                                  const std::vector<BoundRel>& rels) {
+    auto it = binding_cache_.find(col);
+    if (it != binding_cache_.end() && it->second.generation == generation_) {
+      return it->second.binding;
+    }
+    const std::string name = ToLowerAscii(col->column);
+    const std::string qual = ToLowerAscii(col->qualifier);
+    Binding binding;
+    for (size_t r = 0; r < rels.size(); ++r) {
+      if (!qual.empty() && rels[r].alias_lower != qual) continue;
+      const int c = rels[r].FindColumn(name);
+      if (c >= 0) {
+        binding.rel = static_cast<int>(r);
+        binding.col = c;
+        break;
+      }
+    }
+    if (binding.rel < 0) {
+      return Status::NotFound("invalid column name '" +
+                              (col->qualifier.empty()
+                                   ? col->column
+                                   : col->qualifier + "." + col->column) +
+                              "'");
+    }
+    binding_cache_[col] = CachedBinding{generation_, binding};
+    return binding;
+  }
+
+  // Which relations an expression touches (for predicate classification).
+  Status CollectRels(const Expr* e, const std::vector<BoundRel>& rels,
+                     std::unordered_set<int>* out) {
+    if (e == nullptr) return Status::Ok();
+    switch (e->kind) {
+      case ExprKind::kColumnRef: {
+        auto binding =
+            ResolveColumn(static_cast<const ColumnRefExpr*>(e), rels);
+        if (!binding.ok()) return binding.status();
+        out->insert(binding->rel);
+        return Status::Ok();
+      }
+      case ExprKind::kLiteral:
+      case ExprKind::kStar:
+      case ExprKind::kSubquery:  // uncorrelated: no outer rels
+        return Status::Ok();
+      case ExprKind::kFuncCall: {
+        const auto* call = static_cast<const FuncCallExpr*>(e);
+        for (const auto& a : call->args) {
+          if (Status s = CollectRels(a.get(), rels, out); !s.ok()) return s;
+        }
+        return Status::Ok();
+      }
+      case ExprKind::kUnary:
+        return CollectRels(static_cast<const UnaryExpr*>(e)->operand.get(),
+                           rels, out);
+      case ExprKind::kBinary: {
+        const auto* b = static_cast<const BinaryExpr*>(e);
+        if (Status s = CollectRels(b->lhs.get(), rels, out); !s.ok()) return s;
+        return CollectRels(b->rhs.get(), rels, out);
+      }
+      case ExprKind::kBetween: {
+        const auto* bt = static_cast<const sql::BetweenExpr*>(e);
+        for (const Expr* sub :
+             {bt->value.get(), bt->lo.get(), bt->hi.get()}) {
+          if (Status s = CollectRels(sub, rels, out); !s.ok()) return s;
+        }
+        return Status::Ok();
+      }
+      case ExprKind::kIn: {
+        const auto* in = static_cast<const InExpr*>(e);
+        if (Status s = CollectRels(in->value.get(), rels, out); !s.ok()) {
+          return s;
+        }
+        for (const auto& item : in->list) {
+          if (Status s = CollectRels(item.get(), rels, out); !s.ok()) return s;
+        }
+        return Status::Ok();
+      }
+      case ExprKind::kIsNull:
+        return CollectRels(static_cast<const IsNullExpr*>(e)->value.get(),
+                           rels, out);
+      case ExprKind::kCast:
+        return CollectRels(static_cast<const CastExpr*>(e)->value.get(), rels,
+                           out);
+      case ExprKind::kCase: {
+        const auto* c = static_cast<const CaseExpr*>(e);
+        if (Status s = CollectRels(c->operand.get(), rels, out); !s.ok()) {
+          return s;
+        }
+        for (const auto& [w, t] : c->when_then) {
+          if (Status s = CollectRels(w.get(), rels, out); !s.ok()) return s;
+          if (Status s = CollectRels(t.get(), rels, out); !s.ok()) return s;
+        }
+        return CollectRels(c->else_expr.get(), rels, out);
+      }
+    }
+    return Status::Ok();
+  }
+
+  // --- Scalar evaluation ---------------------------------------------------
+
+  StatusOr<Value> Eval(const Expr* e, const EvalCtx& ctx) {
+    switch (e->kind) {
+      case ExprKind::kLiteral: {
+        const auto* lit = static_cast<const LiteralExpr*>(e);
+        switch (lit->type) {
+          case sql::LiteralType::kInt:
+            return Value(lit->int_value);
+          case sql::LiteralType::kDouble:
+            return Value(lit->double_value);
+          case sql::LiteralType::kString:
+            return Value(lit->string_value);
+          case sql::LiteralType::kNull:
+            return Value::Null();
+        }
+        return Value::Null();
+      }
+      case ExprKind::kColumnRef: {
+        const auto* col = static_cast<const ColumnRefExpr*>(e);
+        if (ctx.rels == nullptr || ctx.tuple == nullptr) {
+          return Status::NotFound("column reference outside a row context");
+        }
+        auto binding = ResolveColumn(col, *ctx.rels);
+        if (!binding.ok()) return binding.status();
+        return (*ctx.rels)[binding->rel].Get((*ctx.tuple)[binding->rel],
+                                             binding->col);
+      }
+      case ExprKind::kStar:
+        return Status::ExecutionError("'*' is not valid in this context");
+      case ExprKind::kFuncCall:
+        return EvalFunction(static_cast<const FuncCallExpr*>(e), ctx);
+      case ExprKind::kUnary: {
+        const auto* u = static_cast<const UnaryExpr*>(e);
+        auto v = Eval(u->operand.get(), ctx);
+        if (!v.ok()) return v;
+        switch (u->op) {
+          case UnaryOp::kNot:
+            return Value::Bool(!v->IsTruthy());
+          case UnaryOp::kNeg:
+            if (v->is_null()) return Value::Null();
+            if (v->is_int()) return Value(-v->AsInt());
+            if (v->is_double()) return Value(-v->AsDoubleExact());
+            return Status::ExecutionError("cannot negate a string");
+          case UnaryOp::kBitNot:
+            if (v->is_null()) return Value::Null();
+            if (!v->is_int()) {
+              return Status::ExecutionError("'~' requires an integer");
+            }
+            return Value(~v->AsInt());
+        }
+        return Status::Internal("unknown unary op");
+      }
+      case ExprKind::kBinary:
+        return EvalBinary(static_cast<const BinaryExpr*>(e), ctx);
+      case ExprKind::kBetween: {
+        const auto* bt = static_cast<const sql::BetweenExpr*>(e);
+        auto v = Eval(bt->value.get(), ctx);
+        if (!v.ok()) return v;
+        auto lo = Eval(bt->lo.get(), ctx);
+        if (!lo.ok()) return lo;
+        auto hi = Eval(bt->hi.get(), ctx);
+        if (!hi.ok()) return hi;
+        if (v->is_null() || lo->is_null() || hi->is_null()) {
+          return Value::Bool(false);
+        }
+        auto cmp_ok = [&](const Value& a, const Value& b) -> StatusOr<int> {
+          if (a.is_numeric() != b.is_numeric()) {
+            return Status::ExecutionError(
+                "type mismatch in BETWEEN comparison");
+          }
+          return a.Compare(b);
+        };
+        auto c1 = cmp_ok(*v, *lo);
+        if (!c1.ok()) return c1.status();
+        auto c2 = cmp_ok(*v, *hi);
+        if (!c2.ok()) return c2.status();
+        const bool inside = *c1 >= 0 && *c2 <= 0;
+        return Value::Bool(bt->negated ? !inside : inside);
+      }
+      case ExprKind::kIn: {
+        const auto* in = static_cast<const InExpr*>(e);
+        auto v = Eval(in->value.get(), ctx);
+        if (!v.ok()) return v;
+        bool found = false;
+        if (in->subquery != nullptr) {
+          auto set = SubqueryValueSet(in->subquery.get());
+          if (!set.ok()) return set.status();
+          found = !v->is_null() && (*set)->count(ValueKey(*v)) > 0;
+        } else {
+          for (const auto& item : in->list) {
+            auto iv = Eval(item.get(), ctx);
+            if (!iv.ok()) return iv;
+            if (v->EqualsValue(*iv)) {
+              found = true;
+              break;
+            }
+          }
+        }
+        return Value::Bool(in->negated ? !found : found);
+      }
+      case ExprKind::kIsNull: {
+        const auto* isn = static_cast<const IsNullExpr*>(e);
+        auto v = Eval(isn->value.get(), ctx);
+        if (!v.ok()) return v;
+        const bool is_null = v->is_null();
+        return Value::Bool(isn->negated ? !is_null : is_null);
+      }
+      case ExprKind::kSubquery: {
+        const auto* sub = static_cast<const SubqueryExpr*>(e);
+        auto rel = RunSelectCached(sub->subquery.get());
+        if (!rel.ok()) return rel.status();
+        const Relation& r = **rel;
+        if (r.total_rows == 0) return Value::Null();
+        if (r.total_rows > 1) {
+          return Status::ExecutionError(
+              "scalar subquery returned more than one row");
+        }
+        if (r.rows.empty() || r.rows[0].empty()) {
+          return Status::ExecutionError("scalar subquery yielded no value");
+        }
+        return r.rows[0][0];
+      }
+      case ExprKind::kCast: {
+        const auto* cast = static_cast<const CastExpr*>(e);
+        auto v = Eval(cast->value.get(), ctx);
+        if (!v.ok()) return v;
+        return EvalCast(*v, cast->type_name);
+      }
+      case ExprKind::kCase: {
+        const auto* c = static_cast<const CaseExpr*>(e);
+        Value operand;
+        const bool has_operand = c->operand != nullptr;
+        if (has_operand) {
+          auto v = Eval(c->operand.get(), ctx);
+          if (!v.ok()) return v;
+          operand = *v;
+        }
+        for (const auto& [when, then] : c->when_then) {
+          auto w = Eval(when.get(), ctx);
+          if (!w.ok()) return w;
+          const bool hit =
+              has_operand ? operand.EqualsValue(*w) : w->IsTruthy();
+          if (hit) return Eval(then.get(), ctx);
+        }
+        if (c->else_expr != nullptr) return Eval(c->else_expr.get(), ctx);
+        return Value::Null();
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  StatusOr<Value> EvalCast(const Value& v, const std::string& type_lower) {
+    if (v.is_null()) return Value::Null();
+    if (type_lower == "int" || type_lower == "bigint" ||
+        type_lower == "smallint" || type_lower == "tinyint") {
+      if (v.is_numeric()) return Value(static_cast<int64_t>(v.ToDouble()));
+      char* end = nullptr;
+      const int64_t parsed = std::strtoll(v.AsString().c_str(), &end, 10);
+      if (end == v.AsString().c_str()) {
+        return Status::ExecutionError("cannot cast '" + v.AsString() +
+                                      "' to int");
+      }
+      return Value(parsed);
+    }
+    if (type_lower == "float" || type_lower == "real" ||
+        type_lower == "decimal" || type_lower == "numeric" ||
+        type_lower == "double") {
+      if (v.is_numeric()) return Value(v.ToDouble());
+      char* end = nullptr;
+      const double parsed = std::strtod(v.AsString().c_str(), &end);
+      if (end == v.AsString().c_str()) {
+        return Status::ExecutionError("cannot cast '" + v.AsString() +
+                                      "' to float");
+      }
+      return Value(parsed);
+    }
+    // varchar / char / nvarchar / text / anything else: stringify.
+    return Value(v.ToString());
+  }
+
+  StatusOr<Value> EvalFunction(const FuncCallExpr* call, const EvalCtx& ctx) {
+    const std::string lower = ToLowerAscii(call->name);
+    if (IsAggregateFunction(lower)) {
+      return Status::ExecutionError("aggregate '" + call->name +
+                                    "' is not valid in this context");
+    }
+    if (lower == "exists") {
+      SQLFACIL_CHECK(call->args.size() == 1);
+      const auto* sub = static_cast<const SubqueryExpr*>(call->args[0].get());
+      auto rel = RunSelectCached(sub->subquery.get());
+      if (!rel.ok()) return rel.status();
+      return Value::Bool((*rel)->total_rows > 0);
+    }
+    const ScalarFunction* fn = catalog_->FindFunction(call->name);
+    if (fn == nullptr) {
+      return Status::NotFound("unknown function '" + call->name + "'");
+    }
+    const int argc = static_cast<int>(call->args.size());
+    if (argc < fn->min_args || argc > fn->max_args) {
+      return Status::ExecutionError("wrong number of arguments to '" +
+                                    call->name + "'");
+    }
+    std::vector<Value> args;
+    args.reserve(call->args.size());
+    for (const auto& a : call->args) {
+      auto v = Eval(a.get(), ctx);
+      if (!v.ok()) return v;
+      args.push_back(std::move(v).value());
+    }
+    cost_ += fn->cost_units;  // charged per invocation (Figure 1b)
+    return fn->eval(args);
+  }
+
+  StatusOr<Value> EvalBinary(const BinaryExpr* b, const EvalCtx& ctx) {
+    // AND/OR short-circuit on truthiness.
+    if (b->op == BinaryOp::kAnd || b->op == BinaryOp::kOr) {
+      auto lhs = Eval(b->lhs.get(), ctx);
+      if (!lhs.ok()) return lhs;
+      const bool l = lhs->IsTruthy();
+      if (b->op == BinaryOp::kAnd && !l) return Value::Bool(false);
+      if (b->op == BinaryOp::kOr && l) return Value::Bool(true);
+      auto rhs = Eval(b->rhs.get(), ctx);
+      if (!rhs.ok()) return rhs;
+      return Value::Bool(rhs->IsTruthy());
+    }
+    auto lhs = Eval(b->lhs.get(), ctx);
+    if (!lhs.ok()) return lhs;
+    auto rhs = Eval(b->rhs.get(), ctx);
+    if (!rhs.ok()) return rhs;
+    const Value& l = *lhs;
+    const Value& r = *rhs;
+    switch (b->op) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        if (l.is_null() || r.is_null()) return Value::Bool(false);
+        if (l.is_numeric() != r.is_numeric()) {
+          return Status::ExecutionError("type clash in comparison");
+        }
+        const int c = l.Compare(r);
+        switch (b->op) {
+          case BinaryOp::kEq:
+            return Value::Bool(c == 0);
+          case BinaryOp::kNe:
+            return Value::Bool(c != 0);
+          case BinaryOp::kLt:
+            return Value::Bool(c < 0);
+          case BinaryOp::kLe:
+            return Value::Bool(c <= 0);
+          case BinaryOp::kGt:
+            return Value::Bool(c > 0);
+          default:
+            return Value::Bool(c >= 0);
+        }
+      }
+      case BinaryOp::kLike: {
+        if (l.is_null() || r.is_null()) return Value::Bool(false);
+        if (!l.is_string() || !r.is_string()) {
+          return Status::ExecutionError("LIKE requires string operands");
+        }
+        return Value::Bool(LikeMatch(l.AsString(), r.AsString()));
+      }
+      case BinaryOp::kAdd:
+        if (l.is_string() && r.is_string()) {
+          return Value(l.AsString() + r.AsString());
+        }
+        [[fallthrough]];
+      case BinaryOp::kSub:
+      case BinaryOp::kMul: {
+        if (l.is_null() || r.is_null()) return Value::Null();
+        if (!l.is_numeric() || !r.is_numeric()) {
+          return Status::ExecutionError("type clash in arithmetic");
+        }
+        if (l.is_int() && r.is_int()) {
+          const int64_t a = l.AsInt(), c = r.AsInt();
+          switch (b->op) {
+            case BinaryOp::kAdd:
+              return Value(a + c);
+            case BinaryOp::kSub:
+              return Value(a - c);
+            default:
+              return Value(a * c);
+          }
+        }
+        const double a = l.ToDouble(), c = r.ToDouble();
+        switch (b->op) {
+          case BinaryOp::kAdd:
+            return Value(a + c);
+          case BinaryOp::kSub:
+            return Value(a - c);
+          default:
+            return Value(a * c);
+        }
+      }
+      case BinaryOp::kDiv: {
+        if (l.is_null() || r.is_null()) return Value::Null();
+        if (!l.is_numeric() || !r.is_numeric()) {
+          return Status::ExecutionError("type clash in division");
+        }
+        if (r.ToDouble() == 0.0) {
+          return Status::ExecutionError("divide by zero");
+        }
+        return Value(l.ToDouble() / r.ToDouble());
+      }
+      case BinaryOp::kMod: {
+        if (l.is_null() || r.is_null()) return Value::Null();
+        if (!l.is_int() || !r.is_int()) {
+          return Status::ExecutionError("'%' requires integer operands");
+        }
+        if (r.AsInt() == 0) return Status::ExecutionError("modulo by zero");
+        return Value(l.AsInt() % r.AsInt());
+      }
+      case BinaryOp::kBitAnd:
+      case BinaryOp::kBitOr:
+      case BinaryOp::kBitXor: {
+        if (l.is_null() || r.is_null()) return Value::Null();
+        if (!l.is_int() || !r.is_int()) {
+          return Status::ExecutionError("bitwise op requires integers");
+        }
+        switch (b->op) {
+          case BinaryOp::kBitAnd:
+            return Value(l.AsInt() & r.AsInt());
+          case BinaryOp::kBitOr:
+            return Value(l.AsInt() | r.AsInt());
+          default:
+            return Value(l.AsInt() ^ r.AsInt());
+        }
+      }
+      case BinaryOp::kConcat: {
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return Value(l.ToString() + r.ToString());
+      }
+      default:
+        return Status::Internal("unexpected binary op");
+    }
+  }
+
+  // --- Aggregate evaluation ------------------------------------------------
+
+  // Evaluates an expression over a group of tuples: aggregate calls reduce
+  // over the group, everything else evaluates on the group's first tuple.
+  StatusOr<Value> EvalAggregate(const Expr* e,
+                                const std::vector<BoundRel>& rels,
+                                const std::vector<Tuple>& group) {
+    if (e->kind == ExprKind::kFuncCall) {
+      const auto* call = static_cast<const FuncCallExpr*>(e);
+      const std::string lower = ToLowerAscii(call->name);
+      if (IsAggregateFunction(lower)) {
+        return ComputeAggregate(lower, call, rels, group);
+      }
+    }
+    switch (e->kind) {
+      case ExprKind::kBinary: {
+        // Rebuild binary node value from recursively aggregated children.
+        const auto* b = static_cast<const BinaryExpr*>(e);
+        if (ExprContainsAggregate(e)) {
+          auto lhs = EvalAggregate(b->lhs.get(), rels, group);
+          if (!lhs.ok()) return lhs;
+          auto rhs = EvalAggregate(b->rhs.get(), rels, group);
+          if (!rhs.ok()) return rhs;
+          return CombineBinary(b->op, *lhs, *rhs);
+        }
+        break;
+      }
+      case ExprKind::kUnary: {
+        const auto* u = static_cast<const UnaryExpr*>(e);
+        if (ExprContainsAggregate(e)) {
+          auto v = EvalAggregate(u->operand.get(), rels, group);
+          if (!v.ok()) return v;
+          if (u->op == UnaryOp::kNeg && v->is_numeric()) {
+            return v->is_int() ? Value(-v->AsInt()) : Value(-v->ToDouble());
+          }
+          return Value::Bool(!v->IsTruthy());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    // Non-aggregate: evaluate on a representative tuple.
+    if (group.empty()) return Value::Null();
+    EvalCtx ctx{&rels, &group[0]};
+    return Eval(e, ctx);
+  }
+
+  StatusOr<Value> CombineBinary(BinaryOp op, const Value& l, const Value& r) {
+    // Reuses EvalBinary by wrapping values in literal nodes would be
+    // clumsy; implement the numeric combinations used with aggregates.
+    BinaryExpr tmp;
+    tmp.op = op;
+    auto make_literal = [](const Value& v) {
+      auto lit = std::make_unique<LiteralExpr>();
+      if (v.is_null()) {
+        lit->type = sql::LiteralType::kNull;
+      } else if (v.is_int()) {
+        lit->type = sql::LiteralType::kInt;
+        lit->int_value = v.AsInt();
+      } else if (v.is_double()) {
+        lit->type = sql::LiteralType::kDouble;
+        lit->double_value = v.AsDoubleExact();
+      } else {
+        lit->type = sql::LiteralType::kString;
+        lit->string_value = v.AsString();
+      }
+      return lit;
+    };
+    tmp.lhs = make_literal(l);
+    tmp.rhs = make_literal(r);
+    EvalCtx empty_ctx;
+    return EvalBinary(&tmp, empty_ctx);
+  }
+
+  StatusOr<Value> ComputeAggregate(const std::string& name,
+                                   const FuncCallExpr* call,
+                                   const std::vector<BoundRel>& rels,
+                                   const std::vector<Tuple>& group) {
+    if (name == "count" || name == "count_big") {
+      if (call->star_arg || call->args.empty()) {
+        return Value(static_cast<int64_t>(group.size()));
+      }
+      int64_t count = 0;
+      std::unordered_set<std::string> distinct;
+      for (const Tuple& t : group) {
+        EvalCtx ctx{&rels, &t};
+        auto v = Eval(call->args[0].get(), ctx);
+        if (!v.ok()) return v;
+        if (v->is_null()) continue;
+        if (call->distinct) {
+          distinct.insert(ValueKey(*v));
+        } else {
+          ++count;
+        }
+      }
+      return Value(call->distinct ? static_cast<int64_t>(distinct.size())
+                                  : count);
+    }
+    if (call->args.empty()) {
+      return Status::ExecutionError("aggregate '" + name +
+                                    "' requires an argument");
+    }
+    bool any = false;
+    double sum = 0.0, sum_sq = 0.0;
+    size_t n = 0;
+    Value best;
+    for (const Tuple& t : group) {
+      EvalCtx ctx{&rels, &t};
+      auto v = Eval(call->args[0].get(), ctx);
+      if (!v.ok()) return v;
+      if (v->is_null()) continue;
+      if (name == "min" || name == "max") {
+        if (!any || (name == "min" ? v->Compare(best) < 0
+                                   : v->Compare(best) > 0)) {
+          best = *v;
+        }
+        any = true;
+        continue;
+      }
+      if (!v->is_numeric()) {
+        return Status::ExecutionError("aggregate '" + name +
+                                      "' requires numeric input");
+      }
+      sum += v->ToDouble();
+      sum_sq += v->ToDouble() * v->ToDouble();
+      ++n;
+      any = true;
+    }
+    if (!any) return Value::Null();
+    if (name == "min" || name == "max") return best;
+    if (name == "sum") return Value(sum);
+    if (name == "avg") return Value(sum / static_cast<double>(n));
+    // stdev / var (sample variance; SQL Server semantics need n > 1).
+    if (n < 2) return Value::Null();
+    const double mean = sum / static_cast<double>(n);
+    const double var =
+        (sum_sq - static_cast<double>(n) * mean * mean) /
+        static_cast<double>(n - 1);
+    if (name == "var") return Value(var);
+    return Value(std::sqrt(std::max(0.0, var)));
+  }
+
+  // --- Subquery caching ----------------------------------------------------
+
+  StatusOr<std::shared_ptr<Relation>> RunSelectCached(const SelectQuery* q) {
+    auto it = subquery_cache_.find(q);
+    if (it != subquery_cache_.end()) return it->second;
+    auto rel = RunSelect(*q);
+    if (!rel.ok()) return rel.status();
+    auto shared = std::make_shared<Relation>(std::move(rel).value());
+    subquery_cache_[q] = shared;
+    return shared;
+  }
+
+  StatusOr<std::shared_ptr<std::unordered_set<std::string>>> SubqueryValueSet(
+      const SelectQuery* q) {
+    auto it = in_set_cache_.find(q);
+    if (it != in_set_cache_.end()) return it->second;
+    auto rel = RunSelectCached(q);
+    if (!rel.ok()) return rel.status();
+    if ((*rel)->rows.size() < (*rel)->total_rows) {
+      return Status::ResourceExhausted("IN subquery result too large");
+    }
+    auto set = std::make_shared<std::unordered_set<std::string>>();
+    for (const auto& row : (*rel)->rows) {
+      if (!row.empty()) set->insert(ValueKey(row[0]));
+    }
+    in_set_cache_[q] = set;
+    return set;
+  }
+
+  // --- Main pipeline -------------------------------------------------------
+
+  StatusOr<Relation> RunSelect(const SelectQuery& query);
+
+  Status FilterRelation(const std::vector<BoundRel>& rels, size_t rel_idx,
+                        const std::vector<const Expr*>& preds,
+                        std::vector<uint32_t>* out);
+
+  const Catalog* catalog_;
+  ExecOptions options_;
+  double cost_ = 0.0;
+  double row_visits_ = 0.0;
+
+  struct CachedBinding {
+    uint64_t generation = 0;
+    Binding binding;
+  };
+  // Binding cache is invalidated whenever a new scope is entered (each
+  // RunSelect bumps the generation).
+  std::unordered_map<const Expr*, CachedBinding> binding_cache_;
+  uint64_t generation_ = 0;
+
+  std::unordered_map<const SelectQuery*, std::shared_ptr<Relation>>
+      subquery_cache_;
+  std::unordered_map<const SelectQuery*,
+                     std::shared_ptr<std::unordered_set<std::string>>>
+      in_set_cache_;
+};
+
+Status Executor::Impl::FilterRelation(const std::vector<BoundRel>& rels,
+                                      size_t rel_idx,
+                                      const std::vector<const Expr*>& preds,
+                                      std::vector<uint32_t>* out) {
+  const BoundRel& rel = rels[rel_idx];
+  const size_t n = rel.NumRows();
+
+  // Index fast path: an equality between an indexed base-table int column
+  // and a literal.
+  if (rel.base != nullptr) {
+    for (const Expr* pred : preds) {
+      if (pred->kind != ExprKind::kBinary) continue;
+      const auto* b = static_cast<const BinaryExpr*>(pred);
+      if (b->op != BinaryOp::kEq) continue;
+      const Expr* col_side = nullptr;
+      const Expr* lit_side = nullptr;
+      if (b->lhs->kind == ExprKind::kColumnRef &&
+          b->rhs->kind == ExprKind::kLiteral) {
+        col_side = b->lhs.get();
+        lit_side = b->rhs.get();
+      } else if (b->rhs->kind == ExprKind::kColumnRef &&
+                 b->lhs->kind == ExprKind::kLiteral) {
+        col_side = b->rhs.get();
+        lit_side = b->lhs.get();
+      } else {
+        continue;
+      }
+      auto binding =
+          ResolveColumn(static_cast<const ColumnRefExpr*>(col_side), rels);
+      if (!binding.ok()) return binding.status();
+      if (binding->rel != static_cast<int>(rel_idx)) continue;
+      if (!rel.base->HasIndex(binding->col)) continue;
+      const auto* lit = static_cast<const LiteralExpr*>(lit_side);
+      if (lit->type != sql::LiteralType::kInt) continue;
+      cost_ += kIndexLookupCost;
+      const auto& hits = rel.base->IndexLookup(binding->col, lit->int_value);
+      if (Status s = ChargeRows(static_cast<double>(hits.size())); !s.ok()) {
+        return s;
+      }
+      // Apply the remaining predicates to the index hits.
+      Tuple tuple(rels.size(), 0);
+      for (uint32_t row : hits) {
+        tuple[rel_idx] = row;
+        EvalCtx ctx{&rels, &tuple};
+        bool pass = true;
+        for (const Expr* other : preds) {
+          cost_ += kPredEvalCost;
+          auto v = Eval(other, ctx);
+          if (!v.ok()) return v.status();
+          if (!v->IsTruthy()) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out->push_back(row);
+      }
+      return Status::Ok();
+    }
+  }
+
+  // Full scan.
+  if (Status s = ChargeRows(static_cast<double>(n)); !s.ok()) return s;
+  cost_ += static_cast<double>(n) * kScanRowCost;
+  Tuple tuple(rels.size(), 0);
+  for (size_t row = 0; row < n; ++row) {
+    tuple[rel_idx] = static_cast<uint32_t>(row);
+    EvalCtx ctx{&rels, &tuple};
+    bool pass = true;
+    for (const Expr* pred : preds) {
+      cost_ += kPredEvalCost;
+      auto v = Eval(pred, ctx);
+      if (!v.ok()) return v.status();
+      if (!v->IsTruthy()) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out->push_back(static_cast<uint32_t>(row));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Relation> Executor::Impl::RunSelect(const SelectQuery& query) {
+  ++generation_;
+
+  // 1. Bind FROM items; collect ON predicates.
+  std::vector<BoundRel> rels;
+  std::vector<const Expr*> raw_preds;
+  for (const auto& ref : query.from) {
+    if (Status s = BindTableRef(ref.get(), &rels, &raw_preds); !s.ok()) {
+      return s;
+    }
+  }
+  ++generation_;  // bindings resolved against the final rel list only
+
+  // 2. Split WHERE into conjuncts and classify all predicates.
+  std::vector<const Expr*> conjuncts;
+  for (const Expr* on : raw_preds) SplitConjuncts(on, &conjuncts);
+  SplitConjuncts(query.where.get(), &conjuncts);
+
+  std::vector<std::vector<const Expr*>> single_preds(rels.size());
+  struct EquiJoin {
+    const Expr* lhs;
+    const Expr* rhs;
+    int a, b;  // relation indices of lhs and rhs
+  };
+  std::vector<EquiJoin> equi_joins;
+  std::vector<std::pair<std::unordered_set<int>, const Expr*>> residual;
+
+  for (const Expr* pred : conjuncts) {
+    std::unordered_set<int> touched;
+    if (Status s = CollectRels(pred, rels, &touched); !s.ok()) return s;
+    if (touched.empty()) {
+      // Constant predicate: evaluate once.
+      EvalCtx ctx;
+      Tuple empty_tuple(rels.size(), 0);
+      if (!rels.empty()) {
+        // Needs a tuple only if it references columns, which it doesn't.
+      }
+      ctx.rels = &rels;
+      ctx.tuple = &empty_tuple;
+      cost_ += kPredEvalCost;
+      auto v = Eval(pred, ctx);
+      if (!v.ok()) return v.status();
+      if (!v->IsTruthy()) {
+        Relation empty;
+        for (size_t i = 0; i < query.select_items.size(); ++i) {
+          empty.column_names.push_back("col" + std::to_string(i));
+        }
+        return empty;
+      }
+      continue;
+    }
+    if (touched.size() == 1) {
+      single_preds[*touched.begin()].push_back(pred);
+      continue;
+    }
+    if (touched.size() == 2 && pred->kind == ExprKind::kBinary) {
+      const auto* b = static_cast<const BinaryExpr*>(pred);
+      if (b->op == BinaryOp::kEq &&
+          b->lhs->kind == ExprKind::kColumnRef &&
+          b->rhs->kind == ExprKind::kColumnRef) {
+        auto ba = ResolveColumn(
+            static_cast<const ColumnRefExpr*>(b->lhs.get()), rels);
+        auto bb = ResolveColumn(
+            static_cast<const ColumnRefExpr*>(b->rhs.get()), rels);
+        if (!ba.ok()) return ba.status();
+        if (!bb.ok()) return bb.status();
+        equi_joins.push_back(
+            EquiJoin{b->lhs.get(), b->rhs.get(), ba->rel, bb->rel});
+        continue;
+      }
+    }
+    residual.emplace_back(std::move(touched), pred);
+  }
+
+  // 3. Filter each relation with its single-table predicates.
+  std::vector<std::vector<uint32_t>> candidates(rels.size());
+  for (size_t r = 0; r < rels.size(); ++r) {
+    if (Status s = FilterRelation(rels, r, single_preds[r], &candidates[r]);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  // 4. Join. Tuples carry one row id per relation.
+  std::vector<Tuple> tuples;
+  std::vector<bool> joined(rels.size(), false);
+  std::vector<bool> equi_used(equi_joins.size(), false);
+
+  if (rels.empty()) {
+    tuples.push_back(Tuple{});
+  } else {
+    // Seed with the smallest filtered relation.
+    size_t seed = 0;
+    for (size_t r = 1; r < rels.size(); ++r) {
+      if (candidates[r].size() < candidates[seed].size()) seed = r;
+    }
+    joined[seed] = true;
+    tuples.reserve(candidates[seed].size());
+    for (uint32_t row : candidates[seed]) {
+      Tuple t(rels.size(), 0);
+      t[seed] = row;
+      tuples.push_back(std::move(t));
+    }
+
+    size_t num_joined = 1;
+    while (num_joined < rels.size()) {
+      // Prefer a relation connected via an unused equi-join predicate.
+      int next = -1;
+      int via_join = -1;
+      for (size_t j = 0; j < equi_joins.size(); ++j) {
+        if (equi_used[j]) continue;
+        const auto& ej = equi_joins[j];
+        if (joined[ej.a] != joined[ej.b]) {
+          next = joined[ej.a] ? ej.b : ej.a;
+          via_join = static_cast<int>(j);
+          break;
+        }
+      }
+      if (next < 0) {
+        for (size_t r = 0; r < rels.size(); ++r) {
+          if (!joined[r]) {
+            next = static_cast<int>(r);
+            break;
+          }
+        }
+      }
+
+      std::vector<Tuple> next_tuples;
+      if (via_join >= 0) {
+        // Hash join: build on the new relation's candidates.
+        const auto& ej = equi_joins[via_join];
+        equi_used[via_join] = true;
+        const Expr* new_side = (ej.a == next) ? ej.lhs : ej.rhs;
+        const Expr* old_side = (ej.a == next) ? ej.rhs : ej.lhs;
+        std::unordered_map<std::string, std::vector<uint32_t>> hash;
+        cost_ += static_cast<double>(candidates[next].size()) *
+                 kHashBuildCost;
+        if (Status s =
+                ChargeRows(static_cast<double>(candidates[next].size()));
+            !s.ok()) {
+          return s;
+        }
+        for (uint32_t row : candidates[next]) {
+          Tuple t(rels.size(), 0);
+          t[next] = row;
+          EvalCtx ctx{&rels, &t};
+          auto key = Eval(new_side, ctx);
+          if (!key.ok()) return key.status();
+          if (key->is_null()) continue;
+          hash[ValueKey(*key)].push_back(row);
+        }
+        cost_ += static_cast<double>(tuples.size()) * kHashProbeCost;
+        for (const Tuple& t : tuples) {
+          EvalCtx ctx{&rels, &t};
+          auto key = Eval(old_side, ctx);
+          if (!key.ok()) return key.status();
+          if (key->is_null()) continue;
+          auto it = hash.find(ValueKey(*key));
+          if (it == hash.end()) continue;
+          if (Status s = ChargeRows(static_cast<double>(it->second.size()));
+              !s.ok()) {
+            return s;
+          }
+          for (uint32_t row : it->second) {
+            Tuple merged = t;
+            merged[next] = row;
+            next_tuples.push_back(std::move(merged));
+          }
+        }
+      } else {
+        // Cross product under budget.
+        const double product = static_cast<double>(tuples.size()) *
+                               static_cast<double>(candidates[next].size());
+        if (Status s = ChargeRows(product); !s.ok()) return s;
+        cost_ += product * kEmitRowCost;
+        for (const Tuple& t : tuples) {
+          for (uint32_t row : candidates[next]) {
+            Tuple merged = t;
+            merged[next] = row;
+            next_tuples.push_back(std::move(merged));
+          }
+        }
+      }
+      tuples = std::move(next_tuples);
+      joined[next] = true;
+      ++num_joined;
+
+      // Apply any residual / equi predicates now fully bound.
+      auto all_joined = [&](const std::unordered_set<int>& s) {
+        for (int r : s) {
+          if (!joined[r]) return false;
+        }
+        return true;
+      };
+      std::vector<const Expr*> apply_now;
+      for (auto& [touched, pred] : residual) {
+        if (pred != nullptr && all_joined(touched)) {
+          apply_now.push_back(pred);
+          pred = nullptr;
+        }
+      }
+      for (size_t j = 0; j < equi_joins.size(); ++j) {
+        if (!equi_used[j] && joined[equi_joins[j].a] &&
+            joined[equi_joins[j].b]) {
+          // An extra equality between already-joined relations: filter.
+          equi_used[j] = true;
+          std::vector<Tuple> filtered;
+          for (const Tuple& t : tuples) {
+            EvalCtx ctx{&rels, &t};
+            auto a = Eval(equi_joins[j].lhs, ctx);
+            if (!a.ok()) return a.status();
+            auto b2 = Eval(equi_joins[j].rhs, ctx);
+            if (!b2.ok()) return b2.status();
+            cost_ += kPredEvalCost;
+            if (a->EqualsValue(*b2)) filtered.push_back(t);
+          }
+          tuples = std::move(filtered);
+        }
+      }
+      if (!apply_now.empty()) {
+        std::vector<Tuple> filtered;
+        for (const Tuple& t : tuples) {
+          EvalCtx ctx{&rels, &t};
+          bool pass = true;
+          for (const Expr* pred : apply_now) {
+            cost_ += kPredEvalCost;
+            auto v = Eval(pred, ctx);
+            if (!v.ok()) return v.status();
+            if (!v->IsTruthy()) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) filtered.push_back(t);
+        }
+        tuples = std::move(filtered);
+      }
+    }
+  }
+
+  // 5. Produce output.
+  Relation out;
+  const bool has_aggregates =
+      !query.group_by.empty() ||
+      std::any_of(query.select_items.begin(), query.select_items.end(),
+                  [](const sql::SelectItem& item) {
+                    return ExprContainsAggregate(item.expr.get());
+                  }) ||
+      (query.having != nullptr &&
+       ExprContainsAggregate(query.having.get()));
+
+  // Output column names (stars expand to the bound columns).
+  auto output_names = [&]() {
+    std::vector<std::string> names;
+    for (size_t i = 0; i < query.select_items.size(); ++i) {
+      const auto& item = query.select_items[i];
+      if (item.expr->kind == ExprKind::kStar) {
+        const auto* star = static_cast<const sql::StarExpr*>(item.expr.get());
+        const std::string qual = ToLowerAscii(star->qualifier);
+        for (const auto& rel : rels) {
+          if (!qual.empty() && rel.alias_lower != qual) continue;
+          for (const auto& col : rel.column_names_lower) {
+            names.push_back(col);
+          }
+        }
+        continue;
+      }
+      if (!item.alias.empty()) {
+        names.push_back(item.alias);
+      } else if (item.expr->kind == ExprKind::kColumnRef) {
+        names.push_back(
+            static_cast<const ColumnRefExpr*>(item.expr.get())->column);
+      } else {
+        names.push_back("col" + std::to_string(i));
+      }
+    }
+    return names;
+  };
+  out.column_names = output_names();
+
+  // Materializes the select list for a tuple (group-less path).
+  auto materialize_row =
+      [&](const Tuple& t) -> StatusOr<std::vector<Value>> {
+    std::vector<Value> row;
+    EvalCtx ctx{&rels, &t};
+    for (const auto& item : query.select_items) {
+      if (item.expr->kind == ExprKind::kStar) {
+        const auto* star = static_cast<const sql::StarExpr*>(item.expr.get());
+        const std::string qual = ToLowerAscii(star->qualifier);
+        for (size_t r = 0; r < rels.size(); ++r) {
+          if (!qual.empty() && rels[r].alias_lower != qual) continue;
+          for (size_t c = 0; c < rels[r].NumColumns(); ++c) {
+            row.push_back(rels[r].Get(t[r], c));
+          }
+        }
+        continue;
+      }
+      cost_ += kOutputValueCost;
+      auto v = Eval(item.expr.get(), ctx);
+      if (!v.ok()) return v.status();
+      row.push_back(std::move(v).value());
+    }
+    return row;
+  };
+
+  if (has_aggregates) {
+    // Group tuples.
+    std::map<std::string, std::vector<Tuple>> groups;
+    if (query.group_by.empty()) {
+      groups.emplace("", std::move(tuples));
+    } else {
+      cost_ += static_cast<double>(tuples.size()) *
+               static_cast<double>(query.group_by.size()) * kPredEvalCost;
+      for (Tuple& t : tuples) {
+        EvalCtx ctx{&rels, &t};
+        std::string key;
+        for (const auto& g : query.group_by) {
+          auto v = Eval(g.get(), ctx);
+          if (!v.ok()) return v.status();
+          key += ValueKey(*v);
+          key.push_back('\x02');
+        }
+        groups[key].push_back(std::move(t));
+      }
+    }
+    for (const auto& [key, group] : groups) {
+      if (query.having != nullptr) {
+        auto hv = EvalAggregate(query.having.get(), rels, group);
+        if (!hv.ok()) return hv.status();
+        if (!hv->IsTruthy()) continue;
+      }
+      std::vector<Value> row;
+      for (const auto& item : query.select_items) {
+        if (item.expr->kind == ExprKind::kStar) {
+          return Status::ExecutionError(
+              "'*' is not valid with aggregates unless inside COUNT(*)");
+        }
+        auto v = EvalAggregate(item.expr.get(), rels, group);
+        if (!v.ok()) return v.status();
+        row.push_back(std::move(v).value());
+      }
+      ++out.total_rows;
+      if (out.rows.size() < options_.max_materialized_rows) {
+        out.rows.push_back(std::move(row));
+      }
+    }
+  } else {
+    cost_ += static_cast<double>(tuples.size()) * kEmitRowCost;
+    for (const Tuple& t : tuples) {
+      auto row = materialize_row(t);
+      if (!row.ok()) return row.status();
+      ++out.total_rows;
+      if (out.rows.size() < options_.max_materialized_rows) {
+        out.rows.push_back(std::move(row).value());
+      }
+    }
+  }
+
+  // 6. DISTINCT.
+  if (query.distinct) {
+    if (out.rows.size() < out.total_rows) {
+      return Status::ResourceExhausted(
+          "DISTINCT over a result too large to materialize");
+    }
+    cost_ += static_cast<double>(out.rows.size()) * kHashBuildCost;
+    std::unordered_set<std::string> seen;
+    std::vector<std::vector<Value>> deduped;
+    for (auto& row : out.rows) {
+      if (seen.insert(RowKey(row)).second) deduped.push_back(std::move(row));
+    }
+    out.rows = std::move(deduped);
+    out.total_rows = out.rows.size();
+  }
+
+  // 7. ORDER BY: real sort when fully materialized; cost always accounted.
+  if (!query.order_by.empty() && out.total_rows > 1) {
+    const double n = static_cast<double>(out.total_rows);
+    cost_ += kSortCostFactor * n * std::log2(n);
+    if (out.rows.size() == out.total_rows) {
+      // Precompute sort keys by evaluating order expressions per row: order
+      // expressions may reference output aliases or arbitrary columns; we
+      // support output columns by name and fall back to row order.
+      std::vector<int> key_cols;
+      std::vector<bool> asc;
+      for (const auto& item : query.order_by) {
+        if (item.expr->kind == ExprKind::kColumnRef) {
+          const auto* col =
+              static_cast<const ColumnRefExpr*>(item.expr.get());
+          const std::string lower = ToLowerAscii(col->column);
+          for (size_t c = 0; c < out.column_names.size(); ++c) {
+            if (ToLowerAscii(out.column_names[c]) == lower) {
+              key_cols.push_back(static_cast<int>(c));
+              asc.push_back(item.ascending);
+              break;
+            }
+          }
+        }
+      }
+      if (!key_cols.empty()) {
+        std::stable_sort(
+            out.rows.begin(), out.rows.end(),
+            [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+              for (size_t k = 0; k < key_cols.size(); ++k) {
+                const int c = a[key_cols[k]].Compare(b[key_cols[k]]);
+                if (c != 0) return asc[k] ? c < 0 : c > 0;
+              }
+              return false;
+            });
+      }
+    }
+  }
+
+  // 8. TOP / LIMIT.
+  if (query.top_n.has_value() && query.top_n.value() >= 0) {
+    const size_t top = static_cast<size_t>(query.top_n.value());
+    out.total_rows = std::min(out.total_rows, top);
+    if (out.rows.size() > top) out.rows.resize(top);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Executor facade
+// ---------------------------------------------------------------------------
+
+Executor::Executor(const Catalog* catalog, ExecOptions options)
+    : catalog_(catalog), options_(options) {
+  SQLFACIL_CHECK(catalog_ != nullptr);
+}
+
+StatusOr<QueryResult> Executor::Execute(const sql::SelectQuery& query) {
+  Impl impl(catalog_, options_);
+  auto rel = impl.Run(query);
+  cost_units_ += impl.cost_units();
+  if (!rel.ok()) return rel.status();
+  QueryResult result;
+  result.answer_rows = rel->total_rows;
+  result.cost_units = impl.cost_units();
+  return result;
+}
+
+StatusOr<Relation> Executor::ExecuteToRelation(const sql::SelectQuery& query) {
+  Impl impl(catalog_, options_);
+  auto rel = impl.Run(query);
+  cost_units_ += impl.cost_units();
+  return rel;
+}
+
+}  // namespace sqlfacil::engine

@@ -1,0 +1,143 @@
+#include "sqlfacil/engine/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/string_util.h"
+
+namespace sqlfacil::engine {
+
+int TableSchema::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, column_name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.columns.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].type = schema_.columns[i].type;
+  }
+  stats_.resize(columns_.size());
+}
+
+void Table::AppendRow(const std::vector<Value>& row) {
+  SQLFACIL_CHECK(row.size() == columns_.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    Column& col = columns_[i];
+    switch (col.type) {
+      case ColumnType::kInt64:
+        col.ints.push_back(row[i].is_null() ? 0 : row[i].AsInt());
+        break;
+      case ColumnType::kDouble:
+        col.doubles.push_back(row[i].is_null() ? 0.0 : row[i].ToDouble());
+        break;
+      case ColumnType::kString:
+        col.strings.push_back(row[i].is_null() ? std::string()
+                                               : row[i].AsString());
+        break;
+    }
+  }
+  ++num_rows_;
+}
+
+Value Table::GetValue(size_t row, size_t col) const {
+  SQLFACIL_CHECK(row < num_rows_ && col < columns_.size());
+  const Column& c = columns_[col];
+  switch (c.type) {
+    case ColumnType::kInt64:
+      return Value(c.ints[row]);
+    case ColumnType::kDouble:
+      return Value(c.doubles[row]);
+    case ColumnType::kString:
+      return Value(c.strings[row]);
+  }
+  return Value::Null();
+}
+
+Status Table::BuildIndex(const std::string& column_name) {
+  const int col = schema_.FindColumn(column_name);
+  if (col < 0) {
+    return Status::NotFound("no column '" + column_name + "' in table '" +
+                            schema_.name + "'");
+  }
+  if (columns_[col].type != ColumnType::kInt64) {
+    return Status::InvalidArgument("index requires an int64 column");
+  }
+  if (indexes_.count(col) > 0) return Status::Ok();
+  auto& index = indexes_[col];
+  const auto& ints = columns_[col].ints;
+  for (size_t row = 0; row < ints.size(); ++row) {
+    index[ints[row]].push_back(static_cast<uint32_t>(row));
+  }
+  return Status::Ok();
+}
+
+bool Table::HasIndex(int col) const { return indexes_.count(col) > 0; }
+
+const std::vector<uint32_t>& Table::IndexLookup(int col, int64_t key) const {
+  static const std::vector<uint32_t>* empty = new std::vector<uint32_t>();
+  auto it = indexes_.find(col);
+  SQLFACIL_CHECK(it != indexes_.end()) << "IndexLookup without index";
+  auto rows = it->second.find(key);
+  return rows == it->second.end() ? *empty : rows->second;
+}
+
+void Table::ComputeStatsIfNeeded(int col) const {
+  ColumnStats& s = stats_[col];
+  if (s.computed) return;
+  s.computed = true;
+  const Column& c = columns_[col];
+  switch (c.type) {
+    case ColumnType::kInt64: {
+      std::unordered_set<int64_t> distinct(c.ints.begin(), c.ints.end());
+      s.distinct = distinct.size();
+      if (!c.ints.empty()) {
+        s.min = static_cast<double>(
+            *std::min_element(c.ints.begin(), c.ints.end()));
+        s.max = static_cast<double>(
+            *std::max_element(c.ints.begin(), c.ints.end()));
+      }
+      break;
+    }
+    case ColumnType::kDouble: {
+      std::unordered_set<double> distinct(c.doubles.begin(), c.doubles.end());
+      s.distinct = distinct.size();
+      if (!c.doubles.empty()) {
+        s.min = *std::min_element(c.doubles.begin(), c.doubles.end());
+        s.max = *std::max_element(c.doubles.begin(), c.doubles.end());
+      }
+      break;
+    }
+    case ColumnType::kString: {
+      std::unordered_set<std::string> distinct(c.strings.begin(),
+                                               c.strings.end());
+      s.distinct = distinct.size();
+      break;
+    }
+  }
+}
+
+size_t Table::DistinctCount(int col) const {
+  SQLFACIL_CHECK(col >= 0 && static_cast<size_t>(col) < columns_.size());
+  ComputeStatsIfNeeded(col);
+  return stats_[col].distinct;
+}
+
+double Table::ColumnMin(int col) const {
+  SQLFACIL_CHECK(col >= 0 && static_cast<size_t>(col) < columns_.size());
+  ComputeStatsIfNeeded(col);
+  return stats_[col].min;
+}
+
+double Table::ColumnMax(int col) const {
+  SQLFACIL_CHECK(col >= 0 && static_cast<size_t>(col) < columns_.size());
+  ComputeStatsIfNeeded(col);
+  return stats_[col].max;
+}
+
+}  // namespace sqlfacil::engine

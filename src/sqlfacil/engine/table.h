@@ -1,0 +1,87 @@
+#ifndef SQLFACIL_ENGINE_TABLE_H_
+#define SQLFACIL_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlfacil/engine/value.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::engine {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  /// Case-insensitive column lookup; returns -1 if absent.
+  int FindColumn(const std::string& column_name) const;
+};
+
+/// Columnar in-memory table. Int columns can carry an equality hash index
+/// (point lookups on object ids dominate bot traffic in SDSS; the index
+/// makes executing tens of thousands of generated queries feasible).
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.columns.size(); }
+
+  /// Appends one row; values must match the schema arity and types
+  /// (int64 for kInt64, double for kDouble, string for kString).
+  void AppendRow(const std::vector<Value>& row);
+
+  Value GetValue(size_t row, size_t col) const;
+
+  /// Builds an equality index over an int column. Idempotent.
+  Status BuildIndex(const std::string& column_name);
+  bool HasIndex(int col) const;
+
+  /// Row ids whose `col` equals `key`. Requires HasIndex(col).
+  const std::vector<uint32_t>& IndexLookup(int col, int64_t key) const;
+
+  // --- Statistics used by the optimizer cost model (opt baseline) ---
+
+  /// Approximate number of distinct values in a column.
+  size_t DistinctCount(int col) const;
+  /// Min/max of a numeric column as doubles (0 for empty/string columns).
+  double ColumnMin(int col) const;
+  double ColumnMax(int col) const;
+
+ private:
+  struct Column {
+    ColumnType type;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+  };
+
+  void ComputeStatsIfNeeded(int col) const;
+
+  TableSchema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+  std::unordered_map<int, std::unordered_map<int64_t, std::vector<uint32_t>>>
+      indexes_;
+
+  struct ColumnStats {
+    bool computed = false;
+    size_t distinct = 0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  mutable std::vector<ColumnStats> stats_;
+};
+
+}  // namespace sqlfacil::engine
+
+#endif  // SQLFACIL_ENGINE_TABLE_H_

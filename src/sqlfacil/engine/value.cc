@@ -1,0 +1,65 @@
+#include "sqlfacil/engine/value.h"
+
+#include <cmath>
+
+namespace sqlfacil::engine {
+
+bool Value::IsTruthy() const {
+  if (is_null()) return false;
+  if (is_int()) return AsInt() != 0;
+  if (is_double()) return AsDoubleExact() != 0.0;
+  return !AsString().empty();
+}
+
+bool Value::EqualsValue(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (is_numeric() && other.is_numeric()) {
+    return ToDouble() == other.ToDouble();
+  }
+  if (is_string() && other.is_string()) return AsString() == other.AsString();
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  const int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;
+  if (ra == 1) {
+    const double a = ToDouble(), b = other.ToDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  const int c = AsString().compare(other.AsString());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", AsDoubleExact());
+    return buf;
+  }
+  return AsString();
+}
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+}  // namespace sqlfacil::engine

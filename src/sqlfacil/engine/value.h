@@ -1,0 +1,61 @@
+#ifndef SQLFACIL_ENGINE_VALUE_H_
+#define SQLFACIL_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace sqlfacil::engine {
+
+/// Column data types supported by the engine.
+enum class ColumnType { kInt64, kDouble, kString };
+
+/// A runtime SQL value: NULL, integer, double, or string. Three-valued
+/// logic is simplified: any comparison involving NULL is false.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(static_cast<int64_t>(b ? 1 : 0)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDoubleExact() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric coercion: int or double as double. Requires is_numeric().
+  double ToDouble() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDoubleExact();
+  }
+
+  /// Truthiness for predicates: non-null and non-zero / non-empty.
+  bool IsTruthy() const;
+
+  /// SQL equality (numeric coercion across int/double; NULL never equals).
+  bool EqualsValue(const Value& other) const;
+
+  /// Total order used for MIN/MAX/ORDER BY and grouping: NULL < numbers <
+  /// strings; numeric compared as double.
+  int Compare(const Value& other) const;
+
+  /// String form used for grouping keys and debugging.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+}  // namespace sqlfacil::engine
+
+#endif  // SQLFACIL_ENGINE_VALUE_H_

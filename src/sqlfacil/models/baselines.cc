@@ -1,0 +1,130 @@
+#include "sqlfacil/models/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::models {
+
+void MfreqModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
+  (void)valid;
+  (void)rng;
+  SQLFACIL_CHECK(train.kind == TaskKind::kClassification);
+  std::vector<size_t> counts(train.num_classes, 0);
+  for (int label : train.labels) ++counts[label];
+  // Deterministic prediction of the argmax class: probability 1 on it.
+  // (Accuracy/F-measure then match "always predict the majority class";
+  // the reported loss is computed from these probabilities.)
+  const size_t best = static_cast<size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+  class_probs_.assign(train.num_classes, 1e-6f);
+  class_probs_[best] = 1.0f - 1e-6f * (train.num_classes - 1);
+}
+
+std::vector<float> MfreqModel::Predict(const std::string& statement,
+                                       double opt_cost) const {
+  (void)statement;
+  (void)opt_cost;
+  return class_probs_;
+}
+
+void MedianModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
+  (void)valid;
+  (void)rng;
+  SQLFACIL_CHECK(train.kind == TaskKind::kRegression);
+  SQLFACIL_CHECK(!train.targets.empty());
+  std::vector<float> sorted = train.targets;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  median_ = sorted[sorted.size() / 2];
+}
+
+std::vector<float> MedianModel::Predict(const std::string& statement,
+                                        double opt_cost) const {
+  (void)statement;
+  (void)opt_cost;
+  return {median_};
+}
+
+void OptModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
+  (void)valid;
+  (void)rng;
+  SQLFACIL_CHECK(train.kind == TaskKind::kRegression);
+  SQLFACIL_CHECK(train.opt_costs.size() == train.targets.size());
+  // Closed-form simple linear regression on x = log(1 + cost).
+  const size_t n = train.targets.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = std::log1p(std::max(0.0, train.opt_costs[i]));
+    const double y = train.targets[i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-9) {
+    slope_ = 0.0f;
+    intercept_ = n > 0 ? static_cast<float>(sy / n) : 0.0f;
+  } else {
+    slope_ = static_cast<float>((n * sxy - sx * sy) / denom);
+    intercept_ = static_cast<float>((sy - slope_ * sx) / n);
+  }
+}
+
+std::vector<float> OptModel::Predict(const std::string& statement,
+                                     double opt_cost) const {
+  (void)statement;
+  const float x = static_cast<float>(std::log1p(std::max(0.0, opt_cost)));
+  return {intercept_ + slope_ * x};
+}
+
+Status MfreqModel::SaveTo(std::ostream& out) const {
+  serialize::WriteTag(out, "mfreq.v1");
+  serialize::WriteFloats(out, class_probs_);
+  return Status::Ok();
+}
+
+Status MfreqModel::LoadFrom(std::istream& in) {
+  if (Status s = serialize::ExpectTag(in, "mfreq.v1"); !s.ok()) return s;
+  auto probs = serialize::ReadFloats(in);
+  if (!probs.ok()) return probs.status();
+  class_probs_ = std::move(probs).value();
+  return Status::Ok();
+}
+
+Status MedianModel::SaveTo(std::ostream& out) const {
+  serialize::WriteTag(out, "median.v1");
+  serialize::WriteF32(out, median_);
+  return Status::Ok();
+}
+
+Status MedianModel::LoadFrom(std::istream& in) {
+  if (Status s = serialize::ExpectTag(in, "median.v1"); !s.ok()) return s;
+  auto median = serialize::ReadF32(in);
+  if (!median.ok()) return median.status();
+  median_ = *median;
+  return Status::Ok();
+}
+
+Status OptModel::SaveTo(std::ostream& out) const {
+  serialize::WriteTag(out, "opt.v1");
+  serialize::WriteF32(out, slope_);
+  serialize::WriteF32(out, intercept_);
+  return Status::Ok();
+}
+
+Status OptModel::LoadFrom(std::istream& in) {
+  if (Status s = serialize::ExpectTag(in, "opt.v1"); !s.ok()) return s;
+  auto slope = serialize::ReadF32(in);
+  if (!slope.ok()) return slope.status();
+  auto intercept = serialize::ReadF32(in);
+  if (!intercept.ok()) return intercept.status();
+  slope_ = *slope;
+  intercept_ = *intercept;
+  return Status::Ok();
+}
+
+}  // namespace sqlfacil::models

@@ -1,0 +1,56 @@
+#ifndef SQLFACIL_MODELS_BASELINES_H_
+#define SQLFACIL_MODELS_BASELINES_H_
+
+#include "sqlfacil/models/model.h"
+
+namespace sqlfacil::models {
+
+/// `mfreq` (classification): always predicts the most frequent training
+/// class, with the empirical training distribution as its probabilities.
+class MfreqModel : public Model {
+ public:
+  std::string name() const override { return "mfreq"; }
+  void Fit(const Dataset& train, const Dataset& valid, Rng* rng) override;
+  std::vector<float> Predict(const std::string& statement,
+                             double opt_cost) const override;
+  Status SaveTo(std::ostream& out) const override;
+  Status LoadFrom(std::istream& in) override;
+
+ private:
+  std::vector<float> class_probs_;
+};
+
+/// `median` (regression): always predicts the median training target.
+class MedianModel : public Model {
+ public:
+  std::string name() const override { return "median"; }
+  void Fit(const Dataset& train, const Dataset& valid, Rng* rng) override;
+  std::vector<float> Predict(const std::string& statement,
+                             double opt_cost) const override;
+  Status SaveTo(std::ostream& out) const override;
+  Status LoadFrom(std::istream& in) override;
+
+ private:
+  float median_ = 0.0f;
+};
+
+/// `opt` (regression): linear regression from the query optimizer's cost
+/// estimate to the target (Section 6.1, following [2, 14, 39]). The
+/// feature is log(1 + estimated cost); fitted in closed form.
+class OptModel : public Model {
+ public:
+  std::string name() const override { return "opt"; }
+  void Fit(const Dataset& train, const Dataset& valid, Rng* rng) override;
+  std::vector<float> Predict(const std::string& statement,
+                             double opt_cost) const override;
+  Status SaveTo(std::ostream& out) const override;
+  Status LoadFrom(std::istream& in) override;
+
+ private:
+  float slope_ = 0.0f;
+  float intercept_ = 0.0f;
+};
+
+}  // namespace sqlfacil::models
+
+#endif  // SQLFACIL_MODELS_BASELINES_H_

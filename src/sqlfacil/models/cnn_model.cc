@@ -1,0 +1,264 @@
+#include "sqlfacil/models/cnn_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::models {
+
+namespace {
+
+/// Deep copy of parameter values (best-epoch snapshotting).
+std::vector<nn::Tensor> Snapshot(const std::vector<nn::Var>& params) {
+  std::vector<nn::Tensor> out;
+  out.reserve(params.size());
+  for (const auto& p : params) out.push_back(p->value);
+  return out;
+}
+
+void Restore(const std::vector<nn::Var>& params,
+             const std::vector<nn::Tensor>& snapshot) {
+  SQLFACIL_CHECK(params.size() == snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+}  // namespace
+
+std::vector<nn::Var> CnnModel::Params() const {
+  std::vector<nn::Var> params = embedding_.Params();
+  for (const auto& conv : convs_) {
+    for (const auto& p : conv.Params()) params.push_back(p);
+  }
+  for (const auto& p : head_.Params()) params.push_back(p);
+  return params;
+}
+
+size_t CnnModel::num_parameters() const {
+  size_t total = 0;
+  for (const auto& p : Params()) total += p->value.size();
+  return total;
+}
+
+nn::Var CnnModel::Forward(const std::vector<int>& ids, bool training,
+                          Rng* rng) const {
+  // Pad to the largest window so every conv has at least one position.
+  std::vector<int> padded = ids;
+  const int max_width = *std::max_element(config_.widths.begin(),
+                                          config_.widths.end());
+  while (padded.size() < static_cast<size_t>(max_width)) {
+    padded.push_back(-1);
+  }
+  nn::Var emb = embedding_.Lookup(padded);
+  std::vector<nn::Var> pooled;
+  pooled.reserve(config_.widths.size());
+  for (size_t w = 0; w < config_.widths.size(); ++w) {
+    nn::Var windows = nn::Unfold(emb, config_.widths[w]);
+    nn::Var activations = nn::Relu(convs_[w].Apply(windows));
+    pooled.push_back(nn::MaxOverTime(activations));
+  }
+  nn::Var features = nn::ConcatCols(pooled);
+  features = nn::Dropout(features, config_.dropout, training, rng);
+  return head_.Apply(features);
+}
+
+double CnnModel::ValidLoss(const Dataset& valid) const {
+  if (valid.size() == 0) return 0.0;
+  double total = 0.0;
+  Rng unused(0);
+  for (size_t i = 0; i < valid.size(); ++i) {
+    const auto ids = vocab_.Encode(valid.statements[i], MaxLen());
+    nn::Var logits = Forward(ids, /*training=*/false, &unused);
+    if (kind_ == TaskKind::kClassification) {
+      nn::Var loss =
+          nn::SoftmaxCrossEntropy(logits, {valid.labels[i]});
+      total += loss->value.at(0);
+    } else {
+      nn::Var loss =
+          config_.use_squared_loss
+              ? nn::SquaredLoss(logits, {valid.targets[i]})
+              : nn::HuberLoss(logits, {valid.targets[i]},
+                              config_.huber_delta);
+      total += loss->value.at(0);
+    }
+  }
+  return total / static_cast<double>(valid.size());
+}
+
+void CnnModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
+  kind_ = train.kind;
+  outputs_ = kind_ == TaskKind::kClassification ? train.num_classes : 1;
+  vocab_ = Vocabulary::Build(train.statements, config_.granularity,
+                             config_.max_vocab);
+
+  embedding_ = nn::Embedding(static_cast<int>(vocab_.size()),
+                             config_.embed_dim, rng);
+  convs_.clear();
+  for (int width : config_.widths) {
+    convs_.emplace_back(width * config_.embed_dim, config_.kernels_per_width,
+                        rng);
+  }
+  head_ = nn::Linear(
+      static_cast<int>(config_.widths.size()) * config_.kernels_per_width,
+      outputs_, rng);
+
+  TrainLoop(train, valid, config_.epochs, rng);
+}
+
+void CnnModel::FineTune(const Dataset& train, const Dataset& valid,
+                        int epochs, Rng* rng) {
+  SQLFACIL_CHECK(head_.weight != nullptr) << "FineTune requires a fit model";
+  SQLFACIL_CHECK(train.kind == kind_) << "FineTune task kind mismatch";
+  TrainLoop(train, valid, epochs, rng);
+}
+
+void CnnModel::TrainLoop(const Dataset& train, const Dataset& valid,
+                         int epochs, Rng* rng) {
+  auto params = Params();
+  nn::AdaMax optimizer(params, config_.lr);
+
+  // Pre-encode.
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(train.size());
+  for (const auto& s : train.statements) {
+    encoded.push_back(vocab_.Encode(s, MaxLen()));
+  }
+
+  std::vector<nn::Tensor> best = Snapshot(params);
+  double best_valid = 1e300;
+  const size_t n = train.size();
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    auto perm = rng->Permutation(n);
+    for (size_t start = 0; start < n; start += config_.batch_size) {
+      const size_t end = std::min(n, start + config_.batch_size);
+      optimizer.ZeroGrad();
+      nn::Var batch_loss;
+      for (size_t i = start; i < end; ++i) {
+        const size_t idx = perm[i];
+        nn::Var logits = Forward(encoded[idx], /*training=*/true, rng);
+        nn::Var loss;
+        if (kind_ == TaskKind::kClassification) {
+          loss = nn::SoftmaxCrossEntropy(logits, {train.labels[idx]});
+        } else if (config_.use_squared_loss) {
+          loss = nn::SquaredLoss(logits, {train.targets[idx]});
+        } else {
+          loss = nn::HuberLoss(logits, {train.targets[idx]},
+                               config_.huber_delta);
+        }
+        batch_loss = batch_loss == nullptr ? loss : nn::Add(batch_loss, loss);
+      }
+      batch_loss = nn::Scale(batch_loss, 1.0f / (end - start));
+      nn::Backward(batch_loss);
+      nn::ClipGradNorm(params, config_.clip_norm);
+      optimizer.Step();
+    }
+    const double vloss = ValidLoss(valid);
+    if (vloss < best_valid || valid.size() == 0) {
+      best_valid = vloss;
+      best = Snapshot(params);
+    }
+  }
+  Restore(params, best);
+}
+
+Status CnnModel::SaveTo(std::ostream& out) const {
+  serialize::WriteTag(out, "cnn_model.v1");
+  serialize::WriteI32(out, kind_ == TaskKind::kClassification ? 0 : 1);
+  serialize::WriteI32(out, outputs_);
+  serialize::WriteI32(out,
+                      config_.granularity == sql::Granularity::kChar ? 0 : 1);
+  serialize::WriteI32(out, config_.embed_dim);
+  serialize::WriteI32(out, config_.kernels_per_width);
+  serialize::WriteU64(out, config_.max_len_char);
+  serialize::WriteU64(out, config_.max_len_word);
+  serialize::WriteU64(out, config_.widths.size());
+  for (int w : config_.widths) serialize::WriteI32(out, w);
+  vocab_.SaveTo(out);
+  serialize::WriteTensor(out, embedding_.table->value);
+  for (const auto& conv : convs_) {
+    serialize::WriteTensor(out, conv.weight->value);
+    serialize::WriteTensor(out, conv.bias->value);
+  }
+  serialize::WriteTensor(out, head_.weight->value);
+  serialize::WriteTensor(out, head_.bias->value);
+  return Status::Ok();
+}
+
+Status CnnModel::LoadFrom(std::istream& in) {
+  if (Status s = serialize::ExpectTag(in, "cnn_model.v1"); !s.ok()) return s;
+  auto read_i32 = [&](int* dst) -> Status {
+    auto v = serialize::ReadI32(in);
+    if (!v.ok()) return v.status();
+    *dst = *v;
+    return Status::Ok();
+  };
+  int kind = 0;
+  if (Status s = read_i32(&kind); !s.ok()) return s;
+  kind_ = kind == 0 ? TaskKind::kClassification : TaskKind::kRegression;
+  if (Status s = read_i32(&outputs_); !s.ok()) return s;
+  int granularity = 0;
+  if (Status s = read_i32(&granularity); !s.ok()) return s;
+  config_.granularity =
+      granularity == 0 ? sql::Granularity::kChar : sql::Granularity::kWord;
+  if (Status s = read_i32(&config_.embed_dim); !s.ok()) return s;
+  if (Status s = read_i32(&config_.kernels_per_width); !s.ok()) return s;
+  auto max_len_char = serialize::ReadU64(in);
+  if (!max_len_char.ok()) return max_len_char.status();
+  config_.max_len_char = *max_len_char;
+  auto max_len_word = serialize::ReadU64(in);
+  if (!max_len_word.ok()) return max_len_word.status();
+  config_.max_len_word = *max_len_word;
+  auto num_widths = serialize::ReadU64(in);
+  if (!num_widths.ok()) return num_widths.status();
+  if (*num_widths == 0 || *num_widths > 16) {
+    return Status::InvalidArgument("implausible width count");
+  }
+  config_.widths.clear();
+  for (uint64_t i = 0; i < *num_widths; ++i) {
+    int w = 0;
+    if (Status s = read_i32(&w); !s.ok()) return s;
+    config_.widths.push_back(w);
+  }
+  auto vocab = Vocabulary::LoadFrom(in);
+  if (!vocab.ok()) return vocab.status();
+  vocab_ = std::move(vocab).value();
+
+  auto read_param = [&](nn::Var* dst) -> Status {
+    auto t = serialize::ReadTensor(in);
+    if (!t.ok()) return t.status();
+    *dst = nn::MakeParam(std::move(t).value());
+    return Status::Ok();
+  };
+  if (Status s = read_param(&embedding_.table); !s.ok()) return s;
+  convs_.assign(config_.widths.size(), nn::Linear());
+  for (auto& conv : convs_) {
+    if (Status s = read_param(&conv.weight); !s.ok()) return s;
+    if (Status s = read_param(&conv.bias); !s.ok()) return s;
+  }
+  if (Status s = read_param(&head_.weight); !s.ok()) return s;
+  return read_param(&head_.bias);
+}
+
+std::vector<float> CnnModel::Predict(const std::string& statement,
+                                     double opt_cost) const {
+  (void)opt_cost;
+  Rng unused(0);
+  const auto ids = vocab_.Encode(statement, MaxLen());
+  nn::Var logits = Forward(ids, /*training=*/false, &unused);
+  std::vector<float> out(logits->value.data(),
+                         logits->value.data() + logits->value.size());
+  if (kind_ == TaskKind::kClassification) {
+    // Softmax over the single row.
+    float max_logit = *std::max_element(out.begin(), out.end());
+    double denom = 0.0;
+    for (float& v : out) {
+      v = std::exp(v - max_logit);
+      denom += v;
+    }
+    for (float& v : out) v = static_cast<float>(v / denom);
+  }
+  return out;
+}
+
+}  // namespace sqlfacil::models

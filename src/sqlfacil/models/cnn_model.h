@@ -1,0 +1,84 @@
+#ifndef SQLFACIL_MODELS_CNN_MODEL_H_
+#define SQLFACIL_MODELS_CNN_MODEL_H_
+
+#include "sqlfacil/models/model.h"
+#include "sqlfacil/models/vocab.h"
+#include "sqlfacil/nn/layers.h"
+#include "sqlfacil/nn/optim.h"
+
+namespace sqlfacil::models {
+
+/// The shallow CNN of Section 5.3 (Figure 11, adapted from Kim [32]):
+/// token embeddings, parallel 1-D convolutions with window sizes {3,4,5},
+/// Relu, max-over-time pooling per kernel, concatenation, dropout, and a
+/// fully-connected output. Trained with AdaMax on cross-entropy / Huber.
+class CnnModel : public Model {
+ public:
+  struct Config {
+    sql::Granularity granularity = sql::Granularity::kChar;
+    size_t max_vocab = 5000;
+    size_t max_len_char = 192;
+    size_t max_len_word = 64;
+    int embed_dim = 12;
+    int kernels_per_width = 32;
+    std::vector<int> widths = {3, 4, 5};
+    float dropout = 0.5f;
+    float lr = 2e-3f;
+    float clip_norm = 0.25f;
+    int epochs = 3;
+    int batch_size = 16;
+    float huber_delta = 1.0f;
+    /// Regression ablation: plain squared loss instead of Huber
+    /// (Section 4.4.1 argues Huber is more robust to label outliers).
+    bool use_squared_loss = false;
+  };
+
+  explicit CnnModel(Config config) : config_(std::move(config)) {}
+
+  std::string name() const override {
+    return config_.granularity == sql::Granularity::kChar ? "ccnn" : "wcnn";
+  }
+  void Fit(const Dataset& train, const Dataset& valid, Rng* rng) override;
+  std::vector<float> Predict(const std::string& statement,
+                             double opt_cost) const override;
+  size_t vocab_size() const override { return vocab_.size(); }
+  size_t num_parameters() const override;
+  Status SaveTo(std::ostream& out) const override;
+  Status LoadFrom(std::istream& in) override;
+
+  /// Fine-tunes the already-trained network on a new dataset without
+  /// re-initializing parameters or rebuilding the vocabulary (the paper's
+  /// Section 8 transfer-learning direction: reuse a ccnn trained on a
+  /// large workload for a different database). Requires prior Fit/LoadFrom
+  /// with the same task kind.
+  void FineTune(const Dataset& train, const Dataset& valid, int epochs,
+                Rng* rng);
+
+ private:
+  /// Shared training loop (from-scratch fit and fine-tuning).
+  void TrainLoop(const Dataset& train, const Dataset& valid, int epochs,
+                 Rng* rng);
+
+  size_t MaxLen() const {
+    return config_.granularity == sql::Granularity::kChar
+               ? config_.max_len_char
+               : config_.max_len_word;
+  }
+  /// Forward pass for one encoded statement; training enables dropout.
+  nn::Var Forward(const std::vector<int>& ids, bool training,
+                  Rng* rng) const;
+  std::vector<nn::Var> Params() const;
+  double ValidLoss(const Dataset& valid) const;
+
+  Config config_;
+  TaskKind kind_ = TaskKind::kClassification;
+  int outputs_ = 1;
+  Vocabulary vocab_;
+  nn::Embedding embedding_;
+  std::vector<nn::Linear> convs_;  // one (width*d x K) map per width
+  nn::Linear head_;
+};
+
+}  // namespace sqlfacil::models
+
+#endif  // SQLFACIL_MODELS_CNN_MODEL_H_

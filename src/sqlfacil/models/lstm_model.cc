@@ -1,0 +1,271 @@
+#include "sqlfacil/models/lstm_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::models {
+
+namespace {
+
+std::vector<nn::Tensor> Snapshot(const std::vector<nn::Var>& params) {
+  std::vector<nn::Tensor> out;
+  out.reserve(params.size());
+  for (const auto& p : params) out.push_back(p->value);
+  return out;
+}
+
+void Restore(const std::vector<nn::Var>& params,
+             const std::vector<nn::Tensor>& snapshot) {
+  SQLFACIL_CHECK(params.size() == snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+}  // namespace
+
+std::vector<nn::Var> LstmModel::Params() const {
+  std::vector<nn::Var> params = stack_.Params();
+  for (const auto& p : embedding_.Params()) params.push_back(p);
+  for (const auto& p : head_.Params()) params.push_back(p);
+  return params;
+}
+
+size_t LstmModel::num_parameters() const {
+  size_t total = 0;
+  for (const auto& p : Params()) total += p->value.size();
+  return total;
+}
+
+nn::Var LstmModel::Forward(
+    const std::vector<const std::vector<int>*>& batch) const {
+  size_t max_len = 1;
+  for (const auto* ids : batch) max_len = std::max(max_len, ids->size());
+  std::vector<nn::Var> steps;
+  std::vector<std::vector<bool>> active;
+  steps.reserve(max_len);
+  active.reserve(max_len);
+  for (size_t t = 0; t < max_len; ++t) {
+    std::vector<int> step_ids(batch.size());
+    std::vector<bool> step_active(batch.size());
+    for (size_t b = 0; b < batch.size(); ++b) {
+      const bool is_active = t < batch[b]->size();
+      step_active[b] = is_active;
+      step_ids[b] = is_active ? (*batch[b])[t] : -1;
+    }
+    steps.push_back(embedding_.Lookup(step_ids));
+    active.push_back(std::move(step_active));
+  }
+  nn::Var h = stack_.Run(steps, active);
+  return head_.Apply(h);
+}
+
+double LstmModel::ValidLoss(
+    const Dataset& valid, const std::vector<std::vector<int>>& encoded) const {
+  if (valid.size() == 0) return 0.0;
+  double total = 0.0;
+  size_t count = 0;
+  const size_t batch = config_.batch_size;
+  for (size_t start = 0; start < valid.size(); start += batch) {
+    const size_t end = std::min(valid.size(), start + batch);
+    std::vector<const std::vector<int>*> refs;
+    std::vector<int> labels;
+    std::vector<float> targets;
+    for (size_t i = start; i < end; ++i) {
+      refs.push_back(&encoded[i]);
+      if (kind_ == TaskKind::kClassification) {
+        labels.push_back(valid.labels[i]);
+      } else {
+        targets.push_back(valid.targets[i]);
+      }
+    }
+    nn::Var out = Forward(refs);
+    nn::Var loss = kind_ == TaskKind::kClassification
+                       ? nn::SoftmaxCrossEntropy(out, labels)
+                       : nn::HuberLoss(out, targets, config_.huber_delta);
+    total += static_cast<double>(loss->value.at(0)) * refs.size();
+    count += refs.size();
+  }
+  return total / static_cast<double>(count);
+}
+
+void LstmModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
+  kind_ = train.kind;
+  outputs_ = kind_ == TaskKind::kClassification ? train.num_classes : 1;
+  vocab_ = Vocabulary::Build(train.statements, config_.granularity,
+                             config_.max_vocab);
+
+  embedding_ = nn::Embedding(static_cast<int>(vocab_.size()),
+                             config_.embed_dim, rng);
+  stack_ = nn::LstmStack(config_.embed_dim, config_.hidden_dim,
+                         config_.num_layers, rng);
+  head_ = nn::Linear(config_.hidden_dim, outputs_, rng);
+
+  auto params = Params();
+  nn::AdaMax optimizer(params, config_.lr);
+
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(train.size());
+  for (const auto& s : train.statements) {
+    auto ids = vocab_.Encode(s, MaxLen());
+    if (ids.empty()) ids.push_back(Vocabulary::kUnkId);
+    encoded.push_back(std::move(ids));
+  }
+  std::vector<std::vector<int>> valid_encoded;
+  valid_encoded.reserve(valid.size());
+  for (const auto& s : valid.statements) {
+    auto ids = vocab_.Encode(s, MaxLen());
+    if (ids.empty()) ids.push_back(Vocabulary::kUnkId);
+    valid_encoded.push_back(std::move(ids));
+  }
+
+  // Length bucketing: sort indices by sequence length so batches carry
+  // minimal padding, then shuffle the batch order each epoch.
+  std::vector<size_t> by_length(train.size());
+  std::iota(by_length.begin(), by_length.end(), 0);
+  std::stable_sort(by_length.begin(), by_length.end(),
+                   [&](size_t a, size_t b) {
+                     return encoded[a].size() < encoded[b].size();
+                   });
+  std::vector<std::vector<size_t>> batches;
+  for (size_t start = 0; start < by_length.size();
+       start += config_.batch_size) {
+    const size_t end =
+        std::min(by_length.size(), start + config_.batch_size);
+    batches.emplace_back(by_length.begin() + start, by_length.begin() + end);
+  }
+
+  std::vector<nn::Tensor> best = Snapshot(params);
+  double best_valid = 1e300;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto batch_order = rng->Permutation(batches.size());
+    for (size_t bi : batch_order) {
+      const auto& batch = batches[bi];
+      std::vector<const std::vector<int>*> refs;
+      std::vector<int> labels;
+      std::vector<float> targets;
+      for (size_t idx : batch) {
+        refs.push_back(&encoded[idx]);
+        if (kind_ == TaskKind::kClassification) {
+          labels.push_back(train.labels[idx]);
+        } else {
+          targets.push_back(train.targets[idx]);
+        }
+      }
+      optimizer.ZeroGrad();
+      nn::Var out = Forward(refs);
+      nn::Var loss = kind_ == TaskKind::kClassification
+                         ? nn::SoftmaxCrossEntropy(out, labels)
+                         : nn::HuberLoss(out, targets, config_.huber_delta);
+      nn::Backward(loss);
+      nn::ClipGradNorm(params, config_.clip_norm);
+      optimizer.Step();
+    }
+    const double vloss = ValidLoss(valid, valid_encoded);
+    if (vloss < best_valid || valid.size() == 0) {
+      best_valid = vloss;
+      best = Snapshot(params);
+    }
+  }
+  Restore(params, best);
+}
+
+Status LstmModel::SaveTo(std::ostream& out) const {
+  serialize::WriteTag(out, "lstm_model.v1");
+  serialize::WriteI32(out, kind_ == TaskKind::kClassification ? 0 : 1);
+  serialize::WriteI32(out, outputs_);
+  serialize::WriteI32(out,
+                      config_.granularity == sql::Granularity::kChar ? 0 : 1);
+  serialize::WriteI32(out, config_.embed_dim);
+  serialize::WriteI32(out, config_.hidden_dim);
+  serialize::WriteI32(out, config_.num_layers);
+  serialize::WriteU64(out, config_.max_len_char);
+  serialize::WriteU64(out, config_.max_len_word);
+  vocab_.SaveTo(out);
+  serialize::WriteTensor(out, embedding_.table->value);
+  for (const auto& layer : stack_.layers) {
+    serialize::WriteTensor(out, layer.input_map.weight->value);
+    serialize::WriteTensor(out, layer.input_map.bias->value);
+    serialize::WriteTensor(out, layer.hidden_map.weight->value);
+  }
+  serialize::WriteTensor(out, head_.weight->value);
+  serialize::WriteTensor(out, head_.bias->value);
+  return Status::Ok();
+}
+
+Status LstmModel::LoadFrom(std::istream& in) {
+  if (Status s = serialize::ExpectTag(in, "lstm_model.v1"); !s.ok()) return s;
+  auto read_i32 = [&](int* dst) -> Status {
+    auto v = serialize::ReadI32(in);
+    if (!v.ok()) return v.status();
+    *dst = *v;
+    return Status::Ok();
+  };
+  int kind = 0;
+  if (Status s = read_i32(&kind); !s.ok()) return s;
+  kind_ = kind == 0 ? TaskKind::kClassification : TaskKind::kRegression;
+  if (Status s = read_i32(&outputs_); !s.ok()) return s;
+  int granularity = 0;
+  if (Status s = read_i32(&granularity); !s.ok()) return s;
+  config_.granularity =
+      granularity == 0 ? sql::Granularity::kChar : sql::Granularity::kWord;
+  if (Status s = read_i32(&config_.embed_dim); !s.ok()) return s;
+  if (Status s = read_i32(&config_.hidden_dim); !s.ok()) return s;
+  if (Status s = read_i32(&config_.num_layers); !s.ok()) return s;
+  if (config_.num_layers < 1 || config_.num_layers > 16) {
+    return Status::InvalidArgument("implausible LSTM layer count");
+  }
+  auto max_len_char = serialize::ReadU64(in);
+  if (!max_len_char.ok()) return max_len_char.status();
+  config_.max_len_char = *max_len_char;
+  auto max_len_word = serialize::ReadU64(in);
+  if (!max_len_word.ok()) return max_len_word.status();
+  config_.max_len_word = *max_len_word;
+  auto vocab = Vocabulary::LoadFrom(in);
+  if (!vocab.ok()) return vocab.status();
+  vocab_ = std::move(vocab).value();
+
+  auto read_param = [&](nn::Var* dst) -> Status {
+    auto t = serialize::ReadTensor(in);
+    if (!t.ok()) return t.status();
+    *dst = nn::MakeParam(std::move(t).value());
+    return Status::Ok();
+  };
+  if (Status s = read_param(&embedding_.table); !s.ok()) return s;
+  // Rebuild the stack scaffolding, then overwrite the trained parameters.
+  Rng scaffold_rng(0);
+  stack_ = nn::LstmStack(config_.embed_dim, config_.hidden_dim,
+                         config_.num_layers, &scaffold_rng);
+  for (auto& layer : stack_.layers) {
+    if (Status s = read_param(&layer.input_map.weight); !s.ok()) return s;
+    if (Status s = read_param(&layer.input_map.bias); !s.ok()) return s;
+    if (Status s = read_param(&layer.hidden_map.weight); !s.ok()) return s;
+  }
+  if (Status s = read_param(&head_.weight); !s.ok()) return s;
+  return read_param(&head_.bias);
+}
+
+std::vector<float> LstmModel::Predict(const std::string& statement,
+                                      double opt_cost) const {
+  (void)opt_cost;
+  auto ids = vocab_.Encode(statement, MaxLen());
+  if (ids.empty()) ids.push_back(Vocabulary::kUnkId);
+  std::vector<const std::vector<int>*> batch = {&ids};
+  nn::Var out = Forward(batch);
+  std::vector<float> scores(out->value.data(),
+                            out->value.data() + out->value.size());
+  if (kind_ == TaskKind::kClassification) {
+    float max_logit = *std::max_element(scores.begin(), scores.end());
+    double denom = 0.0;
+    for (float& v : scores) {
+      v = std::exp(v - max_logit);
+      denom += v;
+    }
+    for (float& v : scores) v = static_cast<float>(v / denom);
+  }
+  return scores;
+}
+
+}  // namespace sqlfacil::models

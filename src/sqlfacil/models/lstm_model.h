@@ -1,0 +1,69 @@
+#ifndef SQLFACIL_MODELS_LSTM_MODEL_H_
+#define SQLFACIL_MODELS_LSTM_MODEL_H_
+
+#include "sqlfacil/models/model.h"
+#include "sqlfacil/models/vocab.h"
+#include "sqlfacil/nn/layers.h"
+#include "sqlfacil/nn/optim.h"
+
+namespace sqlfacil::models {
+
+/// The three-layer LSTM of Section 5.2 (Figure 18): token embeddings fed
+/// through a stacked LSTM; the top layer's final hidden state is the query
+/// representation, mapped by a linear unit to class logits (softmax +
+/// cross-entropy) or a scalar (Huber). Trained with AdaMax; batches are
+/// length-bucketed and padded with state masking.
+class LstmModel : public Model {
+ public:
+  struct Config {
+    sql::Granularity granularity = sql::Granularity::kChar;
+    size_t max_vocab = 5000;
+    size_t max_len_char = 160;
+    size_t max_len_word = 56;
+    int embed_dim = 12;
+    int hidden_dim = 32;
+    int num_layers = 3;
+    float lr = 2e-3f;
+    float clip_norm = 0.25f;
+    int epochs = 3;
+    int batch_size = 16;
+    float huber_delta = 1.0f;
+  };
+
+  explicit LstmModel(Config config) : config_(std::move(config)) {}
+
+  std::string name() const override {
+    return config_.granularity == sql::Granularity::kChar ? "clstm" : "wlstm";
+  }
+  void Fit(const Dataset& train, const Dataset& valid, Rng* rng) override;
+  std::vector<float> Predict(const std::string& statement,
+                             double opt_cost) const override;
+  size_t vocab_size() const override { return vocab_.size(); }
+  size_t num_parameters() const override;
+  Status SaveTo(std::ostream& out) const override;
+  Status LoadFrom(std::istream& in) override;
+
+ private:
+  size_t MaxLen() const {
+    return config_.granularity == sql::Granularity::kChar
+               ? config_.max_len_char
+               : config_.max_len_word;
+  }
+  /// Batched forward over encoded sequences; returns (B x outputs).
+  nn::Var Forward(const std::vector<const std::vector<int>*>& batch) const;
+  std::vector<nn::Var> Params() const;
+  double ValidLoss(const Dataset& valid,
+                   const std::vector<std::vector<int>>& encoded) const;
+
+  Config config_;
+  TaskKind kind_ = TaskKind::kClassification;
+  int outputs_ = 1;
+  Vocabulary vocab_;
+  nn::Embedding embedding_;
+  nn::LstmStack stack_;
+  nn::Linear head_;
+};
+
+}  // namespace sqlfacil::models
+
+#endif  // SQLFACIL_MODELS_LSTM_MODEL_H_

@@ -1,0 +1,17 @@
+#include "sqlfacil/models/model.h"
+
+namespace sqlfacil::models {
+
+Status Model::SaveTo(std::ostream& out) const {
+  (void)out;
+  return Status::InvalidArgument("model '" + name() +
+                                 "' does not support checkpointing");
+}
+
+Status Model::LoadFrom(std::istream& in) {
+  (void)in;
+  return Status::InvalidArgument("model '" + name() +
+                                 "' does not support checkpointing");
+}
+
+}  // namespace sqlfacil::models

@@ -1,0 +1,49 @@
+#ifndef SQLFACIL_MODELS_MODEL_H_
+#define SQLFACIL_MODELS_MODEL_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/models/dataset.h"
+#include "sqlfacil/util/random.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::models {
+
+/// Common interface of all compared models (Section 6.1): mfreq / median /
+/// opt baselines, ctfidf/wtfidf, ccnn/wcnn, clstm/wlstm.
+///
+/// For classification tasks Predict returns a probability vector over the
+/// classes; for regression it returns a single (log-space) value.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on `train`, using `valid` for best-epoch selection where the
+  /// model iterates.
+  virtual void Fit(const Dataset& train, const Dataset& valid, Rng* rng) = 0;
+
+  /// Per-query inference. `opt_cost` feeds the opt baseline only.
+  virtual std::vector<float> Predict(const std::string& statement,
+                                     double opt_cost) const = 0;
+
+  /// Vocabulary size v (0 for baselines) and parameter count p, as
+  /// reported in the paper's Tables 2/4/5.
+  virtual size_t vocab_size() const { return 0; }
+  virtual size_t num_parameters() const { return 0; }
+
+  /// Checkpointing: serializes the *trained* state. Default: unsupported.
+  virtual Status SaveTo(std::ostream& out) const;
+  /// Restores trained state into a model constructed with the same name.
+  virtual Status LoadFrom(std::istream& in);
+};
+
+using ModelPtr = std::unique_ptr<Model>;
+
+}  // namespace sqlfacil::models
+
+#endif  // SQLFACIL_MODELS_MODEL_H_

@@ -1,0 +1,201 @@
+#include "sqlfacil/models/multitask_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::models {
+
+namespace {
+
+bool HasTarget(float v) { return !std::isnan(v); }
+
+std::vector<nn::Tensor> Snapshot(const std::vector<nn::Var>& params) {
+  std::vector<nn::Tensor> out;
+  out.reserve(params.size());
+  for (const auto& p : params) out.push_back(p->value);
+  return out;
+}
+
+void Restore(const std::vector<nn::Var>& params,
+             const std::vector<nn::Tensor>& snapshot) {
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+}  // namespace
+
+nn::Var MultiTaskCnnModel::Encode(const std::vector<int>& ids, bool training,
+                                  Rng* rng) const {
+  std::vector<int> padded = ids;
+  const int max_width =
+      *std::max_element(config_.widths.begin(), config_.widths.end());
+  while (padded.size() < static_cast<size_t>(max_width)) padded.push_back(-1);
+  nn::Var emb = embedding_.Lookup(padded);
+  std::vector<nn::Var> pooled;
+  for (size_t w = 0; w < config_.widths.size(); ++w) {
+    pooled.push_back(nn::MaxOverTime(
+        nn::Relu(convs_[w].Apply(nn::Unfold(emb, config_.widths[w])))));
+  }
+  return nn::Dropout(nn::ConcatCols(pooled), config_.dropout, training, rng);
+}
+
+size_t MultiTaskCnnModel::num_parameters() const {
+  size_t total = 0;
+  for (const auto& p : embedding_.Params()) total += p->value.size();
+  for (const auto& conv : convs_) {
+    for (const auto& p : conv.Params()) total += p->value.size();
+  }
+  for (const auto* head : {&error_head_, &cpu_head_, &answer_head_}) {
+    for (const auto& p : head->Params()) total += p->value.size();
+  }
+  return total;
+}
+
+double MultiTaskCnnModel::ExampleLoss(const std::string& statement,
+                                      int error_label, float cpu_target,
+                                      float answer_target) const {
+  Rng unused(0);
+  const auto ids = vocab_.Encode(statement, config_.max_len);
+  nn::Var features = Encode(ids, /*training=*/false, &unused);
+  double loss = 0.0;
+  if (error_label >= 0) {
+    loss += nn::SoftmaxCrossEntropy(error_head_.Apply(features),
+                                    {error_label})
+                ->value.at(0);
+  }
+  if (HasTarget(cpu_target)) {
+    loss += nn::HuberLoss(cpu_head_.Apply(features), {cpu_target},
+                          config_.huber_delta)
+                ->value.at(0);
+  }
+  if (HasTarget(answer_target)) {
+    loss += nn::HuberLoss(answer_head_.Apply(features), {answer_target},
+                          config_.huber_delta)
+                ->value.at(0);
+  }
+  return loss;
+}
+
+double MultiTaskCnnModel::ValidLoss(const MultiTaskDataset& valid) const {
+  if (valid.size() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < valid.size(); ++i) {
+    total += ExampleLoss(valid.statements[i], valid.error_labels[i],
+                         valid.cpu_targets[i], valid.answer_targets[i]);
+  }
+  return total / static_cast<double>(valid.size());
+}
+
+void MultiTaskCnnModel::Fit(const MultiTaskDataset& train,
+                            const MultiTaskDataset& valid, Rng* rng) {
+  SQLFACIL_CHECK(train.error_labels.size() == train.size());
+  SQLFACIL_CHECK(train.cpu_targets.size() == train.size());
+  SQLFACIL_CHECK(train.answer_targets.size() == train.size());
+  num_error_classes_ = train.num_error_classes;
+  vocab_ = Vocabulary::Build(train.statements, config_.granularity,
+                             config_.max_vocab);
+  embedding_ =
+      nn::Embedding(static_cast<int>(vocab_.size()), config_.embed_dim, rng);
+  convs_.clear();
+  for (int width : config_.widths) {
+    convs_.emplace_back(width * config_.embed_dim, config_.kernels_per_width,
+                        rng);
+  }
+  const int feature_dim =
+      static_cast<int>(config_.widths.size()) * config_.kernels_per_width;
+  error_head_ = nn::Linear(feature_dim, num_error_classes_, rng);
+  cpu_head_ = nn::Linear(feature_dim, 1, rng);
+  answer_head_ = nn::Linear(feature_dim, 1, rng);
+
+  std::vector<nn::Var> params = embedding_.Params();
+  for (const auto& conv : convs_) {
+    for (const auto& p : conv.Params()) params.push_back(p);
+  }
+  for (const auto* head : {&error_head_, &cpu_head_, &answer_head_}) {
+    for (const auto& p : head->Params()) params.push_back(p);
+  }
+  nn::AdaMax optimizer(params, config_.lr);
+
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(train.size());
+  for (const auto& s : train.statements) {
+    encoded.push_back(vocab_.Encode(s, config_.max_len));
+  }
+
+  std::vector<nn::Tensor> best = Snapshot(params);
+  double best_valid = 1e300;
+  const size_t n = train.size();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto perm = rng->Permutation(n);
+    for (size_t start = 0; start < n;
+         start += static_cast<size_t>(config_.batch_size)) {
+      const size_t end =
+          std::min(n, start + static_cast<size_t>(config_.batch_size));
+      optimizer.ZeroGrad();
+      nn::Var batch_loss;
+      for (size_t i = start; i < end; ++i) {
+        const size_t idx = perm[i];
+        nn::Var features = Encode(encoded[idx], /*training=*/true, rng);
+        nn::Var example_loss;
+        auto accumulate = [&](nn::Var task_loss) {
+          example_loss = example_loss == nullptr
+                             ? task_loss
+                             : nn::Add(example_loss, task_loss);
+        };
+        if (train.error_labels[idx] >= 0) {
+          accumulate(nn::SoftmaxCrossEntropy(error_head_.Apply(features),
+                                             {train.error_labels[idx]}));
+        }
+        if (HasTarget(train.cpu_targets[idx])) {
+          accumulate(nn::HuberLoss(cpu_head_.Apply(features),
+                                   {train.cpu_targets[idx]},
+                                   config_.huber_delta));
+        }
+        if (HasTarget(train.answer_targets[idx])) {
+          accumulate(nn::HuberLoss(answer_head_.Apply(features),
+                                   {train.answer_targets[idx]},
+                                   config_.huber_delta));
+        }
+        if (example_loss == nullptr) continue;
+        batch_loss = batch_loss == nullptr ? example_loss
+                                           : nn::Add(batch_loss, example_loss);
+      }
+      if (batch_loss == nullptr) continue;
+      batch_loss = nn::Scale(batch_loss, 1.0f / (end - start));
+      nn::Backward(batch_loss);
+      nn::ClipGradNorm(params, config_.clip_norm);
+      optimizer.Step();
+    }
+    const double vloss = ValidLoss(valid);
+    if (vloss < best_valid || valid.size() == 0) {
+      best_valid = vloss;
+      best = Snapshot(params);
+    }
+  }
+  Restore(params, best);
+}
+
+MultiTaskCnnModel::Prediction MultiTaskCnnModel::Predict(
+    const std::string& statement) const {
+  Rng unused(0);
+  const auto ids = vocab_.Encode(statement, config_.max_len);
+  nn::Var features = Encode(ids, /*training=*/false, &unused);
+  Prediction pred;
+  nn::Var logits = error_head_.Apply(features);
+  pred.error_probs.assign(logits->value.data(),
+                          logits->value.data() + logits->value.size());
+  float max_logit =
+      *std::max_element(pred.error_probs.begin(), pred.error_probs.end());
+  double denom = 0.0;
+  for (float& v : pred.error_probs) {
+    v = std::exp(v - max_logit);
+    denom += v;
+  }
+  for (float& v : pred.error_probs) v = static_cast<float>(v / denom);
+  pred.cpu = cpu_head_.Apply(features)->value.at(0);
+  pred.answer = answer_head_.Apply(features)->value.at(0);
+  return pred;
+}
+
+}  // namespace sqlfacil::models

@@ -1,0 +1,83 @@
+#ifndef SQLFACIL_MODELS_MULTITASK_MODEL_H_
+#define SQLFACIL_MODELS_MULTITASK_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/models/vocab.h"
+#include "sqlfacil/nn/layers.h"
+#include "sqlfacil/nn/optim.h"
+#include "sqlfacil/util/random.h"
+
+namespace sqlfacil::models {
+
+/// Training data for the multi-task model: one statement with up to three
+/// labels (error class, log CPU time, log answer size). Absent labels
+/// contribute no loss.
+struct MultiTaskDataset {
+  std::vector<std::string> statements;
+  std::vector<int> error_labels;      // -1 = absent
+  std::vector<float> cpu_targets;     // NaN = absent
+  std::vector<float> answer_targets;  // NaN = absent
+  int num_error_classes = 3;
+
+  size_t size() const { return statements.size(); }
+};
+
+/// The multi-task extension sketched in the paper's Section 8: one shared
+/// character-level CNN encoder (embeddings + parallel convolutions +
+/// max-over-time pooling) feeding three task heads — error classification,
+/// CPU-time regression, answer-size regression. The joint loss is the sum
+/// of the per-task losses; tasks with correlated labels (long queries are
+/// slow AND large) share representation capacity.
+class MultiTaskCnnModel {
+ public:
+  struct Config {
+    sql::Granularity granularity = sql::Granularity::kChar;
+    size_t max_vocab = 5000;
+    size_t max_len = 192;
+    int embed_dim = 16;
+    int kernels_per_width = 48;
+    std::vector<int> widths = {3, 4, 5};
+    float dropout = 0.5f;
+    float lr = 3e-3f;
+    float clip_norm = 0.25f;
+    int epochs = 3;
+    int batch_size = 16;
+    float huber_delta = 1.0f;
+  };
+
+  explicit MultiTaskCnnModel(Config config) : config_(std::move(config)) {}
+
+  void Fit(const MultiTaskDataset& train, const MultiTaskDataset& valid,
+           Rng* rng);
+
+  struct Prediction {
+    std::vector<float> error_probs;
+    float cpu = 0.0f;     // log space
+    float answer = 0.0f;  // log space
+  };
+  Prediction Predict(const std::string& statement) const;
+
+  size_t num_parameters() const;
+
+ private:
+  nn::Var Encode(const std::vector<int>& ids, bool training, Rng* rng) const;
+  double ValidLoss(const MultiTaskDataset& valid) const;
+  double ExampleLoss(const std::string& statement, int error_label,
+                     float cpu_target, float answer_target) const;
+
+  Config config_;
+  int num_error_classes_ = 3;
+  Vocabulary vocab_;
+  nn::Embedding embedding_;
+  std::vector<nn::Linear> convs_;
+  nn::Linear error_head_;
+  nn::Linear cpu_head_;
+  nn::Linear answer_head_;
+};
+
+}  // namespace sqlfacil::models
+
+#endif  // SQLFACIL_MODELS_MULTITASK_MODEL_H_

@@ -1,0 +1,145 @@
+#include "sqlfacil/models/serialize_util.h"
+
+namespace sqlfacil::models::serialize {
+
+namespace {
+
+template <typename T>
+void WritePod(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+StatusOr<T> ReadPod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in.good()) return Status::InvalidArgument("truncated model file");
+  return v;
+}
+
+}  // namespace
+
+void WriteU64(std::ostream& out, uint64_t v) { WritePod(out, v); }
+StatusOr<uint64_t> ReadU64(std::istream& in) { return ReadPod<uint64_t>(in); }
+
+void WriteI32(std::ostream& out, int32_t v) { WritePod(out, v); }
+StatusOr<int32_t> ReadI32(std::istream& in) { return ReadPod<int32_t>(in); }
+
+void WriteF32(std::ostream& out, float v) { WritePod(out, v); }
+StatusOr<float> ReadF32(std::istream& in) { return ReadPod<float>(in); }
+
+void WriteF64(std::ostream& out, double v) { WritePod(out, v); }
+StatusOr<double> ReadF64(std::istream& in) { return ReadPod<double>(in); }
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+StatusOr<std::string> ReadString(std::istream& in) {
+  auto size = ReadU64(in);
+  if (!size.ok()) return size.status();
+  if (*size > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("implausible string size in model file");
+  }
+  std::string s(*size, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(*size));
+  if (!in.good() && *size > 0) {
+    return Status::InvalidArgument("truncated model file");
+  }
+  return s;
+}
+
+void WriteFloats(std::ostream& out, const std::vector<float>& v) {
+  WriteU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+StatusOr<std::vector<float>> ReadFloats(std::istream& in) {
+  auto size = ReadU64(in);
+  if (!size.ok()) return size.status();
+  if (*size > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("implausible array size in model file");
+  }
+  std::vector<float> v(*size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(*size * sizeof(float)));
+  if (!in.good() && *size > 0) {
+    return Status::InvalidArgument("truncated model file");
+  }
+  return v;
+}
+
+void WriteTensor(std::ostream& out, const nn::Tensor& t) {
+  WriteU64(out, t.shape().size());
+  for (int d : t.shape()) WriteI32(out, d);
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+StatusOr<nn::Tensor> ReadTensor(std::istream& in) {
+  auto rank = ReadU64(in);
+  if (!rank.ok()) return rank.status();
+  if (*rank > 8) return Status::InvalidArgument("implausible tensor rank");
+  std::vector<int> shape;
+  for (uint64_t i = 0; i < *rank; ++i) {
+    auto d = ReadI32(in);
+    if (!d.ok()) return d.status();
+    if (*d < 0 || *d > (1 << 28)) {
+      return Status::InvalidArgument("implausible tensor dim");
+    }
+    shape.push_back(*d);
+  }
+  nn::Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!in.good() && t.size() > 0) {
+    return Status::InvalidArgument("truncated model file");
+  }
+  return t;
+}
+
+void WriteStringIntMap(std::ostream& out,
+                       const std::unordered_map<std::string, int>& m) {
+  WriteU64(out, m.size());
+  for (const auto& [key, value] : m) {
+    WriteString(out, key);
+    WriteI32(out, value);
+  }
+}
+
+StatusOr<std::unordered_map<std::string, int>> ReadStringIntMap(
+    std::istream& in) {
+  auto size = ReadU64(in);
+  if (!size.ok()) return size.status();
+  if (*size > (uint64_t{1} << 28)) {
+    return Status::InvalidArgument("implausible map size in model file");
+  }
+  std::unordered_map<std::string, int> m;
+  m.reserve(*size);
+  for (uint64_t i = 0; i < *size; ++i) {
+    auto key = ReadString(in);
+    if (!key.ok()) return key.status();
+    auto value = ReadI32(in);
+    if (!value.ok()) return value.status();
+    m.emplace(std::move(key).value(), *value);
+  }
+  return m;
+}
+
+void WriteTag(std::ostream& out, const std::string& tag) {
+  WriteString(out, tag);
+}
+
+Status ExpectTag(std::istream& in, const std::string& tag) {
+  auto read = ReadString(in);
+  if (!read.ok()) return read.status();
+  if (*read != tag) {
+    return Status::InvalidArgument("model file tag mismatch: expected '" +
+                                   tag + "', found '" + *read + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace sqlfacil::models::serialize

@@ -1,0 +1,51 @@
+#ifndef SQLFACIL_MODELS_SERIALIZE_UTIL_H_
+#define SQLFACIL_MODELS_SERIALIZE_UTIL_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlfacil/nn/tensor.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::models::serialize {
+
+// Binary (de)serialization helpers for trained models. The format is
+// native-endian and versioned per model; it is a model checkpoint format,
+// not an interchange format.
+
+void WriteU64(std::ostream& out, uint64_t v);
+StatusOr<uint64_t> ReadU64(std::istream& in);
+
+void WriteI32(std::ostream& out, int32_t v);
+StatusOr<int32_t> ReadI32(std::istream& in);
+
+void WriteF32(std::ostream& out, float v);
+StatusOr<float> ReadF32(std::istream& in);
+
+void WriteF64(std::ostream& out, double v);
+StatusOr<double> ReadF64(std::istream& in);
+
+void WriteString(std::ostream& out, const std::string& s);
+StatusOr<std::string> ReadString(std::istream& in);
+
+void WriteFloats(std::ostream& out, const std::vector<float>& v);
+StatusOr<std::vector<float>> ReadFloats(std::istream& in);
+
+void WriteTensor(std::ostream& out, const nn::Tensor& t);
+StatusOr<nn::Tensor> ReadTensor(std::istream& in);
+
+void WriteStringIntMap(std::ostream& out,
+                       const std::unordered_map<std::string, int>& m);
+StatusOr<std::unordered_map<std::string, int>> ReadStringIntMap(
+    std::istream& in);
+
+/// Writes/checks a section tag; a mismatch on read yields an error.
+void WriteTag(std::ostream& out, const std::string& tag);
+Status ExpectTag(std::istream& in, const std::string& tag);
+
+}  // namespace sqlfacil::models::serialize
+
+#endif  // SQLFACIL_MODELS_SERIALIZE_UTIL_H_

@@ -1,0 +1,169 @@
+#include "sqlfacil/models/tfidf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::models {
+
+namespace {
+
+void Softmax(std::vector<float>* scores) {
+  float max_score = *std::max_element(scores->begin(), scores->end());
+  double denom = 0.0;
+  for (float& s : *scores) {
+    s = std::exp(s - max_score);
+    denom += s;
+  }
+  for (float& s : *scores) s = static_cast<float>(s / denom);
+}
+
+}  // namespace
+
+std::vector<float> TfidfModel::Scores(
+    const std::vector<std::pair<int, float>>& features) const {
+  std::vector<float> scores(bias_);
+  for (const auto& [f, x] : features) {
+    const float* row = &weights_[static_cast<size_t>(f) * outputs_];
+    for (int c = 0; c < outputs_; ++c) scores[c] += row[c] * x;
+  }
+  return scores;
+}
+
+void TfidfModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
+  kind_ = train.kind;
+  outputs_ = kind_ == TaskKind::kClassification ? train.num_classes : 1;
+
+  TfidfVectorizer::Config vec_config;
+  vec_config.granularity = config_.granularity;
+  vec_config.max_n = config_.max_n;
+  vec_config.max_features = config_.max_features;
+  vectorizer_ = TfidfVectorizer::Fit(train.statements, vec_config);
+
+  weights_.assign(vectorizer_.num_features() * outputs_, 0.0f);
+  bias_.assign(outputs_, 0.0f);
+
+  // Precompute sparse features.
+  std::vector<std::vector<std::pair<int, float>>> train_features;
+  train_features.reserve(train.size());
+  for (const auto& s : train.statements) {
+    train_features.push_back(vectorizer_.Transform(s));
+  }
+  std::vector<std::vector<std::pair<int, float>>> valid_features;
+  for (const auto& s : valid.statements) {
+    valid_features.push_back(vectorizer_.Transform(s));
+  }
+
+  auto valid_loss = [&]() {
+    if (valid_features.empty()) return 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < valid_features.size(); ++i) {
+      auto scores = Scores(valid_features[i]);
+      if (kind_ == TaskKind::kClassification) {
+        Softmax(&scores);
+        total -= std::log(
+            std::max(1e-12, static_cast<double>(scores[valid.labels[i]])));
+      } else {
+        const double r = scores[0] - valid.targets[i];
+        const double ar = std::fabs(r);
+        total += ar <= config_.huber_delta
+                     ? 0.5 * r * r
+                     : config_.huber_delta * (ar - 0.5 * config_.huber_delta);
+      }
+    }
+    return total / static_cast<double>(valid_features.size());
+  };
+
+  std::vector<float> best_weights = weights_;
+  std::vector<float> best_bias = bias_;
+  double best_valid = 1e300;
+
+  const size_t n = train.size();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const float lr =
+        config_.lr / (1.0f + 0.5f * static_cast<float>(epoch));
+    auto perm = rng->Permutation(n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t idx = perm[i];
+      const auto& feats = train_features[idx];
+      auto scores = Scores(feats);
+      // Gradient of the per-output score.
+      std::vector<float> dscore(outputs_, 0.0f);
+      if (kind_ == TaskKind::kClassification) {
+        Softmax(&scores);
+        for (int c = 0; c < outputs_; ++c) {
+          dscore[c] = scores[c] - (c == train.labels[idx] ? 1.0f : 0.0f);
+        }
+      } else {
+        const float r = scores[0] - train.targets[idx];
+        dscore[0] = std::fabs(r) <= config_.huber_delta
+                        ? r
+                        : (r > 0 ? config_.huber_delta : -config_.huber_delta);
+      }
+      // Sparse SGD update (weight decay applied to touched rows only).
+      for (const auto& [f, x] : feats) {
+        float* row = &weights_[static_cast<size_t>(f) * outputs_];
+        for (int c = 0; c < outputs_; ++c) {
+          row[c] -= lr * (dscore[c] * x + config_.weight_decay * row[c]);
+        }
+      }
+      for (int c = 0; c < outputs_; ++c) bias_[c] -= lr * dscore[c];
+    }
+    const double vloss = valid_loss();
+    if (vloss < best_valid || valid_features.empty()) {
+      best_valid = vloss;
+      best_weights = weights_;
+      best_bias = bias_;
+    }
+  }
+  weights_ = std::move(best_weights);
+  bias_ = std::move(best_bias);
+}
+
+std::vector<float> TfidfModel::Predict(const std::string& statement,
+                                       double opt_cost) const {
+  (void)opt_cost;
+  auto scores = Scores(vectorizer_.Transform(statement));
+  if (kind_ == TaskKind::kClassification) Softmax(&scores);
+  return scores;
+}
+
+Status TfidfModel::SaveTo(std::ostream& out) const {
+  serialize::WriteTag(out, "tfidf_model.v1");
+  serialize::WriteI32(out, kind_ == TaskKind::kClassification ? 0 : 1);
+  serialize::WriteI32(out, outputs_);
+  vectorizer_.SaveTo(out);
+  serialize::WriteFloats(out, weights_);
+  serialize::WriteFloats(out, bias_);
+  return Status::Ok();
+}
+
+Status TfidfModel::LoadFrom(std::istream& in) {
+  if (Status s = serialize::ExpectTag(in, "tfidf_model.v1"); !s.ok()) {
+    return s;
+  }
+  auto kind = serialize::ReadI32(in);
+  if (!kind.ok()) return kind.status();
+  kind_ = *kind == 0 ? TaskKind::kClassification : TaskKind::kRegression;
+  auto outputs = serialize::ReadI32(in);
+  if (!outputs.ok()) return outputs.status();
+  outputs_ = *outputs;
+  auto vectorizer = TfidfVectorizer::LoadFrom(in);
+  if (!vectorizer.ok()) return vectorizer.status();
+  vectorizer_ = std::move(vectorizer).value();
+  auto weights = serialize::ReadFloats(in);
+  if (!weights.ok()) return weights.status();
+  weights_ = std::move(weights).value();
+  auto bias = serialize::ReadFloats(in);
+  if (!bias.ok()) return bias.status();
+  bias_ = std::move(bias).value();
+  if (weights_.size() != vectorizer_.num_features() * outputs_ ||
+      bias_.size() != static_cast<size_t>(outputs_)) {
+    return Status::InvalidArgument("tfidf model shape mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace sqlfacil::models

@@ -1,0 +1,189 @@
+#include "sqlfacil/models/vocab.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sqlfacil/models/serialize_util.h"
+
+namespace sqlfacil::models {
+
+Vocabulary Vocabulary::Build(const std::vector<std::string>& statements,
+                             sql::Granularity granularity, size_t max_size,
+                             size_t min_count) {
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& s : statements) {
+    for (auto& token : sql::Tokenize(s, granularity)) {
+      ++counts[std::move(token)];
+    }
+  }
+  std::vector<std::pair<std::string, size_t>> sorted(counts.begin(),
+                                                     counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  Vocabulary vocab;
+  vocab.granularity_ = granularity;
+  int next_id = 1;  // 0 is <UNK>
+  for (const auto& [token, count] : sorted) {
+    if (count < min_count) break;
+    if (vocab.id_of_.size() >= max_size) break;
+    vocab.id_of_.emplace(token, next_id++);
+  }
+  return vocab;
+}
+
+int Vocabulary::IdOf(const std::string& token) const {
+  auto it = id_of_.find(token);
+  return it == id_of_.end() ? kUnkId : it->second;
+}
+
+std::vector<int> Vocabulary::Encode(const std::string& statement,
+                                    size_t max_len) const {
+  auto tokens = sql::Tokenize(statement, granularity_);
+  if (max_len > 0 && tokens.size() > max_len) tokens.resize(max_len);
+  std::vector<int> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(IdOf(t));
+  return ids;
+}
+
+void Vocabulary::SaveTo(std::ostream& out) const {
+  serialize::WriteTag(out, "vocab.v1");
+  serialize::WriteI32(out,
+                      granularity_ == sql::Granularity::kChar ? 0 : 1);
+  serialize::WriteStringIntMap(out, id_of_);
+}
+
+StatusOr<Vocabulary> Vocabulary::LoadFrom(std::istream& in) {
+  if (Status s = serialize::ExpectTag(in, "vocab.v1"); !s.ok()) return s;
+  auto granularity = serialize::ReadI32(in);
+  if (!granularity.ok()) return granularity.status();
+  auto map = serialize::ReadStringIntMap(in);
+  if (!map.ok()) return map.status();
+  Vocabulary vocab;
+  vocab.granularity_ =
+      *granularity == 0 ? sql::Granularity::kChar : sql::Granularity::kWord;
+  vocab.id_of_ = std::move(map).value();
+  return vocab;
+}
+
+void TfidfVectorizer::SaveTo(std::ostream& out) const {
+  serialize::WriteTag(out, "tfidf_vec.v1");
+  serialize::WriteI32(out,
+                      config_.granularity == sql::Granularity::kChar ? 0 : 1);
+  serialize::WriteI32(out, config_.max_n);
+  serialize::WriteU64(out, config_.max_features);
+  serialize::WriteU64(out, config_.min_count);
+  serialize::WriteStringIntMap(out, feature_of_);
+  serialize::WriteFloats(out, idf_);
+}
+
+StatusOr<TfidfVectorizer> TfidfVectorizer::LoadFrom(std::istream& in) {
+  if (Status s = serialize::ExpectTag(in, "tfidf_vec.v1"); !s.ok()) return s;
+  TfidfVectorizer vec;
+  auto granularity = serialize::ReadI32(in);
+  if (!granularity.ok()) return granularity.status();
+  vec.config_.granularity =
+      *granularity == 0 ? sql::Granularity::kChar : sql::Granularity::kWord;
+  auto max_n = serialize::ReadI32(in);
+  if (!max_n.ok()) return max_n.status();
+  vec.config_.max_n = *max_n;
+  auto max_features = serialize::ReadU64(in);
+  if (!max_features.ok()) return max_features.status();
+  vec.config_.max_features = *max_features;
+  auto min_count = serialize::ReadU64(in);
+  if (!min_count.ok()) return min_count.status();
+  vec.config_.min_count = *min_count;
+  auto features = serialize::ReadStringIntMap(in);
+  if (!features.ok()) return features.status();
+  vec.feature_of_ = std::move(features).value();
+  auto idf = serialize::ReadFloats(in);
+  if (!idf.ok()) return idf.status();
+  vec.idf_ = std::move(idf).value();
+  if (vec.idf_.size() != vec.feature_of_.size()) {
+    return Status::InvalidArgument("tfidf vectorizer size mismatch");
+  }
+  return vec;
+}
+
+std::vector<std::string> TfidfVectorizer::NGrams(
+    const std::string& statement) const {
+  const auto tokens = sql::Tokenize(statement, config_.granularity);
+  std::vector<std::string> grams;
+  grams.reserve(tokens.size() * config_.max_n);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    std::string gram;
+    for (int n = 0; n < config_.max_n && i + n < tokens.size(); ++n) {
+      if (n > 0) gram.push_back('\x1f');
+      gram += tokens[i + n];
+      grams.push_back(gram);
+    }
+  }
+  return grams;
+}
+
+TfidfVectorizer TfidfVectorizer::Fit(
+    const std::vector<std::string>& statements, const Config& config) {
+  TfidfVectorizer vec;
+  vec.config_ = config;
+  // Count n-gram frequency and document frequency.
+  std::unordered_map<std::string, size_t> total_counts;
+  std::unordered_map<std::string, size_t> doc_counts;
+  for (const auto& s : statements) {
+    auto grams = vec.NGrams(s);
+    std::sort(grams.begin(), grams.end());
+    grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+    for (const auto& g : grams) {
+      ++doc_counts[g];
+    }
+    for (auto& g : vec.NGrams(s)) ++total_counts[std::move(g)];
+  }
+  std::vector<std::pair<std::string, size_t>> sorted(total_counts.begin(),
+                                                     total_counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const double num_docs = static_cast<double>(statements.size());
+  for (const auto& [gram, count] : sorted) {
+    if (count < config.min_count) break;
+    if (vec.feature_of_.size() >= config.max_features) break;
+    const int id = static_cast<int>(vec.feature_of_.size());
+    vec.feature_of_.emplace(gram, id);
+    // IDF = log(|Q| / (1 + #docs containing token)) (Section 5.1).
+    vec.idf_.push_back(static_cast<float>(
+        std::log(num_docs / (1.0 + static_cast<double>(doc_counts[gram])))));
+  }
+  return vec;
+}
+
+std::vector<std::pair<int, float>> TfidfVectorizer::Transform(
+    const std::string& statement) const {
+  std::unordered_map<int, float> tf;
+  size_t total = 0;
+  for (const auto& g : NGrams(statement)) {
+    auto it = feature_of_.find(g);
+    ++total;
+    if (it != feature_of_.end()) tf[it->second] += 1.0f;
+  }
+  std::vector<std::pair<int, float>> out;
+  out.reserve(tf.size());
+  double norm_sq = 0.0;
+  for (auto& [id, count] : tf) {
+    // Normalized term frequency (prevents bias toward longer queries).
+    const float w =
+        (count / static_cast<float>(std::max<size_t>(1, total))) * idf_[id];
+    if (w != 0.0f) {
+      out.emplace_back(id, w);
+      norm_sq += static_cast<double>(w) * w;
+    }
+  }
+  const float inv_norm =
+      norm_sq > 0 ? static_cast<float>(1.0 / std::sqrt(norm_sq)) : 0.0f;
+  for (auto& [id, w] : out) w *= inv_norm;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sqlfacil::models

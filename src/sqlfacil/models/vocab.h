@@ -1,0 +1,82 @@
+#ifndef SQLFACIL_MODELS_VOCAB_H_
+#define SQLFACIL_MODELS_VOCAB_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlfacil/sql/tokenizer.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::models {
+
+/// Token-id vocabulary built from a training corpus. Id 0 is reserved for
+/// <UNK> (out-of-vocabulary tokens, Section 4.4.1 / Appendix A.1); padding
+/// uses id -1 (a zero embedding row, handled by nn::Rows).
+class Vocabulary {
+ public:
+  static constexpr int kUnkId = 0;
+
+  /// Builds from tokenized statements, keeping tokens with at least
+  /// `min_count` occurrences, capped at `max_size` most frequent.
+  static Vocabulary Build(const std::vector<std::string>& statements,
+                          sql::Granularity granularity, size_t max_size,
+                          size_t min_count = 1);
+
+  sql::Granularity granularity() const { return granularity_; }
+  /// Total ids including <UNK>.
+  size_t size() const { return id_of_.size() + 1; }
+
+  int IdOf(const std::string& token) const;
+
+  /// Token ids of a statement, truncated to max_len (0 = no limit).
+  std::vector<int> Encode(const std::string& statement,
+                          size_t max_len = 0) const;
+
+  /// Checkpoint (de)serialization.
+  void SaveTo(std::ostream& out) const;
+  static StatusOr<Vocabulary> LoadFrom(std::istream& in);
+
+ private:
+  sql::Granularity granularity_ = sql::Granularity::kChar;
+  std::unordered_map<std::string, int> id_of_;
+};
+
+/// N-gram vocabulary + TFIDF weighting (Section 5.1): the most frequent
+/// n-grams (1..max_n) of the training corpus become the feature space;
+/// each query maps to a sparse TFIDF vector.
+class TfidfVectorizer {
+ public:
+  struct Config {
+    sql::Granularity granularity = sql::Granularity::kWord;
+    int max_n = 5;
+    size_t max_features = 20000;
+    size_t min_count = 2;
+  };
+
+  static TfidfVectorizer Fit(const std::vector<std::string>& statements,
+                             const Config& config);
+
+  /// Sparse feature vector: sorted (feature id, tfidf weight) pairs,
+  /// L2-normalized.
+  std::vector<std::pair<int, float>> Transform(
+      const std::string& statement) const;
+
+  size_t num_features() const { return feature_of_.size(); }
+
+  /// Checkpoint (de)serialization.
+  void SaveTo(std::ostream& out) const;
+  static StatusOr<TfidfVectorizer> LoadFrom(std::istream& in);
+
+ private:
+  std::vector<std::string> NGrams(const std::string& statement) const;
+
+  Config config_;
+  std::unordered_map<std::string, int> feature_of_;
+  std::vector<float> idf_;
+};
+
+}  // namespace sqlfacil::models
+
+#endif  // SQLFACIL_MODELS_VOCAB_H_

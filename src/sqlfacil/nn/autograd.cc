@@ -1,0 +1,578 @@
+#include "sqlfacil/nn/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::nn {
+
+Tensor& Variable::EnsureGrad() {
+  if (!grad.SameShape(value)) grad = Tensor(value.shape());
+  return grad;
+}
+
+Var MakeParam(Tensor value) {
+  auto v = std::make_shared<Variable>();
+  v->value = std::move(value);
+  v->requires_grad = true;
+  return v;
+}
+
+Var MakeConst(Tensor value) {
+  auto v = std::make_shared<Variable>();
+  v->value = std::move(value);
+  v->requires_grad = false;
+  return v;
+}
+
+namespace {
+
+// Marks an op output: it requires grad if any parent does.
+Var MakeOp(Tensor value, std::vector<Var> parents,
+           std::function<void(Variable&)> backward_fn) {
+  auto v = std::make_shared<Variable>();
+  v->value = std::move(value);
+  for (const auto& p : parents) v->requires_grad |= p->requires_grad;
+  if (v->requires_grad) {
+    v->parents = std::move(parents);
+    v->backward_fn = std::move(backward_fn);
+  }
+  return v;
+}
+
+}  // namespace
+
+void Backward(const Var& root) {
+  SQLFACIL_CHECK(root->value.size() == 1)
+      << "Backward requires a scalar root";
+  std::unordered_set<Variable*> seen;
+  std::vector<Var> order;
+  // Iterative topological sort (deep LSTM graphs overflow recursion).
+  {
+    struct Frame {
+      Var node;
+      size_t next_parent = 0;
+    };
+    std::vector<Frame> stack;
+    if (root->requires_grad) stack.push_back({root, 0});
+    seen.insert(root.get());
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next_parent < top.node->parents.size()) {
+        Var parent = top.node->parents[top.next_parent++];
+        if (parent->requires_grad && seen.insert(parent.get()).second) {
+          stack.push_back({std::move(parent), 0});
+        }
+      } else {
+        order.push_back(top.node);
+        stack.pop_back();
+      }
+    }
+  }
+  root->EnsureGrad();
+  root->grad.Fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Variable& node = **it;
+    if (node.backward_fn) node.backward_fn(node);
+  }
+}
+
+void ZeroGrad(const std::vector<Var>& params) {
+  for (const auto& p : params) {
+    p->EnsureGrad();
+    p->grad.Fill(0.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ops
+// ---------------------------------------------------------------------------
+
+Var MatMul(const Var& a, const Var& b) {
+  const int m = a->value.rows();
+  const int k = a->value.cols();
+  const int n = b->value.cols();
+  SQLFACIL_CHECK(b->value.rows() == k)
+      << "MatMul shape mismatch: (" << m << "x" << k << ") @ ("
+      << b->value.rows() << "x" << n << ")";
+  Tensor out({m, n});
+  const float* A = a->value.data();
+  const float* B = b->value.data();
+  float* C = out.data();
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = A + static_cast<size_t>(i) * k;
+    float* c_row = C + static_cast<size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float* b_row = B + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+  Var av = a, bv = b;
+  return MakeOp(std::move(out), {a, b}, [av, bv, m, k, n](Variable& node) {
+    const float* G = node.grad.data();
+    if (av->requires_grad) {
+      // dA = G @ B^T
+      float* dA = av->EnsureGrad().data();
+      const float* B = bv->value.data();
+      for (int i = 0; i < m; ++i) {
+        const float* g_row = G + static_cast<size_t>(i) * n;
+        float* da_row = dA + static_cast<size_t>(i) * k;
+        for (int kk = 0; kk < k; ++kk) {
+          const float* b_row = B + static_cast<size_t>(kk) * n;
+          float acc = 0.0f;
+          for (int j = 0; j < n; ++j) acc += g_row[j] * b_row[j];
+          da_row[kk] += acc;
+        }
+      }
+    }
+    if (bv->requires_grad) {
+      // dB = A^T @ G
+      float* dB = bv->EnsureGrad().data();
+      const float* A = av->value.data();
+      for (int i = 0; i < m; ++i) {
+        const float* a_row = A + static_cast<size_t>(i) * k;
+        const float* g_row = G + static_cast<size_t>(i) * n;
+        for (int kk = 0; kk < k; ++kk) {
+          const float a_ik = a_row[kk];
+          if (a_ik == 0.0f) continue;
+          float* db_row = dB + static_cast<size_t>(kk) * n;
+          for (int j = 0; j < n; ++j) db_row[j] += a_ik * g_row[j];
+        }
+      }
+    }
+  });
+}
+
+Var Add(const Var& a, const Var& b) {
+  const bool broadcast =
+      b->value.rows() == 1 && a->value.rows() > 1 &&
+      a->value.cols() == b->value.cols();
+  SQLFACIL_CHECK(broadcast || a->value.SameShape(b->value))
+      << "Add shape mismatch";
+  Tensor out = a->value;
+  const int rows = out.rows(), cols = out.cols();
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      out.at(i, j) += b->value.at(broadcast ? 0 : i, j);
+    }
+  }
+  Var av = a, bv = b;
+  return MakeOp(std::move(out), {a, b},
+                [av, bv, broadcast, rows, cols](Variable& node) {
+                  if (av->requires_grad) {
+                    float* dA = av->EnsureGrad().data();
+                    const float* G = node.grad.data();
+                    for (size_t i = 0; i < node.grad.size(); ++i) {
+                      dA[i] += G[i];
+                    }
+                  }
+                  if (bv->requires_grad) {
+                    Tensor& db = bv->EnsureGrad();
+                    for (int i = 0; i < rows; ++i) {
+                      for (int j = 0; j < cols; ++j) {
+                        db.at(broadcast ? 0 : i, j) += node.grad.at(i, j);
+                      }
+                    }
+                  }
+                });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  SQLFACIL_CHECK(a->value.SameShape(b->value)) << "Sub shape mismatch";
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] -= b->value.data()[i];
+  Var av = a, bv = b;
+  return MakeOp(std::move(out), {a, b}, [av, bv](Variable& node) {
+    if (av->requires_grad) {
+      float* dA = av->EnsureGrad().data();
+      for (size_t i = 0; i < node.grad.size(); ++i) {
+        dA[i] += node.grad.data()[i];
+      }
+    }
+    if (bv->requires_grad) {
+      float* dB = bv->EnsureGrad().data();
+      for (size_t i = 0; i < node.grad.size(); ++i) {
+        dB[i] -= node.grad.data()[i];
+      }
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  SQLFACIL_CHECK(a->value.SameShape(b->value)) << "Mul shape mismatch";
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= b->value.data()[i];
+  Var av = a, bv = b;
+  return MakeOp(std::move(out), {a, b}, [av, bv](Variable& node) {
+    if (av->requires_grad) {
+      float* dA = av->EnsureGrad().data();
+      for (size_t i = 0; i < node.grad.size(); ++i) {
+        dA[i] += node.grad.data()[i] * bv->value.data()[i];
+      }
+    }
+    if (bv->requires_grad) {
+      float* dB = bv->EnsureGrad().data();
+      for (size_t i = 0; i < node.grad.size(); ++i) {
+        dB[i] += node.grad.data()[i] * av->value.data()[i];
+      }
+    }
+  });
+}
+
+Var Scale(const Var& a, float s) {
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  Var av = a;
+  return MakeOp(std::move(out), {a}, [av, s](Variable& node) {
+    if (!av->requires_grad) return;
+    float* dA = av->EnsureGrad().data();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      dA[i] += node.grad.data()[i] * s;
+    }
+  });
+}
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+Var Pointwise(const Var& a, Fwd fwd, Bwd bwd_from_out) {
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = fwd(out.data()[i]);
+  Var av = a;
+  // Capture the forward output values for the backward pass.
+  auto out_copy = std::make_shared<Tensor>(out);
+  return MakeOp(std::move(out), {a},
+                [av, out_copy, bwd_from_out](Variable& node) {
+                  if (!av->requires_grad) return;
+                  float* dA = av->EnsureGrad().data();
+                  for (size_t i = 0; i < node.grad.size(); ++i) {
+                    dA[i] +=
+                        node.grad.data()[i] * bwd_from_out(out_copy->data()[i]);
+                  }
+                });
+}
+
+}  // namespace
+
+Var Sigmoid(const Var& a) {
+  return Pointwise(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float y) { return y * (1.0f - y); });
+}
+
+Var Tanh(const Var& a) {
+  return Pointwise(a, [](float x) { return std::tanh(x); },
+                   [](float y) { return 1.0f - y * y; });
+}
+
+Var Relu(const Var& a) {
+  return Pointwise(a, [](float x) { return x > 0.0f ? x : 0.0f; },
+                   [](float y) { return y > 0.0f ? 1.0f : 0.0f; });
+}
+
+Var Rows(const Var& table, const std::vector<int>& indices) {
+  const int d = table->value.cols();
+  Tensor out({static_cast<int>(indices.size()), d});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int idx = indices[i];
+    if (idx < 0) continue;  // padding: zero row
+    SQLFACIL_CHECK(idx < table->value.rows());
+    for (int j = 0; j < d; ++j) {
+      out.at(static_cast<int>(i), j) = table->value.at(idx, j);
+    }
+  }
+  Var tv = table;
+  auto idx_copy = std::make_shared<std::vector<int>>(indices);
+  return MakeOp(std::move(out), {table}, [tv, idx_copy, d](Variable& node) {
+    if (!tv->requires_grad) return;
+    Tensor& dT = tv->EnsureGrad();
+    for (size_t i = 0; i < idx_copy->size(); ++i) {
+      const int idx = (*idx_copy)[i];
+      if (idx < 0) continue;
+      for (int j = 0; j < d; ++j) {
+        dT.at(idx, j) += node.grad.at(static_cast<int>(i), j);
+      }
+    }
+  });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  SQLFACIL_CHECK(!parts.empty());
+  const int rows = parts[0]->value.rows();
+  int total_cols = 0;
+  for (const auto& p : parts) {
+    SQLFACIL_CHECK(p->value.rows() == rows) << "ConcatCols row mismatch";
+    total_cols += p->value.cols();
+  }
+  Tensor out({rows, total_cols});
+  int offset = 0;
+  for (const auto& p : parts) {
+    const int c = p->value.cols();
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < c; ++j) out.at(i, offset + j) = p->value.at(i, j);
+    }
+    offset += c;
+  }
+  auto parts_copy = parts;
+  return MakeOp(std::move(out), parts, [parts_copy, rows](Variable& node) {
+    int offset = 0;
+    for (const auto& p : parts_copy) {
+      const int c = p->value.cols();
+      if (p->requires_grad) {
+        Tensor& dp = p->EnsureGrad();
+        for (int i = 0; i < rows; ++i) {
+          for (int j = 0; j < c; ++j) dp.at(i, j) += node.grad.at(i, offset + j);
+        }
+      }
+      offset += c;
+    }
+  });
+}
+
+Var SliceCols(const Var& a, int start, int len) {
+  const int rows = a->value.rows();
+  const int cols = a->value.cols();
+  SQLFACIL_CHECK(start >= 0 && len >= 0 && start + len <= cols);
+  Tensor out({rows, len});
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < len; ++j) out.at(i, j) = a->value.at(i, start + j);
+  }
+  Var av = a;
+  return MakeOp(std::move(out), {a}, [av, start, len, rows](Variable& node) {
+    if (!av->requires_grad) return;
+    Tensor& dA = av->EnsureGrad();
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < len; ++j) {
+        dA.at(i, start + j) += node.grad.at(i, j);
+      }
+    }
+  });
+}
+
+Var MaxOverTime(const Var& a) {
+  const int t = a->value.rows();
+  const int k = a->value.cols();
+  SQLFACIL_CHECK(t >= 1);
+  Tensor out({1, k});
+  auto argmax = std::make_shared<std::vector<int>>(k, 0);
+  for (int j = 0; j < k; ++j) {
+    float best = a->value.at(0, j);
+    int best_i = 0;
+    for (int i = 1; i < t; ++i) {
+      if (a->value.at(i, j) > best) {
+        best = a->value.at(i, j);
+        best_i = i;
+      }
+    }
+    out.at(0, j) = best;
+    (*argmax)[j] = best_i;
+  }
+  Var av = a;
+  return MakeOp(std::move(out), {a}, [av, argmax, k](Variable& node) {
+    if (!av->requires_grad) return;
+    Tensor& dA = av->EnsureGrad();
+    for (int j = 0; j < k; ++j) {
+      dA.at((*argmax)[j], j) += node.grad.at(0, j);
+    }
+  });
+}
+
+Var Mean(const Var& a) {
+  const size_t n = a->value.size();
+  SQLFACIL_CHECK(n > 0);
+  Tensor out({1, 1});
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += a->value.data()[i];
+  out.at(0, 0) = static_cast<float>(sum / static_cast<double>(n));
+  Var av = a;
+  return MakeOp(std::move(out), {a}, [av, n](Variable& node) {
+    if (!av->requires_grad) return;
+    const float g = node.grad.at(0, 0) / static_cast<float>(n);
+    float* dA = av->EnsureGrad().data();
+    for (size_t i = 0; i < n; ++i) dA[i] += g;
+  });
+}
+
+Var Dropout(const Var& a, float p, bool training, Rng* rng) {
+  if (!training || p <= 0.0f) return a;
+  SQLFACIL_CHECK(p < 1.0f);
+  SQLFACIL_CHECK(rng != nullptr);
+  const float keep = 1.0f - p;
+  auto mask = std::make_shared<std::vector<float>>(a->value.size());
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float m = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
+    (*mask)[i] = m;
+    out.data()[i] *= m;
+  }
+  Var av = a;
+  return MakeOp(std::move(out), {a}, [av, mask](Variable& node) {
+    if (!av->requires_grad) return;
+    float* dA = av->EnsureGrad().data();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      dA[i] += node.grad.data()[i] * (*mask)[i];
+    }
+  });
+}
+
+Var BlendRows(const Var& a, const Var& b, const std::vector<bool>& mask) {
+  SQLFACIL_CHECK(a->value.SameShape(b->value));
+  SQLFACIL_CHECK(static_cast<int>(mask.size()) == a->value.rows());
+  Tensor out = a->value;
+  const int cols = out.cols();
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (!mask[i]) {
+      for (int j = 0; j < cols; ++j) {
+        out.at(static_cast<int>(i), j) = b->value.at(static_cast<int>(i), j);
+      }
+    }
+  }
+  Var av = a, bv = b;
+  auto mask_copy = std::make_shared<std::vector<bool>>(mask);
+  return MakeOp(std::move(out), {a, b},
+                [av, bv, mask_copy, cols](Variable& node) {
+                  for (size_t i = 0; i < mask_copy->size(); ++i) {
+                    const int r = static_cast<int>(i);
+                    Var target = (*mask_copy)[i] ? av : bv;
+                    if (!target->requires_grad) continue;
+                    Tensor& dt = target->EnsureGrad();
+                    for (int j = 0; j < cols; ++j) {
+                      dt.at(r, j) += node.grad.at(r, j);
+                    }
+                  }
+                });
+}
+
+Var Unfold(const Var& a, int window) {
+  const int t = a->value.rows();
+  const int d = a->value.cols();
+  SQLFACIL_CHECK(window >= 1 && t >= window)
+      << "Unfold: sequence shorter than window";
+  const int out_rows = t - window + 1;
+  Tensor out({out_rows, window * d});
+  for (int i = 0; i < out_rows; ++i) {
+    for (int w = 0; w < window; ++w) {
+      for (int j = 0; j < d; ++j) {
+        out.at(i, w * d + j) = a->value.at(i + w, j);
+      }
+    }
+  }
+  Var av = a;
+  return MakeOp(std::move(out), {a},
+                [av, window, d, out_rows](Variable& node) {
+                  if (!av->requires_grad) return;
+                  Tensor& dA = av->EnsureGrad();
+                  for (int i = 0; i < out_rows; ++i) {
+                    for (int w = 0; w < window; ++w) {
+                      for (int j = 0; j < d; ++j) {
+                        dA.at(i + w, j) += node.grad.at(i, w * d + j);
+                      }
+                    }
+                  }
+                });
+}
+
+Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& labels,
+                        Tensor* probs_out) {
+  const int b = logits->value.rows();
+  const int c = logits->value.cols();
+  SQLFACIL_CHECK(static_cast<int>(labels.size()) == b);
+  auto probs = std::make_shared<Tensor>(std::vector<int>{b, c});
+  double loss_sum = 0.0;
+  for (int i = 0; i < b; ++i) {
+    float max_logit = logits->value.at(i, 0);
+    for (int j = 1; j < c; ++j) {
+      max_logit = std::max(max_logit, logits->value.at(i, j));
+    }
+    double denom = 0.0;
+    for (int j = 0; j < c; ++j) {
+      denom += std::exp(static_cast<double>(logits->value.at(i, j) -
+                                            max_logit));
+    }
+    for (int j = 0; j < c; ++j) {
+      probs->at(i, j) = static_cast<float>(
+          std::exp(static_cast<double>(logits->value.at(i, j) - max_logit)) /
+          denom);
+    }
+    SQLFACIL_CHECK(labels[i] >= 0 && labels[i] < c);
+    loss_sum -= std::log(std::max(1e-12, static_cast<double>(
+                                             probs->at(i, labels[i]))));
+  }
+  if (probs_out != nullptr) *probs_out = *probs;
+  Tensor out({1, 1});
+  out.at(0, 0) = static_cast<float>(loss_sum / b);
+  Var lv = logits;
+  auto labels_copy = std::make_shared<std::vector<int>>(labels);
+  return MakeOp(std::move(out), {logits},
+                [lv, probs, labels_copy, b, c](Variable& node) {
+                  if (!lv->requires_grad) return;
+                  const float g = node.grad.at(0, 0) / static_cast<float>(b);
+                  Tensor& dL = lv->EnsureGrad();
+                  for (int i = 0; i < b; ++i) {
+                    for (int j = 0; j < c; ++j) {
+                      const float indicator =
+                          (j == (*labels_copy)[i]) ? 1.0f : 0.0f;
+                      dL.at(i, j) += g * (probs->at(i, j) - indicator);
+                    }
+                  }
+                });
+}
+
+Var HuberLoss(const Var& pred, const std::vector<float>& targets,
+              float delta) {
+  const int b = pred->value.rows();
+  SQLFACIL_CHECK(pred->value.cols() == 1);
+  SQLFACIL_CHECK(static_cast<int>(targets.size()) == b);
+  double loss_sum = 0.0;
+  auto residuals = std::make_shared<std::vector<float>>(b);
+  for (int i = 0; i < b; ++i) {
+    const float r = pred->value.at(i, 0) - targets[i];
+    (*residuals)[i] = r;
+    const float ar = std::fabs(r);
+    loss_sum += (ar <= delta) ? 0.5f * r * r : delta * (ar - 0.5f * delta);
+  }
+  Tensor out({1, 1});
+  out.at(0, 0) = static_cast<float>(loss_sum / b);
+  Var pv = pred;
+  return MakeOp(std::move(out), {pred},
+                [pv, residuals, delta, b](Variable& node) {
+                  if (!pv->requires_grad) return;
+                  const float g = node.grad.at(0, 0) / static_cast<float>(b);
+                  Tensor& dP = pv->EnsureGrad();
+                  for (int i = 0; i < b; ++i) {
+                    const float r = (*residuals)[i];
+                    const float dr = (std::fabs(r) <= delta)
+                                         ? r
+                                         : (r > 0 ? delta : -delta);
+                    dP.at(i, 0) += g * dr;
+                  }
+                });
+}
+
+Var SquaredLoss(const Var& pred, const std::vector<float>& targets) {
+  const int b = pred->value.rows();
+  SQLFACIL_CHECK(pred->value.cols() == 1);
+  SQLFACIL_CHECK(static_cast<int>(targets.size()) == b);
+  double loss_sum = 0.0;
+  auto residuals = std::make_shared<std::vector<float>>(b);
+  for (int i = 0; i < b; ++i) {
+    const float r = pred->value.at(i, 0) - targets[i];
+    (*residuals)[i] = r;
+    loss_sum += 0.5f * r * r;
+  }
+  Tensor out({1, 1});
+  out.at(0, 0) = static_cast<float>(loss_sum / b);
+  Var pv = pred;
+  return MakeOp(std::move(out), {pred}, [pv, residuals, b](Variable& node) {
+    if (!pv->requires_grad) return;
+    const float g = node.grad.at(0, 0) / static_cast<float>(b);
+    Tensor& dP = pv->EnsureGrad();
+    for (int i = 0; i < b; ++i) dP.at(i, 0) += g * (*residuals)[i];
+  });
+}
+
+}  // namespace sqlfacil::nn

@@ -1,0 +1,106 @@
+#ifndef SQLFACIL_NN_AUTOGRAD_H_
+#define SQLFACIL_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sqlfacil/nn/tensor.h"
+
+namespace sqlfacil::nn {
+
+/// A node in the dynamic computation tape. Ops allocate a Variable holding
+/// the forward value, links to parents, and a closure that scatters the
+/// node's gradient into the parents' gradients. Backward() runs the
+/// closures in reverse topological order.
+struct Variable {
+  Tensor value;
+  Tensor grad;             // allocated lazily on first backward touch
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Variable>> parents;
+  std::function<void(Variable&)> backward_fn;
+
+  /// Ensures grad is allocated with the value's shape.
+  Tensor& EnsureGrad();
+};
+
+using Var = std::shared_ptr<Variable>;
+
+/// A trainable parameter (participates in gradients).
+Var MakeParam(Tensor value);
+/// A constant input (no gradient).
+Var MakeConst(Tensor value);
+
+/// Runs backpropagation from a scalar root (seeds d(root)/d(root) = 1).
+void Backward(const Var& root);
+
+/// Zeroes gradients of the given parameters.
+void ZeroGrad(const std::vector<Var>& params);
+
+// --- Ops -------------------------------------------------------------------
+
+/// Matrix product: (m x k) @ (k x n) -> (m x n).
+Var MatMul(const Var& a, const Var& b);
+
+/// Elementwise add. If b is (1 x n) and a is (m x n), b broadcasts over
+/// rows (bias add).
+Var Add(const Var& a, const Var& b);
+
+/// Elementwise subtract (same-shape only).
+Var Sub(const Var& a, const Var& b);
+
+/// Elementwise (Hadamard) product, same shape.
+Var Mul(const Var& a, const Var& b);
+
+/// Scales by a constant.
+Var Scale(const Var& a, float s);
+
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Relu(const Var& a);
+
+/// Row gather: selects rows of `table` ((V x d)) by index; index -1 yields
+/// a zero row (padding). Gradient accumulates into the gathered rows.
+Var Rows(const Var& table, const std::vector<int>& indices);
+
+/// Horizontal concat of (r x c_i) slabs -> (r x sum c_i).
+Var ConcatCols(const std::vector<Var>& parts);
+
+/// Column slice: (r x c) -> (r x len) starting at column `start`.
+Var SliceCols(const Var& a, int start, int len);
+
+/// Max over time: (T x K) -> (1 x K); gradient routes to the argmax row.
+Var MaxOverTime(const Var& a);
+
+/// Mean over all elements -> (1 x 1) scalar.
+Var Mean(const Var& a);
+
+/// Inverted dropout; identity when `training` is false or p == 0.
+Var Dropout(const Var& a, float p, bool training, Rng* rng);
+
+/// Per-row blend used for padded LSTM batches:
+/// out_row_i = mask[i] ? a_row_i : b_row_i.
+Var BlendRows(const Var& a, const Var& b, const std::vector<bool>& mask);
+
+/// im2col for 1-D convolution over a (T x d) sequence with window m:
+/// output ((T-m+1) x m*d); requires T >= m.
+Var Unfold(const Var& a, int window);
+
+// --- Losses (return (1 x 1) scalars, averaged over the batch) -------------
+
+/// Softmax cross-entropy for logits (B x C) against integer labels.
+/// If `probs_out` is non-null it receives the (B x C) softmax.
+Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& labels,
+                        Tensor* probs_out = nullptr);
+
+/// Huber loss (Eq. A.1/A.2) of predictions (B x 1) against targets.
+Var HuberLoss(const Var& pred, const std::vector<float>& targets,
+              float delta = 1.0f);
+
+/// Squared error loss of predictions (B x 1) against targets (for the
+/// loss-function ablation).
+Var SquaredLoss(const Var& pred, const std::vector<float>& targets);
+
+}  // namespace sqlfacil::nn
+
+#endif  // SQLFACIL_NN_AUTOGRAD_H_

@@ -1,0 +1,106 @@
+#include "sqlfacil/nn/optim.h"
+
+#include <cmath>
+
+namespace sqlfacil::nn {
+
+Sgd::Sgd(std::vector<Var> params, float lr, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    float* w = p->value.data();
+    const float* g = p->EnsureGrad().data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    float* w = p->value.data();
+    const float* g = p->EnsureGrad().data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      w[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+AdaMax::AdaMax(std::vector<Var> params, float lr, float beta1, float beta2,
+               float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value.shape());
+    u_.emplace_back(p->value.shape());
+  }
+}
+
+void AdaMax::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    float* w = p->value.data();
+    const float* g = p->EnsureGrad().data();
+    float* m = m_[pi].data();
+    float* u = u_[pi].data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+      u[i] = std::max(beta2_ * u[i], std::fabs(grad));
+      w[i] -= lr_ * (m[i] / bc1) / (u[i] + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Var>& params, float max_norm) {
+  double sum_sq = 0.0;
+  for (const auto& p : params) {
+    const float* g = p->EnsureGrad().data();
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      sum_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sum_sq));
+  if (max_norm > 0.0f && norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-8f);
+    for (const auto& p : params) {
+      float* g = p->grad.data();
+      for (size_t i = 0; i < p->grad.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace sqlfacil::nn

@@ -1,0 +1,72 @@
+#ifndef SQLFACIL_NN_OPTIM_H_
+#define SQLFACIL_NN_OPTIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "sqlfacil/nn/autograd.h"
+
+namespace sqlfacil::nn {
+
+/// Base class for gradient-descent optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad() { nn::ZeroGrad(params_); }
+  const std::vector<Var>& params() const { return params_; }
+
+ protected:
+  std::vector<Var> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam [34].
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// AdaMax [34], the infinity-norm variant of Adam; the paper found it
+/// trained their LSTMs better (Section 5.2).
+class AdaMax : public Optimizer {
+ public:
+  AdaMax(std::vector<Var> params, float lr = 2e-3f, float beta1 = 0.9f,
+         float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int t_ = 0;
+  std::vector<Tensor> m_, u_;
+};
+
+/// Global-norm gradient clipping (the paper tunes clipping rate in
+/// {0.25, 0}); returns the pre-clip norm. `max_norm <= 0` disables.
+float ClipGradNorm(const std::vector<Var>& params, float max_norm);
+
+}  // namespace sqlfacil::nn
+
+#endif  // SQLFACIL_NN_OPTIM_H_

@@ -1,0 +1,41 @@
+#include "sqlfacil/nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::nn {
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  size_t total = 1;
+  for (int d : shape_) {
+    SQLFACIL_CHECK(d >= 0);
+    total *= static_cast<size_t>(d);
+  }
+  data_.assign(total, 0.0f);
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float fill) {
+  Tensor t(std::move(shape));
+  t.Fill(fill);
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<int> shape, float bound, Rng* rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng->Uniform(-bound, bound));
+  }
+  return t;
+}
+
+Tensor Tensor::Glorot(int fan_in, int fan_out, Rng* rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(std::max(1, fan_in + fan_out)));
+  return RandomUniform({fan_in, fan_out}, bound, rng);
+}
+
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+}  // namespace sqlfacil::nn

@@ -1,0 +1,58 @@
+#ifndef SQLFACIL_NN_TENSOR_H_
+#define SQLFACIL_NN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sqlfacil/util/random.h"
+
+namespace sqlfacil::nn {
+
+/// A dense row-major float tensor. Rank 1 and 2 are the working set (the
+/// models treat sequences as stacks of 2-D slabs); shape is kept as a small
+/// vector for generality.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor Zeros(std::vector<int> shape) { return Tensor(shape); }
+  static Tensor Full(std::vector<int> shape, float fill);
+  /// Uniform(-bound, bound) init (used for embeddings and kernels).
+  static Tensor RandomUniform(std::vector<int> shape, float bound, Rng* rng);
+  /// Glorot/Xavier uniform init for a (fan_in x fan_out) matrix.
+  static Tensor Glorot(int fan_in, int fan_out, Rng* rng);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(size_t i) const { return shape_[i]; }
+  size_t rank() const { return shape_.size(); }
+  size_t size() const { return data_.size(); }
+
+  /// 2-D accessors (CHECKed in debug via vector bounds in at()).
+  int rows() const { return shape_.empty() ? 0 : shape_[0]; }
+  int cols() const { return shape_.size() < 2 ? 1 : shape_[1]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int i) { return data_[static_cast<size_t>(i)]; }
+  float at(int i) const { return data_[static_cast<size_t>(i)]; }
+  float& at(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols() + c];
+  }
+  float at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols() + c];
+  }
+
+  void Fill(float v);
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace sqlfacil::nn
+
+#endif  // SQLFACIL_NN_TENSOR_H_

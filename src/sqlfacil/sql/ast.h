@@ -1,0 +1,234 @@
+#ifndef SQLFACIL_SQL_AST_H_
+#define SQLFACIL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sqlfacil::sql {
+
+struct SelectQuery;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kStar,
+  kFuncCall,
+  kUnary,
+  kBinary,
+  kBetween,
+  kIn,
+  kIsNull,
+  kSubquery,
+  kCast,
+  kCase,
+};
+
+enum class BinaryOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kBitAnd,
+  kBitOr,
+  kBitXor,
+  kConcat,
+};
+
+enum class UnaryOp { kNot, kNeg, kBitNot };
+
+enum class LiteralType { kInt, kDouble, kString, kNull };
+
+/// Base class for all expression nodes. Nodes own their children.
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  LiteralExpr() : Expr(ExprKind::kLiteral) {}
+  LiteralType type = LiteralType::kNull;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+};
+
+struct ColumnRefExpr : Expr {
+  ColumnRefExpr() : Expr(ExprKind::kColumnRef) {}
+  std::string qualifier;  // table or alias; empty if unqualified
+  std::string column;
+};
+
+struct StarExpr : Expr {
+  StarExpr() : Expr(ExprKind::kStar) {}
+  std::string qualifier;  // "p" in p.*
+};
+
+struct FuncCallExpr : Expr {
+  FuncCallExpr() : Expr(ExprKind::kFuncCall) {}
+  std::string name;  // fully dotted name, e.g. "dbo.fPhotoFlags"
+  bool distinct = false;
+  bool star_arg = false;  // COUNT(*)
+  std::vector<ExprPtr> args;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr() : Expr(ExprKind::kUnary) {}
+  UnaryOp op = UnaryOp::kNot;
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr() : Expr(ExprKind::kBinary) {}
+  BinaryOp op = BinaryOp::kEq;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct BetweenExpr : Expr {
+  BetweenExpr() : Expr(ExprKind::kBetween) {}
+  bool negated = false;
+  ExprPtr value;
+  ExprPtr lo;
+  ExprPtr hi;
+};
+
+struct InExpr : Expr {
+  InExpr() : Expr(ExprKind::kIn) {}
+  bool negated = false;
+  ExprPtr value;
+  std::vector<ExprPtr> list;              // IN (1, 2, 3)
+  std::unique_ptr<SelectQuery> subquery;  // IN (SELECT ...)
+};
+
+struct IsNullExpr : Expr {
+  IsNullExpr() : Expr(ExprKind::kIsNull) {}
+  bool negated = false;
+  ExprPtr value;
+};
+
+struct SubqueryExpr : Expr {
+  SubqueryExpr() : Expr(ExprKind::kSubquery) {}
+  std::unique_ptr<SelectQuery> subquery;
+};
+
+struct CastExpr : Expr {
+  CastExpr() : Expr(ExprKind::kCast) {}
+  ExprPtr value;
+  std::string type_name;
+};
+
+struct CaseExpr : Expr {
+  CaseExpr() : Expr(ExprKind::kCase) {}
+  ExprPtr operand;  // optional (simple CASE)
+  std::vector<std::pair<ExprPtr, ExprPtr>> when_then;
+  ExprPtr else_expr;  // optional
+};
+
+// ---------------------------------------------------------------------------
+// Table references
+// ---------------------------------------------------------------------------
+
+enum class TableRefKind { kBaseTable, kDerivedTable, kJoin };
+
+enum class JoinType { kInner, kLeft, kRight, kFull, kCross };
+
+struct TableRef {
+  explicit TableRef(TableRefKind k) : kind(k) {}
+  virtual ~TableRef() = default;
+  TableRef(const TableRef&) = delete;
+  TableRef& operator=(const TableRef&) = delete;
+
+  TableRefKind kind;
+};
+
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+struct BaseTable : TableRef {
+  BaseTable() : TableRef(TableRefKind::kBaseTable) {}
+  std::vector<std::string> name_parts;  // e.g. {"mydb", "PhotoObj"}
+  std::string alias;
+
+  /// Last component, the table's simple name.
+  const std::string& SimpleName() const { return name_parts.back(); }
+  /// Full dotted name.
+  std::string FullName() const;
+};
+
+struct DerivedTable : TableRef {
+  DerivedTable() : TableRef(TableRefKind::kDerivedTable) {}
+  std::unique_ptr<SelectQuery> subquery;
+  std::string alias;
+};
+
+struct JoinRef : TableRef {
+  JoinRef() : TableRef(TableRefKind::kJoin) {}
+  JoinType type = JoinType::kInner;
+  TableRefPtr left;
+  TableRefPtr right;
+  ExprPtr on;  // null for CROSS JOIN
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A (possibly nested) SELECT query.
+struct SelectQuery {
+  bool distinct = false;
+  std::optional<int64_t> top_n;  // SQL Server style SELECT TOP n
+  std::vector<SelectItem> select_items;
+  std::string into_table;  // SELECT ... INTO mydb.x
+  std::vector<TableRefPtr> from;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderByItem> order_by;
+  /// Additional queries combined with UNION / EXCEPT / INTERSECT, in order.
+  std::vector<std::unique_ptr<SelectQuery>> set_ops;
+};
+
+/// Top-level statement: either a parsed SELECT or a recognized non-SELECT
+/// statement type (EXECUTE, CREATE, DROP, ...) whose body is not analyzed
+/// further, mirroring the paper's statement-type analysis (Section 4.3.1).
+struct Statement {
+  enum class Kind { kSelect, kOther };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectQuery> select;
+  std::string other_type;  // "EXECUTE", "CREATE", "UPDATE", ...
+};
+
+}  // namespace sqlfacil::sql
+
+#endif  // SQLFACIL_SQL_AST_H_

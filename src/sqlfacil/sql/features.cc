@@ -1,0 +1,286 @@
+#include "sqlfacil/sql/features.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sqlfacil/sql/parser.h"
+#include "sqlfacil/sql/tokenizer.h"
+#include "sqlfacil/util/string_util.h"
+
+namespace sqlfacil::sql {
+
+namespace {
+
+bool IsAggregateName(const std::string& lower_name) {
+  static const auto* kAggregates = new std::unordered_set<std::string>{
+      "min", "max", "sum", "avg", "count", "stdev", "var", "count_big",
+  };
+  return kAggregates->count(lower_name) > 0;
+}
+
+/// Walks the AST accumulating the syntactic properties. Expression context
+/// distinguishes SELECT-list positions (columns count toward
+/// num_select_columns) from predicate positions (WHERE/ON/HAVING; atomic
+/// conditions count toward num_predicates, column refs toward
+/// num_predicate_columns).
+class FeatureWalker {
+ public:
+  SyntacticFeatures Extract(const SelectQuery& query) {
+    WalkQuery(query, /*depth=*/0);
+    SyntacticFeatures f;
+    f.num_functions = num_functions_;
+    f.num_joins = num_joins_;
+    f.num_tables = static_cast<int>(tables_.size());
+    f.num_select_columns = static_cast<int>(select_columns_.size());
+    f.num_predicates = num_predicates_;
+    f.num_predicate_columns = num_predicate_columns_;
+    f.nestedness_level = max_depth_;
+    f.nested_aggregation = nested_aggregation_;
+    f.parse_ok = true;
+    return f;
+  }
+
+ private:
+  enum class Context { kSelectList, kPredicate, kOther };
+
+  void WalkQuery(const SelectQuery& query, int depth) {
+    max_depth_ = std::max(max_depth_, depth);
+    for (const auto& item : query.select_items) {
+      WalkExpr(item.expr.get(), Context::kSelectList, depth);
+    }
+    if (query.from.size() > 1) {
+      num_joins_ += static_cast<int>(query.from.size()) - 1;  // implicit joins
+    }
+    for (const auto& ref : query.from) WalkTableRef(ref.get(), depth);
+    if (query.where) WalkExpr(query.where.get(), Context::kPredicate, depth);
+    for (const auto& e : query.group_by) {
+      WalkExpr(e.get(), Context::kOther, depth);
+    }
+    if (query.having) {
+      WalkExpr(query.having.get(), Context::kPredicate, depth);
+    }
+    for (const auto& item : query.order_by) {
+      WalkExpr(item.expr.get(), Context::kOther, depth);
+    }
+    for (const auto& rhs : query.set_ops) WalkQuery(*rhs, depth);
+  }
+
+  void WalkTableRef(const TableRef* ref, int depth) {
+    switch (ref->kind) {
+      case TableRefKind::kBaseTable: {
+        const auto* base = static_cast<const BaseTable*>(ref);
+        tables_.insert(ToLowerAscii(base->SimpleName()));
+        break;
+      }
+      case TableRefKind::kDerivedTable: {
+        const auto* derived = static_cast<const DerivedTable*>(ref);
+        WalkSubquery(*derived->subquery, depth);
+        break;
+      }
+      case TableRefKind::kJoin: {
+        const auto* join = static_cast<const JoinRef*>(ref);
+        ++num_joins_;
+        WalkTableRef(join->left.get(), depth);
+        WalkTableRef(join->right.get(), depth);
+        if (join->on) WalkExpr(join->on.get(), Context::kPredicate, depth);
+        break;
+      }
+    }
+  }
+
+  void WalkSubquery(const SelectQuery& subquery, int depth) {
+    if (HasAggregate(subquery)) nested_aggregation_ = true;
+    WalkQuery(subquery, depth + 1);
+  }
+
+  // True if the query's own select list or having uses an aggregate.
+  bool HasAggregate(const SelectQuery& query) {
+    for (const auto& item : query.select_items) {
+      if (ExprHasAggregate(item.expr.get())) return true;
+    }
+    return query.having != nullptr && ExprHasAggregate(query.having.get());
+  }
+
+  bool ExprHasAggregate(const Expr* expr) {
+    if (expr == nullptr) return false;
+    switch (expr->kind) {
+      case ExprKind::kFuncCall: {
+        const auto* call = static_cast<const FuncCallExpr*>(expr);
+        if (IsAggregateName(ToLowerAscii(call->name))) return true;
+        for (const auto& arg : call->args) {
+          if (ExprHasAggregate(arg.get())) return true;
+        }
+        return false;
+      }
+      case ExprKind::kUnary:
+        return ExprHasAggregate(
+            static_cast<const UnaryExpr*>(expr)->operand.get());
+      case ExprKind::kBinary: {
+        const auto* bin = static_cast<const BinaryExpr*>(expr);
+        return ExprHasAggregate(bin->lhs.get()) ||
+               ExprHasAggregate(bin->rhs.get());
+      }
+      case ExprKind::kCast:
+        return ExprHasAggregate(
+            static_cast<const CastExpr*>(expr)->value.get());
+      default:
+        return false;
+    }
+  }
+
+  // True for nodes that are one atomic logical condition.
+  static bool IsAtomicPredicate(const Expr* expr) {
+    switch (expr->kind) {
+      case ExprKind::kBetween:
+      case ExprKind::kIn:
+      case ExprKind::kIsNull:
+        return true;
+      case ExprKind::kBinary: {
+        switch (static_cast<const BinaryExpr*>(expr)->op) {
+          case BinaryOp::kEq:
+          case BinaryOp::kNe:
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+          case BinaryOp::kLike:
+            return true;
+          default:
+            return false;
+        }
+      }
+      default:
+        return false;
+    }
+  }
+
+  void WalkExpr(const Expr* expr, Context ctx, int depth) {
+    if (expr == nullptr) return;
+    if (ctx == Context::kPredicate && IsAtomicPredicate(expr)) {
+      ++num_predicates_;
+    }
+    switch (expr->kind) {
+      case ExprKind::kLiteral:
+      case ExprKind::kStar:
+        break;
+      case ExprKind::kColumnRef: {
+        const auto* col = static_cast<const ColumnRefExpr*>(expr);
+        if (ctx == Context::kSelectList) {
+          select_columns_.insert(ToLowerAscii(col->column));
+        } else if (ctx == Context::kPredicate) {
+          ++num_predicate_columns_;
+        }
+        break;
+      }
+      case ExprKind::kFuncCall: {
+        const auto* call = static_cast<const FuncCallExpr*>(expr);
+        if (call->name != "exists") ++num_functions_;
+        for (const auto& arg : call->args) WalkExpr(arg.get(), ctx, depth);
+        break;
+      }
+      case ExprKind::kUnary:
+        WalkExpr(static_cast<const UnaryExpr*>(expr)->operand.get(), ctx,
+                 depth);
+        break;
+      case ExprKind::kBinary: {
+        const auto* bin = static_cast<const BinaryExpr*>(expr);
+        WalkExpr(bin->lhs.get(), ctx, depth);
+        WalkExpr(bin->rhs.get(), ctx, depth);
+        break;
+      }
+      case ExprKind::kBetween: {
+        const auto* between = static_cast<const BetweenExpr*>(expr);
+        WalkExpr(between->value.get(), ctx, depth);
+        WalkExpr(between->lo.get(), ctx, depth);
+        WalkExpr(between->hi.get(), ctx, depth);
+        break;
+      }
+      case ExprKind::kIn: {
+        const auto* in = static_cast<const InExpr*>(expr);
+        WalkExpr(in->value.get(), ctx, depth);
+        for (const auto& e : in->list) WalkExpr(e.get(), ctx, depth);
+        if (in->subquery) WalkSubquery(*in->subquery, depth);
+        break;
+      }
+      case ExprKind::kIsNull:
+        WalkExpr(static_cast<const IsNullExpr*>(expr)->value.get(), ctx,
+                 depth);
+        break;
+      case ExprKind::kSubquery:
+        WalkSubquery(*static_cast<const SubqueryExpr*>(expr)->subquery,
+                     depth);
+        break;
+      case ExprKind::kCast:
+        WalkExpr(static_cast<const CastExpr*>(expr)->value.get(), ctx, depth);
+        break;
+      case ExprKind::kCase: {
+        const auto* kase = static_cast<const CaseExpr*>(expr);
+        WalkExpr(kase->operand.get(), ctx, depth);
+        for (const auto& [when, then] : kase->when_then) {
+          WalkExpr(when.get(), ctx, depth);
+          WalkExpr(then.get(), ctx, depth);
+        }
+        WalkExpr(kase->else_expr.get(), ctx, depth);
+        break;
+      }
+    }
+  }
+
+  int num_functions_ = 0;
+  int num_joins_ = 0;
+  int num_predicates_ = 0;
+  int num_predicate_columns_ = 0;
+  int max_depth_ = 0;
+  bool nested_aggregation_ = false;
+  std::unordered_set<std::string> tables_;
+  std::unordered_set<std::string> select_columns_;
+};
+
+}  // namespace
+
+std::array<double, 10> SyntacticFeatures::AsVector() const {
+  return {static_cast<double>(num_characters),
+          static_cast<double>(num_words),
+          static_cast<double>(num_functions),
+          static_cast<double>(num_joins),
+          static_cast<double>(num_tables),
+          static_cast<double>(num_select_columns),
+          static_cast<double>(num_predicates),
+          static_cast<double>(num_predicate_columns),
+          static_cast<double>(nestedness_level),
+          nested_aggregation ? 1.0 : 0.0};
+}
+
+const std::array<std::string_view, 10>& SyntacticFeatures::Names() {
+  static const std::array<std::string_view, 10> kNames = {
+      "Number of characters",
+      "Number of words",
+      "Number of functions",
+      "Number of joins",
+      "Number of tables",
+      "Number of select columns",
+      "Number of predicates",
+      "Number of predicate columns",
+      "Nestedness level",
+      "Nested aggregation",
+  };
+  return kNames;
+}
+
+SyntacticFeatures ExtractFeatures(std::string_view statement) {
+  SyntacticFeatures features;
+  auto parsed = ParseStatement(statement);
+  if (parsed.ok() && parsed->kind == Statement::Kind::kSelect) {
+    features = ExtractFeaturesFromSelect(*parsed->select);
+  }
+  features.num_characters = static_cast<int>(statement.size());
+  features.num_words = static_cast<int>(WordTokens(statement).size());
+  return features;
+}
+
+SyntacticFeatures ExtractFeaturesFromSelect(const SelectQuery& query) {
+  FeatureWalker walker;
+  return walker.Extract(query);
+}
+
+}  // namespace sqlfacil::sql

@@ -1,0 +1,47 @@
+#ifndef SQLFACIL_SQL_FEATURES_H_
+#define SQLFACIL_SQL_FEATURES_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "sqlfacil/sql/ast.h"
+
+namespace sqlfacil::sql {
+
+/// The 10 syntactic properties of Section 4.3.1, extracted from the AST
+/// (the paper used ANTLR; we use our own parser — the properties are purely
+/// syntactic so any correct parser computes the same values).
+struct SyntacticFeatures {
+  int num_characters = 0;        // (1) characters in the statement
+  int num_words = 0;             // (2) word-level tokens, digits -> <DIGIT>
+  int num_functions = 0;         // (3) function call sites
+  int num_joins = 0;             // (4) join operators (explicit + implicit)
+  int num_tables = 0;            // (5) unique table names
+  int num_select_columns = 0;    // (6) unique columns referenced in SELECTs
+  int num_predicates = 0;        // (7) atomic logical conditions
+  int num_predicate_columns = 0; // (8) column references inside predicates
+  int nestedness_level = 0;      // (9) maximum subquery depth
+  bool nested_aggregation = false;  // (10) any subquery uses an aggregate
+
+  bool parse_ok = false;  // AST-derived fields are 0 when parsing failed
+
+  /// Values in figure order (nested_aggregation as 0/1), for the
+  /// correlation matrix of Figure 7.
+  std::array<double, 10> AsVector() const;
+
+  static const std::array<std::string_view, 10>& Names();
+};
+
+/// Extracts all 10 properties from a statement. Properties (1)-(2) are
+/// computed from the raw text; (3)-(10) require the AST and are zero when
+/// the statement does not parse as a SELECT (matching the paper, where
+/// structural analysis covers parseable statements).
+SyntacticFeatures ExtractFeatures(std::string_view statement);
+
+/// Extracts the AST-derived properties from an already-parsed SELECT.
+SyntacticFeatures ExtractFeaturesFromSelect(const SelectQuery& query);
+
+}  // namespace sqlfacil::sql
+
+#endif  // SQLFACIL_SQL_FEATURES_H_

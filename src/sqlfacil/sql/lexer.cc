@@ -1,0 +1,152 @@
+#include "sqlfacil/sql/lexer.h"
+
+#include <cctype>
+
+namespace sqlfacil::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '@' ||
+         c == '#';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '@' ||
+         c == '#' || c == '$';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+TokenStream Lex(std::string_view s) {
+  TokenStream tokens;
+  size_t i = 0;
+  const size_t n = s.size();
+  auto emit = [&](TokenKind kind, size_t start, size_t end) {
+    tokens.push_back(Token{kind, std::string(s.substr(start, end - start)),
+                           start});
+  };
+  while (i < n) {
+    const char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && s[i + 1] == '-') {
+      while (i < n && s[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment (unterminated comments consume the rest of the input).
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(s[i] == '*' && s[i + 1] == '/')) ++i;
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // String literal; '' escapes a quote. Unterminated strings run to the
+    // end of input (tolerated: garbage statements must still lex).
+    if (c == '\'') {
+      const size_t start = i;
+      ++i;
+      while (i < n) {
+        if (s[i] == '\'') {
+          if (i + 1 < n && s[i + 1] == '\'') {
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      emit(TokenKind::kString, start, i);
+      continue;
+    }
+    // Bracket-quoted or double-quoted identifier.
+    if (c == '[' || c == '"') {
+      const char close = (c == '[') ? ']' : '"';
+      const size_t start = i;
+      ++i;
+      while (i < n && s[i] != close) ++i;
+      if (i < n) ++i;
+      emit(TokenKind::kIdentifier, start, i);
+      continue;
+    }
+    // Number: integer, decimal, scientific, hex (0x...).
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(s[i + 1]))) {
+      const size_t start = i;
+      if (c == '0' && i + 1 < n && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+        i += 2;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(s[i]))) ++i;
+      } else {
+        while (i < n && IsDigit(s[i])) ++i;
+        if (i < n && s[i] == '.') {
+          ++i;
+          while (i < n && IsDigit(s[i])) ++i;
+        }
+        if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+          size_t j = i + 1;
+          if (j < n && (s[j] == '+' || s[j] == '-')) ++j;
+          if (j < n && IsDigit(s[j])) {
+            i = j;
+            while (i < n && IsDigit(s[i])) ++i;
+          }
+        }
+      }
+      emit(TokenKind::kNumber, start, i);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(s[i])) ++i;
+      emit(TokenKind::kIdentifier, start, i);
+      continue;
+    }
+    // Multi-character operators.
+    if (i + 1 < n) {
+      const std::string_view two = s.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+          two == "!>" || two == "!<" || two == "||") {
+        emit(TokenKind::kOperator, i, i + 2);
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '=':
+      case '<':
+      case '>':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '%':
+      case '&':
+      case '|':
+      case '^':
+      case '~':
+        emit(TokenKind::kOperator, i, i + 1);
+        ++i;
+        continue;
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case ';':
+        emit(TokenKind::kPunct, i, i + 1);
+        ++i;
+        continue;
+      default:
+        emit(TokenKind::kOther, i, i + 1);
+        ++i;
+        continue;
+    }
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sqlfacil::sql

@@ -1,0 +1,17 @@
+#ifndef SQLFACIL_SQL_LEXER_H_
+#define SQLFACIL_SQL_LEXER_H_
+
+#include <string_view>
+
+#include "sqlfacil/sql/token.h"
+
+namespace sqlfacil::sql {
+
+/// Lexes a SQL statement into tokens. Never fails: comments and whitespace
+/// are skipped, unrecognized bytes are emitted as kOther tokens. The final
+/// token is always kEnd.
+TokenStream Lex(std::string_view statement);
+
+}  // namespace sqlfacil::sql
+
+#endif  // SQLFACIL_SQL_LEXER_H_

@@ -1,0 +1,742 @@
+#include "sqlfacil/sql/parser.h"
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "sqlfacil/sql/lexer.h"
+#include "sqlfacil/util/string_util.h"
+
+namespace sqlfacil::sql {
+
+namespace {
+
+// Keywords that terminate an implicit alias position. Lower-case.
+const std::unordered_set<std::string>& ReservedWords() {
+  static const auto* kReserved = new std::unordered_set<std::string>{
+      "select", "from",   "where",  "group",     "order",  "having",
+      "on",     "inner",  "outer",  "left",      "right",  "full",
+      "cross",  "join",   "and",    "or",        "not",    "as",
+      "union",  "except", "intersect", "top",    "into",   "like",
+      "between", "is",    "null",   "asc",       "desc",   "case",
+      "when",   "then",   "else",   "end",       "exists", "distinct",
+      "all",    "in",     "by",     "limit",     "cast",   "escape",
+  };
+  return *kReserved;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : tokens_(Lex(text)) {}
+
+  StatusOr<Statement> Parse();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool AtEnd() const { return Peek().Is(TokenKind::kEnd); }
+
+  bool PeekIsKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.Is(TokenKind::kIdentifier) && EqualsIgnoreCase(t.text, kw);
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (PeekIsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool PeekIsPunct(std::string_view p, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.Is(TokenKind::kPunct) && t.text == p;
+  }
+  bool ConsumePunct(std::string_view p) {
+    if (PeekIsPunct(p)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool PeekIsOperator(std::string_view op, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.Is(TokenKind::kOperator) && t.text == op;
+  }
+  bool ConsumeOperator(std::string_view op) {
+    if (PeekIsOperator(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " near offset " +
+                              std::to_string(Peek().offset) + " ('" +
+                              Peek().text + "')");
+  }
+
+  // Grammar productions. Each returns a Status error on failure; on failure
+  // `pos_` is unspecified (the caller abandons the parse).
+  StatusOr<std::unique_ptr<SelectQuery>> ParseSelect();
+  Status ParseFromList(SelectQuery* query);
+  StatusOr<TableRefPtr> ParseTableRef();
+  StatusOr<TableRefPtr> ParsePrimaryTableRef();
+  StatusOr<ExprPtr> ParseExpr();
+  StatusOr<ExprPtr> ParseOr();
+  StatusOr<ExprPtr> ParseAnd();
+  StatusOr<ExprPtr> ParseNot();
+  StatusOr<ExprPtr> ParseComparison();
+  StatusOr<ExprPtr> ParseAdditive();
+  StatusOr<ExprPtr> ParseMultiplicative();
+  StatusOr<ExprPtr> ParseUnary();
+  StatusOr<ExprPtr> ParsePrimary();
+  StatusOr<ExprPtr> ParseCase();
+
+  // Parses an optional trailing alias ("AS x", or a bare non-reserved
+  // identifier). Returns empty string if absent.
+  std::string ParseOptionalAlias();
+
+  // True if the token can start an expression's alias (non-reserved ident).
+  static bool IsAliasable(const Token& t) {
+    return t.Is(TokenKind::kIdentifier) &&
+           ReservedWords().count(ToLowerAscii(t.text)) == 0;
+  }
+
+  TokenStream tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<Statement> Parser::Parse() {
+  Statement stmt;
+  if (PeekIsKeyword("select") ||
+      (PeekIsPunct("(") && PeekIsKeyword("select", 1))) {
+    const bool parenthesized = ConsumePunct("(");
+    auto select = ParseSelect();
+    if (!select.ok()) return select.status();
+    if (parenthesized && !ConsumePunct(")")) {
+      return Error("expected ')' closing parenthesized statement");
+    }
+    stmt.kind = Statement::Kind::kSelect;
+    stmt.select = std::move(select).value();
+    // Set operations at the statement level.
+    while (PeekIsKeyword("union") || PeekIsKeyword("except") ||
+           PeekIsKeyword("intersect")) {
+      Advance();
+      ConsumeKeyword("all");
+      auto rhs = ParseSelect();
+      if (!rhs.ok()) return rhs.status();
+      stmt.select->set_ops.push_back(std::move(rhs).value());
+    }
+    ConsumePunct(";");
+    if (!AtEnd()) return Error("unexpected trailing input");
+    return stmt;
+  }
+  // Recognized non-SELECT statement heads.
+  static const char* kOtherHeads[] = {
+      "execute", "exec",   "create", "drop",   "update", "insert",
+      "delete",  "alter",  "truncate", "declare", "set",  "with",
+      "grant",   "revoke", "use",
+  };
+  for (const char* head : kOtherHeads) {
+    if (PeekIsKeyword(head)) {
+      stmt.kind = Statement::Kind::kOther;
+      stmt.other_type = ToUpperAscii(head == std::string_view("exec")
+                                         ? std::string_view("execute")
+                                         : std::string_view(head));
+      return stmt;
+    }
+  }
+  return Error("statement does not begin with a recognized SQL verb");
+}
+
+StatusOr<std::unique_ptr<SelectQuery>> Parser::ParseSelect() {
+  if (!ConsumeKeyword("select")) return Error("expected SELECT");
+  auto query = std::make_unique<SelectQuery>();
+  if (ConsumeKeyword("distinct")) {
+    query->distinct = true;
+  } else {
+    ConsumeKeyword("all");
+  }
+  if (ConsumeKeyword("top")) {
+    const bool parens = ConsumePunct("(");
+    if (!Peek().Is(TokenKind::kNumber)) return Error("expected TOP count");
+    query->top_n = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    if (parens && !ConsumePunct(")")) return Error("expected ')' after TOP");
+  }
+  // Select list.
+  for (;;) {
+    auto item = ParseExpr();
+    if (!item.ok()) return item.status();
+    SelectItem si;
+    si.expr = std::move(item).value();
+    si.alias = ParseOptionalAlias();
+    query->select_items.push_back(std::move(si));
+    if (!ConsumePunct(",")) break;
+  }
+  if (ConsumeKeyword("into")) {
+    std::string name;
+    if (!Peek().Is(TokenKind::kIdentifier)) return Error("expected INTO name");
+    name = Advance().text;
+    while (ConsumePunct(".")) {
+      if (!Peek().Is(TokenKind::kIdentifier)) {
+        return Error("expected identifier after '.' in INTO name");
+      }
+      name += "." + Advance().text;
+    }
+    query->into_table = name;
+  }
+  if (ConsumeKeyword("from")) {
+    if (Status s = ParseFromList(query.get()); !s.ok()) return s;
+  }
+  if (ConsumeKeyword("where")) {
+    auto where = ParseExpr();
+    if (!where.ok()) return where.status();
+    query->where = std::move(where).value();
+  }
+  if (PeekIsKeyword("group")) {
+    Advance();
+    if (!ConsumeKeyword("by")) return Error("expected BY after GROUP");
+    for (;;) {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      query->group_by.push_back(std::move(e).value());
+      if (!ConsumePunct(",")) break;
+    }
+  }
+  if (ConsumeKeyword("having")) {
+    auto having = ParseExpr();
+    if (!having.ok()) return having.status();
+    query->having = std::move(having).value();
+  }
+  if (PeekIsKeyword("order")) {
+    Advance();
+    if (!ConsumeKeyword("by")) return Error("expected BY after ORDER");
+    for (;;) {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      OrderByItem item;
+      item.expr = std::move(e).value();
+      if (ConsumeKeyword("desc")) {
+        item.ascending = false;
+      } else {
+        ConsumeKeyword("asc");
+      }
+      query->order_by.push_back(std::move(item));
+      if (!ConsumePunct(",")) break;
+    }
+  }
+  if (ConsumeKeyword("limit")) {
+    if (!Peek().Is(TokenKind::kNumber)) return Error("expected LIMIT count");
+    query->top_n = std::strtoll(Advance().text.c_str(), nullptr, 10);
+  }
+  return query;
+}
+
+Status Parser::ParseFromList(SelectQuery* query) {
+  for (;;) {
+    auto ref = ParseTableRef();
+    if (!ref.ok()) return ref.status();
+    query->from.push_back(std::move(ref).value());
+    if (!ConsumePunct(",")) break;
+  }
+  return Status::Ok();
+}
+
+StatusOr<TableRefPtr> Parser::ParseTableRef() {
+  auto left = ParsePrimaryTableRef();
+  if (!left.ok()) return left.status();
+  TableRefPtr current = std::move(left).value();
+  for (;;) {
+    JoinType type = JoinType::kInner;
+    bool is_join = false;
+    if (PeekIsKeyword("join")) {
+      is_join = true;
+      Advance();
+    } else if (PeekIsKeyword("inner") && PeekIsKeyword("join", 1)) {
+      is_join = true;
+      Advance();
+      Advance();
+    } else if (PeekIsKeyword("cross") && PeekIsKeyword("join", 1)) {
+      is_join = true;
+      type = JoinType::kCross;
+      Advance();
+      Advance();
+    } else if (PeekIsKeyword("left") || PeekIsKeyword("right") ||
+               PeekIsKeyword("full")) {
+      if (PeekIsKeyword("left")) type = JoinType::kLeft;
+      if (PeekIsKeyword("right")) type = JoinType::kRight;
+      if (PeekIsKeyword("full")) type = JoinType::kFull;
+      if (PeekIsKeyword("join", 1)) {
+        is_join = true;
+        Advance();
+        Advance();
+      } else if (PeekIsKeyword("outer", 1) && PeekIsKeyword("join", 2)) {
+        is_join = true;
+        Advance();
+        Advance();
+        Advance();
+      }
+    }
+    if (!is_join) break;
+    auto right = ParsePrimaryTableRef();
+    if (!right.ok()) return right.status();
+    auto join = std::make_unique<JoinRef>();
+    join->type = type;
+    join->left = std::move(current);
+    join->right = std::move(right).value();
+    if (type != JoinType::kCross) {
+      if (!ConsumeKeyword("on")) return Error("expected ON after JOIN");
+      auto on = ParseExpr();
+      if (!on.ok()) return on.status();
+      join->on = std::move(on).value();
+    }
+    current = std::move(join);
+  }
+  return current;
+}
+
+StatusOr<TableRefPtr> Parser::ParsePrimaryTableRef() {
+  if (ConsumePunct("(")) {
+    if (PeekIsKeyword("select")) {
+      auto sub = ParseSelect();
+      if (!sub.ok()) return sub.status();
+      if (!ConsumePunct(")")) return Error("expected ')' after subquery");
+      auto derived = std::make_unique<DerivedTable>();
+      derived->subquery = std::move(sub).value();
+      ConsumeKeyword("as");
+      if (IsAliasable(Peek())) derived->alias = Advance().text;
+      return TableRefPtr(std::move(derived));
+    }
+    // Parenthesized join: ( t1 JOIN t2 ON ... )
+    auto inner = ParseTableRef();
+    if (!inner.ok()) return inner.status();
+    if (!ConsumePunct(")")) return Error("expected ')' after table reference");
+    return inner;
+  }
+  if (!Peek().Is(TokenKind::kIdentifier)) {
+    return Error("expected table name");
+  }
+  auto table = std::make_unique<BaseTable>();
+  table->name_parts.push_back(Advance().text);
+  while (ConsumePunct(".")) {
+    if (!Peek().Is(TokenKind::kIdentifier)) {
+      return Error("expected identifier after '.' in table name");
+    }
+    table->name_parts.push_back(Advance().text);
+  }
+  table->alias = ParseOptionalAlias();
+  return TableRefPtr(std::move(table));
+}
+
+std::string Parser::ParseOptionalAlias() {
+  if (ConsumeKeyword("as")) {
+    if (Peek().Is(TokenKind::kIdentifier)) return Advance().text;
+    return "";
+  }
+  if (IsAliasable(Peek())) return Advance().text;
+  return "";
+}
+
+StatusOr<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+StatusOr<ExprPtr> Parser::ParseOr() {
+  auto lhs = ParseAnd();
+  if (!lhs.ok()) return lhs;
+  ExprPtr expr = std::move(lhs).value();
+  while (ConsumeKeyword("or")) {
+    auto rhs = ParseAnd();
+    if (!rhs.ok()) return rhs;
+    auto bin = std::make_unique<BinaryExpr>();
+    bin->op = BinaryOp::kOr;
+    bin->lhs = std::move(expr);
+    bin->rhs = std::move(rhs).value();
+    expr = std::move(bin);
+  }
+  return expr;
+}
+
+StatusOr<ExprPtr> Parser::ParseAnd() {
+  auto lhs = ParseNot();
+  if (!lhs.ok()) return lhs;
+  ExprPtr expr = std::move(lhs).value();
+  while (ConsumeKeyword("and")) {
+    auto rhs = ParseNot();
+    if (!rhs.ok()) return rhs;
+    auto bin = std::make_unique<BinaryExpr>();
+    bin->op = BinaryOp::kAnd;
+    bin->lhs = std::move(expr);
+    bin->rhs = std::move(rhs).value();
+    expr = std::move(bin);
+  }
+  return expr;
+}
+
+StatusOr<ExprPtr> Parser::ParseNot() {
+  if (ConsumeKeyword("not")) {
+    auto operand = ParseNot();
+    if (!operand.ok()) return operand;
+    auto unary = std::make_unique<UnaryExpr>();
+    unary->op = UnaryOp::kNot;
+    unary->operand = std::move(operand).value();
+    return ExprPtr(std::move(unary));
+  }
+  return ParseComparison();
+}
+
+StatusOr<ExprPtr> Parser::ParseComparison() {
+  auto lhs = ParseAdditive();
+  if (!lhs.ok()) return lhs;
+  ExprPtr expr = std::move(lhs).value();
+
+  const bool negated = ConsumeKeyword("not");
+
+  if (ConsumeKeyword("between")) {
+    auto lo = ParseAdditive();
+    if (!lo.ok()) return lo;
+    if (!ConsumeKeyword("and")) return Error("expected AND in BETWEEN");
+    auto hi = ParseAdditive();
+    if (!hi.ok()) return hi;
+    auto between = std::make_unique<BetweenExpr>();
+    between->negated = negated;
+    between->value = std::move(expr);
+    between->lo = std::move(lo).value();
+    between->hi = std::move(hi).value();
+    return ExprPtr(std::move(between));
+  }
+  if (ConsumeKeyword("in")) {
+    if (!ConsumePunct("(")) return Error("expected '(' after IN");
+    auto in = std::make_unique<InExpr>();
+    in->negated = negated;
+    in->value = std::move(expr);
+    if (PeekIsKeyword("select")) {
+      auto sub = ParseSelect();
+      if (!sub.ok()) return sub.status();
+      in->subquery = std::move(sub).value();
+    } else {
+      for (;;) {
+        auto e = ParseExpr();
+        if (!e.ok()) return e;
+        in->list.push_back(std::move(e).value());
+        if (!ConsumePunct(",")) break;
+      }
+    }
+    if (!ConsumePunct(")")) return Error("expected ')' closing IN list");
+    return ExprPtr(std::move(in));
+  }
+  if (ConsumeKeyword("like")) {
+    auto rhs = ParseAdditive();
+    if (!rhs.ok()) return rhs;
+    if (ConsumeKeyword("escape")) {
+      auto esc = ParseAdditive();  // parsed and discarded
+      if (!esc.ok()) return esc;
+    }
+    auto bin = std::make_unique<BinaryExpr>();
+    bin->op = BinaryOp::kLike;
+    bin->lhs = std::move(expr);
+    bin->rhs = std::move(rhs).value();
+    if (negated) {
+      auto unary = std::make_unique<UnaryExpr>();
+      unary->op = UnaryOp::kNot;
+      unary->operand = std::move(bin);
+      return ExprPtr(std::move(unary));
+    }
+    return ExprPtr(std::move(bin));
+  }
+  if (negated) return Error("expected BETWEEN/IN/LIKE after NOT");
+  if (ConsumeKeyword("is")) {
+    auto is_null = std::make_unique<IsNullExpr>();
+    is_null->negated = ConsumeKeyword("not");
+    if (!ConsumeKeyword("null")) return Error("expected NULL after IS");
+    is_null->value = std::move(expr);
+    return ExprPtr(std::move(is_null));
+  }
+
+  struct OpMap {
+    const char* text;
+    BinaryOp op;
+  };
+  static constexpr OpMap kOps[] = {
+      {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"!=", BinaryOp::kNe},
+      {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},
+      {">", BinaryOp::kGt},
+  };
+  for (const auto& [text, op] : kOps) {
+    if (ConsumeOperator(text)) {
+      auto rhs = ParseAdditive();
+      if (!rhs.ok()) return rhs;
+      auto bin = std::make_unique<BinaryExpr>();
+      bin->op = op;
+      bin->lhs = std::move(expr);
+      bin->rhs = std::move(rhs).value();
+      return ExprPtr(std::move(bin));
+    }
+  }
+  return expr;
+}
+
+StatusOr<ExprPtr> Parser::ParseAdditive() {
+  auto lhs = ParseMultiplicative();
+  if (!lhs.ok()) return lhs;
+  ExprPtr expr = std::move(lhs).value();
+  for (;;) {
+    BinaryOp op;
+    if (ConsumeOperator("+")) {
+      op = BinaryOp::kAdd;
+    } else if (ConsumeOperator("-")) {
+      op = BinaryOp::kSub;
+    } else if (ConsumeOperator("&")) {
+      op = BinaryOp::kBitAnd;
+    } else if (ConsumeOperator("|")) {
+      op = BinaryOp::kBitOr;
+    } else if (ConsumeOperator("^")) {
+      op = BinaryOp::kBitXor;
+    } else if (ConsumeOperator("||")) {
+      op = BinaryOp::kConcat;
+    } else {
+      break;
+    }
+    auto rhs = ParseMultiplicative();
+    if (!rhs.ok()) return rhs;
+    auto bin = std::make_unique<BinaryExpr>();
+    bin->op = op;
+    bin->lhs = std::move(expr);
+    bin->rhs = std::move(rhs).value();
+    expr = std::move(bin);
+  }
+  return expr;
+}
+
+StatusOr<ExprPtr> Parser::ParseMultiplicative() {
+  auto lhs = ParseUnary();
+  if (!lhs.ok()) return lhs;
+  ExprPtr expr = std::move(lhs).value();
+  for (;;) {
+    BinaryOp op;
+    if (ConsumeOperator("*")) {
+      op = BinaryOp::kMul;
+    } else if (ConsumeOperator("/")) {
+      op = BinaryOp::kDiv;
+    } else if (ConsumeOperator("%")) {
+      op = BinaryOp::kMod;
+    } else {
+      break;
+    }
+    auto rhs = ParseUnary();
+    if (!rhs.ok()) return rhs;
+    auto bin = std::make_unique<BinaryExpr>();
+    bin->op = op;
+    bin->lhs = std::move(expr);
+    bin->rhs = std::move(rhs).value();
+    expr = std::move(bin);
+  }
+  return expr;
+}
+
+StatusOr<ExprPtr> Parser::ParseUnary() {
+  if (ConsumeOperator("-")) {
+    auto operand = ParseUnary();
+    if (!operand.ok()) return operand;
+    auto unary = std::make_unique<UnaryExpr>();
+    unary->op = UnaryOp::kNeg;
+    unary->operand = std::move(operand).value();
+    return ExprPtr(std::move(unary));
+  }
+  if (ConsumeOperator("+")) return ParseUnary();
+  if (ConsumeOperator("~")) {
+    auto operand = ParseUnary();
+    if (!operand.ok()) return operand;
+    auto unary = std::make_unique<UnaryExpr>();
+    unary->op = UnaryOp::kBitNot;
+    unary->operand = std::move(operand).value();
+    return ExprPtr(std::move(unary));
+  }
+  return ParsePrimary();
+}
+
+StatusOr<ExprPtr> Parser::ParseCase() {
+  // "CASE" already consumed by the caller.
+  auto kase = std::make_unique<CaseExpr>();
+  if (!PeekIsKeyword("when")) {
+    auto operand = ParseExpr();
+    if (!operand.ok()) return operand;
+    kase->operand = std::move(operand).value();
+  }
+  while (ConsumeKeyword("when")) {
+    auto when = ParseExpr();
+    if (!when.ok()) return when;
+    if (!ConsumeKeyword("then")) return Error("expected THEN in CASE");
+    auto then = ParseExpr();
+    if (!then.ok()) return then;
+    kase->when_then.emplace_back(std::move(when).value(),
+                                 std::move(then).value());
+  }
+  if (kase->when_then.empty()) return Error("CASE without WHEN");
+  if (ConsumeKeyword("else")) {
+    auto els = ParseExpr();
+    if (!els.ok()) return els;
+    kase->else_expr = std::move(els).value();
+  }
+  if (!ConsumeKeyword("end")) return Error("expected END closing CASE");
+  return ExprPtr(std::move(kase));
+}
+
+StatusOr<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  if (t.Is(TokenKind::kNumber)) {
+    Advance();
+    auto lit = std::make_unique<LiteralExpr>();
+    if (t.text.size() > 1 && (t.text[1] == 'x' || t.text[1] == 'X')) {
+      lit->type = LiteralType::kInt;
+      lit->int_value = static_cast<int64_t>(
+          std::strtoull(t.text.c_str() + 2, nullptr, 16));
+    } else if (t.text.find('.') != std::string::npos ||
+               t.text.find('e') != std::string::npos ||
+               t.text.find('E') != std::string::npos) {
+      lit->type = LiteralType::kDouble;
+      lit->double_value = std::strtod(t.text.c_str(), nullptr);
+    } else {
+      lit->type = LiteralType::kInt;
+      lit->int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+    }
+    return ExprPtr(std::move(lit));
+  }
+  if (t.Is(TokenKind::kString)) {
+    Advance();
+    auto lit = std::make_unique<LiteralExpr>();
+    lit->type = LiteralType::kString;
+    // Strip quotes and unescape doubled quotes.
+    std::string inner;
+    for (size_t i = 1; i + 1 < t.text.size(); ++i) {
+      inner.push_back(t.text[i]);
+      if (t.text[i] == '\'' && i + 2 < t.text.size() &&
+          t.text[i + 1] == '\'') {
+        ++i;
+      }
+    }
+    lit->string_value = std::move(inner);
+    return ExprPtr(std::move(lit));
+  }
+  if (ConsumePunct("(")) {
+    if (PeekIsKeyword("select")) {
+      auto sub = ParseSelect();
+      if (!sub.ok()) return sub.status();
+      if (!ConsumePunct(")")) return Error("expected ')' after subquery");
+      auto subexpr = std::make_unique<SubqueryExpr>();
+      subexpr->subquery = std::move(sub).value();
+      return ExprPtr(std::move(subexpr));
+    }
+    auto inner = ParseExpr();
+    if (!inner.ok()) return inner;
+    if (!ConsumePunct(")")) return Error("expected ')'");
+    return inner;
+  }
+  if (PeekIsOperator("*")) {
+    Advance();
+    return ExprPtr(std::make_unique<StarExpr>());
+  }
+  if (t.Is(TokenKind::kIdentifier)) {
+    const std::string lower = ToLowerAscii(t.text);
+    if (lower == "null") {
+      Advance();
+      auto lit = std::make_unique<LiteralExpr>();
+      lit->type = LiteralType::kNull;
+      return ExprPtr(std::move(lit));
+    }
+    if (lower == "case") {
+      Advance();
+      return ParseCase();
+    }
+    if (lower == "cast") {
+      Advance();
+      if (!ConsumePunct("(")) return Error("expected '(' after CAST");
+      auto value = ParseExpr();
+      if (!value.ok()) return value;
+      if (!ConsumeKeyword("as")) return Error("expected AS in CAST");
+      if (!Peek().Is(TokenKind::kIdentifier)) {
+        return Error("expected type name in CAST");
+      }
+      auto cast = std::make_unique<CastExpr>();
+      cast->value = std::move(value).value();
+      cast->type_name = ToLowerAscii(Advance().text);
+      // Optional type parameters: varchar(32), decimal(10, 2).
+      if (ConsumePunct("(")) {
+        while (!PeekIsPunct(")") && !AtEnd()) Advance();
+        if (!ConsumePunct(")")) return Error("expected ')' in CAST type");
+      }
+      if (!ConsumePunct(")")) return Error("expected ')' closing CAST");
+      return ExprPtr(std::move(cast));
+    }
+    if (lower == "exists") {
+      Advance();
+      if (!ConsumePunct("(")) return Error("expected '(' after EXISTS");
+      auto sub = ParseSelect();
+      if (!sub.ok()) return sub.status();
+      if (!ConsumePunct(")")) return Error("expected ')' after EXISTS");
+      auto call = std::make_unique<FuncCallExpr>();
+      call->name = "exists";
+      auto subexpr = std::make_unique<SubqueryExpr>();
+      subexpr->subquery = std::move(sub).value();
+      call->args.push_back(std::move(subexpr));
+      return ExprPtr(std::move(call));
+    }
+    // Dotted name: column ref, qualified star, or function call.
+    Advance();
+    std::vector<std::string> parts{t.text};
+    while (PeekIsPunct(".")) {
+      if (Peek(1).Is(TokenKind::kIdentifier)) {
+        Advance();
+        parts.push_back(Advance().text);
+      } else if (Peek(1).Is(TokenKind::kOperator) && Peek(1).text == "*") {
+        Advance();
+        Advance();
+        auto star = std::make_unique<StarExpr>();
+        star->qualifier = Join(parts, ".");
+        return ExprPtr(std::move(star));
+      } else {
+        break;
+      }
+    }
+    if (ConsumePunct("(")) {
+      auto call = std::make_unique<FuncCallExpr>();
+      call->name = Join(parts, ".");
+      call->distinct = ConsumeKeyword("distinct");
+      if (PeekIsOperator("*")) {
+        Advance();
+        call->star_arg = true;
+      } else if (!PeekIsPunct(")")) {
+        for (;;) {
+          auto arg = ParseExpr();
+          if (!arg.ok()) return arg;
+          call->args.push_back(std::move(arg).value());
+          if (!ConsumePunct(",")) break;
+        }
+      }
+      if (!ConsumePunct(")")) return Error("expected ')' closing call");
+      return ExprPtr(std::move(call));
+    }
+    auto col = std::make_unique<ColumnRefExpr>();
+    col->column = parts.back();
+    parts.pop_back();
+    col->qualifier = Join(parts, ".");
+    return ExprPtr(std::move(col));
+  }
+  return Error("expected expression");
+}
+
+}  // namespace
+
+std::string BaseTable::FullName() const { return Join(name_parts, "."); }
+
+StatusOr<Statement> ParseStatement(std::string_view statement_text) {
+  Parser parser(statement_text);
+  return parser.Parse();
+}
+
+}  // namespace sqlfacil::sql

@@ -1,0 +1,26 @@
+#ifndef SQLFACIL_SQL_PARSER_H_
+#define SQLFACIL_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "sqlfacil/sql/ast.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::sql {
+
+/// Parses one SQL statement into an AST.
+///
+/// The parser is a tolerant recursive-descent parser over the token stream
+/// from Lex(). SELECT statements are parsed in full (joins, subqueries,
+/// aggregates, CASE, CAST, set operations). Recognized non-SELECT statement
+/// heads (EXECUTE, CREATE, DROP, UPDATE, INSERT, DELETE, ALTER, ...) yield a
+/// Statement::kOther without analyzing the body, mirroring the paper's
+/// treatment of the 3.36% non-SELECT statements. Anything else — including
+/// random natural-language text — yields a kParseError Status, which the
+/// workload pipeline maps to the "severe" error class.
+StatusOr<Statement> ParseStatement(std::string_view statement_text);
+
+}  // namespace sqlfacil::sql
+
+#endif  // SQLFACIL_SQL_PARSER_H_

@@ -1,0 +1,36 @@
+#ifndef SQLFACIL_SQL_TOKEN_H_
+#define SQLFACIL_SQL_TOKEN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sqlfacil::sql {
+
+/// Lexical token categories. The lexer is total: any byte sequence lexes
+/// into a token stream (unknown bytes become kOther), because workload
+/// statements "can range from a correct SQL statement to random text"
+/// (paper Section 4.1) and must still be featurizable.
+enum class TokenKind {
+  kIdentifier,  // foo, [foo], "foo", dbo.fX lexes as identifiers + dots
+  kNumber,      // 42, 3.14, 1e-3, 0x112d
+  kString,      // 'text'
+  kOperator,    // = <> != <= >= < > + - * / % & | ^ ~
+  kPunct,       // ( ) , . ;
+  kOther,       // any byte the lexer does not recognize
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;  // byte offset in the original statement
+
+  bool Is(TokenKind k) const { return kind == k; }
+};
+
+using TokenStream = std::vector<Token>;
+
+}  // namespace sqlfacil::sql
+
+#endif  // SQLFACIL_SQL_TOKEN_H_

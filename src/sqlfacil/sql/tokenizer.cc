@@ -1,0 +1,46 @@
+#include "sqlfacil/sql/tokenizer.h"
+
+#include <cctype>
+
+#include "sqlfacil/sql/lexer.h"
+#include "sqlfacil/util/string_util.h"
+
+namespace sqlfacil::sql {
+
+std::vector<std::string> CharTokens(std::string_view statement) {
+  std::vector<std::string> tokens;
+  tokens.reserve(statement.size());
+  for (char c : statement) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    tokens.emplace_back(1, c);
+  }
+  return tokens;
+}
+
+std::vector<std::string> WordTokens(std::string_view statement) {
+  std::vector<std::string> tokens;
+  for (const Token& t : Lex(statement)) {
+    switch (t.kind) {
+      case TokenKind::kEnd:
+        break;
+      case TokenKind::kNumber:
+        tokens.emplace_back(kDigitToken);
+        break;
+      case TokenKind::kIdentifier:
+        tokens.push_back(ToLowerAscii(t.text));
+        break;
+      default:
+        tokens.push_back(t.text);
+        break;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> Tokenize(std::string_view statement,
+                                  Granularity granularity) {
+  return granularity == Granularity::kChar ? CharTokens(statement)
+                                           : WordTokens(statement);
+}
+
+}  // namespace sqlfacil::sql

@@ -1,0 +1,33 @@
+#ifndef SQLFACIL_SQL_TOKENIZER_H_
+#define SQLFACIL_SQL_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlfacil::sql {
+
+/// Model-input granularity (paper Definition 1 / Section 4.4.1): models are
+/// applied at both the character level and the word level.
+enum class Granularity { kChar, kWord };
+
+/// Character-level tokenization: every non-whitespace character is one
+/// token (the paper's Figure 2a example: 48 char tokens excluding spaces).
+std::vector<std::string> CharTokens(std::string_view statement);
+
+/// Word-level tokenization: lexical tokens, lower-cased, with every number
+/// literal replaced by the "<DIGIT>" token to bound the vocabulary
+/// (Section 4.4.1). Operators and punctuation are their own tokens. Garbage
+/// bytes become single-character tokens, so any statement tokenizes.
+std::vector<std::string> WordTokens(std::string_view statement);
+
+/// Dispatches on granularity.
+std::vector<std::string> Tokenize(std::string_view statement,
+                                  Granularity granularity);
+
+/// The digit-replacement token.
+inline constexpr std::string_view kDigitToken = "<DIGIT>";
+
+}  // namespace sqlfacil::sql
+
+#endif  // SQLFACIL_SQL_TOKENIZER_H_

@@ -1,0 +1,28 @@
+#include "sqlfacil/util/env.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace sqlfacil {
+
+double GetScaleFromEnv() {
+  const char* v = std::getenv("SQLFACIL_SCALE");
+  if (v == nullptr) return 1.0;
+  const double scale = std::atof(v);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+int GetEpochsFromEnv(int fallback) {
+  const char* v = std::getenv("SQLFACIL_EPOCHS");
+  if (v == nullptr) return fallback;
+  const int epochs = std::atoi(v);
+  return epochs > 0 ? epochs : fallback;
+}
+
+uint64_t GetSeedFromEnv(uint64_t fallback) {
+  const char* v = std::getenv("SQLFACIL_SEED");
+  if (v == nullptr) return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+}  // namespace sqlfacil

@@ -1,0 +1,22 @@
+#ifndef SQLFACIL_UTIL_ENV_H_
+#define SQLFACIL_UTIL_ENV_H_
+
+#include <cstdint>
+
+namespace sqlfacil {
+
+/// Reads SQLFACIL_SCALE from the environment (default 1.0). Bench binaries
+/// multiply their default workload sizes by this factor, so a full-scale run
+/// is `SQLFACIL_SCALE=10 ./bench/...` while CI uses the small default.
+double GetScaleFromEnv();
+
+/// Reads SQLFACIL_EPOCHS (default `fallback`); overrides per-model training
+/// epochs in the bench harness.
+int GetEpochsFromEnv(int fallback);
+
+/// Reads SQLFACIL_SEED (default `fallback`); the master seed for a bench run.
+uint64_t GetSeedFromEnv(uint64_t fallback);
+
+}  // namespace sqlfacil
+
+#endif  // SQLFACIL_UTIL_ENV_H_

@@ -1,0 +1,44 @@
+#ifndef SQLFACIL_UTIL_LOGGING_H_
+#define SQLFACIL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sqlfacil {
+namespace internal_logging {
+
+/// Accumulates a message and aborts the process when destroyed. Used by the
+/// CHECK family below; CHECK failures indicate programming errors, never
+/// data errors (data errors flow through Status).
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line) {
+    stream_ << "[FATAL " << file << ":" << line << "] ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace sqlfacil
+
+#define SQLFACIL_CHECK(cond)                                      \
+  if (!(cond))                                                    \
+  ::sqlfacil::internal_logging::FatalMessage(__FILE__, __LINE__)  \
+      .stream()                                                   \
+      << "Check failed: " #cond " "
+
+#define SQLFACIL_CHECK_OK(status_expr)                                \
+  do {                                                                \
+    const auto& sqlfacil_status_ = (status_expr);                     \
+    SQLFACIL_CHECK(sqlfacil_status_.ok()) << sqlfacil_status_.ToString(); \
+  } while (0)
+
+#endif  // SQLFACIL_UTIL_LOGGING_H_

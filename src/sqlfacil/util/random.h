@@ -1,0 +1,68 @@
+#ifndef SQLFACIL_UTIL_RANDOM_H_
+#define SQLFACIL_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sqlfacil {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Every stochastic
+/// component in the library draws from an explicitly seeded Rng so that
+/// workload generation, data splits, and training are reproducible bit-for-
+/// bit across runs and machines.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Zipf-distributed rank in [0, n) with skew parameter s (s >= 0; s == 0 is
+  /// uniform). Uses the rejection-free inverse-CDF over precomputed weights
+  /// for small n and rejection sampling for large n.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index from an (unnormalized) weight vector. Requires a
+  /// positive total weight.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle of indices [0, n); returns the permutation.
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Forks a child generator whose stream is independent of this one.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sqlfacil
+
+#endif  // SQLFACIL_UTIL_RANDOM_H_

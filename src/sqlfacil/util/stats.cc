@@ -1,0 +1,152 @@
+#include "sqlfacil/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil {
+
+namespace {
+
+double InterpolatedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(s.count));
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = InterpolatedQuantile(sorted, 0.5);
+  // Mode: most frequent value (ties -> smallest), as in the paper's plots
+  // where properties are integer-valued.
+  std::map<double, size_t> freq;
+  for (double v : sorted) ++freq[v];
+  size_t best = 0;
+  for (const auto& [value, count] : freq) {
+    if (count > best) {
+      best = count;
+      s.mode = value;
+    }
+  }
+  return s;
+}
+
+BoxStats ComputeBoxStats(const std::vector<double>& values) {
+  BoxStats b;
+  if (values.empty()) return b;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  b.count = sorted.size();
+  b.min = sorted.front();
+  b.max = sorted.back();
+  b.q1 = InterpolatedQuantile(sorted, 0.25);
+  b.median = InterpolatedQuantile(sorted, 0.5);
+  b.q3 = InterpolatedQuantile(sorted, 0.75);
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  b.mean = sum / static_cast<double>(b.count);
+  return b;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  SQLFACIL_CHECK(!values.empty());
+  SQLFACIL_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  return InterpolatedQuantile(values, p / 100.0);
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  SQLFACIL_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n == 0) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<HistogramBucket> LogHistogram(const std::vector<double>& values,
+                                          size_t num_buckets) {
+  std::vector<HistogramBucket> buckets;
+  if (values.empty() || num_buckets == 0) return buckets;
+  double max_v = 1.0;
+  for (double v : values) max_v = std::max(max_v, v);
+  const double log_max = std::log10(max_v + 1.0);
+  buckets.resize(num_buckets);
+  for (size_t i = 0; i < num_buckets; ++i) {
+    buckets[i].lo =
+        std::pow(10.0, log_max * static_cast<double>(i) /
+                           static_cast<double>(num_buckets)) -
+        1.0;
+    buckets[i].hi =
+        std::pow(10.0, log_max * static_cast<double>(i + 1) /
+                           static_cast<double>(num_buckets)) -
+        1.0;
+  }
+  for (double v : values) {
+    const double lv = std::log10(std::max(v, 0.0) + 1.0);
+    size_t idx = static_cast<size_t>(lv / log_max *
+                                     static_cast<double>(num_buckets));
+    if (idx >= num_buckets) idx = num_buckets - 1;
+    ++buckets[idx].count;
+  }
+  return buckets;
+}
+
+std::string RenderHistogram(const std::vector<HistogramBucket>& buckets,
+                            size_t bar_width) {
+  size_t max_count = 1;
+  for (const auto& b : buckets) max_count = std::max(max_count, b.count);
+  std::ostringstream out;
+  for (const auto& b : buckets) {
+    // Bar length on a log scale, matching the paper's log-count axes.
+    const double frac =
+        b.count == 0
+            ? 0.0
+            : std::log10(static_cast<double>(b.count) + 1.0) /
+                  std::log10(static_cast<double>(max_count) + 1.0);
+    const size_t len = static_cast<size_t>(frac * static_cast<double>(bar_width));
+    char line[160];
+    std::snprintf(line, sizeof(line), "[%10.1f, %10.1f) %8zu |", b.lo, b.hi,
+                  b.count);
+    out << line << std::string(len, '#') << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sqlfacil

@@ -1,0 +1,67 @@
+#ifndef SQLFACIL_UTIL_STATS_H_
+#define SQLFACIL_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sqlfacil {
+
+/// Descriptive statistics in the format the paper prints on its histograms
+/// (Figures 3, 4, 6): mean, std, min, max, mode, median.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mode = 0.0;
+  double median = 0.0;
+};
+
+/// Box-plot statistics used in Figure 8: quartiles, median, mean, whiskers.
+struct BoxStats {
+  size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Computes Summary statistics over the values. Empty input yields a
+/// zero-filled Summary.
+Summary Summarize(const std::vector<double>& values);
+
+/// Computes box-plot statistics (linear-interpolated quartiles).
+BoxStats ComputeBoxStats(const std::vector<double>& values);
+
+/// p-th percentile (p in [0, 100]) with linear interpolation. Requires a
+/// non-empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Pearson correlation coefficient. Returns 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// One bucket of a histogram on a logarithmic x-axis (as in Figures 3-6).
+struct HistogramBucket {
+  double lo = 0.0;   // inclusive
+  double hi = 0.0;   // exclusive (last bucket inclusive)
+  size_t count = 0;
+};
+
+/// Buckets values into `num_buckets` log-spaced bins over [max(min,1), max].
+/// Values below 1 land in the first bucket, mirroring the paper's log-log
+/// plots where the axis starts at 10^0.
+std::vector<HistogramBucket> LogHistogram(const std::vector<double>& values,
+                                          size_t num_buckets);
+
+/// Renders a log histogram as ASCII art (one row per bucket with a bar).
+std::string RenderHistogram(const std::vector<HistogramBucket>& buckets,
+                            size_t bar_width = 40);
+
+}  // namespace sqlfacil
+
+#endif  // SQLFACIL_UTIL_STATS_H_

@@ -1,0 +1,93 @@
+#ifndef SQLFACIL_UTIL_STATUS_H_
+#define SQLFACIL_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sqlfacil {
+
+/// Error categories used across the library. The SQL front-end and the
+/// relational engine never throw; they return a `Status` (or `StatusOr<T>`)
+/// so that malformed queries are first-class data rather than failures —
+/// the paper's "severe" error class *is* a rejected statement.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // bad API usage
+  kParseError,        // statement rejected by the front-end (severe)
+  kNotFound,          // unknown table/column/function (severe)
+  kExecutionError,    // runtime failure inside the engine (non-severe)
+  kResourceExhausted, // row/cost limits exceeded (non-severe)
+  kInternal,
+};
+
+/// A lightweight success-or-error result, modeled after absl::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status ExecutionError(std::string m) {
+    return Status(StatusCode::kExecutionError, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error result aborts (see CHECK in logging.h for the abort path).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT: implicit
+  StatusOr(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace sqlfacil
+
+#endif  // SQLFACIL_UTIL_STATUS_H_

@@ -1,0 +1,43 @@
+#ifndef SQLFACIL_UTIL_STRING_UTIL_H_
+#define SQLFACIL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlfacil {
+
+/// Lower-cases ASCII characters; non-ASCII bytes pass through unchanged.
+std::string ToLowerAscii(std::string_view s);
+
+/// Upper-cases ASCII characters.
+std::string ToUpperAscii(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view s,
+                                      std::string_view delims);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// Formats a double the way the paper's tables do: fixed 4 decimals.
+std::string Fmt4(double v);
+
+/// Formats with `digits` decimals.
+std::string FmtN(double v, int digits);
+
+/// Formats a count with thousands separators (e.g. "618,053").
+std::string FmtCount(uint64_t n);
+
+}  // namespace sqlfacil
+
+#endif  // SQLFACIL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,41 @@
+#include "sqlfacil/util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sqlfacil {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += " " + row[i] + std::string(widths[i] - row[i].size(), ' ') +
+              " |";
+    }
+    return line;
+  };
+  std::ostringstream out;
+  out << render_row(header_) << "\n";
+  std::string sep = "|";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "|";
+  out << sep << "\n";
+  for (const auto& row : rows_) out << render_row(row) << "\n";
+  return out.str();
+}
+
+}  // namespace sqlfacil

@@ -1,0 +1,27 @@
+#ifndef SQLFACIL_UTIL_TABLE_PRINTER_H_
+#define SQLFACIL_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace sqlfacil {
+
+/// Renders aligned ASCII tables; the bench binaries use this to print the
+/// same rows the paper's tables report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sqlfacil
+
+#endif  // SQLFACIL_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,138 @@
+#include "sqlfacil/workload/analysis.h"
+
+#include "sqlfacil/sql/parser.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::workload {
+
+WorkloadAnalyzer::WorkloadAnalyzer(const QueryWorkload& workload)
+    : workload_(&workload) {
+  features_.reserve(workload.queries.size());
+  for (const auto& q : workload.queries) {
+    features_.push_back(sql::ExtractFeatures(q.statement));
+  }
+}
+
+std::vector<double> WorkloadAnalyzer::PropertyValues(int p) const {
+  SQLFACIL_CHECK(p >= 0 && p < 10);
+  std::vector<double> values;
+  values.reserve(features_.size());
+  for (const auto& f : features_) values.push_back(f.AsVector()[p]);
+  return values;
+}
+
+Summary WorkloadAnalyzer::PropertySummary(int p) const {
+  return Summarize(PropertyValues(p));
+}
+
+std::array<std::array<double, 10>, 10> WorkloadAnalyzer::CorrelationMatrix()
+    const {
+  std::array<std::vector<double>, 10> columns;
+  for (int p = 0; p < 10; ++p) columns[p] = PropertyValues(p);
+  std::array<std::array<double, 10>, 10> matrix;
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      matrix[i][j] = i == j ? 1.0 : PearsonCorrelation(columns[i], columns[j]);
+    }
+  }
+  return matrix;
+}
+
+double WorkloadAnalyzer::SelectFraction() const {
+  if (workload_->queries.empty()) return 0.0;
+  size_t selects = 0;
+  for (const auto& q : workload_->queries) {
+    auto parsed = sql::ParseStatement(q.statement);
+    if (parsed.ok() && parsed->kind == sql::Statement::Kind::kSelect) {
+      ++selects;
+    }
+  }
+  return static_cast<double>(selects) /
+         static_cast<double>(workload_->queries.size());
+}
+
+std::map<std::string, size_t> WorkloadAnalyzer::NonSelectTypeCounts() const {
+  std::map<std::string, size_t> counts;
+  for (const auto& q : workload_->queries) {
+    auto parsed = sql::ParseStatement(q.statement);
+    if (!parsed.ok()) {
+      ++counts["<unparseable>"];
+    } else if (parsed->kind == sql::Statement::Kind::kOther) {
+      ++counts[parsed->other_type];
+    }
+  }
+  return counts;
+}
+
+std::array<size_t, kNumErrorClasses> WorkloadAnalyzer::ErrorClassCounts()
+    const {
+  std::array<size_t, kNumErrorClasses> counts{};
+  for (const auto& q : workload_->queries) {
+    if (q.has_error_class) ++counts[static_cast<int>(q.error_class)];
+  }
+  return counts;
+}
+
+std::array<size_t, kNumSessionClasses> WorkloadAnalyzer::SessionClassCounts()
+    const {
+  std::array<size_t, kNumSessionClasses> counts{};
+  for (const auto& q : workload_->queries) {
+    if (q.has_session_class) ++counts[static_cast<int>(q.session_class)];
+  }
+  return counts;
+}
+
+std::vector<double> WorkloadAnalyzer::AnswerSizes() const {
+  std::vector<double> values;
+  for (const auto& q : workload_->queries) {
+    if (q.has_answer_size) values.push_back(q.answer_size);
+  }
+  return values;
+}
+
+std::vector<double> WorkloadAnalyzer::CpuTimes() const {
+  std::vector<double> values;
+  for (const auto& q : workload_->queries) {
+    if (q.has_cpu_time) values.push_back(q.cpu_time);
+  }
+  return values;
+}
+
+std::array<BoxStats, kNumSessionClasses>
+WorkloadAnalyzer::BoxStatsBySessionClass(
+    const std::function<double(const LabeledQuery&,
+                               const sql::SyntacticFeatures&)>& getter)
+    const {
+  std::array<std::vector<double>, kNumSessionClasses> buckets;
+  for (size_t i = 0; i < workload_->queries.size(); ++i) {
+    const auto& q = workload_->queries[i];
+    if (!q.has_session_class) continue;
+    buckets[static_cast<int>(q.session_class)].push_back(
+        getter(q, features_[i]));
+  }
+  std::array<BoxStats, kNumSessionClasses> out;
+  for (int c = 0; c < kNumSessionClasses; ++c) {
+    out[c] = ComputeBoxStats(buckets[c]);
+  }
+  return out;
+}
+
+WorkloadAnalyzer::StructureShares WorkloadAnalyzer::ComputeStructureShares()
+    const {
+  StructureShares shares;
+  if (features_.empty()) return shares;
+  for (const auto& f : features_) {
+    if (f.num_joins >= 1) shares.with_join += 1;
+    if (f.num_tables > 1) shares.multi_table += 1;
+    if (f.nestedness_level >= 1) shares.nested += 1;
+    if (f.nested_aggregation) shares.nested_aggregation += 1;
+  }
+  const double n = static_cast<double>(features_.size());
+  shares.with_join /= n;
+  shares.multi_table /= n;
+  shares.nested /= n;
+  shares.nested_aggregation /= n;
+  return shares;
+}
+
+}  // namespace sqlfacil::workload

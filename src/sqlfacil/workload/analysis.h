@@ -1,0 +1,74 @@
+#ifndef SQLFACIL_WORKLOAD_ANALYSIS_H_
+#define SQLFACIL_WORKLOAD_ANALYSIS_H_
+
+#include <array>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/sql/features.h"
+#include "sqlfacil/util/stats.h"
+#include "sqlfacil/workload/types.h"
+
+namespace sqlfacil::workload {
+
+/// Computes the workload analysis of Section 4.3: structural property
+/// distributions (Figures 3/4), label distributions (Figure 6), the
+/// property correlation matrix (Figure 7), per-session-class breakdowns
+/// (Figure 8), and statement-type shares.
+class WorkloadAnalyzer {
+ public:
+  explicit WorkloadAnalyzer(const QueryWorkload& workload);
+
+  /// Per-query features, aligned with the workload's query order.
+  const std::vector<sql::SyntacticFeatures>& features() const {
+    return features_;
+  }
+
+  /// Values of structural property `p` (0..9, figure order) over queries.
+  std::vector<double> PropertyValues(int p) const;
+
+  /// Summary of property `p` (the stats printed on Figures 3/4).
+  Summary PropertySummary(int p) const;
+
+  /// 10x10 Pearson correlation matrix (Figure 7).
+  std::array<std::array<double, 10>, 10> CorrelationMatrix() const;
+
+  /// Fraction of SELECT statements, and count of each non-SELECT type.
+  double SelectFraction() const;
+  std::map<std::string, size_t> NonSelectTypeCounts() const;
+
+  /// Counts per error / session class (Figures 6a, 6b).
+  std::array<size_t, kNumErrorClasses> ErrorClassCounts() const;
+  std::array<size_t, kNumSessionClasses> SessionClassCounts() const;
+
+  /// Label values for regression label distributions (Figures 6c-6e).
+  std::vector<double> AnswerSizes() const;
+  std::vector<double> CpuTimes() const;
+
+  /// Box stats of a quantity by session class (Figure 8). The getter
+  /// selects what is plotted: answer size, CPU time, #chars, or #words.
+  std::array<BoxStats, kNumSessionClasses> BoxStatsBySessionClass(
+      const std::function<double(const LabeledQuery&,
+                                 const sql::SyntacticFeatures&)>& getter)
+      const;
+
+  /// Share of queries with >=1 join, >1 table, nested, nested aggregation
+  /// (the headline percentages of Section 4.3.1).
+  struct StructureShares {
+    double with_join = 0.0;
+    double multi_table = 0.0;
+    double nested = 0.0;
+    double nested_aggregation = 0.0;
+  };
+  StructureShares ComputeStructureShares() const;
+
+ private:
+  const QueryWorkload* workload_;
+  std::vector<sql::SyntacticFeatures> features_;
+};
+
+}  // namespace sqlfacil::workload
+
+#endif  // SQLFACIL_WORKLOAD_ANALYSIS_H_

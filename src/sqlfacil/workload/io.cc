@@ -1,0 +1,132 @@
+#include "sqlfacil/workload/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sqlfacil/util/string_util.h"
+
+namespace sqlfacil::workload {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      default:
+        out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveWorkload(const QueryWorkload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << "# sqlfacil workload v1\t" << workload.name << "\n";
+  for (const auto& q : workload.queries) {
+    out << Escape(q.statement) << '\t' << static_cast<int>(q.error_class)
+        << '\t' << static_cast<int>(q.session_class) << '\t';
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.9g\t%.9g\t%d\t%.9g\t%d%d%d%d",
+                  q.answer_size, q.cpu_time, q.user_id, q.opt_cost,
+                  q.has_error_class ? 1 : 0, q.has_session_class ? 1 : 0,
+                  q.has_answer_size ? 1 : 0, q.has_cpu_time ? 1 : 0);
+    out << buf << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+StatusOr<QueryWorkload> LoadWorkload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  QueryWorkload workload;
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("# sqlfacil workload v1", 0) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a workload file");
+  }
+  const size_t tab = line.find('\t');
+  if (tab != std::string::npos) workload.name = line.substr(tab + 1);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == '\t') {
+        fields.push_back(line.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (fields.size() != 8) {
+      return Status::InvalidArgument("malformed workload line");
+    }
+    LabeledQuery q;
+    q.statement = Unescape(fields[0]);
+    q.error_class = static_cast<ErrorClass>(std::atoi(fields[1].c_str()));
+    q.session_class = static_cast<SessionClass>(std::atoi(fields[2].c_str()));
+    q.answer_size = std::atof(fields[3].c_str());
+    q.cpu_time = std::atof(fields[4].c_str());
+    q.user_id = std::atoi(fields[5].c_str());
+    q.opt_cost = std::atof(fields[6].c_str());
+    if (fields[7].size() != 4) {
+      return Status::InvalidArgument("malformed flags field");
+    }
+    q.has_error_class = fields[7][0] == '1';
+    q.has_session_class = fields[7][1] == '1';
+    q.has_answer_size = fields[7][2] == '1';
+    q.has_cpu_time = fields[7][3] == '1';
+    workload.queries.push_back(std::move(q));
+  }
+  return workload;
+}
+
+}  // namespace sqlfacil::workload

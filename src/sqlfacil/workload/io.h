@@ -1,0 +1,21 @@
+#ifndef SQLFACIL_WORKLOAD_IO_H_
+#define SQLFACIL_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "sqlfacil/util/status.h"
+#include "sqlfacil/workload/types.h"
+
+namespace sqlfacil::workload {
+
+/// Saves a workload as a TSV file (statements are escaped: tab, newline,
+/// backslash). Used by the bench harness to cache generated workloads so a
+/// suite of bench binaries shares one build.
+Status SaveWorkload(const QueryWorkload& workload, const std::string& path);
+
+/// Loads a workload written by SaveWorkload.
+StatusOr<QueryWorkload> LoadWorkload(const std::string& path);
+
+}  // namespace sqlfacil::workload
+
+#endif  // SQLFACIL_WORKLOAD_IO_H_

@@ -1,0 +1,44 @@
+#include "sqlfacil/workload/labeler.h"
+
+#include "sqlfacil/engine/cost_model.h"
+#include "sqlfacil/sql/parser.h"
+
+namespace sqlfacil::workload {
+
+QueryLabels QueryLabeler::Label(const std::string& statement) const {
+  QueryLabels labels;
+  auto parsed = sql::ParseStatement(statement);
+  if (!parsed.ok()) {
+    labels.error_class = ErrorClass::kSevere;
+    labels.answer_size = -1.0;
+    labels.base_cpu_seconds = 0.0;
+    return labels;
+  }
+  if (parsed->kind == sql::Statement::Kind::kOther) {
+    // EXECUTE/CREATE/... statements: small fixed work, one status row.
+    labels.error_class = ErrorClass::kSuccess;
+    labels.answer_size = 1.0;
+    labels.base_cpu_seconds = 50.0 * config_.seconds_per_cost_unit;
+    return labels;
+  }
+  labels.is_select = true;
+  auto est = engine::EstimateQuery(*parsed->select, *catalog_);
+  if (est.ok()) labels.opt_estimated_cost = est->estimated_cost;
+
+  engine::Executor executor(catalog_, config_.exec_options);
+  auto result = executor.Execute(*parsed->select);
+  if (!result.ok()) {
+    labels.error_class = ErrorClass::kNonSevere;
+    labels.answer_size = -1.0;
+    // The server did partial work before erroring.
+    labels.base_cpu_seconds =
+        executor.cost_units() * config_.seconds_per_cost_unit;
+    return labels;
+  }
+  labels.error_class = ErrorClass::kSuccess;
+  labels.answer_size = static_cast<double>(result->answer_rows);
+  labels.base_cpu_seconds = result->cost_units * config_.seconds_per_cost_unit;
+  return labels;
+}
+
+}  // namespace sqlfacil::workload

@@ -1,0 +1,50 @@
+#ifndef SQLFACIL_WORKLOAD_LABELER_H_
+#define SQLFACIL_WORKLOAD_LABELER_H_
+
+#include <string>
+
+#include "sqlfacil/engine/catalog.h"
+#include "sqlfacil/engine/executor.h"
+#include "sqlfacil/workload/types.h"
+
+namespace sqlfacil::workload {
+
+/// Maps statement execution to the paper's labels.
+struct LabelerConfig {
+  /// Conversion from engine cost units to "CPU seconds".
+  double seconds_per_cost_unit = 2e-5;
+  engine::ExecOptions exec_options;
+};
+
+/// Outcome of labeling one statement.
+struct QueryLabels {
+  ErrorClass error_class = ErrorClass::kSuccess;
+  double answer_size = 0.0;       // -1 when the query did not run
+  double base_cpu_seconds = 0.0;  // deterministic; noise added per log entry
+  double opt_estimated_cost = 0.0;  // optimizer estimate (opt baseline input)
+  bool is_select = false;
+};
+
+/// Executes statements against a catalog and derives labels:
+///  * parse failure            -> severe (portal rejected it; cpu 0, rows -1)
+///  * name/type/runtime errors -> non_severe (server error; partial cpu,
+///                                rows -1)
+///  * budget exhaustion        -> non_severe (timeout analog)
+///  * success                  -> answer size + accounted CPU seconds
+/// Non-SELECT statements (EXECUTE/CREATE/...) are charged a small fixed
+/// cost, like the paper's 3.36% non-SELECT traffic.
+class QueryLabeler {
+ public:
+  QueryLabeler(const engine::Catalog* catalog, LabelerConfig config)
+      : catalog_(catalog), config_(config) {}
+
+  QueryLabels Label(const std::string& statement) const;
+
+ private:
+  const engine::Catalog* catalog_;
+  LabelerConfig config_;
+};
+
+}  // namespace sqlfacil::workload
+
+#endif  // SQLFACIL_WORKLOAD_LABELER_H_

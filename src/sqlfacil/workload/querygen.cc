@@ -1,0 +1,429 @@
+#include "sqlfacil/workload/querygen.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::workload {
+
+namespace {
+
+std::string Fmt(const char* format, ...) {
+  char buf[2048];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+const char* kBands[] = {"u", "g", "r", "i", "z"};
+const char* kFlagNames[] = {"BLENDED",   "SATURATED", "EDGE",  "CHILD",
+                            "DEBLENDED", "BRIGHT",    "COSMIC"};
+
+}  // namespace
+
+int64_t QueryGenerator::PopularObjId() {
+  // Hot objects: zipf over a pool of 4000 ids.
+  return static_cast<int64_t>(rng_->Zipf(4000, 1.05));
+}
+
+double QueryGenerator::GridRa() {
+  return 0.25 * static_cast<double>(rng_->UniformInt(0, 1440));
+}
+
+double QueryGenerator::GridDec() {
+  return -20.0 + 0.25 * static_cast<double>(rng_->UniformInt(0, 420));
+}
+
+std::string QueryGenerator::Generate(SessionClass session_class) {
+  // Cross-talk: real classes overlap (an astronomer pastes a web-form
+  // query into CasJobs; a script runs browser-style queries). Without it
+  // session classification is trivially separable, unlike the paper's
+  // ~0.6 accuracy regime.
+  const double crosstalk = rng_->NextDouble();
+  switch (session_class) {
+    case SessionClass::kNoWebHit:
+      if (crosstalk < 0.12) return GenBrowser();
+      if (crosstalk < 0.20) return GenProgram();
+      break;
+    case SessionClass::kBrowser:
+      if (crosstalk < 0.12) return GenProgram();
+      if (crosstalk < 0.18) return GenAnonymous();
+      break;
+    case SessionClass::kProgram:
+      if (crosstalk < 0.15) return GenBrowser();
+      if (crosstalk < 0.22) return GenBot();
+      break;
+    case SessionClass::kBot:
+      if (crosstalk < 0.06) return GenAnonymous();
+      break;
+    case SessionClass::kAnonymous:
+      if (crosstalk < 0.25) return GenBrowser();
+      break;
+    default:
+      break;
+  }
+  switch (session_class) {
+    case SessionClass::kBot:
+      return GenBot();
+    case SessionClass::kAdmin:
+      return GenAdmin();
+    case SessionClass::kProgram:
+      return GenProgram();
+    case SessionClass::kBrowser:
+      return GenBrowser();
+    case SessionClass::kNoWebHit:
+      return GenNoWebHit();
+    case SessionClass::kAnonymous:
+      return GenAnonymous();
+    case SessionClass::kUnknown:
+      // Unknown agents are a mixture of everything.
+      switch (rng_->NextUint64(4)) {
+        case 0:
+          return GenBot();
+        case 1:
+          return GenBrowser();
+        case 2:
+          return GenProgram();
+        default:
+          return GenAnonymous();
+      }
+  }
+  return GenBrowser();
+}
+
+std::string QueryGenerator::GenerateBotWithTemplate(int template_idx) {
+  switch (template_idx % kNumBotTemplates) {
+    case 0:
+      return Fmt("SELECT * FROM PhotoTag WHERE objId=%lld",
+                 static_cast<long long>(PopularObjId()));
+    case 1:
+      return Fmt("SELECT ra,dec FROM PhotoObj WHERE objid=%lld",
+                 static_cast<long long>(PopularObjId()));
+    case 2:
+      return Fmt(
+          "SELECT objid,u,g,r,i,z FROM PhotoObj WHERE objid=%lld",
+          static_cast<long long>(PopularObjId()));
+    case 3:
+      return Fmt("SELECT z,zerr FROM SpecObj WHERE specobjid=%lld",
+                 static_cast<long long>(rng_->Zipf(2000, 1.05)));
+    default:
+      return Fmt("SELECT COUNT(*) FROM PhotoObj WHERE field=%lld",
+                 static_cast<long long>(rng_->UniformInt(11, 900)));
+  }
+}
+
+std::string QueryGenerator::GenBot() {
+  return GenerateBotWithTemplate(
+      static_cast<int>(rng_->NextUint64(kNumBotTemplates)));
+}
+
+std::string QueryGenerator::GenAdmin() {
+  // A slice of admin traffic is stored-procedure calls (non-SELECT
+  // statements; the paper reports 3.36% non-SELECT on SDSS).
+  if (rng_->Bernoulli(0.2)) {
+    static const char* kProcs[] = {"spCheckDbLog", "spRecomputeStats",
+                                   "spPurgeQueue", "spMirrorStatus"};
+    return Fmt("EXECUTE %s %lld", kProcs[rng_->NextUint64(4)],
+               static_cast<long long>(rng_->UniformInt(0, 9)));
+  }
+  switch (rng_->NextUint64(5)) {
+    case 0:
+      return "SELECT COUNT(*) FROM Jobs WHERE status=0";
+    case 1:
+      return Fmt("SELECT TOP %lld jobid,userid,estimate FROM Jobs "
+                 "WHERE status=%lld ORDER BY estimate DESC",
+                 static_cast<long long>(rng_->UniformInt(5, 20)),
+                 static_cast<long long>(rng_->UniformInt(0, 5)));
+    case 2:
+      return "SELECT target, COUNT(*) FROM Servers GROUP BY target";
+    case 3:
+      return Fmt("SELECT name,queue FROM Servers WHERE queue > %lld",
+                 static_cast<long long>(rng_->UniformInt(1, 15)));
+    default:
+      return "SELECT s.name, COUNT(*) FROM Status s, Jobs j "
+             "WHERE s.statusid = j.status GROUP BY s.name";
+  }
+}
+
+std::string QueryGenerator::GenProgram() {
+  // Data downloaders sweep the sky in grid-aligned windows.
+  const double ra = GridRa();
+  const double dec = GridDec();
+  const double width = 0.25 * static_cast<double>(rng_->UniformInt(1, 8));
+  switch (rng_->NextUint64(4)) {
+    case 0:
+      return Fmt(
+          "SELECT p.objid,p.ra,p.dec,p.u,p.g,p.r,p.i,p.z FROM PhotoObj AS p "
+          "WHERE p.ra BETWEEN %.2f AND %.2f AND p.dec BETWEEN %.2f AND %.2f",
+          ra, ra + width, dec, dec + width);
+    case 1:
+      return Fmt(
+          "SELECT p.objid,p.ra,p.dec,p.u,p.g,p.r,p.i,p.z FROM PhotoObj AS p "
+          "WHERE type=%lld AND p.ra BETWEEN (%.2f-0.25) AND (%.2f+0.25) "
+          "AND p.dec BETWEEN (%.2f-0.25) AND (%.2f+0.25) ORDER BY p.objid",
+          static_cast<long long>(rng_->UniformInt(3, 6)), ra, ra, dec, dec);
+    case 2:
+      return Fmt(
+          "SELECT TOP %lld objid,ra,dec,modelmag_u,modelmag_g,modelmag_r "
+          "FROM Galaxy WHERE modelmag_r < %.1f AND ra BETWEEN %.2f AND %.2f",
+          static_cast<long long>(rng_->UniformInt(1, 10) * 1000),
+          17.0 + static_cast<double>(rng_->UniformInt(0, 12)) * 0.5, ra,
+          ra + 4.0 * width);
+    default:
+      return Fmt(
+          "SELECT s.specobjid,s.z,s.zerr,p.ra,p.dec FROM SpecObj AS s "
+          "INNER JOIN PhotoObj AS p ON s.bestobjid=p.objid "
+          "WHERE s.z BETWEEN %.2f AND %.2f",
+          0.05 * static_cast<double>(rng_->UniformInt(0, 20)),
+          0.05 * static_cast<double>(rng_->UniformInt(21, 40)));
+  }
+}
+
+std::string QueryGenerator::GenBrowser() {
+  // Humans: occasional garbage, type confusions, and typos.
+  const double roll = rng_->NextDouble();
+  if (roll < 0.025) return GenGarbage();
+  if (roll < 0.034) {
+    // A type clash a novice makes: a word where a numeric code belongs.
+    // Parses fine, fails at execution (server SQL error -> non_severe).
+    static const char* kWords[] = {"galaxy", "star", "bright", "qso"};
+    return Fmt("SELECT objid, ra, dec FROM %s WHERE type = '%s'",
+               rng_->Bernoulli(0.5) ? "PhotoObj" : "PhotoTag",
+               kWords[rng_->NextUint64(4)]);
+  }
+  std::string q;
+  switch (rng_->NextUint64(7)) {
+    case 0:  // Figure 1a: the advised count query.
+      q = Fmt("SELECT COUNT(*) FROM Galaxy WHERE modelmag_%s < %.1f",
+              kBands[rng_->NextUint64(5)],
+              16.0 + static_cast<double>(rng_->UniformInt(0, 14)) * 0.5);
+      break;
+    case 1: {  // Figure 1b: the inefficient per-row flag function.
+      q = Fmt("SELECT objid,ra,dec FROM PhotoObj WHERE flags & "
+              "dbo.fPhotoFlags('%s') > 0 AND modelmag_r < %.1f",
+              kFlagNames[rng_->NextUint64(7)],
+              15.0 + static_cast<double>(rng_->UniformInt(0, 16)) * 0.5);
+      break;
+    }
+    case 2: {  // Cone-ish search.
+      const double ra = GridRa(), dec = GridDec();
+      q = Fmt(
+          "SELECT objid, ra, dec, %s FROM PhotoObj WHERE type=6 AND "
+          "ra BETWEEN (%.2f-0.2) AND (%.2f+0.2) AND "
+          "dec BETWEEN (%.2f-0.2) AND (%.2f+0.2) ORDER BY objid",
+          rng_->Bernoulli(0.5) ? "u,g,r,i,z" : "modelmag_r", ra, ra, dec,
+          dec);
+      break;
+    }
+    case 3:
+      q = Fmt("SELECT TOP %lld * FROM Star WHERE modelmag_g BETWEEN %.1f AND "
+              "%.1f",
+              static_cast<long long>(rng_->UniformInt(1, 50) * 10),
+              14.0 + static_cast<double>(rng_->UniformInt(0, 8)),
+              18.0 + static_cast<double>(rng_->UniformInt(0, 8)));
+      break;
+    case 4:
+      q = Fmt("SELECT specobjid, dbo.fSpecDescription(specclass), z "
+              "FROM SpecObj WHERE z > %.2f AND zerr < %.3f",
+              0.1 * static_cast<double>(rng_->UniformInt(0, 25)),
+              0.005 * static_cast<double>(rng_->UniformInt(1, 10)));
+      break;
+    case 5:
+      q = Fmt("SELECT g.objid, g.ra, g.dec FROM Galaxy g, SpecObj s "
+              "WHERE g.objid = s.bestobjid AND s.z < %.2f",
+              0.05 * static_cast<double>(rng_->UniformInt(1, 20)));
+      break;
+    default:
+      q = Fmt("SELECT objid, u-g, g-r FROM PhotoObj WHERE u-g > %.1f AND "
+              "camcol = %lld",
+              0.2 * static_cast<double>(rng_->UniformInt(0, 15)),
+              static_cast<long long>(rng_->UniformInt(1, 6)));
+      break;
+  }
+  if (roll >= 0.034 && roll < 0.064) return Corrupt(std::move(q));
+  return q;
+}
+
+std::string QueryGenerator::GenNoWebHit() {
+  // CasJobs users also manage their MyDB: CREATE/DROP/INSERT statements.
+  const double ddl_roll = rng_->NextDouble();
+  if (ddl_roll < 0.05) {
+    switch (rng_->NextUint64(3)) {
+      case 0:
+        return Fmt("DROP TABLE mydb.result_%lld",
+                   static_cast<long long>(rng_->UniformInt(1, 500)));
+      case 1:
+        return Fmt("CREATE TABLE mydb.targets_%lld (objid bigint, ra float,"
+                   " dec float)",
+                   static_cast<long long>(rng_->UniformInt(1, 500)));
+      default:
+        return Fmt("INSERT INTO mydb.targets_%lld VALUES (%lld, 0.0, 0.0)",
+                   static_cast<long long>(rng_->UniformInt(1, 500)),
+                   static_cast<long long>(rng_->UniformInt(0, 99999)));
+    }
+  }
+  // A good share of CasJobs traffic is plain batched scans/aggregates
+  // (keeps the overall join share near the paper's single-digit percent).
+  if (ddl_roll < 0.50) {
+    switch (rng_->NextUint64(3)) {
+      case 0:
+        return Fmt("SELECT objid, ra, dec, modelmag_r INTO mydb.chunk_%lld "
+                   "FROM PhotoObj WHERE run = %lld AND camcol = %lld",
+                   static_cast<long long>(rng_->UniformInt(1, 400)),
+                   static_cast<long long>(rng_->UniformInt(94, 8000)),
+                   static_cast<long long>(rng_->UniformInt(1, 6)));
+      case 1:
+        return Fmt("SELECT COUNT(*), AVG(modelmag_%s), STDEV(modelmag_%s) "
+                   "FROM %s WHERE dec BETWEEN %.1f AND %.1f",
+                   kBands[rng_->NextUint64(5)], kBands[rng_->NextUint64(5)],
+                   rng_->Bernoulli(0.5) ? "Galaxy" : "Star",
+                   -20.0 + 5.0 * static_cast<double>(rng_->UniformInt(0, 8)),
+                   10.0 + 5.0 * static_cast<double>(rng_->UniformInt(0, 10)));
+      default:
+        return Fmt("SELECT TOP %lld specobjid, z, zerr FROM SpecObj "
+                   "WHERE specclass = %lld AND zerr < %.3f ORDER BY z DESC",
+                   static_cast<long long>(rng_->UniformInt(1, 20) * 100),
+                   static_cast<long long>(rng_->UniformInt(0, 6)),
+                   0.002 * static_cast<double>(rng_->UniformInt(1, 12)));
+    }
+  }
+  switch (rng_->NextUint64(6)) {
+    case 0:  // Join + aggregate + INTO mydb (CasJobs style).
+      return Fmt(
+          "SELECT p.run, p.camcol, COUNT(*) AS n, AVG(p.modelmag_r) AS m "
+          "INTO mydb.run_summary_%lld "
+          "FROM PhotoObj AS p INNER JOIN SpecObj AS s ON p.objid=s.bestobjid "
+          "WHERE p.type=%lld GROUP BY p.run, p.camcol HAVING COUNT(*) > %lld",
+          static_cast<long long>(rng_->UniformInt(1, 400)),
+          static_cast<long long>(rng_->UniformInt(3, 6)),
+          static_cast<long long>(rng_->UniformInt(1, 5)));
+    case 1:  // Nested aggregate (the Figure 5 shape).
+      return Fmt(
+          "SELECT dbo.fGetURLExpid(objid) FROM SpecPhoto "
+          "WHERE modelmag_u - modelmag_g < "
+          "(SELECT MIN(modelmag_u - modelmag_g) + %.2f FROM SpecPhoto AS s "
+          "INNER JOIN PhotoObj AS p ON s.objid=p.objid "
+          "WHERE (s.flags_g=0 OR p.psfmagerr_g<=0.2 AND p.psfmagerr_u<=0.2))",
+          0.1 * static_cast<double>(rng_->UniformInt(1, 30)));
+    case 2:  // Three-way join with function projection.
+      return Fmt(
+          "SELECT q.plate, dbo.fDistanceArcMinEq(q.ra,q.dec,p.ra,p.dec) AS d, "
+          "p.objid FROM SpecObj AS q, PhotoObj AS p, PlateX AS x "
+          "WHERE q.bestobjid=p.objid AND q.plate=x.plate AND "
+          "q.ra BETWEEN %.1f AND %.1f ORDER BY q.ra",
+          10.0 * static_cast<double>(rng_->UniformInt(0, 30)),
+          10.0 * static_cast<double>(rng_->UniformInt(0, 30)) + 15.0);
+    case 3:  // Deep nesting over admin tables (the Figure 16 / Q2 shape).
+      return "SELECT j.target, CAST(j.estimate AS varchar) AS queue "
+             "FROM Jobs j, Users u, "
+             "(SELECT DISTINCT target, queue FROM Servers s1 "
+             "WHERE s1.queue NOT IN "
+             "(SELECT queue FROM Servers s, "
+             "(SELECT target, MIN(queue) AS q FROM Servers GROUP BY target) "
+             "AS a WHERE a.target=s.target)) b "
+             "WHERE j.outputtype LIKE '%QUERY%' AND j.userid = u.userid";
+    case 4:  // Histogram-style aggregate.
+      return Fmt(
+          "SELECT CAST(modelmag_r AS int) AS bin, COUNT(*) AS n "
+          "FROM %s WHERE dec BETWEEN %.1f AND %.1f "
+          "GROUP BY CAST(modelmag_r AS int) ORDER BY bin",
+          rng_->Bernoulli(0.5) ? "Galaxy" : "Star",
+          -10.0 + 5.0 * static_cast<double>(rng_->UniformInt(0, 8)),
+          10.0 + 5.0 * static_cast<double>(rng_->UniformInt(0, 10)));
+    default:  // Self-join color comparison.
+      return Fmt(
+          "SELECT TOP %lld a.objid, b.objid FROM Galaxy a, Galaxy b "
+          "WHERE a.field = b.field AND a.objid < b.objid AND "
+          "ABS(a.modelmag_r - b.modelmag_r) < %.2f",
+          static_cast<long long>(rng_->UniformInt(1, 20) * 50),
+          0.01 * static_cast<double>(rng_->UniformInt(1, 10)));
+  }
+}
+
+std::string QueryGenerator::GenAnonymous() {
+  const double roll = rng_->NextDouble();
+  if (roll < 0.03) return GenGarbage();
+  switch (rng_->NextUint64(3)) {
+    case 0:
+      return Fmt("SELECT TOP 10 * FROM PhotoObj WHERE ra > %.1f",
+                 static_cast<double>(rng_->UniformInt(0, 350)));
+    case 1:
+      return Fmt("SELECT COUNT(*) FROM %s",
+                 rng_->Bernoulli(0.5) ? "Galaxy" : "Star");
+    default:
+      return Fmt("SELECT objid FROM PhotoTag WHERE objId=%lld",
+                 static_cast<long long>(PopularObjId()));
+  }
+}
+
+std::string QueryGenerator::GenGarbage() {
+  // Compose varied pseudo-natural-language requests (each occurrence is
+  // likely unique, so models must learn the *pattern*, not the string).
+  static const char* kVerbs[] = {"show me", "find",    "list", "how do I get",
+                                 "give me", "I want",  "need", "download"};
+  static const char* kObjects[] = {"galaxies", "stars",   "quasars",
+                                   "objects",  "spectra", "bright things",
+                                   "images",   "the data"};
+  static const char* kQualifiers[] = {
+      "near ra", "brighter than", "with redshift over", "in field",
+      "close to dec", "from plate", "around magnitude"};
+  switch (rng_->NextUint64(4)) {
+    case 0:
+      return Fmt("%s %s %s %lld", kVerbs[rng_->NextUint64(8)],
+                 kObjects[rng_->NextUint64(8)],
+                 kQualifiers[rng_->NextUint64(7)],
+                 static_cast<long long>(rng_->UniformInt(0, 359)));
+    case 1:
+      return Fmt("%s all %s please", kVerbs[rng_->NextUint64(8)],
+                 kObjects[rng_->NextUint64(8)]);
+    case 2:  // Broken SQL fragments.
+      return Fmt("SELECT %s WHERE %lld", kObjects[rng_->NextUint64(8)],
+                 static_cast<long long>(rng_->UniformInt(0, 99)));
+    default:
+      return Fmt("help %s %lld", kObjects[rng_->NextUint64(8)],
+                 static_cast<long long>(rng_->UniformInt(0, 999)));
+  }
+}
+
+std::string QueryGenerator::Corrupt(std::string statement) {
+  // Human error modes: typo in a table name (unknown object -> server
+  // error), unknown column, or a syntax-breaking deletion (-> severe).
+  switch (rng_->NextUint64(4)) {
+    case 0: {  // Misspell a table name.
+      const size_t pos = statement.find("PhotoObj");
+      if (pos != std::string::npos) {
+        statement.replace(pos, 8, "PhotObj");
+        return statement;
+      }
+      const size_t pos2 = statement.find("Galaxy");
+      if (pos2 != std::string::npos) {
+        statement.replace(pos2, 6, "Galaxie");
+        return statement;
+      }
+      return statement + " WHERE";  // fallback: syntax break
+    }
+    case 1: {  // Unknown column.
+      const size_t pos = statement.find("objid");
+      if (pos != std::string::npos) {
+        statement.replace(pos, 5, "objiid");
+        return statement;
+      }
+      return statement + ",";
+    }
+    case 2: {  // Drop the FROM keyword: severe syntax error.
+      const size_t pos = statement.find("FROM");
+      if (pos != std::string::npos) statement.erase(pos, 4);
+      return statement;
+    }
+    default: {  // Unbalanced paren.
+      const size_t pos = statement.find('(');
+      if (pos != std::string::npos) statement.erase(pos, 1);
+      return statement + ")";
+    }
+  }
+}
+
+}  // namespace sqlfacil::workload

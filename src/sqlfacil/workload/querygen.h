@@ -1,0 +1,62 @@
+#ifndef SQLFACIL_WORKLOAD_QUERYGEN_H_
+#define SQLFACIL_WORKLOAD_QUERYGEN_H_
+
+#include <string>
+
+#include "sqlfacil/util/random.h"
+#include "sqlfacil/workload/types.h"
+
+namespace sqlfacil::workload {
+
+/// Generates SQL statement text in the style of an SDSS session class.
+///
+/// Each class has a distinct syntactic signature — this is the structure
+/// the paper's models learn to exploit (Sections 4.3, 6.3.1):
+///  * bot        — a handful of templates, point lookups, varying constants
+///                 drawn from a skewed pool so exact statements repeat
+///                 across sessions (Appendix B.3 redundancy);
+///  * admin      — monitoring queries over the CasJobs tables;
+///  * program    — data downloaders: wide column lists, grid-aligned
+///                 BETWEEN windows, TOP batches;
+///  * browser    — human-written: cone searches, flag filters, count
+///                 queries, occasional typos and garbage text;
+///  * no_web_hit — CasJobs analysts: multi-table joins, GROUP BY/HAVING,
+///                 nested aggregates, SELECT ... INTO mydb;
+///  * anonymous  — simpler browser-like traffic;
+///  * unknown    — a mixture.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(Rng* rng) : rng_(rng) {}
+
+  /// A fresh statement in the given class's style.
+  std::string Generate(SessionClass session_class);
+
+  /// A statement reusing the given bot template index (bots repeat one
+  /// template within a session).
+  std::string GenerateBotWithTemplate(int template_idx);
+
+  static constexpr int kNumBotTemplates = 5;
+
+ private:
+  std::string GenBot();
+  std::string GenAdmin();
+  std::string GenProgram();
+  std::string GenBrowser();
+  std::string GenNoWebHit();
+  std::string GenAnonymous();
+  std::string GenGarbage();
+
+  /// A popular object id (zipf-skewed so hot objects repeat).
+  int64_t PopularObjId();
+  /// A grid-aligned coordinate (limited precision so statements repeat).
+  double GridRa();
+  double GridDec();
+  /// Applies a random typo to a statement (drives severe errors).
+  std::string Corrupt(std::string statement);
+
+  Rng* rng_;
+};
+
+}  // namespace sqlfacil::workload
+
+#endif  // SQLFACIL_WORKLOAD_QUERYGEN_H_

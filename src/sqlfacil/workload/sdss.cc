@@ -1,0 +1,158 @@
+#include "sqlfacil/workload/sdss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "sqlfacil/util/logging.h"
+#include "sqlfacil/workload/querygen.h"
+
+namespace sqlfacil::workload {
+
+namespace {
+
+// Session-class mix, matching the paper's Table 4 test-set frequencies.
+struct ClassMix {
+  SessionClass cls;
+  double weight;
+  // Geometric session-length mean (hits per session). Only the sampled hit
+  // is executed, but lengths shape the per-class repetition profile.
+  double mean_hits;
+};
+
+// Weights are tuned so the *post-deduplication* class shares land near the
+// paper's Table 4 test frequencies (bots and programs collapse more under
+// statement grouping because they reuse templates and grid constants).
+constexpr ClassMix kClassMix[] = {
+    {SessionClass::kNoWebHit, 0.5300, 6.0},
+    {SessionClass::kUnknown, 0.0007, 3.0},
+    {SessionClass::kBot, 0.2700, 25.0},
+    {SessionClass::kAdmin, 0.0004, 30.0},
+    {SessionClass::kProgram, 0.0450, 15.0},
+    {SessionClass::kAnonymous, 0.0076, 2.0},
+    {SessionClass::kBrowser, 0.1463, 4.0},
+};
+
+size_t GeometricLength(double mean, Rng* rng) {
+  // Geometric with the given mean, at least 1.
+  const double p = 1.0 / std::max(1.0, mean);
+  size_t len = 1;
+  while (len < 500 && !rng->Bernoulli(p)) ++len;
+  return len;
+}
+
+}  // namespace
+
+SdssBuildResult BuildSdssWorkload(const SdssWorkloadConfig& config) {
+  Rng rng(config.seed);
+  Rng catalog_rng = rng.Fork();
+  Rng session_rng = rng.Fork();
+  Rng noise_rng = rng.Fork();
+
+  SdssCatalogConfig catalog_config = config.catalog;
+  catalog_config.scale *= config.scale;
+  engine::Catalog catalog = BuildSdssCatalog(catalog_config, &catalog_rng);
+  QueryLabeler labeler(&catalog, config.labeler);
+
+  const size_t num_sessions = static_cast<size_t>(
+      std::max(1.0, static_cast<double>(config.num_sessions) * config.scale));
+
+  std::vector<double> weights;
+  for (const auto& mix : kClassMix) weights.push_back(mix.weight);
+
+  // --- Session simulation + per-session sampling -------------------------
+  QueryGenerator generator(&session_rng);
+  struct Sample {
+    std::string statement;
+    SessionClass session_class;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(num_sessions);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    const ClassMix& mix = kClassMix[session_rng.Categorical(weights)];
+    const size_t hits = GeometricLength(mix.mean_hits, &session_rng);
+    // Bots fix one template for the whole session.
+    const int bot_template = static_cast<int>(
+        session_rng.NextUint64(QueryGenerator::kNumBotTemplates));
+    // Generate the session's hits and sample one uniformly. Generating all
+    // hits (rather than just one) keeps per-class repetition realistic:
+    // long bot sessions reuse one template, so the sampled hit is a
+    // template instance with session-specific constants.
+    const size_t pick = session_rng.NextUint64(hits);
+    std::string sampled;
+    for (size_t h = 0; h < hits; ++h) {
+      std::string statement =
+          mix.cls == SessionClass::kBot
+              ? generator.GenerateBotWithTemplate(bot_template)
+              : generator.Generate(mix.cls);
+      if (h == pick) sampled = std::move(statement);
+    }
+    samples.push_back(Sample{std::move(sampled), mix.cls});
+  }
+
+  // --- Group identical statements (Appendix B.3) --------------------------
+  struct Group {
+    std::string statement;
+    std::vector<SessionClass> session_classes;
+    size_t count = 0;
+  };
+  std::unordered_map<std::string, size_t> index;
+  std::vector<Group> groups;
+  for (auto& sample : samples) {
+    auto [it, inserted] = index.emplace(sample.statement, groups.size());
+    if (inserted) {
+      groups.push_back(Group{std::move(sample.statement), {}, 0});
+    }
+    Group& g = groups[it->second];
+    g.session_classes.push_back(sample.session_class);
+    ++g.count;
+  }
+
+  // --- Label by execution + aggregate -------------------------------------
+  SdssBuildResult result;
+  result.num_session_samples = samples.size();
+  result.workload.name = "sdss";
+  result.workload.queries.reserve(groups.size());
+  size_t repeated = 0;
+  for (auto& g : groups) {
+    result.statement_repetitions.push_back(g.count);
+    if (g.count > 1) ++repeated;
+    const QueryLabels labels = labeler.Label(g.statement);
+
+    LabeledQuery q;
+    q.statement = std::move(g.statement);
+    q.error_class = labels.error_class;
+    q.has_error_class = true;
+    // Majority session class (ties broken by first-seen, which is a
+    // uniformly random log, matching "ties broken randomly").
+    int counts[kNumSessionClasses] = {0};
+    for (SessionClass c : g.session_classes) ++counts[static_cast<int>(c)];
+    int best = 0;
+    for (int c = 1; c < kNumSessionClasses; ++c) {
+      if (counts[c] > counts[best]) best = c;
+    }
+    q.session_class = static_cast<SessionClass>(best);
+    q.has_session_class = true;
+    // Regression labels: mean over per-log-entry observations. Answer size
+    // is deterministic; CPU time gets per-entry log-normal noise.
+    q.answer_size = labels.answer_size;
+    q.has_answer_size = true;
+    double cpu_sum = 0.0;
+    for (size_t i = 0; i < g.count; ++i) {
+      cpu_sum += labels.base_cpu_seconds *
+                 noise_rng.LogNormal(0.0, config.cpu_noise_sigma);
+    }
+    q.cpu_time = cpu_sum / static_cast<double>(g.count);
+    q.has_cpu_time = true;
+    q.opt_cost = labels.opt_estimated_cost;
+    result.workload.queries.push_back(std::move(q));
+  }
+  result.repeated_fraction =
+      groups.empty() ? 0.0
+                     : static_cast<double>(repeated) /
+                           static_cast<double>(groups.size());
+  return result;
+}
+
+}  // namespace sqlfacil::workload

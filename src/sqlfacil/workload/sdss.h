@@ -1,0 +1,53 @@
+#ifndef SQLFACIL_WORKLOAD_SDSS_H_
+#define SQLFACIL_WORKLOAD_SDSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sqlfacil/workload/labeler.h"
+#include "sqlfacil/workload/sdss_catalog.h"
+#include "sqlfacil/workload/types.h"
+
+namespace sqlfacil::workload {
+
+/// Configuration of the SDSS workload simulation. `scale` multiplies both
+/// the instance size and the session count (so SQLFACIL_SCALE=10 runs a
+/// 10x experiment).
+struct SdssWorkloadConfig {
+  size_t num_sessions = 25000;
+  double scale = 1.0;
+  uint64_t seed = 20200221;  // the paper's arXiv date, for fun
+  SdssCatalogConfig catalog;
+  LabelerConfig labeler;
+  /// Log-normal sigma of the per-log-entry CPU-time noise (the same
+  /// statement submitted in different sessions observes different times).
+  double cpu_noise_sigma = 0.25;
+};
+
+/// Output of the extraction pipeline of Section 4.1 / Appendix B.3.
+struct SdssBuildResult {
+  /// The deduplicated, label-aggregated workload (the 618,053-statement
+  /// analog). All four labels are populated.
+  QueryWorkload workload;
+  /// Number of per-session samples before grouping (the 1,563,386 analog).
+  size_t num_session_samples = 0;
+  /// Repetition count of each unique statement (Figure 20).
+  std::vector<size_t> statement_repetitions;
+  /// Fraction of statements appearing in more than one query log (the
+  /// paper reports 18.5%).
+  double repeated_fraction = 0.0;
+};
+
+/// Runs the full SDSS pipeline:
+///  1. builds the synthetic CAS instance;
+///  2. simulates sessions (class mix from the paper's Table 4 test
+///     frequencies; bots reuse one template per session; hit counts are
+///     class-dependent) and samples one query log per session;
+///  3. groups identical statements and aggregates labels (mean for
+///     regression labels, majority for classes — Appendix B.3);
+///  4. labels each unique statement by executing it.
+SdssBuildResult BuildSdssWorkload(const SdssWorkloadConfig& config);
+
+}  // namespace sqlfacil::workload
+
+#endif  // SQLFACIL_WORKLOAD_SDSS_H_

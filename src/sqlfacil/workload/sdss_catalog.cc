@@ -1,0 +1,232 @@
+#include "sqlfacil/workload/sdss_catalog.h"
+
+#include <cmath>
+
+#include "sqlfacil/engine/datagen.h"
+
+namespace sqlfacil::workload {
+
+namespace {
+
+using engine::ColumnGenSpec;
+using engine::ScalarFunction;
+using engine::Value;
+using sqlfacil::Status;
+using sqlfacil::StatusOr;
+
+size_t Scaled(size_t base, double scale) {
+  const double v = static_cast<double>(base) * scale;
+  return v < 16.0 ? 16 : static_cast<size_t>(v);
+}
+
+// Photometric magnitude columns shared by the photo tables.
+void AddMagnitudeColumns(std::vector<ColumnGenSpec>* specs) {
+  for (const char* band : {"u", "g", "r", "i", "z"}) {
+    specs->push_back(ColumnGenSpec::NormalDouble(band, 20.0, 2.5));
+    specs->push_back(ColumnGenSpec::NormalDouble(std::string("modelmag_") + band,
+                                                 20.0, 2.5));
+    specs->push_back(ColumnGenSpec::NormalDouble(
+        std::string("psfmagerr_") + band, 0.15, 0.1));
+  }
+}
+
+}  // namespace
+
+engine::Catalog BuildSdssCatalog(const SdssCatalogConfig& config, Rng* rng) {
+  engine::Catalog catalog;
+  catalog.RegisterBuiltinFunctions();
+  const double s = config.scale;
+
+  // --- Science tables ---
+  {
+    std::vector<ColumnGenSpec> specs = {
+        ColumnGenSpec::Id("objid"),
+        ColumnGenSpec::UniformInt("type", 0, 8),
+        ColumnGenSpec::UniformInt("mode", 1, 3),
+        ColumnGenSpec::UniformDouble("ra", 0.0, 360.0),
+        ColumnGenSpec::UniformDouble("dec", -20.0, 85.0),
+        ColumnGenSpec::BitFlags("flags", 12),
+        ColumnGenSpec::UniformInt("run", 94, 8000),
+        ColumnGenSpec::UniformInt("camcol", 1, 6),
+        ColumnGenSpec::UniformInt("field", 11, 900),
+        ColumnGenSpec::NormalDouble("rowc", 700, 300),
+        ColumnGenSpec::NormalDouble("colc", 1000, 400),
+        ColumnGenSpec::ZipfInt("status", 32, 1.1),
+    };
+    AddMagnitudeColumns(&specs);
+    catalog.AddTable(engine::GenerateTable(
+        "PhotoObj", specs, Scaled(config.photoobj_rows, s), rng));
+  }
+  {
+    std::vector<ColumnGenSpec> specs = {
+        ColumnGenSpec::Id("objid"),
+        ColumnGenSpec::UniformInt("type", 0, 8),
+        ColumnGenSpec::UniformDouble("ra", 0.0, 360.0),
+        ColumnGenSpec::UniformDouble("dec", -20.0, 85.0),
+        ColumnGenSpec::BitFlags("flags", 12),
+        ColumnGenSpec::NormalDouble("petror90_r", 5.0, 3.0),
+    };
+    AddMagnitudeColumns(&specs);
+    catalog.AddTable(engine::GenerateTable(
+        "PhotoTag", specs, Scaled(config.phototag_rows, s), rng));
+  }
+  {
+    const size_t photoobj_n = Scaled(config.photoobj_rows, s);
+    std::vector<ColumnGenSpec> specs = {
+        ColumnGenSpec::Id("specobjid"),
+        ColumnGenSpec::UniformInt("bestobjid", 0,
+                                  static_cast<int64_t>(photoobj_n) - 1),
+        ColumnGenSpec::UniformDouble("ra", 0.0, 360.0),
+        ColumnGenSpec::UniformDouble("dec", -20.0, 85.0),
+        ColumnGenSpec::NormalDouble("z", 0.4, 0.35),
+        ColumnGenSpec::NormalDouble("zerr", 0.01, 0.008),
+        ColumnGenSpec::UniformInt("specclass", 0, 6),
+        ColumnGenSpec::UniformInt("plate", 266, 3000),
+        ColumnGenSpec::UniformInt("mjd", 51578, 58000),
+        ColumnGenSpec::UniformInt("fiberid", 1, 640),
+    };
+    catalog.AddTable(engine::GenerateTable(
+        "SpecObj", specs, Scaled(config.specobj_rows, s), rng));
+  }
+  {
+    const size_t photoobj_n = Scaled(config.photoobj_rows, s);
+    std::vector<ColumnGenSpec> specs = {
+        ColumnGenSpec::Id("specobjid"),
+        ColumnGenSpec::UniformInt("objid", 0,
+                                  static_cast<int64_t>(photoobj_n) - 1),
+        ColumnGenSpec::UniformDouble("ra", 0.0, 360.0),
+        ColumnGenSpec::UniformDouble("dec", -20.0, 85.0),
+        ColumnGenSpec::NormalDouble("z", 0.4, 0.35),
+        ColumnGenSpec::UniformInt("specclass", 0, 6),
+        ColumnGenSpec::BitFlags("flags_g", 8),
+    };
+    AddMagnitudeColumns(&specs);
+    catalog.AddTable(engine::GenerateTable(
+        "SpecPhoto", specs, Scaled(config.specphoto_rows, s), rng));
+  }
+  for (const auto& [name, rows] :
+       std::initializer_list<std::pair<const char*, size_t>>{
+           {"Galaxy", config.galaxy_rows}, {"Star", config.star_rows}}) {
+    std::vector<ColumnGenSpec> specs = {
+        ColumnGenSpec::Id("objid"),
+        ColumnGenSpec::UniformDouble("ra", 0.0, 360.0),
+        ColumnGenSpec::UniformDouble("dec", -20.0, 85.0),
+        ColumnGenSpec::BitFlags("flags", 12),
+        ColumnGenSpec::UniformInt("field", 11, 900),
+        ColumnGenSpec::NormalDouble("petror50_r", 3.0, 2.0),
+    };
+    AddMagnitudeColumns(&specs);
+    catalog.AddTable(engine::GenerateTable(name, specs, Scaled(rows, s), rng));
+  }
+  {
+    std::vector<ColumnGenSpec> specs = {
+        ColumnGenSpec::Id("plateid"),
+        ColumnGenSpec::UniformInt("plate", 266, 3000),
+        ColumnGenSpec::UniformInt("mjd", 51578, 58000),
+        ColumnGenSpec::UniformDouble("ra", 0.0, 360.0),
+        ColumnGenSpec::UniformDouble("dec", -20.0, 85.0),
+    };
+    catalog.AddTable(engine::GenerateTable(
+        "PlateX", specs, Scaled(config.platex_rows, s), rng));
+  }
+
+  // --- CasJobs admin tables ---
+  catalog.AddTable(engine::GenerateTable(
+      "Jobs",
+      {ColumnGenSpec::Id("jobid"),
+       ColumnGenSpec::UniformInt("userid", 0,
+                                 static_cast<int64_t>(config.users_rows) - 1),
+       ColumnGenSpec::Categorical("outputtype",
+                                  {"QUERY_RESULTS", "QUERY_PLOT", "EXPORT",
+                                   "MYDB_IMPORT"},
+                                  {6, 1, 2, 1}),
+       ColumnGenSpec::UniformInt("estimate", 1, 500),
+       ColumnGenSpec::UniformInt("status", 0, 5),
+       ColumnGenSpec::Categorical("target", {"DR7", "DR8", "DR12", "MYDB"})},
+      Scaled(config.jobs_rows, s), rng));
+  catalog.AddTable(engine::GenerateTable(
+      "Users",
+      {ColumnGenSpec::Id("userid"),
+       ColumnGenSpec::Categorical("webservicesid", {"cas", "skyserver"}),
+       ColumnGenSpec::UniformInt("privileges", 0, 3)},
+      Scaled(config.users_rows, s), rng));
+  catalog.AddTable(engine::GenerateTable(
+      "Servers",
+      {ColumnGenSpec::Id("serverid"),
+       ColumnGenSpec::Categorical(
+           "name", {"sdss01", "sdss02", "sdss03", "sdss04", "sdss05"}),
+       ColumnGenSpec::Categorical("target", {"DR7", "DR8", "DR12", "MYDB"}),
+       ColumnGenSpec::UniformInt("queue", 1, 20)},
+      Scaled(config.servers_rows, s), rng));
+  catalog.AddTable(engine::GenerateTable(
+      "Status",
+      {ColumnGenSpec::Id("statusid"),
+       ColumnGenSpec::Categorical(
+           "name", {"ready", "started", "finished", "failed", "cancelled"}),
+       ColumnGenSpec::UniformInt("jobcount", 0, 100)},
+      Scaled(64, s), rng));
+
+  // --- SDSS-style scalar functions ---
+  catalog.AddFunction(ScalarFunction{
+      "dbo.fPhotoFlags", 1, 1, 6.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        if (!args[0].is_string()) {
+          return Status::ExecutionError("fPhotoFlags requires a flag name");
+        }
+        // Deterministic bit from the flag name.
+        size_t h = 1469598103u;
+        for (char c : args[0].AsString()) h = (h ^ c) * 1099511628211ULL;
+        return Value(int64_t{1} << (h % 12));
+      }});
+  catalog.AddFunction(ScalarFunction{
+      "dbo.fGetURLExpid", 1, 1, 10.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        return Value("http://skyserver/expid/" + args[0].ToString());
+      }});
+  catalog.AddFunction(ScalarFunction{
+      "dbo.fDistanceArcMinEq", 4, 4, 12.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        for (const auto& a : args) {
+          if (!a.is_numeric()) {
+            return Status::ExecutionError(
+                "fDistanceArcMinEq requires numeric coordinates");
+          }
+        }
+        const double ra1 = args[0].ToDouble() * M_PI / 180.0;
+        const double dec1 = args[1].ToDouble() * M_PI / 180.0;
+        const double ra2 = args[2].ToDouble() * M_PI / 180.0;
+        const double dec2 = args[3].ToDouble() * M_PI / 180.0;
+        const double cosd = std::sin(dec1) * std::sin(dec2) +
+                            std::cos(dec1) * std::cos(dec2) *
+                                std::cos(ra1 - ra2);
+        return Value(std::acos(std::min(1.0, std::max(-1.0, cosd))) * 180.0 /
+                     M_PI * 60.0);
+      }});
+  catalog.AddFunction(ScalarFunction{
+      "dbo.fObjidFromSkyVersion", 2, 2, 4.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        if (!args[0].is_numeric() || !args[1].is_numeric()) {
+          return Status::ExecutionError(
+              "fObjidFromSkyVersion requires numeric arguments");
+        }
+        return Value(static_cast<int64_t>(args[0].ToDouble()) * 16 +
+                     static_cast<int64_t>(args[1].ToDouble()));
+      }});
+  catalog.AddFunction(ScalarFunction{
+      "dbo.fSpecDescription", 1, 1, 8.0,
+      [](const std::vector<Value>& args) -> StatusOr<Value> {
+        static const char* kClasses[] = {"UNKNOWN", "STAR",    "GALAXY",
+                                         "QSO",     "HIZ_QSO", "SKY",
+                                         "STAR_LATE"};
+        if (!args[0].is_numeric()) {
+          return Status::ExecutionError(
+              "fSpecDescription requires a class id");
+        }
+        const int64_t idx = static_cast<int64_t>(args[0].ToDouble());
+        if (idx < 0 || idx > 6) return Value(std::string("UNKNOWN"));
+        return Value(std::string(kClasses[idx]));
+      }});
+  return catalog;
+}
+
+}  // namespace sqlfacil::workload

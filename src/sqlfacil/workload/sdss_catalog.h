@@ -1,0 +1,35 @@
+#ifndef SQLFACIL_WORKLOAD_SDSS_CATALOG_H_
+#define SQLFACIL_WORKLOAD_SDSS_CATALOG_H_
+
+#include "sqlfacil/engine/catalog.h"
+#include "sqlfacil/util/random.h"
+
+namespace sqlfacil::workload {
+
+/// Scale of the synthetic SDSS-like instance. Row counts multiply the
+/// defaults below (PhotoObj dominates, as in the real CAS where PhotoObj
+/// has ~794M rows vs SpecObj's ~4.3M; we keep the ratio, not the size).
+struct SdssCatalogConfig {
+  double scale = 1.0;
+  size_t photoobj_rows = 40000;
+  size_t phototag_rows = 40000;
+  size_t specobj_rows = 4000;
+  size_t specphoto_rows = 4000;
+  size_t galaxy_rows = 20000;
+  size_t star_rows = 15000;
+  size_t platex_rows = 600;
+  size_t jobs_rows = 400;
+  size_t servers_rows = 24;
+  size_t users_rows = 300;
+};
+
+/// Builds the astronomy-style catalog the SDSS generators query: science
+/// tables (PhotoObj, PhotoTag, SpecObj, SpecPhoto, Galaxy, Star, PlateX),
+/// CasJobs admin tables (Jobs, Users, Servers, Status), and the SDSS-style
+/// scalar functions (dbo.fPhotoFlags, dbo.fGetURLExpid,
+/// dbo.fDistanceArcMinEq, dbo.fObjidFromSkyVersion, dbo.fSpecDescription).
+engine::Catalog BuildSdssCatalog(const SdssCatalogConfig& config, Rng* rng);
+
+}  // namespace sqlfacil::workload
+
+#endif  // SQLFACIL_WORKLOAD_SDSS_CATALOG_H_

@@ -1,0 +1,63 @@
+#include "sqlfacil/workload/split.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::workload {
+
+DataSplit RandomSplit(const QueryWorkload& workload, Rng* rng,
+                      double train_frac, double valid_frac) {
+  SQLFACIL_CHECK(train_frac + valid_frac <= 1.0);
+  const size_t n = workload.queries.size();
+  auto perm = rng->Permutation(n);
+  const size_t n_train = static_cast<size_t>(train_frac * n);
+  const size_t n_valid = static_cast<size_t>(valid_frac * n);
+  DataSplit split;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < n_train) {
+      split.train.push_back(perm[i]);
+    } else if (i < n_train + n_valid) {
+      split.valid.push_back(perm[i]);
+    } else {
+      split.test.push_back(perm[i]);
+    }
+  }
+  return split;
+}
+
+DataSplit SplitByUser(const QueryWorkload& workload, Rng* rng,
+                      double train_frac, double valid_frac) {
+  SQLFACIL_CHECK(train_frac + valid_frac <= 1.0);
+  std::map<int, std::vector<size_t>> by_user;
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    by_user[workload.queries[i].user_id].push_back(i);
+  }
+  std::vector<int> users;
+  for (const auto& [user, indices] : by_user) users.push_back(user);
+  auto perm = rng->Permutation(users.size());
+
+  const size_t n = workload.queries.size();
+  const size_t target_train = static_cast<size_t>(train_frac * n);
+  const size_t target_valid = static_cast<size_t>(valid_frac * n);
+  DataSplit split;
+  // Greedy: fill train until its quota, then valid, then test — whole
+  // users at a time so fractions are approximate (as in the paper's
+  // Table 1, where the by-user split is not exactly 80/10/10).
+  for (size_t pi = 0; pi < perm.size(); ++pi) {
+    const auto& indices = by_user[users[perm[pi]]];
+    std::vector<size_t>* dest = nullptr;
+    if (split.train.size() < target_train) {
+      dest = &split.train;
+    } else if (split.valid.size() < target_valid) {
+      dest = &split.valid;
+    } else {
+      dest = &split.test;
+    }
+    dest->insert(dest->end(), indices.begin(), indices.end());
+  }
+  return split;
+}
+
+}  // namespace sqlfacil::workload

@@ -1,0 +1,30 @@
+#ifndef SQLFACIL_WORKLOAD_SPLIT_H_
+#define SQLFACIL_WORKLOAD_SPLIT_H_
+
+#include <vector>
+
+#include "sqlfacil/util/random.h"
+#include "sqlfacil/workload/types.h"
+
+namespace sqlfacil::workload {
+
+/// Index sets of a train/validation/test split (Table 1).
+struct DataSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> valid;
+  std::vector<size_t> test;
+};
+
+/// Random 80/10/10 split (Homogeneous Instance / Homogeneous Schema).
+DataSplit RandomSplit(const QueryWorkload& workload, Rng* rng,
+                      double train_frac = 0.8, double valid_frac = 0.1);
+
+/// Split by user id (Heterogeneous Schema): whole users are assigned to
+/// train/valid/test so no user's tables appear on both sides, decreasing
+/// the likelihood of data sharing (Section 6.1).
+DataSplit SplitByUser(const QueryWorkload& workload, Rng* rng,
+                      double train_frac = 0.8, double valid_frac = 0.1);
+
+}  // namespace sqlfacil::workload
+
+#endif  // SQLFACIL_WORKLOAD_SPLIT_H_

@@ -1,0 +1,262 @@
+#include "sqlfacil/workload/sqlshare.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/engine/datagen.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::workload {
+
+namespace {
+
+using engine::ColumnGenSpec;
+
+std::string Fmt(const char* format, ...) {
+  char buf[2048];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+// Domain vocabulary pools: uploaded datasets in SQLShare came from science
+// labs (biology, oceanography, sensing), so table/column names are drawn
+// from per-domain pools. Each user picks one domain.
+struct DomainPool {
+  const char* name;
+  std::vector<const char*> table_stems;
+  std::vector<const char*> numeric_columns;
+  std::vector<const char*> category_columns;
+};
+
+const std::vector<DomainPool>& Domains() {
+  static const auto* kDomains = new std::vector<DomainPool>{
+      {"bio",
+       {"sequences", "genes", "proteins", "samples", "assays", "reads"},
+       {"length", "score", "coverage", "gc_content", "expression", "pvalue"},
+       {"organism", "chromosome", "strand", "family"}},
+      {"ocean",
+       {"casts", "stations", "cruises", "ctd", "bottles", "profiles"},
+       {"depth", "temperature", "salinity", "oxygen", "pressure",
+        "chlorophyll"},
+       {"region", "vessel", "season", "instrument"}},
+      {"sensor",
+       {"readings", "devices", "events", "logs", "measurements", "pings"},
+       {"value", "voltage", "latency", "duration", "rssi", "battery"},
+       {"device_type", "location", "status", "firmware"}},
+      {"civic",
+       {"permits", "inspections", "incidents", "parcels", "licenses",
+        "budgets"},
+       {"amount", "fee", "count", "area", "year", "duration_days"},
+       {"district", "category", "agency", "outcome"}},
+  };
+  return *kDomains;
+}
+
+struct UserTable {
+  std::string name;
+  std::vector<std::string> numeric_cols;
+  std::vector<std::string> category_cols;
+  std::string id_col;
+};
+
+struct User {
+  int id;
+  std::vector<UserTable> tables;
+  // Style profile: each user leans toward certain query shapes.
+  double aggregate_affinity;
+  double nested_affinity;
+  double join_affinity;
+  double garbage_rate;
+};
+
+std::string PickCategory(Rng* rng) {
+  static const char* kValues[] = {"alpha", "beta", "gamma", "delta", "north",
+                                  "south", "east",  "west",  "a",     "b"};
+  return kValues[rng->NextUint64(10)];
+}
+
+}  // namespace
+
+SqlShareBuildResult BuildSqlShareWorkload(
+    const SqlShareWorkloadConfig& config) {
+  Rng rng(config.seed);
+  Rng catalog_rng = rng.Fork();
+  Rng query_rng = rng.Fork();
+  Rng noise_rng = rng.Fork();
+
+  engine::Catalog catalog;
+  catalog.RegisterBuiltinFunctions();
+
+  const size_t num_users = static_cast<size_t>(std::max(
+      1.0, static_cast<double>(config.num_users) * config.scale));
+
+  // --- Each user uploads private tables -----------------------------------
+  std::vector<User> users;
+  users.reserve(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    const DomainPool& domain =
+        Domains()[catalog_rng.NextUint64(Domains().size())];
+    User user;
+    user.id = static_cast<int>(u);
+    user.aggregate_affinity = catalog_rng.Uniform(0.15, 0.6);
+    user.nested_affinity = catalog_rng.Uniform(0.02, 0.18);
+    user.join_affinity = catalog_rng.Uniform(0.0, 0.12);
+    user.garbage_rate = catalog_rng.Uniform(0.0, 0.03);
+    const size_t num_tables = 1 + catalog_rng.NextUint64(6);
+    for (size_t t = 0; t < num_tables; ++t) {
+      UserTable table;
+      table.name = Fmt("%s_u%zu_%llu",
+                       domain.table_stems[catalog_rng.NextUint64(
+                           domain.table_stems.size())],
+                       u, static_cast<unsigned long long>(
+                              catalog_rng.NextUint64(1000)));
+      table.id_col = "row_id";
+      std::vector<ColumnGenSpec> specs = {ColumnGenSpec::Id("row_id")};
+      const size_t num_numeric = 2 + catalog_rng.NextUint64(4);
+      for (size_t c = 0; c < num_numeric; ++c) {
+        const std::string col = Fmt(
+            "%s_%zu",
+            domain.numeric_columns[catalog_rng.NextUint64(
+                domain.numeric_columns.size())],
+            c);
+        table.numeric_cols.push_back(col);
+        if (catalog_rng.Bernoulli(0.5)) {
+          specs.push_back(ColumnGenSpec::NormalDouble(
+              col, catalog_rng.Uniform(0, 100), catalog_rng.Uniform(1, 30)));
+        } else {
+          specs.push_back(ColumnGenSpec::UniformDouble(
+              col, 0, catalog_rng.Uniform(10, 1000)));
+        }
+      }
+      const size_t num_cat = 1 + catalog_rng.NextUint64(2);
+      for (size_t c = 0; c < num_cat; ++c) {
+        const std::string col = Fmt(
+            "%s_%zu",
+            domain.category_columns[catalog_rng.NextUint64(
+                domain.category_columns.size())],
+            c);
+        table.category_cols.push_back(col);
+        specs.push_back(ColumnGenSpec::Categorical(
+            col, {"alpha", "beta", "gamma", "delta", "north", "south",
+                  "east", "west", "a", "b"}));
+      }
+      const size_t rows =
+          100 + catalog_rng.NextUint64(static_cast<uint64_t>(15000));
+      catalog.AddTable(engine::GenerateTable(table.name, specs, rows,
+                                             &catalog_rng));
+      user.tables.push_back(std::move(table));
+    }
+    users.push_back(std::move(user));
+  }
+
+  QueryLabeler labeler(&catalog, config.labeler);
+
+  // --- Ad-hoc analytics per user -------------------------------------------
+  SqlShareBuildResult result;
+  result.workload.name = "sqlshare";
+  for (const User& user : users) {
+    const size_t n_queries =
+        std::max<size_t>(4, static_cast<size_t>(query_rng.Normal(
+                                static_cast<double>(
+                                    config.mean_queries_per_user),
+                                config.mean_queries_per_user * 0.3)));
+    for (size_t i = 0; i < n_queries; ++i) {
+      const UserTable& t =
+          user.tables[query_rng.NextUint64(user.tables.size())];
+      const std::string& num_col =
+          t.numeric_cols[query_rng.NextUint64(t.numeric_cols.size())];
+      const std::string& cat_col =
+          t.category_cols[query_rng.NextUint64(t.category_cols.size())];
+      std::string q;
+      if (query_rng.Bernoulli(user.garbage_rate)) {
+        q = query_rng.Bernoulli(0.5)
+                ? "select everything from my dataset please"
+                : Fmt("SELECT %s FROM", num_col.c_str());
+      } else if (query_rng.Bernoulli(user.nested_affinity)) {
+        // Nested analytics (SQLShare is nest-heavier than SDSS).
+        if (query_rng.Bernoulli(0.5)) {
+          q = Fmt("SELECT %s, %s FROM %s WHERE %s > "
+                  "(SELECT AVG(%s) FROM %s)",
+                  cat_col.c_str(), num_col.c_str(), t.name.c_str(),
+                  num_col.c_str(), num_col.c_str(), t.name.c_str());
+        } else {
+          q = Fmt("SELECT * FROM (SELECT %s, COUNT(*) AS n, AVG(%s) AS m "
+                  "FROM %s GROUP BY %s) AS g WHERE n > %lld",
+                  cat_col.c_str(), num_col.c_str(), t.name.c_str(),
+                  cat_col.c_str(),
+                  static_cast<long long>(query_rng.UniformInt(1, 50)));
+        }
+      } else if (user.tables.size() > 1 &&
+                 query_rng.Bernoulli(user.join_affinity)) {
+        const UserTable& t2 =
+            user.tables[query_rng.NextUint64(user.tables.size())];
+        q = Fmt("SELECT a.%s, b.%s FROM %s a, %s b "
+                "WHERE a.row_id = b.row_id AND a.%s > %.1f",
+                num_col.c_str(), t2.numeric_cols[0].c_str(), t.name.c_str(),
+                t2.name.c_str(), num_col.c_str(),
+                query_rng.Uniform(0, 100));
+      } else if (query_rng.Bernoulli(user.aggregate_affinity)) {
+        switch (query_rng.NextUint64(3)) {
+          case 0:
+            q = Fmt("SELECT %s, COUNT(*), AVG(%s) FROM %s GROUP BY %s",
+                    cat_col.c_str(), num_col.c_str(), t.name.c_str(),
+                    cat_col.c_str());
+            break;
+          case 1:
+            q = Fmt("SELECT MIN(%s), MAX(%s) FROM %s WHERE %s = '%s'",
+                    num_col.c_str(), num_col.c_str(), t.name.c_str(),
+                    cat_col.c_str(), PickCategory(&query_rng).c_str());
+            break;
+          default:
+            q = Fmt("SELECT COUNT(*) FROM %s WHERE %s BETWEEN %.1f AND %.1f",
+                    t.name.c_str(), num_col.c_str(),
+                    query_rng.Uniform(0, 50), query_rng.Uniform(50, 200));
+            break;
+        }
+      } else {
+        switch (query_rng.NextUint64(4)) {
+          case 0:
+            q = Fmt("SELECT * FROM %s", t.name.c_str());
+            break;
+          case 1:
+            q = Fmt("SELECT %s, %s FROM %s WHERE %s > %.2f ORDER BY %s DESC",
+                    cat_col.c_str(), num_col.c_str(), t.name.c_str(),
+                    num_col.c_str(), query_rng.Uniform(0, 100),
+                    num_col.c_str());
+            break;
+          case 2:
+            q = Fmt("SELECT TOP %lld * FROM %s WHERE %s = '%s'",
+                    static_cast<long long>(query_rng.UniformInt(10, 500)),
+                    t.name.c_str(), cat_col.c_str(),
+                    PickCategory(&query_rng).c_str());
+            break;
+          default:
+            q = Fmt("SELECT DISTINCT %s FROM %s WHERE %s < %.1f",
+                    cat_col.c_str(), t.name.c_str(), num_col.c_str(),
+                    query_rng.Uniform(10, 200));
+            break;
+        }
+      }
+
+      const QueryLabels labels = labeler.Label(q);
+      LabeledQuery lq;
+      lq.statement = std::move(q);
+      lq.user_id = user.id;
+      lq.cpu_time = labels.base_cpu_seconds *
+                    noise_rng.LogNormal(0.0, config.cpu_noise_sigma);
+      lq.has_cpu_time = true;
+      lq.opt_cost = labels.opt_estimated_cost;
+      // Error/session/answer-size labels are not part of the SQLShare
+      // workload (Section 4.2).
+      result.workload.queries.push_back(std::move(lq));
+    }
+  }
+  return result;
+}
+
+}  // namespace sqlfacil::workload

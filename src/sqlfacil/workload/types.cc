@@ -1,0 +1,37 @@
+#include "sqlfacil/workload/types.h"
+
+namespace sqlfacil::workload {
+
+std::string_view ErrorClassName(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kSevere:
+      return "severe";
+    case ErrorClass::kSuccess:
+      return "success";
+    case ErrorClass::kNonSevere:
+      return "non_severe";
+  }
+  return "?";
+}
+
+std::string_view SessionClassName(SessionClass c) {
+  switch (c) {
+    case SessionClass::kNoWebHit:
+      return "no_web_hit";
+    case SessionClass::kUnknown:
+      return "unknown";
+    case SessionClass::kBot:
+      return "bot";
+    case SessionClass::kAdmin:
+      return "admin";
+    case SessionClass::kProgram:
+      return "program";
+    case SessionClass::kAnonymous:
+      return "anonymous";
+    case SessionClass::kBrowser:
+      return "browser";
+  }
+  return "?";
+}
+
+}  // namespace sqlfacil::workload

@@ -1,0 +1,60 @@
+#ifndef SQLFACIL_WORKLOAD_TYPES_H_
+#define SQLFACIL_WORKLOAD_TYPES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlfacil::workload {
+
+/// The paper's three error classes (Section 4.1): severe (-1, rejected by
+/// the web portal, never reached the server), success (0), non_severe (1,
+/// a SQL error number reported by the server).
+enum class ErrorClass { kSevere = 0, kSuccess = 1, kNonSevere = 2 };
+
+/// The seven SDSS session classes (Section 4.1).
+enum class SessionClass {
+  kNoWebHit = 0,
+  kUnknown = 1,
+  kBot = 2,
+  kAdmin = 3,
+  kProgram = 4,
+  kAnonymous = 5,
+  kBrowser = 6,
+};
+
+inline constexpr int kNumErrorClasses = 3;
+inline constexpr int kNumSessionClasses = 7;
+
+std::string_view ErrorClassName(ErrorClass c);
+std::string_view SessionClassName(SessionClass c);
+
+/// One workload entry: a raw statement plus the labels of Definition 3.
+/// Which labels are populated depends on the workload (SQLShare only has
+/// CPU time, Section 4.2).
+struct LabeledQuery {
+  std::string statement;
+  ErrorClass error_class = ErrorClass::kSuccess;
+  SessionClass session_class = SessionClass::kNoWebHit;
+  double answer_size = 0.0;  // -1 when the query did not run (Section 4.3.2)
+  double cpu_time = 0.0;     // seconds
+  int user_id = -1;          // SQLShare user; -1 for SDSS
+  /// Optimizer cost estimate for the query (input feature of the `opt`
+  /// baseline, Section 6.1); 0 when unavailable.
+  double opt_cost = 0.0;
+
+  bool has_error_class = false;
+  bool has_session_class = false;
+  bool has_answer_size = false;
+  bool has_cpu_time = false;
+};
+
+/// A query workload W = {(Q_i, y_i)} (Definition 3).
+struct QueryWorkload {
+  std::string name;
+  std::vector<LabeledQuery> queries;
+};
+
+}  // namespace sqlfacil::workload
+
+#endif  // SQLFACIL_WORKLOAD_TYPES_H_

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sqlfacil/core/evaluator.h"
+#include "sqlfacil/core/facilitator.h"
+#include "sqlfacil/core/labels.h"
+#include "sqlfacil/core/model_zoo.h"
+#include "sqlfacil/core/tasks.h"
+#include "sqlfacil/workload/sdss.h"
+#include "sqlfacil/workload/split.h"
+
+namespace sqlfacil::core {
+namespace {
+
+using workload::ErrorClass;
+using workload::LabeledQuery;
+using workload::QueryWorkload;
+using workload::SessionClass;
+
+// ---------------------------------------------------------------------------
+// LabelTransform
+// ---------------------------------------------------------------------------
+
+TEST(LabelTransformTest, PaperFormula) {
+  // y' = ln(y + 1 - min(y)); answer size min is -1, so y' = ln(y + 2).
+  auto t = LabelTransform::Fit({-1.0, 0.0, 5.0, 100.0});
+  EXPECT_DOUBLE_EQ(t.min_label(), -1.0);
+  EXPECT_NEAR(t.Apply(-1.0), 0.0, 1e-12);  // min maps to ln(1) = 0
+  EXPECT_NEAR(t.Apply(5.0), std::log(7.0), 1e-12);
+}
+
+TEST(LabelTransformTest, RoundTrip) {
+  auto t = LabelTransform::Fit({0.0, 10.0, 1e6});
+  for (double y : {0.0, 1.0, 42.0, 1e6}) {
+    EXPECT_NEAR(t.Invert(t.Apply(y)), y, 1e-6 * std::max(1.0, y));
+  }
+}
+
+TEST(LabelTransformTest, NonNegativeOutputs) {
+  auto t = LabelTransform::Fit({3.0, 8.0, 100.0});
+  EXPECT_GE(t.Apply(3.0), 0.0);
+  EXPECT_GE(t.Apply(100.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tasks
+// ---------------------------------------------------------------------------
+
+QueryWorkload TinyWorkload() {
+  QueryWorkload w;
+  w.name = "tiny";
+  for (int i = 0; i < 40; ++i) {
+    LabeledQuery q;
+    q.statement = "SELECT a FROM t WHERE x = " + std::to_string(i);
+    q.error_class = i % 10 == 0 ? ErrorClass::kNonSevere : ErrorClass::kSuccess;
+    q.has_error_class = true;
+    q.session_class = i % 2 == 0 ? SessionClass::kBot : SessionClass::kBrowser;
+    q.has_session_class = true;
+    q.answer_size = i * 10;
+    q.has_answer_size = true;
+    q.cpu_time = i * 0.5;
+    q.has_cpu_time = true;
+    q.opt_cost = i * 100.0;
+    w.queries.push_back(std::move(q));
+  }
+  return w;
+}
+
+TEST(TasksTest, ClassificationTaskShapes) {
+  auto w = TinyWorkload();
+  Rng rng(1);
+  auto split = workload::RandomSplit(w, &rng);
+  auto task = BuildTask(w, split, Problem::kErrorClassification);
+  EXPECT_EQ(task.train.kind, models::TaskKind::kClassification);
+  EXPECT_EQ(task.train.num_classes, workload::kNumErrorClasses);
+  EXPECT_EQ(task.train.size() + task.valid.size() + task.test.size(),
+            w.queries.size());
+  EXPECT_EQ(task.train.labels.size(), task.train.size());
+}
+
+TEST(TasksTest, RegressionTargetsAreLogTransformed) {
+  auto w = TinyWorkload();
+  Rng rng(2);
+  auto split = workload::RandomSplit(w, &rng);
+  auto task = BuildTask(w, split, Problem::kAnswerSize);
+  EXPECT_EQ(task.train.kind, models::TaskKind::kRegression);
+  for (float t : task.train.targets) {
+    EXPECT_GE(t, 0.0f);
+    EXPECT_LE(t, std::log(400.0 + 1.0) + 0.01);
+  }
+  // Transform round-trips the raw labels.
+  EXPECT_NEAR(task.transform.Invert(task.transform.Apply(100.0)), 100.0, 1e-6);
+}
+
+TEST(TasksTest, MissingLabelsSkipped) {
+  auto w = TinyWorkload();
+  for (auto& q : w.queries) q.has_session_class = false;
+  Rng rng(3);
+  auto split = workload::RandomSplit(w, &rng);
+  auto task = BuildTask(w, split, Problem::kSessionClassification);
+  EXPECT_EQ(task.train.size(), 0u);
+}
+
+TEST(TasksTest, ProblemNames) {
+  EXPECT_STREQ(ProblemName(Problem::kCpuTime), "cpu_time");
+  EXPECT_STREQ(ProblemName(Problem::kErrorClassification),
+               "error_classification");
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+// A stub model with canned predictions.
+class StubModel : public models::Model {
+ public:
+  explicit StubModel(std::vector<std::vector<float>> outputs)
+      : outputs_(std::move(outputs)) {}
+  std::string name() const override { return "stub"; }
+  void Fit(const models::Dataset&, const models::Dataset&, Rng*) override {}
+  std::vector<float> Predict(const std::string&, double) const override {
+    return outputs_[std::min(next_++, outputs_.size() - 1)];
+  }
+
+ private:
+  std::vector<std::vector<float>> outputs_;
+  mutable size_t next_ = 0;
+};
+
+TEST(EvaluatorTest, ClassificationMetricsExact) {
+  models::Dataset test;
+  test.kind = models::TaskKind::kClassification;
+  test.num_classes = 2;
+  test.statements = {"a", "b", "c", "d"};
+  test.opt_costs = {0, 0, 0, 0};
+  test.labels = {0, 0, 1, 1};
+  // Predictions: 0, 1, 1, 1 -> accuracy 3/4.
+  StubModel model({{0.9f, 0.1f}, {0.2f, 0.8f}, {0.3f, 0.7f}, {0.1f, 0.9f}});
+  auto m = EvaluateClassification(model, test);
+  EXPECT_NEAR(m.accuracy, 0.75, 1e-9);
+  // Class 0: precision 1/1, recall 1/2 -> F = 2/3.
+  EXPECT_NEAR(m.per_class_f1[0], 2.0 / 3.0, 1e-9);
+  // Class 1: precision 2/3, recall 2/2 -> F = 0.8.
+  EXPECT_NEAR(m.per_class_f1[1], 0.8, 1e-9);
+  // Loss: -mean log p(truth).
+  const double expected_loss =
+      -(std::log(0.9) + std::log(0.2) + std::log(0.7) + std::log(0.9)) / 4.0;
+  EXPECT_NEAR(m.loss, expected_loss, 1e-6);
+}
+
+TEST(EvaluatorTest, EmptyClassGetsZeroF1) {
+  models::Dataset test;
+  test.kind = models::TaskKind::kClassification;
+  test.num_classes = 3;
+  test.statements = {"a"};
+  test.opt_costs = {0};
+  test.labels = {0};
+  StubModel model(std::vector<std::vector<float>>{{1.0f, 0.0f, 0.0f}});
+  auto m = EvaluateClassification(model, test);
+  EXPECT_EQ(m.per_class_f1[2], 0.0);
+  EXPECT_EQ(m.class_counts[2], 0u);
+}
+
+TEST(EvaluatorTest, RegressionMetricsExact) {
+  models::Dataset test;
+  test.kind = models::TaskKind::kRegression;
+  test.statements = {"a", "b"};
+  test.opt_costs = {0, 0};
+  test.targets = {1.0f, 2.0f};
+  StubModel model({{1.5f}, {4.0f}});  // residuals 0.5 and 2.0
+  auto m = EvaluateRegression(model, test, 1.0);
+  EXPECT_NEAR(m.mse, (0.25 + 4.0) / 2.0, 1e-6);
+  // Huber: 0.5*0.25 and (2 - 0.5) -> mean.
+  EXPECT_NEAR(m.loss, (0.125 + 1.5) / 2.0, 1e-6);
+}
+
+TEST(EvaluatorTest, QErrorsInOriginalSpace) {
+  models::Dataset test;
+  test.kind = models::TaskKind::kRegression;
+  test.statements = {"a"};
+  test.opt_costs = {0};
+  LabelTransform transform = LabelTransform::Fit({0.0, 100.0});
+  test.targets = {static_cast<float>(transform.Apply(99.0))};
+  StubModel model(std::vector<std::vector<float>>{
+      {static_cast<float>(transform.Apply(9.0))}});
+  auto q = ComputeQErrors(model, test, transform);
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_NEAR(q[0], 11.0, 0.1);  // y = 99, yhat = 9 -> qerror 11
+}
+
+TEST(EvaluatorTest, QErrorClampsNonPositive) {
+  models::Dataset test;
+  test.kind = models::TaskKind::kRegression;
+  test.statements = {"a"};
+  test.opt_costs = {0};
+  LabelTransform transform = LabelTransform::Fit({-1.0, 100.0});
+  test.targets = {static_cast<float>(transform.Apply(-1.0))};
+  StubModel model(std::vector<std::vector<float>>{
+      {static_cast<float>(transform.Apply(-1.0))}});
+  auto q = ComputeQErrors(model, test, transform);
+  EXPECT_NEAR(q[0], 1.0, 1e-6);  // perfect prediction of an errored query
+}
+
+TEST(EvaluatorTest, SquaredErrorsPerQuery) {
+  models::Dataset test;
+  test.kind = models::TaskKind::kRegression;
+  test.statements = {"a", "b"};
+  test.opt_costs = {0, 0};
+  test.targets = {0.0f, 1.0f};
+  StubModel model({{2.0f}, {1.0f}});
+  auto e = SquaredErrors(model, test);
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_NEAR(e[0], 4.0, 1e-6);
+  EXPECT_NEAR(e[1], 0.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Model zoo
+// ---------------------------------------------------------------------------
+
+TEST(ModelZooTest, MakesAllNames) {
+  ZooConfig config;
+  config.epochs = 1;
+  for (const char* name : {"mfreq", "median", "opt", "ctfidf", "wtfidf",
+                           "ccnn", "wcnn", "clstm", "wlstm"}) {
+    auto model = MakeModel(name, config);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->name(), name);
+  }
+  EXPECT_EQ(LearnedModelNames().size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryFacilitator end-to-end (small SDSS workload, tiny models)
+// ---------------------------------------------------------------------------
+
+TEST(FacilitatorTest, TrainsAndAnalyzes) {
+  workload::SdssWorkloadConfig wconfig;
+  wconfig.num_sessions = 500;
+  wconfig.catalog.photoobj_rows = 2000;
+  wconfig.catalog.phototag_rows = 2000;
+  wconfig.catalog.specobj_rows = 300;
+  wconfig.catalog.specphoto_rows = 300;
+  wconfig.catalog.galaxy_rows = 1200;
+  wconfig.catalog.star_rows = 1000;
+  auto built = workload::BuildSdssWorkload(wconfig);
+
+  QueryFacilitator::Options options;
+  options.model_name = "ctfidf";  // fastest learned model
+  options.zoo.epochs = 2;
+  QueryFacilitator facilitator(options);
+  EXPECT_FALSE(facilitator.trained());
+  facilitator.Train(built.workload);
+  EXPECT_TRUE(facilitator.trained());
+
+  auto insights =
+      facilitator.Analyze("SELECT * FROM PhotoTag WHERE objId=42");
+  EXPECT_TRUE(insights.has_error);
+  EXPECT_TRUE(insights.has_session);
+  EXPECT_TRUE(insights.has_answer_size);
+  EXPECT_TRUE(insights.has_cpu_time);
+  EXPECT_EQ(insights.error_probs.size(),
+            static_cast<size_t>(workload::kNumErrorClasses));
+  EXPECT_EQ(insights.session_probs.size(),
+            static_cast<size_t>(workload::kNumSessionClasses));
+  EXPECT_GE(insights.answer_size, 0.0);
+  EXPECT_GE(insights.cpu_time_seconds, 0.0);
+  // A well-formed point lookup should be predicted successful.
+  EXPECT_EQ(insights.error_class, ErrorClass::kSuccess);
+}
+
+TEST(FacilitatorTest, SkipsMissingLabels) {
+  QueryWorkload w = TinyWorkload();
+  for (auto& q : w.queries) {
+    q.has_session_class = false;
+    q.has_answer_size = false;
+  }
+  QueryFacilitator::Options options;
+  options.model_name = "ctfidf";
+  options.zoo.epochs = 1;
+  QueryFacilitator facilitator(options);
+  facilitator.Train(w);
+  auto insights = facilitator.Analyze("SELECT a FROM t WHERE x = 3");
+  EXPECT_TRUE(insights.has_error);
+  EXPECT_FALSE(insights.has_session);
+  EXPECT_FALSE(insights.has_answer_size);
+  EXPECT_TRUE(insights.has_cpu_time);
+}
+
+}  // namespace
+}  // namespace sqlfacil::core

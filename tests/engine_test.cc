@@ -1,0 +1,514 @@
+#include <gtest/gtest.h>
+
+#include "sqlfacil/engine/catalog.h"
+#include "sqlfacil/engine/cost_model.h"
+#include "sqlfacil/engine/datagen.h"
+#include "sqlfacil/engine/executor.h"
+#include "sqlfacil/engine/table.h"
+#include "sqlfacil/engine/value.h"
+#include "sqlfacil/sql/parser.h"
+#include "sqlfacil/util/random.h"
+
+namespace sqlfacil::engine {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, NullSemantics) {
+  Value n = Value::Null();
+  EXPECT_TRUE(n.is_null());
+  EXPECT_FALSE(n.IsTruthy());
+  EXPECT_FALSE(n.EqualsValue(n));  // NULL != NULL in SQL
+}
+
+TEST(ValueTest, NumericCoercionInEquality) {
+  EXPECT_TRUE(Value(int64_t{3}).EqualsValue(Value(3.0)));
+  EXPECT_FALSE(Value(int64_t{3}).EqualsValue(Value(3.5)));
+  EXPECT_FALSE(Value(int64_t{3}).EqualsValue(Value(std::string("3"))));
+}
+
+TEST(ValueTest, CompareOrdersNullNumbersStrings) {
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{0})), 0);
+  EXPECT_LT(Value(int64_t{5}).Compare(Value(std::string("a"))), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(Value(std::string("ab")).Compare(Value(std::string("ab"))), 0);
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_TRUE(Value(int64_t{1}).IsTruthy());
+  EXPECT_FALSE(Value(int64_t{0}).IsTruthy());
+  EXPECT_FALSE(Value(0.0).IsTruthy());
+  EXPECT_TRUE(Value(std::string("x")).IsTruthy());
+  EXPECT_FALSE(Value(std::string()).IsTruthy());
+}
+
+// ---------------------------------------------------------------------------
+// Table & index
+// ---------------------------------------------------------------------------
+
+Table MakeSmallTable() {
+  TableSchema schema;
+  schema.name = "t";
+  schema.columns = {{"id", ColumnType::kInt64},
+                    {"x", ColumnType::kDouble},
+                    {"name", ColumnType::kString}};
+  Table table(std::move(schema));
+  for (int64_t i = 0; i < 10; ++i) {
+    table.AppendRow({Value(i), Value(static_cast<double>(i) * 0.5),
+                     Value(std::string(i % 2 == 0 ? "even" : "odd"))});
+  }
+  return table;
+}
+
+TEST(TableTest, AppendAndGet) {
+  Table t = MakeSmallTable();
+  EXPECT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.GetValue(3, 0).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(t.GetValue(3, 1).AsDoubleExact(), 1.5);
+  EXPECT_EQ(t.GetValue(3, 2).AsString(), "odd");
+}
+
+TEST(TableTest, SchemaLookupIsCaseInsensitive) {
+  Table t = MakeSmallTable();
+  EXPECT_EQ(t.schema().FindColumn("ID"), 0);
+  EXPECT_EQ(t.schema().FindColumn("Name"), 2);
+  EXPECT_EQ(t.schema().FindColumn("nope"), -1);
+}
+
+TEST(TableTest, IndexLookup) {
+  Table t = MakeSmallTable();
+  ASSERT_TRUE(t.BuildIndex("id").ok());
+  EXPECT_TRUE(t.HasIndex(0));
+  const auto& hits = t.IndexLookup(0, 7);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+  EXPECT_TRUE(t.IndexLookup(0, 99).empty());
+}
+
+TEST(TableTest, IndexOnMissingColumnFails) {
+  Table t = MakeSmallTable();
+  EXPECT_EQ(t.BuildIndex("zzz").code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.BuildIndex("x").code(),
+            StatusCode::kInvalidArgument);  // double column
+}
+
+TEST(TableTest, Statistics) {
+  Table t = MakeSmallTable();
+  EXPECT_EQ(t.DistinctCount(0), 10u);
+  EXPECT_EQ(t.DistinctCount(2), 2u);
+  EXPECT_DOUBLE_EQ(t.ColumnMin(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.ColumnMax(0), 9.0);
+  EXPECT_DOUBLE_EQ(t.ColumnMax(1), 4.5);
+}
+
+// ---------------------------------------------------------------------------
+// Datagen
+// ---------------------------------------------------------------------------
+
+TEST(DatagenTest, GeneratesRequestedShape) {
+  Rng rng(42);
+  auto table = GenerateTable(
+      "obj",
+      {ColumnGenSpec::Id("objid"), ColumnGenSpec::UniformInt("type", 0, 8),
+       ColumnGenSpec::NormalDouble("ra", 180, 60),
+       ColumnGenSpec::Categorical("cls", {"a", "b"})},
+      500, &rng);
+  EXPECT_EQ(table->num_rows(), 500u);
+  EXPECT_EQ(table->num_columns(), 4u);
+  EXPECT_TRUE(table->HasIndex(0));  // id column auto-indexed
+  for (size_t i = 0; i < 20; ++i) {
+    const int64_t type = table->GetValue(i, 1).AsInt();
+    EXPECT_GE(type, 0);
+    EXPECT_LE(type, 8);
+  }
+}
+
+TEST(DatagenTest, DeterministicForSameSeed) {
+  Rng rng1(7), rng2(7);
+  auto spec = std::vector<ColumnGenSpec>{
+      ColumnGenSpec::UniformInt("a", 0, 1000000)};
+  auto t1 = GenerateTable("t", spec, 50, &rng1);
+  auto t2 = GenerateTable("t", spec, 50, &rng2);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(t1->GetValue(i, 0).AsInt(), t2->GetValue(i, 0).AsInt());
+  }
+}
+
+TEST(DatagenTest, ZipfColumnIsSkewed) {
+  Rng rng(11);
+  auto t = GenerateTable(
+      "t", {ColumnGenSpec::ZipfInt("z", 100, 1.2)}, 5000, &rng);
+  size_t zeros = 0, high = 0;
+  for (size_t i = 0; i < t->num_rows(); ++i) {
+    const int64_t v = t->GetValue(i, 0).AsInt();
+    if (v == 0) ++zeros;
+    if (v >= 50) ++high;
+  }
+  EXPECT_GT(zeros, high);
+}
+
+// ---------------------------------------------------------------------------
+// Executor: fixture with a small astronomy-style catalog
+// ---------------------------------------------------------------------------
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(12345);
+    catalog_.RegisterBuiltinFunctions();
+    // photoobj: 1000 rows.
+    catalog_.AddTable(GenerateTable(
+        "PhotoObj",
+        {ColumnGenSpec::Id("objid"), ColumnGenSpec::UniformInt("type", 0, 8),
+         ColumnGenSpec::UniformDouble("ra", 0, 360),
+         ColumnGenSpec::UniformDouble("dec", -90, 90),
+         ColumnGenSpec::NormalDouble("r", 20, 2),
+         ColumnGenSpec::BitFlags("flags", 8)},
+        1000, &rng));
+    // specobj: 100 rows; bestobjid references photoobj ids.
+    catalog_.AddTable(GenerateTable(
+        "SpecObj",
+        {ColumnGenSpec::Id("specobjid"),
+         ColumnGenSpec::UniformInt("bestobjid", 0, 999),
+         ColumnGenSpec::UniformDouble("z", 0, 3)},
+        100, &rng));
+    catalog_.AddFunction(ScalarFunction{
+        "dbo.fPhotoFlags", 1, 1, 5.0,
+        [](const std::vector<Value>& args) -> StatusOr<Value> {
+          if (!args[0].is_string()) {
+            return Status::ExecutionError("fPhotoFlags requires a string");
+          }
+          return Value(int64_t{1} << (args[0].AsString().size() % 8));
+        }});
+  }
+
+  StatusOr<QueryResult> Run(const std::string& text) {
+    auto stmt = sql::ParseStatement(text);
+    if (!stmt.ok()) return stmt.status();
+    Executor executor(&catalog_);
+    return executor.Execute(*stmt->select);
+  }
+
+  StatusOr<Relation> RunRel(const std::string& text) {
+    auto stmt = sql::ParseStatement(text);
+    if (!stmt.ok()) return stmt.status();
+    Executor executor(&catalog_);
+    return executor.ExecuteToRelation(*stmt->select);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ExecutorTest, SelectStarCountsAllRows) {
+  auto r = Run("SELECT * FROM PhotoObj");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->answer_rows, 1000u);
+  EXPECT_GT(r->cost_units, 0.0);
+}
+
+TEST_F(ExecutorTest, PointLookupViaIndex) {
+  auto r = Run("SELECT * FROM PhotoObj WHERE objid = 17");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answer_rows, 1u);
+  // Index path: far cheaper than a full scan.
+  auto scan = Run("SELECT * FROM PhotoObj WHERE type >= 0");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_LT(r->cost_units, scan->cost_units / 10.0);
+}
+
+TEST_F(ExecutorTest, RangePredicateSelectsSubset) {
+  auto all = Run("SELECT ra FROM PhotoObj");
+  auto some = Run("SELECT ra FROM PhotoObj WHERE ra BETWEEN 10 AND 20");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(some.ok());
+  EXPECT_LT(some->answer_rows, all->answer_rows);
+  EXPECT_GT(some->answer_rows, 0u);
+}
+
+TEST_F(ExecutorTest, CountStar) {
+  auto rel = RunRel("SELECT COUNT(*) FROM PhotoObj WHERE type = 3");
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ(rel->total_rows, 1u);
+  const int64_t count = rel->rows[0][0].AsInt();
+  auto direct = Run("SELECT * FROM PhotoObj WHERE type = 3");
+  EXPECT_EQ(static_cast<size_t>(count), direct->answer_rows);
+}
+
+TEST_F(ExecutorTest, AggregatesMinMaxAvg) {
+  auto rel = RunRel("SELECT min(ra), max(ra), avg(ra), sum(ra) FROM PhotoObj");
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ(rel->rows.size(), 1u);
+  const double min = rel->rows[0][0].ToDouble();
+  const double max = rel->rows[0][1].ToDouble();
+  const double avg = rel->rows[0][2].ToDouble();
+  EXPECT_LT(min, max);
+  EXPECT_GT(avg, min);
+  EXPECT_LT(avg, max);
+}
+
+TEST_F(ExecutorTest, GroupByCountsGroups) {
+  auto rel = RunRel("SELECT type, count(*) FROM PhotoObj GROUP BY type");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->total_rows, 9u);  // types 0..8
+  int64_t total = 0;
+  for (const auto& row : rel->rows) total += row[1].AsInt();
+  EXPECT_EQ(total, 1000);
+}
+
+TEST_F(ExecutorTest, HavingFiltersGroups) {
+  auto all = RunRel("SELECT type, count(*) FROM PhotoObj GROUP BY type");
+  auto some = RunRel(
+      "SELECT type, count(*) FROM PhotoObj GROUP BY type "
+      "HAVING count(*) > 120");
+  ASSERT_TRUE(some.ok()) << some.status().ToString();
+  EXPECT_LT(some->total_rows, all->total_rows);
+}
+
+TEST_F(ExecutorTest, EquiJoinMatchesManually) {
+  auto r = Run(
+      "SELECT s.z FROM SpecObj AS s INNER JOIN PhotoObj AS p "
+      "ON s.bestobjid = p.objid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Every bestobjid in [0, 999] matches exactly one photoobj.
+  EXPECT_EQ(r->answer_rows, 100u);
+}
+
+TEST_F(ExecutorTest, ImplicitJoinWithWhereEquality) {
+  auto r = Run(
+      "SELECT s.z FROM SpecObj s, PhotoObj p WHERE s.bestobjid = p.objid");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answer_rows, 100u);
+}
+
+TEST_F(ExecutorTest, JoinWithExtraFilter) {
+  auto r = Run(
+      "SELECT s.z FROM SpecObj s, PhotoObj p "
+      "WHERE s.bestobjid = p.objid AND p.type = 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->answer_rows, 100u);
+}
+
+TEST_F(ExecutorTest, CrossJoinBudgeted) {
+  // 1000 x 1000 x 100 cross product blows the budget.
+  auto r = Run("SELECT * FROM PhotoObj a, PhotoObj b, SpecObj c");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ExecutorTest, SmallCrossJoinWorks) {
+  auto r = Run("SELECT * FROM SpecObj a, SpecObj b WHERE a.z > 2 AND b.z > 2");
+  ASSERT_TRUE(r.ok());
+  auto single = Run("SELECT * FROM SpecObj WHERE z > 2");
+  EXPECT_EQ(r->answer_rows, single->answer_rows * single->answer_rows);
+}
+
+TEST_F(ExecutorTest, DistinctDedupes) {
+  auto rel = RunRel("SELECT DISTINCT type FROM PhotoObj");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->total_rows, 9u);
+}
+
+TEST_F(ExecutorTest, TopLimitsRows) {
+  auto r = Run("SELECT TOP 10 * FROM PhotoObj");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->answer_rows, 10u);
+}
+
+TEST_F(ExecutorTest, OrderBySortsMaterializedRows) {
+  auto rel = RunRel("SELECT TOP 5 objid, ra FROM PhotoObj ORDER BY ra DESC");
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ(rel->rows.size(), 5u);
+  for (size_t i = 1; i < rel->rows.size(); ++i) {
+    EXPECT_GE(rel->rows[i - 1][1].ToDouble(), rel->rows[i][1].ToDouble());
+  }
+}
+
+TEST_F(ExecutorTest, ScalarSubquery) {
+  auto rel = RunRel(
+      "SELECT * FROM PhotoObj WHERE ra > (SELECT max(ra) - 1.0 FROM PhotoObj)");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_GE(rel->total_rows, 1u);
+  EXPECT_LT(rel->total_rows, 100u);
+}
+
+TEST_F(ExecutorTest, InSubquery) {
+  auto r = Run(
+      "SELECT * FROM PhotoObj WHERE objid IN "
+      "(SELECT bestobjid FROM SpecObj)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->answer_rows, 0u);
+  EXPECT_LE(r->answer_rows, 100u);
+}
+
+TEST_F(ExecutorTest, ExistsSubquery) {
+  auto r = Run("SELECT * FROM SpecObj WHERE EXISTS (SELECT 1 FROM PhotoObj)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->answer_rows, 100u);
+}
+
+TEST_F(ExecutorTest, DerivedTable) {
+  auto r = Run(
+      "SELECT * FROM (SELECT type, count(*) AS n FROM PhotoObj "
+      "GROUP BY type) AS g WHERE n > 100");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->answer_rows, 0u);
+  EXPECT_LE(r->answer_rows, 9u);
+}
+
+TEST_F(ExecutorTest, ScalarFunctionChargedPerRow) {
+  // The Figure 1b pathology: the function in the WHERE clause is invoked
+  // once per scanned row, so cost should far exceed the plain scan.
+  auto plain = Run("SELECT * FROM PhotoObj WHERE type = 1");
+  auto with_fn =
+      Run("SELECT * FROM PhotoObj WHERE flags & dbo.fPhotoFlags('BLENDED') > 0");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(with_fn.ok()) << with_fn.status().ToString();
+  EXPECT_GT(with_fn->cost_units, plain->cost_units * 2.0);
+}
+
+TEST_F(ExecutorTest, UnknownTableIsNotFound) {
+  auto r = Run("SELECT * FROM NoSuchTable");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, UnknownColumnIsNotFound) {
+  auto r = Run("SELECT nope FROM PhotoObj");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, UnknownFunctionIsNotFound) {
+  auto r = Run("SELECT dbo.fNoSuchFn(ra) FROM PhotoObj");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, DivideByZeroIsExecutionError) {
+  auto r = Run("SELECT ra / 0 FROM PhotoObj");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorTest, TypeClashIsExecutionError) {
+  auto r = Run("SELECT * FROM PhotoObj WHERE ra = 'abc'");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorTest, LikeOnStrings) {
+  Rng rng(5);
+  catalog_.AddTable(GenerateTable(
+      "Jobs",
+      {ColumnGenSpec::Id("jobid"),
+       ColumnGenSpec::Categorical("outputtype", {"QUERY_RESULT", "EXPORT"})},
+      50, &rng));
+  auto r = Run("SELECT * FROM Jobs WHERE outputtype LIKE '%QUERY%'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->answer_rows, 0u);
+  EXPECT_LT(r->answer_rows, 50u);
+}
+
+TEST_F(ExecutorTest, SelectWithoutFrom) {
+  auto rel = RunRel("SELECT 1 + 2");
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ(rel->total_rows, 1u);
+  EXPECT_EQ(rel->rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, UnionAllSums) {
+  auto rel = RunRel(
+      "SELECT objid FROM PhotoObj WHERE type = 0 "
+      "UNION SELECT objid FROM PhotoObj WHERE type = 1");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  auto t0 = Run("SELECT objid FROM PhotoObj WHERE type = 0");
+  auto t1 = Run("SELECT objid FROM PhotoObj WHERE type = 1");
+  EXPECT_EQ(rel->total_rows, t0->answer_rows + t1->answer_rows);
+}
+
+TEST_F(ExecutorTest, CaseExpression) {
+  auto rel = RunRel(
+      "SELECT TOP 3 CASE WHEN ra > 180 THEN 'east' ELSE 'west' END FROM "
+      "PhotoObj");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  for (const auto& row : rel->rows) {
+    EXPECT_TRUE(row[0].AsString() == "east" || row[0].AsString() == "west");
+  }
+}
+
+TEST_F(ExecutorTest, CastExpression) {
+  auto rel = RunRel("SELECT TOP 1 cast(ra AS int) FROM PhotoObj");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_TRUE(rel->rows[0][0].is_int());
+}
+
+TEST_F(ExecutorTest, CostGrowsWithWork) {
+  auto small = Run("SELECT * FROM SpecObj");
+  auto large = Run("SELECT * FROM PhotoObj");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->cost_units, small->cost_units);
+}
+
+// ---------------------------------------------------------------------------
+// LikeMatch
+// ---------------------------------------------------------------------------
+
+TEST(LikeMatchTest, Wildcards) {
+  EXPECT_TRUE(LikeMatch("QUERY_RESULT", "%QUERY%"));
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abc", "a_d"));
+  EXPECT_TRUE(LikeMatch("abc", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_FALSE(LikeMatch("hello", "hello_"));
+  EXPECT_TRUE(LikeMatch("ABC", "abc"));  // case-insensitive
+}
+
+// ---------------------------------------------------------------------------
+// Cost model (opt baseline)
+// ---------------------------------------------------------------------------
+
+class CostModelTest : public ExecutorTest {};
+
+TEST_F(CostModelTest, EstimatesScaleWithTableSize) {
+  auto big = sql::ParseStatement("SELECT * FROM PhotoObj");
+  auto small = sql::ParseStatement("SELECT * FROM SpecObj");
+  auto eb = EstimateQuery(*big->select, catalog_);
+  auto es = EstimateQuery(*small->select, catalog_);
+  ASSERT_TRUE(eb.ok());
+  ASSERT_TRUE(es.ok());
+  EXPECT_GT(eb->estimated_cost, es->estimated_cost);
+  EXPECT_GT(eb->estimated_rows, es->estimated_rows);
+}
+
+TEST_F(CostModelTest, PredicatesReduceCardinality) {
+  auto all = sql::ParseStatement("SELECT * FROM PhotoObj");
+  auto filtered =
+      sql::ParseStatement("SELECT * FROM PhotoObj WHERE type = 1 AND ra > 10");
+  auto ea = EstimateQuery(*all->select, catalog_);
+  auto ef = EstimateQuery(*filtered->select, catalog_);
+  EXPECT_LT(ef->estimated_rows, ea->estimated_rows);
+}
+
+TEST_F(CostModelTest, UnknownTableErrors) {
+  auto q = sql::ParseStatement("SELECT * FROM nope");
+  auto e = EstimateQuery(*q->select, catalog_);
+  EXPECT_FALSE(e.ok());
+}
+
+TEST_F(CostModelTest, JoinEstimateExceedsScans) {
+  auto join = sql::ParseStatement(
+      "SELECT * FROM SpecObj s, PhotoObj p WHERE s.bestobjid = p.objid");
+  auto ej = EstimateQuery(*join->select, catalog_);
+  ASSERT_TRUE(ej.ok());
+  EXPECT_GT(ej->estimated_cost, 1000.0);
+}
+
+}  // namespace
+}  // namespace sqlfacil::engine

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sqlfacil/models/cnn_model.h"
+#include "sqlfacil/models/multitask_model.h"
+
+namespace sqlfacil::models {
+namespace {
+
+// Statements whose class, cpu, and answer labels are all decided by the
+// same underlying signal (the table mentioned) — the correlated-label
+// regime that motivates multi-task learning.
+MultiTaskDataset MakeMultiSet(int n, Rng* rng) {
+  MultiTaskDataset d;
+  d.num_error_classes = 2;
+  for (int i = 0; i < n; ++i) {
+    const bool big = rng->Bernoulli(0.5);
+    std::string stmt =
+        big ? "SELECT * FROM Galaxy WHERE r < " + std::to_string(i % 30)
+            : "SELECT objid FROM Star WHERE objid = " + std::to_string(i);
+    d.statements.push_back(std::move(stmt));
+    d.error_labels.push_back(big ? 1 : 0);
+    d.cpu_targets.push_back(big ? 4.0f : 1.0f);
+    d.answer_targets.push_back(big ? 6.0f : 0.0f);
+  }
+  return d;
+}
+
+MultiTaskCnnModel::Config SmallConfig() {
+  MultiTaskCnnModel::Config config;
+  config.epochs = 6;
+  config.lr = 0.02f;
+  config.kernels_per_width = 12;
+  config.embed_dim = 8;
+  return config;
+}
+
+TEST(MultiTaskTest, LearnsAllThreeTasks) {
+  Rng rng(1);
+  auto train = MakeMultiSet(160, &rng);
+  auto valid = MakeMultiSet(40, &rng);
+  MultiTaskCnnModel model(SmallConfig());
+  model.Fit(train, valid, &rng);
+
+  int correct = 0;
+  double cpu_err = 0, answer_err = 0;
+  for (size_t i = 0; i < valid.size(); ++i) {
+    auto pred = model.Predict(valid.statements[i]);
+    const int argmax = pred.error_probs[1] > pred.error_probs[0] ? 1 : 0;
+    correct += (argmax == valid.error_labels[i]);
+    cpu_err += std::fabs(pred.cpu - valid.cpu_targets[i]);
+    answer_err += std::fabs(pred.answer - valid.answer_targets[i]);
+  }
+  EXPECT_GT(correct, 36);  // > 90% of 40
+  EXPECT_LT(cpu_err / valid.size(), 0.8);
+  EXPECT_LT(answer_err / valid.size(), 1.5);
+}
+
+TEST(MultiTaskTest, MissingLabelsSkipped) {
+  Rng rng(2);
+  auto train = MakeMultiSet(80, &rng);
+  // Blank out labels for half the rows; training must still work.
+  for (size_t i = 0; i < train.size(); i += 2) {
+    train.error_labels[i] = -1;
+    train.cpu_targets[i] = std::nanf("");
+  }
+  auto valid = MakeMultiSet(20, &rng);
+  MultiTaskCnnModel::Config config = SmallConfig();
+  config.epochs = 2;
+  MultiTaskCnnModel model(config);
+  model.Fit(train, valid, &rng);
+  auto pred = model.Predict("SELECT * FROM Galaxy WHERE r < 5");
+  EXPECT_EQ(pred.error_probs.size(), 2u);
+  EXPECT_NEAR(pred.error_probs[0] + pred.error_probs[1], 1.0, 1e-4);
+}
+
+TEST(MultiTaskTest, SharedEncoderSmallerThanThreeSingles) {
+  Rng rng(3);
+  auto train = MakeMultiSet(60, &rng);
+  MultiTaskCnnModel::Config config = SmallConfig();
+  config.epochs = 1;
+  MultiTaskCnnModel multi(config);
+  multi.Fit(train, train, &rng);
+
+  CnnModel::Config single_config;
+  single_config.epochs = 1;
+  single_config.kernels_per_width = config.kernels_per_width;
+  single_config.embed_dim = config.embed_dim;
+  Dataset single;
+  single.kind = TaskKind::kClassification;
+  single.num_classes = 2;
+  single.statements = train.statements;
+  single.labels = train.error_labels;
+  single.opt_costs.assign(train.size(), 0.0);
+  CnnModel one(single_config);
+  one.Fit(single, single, &rng);
+
+  EXPECT_LT(multi.num_parameters(), 3 * one.num_parameters());
+  EXPECT_GT(multi.num_parameters(), one.num_parameters());
+}
+
+// ---------------------------------------------------------------------------
+// CnnModel::FineTune (transfer learning support)
+// ---------------------------------------------------------------------------
+
+TEST(FineTuneTest, ImprovesOnShiftedTask) {
+  Rng rng(4);
+  // Source: targets {1, 3}. Target domain: same text signal, shifted
+  // targets {2, 6}.
+  Dataset source, target_train, target_valid;
+  for (Dataset* d : {&source, &target_train, &target_valid}) {
+    d->kind = TaskKind::kRegression;
+  }
+  auto fill = [&](Dataset* d, int n, float lo, float hi) {
+    for (int i = 0; i < n; ++i) {
+      const bool big = rng.Bernoulli(0.5);
+      d->statements.push_back(
+          big ? "SELECT * FROM Galaxy WHERE r < " + std::to_string(i % 20)
+              : "SELECT objid FROM Star WHERE objid = " + std::to_string(i));
+      d->targets.push_back(big ? hi : lo);
+      d->opt_costs.push_back(0);
+    }
+  };
+  fill(&source, 200, 1.0f, 3.0f);
+  fill(&target_train, 40, 2.0f, 6.0f);
+  fill(&target_valid, 40, 2.0f, 6.0f);
+
+  CnnModel::Config config;
+  config.epochs = 6;
+  config.lr = 0.02f;
+  config.kernels_per_width = 12;
+  config.embed_dim = 8;
+  CnnModel model(config);
+  model.Fit(source, source, &rng);
+
+  auto mae = [&](const CnnModel& m) {
+    double total = 0;
+    for (size_t i = 0; i < target_valid.size(); ++i) {
+      total += std::fabs(m.Predict(target_valid.statements[i], 0)[0] -
+                         target_valid.targets[i]);
+    }
+    return total / target_valid.size();
+  };
+  const double before = mae(model);
+  model.FineTune(target_train, target_valid, 6, &rng);
+  const double after = mae(model);
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 1.0);
+}
+
+}  // namespace
+}  // namespace sqlfacil::models

@@ -1,0 +1,291 @@
+// Property-based tests: invariants that must hold over swept inputs,
+// using parameterized gtest (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <numeric>
+
+#include "sqlfacil/core/evaluator.h"
+#include "sqlfacil/engine/executor.h"
+#include "sqlfacil/sql/features.h"
+#include "sqlfacil/sql/lexer.h"
+#include "sqlfacil/sql/parser.h"
+#include "sqlfacil/sql/tokenizer.h"
+#include "sqlfacil/util/string_util.h"
+#include "sqlfacil/workload/labeler.h"
+#include "sqlfacil/workload/querygen.h"
+#include "sqlfacil/workload/sdss_catalog.h"
+
+namespace sqlfacil {
+namespace {
+
+using workload::QueryGenerator;
+using workload::SessionClass;
+
+// ---------------------------------------------------------------------------
+// Generator x front-end invariants, swept over every session class.
+// ---------------------------------------------------------------------------
+
+class GeneratorFrontEndProperty
+    : public ::testing::TestWithParam<SessionClass> {};
+
+TEST_P(GeneratorFrontEndProperty, StatementsAlwaysLexAndFeaturize) {
+  Rng rng(101 + static_cast<int>(GetParam()));
+  QueryGenerator gen(&rng);
+  for (int i = 0; i < 150; ++i) {
+    const std::string q = gen.Generate(GetParam());
+    ASSERT_FALSE(q.empty());
+    // The lexer is total: last token is kEnd, every non-space byte is
+    // covered by some token or skipped as comment content.
+    auto tokens = sql::Lex(q);
+    ASSERT_FALSE(tokens.empty());
+    EXPECT_EQ(tokens.back().kind, sql::TokenKind::kEnd);
+    // Feature extraction never crashes, and raw-text features are exact.
+    auto f = sql::ExtractFeatures(q);
+    EXPECT_EQ(f.num_characters, static_cast<int>(q.size()));
+    size_t non_space = 0;
+    for (char c : q) {
+      non_space += !std::isspace(static_cast<unsigned char>(c));
+    }
+    EXPECT_EQ(sql::CharTokens(q).size(), non_space);
+    // If the statement parses as SELECT, AST-derived features are active.
+    auto parsed = sql::ParseStatement(q);
+    if (parsed.ok() && parsed->kind == sql::Statement::Kind::kSelect) {
+      EXPECT_TRUE(f.parse_ok);
+      EXPECT_GE(f.num_tables, 0);
+      EXPECT_GE(f.nestedness_level, 0);
+    }
+  }
+}
+
+TEST_P(GeneratorFrontEndProperty, WordTokensNeverEmptyForGenerated) {
+  Rng rng(202 + static_cast<int>(GetParam()));
+  QueryGenerator gen(&rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(sql::WordTokens(gen.Generate(GetParam())).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSessionClasses, GeneratorFrontEndProperty,
+    ::testing::Values(SessionClass::kNoWebHit, SessionClass::kUnknown,
+                      SessionClass::kBot, SessionClass::kAdmin,
+                      SessionClass::kProgram, SessionClass::kAnonymous,
+                      SessionClass::kBrowser),
+    [](const auto& info) {
+      return std::string(workload::SessionClassName(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Engine + labeler invariants over generated statements.
+// ---------------------------------------------------------------------------
+
+class LabelerProperty : public ::testing::TestWithParam<SessionClass> {
+ public:
+  static const engine::Catalog& Catalog() {
+    static const engine::Catalog* catalog = [] {
+      workload::SdssCatalogConfig config;
+      config.photoobj_rows = 3000;
+      config.phototag_rows = 3000;
+      config.specobj_rows = 400;
+      config.specphoto_rows = 400;
+      config.galaxy_rows = 1500;
+      config.star_rows = 1200;
+      Rng rng(7);
+      return new engine::Catalog(workload::BuildSdssCatalog(config, &rng));
+    }();
+    return *catalog;
+  }
+};
+
+TEST_P(LabelerProperty, LabelInvariants) {
+  workload::QueryLabeler labeler(&Catalog(), {});
+  Rng rng(303 + static_cast<int>(GetParam()));
+  QueryGenerator gen(&rng);
+  for (int i = 0; i < 80; ++i) {
+    const std::string q = gen.Generate(GetParam());
+    const auto labels = labeler.Label(q);
+    switch (labels.error_class) {
+      case workload::ErrorClass::kSevere:
+        // Rejected by the portal: no server work, no answer.
+        EXPECT_DOUBLE_EQ(labels.answer_size, -1.0);
+        EXPECT_DOUBLE_EQ(labels.base_cpu_seconds, 0.0);
+        break;
+      case workload::ErrorClass::kNonSevere:
+        EXPECT_DOUBLE_EQ(labels.answer_size, -1.0);
+        EXPECT_GE(labels.base_cpu_seconds, 0.0);
+        break;
+      case workload::ErrorClass::kSuccess:
+        EXPECT_GE(labels.answer_size, 0.0);
+        EXPECT_GE(labels.base_cpu_seconds, 0.0);
+        break;
+    }
+  }
+}
+
+TEST_P(LabelerProperty, LabelingIsDeterministic) {
+  workload::QueryLabeler labeler(&Catalog(), {});
+  Rng rng(404 + static_cast<int>(GetParam()));
+  QueryGenerator gen(&rng);
+  for (int i = 0; i < 30; ++i) {
+    const std::string q = gen.Generate(GetParam());
+    const auto a = labeler.Label(q);
+    const auto b = labeler.Label(q);
+    EXPECT_EQ(a.error_class, b.error_class);
+    EXPECT_DOUBLE_EQ(a.answer_size, b.answer_size);
+    EXPECT_DOUBLE_EQ(a.base_cpu_seconds, b.base_cpu_seconds);
+    EXPECT_DOUBLE_EQ(a.opt_estimated_cost, b.opt_estimated_cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSessionClasses, LabelerProperty,
+    ::testing::Values(SessionClass::kNoWebHit, SessionClass::kBot,
+                      SessionClass::kProgram, SessionClass::kBrowser,
+                      SessionClass::kAdmin),
+    [](const auto& info) {
+      return std::string(workload::SessionClassName(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// COUNT(*) consistency: the count aggregate must equal the answer size of
+// the same filter — swept across predicates.
+// ---------------------------------------------------------------------------
+
+class CountConsistencyProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  static const engine::Catalog& Catalog() {
+    return LabelerProperty::Catalog();
+  }
+
+  size_t RowsOf(const std::string& text) {
+    auto stmt = sql::ParseStatement(text);
+    EXPECT_TRUE(stmt.ok()) << text;
+    engine::Executor executor(&Catalog());
+    auto result = executor.Execute(*stmt->select);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result->answer_rows : 0;
+  }
+
+  int64_t CountOf(const std::string& where) {
+    auto stmt =
+        sql::ParseStatement("SELECT COUNT(*) FROM PhotoObj WHERE " + where);
+    EXPECT_TRUE(stmt.ok());
+    engine::Executor executor(&Catalog());
+    auto rel = executor.ExecuteToRelation(*stmt->select);
+    EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+    return rel.ok() ? rel->rows[0][0].AsInt() : -1;
+  }
+};
+
+TEST_P(CountConsistencyProperty, CountEqualsAnswerRows) {
+  const std::string where = GetParam();
+  EXPECT_EQ(static_cast<int64_t>(
+                RowsOf("SELECT objid FROM PhotoObj WHERE " + where)),
+            CountOf(where));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Predicates, CountConsistencyProperty,
+    ::testing::Values("type = 3", "ra BETWEEN 100 AND 150", "objid = 42",
+                      "type > 4 AND dec < 0", "type = 1 OR type = 2",
+                      "modelmag_r < 19.5", "objid % 7 = 0",
+                      "type IN (1, 3, 5)", "NOT type = 0",
+                      "ra > 350 OR ra < 10"));
+
+// ---------------------------------------------------------------------------
+// qerror properties.
+// ---------------------------------------------------------------------------
+
+class QErrorProperty
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(QErrorProperty, AtLeastOneAndSymmetric) {
+  const auto [y, yhat] = GetParam();
+  core::LabelTransform transform = core::LabelTransform::Fit({0.0, 1e6});
+
+  struct OneShot : models::Model {
+    explicit OneShot(float v) : v_(v) {}
+    std::string name() const override { return "oneshot"; }
+    void Fit(const models::Dataset&, const models::Dataset&, Rng*) override {}
+    std::vector<float> Predict(const std::string&, double) const override {
+      return {v_};
+    }
+    float v_;
+  };
+
+  models::Dataset test;
+  test.kind = models::TaskKind::kRegression;
+  test.statements = {"q"};
+  test.opt_costs = {0};
+  test.targets = {static_cast<float>(transform.Apply(y))};
+  OneShot forward(static_cast<float>(transform.Apply(yhat)));
+  auto q1 = core::ComputeQErrors(forward, test, transform);
+  ASSERT_EQ(q1.size(), 1u);
+  EXPECT_GE(q1[0], 1.0);
+
+  // Swap truth and prediction: qerror is symmetric.
+  test.targets = {static_cast<float>(transform.Apply(yhat))};
+  OneShot backward(static_cast<float>(transform.Apply(y)));
+  auto q2 = core::ComputeQErrors(backward, test, transform);
+  EXPECT_NEAR(q1[0], q2[0], 1e-2 * q1[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LabelPairs, QErrorProperty,
+    ::testing::Values(std::make_pair(1.0, 1.0), std::make_pair(10.0, 1.0),
+                      std::make_pair(1.0, 10.0), std::make_pair(0.0, 100.0),
+                      std::make_pair(1e5, 10.0), std::make_pair(7.0, 7.0)));
+
+// ---------------------------------------------------------------------------
+// LikeMatch vs a reference implementation, swept over pattern cases.
+// ---------------------------------------------------------------------------
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool expect;
+};
+
+class LikeProperty : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeProperty, MatchesExpectation) {
+  const auto& c = GetParam();
+  EXPECT_EQ(engine::LikeMatch(c.text, c.pattern), c.expect)
+      << c.text << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LikeProperty,
+    ::testing::Values(LikeCase{"abcdef", "%cd%", true},
+                      LikeCase{"abcdef", "%ce%", false},
+                      LikeCase{"aaa", "%a", true},
+                      LikeCase{"aaa", "a%a%a%a", false},
+                      LikeCase{"QUERY_RESULTS", "%query%", true},
+                      LikeCase{"x", "%%%", true},
+                      LikeCase{"", "", true},
+                      LikeCase{"ab", "__", true},
+                      LikeCase{"ab", "___", false},
+                      LikeCase{"mississippi", "%iss%ppi", true}));
+
+// ---------------------------------------------------------------------------
+// Word-level tokenization is case-insensitive outside string literals.
+// ---------------------------------------------------------------------------
+
+class CaseInsensitiveTokensProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CaseInsensitiveTokensProperty, UpperLowerAgree) {
+  const std::string q = GetParam();
+  EXPECT_EQ(sql::WordTokens(ToUpperAscii(q)), sql::WordTokens(ToLowerAscii(q)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, CaseInsensitiveTokensProperty,
+    ::testing::Values("SELECT a FROM t WHERE x = 5",
+                      "Select Top 10 Ra, Dec From PhotoObj",
+                      "SELECT count(*) FROM Galaxy GROUP BY type"));
+
+}  // namespace
+}  // namespace sqlfacil

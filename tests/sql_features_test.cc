@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "sqlfacil/sql/features.h"
+
+namespace sqlfacil::sql {
+namespace {
+
+TEST(FeaturesTest, PaperExample3Figure5) {
+  // The paper's Example 3 walks through the properties of the Figure 5
+  // query. (The figure's SQL is missing a closing paren; fixed here.)
+  const char* q =
+      "SELECT dbo.fGetURLExpid(objid) "
+      "FROM SpecPhoto "
+      "WHERE modelmag_u - modelmag_g = "
+      " (SELECT min(modelmag_u - modelmag_g) "
+      "  FROM SpecPhoto AS s INNER JOIN PhotoObj AS p "
+      "  ON s.objid = p.objid "
+      "  WHERE (s.flags_g = 0 OR p.psfmagerr_g <= 0.2 AND "
+      "         p.psfmagerr_u <= 0.2))";
+  SyntacticFeatures f = ExtractFeatures(q);
+  ASSERT_TRUE(f.parse_ok);
+  EXPECT_EQ(f.num_functions, 2);          // dbo.fGetURLExpid, min
+  EXPECT_EQ(f.num_tables, 2);             // SpecPhoto, PhotoObj
+  EXPECT_EQ(f.num_select_columns, 3);     // objid, modelmag_u, modelmag_g
+  EXPECT_EQ(f.num_predicates, 5);         // outer =, ON, and 3 in sub-WHERE
+  EXPECT_EQ(f.num_predicate_columns, 7);  // 7 column refs in predicates
+  EXPECT_EQ(f.nestedness_level, 1);
+  EXPECT_TRUE(f.nested_aggregation);      // min inside the subquery
+  EXPECT_EQ(f.num_joins, 1);              // one INNER JOIN
+}
+
+TEST(FeaturesTest, SimpleBotQuery) {
+  SyntacticFeatures f =
+      ExtractFeatures("SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018");
+  ASSERT_TRUE(f.parse_ok);
+  EXPECT_EQ(f.num_words, 8);
+  EXPECT_EQ(f.num_functions, 0);
+  EXPECT_EQ(f.num_joins, 0);
+  EXPECT_EQ(f.num_tables, 1);
+  EXPECT_EQ(f.num_select_columns, 0);  // SELECT * references no columns
+  EXPECT_EQ(f.num_predicates, 1);
+  EXPECT_EQ(f.num_predicate_columns, 1);
+  EXPECT_EQ(f.nestedness_level, 0);
+  EXPECT_FALSE(f.nested_aggregation);
+}
+
+TEST(FeaturesTest, CharacterAndWordCountsComputedEvenOnParseFailure) {
+  SyntacticFeatures f = ExtractFeatures("hello world 42");
+  EXPECT_FALSE(f.parse_ok);
+  EXPECT_EQ(f.num_characters, 14);
+  EXPECT_EQ(f.num_words, 3);
+  EXPECT_EQ(f.num_tables, 0);
+}
+
+TEST(FeaturesTest, ImplicitJoinsCounted) {
+  SyntacticFeatures f =
+      ExtractFeatures("SELECT * FROM a, b, c WHERE a.x=b.x AND b.y=c.y");
+  EXPECT_EQ(f.num_joins, 2);  // 3 comma-separated tables -> 2 joins
+  EXPECT_EQ(f.num_tables, 3);
+  EXPECT_EQ(f.num_predicates, 2);
+  EXPECT_EQ(f.num_predicate_columns, 4);
+}
+
+TEST(FeaturesTest, MixedExplicitAndImplicitJoins) {
+  SyntacticFeatures f = ExtractFeatures(
+      "SELECT * FROM a, b INNER JOIN c ON b.x=c.x WHERE a.y=b.y");
+  EXPECT_EQ(f.num_joins, 2);  // one comma join + one INNER JOIN
+}
+
+TEST(FeaturesTest, UniqueTableNamesAreCaseInsensitive) {
+  SyntacticFeatures f = ExtractFeatures(
+      "SELECT * FROM PhotoObj p, photoobj q WHERE p.objid=q.objid");
+  EXPECT_EQ(f.num_tables, 1);
+}
+
+TEST(FeaturesTest, NestednessCountsDeepestChain) {
+  // Figure 16 (Q2) has nestedness level 3.
+  const char* q2 =
+      "SELECT j.target, cast(j.estimate AS varchar) AS queue "
+      "FROM Jobs j, Users u, Status s, "
+      "(SELECT DISTINCT target, queue FROM Servers s1 "
+      " WHERE s1.name NOT IN "
+      "  (SELECT name FROM Servers s, "
+      "    (SELECT target, min(queue) AS queue FROM Servers GROUP BY target) AS a "
+      "   WHERE a.target = s.target)) b "
+      "WHERE j.outputtype LIKE '%QUERY%' AND j.userid = u.userid";
+  SyntacticFeatures f = ExtractFeatures(q2);
+  ASSERT_TRUE(f.parse_ok);
+  EXPECT_EQ(f.nestedness_level, 3);
+  EXPECT_TRUE(f.nested_aggregation);  // min at depth 3
+  EXPECT_EQ(f.num_functions, 1);      // min (CAST is not a function call)
+}
+
+TEST(FeaturesTest, NestedWithoutAggregation) {
+  SyntacticFeatures f = ExtractFeatures(
+      "SELECT * FROM t WHERE x IN (SELECT x FROM u WHERE y > 0)");
+  EXPECT_EQ(f.nestedness_level, 1);
+  EXPECT_FALSE(f.nested_aggregation);
+}
+
+TEST(FeaturesTest, TopLevelAggregationIsNotNestedAggregation) {
+  SyntacticFeatures f = ExtractFeatures("SELECT count(*) FROM t");
+  EXPECT_EQ(f.nestedness_level, 0);
+  EXPECT_FALSE(f.nested_aggregation);
+  EXPECT_EQ(f.num_functions, 1);
+}
+
+TEST(FeaturesTest, SelectColumnsAreUnique) {
+  SyntacticFeatures f =
+      ExtractFeatures("SELECT ra, dec, ra + dec, ra * 2 FROM PhotoObj");
+  EXPECT_EQ(f.num_select_columns, 2);  // ra, dec
+}
+
+TEST(FeaturesTest, HavingCountsAsPredicates) {
+  SyntacticFeatures f = ExtractFeatures(
+      "SELECT type, count(*) FROM PhotoObj GROUP BY type HAVING count(*) > 10");
+  EXPECT_EQ(f.num_predicates, 1);
+}
+
+TEST(FeaturesTest, BetweenIsOnePredicate) {
+  SyntacticFeatures f = ExtractFeatures(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b IN (1,2,3) AND c IS NULL");
+  EXPECT_EQ(f.num_predicates, 3);
+}
+
+TEST(FeaturesTest, VectorAndNamesAligned) {
+  SyntacticFeatures f = ExtractFeatures("SELECT * FROM t");
+  auto v = f.AsVector();
+  EXPECT_EQ(v.size(), SyntacticFeatures::Names().size());
+  EXPECT_EQ(v[0], f.num_characters);
+  EXPECT_EQ(v[9], 0.0);
+}
+
+TEST(FeaturesTest, DerivedTableIncreasesNesting) {
+  SyntacticFeatures f =
+      ExtractFeatures("SELECT * FROM (SELECT a FROM t) AS x");
+  EXPECT_EQ(f.nestedness_level, 1);
+}
+
+}  // namespace
+}  // namespace sqlfacil::sql

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "sqlfacil/sql/lexer.h"
+#include "sqlfacil/sql/tokenizer.h"
+
+namespace sqlfacil::sql {
+namespace {
+
+std::vector<std::string> Texts(const TokenStream& ts) {
+  std::vector<std::string> out;
+  for (const auto& t : ts) {
+    if (!t.Is(TokenKind::kEnd)) out.push_back(t.text);
+  }
+  return out;
+}
+
+TEST(LexerTest, SimpleSelect) {
+  auto ts = Lex("SELECT * FROM PhotoTag WHERE objId=42");
+  auto texts = Texts(ts);
+  ASSERT_EQ(texts.size(), 8u);
+  EXPECT_EQ(texts[0], "SELECT");
+  EXPECT_EQ(texts[1], "*");
+  EXPECT_EQ(texts[4], "WHERE");
+  EXPECT_EQ(texts[6], "=");
+  EXPECT_EQ(texts[7], "42");
+  EXPECT_EQ(ts[7].kind, TokenKind::kNumber);
+}
+
+TEST(LexerTest, HexLiteralIsOneToken) {
+  auto ts = Lex("objId=0x112d075f80360018");
+  auto texts = Texts(ts);
+  ASSERT_EQ(texts.size(), 3u);
+  EXPECT_EQ(texts[2], "0x112d075f80360018");
+  EXPECT_EQ(ts[2].kind, TokenKind::kNumber);
+}
+
+TEST(LexerTest, FloatAndScientific) {
+  auto ts = Lex("1.5 .25 2e10 3.1e-4");
+  auto texts = Texts(ts);
+  ASSERT_EQ(texts.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(ts[i].kind, TokenKind::kNumber);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto ts = Lex("name = 'O''Brien'");
+  auto texts = Texts(ts);
+  ASSERT_EQ(texts.size(), 3u);
+  EXPECT_EQ(ts[2].kind, TokenKind::kString);
+  EXPECT_EQ(texts[2], "'O''Brien'");
+}
+
+TEST(LexerTest, UnterminatedStringConsumesRest) {
+  auto ts = Lex("x = 'oops");
+  EXPECT_EQ(Texts(ts).size(), 3u);
+  EXPECT_EQ(ts[2].kind, TokenKind::kString);
+}
+
+TEST(LexerTest, LineAndBlockComments) {
+  auto ts = Lex("SELECT a -- comment here\nFROM t /* block */ WHERE b=1");
+  auto texts = Texts(ts);
+  std::vector<std::string> expected = {"SELECT", "a", "FROM", "t",
+                                       "WHERE",  "b", "=",    "1"};
+  EXPECT_EQ(texts, expected);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto ts = Lex("a<=b >= c <> d != e");
+  auto texts = Texts(ts);
+  EXPECT_EQ(texts[1], "<=");
+  EXPECT_EQ(texts[3], ">=");
+  EXPECT_EQ(texts[5], "<>");
+  EXPECT_EQ(texts[7], "!=");
+}
+
+TEST(LexerTest, BracketQuotedIdentifier) {
+  auto ts = Lex("SELECT [my col] FROM [my table]");
+  auto texts = Texts(ts);
+  ASSERT_EQ(texts.size(), 4u);
+  EXPECT_EQ(texts[1], "[my col]");
+  EXPECT_EQ(ts[1].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, GarbageBytesBecomeOtherTokens) {
+  auto ts = Lex("what is the answer? \x01");
+  bool has_other = false;
+  for (const auto& t : ts) has_other |= t.Is(TokenKind::kOther);
+  EXPECT_TRUE(has_other);
+}
+
+TEST(LexerTest, EmptyInputYieldsOnlyEnd) {
+  auto ts = Lex("");
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, BitwiseAmpersand) {
+  auto ts = Lex("flags & dbo.fPhotoFlags('BLENDED') > 0");
+  auto texts = Texts(ts);
+  EXPECT_EQ(texts[1], "&");
+  EXPECT_EQ(ts[1].kind, TokenKind::kOperator);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizers (paper Definition 1 / Example 1)
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, PaperFigure2aWordCount) {
+  // "SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018" has 8 word
+  // tokens (Appendix A.1).
+  auto words = WordTokens("SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018");
+  ASSERT_EQ(words.size(), 8u);
+  EXPECT_EQ(words[0], "select");
+  EXPECT_EQ(words[3], "phototag");
+  EXPECT_EQ(words[7], "<DIGIT>");
+}
+
+TEST(TokenizerTest, PaperFigure2aCharCount) {
+  // 48 char tokens excluding spaces (Appendix A.1).
+  const std::string q = "SELECT * FROM PhotoTag WHERE objId=0x112d075f80360018";
+  auto chars = CharTokens(q);
+  EXPECT_EQ(chars.size(), 48u);
+}
+
+TEST(TokenizerTest, CharTokensPreserveCase) {
+  auto chars = CharTokens("Ab c");
+  ASSERT_EQ(chars.size(), 3u);
+  EXPECT_EQ(chars[0], "A");
+  EXPECT_EQ(chars[1], "b");
+  EXPECT_EQ(chars[2], "c");
+}
+
+TEST(TokenizerTest, DigitsReplacedAtWordLevel) {
+  auto words = WordTokens("SELECT 42, 3.14 FROM t");
+  std::vector<std::string> expected = {"select", "<DIGIT>", ",", "<DIGIT>",
+                                       "from",   "t"};
+  EXPECT_EQ(words, expected);
+}
+
+TEST(TokenizerTest, DispatchByGranularity) {
+  EXPECT_EQ(Tokenize("ab", Granularity::kChar).size(), 2u);
+  EXPECT_EQ(Tokenize("ab", Granularity::kWord).size(), 1u);
+}
+
+TEST(TokenizerTest, GarbageTextStillTokenizes) {
+  auto words = WordTokens("this is not sql at all!!!");
+  EXPECT_GT(words.size(), 5u);
+}
+
+}  // namespace
+}  // namespace sqlfacil::sql

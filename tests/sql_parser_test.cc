@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "sqlfacil/sql/parser.h"
+
+namespace sqlfacil::sql {
+namespace {
+
+StatusOr<Statement> P(std::string_view s) { return ParseStatement(s); }
+
+const SelectQuery& Sel(const StatusOr<Statement>& r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->kind, Statement::Kind::kSelect);
+  return *r->select;
+}
+
+TEST(ParserTest, SelectStar) {
+  auto r = P("SELECT * FROM PhotoTag");
+  const auto& q = Sel(r);
+  ASSERT_EQ(q.select_items.size(), 1u);
+  EXPECT_EQ(q.select_items[0].expr->kind, ExprKind::kStar);
+  ASSERT_EQ(q.from.size(), 1u);
+  EXPECT_EQ(q.from[0]->kind, TableRefKind::kBaseTable);
+  EXPECT_EQ(static_cast<BaseTable*>(q.from[0].get())->SimpleName(),
+            "PhotoTag");
+}
+
+TEST(ParserTest, WhereComparison) {
+  auto r = P("SELECT * FROM t WHERE objId = 0x112d075f80360018");
+  const auto& q = Sel(r);
+  ASSERT_NE(q.where, nullptr);
+  ASSERT_EQ(q.where->kind, ExprKind::kBinary);
+  const auto* bin = static_cast<BinaryExpr*>(q.where.get());
+  EXPECT_EQ(bin->op, BinaryOp::kEq);
+  EXPECT_EQ(bin->lhs->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(bin->rhs->kind, ExprKind::kLiteral);
+  const auto* lit = static_cast<LiteralExpr*>(bin->rhs.get());
+  EXPECT_EQ(lit->type, LiteralType::kInt);
+  EXPECT_EQ(lit->int_value, 0x112d075f80360018LL);
+}
+
+TEST(ParserTest, QualifiedColumnsAndAliases) {
+  auto r = P("SELECT p.objid AS id, p.ra r1 FROM PhotoObj AS p");
+  const auto& q = Sel(r);
+  ASSERT_EQ(q.select_items.size(), 2u);
+  EXPECT_EQ(q.select_items[0].alias, "id");
+  EXPECT_EQ(q.select_items[1].alias, "r1");
+  const auto* col = static_cast<ColumnRefExpr*>(q.select_items[0].expr.get());
+  EXPECT_EQ(col->qualifier, "p");
+  EXPECT_EQ(col->column, "objid");
+  EXPECT_EQ(static_cast<BaseTable*>(q.from[0].get())->alias, "p");
+}
+
+TEST(ParserTest, BetweenWithArithmetic) {
+  auto r = P(
+      "SELECT p.objid FROM PhotoObj AS p WHERE type=6 AND "
+      "p.ra BETWEEN (156.519031-0.2) AND (156.519031+0.2) ORDER BY p.objid");
+  const auto& q = Sel(r);
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.order_by.size(), 1u);
+  const auto* conj = static_cast<BinaryExpr*>(q.where.get());
+  EXPECT_EQ(conj->op, BinaryOp::kAnd);
+  EXPECT_EQ(conj->rhs->kind, ExprKind::kBetween);
+}
+
+TEST(ParserTest, ExplicitInnerJoin) {
+  auto r = P(
+      "SELECT s.objid FROM SpecPhoto AS s INNER JOIN PhotoObj AS p "
+      "ON s.objid=p.objid");
+  const auto& q = Sel(r);
+  ASSERT_EQ(q.from.size(), 1u);
+  ASSERT_EQ(q.from[0]->kind, TableRefKind::kJoin);
+  const auto* join = static_cast<JoinRef*>(q.from[0].get());
+  EXPECT_EQ(join->type, JoinType::kInner);
+  ASSERT_NE(join->on, nullptr);
+}
+
+TEST(ParserTest, ImplicitCommaJoin) {
+  auto r = P("SELECT * FROM a, b, c WHERE a.x=b.x AND b.y=c.y");
+  const auto& q = Sel(r);
+  EXPECT_EQ(q.from.size(), 3u);
+}
+
+TEST(ParserTest, LeftOuterJoin) {
+  auto r = P("SELECT * FROM a LEFT OUTER JOIN b ON a.x=b.x");
+  const auto& q = Sel(r);
+  const auto* join = static_cast<JoinRef*>(q.from[0].get());
+  EXPECT_EQ(join->type, JoinType::kLeft);
+}
+
+TEST(ParserTest, SubqueryInWhere) {
+  auto r = P(
+      "SELECT x FROM t WHERE y = (SELECT min(y) FROM t WHERE z > 0)");
+  const auto& q = Sel(r);
+  const auto* bin = static_cast<BinaryExpr*>(q.where.get());
+  EXPECT_EQ(bin->rhs->kind, ExprKind::kSubquery);
+}
+
+TEST(ParserTest, DerivedTable) {
+  auto r = P("SELECT * FROM (SELECT a FROM t) AS sub WHERE a > 1");
+  const auto& q = Sel(r);
+  ASSERT_EQ(q.from[0]->kind, TableRefKind::kDerivedTable);
+  EXPECT_EQ(static_cast<DerivedTable*>(q.from[0].get())->alias, "sub");
+}
+
+TEST(ParserTest, InListAndInSubquery) {
+  auto r1 = P("SELECT * FROM t WHERE x IN (1, 2, 3)");
+  const auto& q1 = Sel(r1);
+  const auto* in1 = static_cast<InExpr*>(q1.where.get());
+  EXPECT_EQ(in1->list.size(), 3u);
+  EXPECT_EQ(in1->subquery, nullptr);
+
+  auto r2 = P("SELECT * FROM t WHERE x NOT IN (SELECT x FROM u)");
+  const auto& q2 = Sel(r2);
+  const auto* in2 = static_cast<InExpr*>(q2.where.get());
+  EXPECT_TRUE(in2->negated);
+  EXPECT_NE(in2->subquery, nullptr);
+}
+
+TEST(ParserTest, GroupByHaving) {
+  auto r = P(
+      "SELECT target, min(queue) AS q FROM Servers GROUP BY target "
+      "HAVING count(*) > 2");
+  const auto& q = Sel(r);
+  EXPECT_EQ(q.group_by.size(), 1u);
+  ASSERT_NE(q.having, nullptr);
+}
+
+TEST(ParserTest, CountStar) {
+  auto r = P("SELECT COUNT(*) FROM Galaxy WHERE r < 22");
+  const auto& q = Sel(r);
+  const auto* call = static_cast<FuncCallExpr*>(q.select_items[0].expr.get());
+  EXPECT_TRUE(call->star_arg);
+  EXPECT_EQ(call->name, "COUNT");
+}
+
+TEST(ParserTest, DottedFunctionName) {
+  auto r = P("SELECT * FROM PhotoObj WHERE flags & dbo.fPhotoFlags('BLENDED') > 0");
+  const auto& q = Sel(r);
+  ASSERT_NE(q.where, nullptr);
+  // Parses as (flags & f(...)) > 0 because & binds tighter than >.
+  const auto* cmp = static_cast<BinaryExpr*>(q.where.get());
+  EXPECT_EQ(cmp->op, BinaryOp::kGt);
+  const auto* band = static_cast<BinaryExpr*>(cmp->lhs.get());
+  EXPECT_EQ(band->op, BinaryOp::kBitAnd);
+  EXPECT_EQ(band->rhs->kind, ExprKind::kFuncCall);
+  EXPECT_EQ(static_cast<FuncCallExpr*>(band->rhs.get())->name,
+            "dbo.fPhotoFlags");
+}
+
+TEST(ParserTest, TopAndDistinct) {
+  auto r = P("SELECT TOP 10 DISTINCT ra FROM PhotoObj");
+  const auto& q = Sel(r);
+  EXPECT_EQ(q.top_n.value_or(0), 10);
+  // DISTINCT after TOP is tolerated as part of the select list context.
+  auto r2 = P("SELECT DISTINCT target FROM Servers");
+  EXPECT_TRUE(Sel(r2).distinct);
+}
+
+TEST(ParserTest, SelectInto) {
+  auto r = P("SELECT a, b INTO mydb.results FROM t");
+  const auto& q = Sel(r);
+  EXPECT_EQ(q.into_table, "mydb.results");
+}
+
+TEST(ParserTest, MultiPartTableName) {
+  auto r = P("SELECT q.name FROM SDSSSQL010.MYDB_670681563.test.QSOQuery1_DR5 AS q");
+  const auto& q = Sel(r);
+  const auto* base = static_cast<BaseTable*>(q.from[0].get());
+  EXPECT_EQ(base->name_parts.size(), 4u);
+  EXPECT_EQ(base->SimpleName(), "QSOQuery1_DR5");
+  EXPECT_EQ(base->alias, "q");
+}
+
+TEST(ParserTest, CastExpression) {
+  auto r = P("SELECT cast(j.estimate AS varchar) AS queue FROM Jobs j");
+  const auto& q = Sel(r);
+  ASSERT_EQ(q.select_items[0].expr->kind, ExprKind::kCast);
+  EXPECT_EQ(static_cast<CastExpr*>(q.select_items[0].expr.get())->type_name,
+            "varchar");
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto r = P(
+      "SELECT CASE WHEN r < 20 THEN 'bright' ELSE 'faint' END FROM PhotoObj");
+  const auto& q = Sel(r);
+  ASSERT_EQ(q.select_items[0].expr->kind, ExprKind::kCase);
+}
+
+TEST(ParserTest, LikePredicate) {
+  auto r = P("SELECT * FROM Jobs j WHERE j.outputtype LIKE '%QUERY%'");
+  const auto& q = Sel(r);
+  const auto* bin = static_cast<BinaryExpr*>(q.where.get());
+  EXPECT_EQ(bin->op, BinaryOp::kLike);
+}
+
+TEST(ParserTest, IsNullAndIsNotNull) {
+  auto r = P("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL");
+  const auto& q = Sel(r);
+  const auto* conj = static_cast<BinaryExpr*>(q.where.get());
+  const auto* left = static_cast<IsNullExpr*>(conj->lhs.get());
+  const auto* right = static_cast<IsNullExpr*>(conj->rhs.get());
+  EXPECT_FALSE(left->negated);
+  EXPECT_TRUE(right->negated);
+}
+
+TEST(ParserTest, UnionAll) {
+  auto r = P("SELECT a FROM t UNION ALL SELECT a FROM u");
+  const auto& q = Sel(r);
+  EXPECT_EQ(q.set_ops.size(), 1u);
+}
+
+TEST(ParserTest, DeeplyNestedQ2FromPaper) {
+  // Figure 16 (Q2): nestedness level 3.
+  auto r = P(
+      "SELECT j.target, cast(j.estimate AS varchar) AS queue "
+      "FROM Jobs j, Users u, Status s, "
+      "(SELECT DISTINCT target, queue FROM Servers s1 "
+      " WHERE s1.name NOT IN "
+      "  (SELECT name FROM Servers s, "
+      "    (SELECT target, min(queue) AS queue FROM Servers GROUP BY target) AS a "
+      "   WHERE a.target = s.target)) b "
+      "WHERE j.outputtype LIKE '%QUERY%' AND j.userid = u.userid");
+  const auto& q = Sel(r);
+  EXPECT_EQ(q.from.size(), 4u);
+}
+
+TEST(ParserTest, OtherStatementKinds) {
+  for (const char* text :
+       {"EXECUTE sp_help", "exec sp_help", "CREATE TABLE t (x int)",
+        "DROP TABLE t", "UPDATE t SET x=1", "INSERT INTO t VALUES (1)",
+        "DELETE FROM t", "ALTER TABLE t ADD y int"}) {
+    auto r = P(text);
+    ASSERT_TRUE(r.ok()) << text;
+    EXPECT_EQ(r->kind, Statement::Kind::kOther) << text;
+  }
+  auto r = P("EXEC sp_help");
+  EXPECT_EQ(r->other_type, "EXECUTE");
+}
+
+TEST(ParserTest, GarbageTextIsParseError) {
+  auto r = P("how do I find galaxies near me?");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, TruncatedSelectIsParseError) {
+  EXPECT_FALSE(P("SELECT").ok());
+  EXPECT_FALSE(P("SELECT * FROM").ok());
+  EXPECT_FALSE(P("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(P("SELECT a FROM t GROUP").ok());
+}
+
+TEST(ParserTest, UnbalancedParensIsParseError) {
+  EXPECT_FALSE(P("SELECT (a FROM t").ok());
+  EXPECT_FALSE(P("SELECT a FROM t WHERE (x = 1").ok());
+}
+
+TEST(ParserTest, TrailingGarbageIsParseError) {
+  EXPECT_FALSE(P("SELECT a FROM t banana banana banana").ok());
+}
+
+TEST(ParserTest, SemicolonTolerated) {
+  EXPECT_TRUE(P("SELECT a FROM t;").ok());
+}
+
+TEST(ParserTest, OrderByDesc) {
+  auto r = P("SELECT a FROM t ORDER BY a DESC, b ASC, c");
+  const auto& q = Sel(r);
+  ASSERT_EQ(q.order_by.size(), 3u);
+  EXPECT_FALSE(q.order_by[0].ascending);
+  EXPECT_TRUE(q.order_by[1].ascending);
+  EXPECT_TRUE(q.order_by[2].ascending);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto r = P("SELECT 1 + 2 * 3 FROM t");
+  const auto& q = Sel(r);
+  const auto* add = static_cast<BinaryExpr*>(q.select_items[0].expr.get());
+  EXPECT_EQ(add->op, BinaryOp::kAdd);
+  const auto* mul = static_cast<BinaryExpr*>(add->rhs.get());
+  EXPECT_EQ(mul->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, NotPredicate) {
+  auto r = P("SELECT * FROM t WHERE NOT x = 1");
+  const auto& q = Sel(r);
+  ASSERT_EQ(q.where->kind, ExprKind::kUnary);
+  EXPECT_EQ(static_cast<UnaryExpr*>(q.where.get())->op, UnaryOp::kNot);
+}
+
+TEST(ParserTest, ExistsSubquery) {
+  auto r = P("SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u)");
+  const auto& q = Sel(r);
+  ASSERT_EQ(q.where->kind, ExprKind::kFuncCall);
+  EXPECT_EQ(static_cast<FuncCallExpr*>(q.where.get())->name, "exists");
+}
+
+TEST(ParserTest, LimitClause) {
+  auto r = P("SELECT a FROM t LIMIT 5");
+  EXPECT_EQ(Sel(r).top_n.value_or(0), 5);
+}
+
+}  // namespace
+}  // namespace sqlfacil::sql

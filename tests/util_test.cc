@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sqlfacil/util/env.h"
+#include "sqlfacil/util/random.h"
+#include "sqlfacil/util/stats.h"
+#include "sqlfacil/util/status.h"
+#include "sqlfacil/util/string_util.h"
+#include "sqlfacil/util/table_printer.h"
+
+namespace sqlfacil {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "PARSE_ERROR: bad token");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> r(Status::NotFound("no such table"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextUint64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextUint64(17), 17u);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0.0, ss = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(13);
+  int rank0 = 0, rank_high = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t r = rng.Zipf(1000, 1.1);
+    EXPECT_LT(r, 1000u);
+    if (r == 0) ++rank0;
+    if (r >= 500) ++rank_high;
+  }
+  EXPECT_GT(rank0, rank_high);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish) {
+  Rng rng(13);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) low += (rng.Zipf(10, 0.0) < 5);
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.5, 0.05);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(19);
+  auto perm = rng.Permutation(100);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, SummarizeBasics) {
+  Summary s = Summarize({1, 2, 2, 3, 10});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.6);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mode, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+}
+
+TEST(StatsTest, BoxStatsQuartiles) {
+  BoxStats b = ComputeBoxStats({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.mean, 3.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> ny = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, ny), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantInputIsZero) {
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {2, 4, 6};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(StatsTest, LogHistogramCountsAllValues) {
+  std::vector<double> v = {0, 1, 5, 10, 100, 1000, 10000};
+  auto buckets = LogHistogram(v, 8);
+  size_t total = 0;
+  for (const auto& b : buckets) total += b.count;
+  EXPECT_EQ(total, v.size());
+  EXPECT_FALSE(RenderHistogram(buckets).empty());
+}
+
+// ---------------------------------------------------------------------------
+// String utilities
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, CaseConversions) {
+  EXPECT_EQ(ToLowerAscii("SeLeCt"), "select");
+  EXPECT_EQ(ToUpperAscii("select"), "SELECT");
+  EXPECT_TRUE(EqualsIgnoreCase("FROM", "from"));
+  EXPECT_FALSE(EqualsIgnoreCase("FROM", "form"));
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  auto pieces = SplitAndTrim("a, b , ,c", ",");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+  EXPECT_EQ(Join(pieces, "-"), "a-b-c");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, Formatting) {
+  EXPECT_EQ(Fmt4(0.12345), "0.1235");  // printf rounds half up
+  EXPECT_EQ(FmtN(1.5, 1), "1.5");
+  EXPECT_EQ(FmtCount(618053), "618,053");
+  EXPECT_EQ(FmtCount(42), "42");
+  EXPECT_EQ(FmtCount(1000), "1,000");
+}
+
+// ---------------------------------------------------------------------------
+// TablePrinter
+// ---------------------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Model", "Loss"});
+  t.AddRow({"ccnn", "0.1106"});
+  t.AddRow({"baseline", "0.5951"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| Model "), std::string::npos);
+  EXPECT_NE(s.find("| ccnn "), std::string::npos);
+  EXPECT_NE(s.find("0.5951"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_FALSE(t.ToString().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Env knobs
+// ---------------------------------------------------------------------------
+
+TEST(EnvTest, DefaultsWhenUnset) {
+  unsetenv("SQLFACIL_SCALE");
+  unsetenv("SQLFACIL_EPOCHS");
+  unsetenv("SQLFACIL_SEED");
+  EXPECT_DOUBLE_EQ(GetScaleFromEnv(), 1.0);
+  EXPECT_EQ(GetEpochsFromEnv(3), 3);
+  EXPECT_EQ(GetSeedFromEnv(77), 77u);
+}
+
+TEST(EnvTest, ReadsValues) {
+  setenv("SQLFACIL_SCALE", "2.5", 1);
+  setenv("SQLFACIL_EPOCHS", "9", 1);
+  setenv("SQLFACIL_SEED", "1234", 1);
+  EXPECT_DOUBLE_EQ(GetScaleFromEnv(), 2.5);
+  EXPECT_EQ(GetEpochsFromEnv(3), 9);
+  EXPECT_EQ(GetSeedFromEnv(77), 1234u);
+  unsetenv("SQLFACIL_SCALE");
+  unsetenv("SQLFACIL_EPOCHS");
+  unsetenv("SQLFACIL_SEED");
+}
+
+}  // namespace
+}  // namespace sqlfacil

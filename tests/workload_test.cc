@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "sqlfacil/sql/parser.h"
+#include "sqlfacil/workload/analysis.h"
+#include "sqlfacil/workload/io.h"
+#include "sqlfacil/workload/querygen.h"
+#include "sqlfacil/workload/sdss.h"
+#include "sqlfacil/workload/split.h"
+#include "sqlfacil/workload/sqlshare.h"
+
+namespace sqlfacil::workload {
+namespace {
+
+// Small configs keep the test fast; distribution checks use loose bounds.
+SdssWorkloadConfig SmallSdssConfig() {
+  SdssWorkloadConfig config;
+  config.num_sessions = 1200;
+  config.catalog.photoobj_rows = 4000;
+  config.catalog.phototag_rows = 4000;
+  config.catalog.specobj_rows = 600;
+  config.catalog.specphoto_rows = 600;
+  config.catalog.galaxy_rows = 2500;
+  config.catalog.star_rows = 2000;
+  return config;
+}
+
+SqlShareWorkloadConfig SmallSqlShareConfig() {
+  SqlShareWorkloadConfig config;
+  config.num_users = 12;
+  config.mean_queries_per_user = 30;
+  return config;
+}
+
+// Shared fixtures built once (workload generation executes every query).
+const SdssBuildResult& SdssFixture() {
+  static const SdssBuildResult* result =
+      new SdssBuildResult(BuildSdssWorkload(SmallSdssConfig()));
+  return *result;
+}
+
+const SqlShareBuildResult& SqlShareFixture() {
+  static const SqlShareBuildResult* result =
+      new SqlShareBuildResult(BuildSqlShareWorkload(SmallSqlShareConfig()));
+  return *result;
+}
+
+// ---------------------------------------------------------------------------
+// QueryGenerator
+// ---------------------------------------------------------------------------
+
+TEST(QueryGeneratorTest, BotTemplatesParseAndRepeat) {
+  Rng rng(1);
+  QueryGenerator gen(&rng);
+  std::unordered_set<std::string> unique;
+  for (int i = 0; i < 300; ++i) {
+    std::string q = gen.GenerateBotWithTemplate(0);
+    auto parsed = sql::ParseStatement(q);
+    ASSERT_TRUE(parsed.ok()) << q;
+    unique.insert(std::move(q));
+  }
+  // The zipf constant pool forces collisions.
+  EXPECT_LT(unique.size(), 290u);
+}
+
+TEST(QueryGeneratorTest, MostBrowserQueriesParse) {
+  Rng rng(2);
+  QueryGenerator gen(&rng);
+  int ok = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (sql::ParseStatement(gen.Generate(SessionClass::kBrowser)).ok()) ++ok;
+  }
+  EXPECT_GT(ok, 360);  // a few percent garbage/typos expected
+  EXPECT_LT(ok, 400);  // but some must fail
+}
+
+TEST(QueryGeneratorTest, NoWebHitQueriesAreComplex) {
+  // About half of CasJobs traffic is complex (joins/nesting/functions);
+  // the rest is batched scans plus cross-class style overlap.
+  Rng rng(3);
+  QueryGenerator gen(&rng);
+  int with_structure = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto f = sql::ExtractFeatures(gen.Generate(SessionClass::kNoWebHit));
+    if (f.num_joins > 0 || f.nestedness_level > 0 || f.num_functions > 0) {
+      ++with_structure;
+    }
+  }
+  EXPECT_GT(with_structure, 70);   // > 35%
+  EXPECT_LT(with_structure, 180);  // < 90%: the simple share exists
+}
+
+TEST(QueryGeneratorTest, AllClassesProduceText) {
+  Rng rng(4);
+  QueryGenerator gen(&rng);
+  for (int c = 0; c < kNumSessionClasses; ++c) {
+    EXPECT_FALSE(gen.Generate(static_cast<SessionClass>(c)).empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SDSS pipeline
+// ---------------------------------------------------------------------------
+
+TEST(SdssWorkloadTest, ProducesDedupedWorkload) {
+  const auto& r = SdssFixture();
+  EXPECT_GT(r.workload.queries.size(), 500u);
+  EXPECT_LE(r.workload.queries.size(), r.num_session_samples);
+  // Statements are unique after grouping.
+  std::unordered_set<std::string> seen;
+  for (const auto& q : r.workload.queries) {
+    EXPECT_TRUE(seen.insert(q.statement).second) << q.statement;
+  }
+}
+
+TEST(SdssWorkloadTest, SomeStatementsRepeat) {
+  const auto& r = SdssFixture();
+  EXPECT_GT(r.repeated_fraction, 0.02);
+  EXPECT_LT(r.repeated_fraction, 0.6);
+  size_t total = 0;
+  for (size_t c : r.statement_repetitions) total += c;
+  EXPECT_EQ(total, r.num_session_samples);
+}
+
+TEST(SdssWorkloadTest, ErrorClassesImbalancedLikePaper) {
+  const auto& r = SdssFixture();
+  WorkloadAnalyzer analyzer(r.workload);
+  auto counts = analyzer.ErrorClassCounts();
+  const double n = static_cast<double>(r.workload.queries.size());
+  const double success = counts[static_cast<int>(ErrorClass::kSuccess)] / n;
+  const double severe = counts[static_cast<int>(ErrorClass::kSevere)] / n;
+  const double non_severe =
+      counts[static_cast<int>(ErrorClass::kNonSevere)] / n;
+  // Paper: 97.2% / 0.85% / 1.93%. Loose bands.
+  EXPECT_GT(success, 0.90);
+  EXPECT_GT(severe, 0.001);
+  EXPECT_LT(severe, 0.08);
+  EXPECT_GT(non_severe, 0.001);
+  EXPECT_LT(non_severe, 0.10);
+}
+
+TEST(SdssWorkloadTest, AllSevenSessionClassesHaveDistinctStyles) {
+  const auto& r = SdssFixture();
+  WorkloadAnalyzer analyzer(r.workload);
+  auto counts = analyzer.SessionClassCounts();
+  // The four major classes must be populated.
+  EXPECT_GT(counts[static_cast<int>(SessionClass::kNoWebHit)], 100u);
+  EXPECT_GT(counts[static_cast<int>(SessionClass::kBot)], 20u);
+  EXPECT_GT(counts[static_cast<int>(SessionClass::kBrowser)], 100u);
+  EXPECT_GT(counts[static_cast<int>(SessionClass::kProgram)], 20u);
+}
+
+TEST(SdssWorkloadTest, RegressionLabelsSkewedWithHeavyTail) {
+  const auto& r = SdssFixture();
+  WorkloadAnalyzer analyzer(r.workload);
+  auto sizes = analyzer.AnswerSizes();
+  Summary s = Summarize(sizes);
+  EXPECT_GT(s.max, 100.0);      // some large answers
+  EXPECT_LT(s.median, s.mean);  // right-skewed (paper: median 1)
+  auto cpu = Summarize(analyzer.CpuTimes());
+  EXPECT_LT(cpu.median, cpu.mean);
+}
+
+TEST(SdssWorkloadTest, ErroredQueriesHaveAnswerSizeMinusOne) {
+  const auto& r = SdssFixture();
+  for (const auto& q : r.workload.queries) {
+    if (q.error_class != ErrorClass::kSuccess) {
+      EXPECT_DOUBLE_EQ(q.answer_size, -1.0);
+    } else {
+      EXPECT_GE(q.answer_size, 0.0);
+    }
+  }
+}
+
+TEST(SdssWorkloadTest, DeterministicForSameSeed) {
+  SdssWorkloadConfig config = SmallSdssConfig();
+  config.num_sessions = 60;
+  auto a = BuildSdssWorkload(config);
+  auto b = BuildSdssWorkload(config);
+  ASSERT_EQ(a.workload.queries.size(), b.workload.queries.size());
+  for (size_t i = 0; i < a.workload.queries.size(); ++i) {
+    EXPECT_EQ(a.workload.queries[i].statement, b.workload.queries[i].statement);
+    EXPECT_DOUBLE_EQ(a.workload.queries[i].cpu_time,
+                     b.workload.queries[i].cpu_time);
+  }
+}
+
+TEST(SdssWorkloadTest, BotQueriesCheaperThanNoWebHit) {
+  const auto& r = SdssFixture();
+  double bot_sum = 0.0, nwh_sum = 0.0;
+  size_t bot_n = 0, nwh_n = 0;
+  for (const auto& q : r.workload.queries) {
+    if (q.error_class != ErrorClass::kSuccess) continue;
+    if (q.session_class == SessionClass::kBot) {
+      bot_sum += q.cpu_time;
+      ++bot_n;
+    } else if (q.session_class == SessionClass::kNoWebHit) {
+      nwh_sum += q.cpu_time;
+      ++nwh_n;
+    }
+  }
+  ASSERT_GT(bot_n, 0u);
+  ASSERT_GT(nwh_n, 0u);
+  EXPECT_LT(bot_sum / bot_n, nwh_sum / nwh_n);  // Figure 8b shape
+}
+
+// ---------------------------------------------------------------------------
+// SQLShare pipeline
+// ---------------------------------------------------------------------------
+
+TEST(SqlShareWorkloadTest, OnlyCpuLabelsPopulated) {
+  const auto& r = SqlShareFixture();
+  EXPECT_GT(r.workload.queries.size(), 100u);
+  for (const auto& q : r.workload.queries) {
+    EXPECT_TRUE(q.has_cpu_time);
+    EXPECT_FALSE(q.has_error_class);
+    EXPECT_FALSE(q.has_session_class);
+    EXPECT_FALSE(q.has_answer_size);
+    EXPECT_GE(q.user_id, 0);
+  }
+}
+
+TEST(SqlShareWorkloadTest, UsersHaveDisjointTables) {
+  const auto& r = SqlShareFixture();
+  // Table names embed the user id, so two different users never share a
+  // table name in their statements.
+  for (const auto& q : r.workload.queries) {
+    const std::string marker = "_u" + std::to_string(q.user_id) + "_";
+    if (sql::ParseStatement(q.statement).ok()) {
+      EXPECT_NE(q.statement.find(marker), std::string::npos) << q.statement;
+    }
+  }
+}
+
+TEST(SqlShareWorkloadTest, NestedShareHigherThanSdss) {
+  WorkloadAnalyzer share_analyzer(SqlShareFixture().workload);
+  WorkloadAnalyzer sdss_analyzer(SdssFixture().workload);
+  const auto share = share_analyzer.ComputeStructureShares();
+  const auto sdss = sdss_analyzer.ComputeStructureShares();
+  EXPECT_GT(share.nested, sdss.nested);  // 7.88% vs 0.34% in the paper
+}
+
+// ---------------------------------------------------------------------------
+// Splits
+// ---------------------------------------------------------------------------
+
+TEST(SplitTest, RandomSplitCoversAllIndicesOnce) {
+  const auto& workload = SdssFixture().workload;
+  Rng rng(5);
+  auto split = RandomSplit(workload, &rng);
+  EXPECT_EQ(split.train.size() + split.valid.size() + split.test.size(),
+            workload.queries.size());
+  std::unordered_set<size_t> seen;
+  for (auto* part : {&split.train, &split.valid, &split.test}) {
+    for (size_t i : *part) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_NEAR(static_cast<double>(split.train.size()) /
+                  workload.queries.size(),
+              0.8, 0.01);
+}
+
+TEST(SplitTest, UserSplitKeepsUsersTogether) {
+  const auto& workload = SqlShareFixture().workload;
+  Rng rng(6);
+  auto split = SplitByUser(workload, &rng);
+  std::unordered_set<int> train_users, test_users;
+  for (size_t i : split.train) train_users.insert(workload.queries[i].user_id);
+  for (size_t i : split.test) test_users.insert(workload.queries[i].user_id);
+  for (int u : test_users) {
+    EXPECT_EQ(train_users.count(u), 0u) << "user " << u << " leaked";
+  }
+  EXPECT_EQ(split.train.size() + split.valid.size() + split.test.size(),
+            workload.queries.size());
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzerTest, MostStatementsAreSelect) {
+  WorkloadAnalyzer analyzer(SdssFixture().workload);
+  EXPECT_GT(analyzer.SelectFraction(), 0.9);  // paper: 96.5%
+}
+
+TEST(AnalyzerTest, CorrelationMatrixSymmetricWithUnitDiagonal) {
+  WorkloadAnalyzer analyzer(SdssFixture().workload);
+  auto m = analyzer.CorrelationMatrix();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i], 1.0);
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_NEAR(m[i][j], m[j][i], 1e-12);
+      EXPECT_GE(m[i][j], -1.0 - 1e-9);
+      EXPECT_LE(m[i][j], 1.0 + 1e-9);
+    }
+  }
+  // Characters and words are strongly correlated (Section 4.4.2).
+  EXPECT_GT(m[0][1], 0.5);
+}
+
+TEST(AnalyzerTest, BoxStatsBySessionClass) {
+  WorkloadAnalyzer analyzer(SdssFixture().workload);
+  auto stats = analyzer.BoxStatsBySessionClass(
+      [](const LabeledQuery&, const sql::SyntacticFeatures& f) {
+        return static_cast<double>(f.num_characters);
+      });
+  // no_web_hit queries are longer than bot queries (Figure 8c shape).
+  EXPECT_GT(stats[static_cast<int>(SessionClass::kNoWebHit)].median,
+            stats[static_cast<int>(SessionClass::kBot)].median);
+}
+
+// ---------------------------------------------------------------------------
+// IO round trip
+// ---------------------------------------------------------------------------
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  const auto& workload = SdssFixture().workload;
+  const std::string path = testing::TempDir() + "/wl_roundtrip.tsv";
+  ASSERT_TRUE(SaveWorkload(workload, path).ok());
+  auto loaded = LoadWorkload(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->queries.size(), workload.queries.size());
+  EXPECT_EQ(loaded->name, workload.name);
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    const auto& a = workload.queries[i];
+    const auto& b = loaded->queries[i];
+    ASSERT_EQ(a.statement, b.statement);
+    EXPECT_EQ(a.error_class, b.error_class);
+    EXPECT_EQ(a.session_class, b.session_class);
+    EXPECT_NEAR(a.answer_size, b.answer_size, 1e-6 + 1e-7 * std::abs(a.answer_size));
+    EXPECT_NEAR(a.cpu_time, b.cpu_time, 1e-6 + 1e-7 * std::abs(a.cpu_time));
+    EXPECT_EQ(a.user_id, b.user_id);
+    EXPECT_EQ(a.has_session_class, b.has_session_class);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadRejectsGarbageFile) {
+  const std::string path = testing::TempDir() + "/not_a_workload.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("hello\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadWorkload(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileIsNotFound) {
+  auto r = LoadWorkload("/nonexistent/path/w.tsv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sqlfacil::workload
