@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lstm_depth.dir/ablation_lstm_depth.cc.o"
+  "CMakeFiles/ablation_lstm_depth.dir/ablation_lstm_depth.cc.o.d"
+  "ablation_lstm_depth"
+  "ablation_lstm_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lstm_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

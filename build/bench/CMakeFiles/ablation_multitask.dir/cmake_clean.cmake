@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multitask.dir/ablation_multitask.cc.o"
+  "CMakeFiles/ablation_multitask.dir/ablation_multitask.cc.o.d"
+  "ablation_multitask"
+  "ablation_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ngrams.dir/ablation_ngrams.cc.o"
+  "CMakeFiles/ablation_ngrams.dir/ablation_ngrams.cc.o.d"
+  "ablation_ngrams"
+  "ablation_ngrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ngrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

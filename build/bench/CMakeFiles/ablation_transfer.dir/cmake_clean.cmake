@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transfer.dir/ablation_transfer.cc.o"
+  "CMakeFiles/ablation_transfer.dir/ablation_transfer.cc.o.d"
+  "ablation_transfer"
+  "ablation_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

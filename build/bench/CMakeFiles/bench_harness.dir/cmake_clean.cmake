@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_harness.dir/harness/harness.cc.o"
+  "CMakeFiles/bench_harness.dir/harness/harness.cc.o.d"
+  "libbench_harness.a"
+  "libbench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mse_by_session.dir/fig12_mse_by_session.cc.o"
+  "CMakeFiles/fig12_mse_by_session.dir/fig12_mse_by_session.cc.o.d"
+  "fig12_mse_by_session"
+  "fig12_mse_by_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mse_by_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_answer_size_by_structure.dir/fig13_answer_size_by_structure.cc.o"
+  "CMakeFiles/fig13_answer_size_by_structure.dir/fig13_answer_size_by_structure.cc.o.d"
+  "fig13_answer_size_by_structure"
+  "fig13_answer_size_by_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_answer_size_by_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

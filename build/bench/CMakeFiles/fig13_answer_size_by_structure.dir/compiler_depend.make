@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_answer_size_by_structure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_answer_size_by_structure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cpu_by_structure.dir/fig14_cpu_by_structure.cc.o"
+  "CMakeFiles/fig14_cpu_by_structure.dir/fig14_cpu_by_structure.cc.o.d"
+  "fig14_cpu_by_structure"
+  "fig14_cpu_by_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cpu_by_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_repetition.dir/fig20_repetition.cc.o"
+  "CMakeFiles/fig20_repetition.dir/fig20_repetition.cc.o.d"
+  "fig20_repetition"
+  "fig20_repetition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_repetition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

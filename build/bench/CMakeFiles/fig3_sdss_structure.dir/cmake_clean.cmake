@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_sdss_structure.dir/fig3_sdss_structure.cc.o"
+  "CMakeFiles/fig3_sdss_structure.dir/fig3_sdss_structure.cc.o.d"
+  "fig3_sdss_structure"
+  "fig3_sdss_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sdss_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_sdss_structure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sqlshare_structure.dir/fig4_sqlshare_structure.cc.o"
+  "CMakeFiles/fig4_sqlshare_structure.dir/fig4_sqlshare_structure.cc.o.d"
+  "fig4_sqlshare_structure"
+  "fig4_sqlshare_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sqlshare_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_label_distributions.dir/fig6_label_distributions.cc.o"
+  "CMakeFiles/fig6_label_distributions.dir/fig6_label_distributions.cc.o.d"
+  "fig6_label_distributions"
+  "fig6_label_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_label_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

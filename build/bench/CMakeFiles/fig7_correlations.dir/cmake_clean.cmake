@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_correlations.dir/fig7_correlations.cc.o"
+  "CMakeFiles/fig7_correlations.dir/fig7_correlations.cc.o.d"
+  "fig7_correlations"
+  "fig7_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

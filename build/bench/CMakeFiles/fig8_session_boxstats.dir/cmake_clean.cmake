@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_session_boxstats.dir/fig8_session_boxstats.cc.o"
+  "CMakeFiles/fig8_session_boxstats.dir/fig8_session_boxstats.cc.o.d"
+  "fig8_session_boxstats"
+  "fig8_session_boxstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_session_boxstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_engine.dir/micro_engine.cc.o"
+  "CMakeFiles/micro_engine.dir/micro_engine.cc.o.d"
+  "micro_engine"
+  "micro_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

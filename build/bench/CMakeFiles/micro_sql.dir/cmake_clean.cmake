@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sql.dir/micro_sql.cc.o"
+  "CMakeFiles/micro_sql.dir/micro_sql.cc.o.d"
+  "micro_sql"
+  "micro_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_homogeneous_instance.dir/table2_homogeneous_instance.cc.o"
+  "CMakeFiles/table2_homogeneous_instance.dir/table2_homogeneous_instance.cc.o.d"
+  "table2_homogeneous_instance"
+  "table2_homogeneous_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_homogeneous_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

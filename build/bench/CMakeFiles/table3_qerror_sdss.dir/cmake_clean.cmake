@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_qerror_sdss.dir/table3_qerror_sdss.cc.o"
+  "CMakeFiles/table3_qerror_sdss.dir/table3_qerror_sdss.cc.o.d"
+  "table3_qerror_sdss"
+  "table3_qerror_sdss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_qerror_sdss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_session_classification.dir/table4_session_classification.cc.o"
+  "CMakeFiles/table4_session_classification.dir/table4_session_classification.cc.o.d"
+  "table4_session_classification"
+  "table4_session_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_session_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cpu_sqlshare.dir/table5_cpu_sqlshare.cc.o"
+  "CMakeFiles/table5_cpu_sqlshare.dir/table5_cpu_sqlshare.cc.o.d"
+  "table5_cpu_sqlshare"
+  "table5_cpu_sqlshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cpu_sqlshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_qerror_sqlshare_homog.dir/table6_qerror_sqlshare_homog.cc.o"
+  "CMakeFiles/table6_qerror_sqlshare_homog.dir/table6_qerror_sqlshare_homog.cc.o.d"
+  "table6_qerror_sqlshare_homog"
+  "table6_qerror_sqlshare_homog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_qerror_sqlshare_homog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_qerror_sqlshare_homog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_qerror_sqlshare_heterog.dir/table7_qerror_sqlshare_heterog.cc.o"
+  "CMakeFiles/table7_qerror_sqlshare_heterog.dir/table7_qerror_sqlshare_heterog.cc.o.d"
+  "table7_qerror_sqlshare_heterog"
+  "table7_qerror_sqlshare_heterog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_qerror_sqlshare_heterog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

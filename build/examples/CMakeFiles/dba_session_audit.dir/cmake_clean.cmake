@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_session_audit.dir/dba_session_audit.cpp.o"
+  "CMakeFiles/dba_session_audit.dir/dba_session_audit.cpp.o.d"
+  "dba_session_audit"
+  "dba_session_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_session_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

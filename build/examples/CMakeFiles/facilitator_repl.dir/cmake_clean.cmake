@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facilitator_repl.dir/facilitator_repl.cpp.o"
+  "CMakeFiles/facilitator_repl.dir/facilitator_repl.cpp.o.d"
+  "facilitator_repl"
+  "facilitator_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facilitator_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

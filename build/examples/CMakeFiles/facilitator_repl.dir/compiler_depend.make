@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for facilitator_repl.
+# This may be replaced when dependencies are built.

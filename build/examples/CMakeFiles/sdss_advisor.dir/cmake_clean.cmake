@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdss_advisor.dir/sdss_advisor.cpp.o"
+  "CMakeFiles/sdss_advisor.dir/sdss_advisor.cpp.o.d"
+  "sdss_advisor"
+  "sdss_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdss_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

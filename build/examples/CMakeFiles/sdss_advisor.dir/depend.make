@@ -1,0 +1,2 @@
+# Empty dependencies file for sdss_advisor.
+# This may be replaced when dependencies are built.

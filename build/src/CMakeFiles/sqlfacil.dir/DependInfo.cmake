@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlfacil/core/evaluator.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/core/evaluator.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/core/evaluator.cc.o.d"
+  "/root/repo/src/sqlfacil/core/facilitator.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/core/facilitator.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/core/facilitator.cc.o.d"
+  "/root/repo/src/sqlfacil/core/labels.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/core/labels.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/core/labels.cc.o.d"
+  "/root/repo/src/sqlfacil/core/model_zoo.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/core/model_zoo.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/core/model_zoo.cc.o.d"
+  "/root/repo/src/sqlfacil/core/tasks.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/core/tasks.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/core/tasks.cc.o.d"
+  "/root/repo/src/sqlfacil/engine/catalog.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/catalog.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/catalog.cc.o.d"
+  "/root/repo/src/sqlfacil/engine/cost_model.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/cost_model.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/cost_model.cc.o.d"
+  "/root/repo/src/sqlfacil/engine/datagen.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/datagen.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/datagen.cc.o.d"
+  "/root/repo/src/sqlfacil/engine/executor.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/executor.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/executor.cc.o.d"
+  "/root/repo/src/sqlfacil/engine/table.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/table.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/table.cc.o.d"
+  "/root/repo/src/sqlfacil/engine/value.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/value.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/engine/value.cc.o.d"
+  "/root/repo/src/sqlfacil/models/baselines.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/baselines.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/baselines.cc.o.d"
+  "/root/repo/src/sqlfacil/models/cnn_model.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/cnn_model.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/cnn_model.cc.o.d"
+  "/root/repo/src/sqlfacil/models/lstm_model.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/lstm_model.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/lstm_model.cc.o.d"
+  "/root/repo/src/sqlfacil/models/model.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/model.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/model.cc.o.d"
+  "/root/repo/src/sqlfacil/models/multitask_model.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/multitask_model.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/multitask_model.cc.o.d"
+  "/root/repo/src/sqlfacil/models/serialize_util.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/serialize_util.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/serialize_util.cc.o.d"
+  "/root/repo/src/sqlfacil/models/tfidf_model.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/tfidf_model.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/tfidf_model.cc.o.d"
+  "/root/repo/src/sqlfacil/models/vocab.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/vocab.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/models/vocab.cc.o.d"
+  "/root/repo/src/sqlfacil/nn/autograd.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/nn/autograd.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/nn/autograd.cc.o.d"
+  "/root/repo/src/sqlfacil/nn/layers.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/nn/layers.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/nn/layers.cc.o.d"
+  "/root/repo/src/sqlfacil/nn/optim.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/nn/optim.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/nn/optim.cc.o.d"
+  "/root/repo/src/sqlfacil/nn/tensor.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/nn/tensor.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/nn/tensor.cc.o.d"
+  "/root/repo/src/sqlfacil/sql/features.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/sql/features.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/sql/features.cc.o.d"
+  "/root/repo/src/sqlfacil/sql/lexer.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/sql/lexer.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/sql/lexer.cc.o.d"
+  "/root/repo/src/sqlfacil/sql/parser.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/sql/parser.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/sql/parser.cc.o.d"
+  "/root/repo/src/sqlfacil/sql/tokenizer.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/sql/tokenizer.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/sql/tokenizer.cc.o.d"
+  "/root/repo/src/sqlfacil/util/env.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/env.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/env.cc.o.d"
+  "/root/repo/src/sqlfacil/util/random.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/random.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/random.cc.o.d"
+  "/root/repo/src/sqlfacil/util/stats.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/stats.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/stats.cc.o.d"
+  "/root/repo/src/sqlfacil/util/status.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/status.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/status.cc.o.d"
+  "/root/repo/src/sqlfacil/util/string_util.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/string_util.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/string_util.cc.o.d"
+  "/root/repo/src/sqlfacil/util/table_printer.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/table_printer.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/util/table_printer.cc.o.d"
+  "/root/repo/src/sqlfacil/workload/analysis.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/analysis.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/analysis.cc.o.d"
+  "/root/repo/src/sqlfacil/workload/io.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/io.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/io.cc.o.d"
+  "/root/repo/src/sqlfacil/workload/labeler.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/labeler.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/labeler.cc.o.d"
+  "/root/repo/src/sqlfacil/workload/querygen.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/querygen.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/querygen.cc.o.d"
+  "/root/repo/src/sqlfacil/workload/sdss.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/sdss.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/sdss.cc.o.d"
+  "/root/repo/src/sqlfacil/workload/sdss_catalog.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/sdss_catalog.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/sdss_catalog.cc.o.d"
+  "/root/repo/src/sqlfacil/workload/split.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/split.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/split.cc.o.d"
+  "/root/repo/src/sqlfacil/workload/sqlshare.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/sqlshare.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/sqlshare.cc.o.d"
+  "/root/repo/src/sqlfacil/workload/types.cc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/types.cc.o" "gcc" "src/CMakeFiles/sqlfacil.dir/sqlfacil/workload/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

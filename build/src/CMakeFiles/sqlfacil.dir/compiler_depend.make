@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sqlfacil.
+# This may be replaced when dependencies are built.

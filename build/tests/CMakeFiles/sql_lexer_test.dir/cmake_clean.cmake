@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_lexer_test.dir/sql_lexer_test.cc.o"
+  "CMakeFiles/sql_lexer_test.dir/sql_lexer_test.cc.o.d"
+  "sql_lexer_test"
+  "sql_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sql_lexer_test "/root/repo/build/tests/sql_lexer_test")
+set_tests_properties(sql_lexer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sql_parser_test "/root/repo/build/tests/sql_parser_test")
+set_tests_properties(sql_parser_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sql_features_test "/root/repo/build/tests/sql_features_test")
+set_tests_properties(sql_features_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build/tests/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_test "/root/repo/build/tests/nn_test")
+set_tests_properties(nn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(models_test "/root/repo/build/tests/models_test")
+set_tests_properties(models_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(serialize_test "/root/repo/build/tests/serialize_test")
+set_tests_properties(serialize_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(multitask_test "/root/repo/build/tests/multitask_test")
+set_tests_properties(multitask_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;sqlfacil_add_test;/root/repo/tests/CMakeLists.txt;0;")
