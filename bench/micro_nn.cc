@@ -6,12 +6,18 @@
 #include "sqlfacil/nn/autograd.h"
 #include "sqlfacil/nn/layers.h"
 #include "sqlfacil/nn/optim.h"
+#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::nn {
 namespace {
 
+// Kernel benchmarks sweep the pool size (second argument) so speedup vs
+// SQLFACIL_THREADS is measurable from one binary.
+const std::vector<int64_t> kThreadSweep = {1, 2, 4, 8};
+
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
   Rng rng(1);
   Var a = MakeParam(Tensor::RandomUniform({n, n}, 1.0f, &rng));
   Var b = MakeParam(Tensor::RandomUniform({n, n}, 1.0f, &rng));
@@ -21,10 +27,11 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->ArgsProduct({{32, 64, 128}, kThreadSweep});
 
 void BM_MatMulBackward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
   Rng rng(1);
   Var a = MakeParam(Tensor::RandomUniform({n, n}, 1.0f, &rng));
   Var b = MakeParam(Tensor::RandomUniform({n, n}, 1.0f, &rng));
@@ -35,7 +42,7 @@ void BM_MatMulBackward(benchmark::State& state) {
     benchmark::DoNotOptimize(a->grad.data());
   }
 }
-BENCHMARK(BM_MatMulBackward)->Arg(32)->Arg(64);
+BENCHMARK(BM_MatMulBackward)->ArgsProduct({{32, 64}, kThreadSweep});
 
 void BM_LstmStep(benchmark::State& state) {
   const int batch = 16;
@@ -84,6 +91,7 @@ BENCHMARK(BM_LstmSequenceTrainStep);
 
 void BM_CnnForward(benchmark::State& state) {
   const int seq = static_cast<int>(state.range(0));
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
   const int embed = 12, kernels = 32;
   Rng rng(4);
   Embedding emb(200, embed, &rng);
@@ -104,7 +112,7 @@ void BM_CnnForward(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_CnnForward)->Arg(64)->Arg(192);
+BENCHMARK(BM_CnnForward)->ArgsProduct({{64, 192}, kThreadSweep});
 
 void BM_SoftmaxCrossEntropy(benchmark::State& state) {
   Rng rng(5);

@@ -1,0 +1,83 @@
+// Micro-benchmarks of the ParallelFor substrate itself: dispatch overhead
+// for empty and tiny bodies (the cost a kernel pays to go parallel) and a
+// deterministic chunked reduction, swept over pool sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sqlfacil/util/thread_pool.h"
+
+namespace sqlfacil {
+namespace {
+
+const std::vector<int64_t> kThreadSweep = {1, 2, 4, 8};
+
+// Pure dispatch cost: N chunks with no work. Measures queueing, chunk
+// claiming, and the completion wait.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  const size_t chunks = static_cast<size_t>(state.range(0));
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    ParallelFor(0, chunks, 1, [](size_t b, size_t) {
+      benchmark::DoNotOptimize(b);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(chunks));
+}
+BENCHMARK(BM_ParallelForDispatch)->ArgsProduct({{1, 16, 256}, kThreadSweep});
+
+// Break-even probe: a float saxpy of `n` elements split at the elementwise
+// grain used by the nn kernels. Compares against the serial loop below.
+void BM_ParallelForSaxpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
+  std::vector<float> x(n, 1.5f), y(n, 0.5f);
+  for (auto _ : state) {
+    ParallelFor(0, n, 1 << 15, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) y[i] += 2.0f * x[i];
+    });
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForSaxpy)
+    ->ArgsProduct({{1 << 12, 1 << 16, 1 << 20}, kThreadSweep});
+
+void BM_SerialSaxpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> x(n, 1.5f), y(n, 0.5f);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) y[i] += 2.0f * x[i];
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SerialSaxpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// Deterministic chunked reduction (the pattern every parallel sum in the
+// library uses): per-chunk partials combined in chunk order.
+void BM_ParallelForChunkedReduce(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(1)));
+  constexpr size_t kGrain = 4096;
+  std::vector<double> values(n, 1.00000001);
+  std::vector<double> partial(NumChunks(0, n, kGrain));
+  for (auto _ : state) {
+    ParallelForChunks(0, n, kGrain, [&](size_t c, size_t b, size_t e) {
+      double sum = 0.0;
+      for (size_t i = b; i < e; ++i) sum += values[i];
+      partial[c] = sum;
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForChunkedReduce)
+    ->ArgsProduct({{1 << 16, 1 << 20}, kThreadSweep});
+
+}  // namespace
+}  // namespace sqlfacil

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Builds the parallel-substrate tests under ThreadSanitizer and runs them.
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+BUILD_DIR="${1:-build-tsan}"
+cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD_DIR" -j \
+  --target thread_pool_test determinism_test nn_test models_test
+status=0
+for t in thread_pool_test determinism_test nn_test models_test; do
+  echo "== $t (TSan) =="
+  if ! "$BUILD_DIR/tests/$t"; then
+    status=1
+  fi
+done
+if [ "$status" -eq 0 ]; then
+  echo "TSAN_CLEAN"
+else
+  echo "TSAN_FAILURES"
+fi
+exit "$status"

@@ -4,8 +4,29 @@
 #include <cmath>
 
 #include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::core {
+
+namespace {
+
+// Examples per ParallelFor chunk during evaluation. Predictions land in
+// pre-sized slots; metric reductions then run serially in example order so
+// results are identical at any thread count.
+constexpr size_t kPredictGrain = 16;
+
+std::vector<std::vector<float>> PredictAll(const models::Model& model,
+                                           const models::Dataset& test) {
+  std::vector<std::vector<float>> preds(test.size());
+  ParallelFor(0, test.size(), kPredictGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      preds[i] = model.Predict(test.statements[i], test.opt_costs[i]);
+    }
+  });
+  return preds;
+}
+
+}  // namespace
 
 ClassificationMetrics EvaluateClassification(const models::Model& model,
                                              const models::Dataset& test) {
@@ -14,10 +35,11 @@ ClassificationMetrics EvaluateClassification(const models::Model& model,
   ClassificationMetrics metrics;
   metrics.class_counts.assign(c, 0);
   std::vector<size_t> true_positive(c, 0), predicted(c, 0);
+  const auto preds = PredictAll(model, test);
   double loss = 0.0;
   size_t correct = 0;
   for (size_t i = 0; i < test.size(); ++i) {
-    const auto probs = model.Predict(test.statements[i], test.opt_costs[i]);
+    const auto& probs = preds[i];
     SQLFACIL_CHECK(static_cast<int>(probs.size()) == c);
     const int truth = test.labels[i];
     const int argmax = static_cast<int>(
@@ -55,10 +77,10 @@ RegressionMetrics EvaluateRegression(const models::Model& model,
                                      double huber_delta) {
   SQLFACIL_CHECK(test.kind == models::TaskKind::kRegression);
   RegressionMetrics metrics;
+  const auto preds = PredictAll(model, test);
   double loss = 0.0, mse = 0.0;
   for (size_t i = 0; i < test.size(); ++i) {
-    const auto pred = model.Predict(test.statements[i], test.opt_costs[i]);
-    const double r = pred[0] - test.targets[i];
+    const double r = preds[i][0] - test.targets[i];
     const double ar = std::fabs(r);
     loss += ar <= huber_delta ? 0.5 * r * r
                               : huber_delta * (ar - 0.5 * huber_delta);
@@ -73,12 +95,12 @@ RegressionMetrics EvaluateRegression(const models::Model& model,
 std::vector<double> ComputeQErrors(const models::Model& model,
                                    const models::Dataset& test,
                                    const LabelTransform& transform) {
+  const auto preds = PredictAll(model, test);
   std::vector<double> qerrors;
   qerrors.reserve(test.size());
   for (size_t i = 0; i < test.size(); ++i) {
-    const auto pred = model.Predict(test.statements[i], test.opt_costs[i]);
     const double y = std::max(1.0, transform.Invert(test.targets[i]));
-    const double yhat = std::max(1.0, transform.Invert(pred[0]));
+    const double yhat = std::max(1.0, transform.Invert(preds[i][0]));
     qerrors.push_back(std::max(y / yhat, yhat / y));
   }
   return qerrors;
@@ -86,11 +108,11 @@ std::vector<double> ComputeQErrors(const models::Model& model,
 
 std::vector<double> SquaredErrors(const models::Model& model,
                                   const models::Dataset& test) {
+  const auto preds = PredictAll(model, test);
   std::vector<double> errors;
   errors.reserve(test.size());
   for (size_t i = 0; i < test.size(); ++i) {
-    const auto pred = model.Predict(test.statements[i], test.opt_costs[i]);
-    const double r = pred[0] - test.targets[i];
+    const double r = preds[i][0] - test.targets[i];
     errors.push_back(r * r);
   }
   return errors;

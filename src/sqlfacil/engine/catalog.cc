@@ -46,6 +46,10 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
+void Catalog::WarmStats() const {
+  for (const auto& [key, table] : tables_) table->WarmStats();
+}
+
 void Catalog::RegisterBuiltinFunctions() {
   auto unary_math = [this](const char* name, double (*fn)(double),
                            double cost) {

@@ -48,6 +48,10 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Warms every table's lazily-computed column statistics so concurrent
+  /// readers (e.g. parallel workload labeling) never race on the cache.
+  void WarmStats() const;
+
   /// Installs the built-in math/string functions every catalog supports
   /// (abs, sqrt, power, floor, round, log, exp, len, upper, lower, str,
   /// sin/cos/radians, isnull, coalesce-2).

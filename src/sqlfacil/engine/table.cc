@@ -122,6 +122,12 @@ void Table::ComputeStatsIfNeeded(int col) const {
   }
 }
 
+void Table::WarmStats() const {
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    ComputeStatsIfNeeded(static_cast<int>(col));
+  }
+}
+
 size_t Table::DistinctCount(int col) const {
   SQLFACIL_CHECK(col >= 0 && static_cast<size_t>(col) < columns_.size());
   ComputeStatsIfNeeded(col);

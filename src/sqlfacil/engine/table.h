@@ -57,6 +57,11 @@ class Table {
   double ColumnMin(int col) const;
   double ColumnMax(int col) const;
 
+  /// Eagerly computes every column's statistics. The stats cache is lazily
+  /// filled and not thread-safe; call this before sharing a table across
+  /// threads that consult the cost model.
+  void WarmStats() const;
+
  private:
   struct Column {
     ColumnType type;

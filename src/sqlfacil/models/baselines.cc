@@ -5,6 +5,7 @@
 
 #include "sqlfacil/models/serialize_util.h"
 #include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::models {
 
@@ -53,16 +54,34 @@ void OptModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
   (void)rng;
   SQLFACIL_CHECK(train.kind == TaskKind::kRegression);
   SQLFACIL_CHECK(train.opt_costs.size() == train.targets.size());
-  // Closed-form simple linear regression on x = log(1 + cost).
+  // Closed-form simple linear regression on x = log(1 + cost). The sums
+  // reduce over fixed-size chunks whose partials combine in chunk order, so
+  // the result is deterministic at any thread count (and bit-identical to
+  // the serial loop whenever the data fits in one chunk).
   const size_t n = train.targets.size();
+  constexpr size_t kSumGrain = 4096;
+  struct Sums {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  };
+  std::vector<Sums> partial(NumChunks(0, n, kSumGrain));
+  ParallelForChunks(0, n, kSumGrain, [&](size_t chunk, size_t b, size_t e) {
+    Sums s;
+    for (size_t i = b; i < e; ++i) {
+      const double x = std::log1p(std::max(0.0, train.opt_costs[i]));
+      const double y = train.targets[i];
+      s.sx += x;
+      s.sy += y;
+      s.sxx += x * x;
+      s.sxy += x * y;
+    }
+    partial[chunk] = s;
+  });
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const double x = std::log1p(std::max(0.0, train.opt_costs[i]));
-    const double y = train.targets[i];
-    sx += x;
-    sy += y;
-    sxx += x * x;
-    sxy += x * y;
+  for (const Sums& s : partial) {
+    sx += s.sx;
+    sy += s.sy;
+    sxx += s.sxx;
+    sxy += s.sxy;
   }
   const double denom = n * sxx - sx * sx;
   if (std::fabs(denom) < 1e-9) {

@@ -5,6 +5,7 @@
 
 #include "sqlfacil/models/serialize_util.h"
 #include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::models {
 
@@ -65,24 +66,29 @@ nn::Var CnnModel::Forward(const std::vector<int>& ids, bool training,
 
 double CnnModel::ValidLoss(const Dataset& valid) const {
   if (valid.size() == 0) return 0.0;
-  double total = 0.0;
-  Rng unused(0);
-  for (size_t i = 0; i < valid.size(); ++i) {
-    const auto ids = vocab_.Encode(valid.statements[i], MaxLen());
-    nn::Var logits = Forward(ids, /*training=*/false, &unused);
-    if (kind_ == TaskKind::kClassification) {
-      nn::Var loss =
-          nn::SoftmaxCrossEntropy(logits, {valid.labels[i]});
-      total += loss->value.at(0);
-    } else {
-      nn::Var loss =
-          config_.use_squared_loss
-              ? nn::SquaredLoss(logits, {valid.targets[i]})
-              : nn::HuberLoss(logits, {valid.targets[i]},
-                              config_.huber_delta);
-      total += loss->value.at(0);
+  const auto encoded = vocab_.EncodeAll(valid.statements, MaxLen());
+  // Forward-only evaluation parallelizes per example; losses land in slots
+  // and sum in example order for bit-identical results at any thread count.
+  std::vector<double> losses(valid.size(), 0.0);
+  ParallelFor(0, valid.size(), 8, [&](size_t b, size_t e) {
+    Rng unused(0);
+    for (size_t i = b; i < e; ++i) {
+      nn::Var logits = Forward(encoded[i], /*training=*/false, &unused);
+      if (kind_ == TaskKind::kClassification) {
+        nn::Var loss = nn::SoftmaxCrossEntropy(logits, {valid.labels[i]});
+        losses[i] = loss->value.at(0);
+      } else {
+        nn::Var loss =
+            config_.use_squared_loss
+                ? nn::SquaredLoss(logits, {valid.targets[i]})
+                : nn::HuberLoss(logits, {valid.targets[i]},
+                                config_.huber_delta);
+        losses[i] = loss->value.at(0);
+      }
     }
-  }
+  });
+  double total = 0.0;
+  for (double l : losses) total += l;
   return total / static_cast<double>(valid.size());
 }
 
@@ -118,12 +124,8 @@ void CnnModel::TrainLoop(const Dataset& train, const Dataset& valid,
   auto params = Params();
   nn::AdaMax optimizer(params, config_.lr);
 
-  // Pre-encode.
-  std::vector<std::vector<int>> encoded;
-  encoded.reserve(train.size());
-  for (const auto& s : train.statements) {
-    encoded.push_back(vocab_.Encode(s, MaxLen()));
-  }
+  // Pre-encode (sharded over the thread pool).
+  auto encoded = vocab_.EncodeAll(train.statements, MaxLen());
 
   std::vector<nn::Tensor> best = Snapshot(params);
   double best_valid = 1e300;

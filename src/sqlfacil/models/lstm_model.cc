@@ -6,6 +6,7 @@
 
 #include "sqlfacil/models/serialize_util.h"
 #include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::models {
 
@@ -65,30 +66,37 @@ nn::Var LstmModel::Forward(
 double LstmModel::ValidLoss(
     const Dataset& valid, const std::vector<std::vector<int>>& encoded) const {
   if (valid.size() == 0) return 0.0;
-  double total = 0.0;
-  size_t count = 0;
   const size_t batch = config_.batch_size;
-  for (size_t start = 0; start < valid.size(); start += batch) {
-    const size_t end = std::min(valid.size(), start + batch);
-    std::vector<const std::vector<int>*> refs;
-    std::vector<int> labels;
-    std::vector<float> targets;
-    for (size_t i = start; i < end; ++i) {
-      refs.push_back(&encoded[i]);
-      if (kind_ == TaskKind::kClassification) {
-        labels.push_back(valid.labels[i]);
-      } else {
-        targets.push_back(valid.targets[i]);
+  const size_t num_batches = (valid.size() + batch - 1) / batch;
+  // Batches evaluate in parallel (forward-only, no shared mutable state);
+  // per-batch losses land in slots and sum in batch order so the result is
+  // bit-identical to the serial loop at any thread count.
+  std::vector<double> partial(num_batches, 0.0);
+  ParallelFor(0, num_batches, 1, [&](size_t bb, size_t be) {
+    for (size_t b = bb; b < be; ++b) {
+      const size_t start = b * batch;
+      const size_t end = std::min(valid.size(), start + batch);
+      std::vector<const std::vector<int>*> refs;
+      std::vector<int> labels;
+      std::vector<float> targets;
+      for (size_t i = start; i < end; ++i) {
+        refs.push_back(&encoded[i]);
+        if (kind_ == TaskKind::kClassification) {
+          labels.push_back(valid.labels[i]);
+        } else {
+          targets.push_back(valid.targets[i]);
+        }
       }
+      nn::Var out = Forward(refs);
+      nn::Var loss = kind_ == TaskKind::kClassification
+                         ? nn::SoftmaxCrossEntropy(out, labels)
+                         : nn::HuberLoss(out, targets, config_.huber_delta);
+      partial[b] = static_cast<double>(loss->value.at(0)) * refs.size();
     }
-    nn::Var out = Forward(refs);
-    nn::Var loss = kind_ == TaskKind::kClassification
-                       ? nn::SoftmaxCrossEntropy(out, labels)
-                       : nn::HuberLoss(out, targets, config_.huber_delta);
-    total += static_cast<double>(loss->value.at(0)) * refs.size();
-    count += refs.size();
-  }
-  return total / static_cast<double>(count);
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total / static_cast<double>(valid.size());
 }
 
 void LstmModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
@@ -106,20 +114,10 @@ void LstmModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
   auto params = Params();
   nn::AdaMax optimizer(params, config_.lr);
 
-  std::vector<std::vector<int>> encoded;
-  encoded.reserve(train.size());
-  for (const auto& s : train.statements) {
-    auto ids = vocab_.Encode(s, MaxLen());
-    if (ids.empty()) ids.push_back(Vocabulary::kUnkId);
-    encoded.push_back(std::move(ids));
-  }
-  std::vector<std::vector<int>> valid_encoded;
-  valid_encoded.reserve(valid.size());
-  for (const auto& s : valid.statements) {
-    auto ids = vocab_.Encode(s, MaxLen());
-    if (ids.empty()) ids.push_back(Vocabulary::kUnkId);
-    valid_encoded.push_back(std::move(ids));
-  }
+  auto encoded =
+      vocab_.EncodeAll(train.statements, MaxLen(), /*pad_empty=*/true);
+  auto valid_encoded =
+      vocab_.EncodeAll(valid.statements, MaxLen(), /*pad_empty=*/true);
 
   // Length bucketing: sort indices by sequence length so batches carry
   // minimal padding, then shuffle the batch order each epoch.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::models {
 
@@ -79,11 +80,17 @@ double MultiTaskCnnModel::ExampleLoss(const std::string& statement,
 
 double MultiTaskCnnModel::ValidLoss(const MultiTaskDataset& valid) const {
   if (valid.size() == 0) return 0.0;
+  // Forward-only, parallel per example; per-example losses land in slots and
+  // sum in example order, so the total is identical at any thread count.
+  std::vector<double> losses(valid.size(), 0.0);
+  ParallelFor(0, valid.size(), 8, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      losses[i] = ExampleLoss(valid.statements[i], valid.error_labels[i],
+                              valid.cpu_targets[i], valid.answer_targets[i]);
+    }
+  });
   double total = 0.0;
-  for (size_t i = 0; i < valid.size(); ++i) {
-    total += ExampleLoss(valid.statements[i], valid.error_labels[i],
-                         valid.cpu_targets[i], valid.answer_targets[i]);
-  }
+  for (double l : losses) total += l;
   return total / static_cast<double>(valid.size());
 }
 
@@ -117,11 +124,7 @@ void MultiTaskCnnModel::Fit(const MultiTaskDataset& train,
   }
   nn::AdaMax optimizer(params, config_.lr);
 
-  std::vector<std::vector<int>> encoded;
-  encoded.reserve(train.size());
-  for (const auto& s : train.statements) {
-    encoded.push_back(vocab_.Encode(s, config_.max_len));
-  }
+  auto encoded = vocab_.EncodeAll(train.statements, config_.max_len);
 
   std::vector<nn::Tensor> best = Snapshot(params);
   double best_valid = 1e300;

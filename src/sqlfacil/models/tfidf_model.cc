@@ -5,6 +5,7 @@
 
 #include "sqlfacil/models/serialize_util.h"
 #include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::models {
 
@@ -45,35 +46,41 @@ void TfidfModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
   weights_.assign(vectorizer_.num_features() * outputs_, 0.0f);
   bias_.assign(outputs_, 0.0f);
 
-  // Precompute sparse features.
-  std::vector<std::vector<std::pair<int, float>>> train_features;
-  train_features.reserve(train.size());
-  for (const auto& s : train.statements) {
-    train_features.push_back(vectorizer_.Transform(s));
-  }
-  std::vector<std::vector<std::pair<int, float>>> valid_features;
-  for (const auto& s : valid.statements) {
-    valid_features.push_back(vectorizer_.Transform(s));
-  }
+  // Precompute sparse features (sharded over the thread pool).
+  auto train_features = vectorizer_.TransformAll(train.statements);
+  auto valid_features = vectorizer_.TransformAll(valid.statements);
 
+  // Per-example losses accumulate into per-chunk partials that are summed
+  // in chunk order, so the total is bit-identical at any thread count.
+  constexpr size_t kLossGrain = 256;
   auto valid_loss = [&]() {
     if (valid_features.empty()) return 0.0;
+    const size_t n_valid = valid_features.size();
+    std::vector<double> partial(NumChunks(0, n_valid, kLossGrain), 0.0);
+    ParallelForChunks(0, n_valid, kLossGrain,
+                      [&](size_t chunk, size_t b, size_t e) {
+                        double sum = 0.0;
+                        for (size_t i = b; i < e; ++i) {
+                          auto scores = Scores(valid_features[i]);
+                          if (kind_ == TaskKind::kClassification) {
+                            Softmax(&scores);
+                            sum -= std::log(std::max(
+                                1e-12,
+                                static_cast<double>(scores[valid.labels[i]])));
+                          } else {
+                            const double r = scores[0] - valid.targets[i];
+                            const double ar = std::fabs(r);
+                            sum += ar <= config_.huber_delta
+                                       ? 0.5 * r * r
+                                       : config_.huber_delta *
+                                             (ar - 0.5 * config_.huber_delta);
+                          }
+                        }
+                        partial[chunk] = sum;
+                      });
     double total = 0.0;
-    for (size_t i = 0; i < valid_features.size(); ++i) {
-      auto scores = Scores(valid_features[i]);
-      if (kind_ == TaskKind::kClassification) {
-        Softmax(&scores);
-        total -= std::log(
-            std::max(1e-12, static_cast<double>(scores[valid.labels[i]])));
-      } else {
-        const double r = scores[0] - valid.targets[i];
-        const double ar = std::fabs(r);
-        total += ar <= config_.huber_delta
-                     ? 0.5 * r * r
-                     : config_.huber_delta * (ar - 0.5 * config_.huber_delta);
-      }
-    }
-    return total / static_cast<double>(valid_features.size());
+    for (double p : partial) total += p;
+    return total / static_cast<double>(n_valid);
   };
 
   std::vector<float> best_weights = weights_;

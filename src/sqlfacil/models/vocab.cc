@@ -4,8 +4,16 @@
 #include <cmath>
 
 #include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::models {
+
+namespace {
+
+// Statements per ParallelFor chunk when encoding/vectorizing a corpus.
+constexpr size_t kEncodeGrain = 64;
+
+}  // namespace
 
 Vocabulary Vocabulary::Build(const std::vector<std::string>& statements,
                              sql::Granularity granularity, size_t max_size,
@@ -46,6 +54,19 @@ std::vector<int> Vocabulary::Encode(const std::string& statement,
   ids.reserve(tokens.size());
   for (const auto& t : tokens) ids.push_back(IdOf(t));
   return ids;
+}
+
+std::vector<std::vector<int>> Vocabulary::EncodeAll(
+    const std::vector<std::string>& statements, size_t max_len,
+    bool pad_empty) const {
+  std::vector<std::vector<int>> encoded(statements.size());
+  ParallelFor(0, statements.size(), kEncodeGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      encoded[i] = Encode(statements[i], max_len);
+      if (pad_empty && encoded[i].empty()) encoded[i].push_back(kUnkId);
+    }
+  });
+  return encoded;
 }
 
 void Vocabulary::SaveTo(std::ostream& out) const {
@@ -184,6 +205,15 @@ std::vector<std::pair<int, float>> TfidfVectorizer::Transform(
   for (auto& [id, w] : out) w *= inv_norm;
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::vector<std::pair<int, float>>> TfidfVectorizer::TransformAll(
+    const std::vector<std::string>& statements) const {
+  std::vector<std::vector<std::pair<int, float>>> features(statements.size());
+  ParallelFor(0, statements.size(), kEncodeGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) features[i] = Transform(statements[i]);
+  });
+  return features;
 }
 
 }  // namespace sqlfacil::models

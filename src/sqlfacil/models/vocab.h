@@ -34,6 +34,13 @@ class Vocabulary {
   std::vector<int> Encode(const std::string& statement,
                           size_t max_len = 0) const;
 
+  /// Encode() over a corpus, statements sharded across the thread pool.
+  /// `pad_empty` replaces empty encodings with a single <UNK> (models need
+  /// at least one step). Output order matches the input order.
+  std::vector<std::vector<int>> EncodeAll(
+      const std::vector<std::string>& statements, size_t max_len = 0,
+      bool pad_empty = false) const;
+
   /// Checkpoint (de)serialization.
   void SaveTo(std::ostream& out) const;
   static StatusOr<Vocabulary> LoadFrom(std::istream& in);
@@ -62,6 +69,11 @@ class TfidfVectorizer {
   /// L2-normalized.
   std::vector<std::pair<int, float>> Transform(
       const std::string& statement) const;
+
+  /// Transform() over a corpus, statements sharded across the thread pool.
+  /// Output order matches the input order.
+  std::vector<std::vector<std::pair<int, float>>> TransformAll(
+      const std::vector<std::string>& statements) const;
 
   size_t num_features() const { return feature_of_.size(); }
 

@@ -5,8 +5,48 @@
 #include <unordered_set>
 
 #include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::nn {
+
+namespace {
+
+// Minimum work per ParallelFor chunk. Elementwise grain is in floats,
+// matmul grain in multiply-adds; both keep small graphs (LSTM steps over
+// batch 16) on the serial path where dispatch overhead would dominate.
+constexpr size_t kElementwiseGrain = 1 << 15;
+constexpr size_t kMatMulFlopGrain = 1 << 18;
+
+// Row-range grain for an (m x k) @ (k x n) product.
+size_t MatMulRowGrain(int k, int n) {
+  const size_t flops_per_row =
+      std::max<size_t>(1, static_cast<size_t>(k) * static_cast<size_t>(n));
+  return std::max<size_t>(1, kMatMulFlopGrain / flops_per_row);
+}
+
+// C[rb..re) += A[rb..re) @ B, saxpy form with k-tiling: a tile of B rows
+// stays cache-hot while it is reused across every row of the chunk. Per
+// output element the accumulation still runs over kk ascending, so the
+// result is bit-identical to the untiled loop at any tile size.
+void MatMulRowRange(const float* A, const float* B, float* C, size_t rb,
+                    size_t re, int k, int n) {
+  constexpr int kTile = 128;
+  for (int kb = 0; kb < k; kb += kTile) {
+    const int ke = std::min(k, kb + kTile);
+    for (size_t i = rb; i < re; ++i) {
+      const float* a_row = A + i * static_cast<size_t>(k);
+      float* c_row = C + i * static_cast<size_t>(n);
+      for (int kk = kb; kk < ke; ++kk) {
+        const float av = a_row[kk];
+        if (av == 0.0f) continue;
+        const float* b_row = B + static_cast<size_t>(kk) * n;
+        for (int j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Tensor& Variable::EnsureGrad() {
   if (!grad.SameShape(value)) grad = Tensor(value.shape());
@@ -101,47 +141,69 @@ Var MatMul(const Var& a, const Var& b) {
   const float* A = a->value.data();
   const float* B = b->value.data();
   float* C = out.data();
-  for (int i = 0; i < m; ++i) {
-    const float* a_row = A + static_cast<size_t>(i) * k;
-    float* c_row = C + static_cast<size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = a_row[kk];
-      if (av == 0.0f) continue;
-      const float* b_row = B + static_cast<size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
-  }
+  // Row-partitioned: each chunk owns a disjoint slice of C, and per output
+  // element the accumulation order matches the serial loop exactly.
+  ParallelFor(0, static_cast<size_t>(m), MatMulRowGrain(k, n),
+              [&](size_t rb, size_t re) {
+                MatMulRowRange(A, B, C, rb, re, k, n);
+              });
   Var av = a, bv = b;
   return MakeOp(std::move(out), {a, b}, [av, bv, m, k, n](Variable& node) {
     const float* G = node.grad.data();
     if (av->requires_grad) {
-      // dA = G @ B^T
+      // dA = G @ B^T: row i of dA is a set of dot products against rows of
+      // B — contiguous reads, disjoint writes per chunk.
       float* dA = av->EnsureGrad().data();
       const float* B = bv->value.data();
-      for (int i = 0; i < m; ++i) {
-        const float* g_row = G + static_cast<size_t>(i) * n;
-        float* da_row = dA + static_cast<size_t>(i) * k;
-        for (int kk = 0; kk < k; ++kk) {
-          const float* b_row = B + static_cast<size_t>(kk) * n;
-          float acc = 0.0f;
-          for (int j = 0; j < n; ++j) acc += g_row[j] * b_row[j];
-          da_row[kk] += acc;
-        }
-      }
+      ParallelFor(
+          0, static_cast<size_t>(m), MatMulRowGrain(k, n),
+          [&](size_t rb, size_t re) {
+            for (size_t i = rb; i < re; ++i) {
+              const float* g_row = G + i * static_cast<size_t>(n);
+              float* da_row = dA + i * static_cast<size_t>(k);
+              for (int kk = 0; kk < k; ++kk) {
+                const float* b_row = B + static_cast<size_t>(kk) * n;
+                float acc = 0.0f;
+                for (int j = 0; j < n; ++j) acc += g_row[j] * b_row[j];
+                da_row[kk] += acc;
+              }
+            }
+          });
     }
     if (bv->requires_grad) {
-      // dB = A^T @ G
+      // dB = A^T @ G. The serial path keeps the cache-friendly i-outer
+      // saxpy; the parallel path partitions rows of dB (transposed walk of
+      // A). Both accumulate each dB element over i ascending, so results
+      // are bit-identical regardless of which path runs.
       float* dB = bv->EnsureGrad().data();
       const float* A = av->value.data();
-      for (int i = 0; i < m; ++i) {
-        const float* a_row = A + static_cast<size_t>(i) * k;
-        const float* g_row = G + static_cast<size_t>(i) * n;
-        for (int kk = 0; kk < k; ++kk) {
-          const float a_ik = a_row[kk];
-          if (a_ik == 0.0f) continue;
-          float* db_row = dB + static_cast<size_t>(kk) * n;
-          for (int j = 0; j < n; ++j) db_row[j] += a_ik * g_row[j];
+      const size_t kk_grain = MatMulRowGrain(m, n);
+      if (NumChunks(0, static_cast<size_t>(k), kk_grain) <= 1 ||
+          ThreadPool::InWorker()) {
+        for (int i = 0; i < m; ++i) {
+          const float* a_row = A + static_cast<size_t>(i) * k;
+          const float* g_row = G + static_cast<size_t>(i) * n;
+          for (int kk = 0; kk < k; ++kk) {
+            const float a_ik = a_row[kk];
+            if (a_ik == 0.0f) continue;
+            float* db_row = dB + static_cast<size_t>(kk) * n;
+            for (int j = 0; j < n; ++j) db_row[j] += a_ik * g_row[j];
+          }
         }
+      } else {
+        ParallelFor(
+            0, static_cast<size_t>(k), kk_grain, [&](size_t kb, size_t ke) {
+              for (int i = 0; i < m; ++i) {
+                const float* a_row = A + static_cast<size_t>(i) * k;
+                const float* g_row = G + static_cast<size_t>(i) * n;
+                for (size_t kk = kb; kk < ke; ++kk) {
+                  const float a_ik = a_row[kk];
+                  if (a_ik == 0.0f) continue;
+                  float* db_row = dB + kk * static_cast<size_t>(n);
+                  for (int j = 0; j < n; ++j) db_row[j] += a_ik * g_row[j];
+                }
+              }
+            });
       }
     }
   });
@@ -155,20 +217,29 @@ Var Add(const Var& a, const Var& b) {
       << "Add shape mismatch";
   Tensor out = a->value;
   const int rows = out.rows(), cols = out.cols();
-  for (int i = 0; i < rows; ++i) {
-    for (int j = 0; j < cols; ++j) {
-      out.at(i, j) += b->value.at(broadcast ? 0 : i, j);
-    }
-  }
+  const size_t row_grain =
+      std::max<size_t>(1, kElementwiseGrain / std::max(1, cols));
+  ParallelFor(0, static_cast<size_t>(rows), row_grain,
+              [&](size_t rb, size_t re) {
+                for (size_t i = rb; i < re; ++i) {
+                  const int r = static_cast<int>(i);
+                  for (int j = 0; j < cols; ++j) {
+                    out.at(r, j) += b->value.at(broadcast ? 0 : r, j);
+                  }
+                }
+              });
   Var av = a, bv = b;
   return MakeOp(std::move(out), {a, b},
                 [av, bv, broadcast, rows, cols](Variable& node) {
                   if (av->requires_grad) {
                     float* dA = av->EnsureGrad().data();
                     const float* G = node.grad.data();
-                    for (size_t i = 0; i < node.grad.size(); ++i) {
-                      dA[i] += G[i];
-                    }
+                    ParallelFor(0, node.grad.size(), kElementwiseGrain,
+                                [&](size_t b_, size_t e_) {
+                                  for (size_t i = b_; i < e_; ++i) {
+                                    dA[i] += G[i];
+                                  }
+                                });
                   }
                   if (bv->requires_grad) {
                     Tensor& db = bv->EnsureGrad();
@@ -205,20 +276,29 @@ Var Sub(const Var& a, const Var& b) {
 Var Mul(const Var& a, const Var& b) {
   SQLFACIL_CHECK(a->value.SameShape(b->value)) << "Mul shape mismatch";
   Tensor out = a->value;
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= b->value.data()[i];
+  float* o = out.data();
+  const float* B = b->value.data();
+  ParallelFor(0, out.size(), kElementwiseGrain, [&](size_t b_, size_t e_) {
+    for (size_t i = b_; i < e_; ++i) o[i] *= B[i];
+  });
   Var av = a, bv = b;
   return MakeOp(std::move(out), {a, b}, [av, bv](Variable& node) {
+    const float* G = node.grad.data();
     if (av->requires_grad) {
       float* dA = av->EnsureGrad().data();
-      for (size_t i = 0; i < node.grad.size(); ++i) {
-        dA[i] += node.grad.data()[i] * bv->value.data()[i];
-      }
+      const float* BV = bv->value.data();
+      ParallelFor(0, node.grad.size(), kElementwiseGrain,
+                  [&](size_t b_, size_t e_) {
+                    for (size_t i = b_; i < e_; ++i) dA[i] += G[i] * BV[i];
+                  });
     }
     if (bv->requires_grad) {
       float* dB = bv->EnsureGrad().data();
-      for (size_t i = 0; i < node.grad.size(); ++i) {
-        dB[i] += node.grad.data()[i] * av->value.data()[i];
-      }
+      const float* AV = av->value.data();
+      ParallelFor(0, node.grad.size(), kElementwiseGrain,
+                  [&](size_t b_, size_t e_) {
+                    for (size_t i = b_; i < e_; ++i) dB[i] += G[i] * AV[i];
+                  });
     }
   });
 }
@@ -241,7 +321,10 @@ namespace {
 template <typename Fwd, typename Bwd>
 Var Pointwise(const Var& a, Fwd fwd, Bwd bwd_from_out) {
   Tensor out = a->value;
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = fwd(out.data()[i]);
+  float* o = out.data();
+  ParallelFor(0, out.size(), kElementwiseGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) o[i] = fwd(o[i]);
+  });
   Var av = a;
   // Capture the forward output values for the backward pass.
   auto out_copy = std::make_shared<Tensor>(out);
@@ -249,10 +332,14 @@ Var Pointwise(const Var& a, Fwd fwd, Bwd bwd_from_out) {
                 [av, out_copy, bwd_from_out](Variable& node) {
                   if (!av->requires_grad) return;
                   float* dA = av->EnsureGrad().data();
-                  for (size_t i = 0; i < node.grad.size(); ++i) {
-                    dA[i] +=
-                        node.grad.data()[i] * bwd_from_out(out_copy->data()[i]);
-                  }
+                  const float* G = node.grad.data();
+                  const float* O = out_copy->data();
+                  ParallelFor(0, node.grad.size(), kElementwiseGrain,
+                              [&](size_t b, size_t e) {
+                                for (size_t i = b; i < e; ++i) {
+                                  dA[i] += G[i] * bwd_from_out(O[i]);
+                                }
+                              });
                 });
 }
 
@@ -277,14 +364,18 @@ Var Relu(const Var& a) {
 Var Rows(const Var& table, const std::vector<int>& indices) {
   const int d = table->value.cols();
   Tensor out({static_cast<int>(indices.size()), d});
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int idx = indices[i];
-    if (idx < 0) continue;  // padding: zero row
-    SQLFACIL_CHECK(idx < table->value.rows());
-    for (int j = 0; j < d; ++j) {
-      out.at(static_cast<int>(i), j) = table->value.at(idx, j);
+  const size_t row_grain =
+      std::max<size_t>(1, kElementwiseGrain / std::max(1, d));
+  ParallelFor(0, indices.size(), row_grain, [&](size_t rb, size_t re) {
+    for (size_t i = rb; i < re; ++i) {
+      const int idx = indices[i];
+      if (idx < 0) continue;  // padding: zero row
+      SQLFACIL_CHECK(idx < table->value.rows());
+      for (int j = 0; j < d; ++j) {
+        out.at(static_cast<int>(i), j) = table->value.at(idx, j);
+      }
     }
-  }
+  });
   Var tv = table;
   auto idx_copy = std::make_shared<std::vector<int>>(indices);
   return MakeOp(std::move(out), {table}, [tv, idx_copy, d](Variable& node) {
@@ -454,17 +545,25 @@ Var Unfold(const Var& a, int window) {
       << "Unfold: sequence shorter than window";
   const int out_rows = t - window + 1;
   Tensor out({out_rows, window * d});
-  for (int i = 0; i < out_rows; ++i) {
-    for (int w = 0; w < window; ++w) {
-      for (int j = 0; j < d; ++j) {
-        out.at(i, w * d + j) = a->value.at(i + w, j);
-      }
-    }
-  }
+  const size_t row_grain = std::max<size_t>(
+      1, kElementwiseGrain / std::max(1, window * d));
+  ParallelFor(0, static_cast<size_t>(out_rows), row_grain,
+              [&](size_t rb, size_t re) {
+                for (size_t i = rb; i < re; ++i) {
+                  const int r = static_cast<int>(i);
+                  for (int w = 0; w < window; ++w) {
+                    for (int j = 0; j < d; ++j) {
+                      out.at(r, w * d + j) = a->value.at(r + w, j);
+                    }
+                  }
+                }
+              });
   Var av = a;
   return MakeOp(std::move(out), {a},
                 [av, window, d, out_rows](Variable& node) {
                   if (!av->requires_grad) return;
+                  // Scatter: input row r receives from up to `window`
+                  // output rows — overlapping writes, so this stays serial.
                   Tensor& dA = av->EnsureGrad();
                   for (int i = 0; i < out_rows; ++i) {
                     for (int w = 0; w < window; ++w) {

@@ -14,6 +14,7 @@ Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
     total *= static_cast<size_t>(d);
   }
   data_.assign(total, 0.0f);
+  row_stride_ = static_cast<size_t>(cols());
 }
 
 Tensor Tensor::Full(std::vector<int> shape, float fill) {

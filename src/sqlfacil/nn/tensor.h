@@ -38,10 +38,10 @@ class Tensor {
   float& at(int i) { return data_[static_cast<size_t>(i)]; }
   float at(int i) const { return data_[static_cast<size_t>(i)]; }
   float& at(int r, int c) {
-    return data_[static_cast<size_t>(r) * cols() + c];
+    return data_[static_cast<size_t>(r) * row_stride_ + c];
   }
   float at(int r, int c) const {
-    return data_[static_cast<size_t>(r) * cols() + c];
+    return data_[static_cast<size_t>(r) * row_stride_ + c];
   }
 
   void Fill(float v);
@@ -51,6 +51,9 @@ class Tensor {
  private:
   std::vector<int> shape_;
   std::vector<float> data_;
+  // cols() cached at construction so at(r, c) is a plain multiply-add
+  // instead of a branchy shape lookup in inner loops.
+  size_t row_stride_ = 1;
 };
 
 }  // namespace sqlfacil::nn

@@ -1,7 +1,9 @@
 #include "sqlfacil/util/env.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 namespace sqlfacil {
 
@@ -23,6 +25,15 @@ uint64_t GetSeedFromEnv(uint64_t fallback) {
   const char* v = std::getenv("SQLFACIL_SEED");
   if (v == nullptr) return fallback;
   return std::strtoull(v, nullptr, 10);
+}
+
+int GetThreadsFromEnv() {
+  const int fallback =
+      std::max(1u, std::thread::hardware_concurrency());
+  const char* v = std::getenv("SQLFACIL_THREADS");
+  if (v == nullptr) return fallback;
+  const int threads = std::atoi(v);
+  return threads >= 1 ? threads : fallback;
 }
 
 }  // namespace sqlfacil

@@ -17,6 +17,11 @@ int GetEpochsFromEnv(int fallback);
 /// Reads SQLFACIL_SEED (default `fallback`); the master seed for a bench run.
 uint64_t GetSeedFromEnv(uint64_t fallback);
 
+/// Reads SQLFACIL_THREADS (default: hardware_concurrency, at least 1); the
+/// worker count of the global ThreadPool. Values < 1 fall back to the
+/// default. 1 disables parallelism entirely.
+int GetThreadsFromEnv();
+
 }  // namespace sqlfacil
 
 #endif  // SQLFACIL_UTIL_ENV_H_

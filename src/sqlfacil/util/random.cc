@@ -20,6 +20,14 @@ uint64_t SplitMix64(uint64_t* state) {
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  // Two splitmix rounds over a mixed pair: adjacent stream indices land in
+  // well-separated seed-space regions.
+  uint64_t sm = seed ^ (stream * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL);
+  (void)SplitMix64(&sm);
+  return SplitMix64(&sm);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);

@@ -7,6 +7,12 @@
 
 namespace sqlfacil {
 
+/// Derives an independent stream seed from a master seed and a stream index
+/// (splitmix64 over the pair). Sharded loops seed `Rng(MixSeed(seed, i))`
+/// per element, so the drawn values depend only on (seed, i) — never on how
+/// elements are distributed across threads.
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 /// Deterministic pseudo-random generator (xoshiro256**). Every stochastic
 /// component in the library draws from an explicitly seeded Rng so that
 /// workload generation, data splits, and training are reproducible bit-for-

@@ -1,0 +1,168 @@
+#include "sqlfacil/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "sqlfacil/util/env.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+std::mutex g_global_mu;
+ThreadPool* g_global_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  SQLFACIL_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_pool == nullptr) {
+    g_global_pool = new ThreadPool(GetThreadsFromEnv());
+  }
+  return g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  SQLFACIL_CHECK(num_threads >= 1);
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  delete g_global_pool;
+  g_global_pool = new ThreadPool(num_threads);
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+size_t NumChunks(size_t begin, size_t end, size_t grain) {
+  if (end <= begin) return 0;
+  const size_t n = end - begin;
+  const size_t g = grain == 0 ? 1 : grain;
+  return (n + g - 1) / g;
+}
+
+void ParallelForChunks(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (end <= begin) return;
+  const size_t g = grain == 0 ? 1 : grain;
+  const size_t chunks = NumChunks(begin, end, g);
+
+  auto run_serial = [&] {
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t b = begin + c * g;
+      const size_t e = std::min(end, b + g);
+      body(c, b, e);
+    }
+  };
+
+  // Nested parallel sections run inline: the caller already occupies a
+  // worker, and chunk boundaries (hence results) are unchanged.
+  if (chunks == 1 || ThreadPool::InWorker()) {
+    run_serial();
+    return;
+  }
+  ThreadPool* pool = ThreadPool::Global();
+  const int threads = pool->num_threads();
+  if (threads <= 1) {
+    run_serial();
+    return;
+  }
+
+  // Shared dispatch state. Workers (plus this thread) claim chunks from an
+  // atomic cursor; which thread runs a chunk never affects its result.
+  struct Dispatch {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<Dispatch>();
+
+  auto drain = [state, &body, begin, end, g, chunks] {
+    for (;;) {
+      const size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      if (!state->failed.load(std::memory_order_relaxed)) {
+        try {
+          const size_t b = begin + c * g;
+          const size_t e = std::min(end, b + g);
+          body(c, b, e);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->error_mu);
+          if (!state->failed.exchange(true)) {
+            state->error = std::current_exception();
+          }
+        }
+      }
+      if (state->done.fetch_add(1) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(state->done_mu);
+        state->done_cv.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(threads), chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) pool->Submit(drain);
+  drain();  // the calling thread participates
+
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&] { return state->done.load() == chunks; });
+  }
+  if (state->failed.load()) std::rethrow_exception(state->error);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  ParallelForChunks(begin, end, grain,
+                    [&body](size_t, size_t b, size_t e) { body(b, e); });
+}
+
+}  // namespace sqlfacil

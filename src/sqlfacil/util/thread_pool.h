@@ -1,0 +1,93 @@
+#ifndef SQLFACIL_UTIL_THREAD_POOL_H_
+#define SQLFACIL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sqlfacil {
+
+/// A fixed-size worker pool. One process-wide instance (lazily created, sized
+/// by SQLFACIL_THREADS, hardware_concurrency by default) backs ParallelFor;
+/// standalone instances exist for tests.
+///
+/// Determinism contract: ParallelFor splits [begin, end) into chunks whose
+/// boundaries depend only on the range size and the `grain` argument — never
+/// on the worker count. Bodies that accumulate floating-point state per chunk
+/// (see ParallelForChunks) therefore produce bit-identical results at any
+/// SQLFACIL_THREADS setting, including 1.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not block on other tasks (chunk bodies are
+  /// independent by construction).
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool, created on first use with GetThreadsFromEnv()
+  /// workers. Never returns null.
+  static ThreadPool* Global();
+
+  /// Rebuilds the global pool with `num_threads` workers (joins the old
+  /// pool first). For tests and thread-sweep benchmarks; must not race with
+  /// concurrent ParallelFor calls.
+  static void SetGlobalThreads(int num_threads);
+
+  /// True when called from inside a pool worker thread (nested ParallelFor
+  /// calls run inline to avoid deadlock).
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(chunk_begin, chunk_end)` over [begin, end), split into chunks
+/// of at most `grain` iterations. Chunks run on the global pool plus the
+/// calling thread; the call returns after every chunk finishes. The first
+/// exception thrown by any chunk is rethrown in the caller. Bodies must only
+/// write state disjoint across chunks.
+///
+/// Runs inline (single chunk) when the range is at most `grain`, when the
+/// pool has one thread, or when already inside a pool worker.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Like ParallelFor but the body also receives the chunk index
+/// (`body(chunk, chunk_begin, chunk_end)`), with chunk boundaries fixed by
+/// (range, grain) alone. Deterministic reductions store one partial per
+/// chunk index and combine them sequentially afterwards:
+///
+///   const size_t chunks = NumChunks(0, n, grain);
+///   std::vector<double> partial(chunks, 0.0);
+///   ParallelForChunks(0, n, grain, [&](size_t c, size_t b, size_t e) {
+///     for (size_t i = b; i < e; ++i) partial[c] += f(i);
+///   });
+///   double total = 0.0;
+///   for (double p : partial) total += p;  // fixed order, any thread count
+void ParallelForChunks(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& body);
+
+/// Number of chunks ParallelFor/ParallelForChunks will use for this range —
+/// a function of (range, grain) only.
+size_t NumChunks(size_t begin, size_t end, size_t grain);
+
+}  // namespace sqlfacil
+
+#endif  // SQLFACIL_UTIL_THREAD_POOL_H_

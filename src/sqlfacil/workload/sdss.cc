@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/thread_pool.h"
 #include "sqlfacil/workload/querygen.h"
 
 namespace sqlfacil::workload {
@@ -62,34 +63,41 @@ SdssBuildResult BuildSdssWorkload(const SdssWorkloadConfig& config) {
   for (const auto& mix : kClassMix) weights.push_back(mix.weight);
 
   // --- Session simulation + per-session sampling -------------------------
-  QueryGenerator generator(&session_rng);
+  // Each session draws from its own RNG stream derived from (seed, session
+  // index), so the simulated log is byte-identical no matter how sessions
+  // are distributed across threads.
+  const uint64_t session_stream_seed = session_rng.Next();
+  const uint64_t noise_stream_seed = noise_rng.Next();
   struct Sample {
     std::string statement;
-    SessionClass session_class;
+    SessionClass session_class = SessionClass::kUnknown;
   };
-  std::vector<Sample> samples;
-  samples.reserve(num_sessions);
-  for (size_t s = 0; s < num_sessions; ++s) {
-    const ClassMix& mix = kClassMix[session_rng.Categorical(weights)];
-    const size_t hits = GeometricLength(mix.mean_hits, &session_rng);
-    // Bots fix one template for the whole session.
-    const int bot_template = static_cast<int>(
-        session_rng.NextUint64(QueryGenerator::kNumBotTemplates));
-    // Generate the session's hits and sample one uniformly. Generating all
-    // hits (rather than just one) keeps per-class repetition realistic:
-    // long bot sessions reuse one template, so the sampled hit is a
-    // template instance with session-specific constants.
-    const size_t pick = session_rng.NextUint64(hits);
-    std::string sampled;
-    for (size_t h = 0; h < hits; ++h) {
-      std::string statement =
-          mix.cls == SessionClass::kBot
-              ? generator.GenerateBotWithTemplate(bot_template)
-              : generator.Generate(mix.cls);
-      if (h == pick) sampled = std::move(statement);
+  std::vector<Sample> samples(num_sessions);
+  ParallelFor(0, num_sessions, 16, [&](size_t sb, size_t se) {
+    for (size_t s = sb; s < se; ++s) {
+      Rng srng(MixSeed(session_stream_seed, s));
+      QueryGenerator generator(&srng);
+      const ClassMix& mix = kClassMix[srng.Categorical(weights)];
+      const size_t hits = GeometricLength(mix.mean_hits, &srng);
+      // Bots fix one template for the whole session.
+      const int bot_template = static_cast<int>(
+          srng.NextUint64(QueryGenerator::kNumBotTemplates));
+      // Generate the session's hits and sample one uniformly. Generating all
+      // hits (rather than just one) keeps per-class repetition realistic:
+      // long bot sessions reuse one template, so the sampled hit is a
+      // template instance with session-specific constants.
+      const size_t pick = srng.NextUint64(hits);
+      std::string sampled;
+      for (size_t h = 0; h < hits; ++h) {
+        std::string statement =
+            mix.cls == SessionClass::kBot
+                ? generator.GenerateBotWithTemplate(bot_template)
+                : generator.Generate(mix.cls);
+        if (h == pick) sampled = std::move(statement);
+      }
+      samples[s] = Sample{std::move(sampled), mix.cls};
     }
-    samples.push_back(Sample{std::move(sampled), mix.cls});
-  }
+  });
 
   // --- Group identical statements (Appendix B.3) --------------------------
   struct Group {
@@ -110,15 +118,28 @@ SdssBuildResult BuildSdssWorkload(const SdssWorkloadConfig& config) {
   }
 
   // --- Label by execution + aggregate -------------------------------------
+  // Labeling executes every grouped statement — the dominant cost of the
+  // build. Groups label in parallel (the labeler is stateless per call);
+  // table statistics are warmed first because their lazy cache is not
+  // thread-safe.
+  catalog.WarmStats();
+  std::vector<QueryLabels> group_labels(groups.size());
+  ParallelFor(0, groups.size(), 8, [&](size_t gb, size_t ge) {
+    for (size_t g = gb; g < ge; ++g) {
+      group_labels[g] = labeler.Label(groups[g].statement);
+    }
+  });
+
   SdssBuildResult result;
   result.num_session_samples = samples.size();
   result.workload.name = "sdss";
   result.workload.queries.reserve(groups.size());
   size_t repeated = 0;
-  for (auto& g : groups) {
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    Group& g = groups[gi];
     result.statement_repetitions.push_back(g.count);
     if (g.count > 1) ++repeated;
-    const QueryLabels labels = labeler.Label(g.statement);
+    const QueryLabels& labels = group_labels[gi];
 
     LabeledQuery q;
     q.statement = std::move(g.statement);
@@ -138,10 +159,13 @@ SdssBuildResult BuildSdssWorkload(const SdssWorkloadConfig& config) {
     // is deterministic; CPU time gets per-entry log-normal noise.
     q.answer_size = labels.answer_size;
     q.has_answer_size = true;
+    // Noise draws come from a per-group stream keyed by group index, so the
+    // labels stay stable even if grouping order or threading changes.
+    Rng group_noise(MixSeed(noise_stream_seed, gi));
     double cpu_sum = 0.0;
     for (size_t i = 0; i < g.count; ++i) {
       cpu_sum += labels.base_cpu_seconds *
-                 noise_rng.LogNormal(0.0, config.cpu_noise_sigma);
+                 group_noise.LogNormal(0.0, config.cpu_noise_sigma);
     }
     q.cpu_time = cpu_sum / static_cast<double>(g.count);
     q.has_cpu_time = true;

@@ -7,6 +7,7 @@
 
 #include "sqlfacil/engine/datagen.h"
 #include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::workload {
 
@@ -157,9 +158,19 @@ SqlShareBuildResult BuildSqlShareWorkload(
   QueryLabeler labeler(&catalog, config.labeler);
 
   // --- Ad-hoc analytics per user -------------------------------------------
-  SqlShareBuildResult result;
-  result.workload.name = "sqlshare";
-  for (const User& user : users) {
+  // Users are independent: each draws its queries from an RNG stream keyed
+  // by (seed, user index) and labels them in place, so users shard across
+  // threads with byte-identical output at any thread count. Labeling reads
+  // table stats, whose lazy cache is not thread-safe — warm it first.
+  catalog.WarmStats();
+  const uint64_t query_stream_seed = query_rng.Next();
+  const uint64_t noise_stream_seed = noise_rng.Next();
+  std::vector<std::vector<LabeledQuery>> per_user(users.size());
+  ParallelFor(0, users.size(), 1, [&](size_t ub, size_t ue) {
+  for (size_t u = ub; u < ue; ++u) {
+    const User& user = users[u];
+    Rng query_rng(MixSeed(query_stream_seed, u));
+    Rng noise_rng(MixSeed(noise_stream_seed, u));
     const size_t n_queries =
         std::max<size_t>(4, static_cast<size_t>(query_rng.Normal(
                                 static_cast<double>(
@@ -253,6 +264,15 @@ SqlShareBuildResult BuildSqlShareWorkload(
       lq.opt_cost = labels.opt_estimated_cost;
       // Error/session/answer-size labels are not part of the SQLShare
       // workload (Section 4.2).
+      per_user[u].push_back(std::move(lq));
+    }
+  }
+  });
+
+  SqlShareBuildResult result;
+  result.workload.name = "sqlshare";
+  for (auto& queries : per_user) {
+    for (auto& lq : queries) {
       result.workload.queries.push_back(std::move(lq));
     }
   }

@@ -1,0 +1,128 @@
+// Verifies the parallelism determinism contract: training, prediction, and
+// workload generation produce bit-identical results at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sqlfacil/models/lstm_model.h"
+#include "sqlfacil/models/tfidf_model.h"
+#include "sqlfacil/util/random.h"
+#include "sqlfacil/util/thread_pool.h"
+#include "sqlfacil/workload/sdss.h"
+
+namespace sqlfacil {
+namespace {
+
+using models::Dataset;
+using models::TaskKind;
+
+Dataset SyntheticClassification(size_t n, uint64_t seed) {
+  Dataset data;
+  data.kind = TaskKind::kClassification;
+  data.num_classes = 2;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const bool agg = rng.Bernoulli(0.5);
+    const int64_t id = rng.UniformInt(1, 500);
+    data.statements.push_back(
+        agg ? "SELECT COUNT(*) FROM photoobj WHERE objid = " +
+                  std::to_string(id)
+            : "SELECT ra, dec FROM specobj WHERE specobjid = " +
+                  std::to_string(id));
+    data.labels.push_back(agg ? 1 : 0);
+    data.opt_costs.push_back(rng.Uniform(1.0, 100.0));
+  }
+  return data;
+}
+
+template <typename Model>
+std::vector<std::vector<float>> FitAndPredict(Model model,
+                                              const Dataset& train,
+                                              const Dataset& valid,
+                                              int threads) {
+  ThreadPool::SetGlobalThreads(threads);
+  Rng rng(7);
+  model.Fit(train, valid, &rng);
+  std::vector<std::vector<float>> preds;
+  for (size_t i = 0; i < valid.size(); ++i) {
+    preds.push_back(model.Predict(valid.statements[i], valid.opt_costs[i]));
+  }
+  return preds;
+}
+
+TEST(DeterminismTest, TfidfModelBitIdenticalAcrossThreadCounts) {
+  const Dataset train = SyntheticClassification(80, 11);
+  const Dataset valid = SyntheticClassification(20, 22);
+  models::TfidfModel::Config config;
+  config.epochs = 3;
+  config.granularity = sql::Granularity::kWord;
+  const auto serial =
+      FitAndPredict(models::TfidfModel(config), train, valid, 1);
+  const auto parallel =
+      FitAndPredict(models::TfidfModel(config), train, valid, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), parallel[i].size());
+    for (size_t c = 0; c < serial[i].size(); ++c) {
+      EXPECT_EQ(serial[i][c], parallel[i][c]) << "example " << i;
+    }
+  }
+}
+
+TEST(DeterminismTest, LstmModelBitIdenticalAcrossThreadCounts) {
+  const Dataset train = SyntheticClassification(40, 33);
+  const Dataset valid = SyntheticClassification(10, 44);
+  models::LstmModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.embed_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  config.epochs = 2;
+  config.batch_size = 8;
+  const auto serial =
+      FitAndPredict(models::LstmModel(config), train, valid, 1);
+  const auto parallel =
+      FitAndPredict(models::LstmModel(config), train, valid, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), parallel[i].size());
+    for (size_t c = 0; c < serial[i].size(); ++c) {
+      EXPECT_EQ(serial[i][c], parallel[i][c]) << "example " << i;
+    }
+  }
+}
+
+TEST(DeterminismTest, SdssWorkloadBitIdenticalAcrossThreadCounts) {
+  workload::SdssWorkloadConfig config;
+  config.num_sessions = 250;
+  config.catalog.photoobj_rows = 1500;
+  config.catalog.phototag_rows = 1500;
+  config.catalog.specobj_rows = 300;
+  config.catalog.specphoto_rows = 300;
+  config.catalog.galaxy_rows = 900;
+  config.catalog.star_rows = 700;
+
+  ThreadPool::SetGlobalThreads(1);
+  const auto serial = workload::BuildSdssWorkload(config);
+  ThreadPool::SetGlobalThreads(8);
+  const auto parallel = workload::BuildSdssWorkload(config);
+
+  ASSERT_EQ(serial.workload.queries.size(), parallel.workload.queries.size());
+  EXPECT_EQ(serial.num_session_samples, parallel.num_session_samples);
+  EXPECT_EQ(serial.statement_repetitions, parallel.statement_repetitions);
+  for (size_t i = 0; i < serial.workload.queries.size(); ++i) {
+    const auto& a = serial.workload.queries[i];
+    const auto& b = parallel.workload.queries[i];
+    EXPECT_EQ(a.statement, b.statement) << "query " << i;
+    EXPECT_EQ(a.error_class, b.error_class) << "query " << i;
+    EXPECT_EQ(a.session_class, b.session_class) << "query " << i;
+    EXPECT_EQ(a.answer_size, b.answer_size) << "query " << i;
+    EXPECT_EQ(a.cpu_time, b.cpu_time) << "query " << i;
+    EXPECT_EQ(a.opt_cost, b.opt_cost) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sqlfacil
