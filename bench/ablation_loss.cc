@@ -80,8 +80,9 @@ int main() {
     model.Fit(train, variant.log_targets ? task.valid : raw_valid, &mrng);
 
     std::vector<double> qerrors;
+    const auto preds = model.PredictBatch(task.test.statements);
     for (size_t i = 0; i < task.test.size(); ++i) {
-      const double pred = model.Predict(task.test.statements[i], 0)[0];
+      const double pred = preds[i][0];
       const double y = task.transform.Invert(task.test.targets[i]);
       const double yhat =
           variant.log_targets ? task.transform.Invert(pred) : pred;

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Builds the serving/arena/cache tests under AddressSanitizer and runs them.
+# Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
+set -eu
+BUILD_DIR="${1:-build-asan}"
+cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD_DIR" -j \
+  --target serving_test nn_test models_test determinism_test
+status=0
+for t in serving_test nn_test models_test determinism_test; do
+  echo "== $t (ASan) =="
+  if ! "$BUILD_DIR/tests/$t"; then
+    status=1
+  fi
+done
+if [ "$status" -eq 0 ]; then
+  echo "ASAN_CLEAN"
+else
+  echo "ASAN_FAILURES"
+fi
+exit "$status"

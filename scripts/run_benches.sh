@@ -1,7 +1,34 @@
 #!/bin/sh
 # Runs every bench binary, writing bench_logs/<name>.log, skipping binaries
 # whose log already ends with the DONE marker. Re-run until all complete.
+#
+# --json: instead of the full sweep, runs the micro-benchmarks that track
+# the perf work (micro_nn, micro_parallel, micro_serving) with
+# google-benchmark's JSON writer and distills the key metrics into
+# bench_logs/BENCH_2.json.
 set -u
+
+if [ "${1:-}" = "--json" ]; then
+  mkdir -p bench_logs
+  for b in micro_nn micro_parallel micro_serving; do
+    bin="build/bench/$b"
+    if [ ! -x "$bin" ]; then
+      echo "missing $bin (build first)" >&2
+      exit 1
+    fi
+    echo "running $b (json)..."
+    "$bin" --benchmark_out="bench_logs/$b.json" \
+      --benchmark_out_format=json >/dev/null 2>&1 || exit 1
+  done
+  python3 scripts/summarize_benches.py \
+    bench_logs/micro_nn.json bench_logs/micro_parallel.json \
+    bench_logs/micro_serving.json > bench_logs/BENCH_2.json || exit 1
+  rm -f bench_logs/micro_nn.json bench_logs/micro_parallel.json \
+    bench_logs/micro_serving.json
+  echo "wrote bench_logs/BENCH_2.json"
+  exit 0
+fi
+
 mkdir -p bench_logs
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Distills google-benchmark JSON files into bench_logs/BENCH_2.json.
+
+Keeps the metrics the perf PRs track: per-benchmark wall time, throughput
+(items/s) where reported, latency percentiles (p50/p99 counters), and the
+derived batched-vs-loop speedups from micro_serving.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(paths):
+    out = {"benchmarks": {}, "derived": {}}
+    for path in paths:
+        doc = load(path)
+        name = path.split("/")[-1].removesuffix(".json")
+        entries = []
+        for b in doc.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            entry = {
+                "name": b["name"],
+                "real_time": b.get("real_time"),
+                "cpu_time": b.get("cpu_time"),
+                "time_unit": b.get("time_unit"),
+            }
+            for key in ("items_per_second", "p50_us", "p99_us"):
+                if key in b:
+                    entry[key] = b[key]
+            entries.append(entry)
+        out["benchmarks"][name] = entries
+
+    serving = {b["name"]: b for b in out["benchmarks"].get("micro_serving", [])}
+    for family in ("tfidf", "ccnn", "clstm"):
+        loop = serving.get(f"BM_PredictLoop_{family}")
+        batch = serving.get(f"BM_PredictBatch_{family}")
+        if loop and batch and loop.get("items_per_second"):
+            out["derived"][f"batch_speedup_{family}"] = round(
+                batch["items_per_second"] / loop["items_per_second"], 3
+            )
+        single = serving.get(f"BM_PredictSingle_{family}")
+        if single:
+            out["derived"][f"predict_{family}_p50_us"] = round(
+                single.get("p50_us", 0.0), 2
+            )
+            out["derived"][f"predict_{family}_p99_us"] = round(
+                single.get("p99_us", 0.0), 2
+            )
+    for family in ("ccnn", "clstm"):
+        for pct in (0, 50, 90):
+            b = serving.get(f"BM_CachedBatch_{family}/{pct}/manual_time")
+            if b and b.get("items_per_second"):
+                out["derived"][f"cached_batch_{family}_hit{pct}_items_per_s"] = round(
+                    b["items_per_second"], 1
+                )
+    json.dump(out, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -4,26 +4,17 @@
 #include <cmath>
 
 #include "sqlfacil/util/logging.h"
-#include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil::core {
 
 namespace {
 
-// Examples per ParallelFor chunk during evaluation. Predictions land in
-// pre-sized slots; metric reductions then run serially in example order so
-// results are identical at any thread count.
-constexpr size_t kPredictGrain = 16;
-
+// All evaluation flows through the models' batched fast path; metric
+// reductions then run serially in example order so results are identical
+// at any thread count.
 std::vector<std::vector<float>> PredictAll(const models::Model& model,
                                            const models::Dataset& test) {
-  std::vector<std::vector<float>> preds(test.size());
-  ParallelFor(0, test.size(), kPredictGrain, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) {
-      preds[i] = model.Predict(test.statements[i], test.opt_costs[i]);
-    }
-  });
-  return preds;
+  return model.PredictBatch(test.statements, test.opt_costs);
 }
 
 }  // namespace

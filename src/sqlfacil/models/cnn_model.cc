@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/nn/arena.h"
+#include "sqlfacil/nn/infer.h"
+#include "sqlfacil/nn/simd.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
 
@@ -251,16 +254,110 @@ std::vector<float> CnnModel::Predict(const std::string& statement,
   std::vector<float> out(logits->value.data(),
                          logits->value.data() + logits->value.size());
   if (kind_ == TaskKind::kClassification) {
-    // Softmax over the single row.
-    float max_logit = *std::max_element(out.begin(), out.end());
-    double denom = 0.0;
-    for (float& v : out) {
-      v = std::exp(v - max_logit);
-      denom += v;
-    }
-    for (float& v : out) v = static_cast<float>(v / denom);
+    nn::infer::SoftmaxInPlace(out.data(), out.size());
   }
   return out;
+}
+
+std::vector<std::vector<float>> CnnModel::PredictBatch(
+    std::span<const std::string> statements,
+    std::span<const double> opt_costs) const {
+  (void)opt_costs;
+  const size_t n = statements.size();
+  if (n == 0) return {};
+  auto encoded = vocab_.EncodeAll(statements, MaxLen());
+  const int max_width = *std::max_element(config_.widths.begin(),
+                                          config_.widths.end());
+  for (auto& ids : encoded) {
+    while (ids.size() < static_cast<size_t>(max_width)) ids.push_back(-1);
+  }
+
+  const int d = config_.embed_dim;
+  const int kernels = config_.kernels_per_width;
+  const int feat_dim = static_cast<int>(config_.widths.size()) * kernels;
+  const float* table = embedding_.table->value.data();
+  std::vector<std::vector<float>> preds(n);
+
+  // Fixed-size slices bound the arena high-water mark and give the thread
+  // pool deterministic work boundaries (each query's rows depend only on
+  // that query, so slicing cannot change any result).
+  constexpr size_t kSliceQueries = 32;
+  const size_t num_slices = (n + kSliceQueries - 1) / kSliceQueries;
+  ParallelFor(0, num_slices, 1, [&](size_t sb, size_t se) {
+    nn::Arena& arena = nn::ThreadLocalArena();
+    thread_local std::vector<size_t> row_offset;
+    for (size_t s = sb; s < se; ++s) {
+      const size_t qb = s * kSliceQueries;
+      const size_t qe = std::min(n, qb + kSliceQueries);
+      const int slice = static_cast<int>(qe - qb);
+
+      // Embed every query in the slice into one contiguous buffer.
+      size_t total_tokens = 0;
+      for (size_t q = qb; q < qe; ++q) total_tokens += encoded[q].size();
+      float* emb = arena.Alloc(total_tokens * d);
+      row_offset.assign(slice + 1, 0);
+      for (size_t q = qb; q < qe; ++q) {
+        const auto& ids = encoded[q];
+        nn::infer::GatherRows(table, d, ids.data(),
+                              static_cast<int>(ids.size()),
+                              emb + row_offset[q - qb] * d);
+        row_offset[q - qb + 1] =
+            row_offset[q - qb] + ids.size();
+      }
+
+      float* features = arena.Alloc(static_cast<size_t>(slice) * feat_dim);
+      for (size_t w = 0; w < config_.widths.size(); ++w) {
+        const int width = config_.widths[w];
+        const int wd = width * d;
+        // Stack all queries' unfold windows into one tall matrix so the
+        // convolution is a single matmul for the whole slice.
+        size_t total_rows = 0;
+        for (size_t q = qb; q < qe; ++q) {
+          total_rows += encoded[q].size() - width + 1;
+        }
+        float* windows = arena.Alloc(total_rows * wd);
+        size_t row = 0;
+        for (size_t q = qb; q < qe; ++q) {
+          const int t = static_cast<int>(encoded[q].size());
+          nn::infer::Unfold(emb + row_offset[q - qb] * d, t, d, width,
+                            windows + row * wd);
+          row += static_cast<size_t>(t - width + 1);
+        }
+        float* conv_out = arena.Alloc(total_rows * kernels);
+        nn::infer::MatMul(windows, convs_[w].weight->value.data(), conv_out,
+                          static_cast<int>(total_rows), wd, kernels);
+        nn::infer::BiasAdd(conv_out, convs_[w].bias->value.data(),
+                           static_cast<int>(total_rows), kernels);
+        nn::simd::Relu(conv_out, total_rows * kernels);
+        // Max-over-time per query lands directly in this width's feature
+        // columns, so the concat of pooled widths needs no extra copy.
+        row = 0;
+        for (size_t q = qb; q < qe; ++q) {
+          const int rows_q = static_cast<int>(encoded[q].size()) - width + 1;
+          nn::infer::MaxOverTime(
+              conv_out, static_cast<int>(row), static_cast<int>(row) + rows_q,
+              kernels,
+              features + (q - qb) * static_cast<size_t>(feat_dim) +
+                  w * static_cast<size_t>(kernels));
+          row += static_cast<size_t>(rows_q);
+        }
+      }
+
+      float* logits = arena.Alloc(static_cast<size_t>(slice) * outputs_);
+      nn::infer::MatMul(features, head_.weight->value.data(), logits, slice,
+                        feat_dim, outputs_);
+      nn::infer::BiasAdd(logits, head_.bias->value.data(), slice, outputs_);
+      for (size_t q = qb; q < qe; ++q) {
+        const float* row = logits + (q - qb) * static_cast<size_t>(outputs_);
+        preds[q].assign(row, row + outputs_);
+        if (kind_ == TaskKind::kClassification) {
+          nn::infer::SoftmaxInPlace(preds[q].data(), preds[q].size());
+        }
+      }
+      arena.Reset();
+    }
+  });
+  return preds;
 }
 
 }  // namespace sqlfacil::models

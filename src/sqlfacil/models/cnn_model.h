@@ -41,6 +41,14 @@ class CnnModel : public Model {
   void Fit(const Dataset& train, const Dataset& valid, Rng* rng) override;
   std::vector<float> Predict(const std::string& statement,
                              double opt_cost) const override;
+  /// Batched fast path: queries are processed in fixed slices; per conv
+  /// width the unfold windows of every query in a slice stack into one tall
+  /// matrix, so each width costs a single stacked matmul instead of one
+  /// matmul per query. Temporaries live in a per-thread arena (zero heap
+  /// allocations at steady state). Bit-identical to per-query Predict.
+  std::vector<std::vector<float>> PredictBatch(
+      std::span<const std::string> statements,
+      std::span<const double> opt_costs = {}) const override;
   size_t vocab_size() const override { return vocab_.size(); }
   size_t num_parameters() const override;
   Status SaveTo(std::ostream& out) const override;

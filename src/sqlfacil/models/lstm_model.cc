@@ -5,6 +5,9 @@
 #include <numeric>
 
 #include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/nn/arena.h"
+#include "sqlfacil/nn/infer.h"
+#include "sqlfacil/nn/simd.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
 
@@ -255,15 +258,141 @@ std::vector<float> LstmModel::Predict(const std::string& statement,
   std::vector<float> scores(out->value.data(),
                             out->value.data() + out->value.size());
   if (kind_ == TaskKind::kClassification) {
-    float max_logit = *std::max_element(scores.begin(), scores.end());
-    double denom = 0.0;
-    for (float& v : scores) {
-      v = std::exp(v - max_logit);
-      denom += v;
-    }
-    for (float& v : scores) v = static_cast<float>(v / denom);
+    nn::infer::SoftmaxInPlace(scores.data(), scores.size());
   }
   return scores;
+}
+
+void LstmModel::ForwardInference(
+    const std::vector<std::vector<int>>& encoded,
+    const std::vector<size_t>& order, size_t start, size_t end,
+    nn::Arena* arena, std::vector<std::vector<float>>* preds) const {
+  const int batch = static_cast<int>(end - start);
+  const int d = config_.embed_dim;
+  const int hidden = config_.hidden_dim;
+  const int layers = static_cast<int>(stack_.layers.size());
+  size_t max_len = 1;
+  for (size_t i = start; i < end; ++i) {
+    max_len = std::max(max_len, encoded[order[i]].size());
+  }
+
+  // Step workspace, allocated once and reused across every (t, layer) pair
+  // so the arena high-water mark is independent of sequence length.
+  float* x = arena->Alloc(static_cast<size_t>(batch) * d);
+  float* gx = arena->Alloc(static_cast<size_t>(batch) * 4 * hidden);
+  float* gh = arena->Alloc(static_cast<size_t>(batch) * 4 * hidden);
+  // Double-buffered per-layer state (prev / next swap each step).
+  thread_local std::vector<float*> h_prev, h_next, c_prev, c_next;
+  h_prev.assign(layers, nullptr);
+  h_next.assign(layers, nullptr);
+  c_prev.assign(layers, nullptr);
+  c_next.assign(layers, nullptr);
+  const size_t state_floats = static_cast<size_t>(batch) * hidden;
+  for (int l = 0; l < layers; ++l) {
+    h_prev[l] = arena->AllocZero(state_floats);
+    h_next[l] = arena->Alloc(state_floats);
+    c_prev[l] = arena->AllocZero(state_floats);
+    c_next[l] = arena->Alloc(state_floats);
+  }
+  thread_local std::vector<int> step_ids;
+  step_ids.assign(batch, -1);
+
+  for (size_t t = 0; t < max_len; ++t) {
+    for (int b = 0; b < batch; ++b) {
+      const auto& ids = encoded[order[start + b]];
+      step_ids[b] = t < ids.size() ? ids[t] : -1;
+    }
+    nn::infer::GatherRows(embedding_.table->value.data(), d, step_ids.data(),
+                          batch, x);
+    const float* input = x;
+    int input_dim = d;
+    for (int l = 0; l < layers; ++l) {
+      const auto& layer = stack_.layers[l];
+      // Gate pre-activations, replicating the autograd op order exactly:
+      // gx = x @ Wx, gx += bias (broadcast), gh = h_prev @ Wh, gx += gh.
+      nn::infer::MatMul(input, layer.input_map.weight->value.data(), gx,
+                        batch, input_dim, 4 * hidden);
+      nn::infer::BiasAdd(gx, layer.input_map.bias->value.data(), batch,
+                         4 * hidden);
+      nn::infer::MatMul(h_prev[l], layer.hidden_map.weight->value.data(), gh,
+                        batch, hidden, 4 * hidden);
+      nn::simd::AddAcc(gx, gh, static_cast<size_t>(batch) * 4 * hidden);
+      for (int b = 0; b < batch; ++b) {
+        float* h_out = h_next[l] + static_cast<size_t>(b) * hidden;
+        float* c_out = c_next[l] + static_cast<size_t>(b) * hidden;
+        const float* h_in = h_prev[l] + static_cast<size_t>(b) * hidden;
+        const float* c_in = c_prev[l] + static_cast<size_t>(b) * hidden;
+        if (t >= encoded[order[start + b]].size()) {
+          // Padded row: state carries over (autograd's BlendRows).
+          std::copy(h_in, h_in + hidden, h_out);
+          std::copy(c_in, c_in + hidden, c_out);
+          continue;
+        }
+        // Gate order [update, forget, output, candidate], matching
+        // SplitGates.
+        float* row = gx + static_cast<size_t>(b) * 4 * hidden;
+        nn::infer::SigmoidInPlace(row, 3 * static_cast<size_t>(hidden));
+        nn::infer::TanhInPlace(row + 3 * hidden, hidden);
+        const float* u = row;
+        const float* f = row + hidden;
+        const float* o = row + 2 * hidden;
+        const float* cand = row + 3 * hidden;
+        for (int j = 0; j < hidden; ++j) {
+          const float uc = u[j] * cand[j];
+          const float fc = f[j] * c_in[j];
+          c_out[j] = uc + fc;
+          h_out[j] = o[j] * std::tanh(c_out[j]);
+        }
+      }
+      std::swap(h_prev[l], h_next[l]);
+      std::swap(c_prev[l], c_next[l]);
+      input = h_prev[l];
+      input_dim = hidden;
+    }
+  }
+
+  float* logits = arena->Alloc(static_cast<size_t>(batch) * outputs_);
+  nn::infer::MatMul(h_prev[layers - 1], head_.weight->value.data(), logits,
+                    batch, hidden, outputs_);
+  nn::infer::BiasAdd(logits, head_.bias->value.data(), batch, outputs_);
+  for (int b = 0; b < batch; ++b) {
+    const float* row = logits + static_cast<size_t>(b) * outputs_;
+    auto& out = (*preds)[order[start + b]];
+    out.assign(row, row + outputs_);
+    if (kind_ == TaskKind::kClassification) {
+      nn::infer::SoftmaxInPlace(out.data(), out.size());
+    }
+  }
+}
+
+std::vector<std::vector<float>> LstmModel::PredictBatch(
+    std::span<const std::string> statements,
+    std::span<const double> opt_costs) const {
+  (void)opt_costs;
+  const size_t n = statements.size();
+  if (n == 0) return {};
+  auto encoded = vocab_.EncodeAll(statements, MaxLen(), /*pad_empty=*/true);
+  // Length bucketing as in Fit: stable sort by encoded length so buckets
+  // carry minimal padding (and results stay order-independent — every row
+  // computes from its own state only).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return encoded[a].size() < encoded[b].size();
+  });
+  const size_t bucket = static_cast<size_t>(std::max(1, config_.batch_size));
+  const size_t num_buckets = (n + bucket - 1) / bucket;
+  std::vector<std::vector<float>> preds(n);
+  ParallelFor(0, num_buckets, 1, [&](size_t bb, size_t be) {
+    nn::Arena& arena = nn::ThreadLocalArena();
+    for (size_t b = bb; b < be; ++b) {
+      const size_t start = b * bucket;
+      ForwardInference(encoded, order, start, std::min(n, start + bucket),
+                       &arena, &preds);
+      arena.Reset();
+    }
+  });
+  return preds;
 }
 
 }  // namespace sqlfacil::models

@@ -6,6 +6,10 @@
 #include "sqlfacil/nn/layers.h"
 #include "sqlfacil/nn/optim.h"
 
+namespace sqlfacil::nn {
+class Arena;
+}  // namespace sqlfacil::nn
+
 namespace sqlfacil::models {
 
 /// The three-layer LSTM of Section 5.2 (Figure 18): token embeddings fed
@@ -38,6 +42,15 @@ class LstmModel : public Model {
   void Fit(const Dataset& train, const Dataset& valid, Rng* rng) override;
   std::vector<float> Predict(const std::string& statement,
                              double opt_cost) const override;
+  /// Batched fast path: queries are length-bucketed (stable sort by encoded
+  /// length, fixed bucket size) so padding work is minimal, and each bucket
+  /// runs a fused graph-free forward with all temporaries in a per-thread
+  /// arena. Bit-identical to per-query Predict: every step kernel is
+  /// row-independent and padded rows keep their state, exactly like the
+  /// autograd path's BlendRows.
+  std::vector<std::vector<float>> PredictBatch(
+      std::span<const std::string> statements,
+      std::span<const double> opt_costs = {}) const override;
   size_t vocab_size() const override { return vocab_.size(); }
   size_t num_parameters() const override;
   Status SaveTo(std::ostream& out) const override;
@@ -51,6 +64,13 @@ class LstmModel : public Model {
   }
   /// Batched forward over encoded sequences; returns (B x outputs).
   nn::Var Forward(const std::vector<const std::vector<int>*>& batch) const;
+  /// Graph-free forward for one bucket of PredictBatch: queries
+  /// order[start..end), temporaries in `arena` (caller resets it), results
+  /// written to (*preds)[order[i]].
+  void ForwardInference(const std::vector<std::vector<int>>& encoded,
+                        const std::vector<size_t>& order, size_t start,
+                        size_t end, nn::Arena* arena,
+                        std::vector<std::vector<float>>* preds) const;
   std::vector<nn::Var> Params() const;
   double ValidLoss(const Dataset& valid,
                    const std::vector<std::vector<int>>& encoded) const;

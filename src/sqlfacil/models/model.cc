@@ -1,6 +1,26 @@
 #include "sqlfacil/models/model.h"
 
+#include "sqlfacil/util/logging.h"
+#include "sqlfacil/util/thread_pool.h"
+
 namespace sqlfacil::models {
+
+std::vector<std::vector<float>> Model::PredictBatch(
+    std::span<const std::string> statements,
+    std::span<const double> opt_costs) const {
+  SQLFACIL_CHECK(opt_costs.empty() || opt_costs.size() == statements.size())
+      << "PredictBatch opt_costs size mismatch";
+  std::vector<std::vector<float>> preds(statements.size());
+  constexpr size_t kPredictGrain = 16;
+  ParallelFor(0, statements.size(), kPredictGrain,
+              [&](size_t b, size_t e) {
+                for (size_t i = b; i < e; ++i) {
+                  preds[i] = Predict(statements[i],
+                                     opt_costs.empty() ? 0.0 : opt_costs[i]);
+                }
+              });
+  return preds;
+}
 
 Status Model::SaveTo(std::ostream& out) const {
   (void)out;

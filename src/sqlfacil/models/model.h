@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,16 @@ class Model {
   /// Per-query inference. `opt_cost` feeds the opt baseline only.
   virtual std::vector<float> Predict(const std::string& statement,
                                      double opt_cost) const = 0;
+
+  /// Batched inference over `statements`; result i is bit-identical to
+  /// Predict(statements[i], opt_costs[i]). `opt_costs` may be empty (treated
+  /// as all-zero) or must match `statements` in size. The base
+  /// implementation shards per-query Predict over the thread pool; the
+  /// neural families override it with an allocation-free batched forward
+  /// (stacked matmul for CNN, length-bucketed stepping for LSTM).
+  virtual std::vector<std::vector<float>> PredictBatch(
+      std::span<const std::string> statements,
+      std::span<const double> opt_costs = {}) const;
 
   /// Vocabulary size v (0 for baselines) and parameter count p, as
   /// reported in the paper's Tables 2/4/5.

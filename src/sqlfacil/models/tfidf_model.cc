@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/nn/infer.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
 
@@ -12,13 +13,7 @@ namespace sqlfacil::models {
 namespace {
 
 void Softmax(std::vector<float>* scores) {
-  float max_score = *std::max_element(scores->begin(), scores->end());
-  double denom = 0.0;
-  for (float& s : *scores) {
-    s = std::exp(s - max_score);
-    denom += s;
-  }
-  for (float& s : *scores) s = static_cast<float>(s / denom);
+  nn::infer::SoftmaxInPlace(scores->data(), scores->size());
 }
 
 }  // namespace
@@ -135,6 +130,23 @@ std::vector<float> TfidfModel::Predict(const std::string& statement,
   auto scores = Scores(vectorizer_.Transform(statement));
   if (kind_ == TaskKind::kClassification) Softmax(&scores);
   return scores;
+}
+
+std::vector<std::vector<float>> TfidfModel::PredictBatch(
+    std::span<const std::string> statements,
+    std::span<const double> opt_costs) const {
+  (void)opt_costs;
+  const auto features = vectorizer_.TransformAll(statements);
+  std::vector<std::vector<float>> preds(statements.size());
+  constexpr size_t kScoreGrain = 64;
+  ParallelFor(0, statements.size(), kScoreGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      auto scores = Scores(features[i]);
+      if (kind_ == TaskKind::kClassification) Softmax(&scores);
+      preds[i] = std::move(scores);
+    }
+  });
+  return preds;
 }
 
 Status TfidfModel::SaveTo(std::ostream& out) const {

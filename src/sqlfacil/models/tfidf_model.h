@@ -32,6 +32,13 @@ class TfidfModel : public Model {
   void Fit(const Dataset& train, const Dataset& valid, Rng* rng) override;
   std::vector<float> Predict(const std::string& statement,
                              double opt_cost) const override;
+  /// Batched fast path: featurization shards over the thread pool once,
+  /// then scoring runs over the precomputed sparse vectors. (The features
+  /// are sparse, so there is no dense stacked matmul to win here — the
+  /// gain is batching the featurization and skipping per-call overhead.)
+  std::vector<std::vector<float>> PredictBatch(
+      std::span<const std::string> statements,
+      std::span<const double> opt_costs = {}) const override;
   size_t vocab_size() const override { return vectorizer_.num_features(); }
   size_t num_parameters() const override {
     return (vectorizer_.num_features() + 1) * outputs_;

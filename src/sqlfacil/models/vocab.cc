@@ -57,7 +57,7 @@ std::vector<int> Vocabulary::Encode(const std::string& statement,
 }
 
 std::vector<std::vector<int>> Vocabulary::EncodeAll(
-    const std::vector<std::string>& statements, size_t max_len,
+    std::span<const std::string> statements, size_t max_len,
     bool pad_empty) const {
   std::vector<std::vector<int>> encoded(statements.size());
   ParallelFor(0, statements.size(), kEncodeGrain, [&](size_t b, size_t e) {
@@ -208,7 +208,7 @@ std::vector<std::pair<int, float>> TfidfVectorizer::Transform(
 }
 
 std::vector<std::vector<std::pair<int, float>>> TfidfVectorizer::TransformAll(
-    const std::vector<std::string>& statements) const {
+    std::span<const std::string> statements) const {
   std::vector<std::vector<std::pair<int, float>>> features(statements.size());
   ParallelFor(0, statements.size(), kEncodeGrain, [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) features[i] = Transform(statements[i]);

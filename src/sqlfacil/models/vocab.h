@@ -2,6 +2,7 @@
 #define SQLFACIL_MODELS_VOCAB_H_
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,7 +39,7 @@ class Vocabulary {
   /// `pad_empty` replaces empty encodings with a single <UNK> (models need
   /// at least one step). Output order matches the input order.
   std::vector<std::vector<int>> EncodeAll(
-      const std::vector<std::string>& statements, size_t max_len = 0,
+      std::span<const std::string> statements, size_t max_len = 0,
       bool pad_empty = false) const;
 
   /// Checkpoint (de)serialization.
@@ -73,7 +74,7 @@ class TfidfVectorizer {
   /// Transform() over a corpus, statements sharded across the thread pool.
   /// Output order matches the input order.
   std::vector<std::vector<std::pair<int, float>>> TransformAll(
-      const std::vector<std::string>& statements) const;
+      std::span<const std::string> statements) const;
 
   size_t num_features() const { return feature_of_.size(); }
 

@@ -1,0 +1,59 @@
+#include "sqlfacil/nn/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sqlfacil::nn {
+
+namespace {
+constexpr size_t kMinBlockFloats = size_t{1} << 16;  // 256 KiB
+}  // namespace
+
+float* Arena::Alloc(size_t n) {
+  const size_t rounded = (n + 7) & ~size_t{7};
+  while (current_ < blocks_.size() &&
+         used_ + rounded > blocks_[current_].capacity) {
+    ++current_;
+    used_ = 0;
+  }
+  if (current_ == blocks_.size()) {
+    // Grow geometrically so a warming-up arena settles in O(log size)
+    // blocks; Reset() then fuses them into one.
+    const size_t cap =
+        std::max({rounded, kMinBlockFloats, reserved_floats()});
+    blocks_.push_back({std::unique_ptr<float[]>(new float[cap]), cap});
+    used_ = 0;
+  }
+  float* p = blocks_[current_].data.get() + used_;
+  used_ += rounded;
+  return p;
+}
+
+float* Arena::AllocZero(size_t n) {
+  float* p = Alloc(n);
+  std::memset(p, 0, n * sizeof(float));
+  return p;
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1) {
+    const size_t total = reserved_floats();
+    blocks_.clear();
+    blocks_.push_back({std::unique_ptr<float[]>(new float[total]), total});
+  }
+  current_ = 0;
+  used_ = 0;
+}
+
+size_t Arena::reserved_floats() const {
+  size_t total = 0;
+  for (const auto& b : blocks_) total += b.capacity;
+  return total;
+}
+
+Arena& ThreadLocalArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace sqlfacil::nn

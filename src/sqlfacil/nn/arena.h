@@ -1,0 +1,55 @@
+#ifndef SQLFACIL_NN_ARENA_H_
+#define SQLFACIL_NN_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace sqlfacil::nn {
+
+/// Bump allocator for forward-pass temporaries on the inference fast path.
+///
+/// Lifetime rules: every Alloc'd pointer is valid until the next Reset();
+/// Reset() reclaims everything at once. A batch of work Alloc's freely,
+/// then Resets — after the first batch has sized the arena, steady state
+/// performs zero heap allocations (Reset coalesces a multi-block arena into
+/// one block of the total capacity, so the next batch fits in block 0).
+///
+/// Not thread-safe; use one arena per thread (ThreadLocalArena()).
+class Arena {
+ public:
+  /// Uninitialized storage for n floats (rounded up to a multiple of 8 so
+  /// vector kernels can always run full lanes on a following allocation).
+  float* Alloc(size_t n);
+
+  /// Alloc + zero fill — for matmul/gather destinations, which the autograd
+  /// path gets zeroed from the Tensor constructor.
+  float* AllocZero(size_t n);
+
+  /// Reclaims all allocations. Coalesces multiple blocks into one.
+  void Reset();
+
+  /// Total floats reserved across blocks (capacity, not live usage).
+  size_t reserved_floats() const;
+  /// Block count; steady state is <= 1.
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> data;
+    size_t capacity = 0;
+  };
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // block index being bumped
+  size_t used_ = 0;     // floats used in blocks_[current_]
+};
+
+/// Per-thread arena: pool workers and the calling thread each get their own,
+/// so batched inference sharded over ParallelFor needs no locking. Callers
+/// must Reset() it when their unit of work completes.
+Arena& ThreadLocalArena();
+
+}  // namespace sqlfacil::nn
+
+#endif  // SQLFACIL_NN_ARENA_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "sqlfacil/nn/simd.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
 
@@ -16,34 +17,30 @@ namespace {
 // batch 16) on the serial path where dispatch overhead would dominate.
 constexpr size_t kElementwiseGrain = 1 << 15;
 constexpr size_t kMatMulFlopGrain = 1 << 18;
+// Backward kernels have lower arithmetic intensity per row than the zero-
+// skipping forward saxpy, so they amortize dispatch sooner: a 64x64x64
+// backward splits into ~4 chunks at this grain while 32x32 stays serial.
+constexpr size_t kMatMulBwdFlopGrain = 1 << 16;
+
+size_t RowGrainForFlops(size_t flop_grain, int k, int n) {
+  const size_t flops_per_row =
+      std::max<size_t>(1, static_cast<size_t>(k) * static_cast<size_t>(n));
+  size_t grain = std::max<size_t>(1, flop_grain / flops_per_row);
+  // With vector kernels each row finishes ~4x faster, so a chunk needs ~4x
+  // the rows to outweigh dispatch overhead (the small-CnnForward shapes:
+  // 64-window conv rows are cheap). Grain only moves chunk boundaries of
+  // row-independent kernels, so results are unchanged.
+  if (simd::Enabled()) grain *= 4;
+  return grain;
+}
 
 // Row-range grain for an (m x k) @ (k x n) product.
 size_t MatMulRowGrain(int k, int n) {
-  const size_t flops_per_row =
-      std::max<size_t>(1, static_cast<size_t>(k) * static_cast<size_t>(n));
-  return std::max<size_t>(1, kMatMulFlopGrain / flops_per_row);
+  return RowGrainForFlops(kMatMulFlopGrain, k, n);
 }
 
-// C[rb..re) += A[rb..re) @ B, saxpy form with k-tiling: a tile of B rows
-// stays cache-hot while it is reused across every row of the chunk. Per
-// output element the accumulation still runs over kk ascending, so the
-// result is bit-identical to the untiled loop at any tile size.
-void MatMulRowRange(const float* A, const float* B, float* C, size_t rb,
-                    size_t re, int k, int n) {
-  constexpr int kTile = 128;
-  for (int kb = 0; kb < k; kb += kTile) {
-    const int ke = std::min(k, kb + kTile);
-    for (size_t i = rb; i < re; ++i) {
-      const float* a_row = A + i * static_cast<size_t>(k);
-      float* c_row = C + i * static_cast<size_t>(n);
-      for (int kk = kb; kk < ke; ++kk) {
-        const float av = a_row[kk];
-        if (av == 0.0f) continue;
-        const float* b_row = B + static_cast<size_t>(kk) * n;
-        for (int j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-      }
-    }
-  }
+size_t MatMulBwdRowGrain(int k, int n) {
+  return RowGrainForFlops(kMatMulBwdFlopGrain, k, n);
 }
 
 }  // namespace
@@ -145,27 +142,28 @@ Var MatMul(const Var& a, const Var& b) {
   // element the accumulation order matches the serial loop exactly.
   ParallelFor(0, static_cast<size_t>(m), MatMulRowGrain(k, n),
               [&](size_t rb, size_t re) {
-                MatMulRowRange(A, B, C, rb, re, k, n);
+                simd::MatMulRows(A, B, C, rb, re, k, n);
               });
   Var av = a, bv = b;
   return MakeOp(std::move(out), {a, b}, [av, bv, m, k, n](Variable& node) {
     const float* G = node.grad.data();
     if (av->requires_grad) {
       // dA = G @ B^T: row i of dA is a set of dot products against rows of
-      // B — contiguous reads, disjoint writes per chunk.
+      // B — contiguous reads, disjoint writes per chunk. simd::Dot fixes
+      // the reduction decomposition, so any chunking/SIMD combination
+      // yields identical bits.
       float* dA = av->EnsureGrad().data();
       const float* B = bv->value.data();
-      ParallelFor(
-          0, static_cast<size_t>(m), MatMulRowGrain(k, n),
-          [&](size_t rb, size_t re) {
+      ParallelForChunks(
+          0, static_cast<size_t>(m), MatMulBwdRowGrain(k, n),
+          [&](size_t, size_t rb, size_t re) {
             for (size_t i = rb; i < re; ++i) {
               const float* g_row = G + i * static_cast<size_t>(n);
               float* da_row = dA + i * static_cast<size_t>(k);
               for (int kk = 0; kk < k; ++kk) {
-                const float* b_row = B + static_cast<size_t>(kk) * n;
-                float acc = 0.0f;
-                for (int j = 0; j < n; ++j) acc += g_row[j] * b_row[j];
-                da_row[kk] += acc;
+                da_row[kk] += simd::Dot(g_row,
+                                        B + static_cast<size_t>(kk) * n,
+                                        static_cast<size_t>(n));
               }
             }
           });
@@ -177,7 +175,7 @@ Var MatMul(const Var& a, const Var& b) {
       // are bit-identical regardless of which path runs.
       float* dB = bv->EnsureGrad().data();
       const float* A = av->value.data();
-      const size_t kk_grain = MatMulRowGrain(m, n);
+      const size_t kk_grain = MatMulBwdRowGrain(m, n);
       if (NumChunks(0, static_cast<size_t>(k), kk_grain) <= 1 ||
           ThreadPool::InWorker()) {
         for (int i = 0; i < m; ++i) {
@@ -186,21 +184,22 @@ Var MatMul(const Var& a, const Var& b) {
           for (int kk = 0; kk < k; ++kk) {
             const float a_ik = a_row[kk];
             if (a_ik == 0.0f) continue;
-            float* db_row = dB + static_cast<size_t>(kk) * n;
-            for (int j = 0; j < n; ++j) db_row[j] += a_ik * g_row[j];
+            simd::Axpy(dB + static_cast<size_t>(kk) * n, g_row, a_ik,
+                       static_cast<size_t>(n));
           }
         }
       } else {
-        ParallelFor(
-            0, static_cast<size_t>(k), kk_grain, [&](size_t kb, size_t ke) {
+        ParallelForChunks(
+            0, static_cast<size_t>(k), kk_grain,
+            [&](size_t, size_t kb, size_t ke) {
               for (int i = 0; i < m; ++i) {
                 const float* a_row = A + static_cast<size_t>(i) * k;
                 const float* g_row = G + static_cast<size_t>(i) * n;
                 for (size_t kk = kb; kk < ke; ++kk) {
                   const float a_ik = a_row[kk];
                   if (a_ik == 0.0f) continue;
-                  float* db_row = dB + kk * static_cast<size_t>(n);
-                  for (int j = 0; j < n; ++j) db_row[j] += a_ik * g_row[j];
+                  simd::Axpy(dB + kk * static_cast<size_t>(n), g_row, a_ik,
+                             static_cast<size_t>(n));
                 }
               }
             });
@@ -219,13 +218,15 @@ Var Add(const Var& a, const Var& b) {
   const int rows = out.rows(), cols = out.cols();
   const size_t row_grain =
       std::max<size_t>(1, kElementwiseGrain / std::max(1, cols));
+  const float* B = b->value.data();
+  float* O = out.data();
   ParallelFor(0, static_cast<size_t>(rows), row_grain,
               [&](size_t rb, size_t re) {
                 for (size_t i = rb; i < re; ++i) {
-                  const int r = static_cast<int>(i);
-                  for (int j = 0; j < cols; ++j) {
-                    out.at(r, j) += b->value.at(broadcast ? 0 : r, j);
-                  }
+                  simd::AddAcc(O + i * static_cast<size_t>(cols),
+                               B + (broadcast ? 0 : i) *
+                                       static_cast<size_t>(cols),
+                               static_cast<size_t>(cols));
                 }
               });
   Var av = a, bv = b;
@@ -236,17 +237,19 @@ Var Add(const Var& a, const Var& b) {
                     const float* G = node.grad.data();
                     ParallelFor(0, node.grad.size(), kElementwiseGrain,
                                 [&](size_t b_, size_t e_) {
-                                  for (size_t i = b_; i < e_; ++i) {
-                                    dA[i] += G[i];
-                                  }
+                                  simd::AddAcc(dA + b_, G + b_, e_ - b_);
                                 });
                   }
                   if (bv->requires_grad) {
-                    Tensor& db = bv->EnsureGrad();
+                    // Broadcast grad is a row reduction (i ascending per
+                    // element at any chunking), so it stays serial.
+                    float* dB = bv->EnsureGrad().data();
+                    const float* G = node.grad.data();
                     for (int i = 0; i < rows; ++i) {
-                      for (int j = 0; j < cols; ++j) {
-                        db.at(broadcast ? 0 : i, j) += node.grad.at(i, j);
-                      }
+                      simd::AddAcc(dB + (broadcast ? 0 : i) *
+                                            static_cast<size_t>(cols),
+                                   G + static_cast<size_t>(i) * cols,
+                                   static_cast<size_t>(cols));
                     }
                   }
                 });
@@ -255,20 +258,16 @@ Var Add(const Var& a, const Var& b) {
 Var Sub(const Var& a, const Var& b) {
   SQLFACIL_CHECK(a->value.SameShape(b->value)) << "Sub shape mismatch";
   Tensor out = a->value;
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] -= b->value.data()[i];
+  simd::SubAcc(out.data(), b->value.data(), out.size());
   Var av = a, bv = b;
   return MakeOp(std::move(out), {a, b}, [av, bv](Variable& node) {
     if (av->requires_grad) {
-      float* dA = av->EnsureGrad().data();
-      for (size_t i = 0; i < node.grad.size(); ++i) {
-        dA[i] += node.grad.data()[i];
-      }
+      simd::AddAcc(av->EnsureGrad().data(), node.grad.data(),
+                   node.grad.size());
     }
     if (bv->requires_grad) {
-      float* dB = bv->EnsureGrad().data();
-      for (size_t i = 0; i < node.grad.size(); ++i) {
-        dB[i] -= node.grad.data()[i];
-      }
+      simd::SubAcc(bv->EnsureGrad().data(), node.grad.data(),
+                   node.grad.size());
     }
   });
 }
@@ -279,7 +278,7 @@ Var Mul(const Var& a, const Var& b) {
   float* o = out.data();
   const float* B = b->value.data();
   ParallelFor(0, out.size(), kElementwiseGrain, [&](size_t b_, size_t e_) {
-    for (size_t i = b_; i < e_; ++i) o[i] *= B[i];
+    simd::Mul(o + b_, B + b_, e_ - b_);
   });
   Var av = a, bv = b;
   return MakeOp(std::move(out), {a, b}, [av, bv](Variable& node) {
@@ -289,7 +288,7 @@ Var Mul(const Var& a, const Var& b) {
       const float* BV = bv->value.data();
       ParallelFor(0, node.grad.size(), kElementwiseGrain,
                   [&](size_t b_, size_t e_) {
-                    for (size_t i = b_; i < e_; ++i) dA[i] += G[i] * BV[i];
+                    simd::MulAcc(dA + b_, G + b_, BV + b_, e_ - b_);
                   });
     }
     if (bv->requires_grad) {
@@ -297,7 +296,7 @@ Var Mul(const Var& a, const Var& b) {
       const float* AV = av->value.data();
       ParallelFor(0, node.grad.size(), kElementwiseGrain,
                   [&](size_t b_, size_t e_) {
-                    for (size_t i = b_; i < e_; ++i) dB[i] += G[i] * AV[i];
+                    simd::MulAcc(dB + b_, G + b_, AV + b_, e_ - b_);
                   });
     }
   });
@@ -305,14 +304,12 @@ Var Mul(const Var& a, const Var& b) {
 
 Var Scale(const Var& a, float s) {
   Tensor out = a->value;
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  simd::Scale(out.data(), s, out.size());
   Var av = a;
   return MakeOp(std::move(out), {a}, [av, s](Variable& node) {
     if (!av->requires_grad) return;
-    float* dA = av->EnsureGrad().data();
-    for (size_t i = 0; i < node.grad.size(); ++i) {
-      dA[i] += node.grad.data()[i] * s;
-    }
+    simd::Axpy(av->EnsureGrad().data(), node.grad.data(), s,
+               node.grad.size());
   });
 }
 
@@ -357,8 +354,28 @@ Var Tanh(const Var& a) {
 }
 
 Var Relu(const Var& a) {
-  return Pointwise(a, [](float x) { return x > 0.0f ? x : 0.0f; },
-                   [](float y) { return y > 0.0f ? 1.0f : 0.0f; });
+  // Not Pointwise: the forward is branch-free under simd::Relu, and the
+  // backward keeps the multiply-by-indicator form (G * 0.0f preserves the
+  // sign of zero exactly as the scalar spec does).
+  Tensor out = a->value;
+  float* o = out.data();
+  ParallelFor(0, out.size(), kElementwiseGrain, [&](size_t b, size_t e) {
+    simd::Relu(o + b, e - b);
+  });
+  Var av = a;
+  auto out_copy = std::make_shared<Tensor>(out);
+  return MakeOp(std::move(out), {a}, [av, out_copy](Variable& node) {
+    if (!av->requires_grad) return;
+    float* dA = av->EnsureGrad().data();
+    const float* G = node.grad.data();
+    const float* O = out_copy->data();
+    ParallelFor(0, node.grad.size(), kElementwiseGrain,
+                [&](size_t b, size_t e) {
+                  for (size_t i = b; i < e; ++i) {
+                    dA[i] += G[i] * (O[i] > 0.0f ? 1.0f : 0.0f);
+                  }
+                });
+  });
 }
 
 Var Rows(const Var& table, const std::vector<int>& indices) {

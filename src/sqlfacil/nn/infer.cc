@@ -1,0 +1,80 @@
+#include "sqlfacil/nn/infer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "sqlfacil/nn/simd.h"
+
+namespace sqlfacil::nn::infer {
+
+void MatMul(const float* A, const float* B, float* C, int m, int k, int n) {
+  std::memset(C, 0,
+              static_cast<size_t>(m) * static_cast<size_t>(n) * sizeof(float));
+  simd::MatMulRows(A, B, C, 0, static_cast<size_t>(m), k, n);
+}
+
+void BiasAdd(float* X, const float* bias, int rows, int cols) {
+  for (int i = 0; i < rows; ++i) {
+    simd::AddAcc(X + static_cast<size_t>(i) * cols, bias,
+                 static_cast<size_t>(cols));
+  }
+}
+
+void GatherRows(const float* table, int d, const int* ids, int n,
+                float* out) {
+  for (int i = 0; i < n; ++i) {
+    float* row = out + static_cast<size_t>(i) * d;
+    if (ids[i] < 0) {
+      std::memset(row, 0, static_cast<size_t>(d) * sizeof(float));
+    } else {
+      std::memcpy(row, table + static_cast<size_t>(ids[i]) * d,
+                  static_cast<size_t>(d) * sizeof(float));
+    }
+  }
+}
+
+void Unfold(const float* in, int t, int d, int window, float* out) {
+  const int out_rows = t - window + 1;
+  const size_t row_floats = static_cast<size_t>(window) * d;
+  for (int i = 0; i < out_rows; ++i) {
+    // Windows are contiguous in the (t x d) input, so each output row is
+    // one straight copy of window*d floats starting at input row i.
+    std::memcpy(out + static_cast<size_t>(i) * row_floats,
+                in + static_cast<size_t>(i) * d, row_floats * sizeof(float));
+  }
+}
+
+void MaxOverTime(const float* X, int row_begin, int row_end, int k,
+                 float* out) {
+  std::memcpy(out, X + static_cast<size_t>(row_begin) * k,
+              static_cast<size_t>(k) * sizeof(float));
+  for (int i = row_begin + 1; i < row_end; ++i) {
+    const float* row = X + static_cast<size_t>(i) * k;
+    for (int j = 0; j < k; ++j) {
+      if (row[j] > out[j]) out[j] = row[j];
+    }
+  }
+}
+
+void SigmoidInPlace(float* v, size_t n) {
+  for (size_t i = 0; i < n; ++i) v[i] = 1.0f / (1.0f + std::exp(-v[i]));
+}
+
+void TanhInPlace(float* v, size_t n) {
+  for (size_t i = 0; i < n; ++i) v[i] = std::tanh(v[i]);
+}
+
+void SoftmaxInPlace(float* v, size_t n) {
+  const float max_v = *std::max_element(v, v + n);
+  double denom = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::exp(v[i] - max_v);
+    denom += v[i];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(v[i] / denom);
+  }
+}
+
+}  // namespace sqlfacil::nn::infer

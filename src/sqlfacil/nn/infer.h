@@ -1,0 +1,49 @@
+#ifndef SQLFACIL_NN_INFER_H_
+#define SQLFACIL_NN_INFER_H_
+
+#include <cstddef>
+
+namespace sqlfacil::nn::infer {
+
+/// Graph-free forward kernels for the batched inference fast path. Each
+/// kernel performs exactly the per-element operations (and operation order)
+/// of the corresponding autograd op's forward pass, so a fast-path forward
+/// is bit-identical to running the autograd graph — that equivalence is
+/// what the PredictBatch-vs-Predict tests pin down.
+
+/// C = A @ B for (m x k) @ (k x n); zeroes C first (the autograd op writes
+/// into a zero-initialized Tensor) and accumulates with the same k-tiled
+/// saxpy kernel the autograd forward uses.
+void MatMul(const float* A, const float* B, float* C, int m, int k, int n);
+
+/// X[i, :] += bias[:] for each of `rows` rows (broadcast nn::Add).
+void BiasAdd(float* X, const float* bias, int rows, int cols);
+
+/// out[i, :] = table[ids[i], :], zero row when ids[i] < 0 (nn::Rows).
+void GatherRows(const float* table, int d, const int* ids, int n,
+                float* out);
+
+/// out = sliding windows of `in` (t x d) at width `window`:
+/// out[(t - window + 1) x (window * d)] (nn::Unfold).
+void Unfold(const float* in, int t, int d, int window, float* out);
+
+/// out[j] = max over rows [row_begin, row_end) of X[:, k] — strict-greater
+/// scan in row order, matching nn::MaxOverTime's first-max semantics.
+void MaxOverTime(const float* X, int row_begin, int row_end, int k,
+                 float* out);
+
+/// v[i] = 1 / (1 + exp(-v[i])), float exp (nn::Sigmoid forward).
+void SigmoidInPlace(float* v, size_t n);
+
+/// v[i] = tanh(v[i]) (nn::Tanh forward).
+void TanhInPlace(float* v, size_t n);
+
+/// In-place softmax over v[0..n): float max, float exp(v - max), the
+/// denominator accumulated in double, then v = float(v / denom). This is
+/// the exact sequence every model's Predict uses on its logits, shared here
+/// so the fast path and the cache key the same numbers.
+void SoftmaxInPlace(float* v, size_t n);
+
+}  // namespace sqlfacil::nn::infer
+
+#endif  // SQLFACIL_NN_INFER_H_

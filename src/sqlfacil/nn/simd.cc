@@ -1,0 +1,278 @@
+#include "sqlfacil/nn/simd.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "sqlfacil/util/env.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define SQLFACIL_X86 1
+#else
+#define SQLFACIL_X86 0
+#endif
+
+namespace sqlfacil::nn::simd {
+
+namespace {
+
+// Dispatch flag. Relaxed atomics: SetEnabled must not race with running
+// kernels (same contract as ThreadPool::SetGlobalThreads), the atomic only
+// keeps the flag itself TSan-clean.
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_initialized{false};
+
+void InitOnce() {
+  if (g_initialized.load(std::memory_order_acquire)) return;
+  const int knob = GetSimdFromEnv();
+  const bool on = HasAvx2() && knob != 0;
+  g_enabled.store(on, std::memory_order_relaxed);
+  g_initialized.store(true, std::memory_order_release);
+}
+
+// --- Scalar fallbacks -------------------------------------------------------
+// Each fallback is the operation spec: the AVX2 variant must match it
+// bit-for-bit (see the contract in simd.h).
+
+void AxpyScalar(float* dst, const float* x, float a, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += a * x[i];
+}
+
+void AddAccScalar(float* dst, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += x[i];
+}
+
+void SubAccScalar(float* dst, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] -= x[i];
+}
+
+void MulScalar(float* dst, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] *= x[i];
+}
+
+void MulAccScalar(float* dst, const float* x, const float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += x[i] * y[i];
+}
+
+void ScaleScalar(float* dst, float s, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] *= s;
+}
+
+void ReluScalar(float* dst, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = dst[i] > 0.0f ? dst[i] : 0.0f;
+}
+
+// Fixed combine tree of the canonical 8-lane dot decomposition.
+float CombineLanes(const float lanes[8]) {
+  const float s01 = lanes[0] + lanes[1];
+  const float s23 = lanes[2] + lanes[3];
+  const float s45 = lanes[4] + lanes[5];
+  const float s67 = lanes[6] + lanes[7];
+  return (s01 + s23) + (s45 + s67);
+}
+
+float DotScalar(const float* x, const float* y, size_t n) {
+  float lanes[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int l = 0; l < 8; ++l) lanes[l] += x[i + l] * y[i + l];
+  }
+  for (int l = 0; i + l < n; ++l) lanes[l] += x[i + l] * y[i + l];
+  return CombineLanes(lanes);
+}
+
+// --- AVX2 variants ----------------------------------------------------------
+// target("avx2") only — no "fma", so the compiler cannot contract the
+// explicit mul+add pairs below into fused multiply-adds, which would change
+// rounding vs the scalar spec.
+
+#if SQLFACIL_X86
+
+__attribute__((target("avx2"))) void AxpyAvx2(float* dst, const float* x,
+                                              float a, size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 vd = _mm256_loadu_ps(dst + i);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(vd, _mm256_mul_ps(va, vx)));
+  }
+  for (; i < n; ++i) dst[i] += a * x[i];
+}
+
+__attribute__((target("avx2"))) void AddAccAvx2(float* dst, const float* x,
+                                                size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) dst[i] += x[i];
+}
+
+__attribute__((target("avx2"))) void SubAccAvx2(float* dst, const float* x,
+                                                size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_sub_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) dst[i] -= x[i];
+}
+
+__attribute__((target("avx2"))) void MulAvx2(float* dst, const float* x,
+                                             size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) dst[i] *= x[i];
+}
+
+__attribute__((target("avx2"))) void MulAccAvx2(float* dst, const float* x,
+                                                const float* y, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), prod));
+  }
+  for (; i < n; ++i) dst[i] += x[i] * y[i];
+}
+
+__attribute__((target("avx2"))) void ScaleAvx2(float* dst, float s,
+                                               size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_loadu_ps(dst + i), vs));
+  }
+  for (; i < n; ++i) dst[i] *= s;
+}
+
+__attribute__((target("avx2"))) void ReluAvx2(float* dst, size_t n) {
+  // max_ps(v, 0) matches `v > 0 ? v : 0` for every input: on equality
+  // (v == ±0) and on NaN in the first operand, maxps returns the second
+  // operand (+0), exactly like the scalar branch.
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_max_ps(_mm256_loadu_ps(dst + i), zero));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] > 0.0f ? dst[i] : 0.0f;
+}
+
+__attribute__((target("avx2"))) float DotAvx2(const float* x, const float* y,
+                                              size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_add_ps(
+        acc, _mm256_mul_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (int l = 0; i + l < n; ++l) lanes[l] += x[i + l] * y[i + l];
+  return CombineLanes(lanes);
+}
+
+#endif  // SQLFACIL_X86
+
+}  // namespace
+
+bool HasAvx2() {
+#if SQLFACIL_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool Enabled() {
+  InitOnce();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool on) {
+  InitOnce();
+  g_enabled.store(on && HasAvx2(), std::memory_order_relaxed);
+}
+
+void Axpy(float* dst, const float* x, float a, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return AxpyAvx2(dst, x, a, n);
+#endif
+  AxpyScalar(dst, x, a, n);
+}
+
+void AddAcc(float* dst, const float* x, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return AddAccAvx2(dst, x, n);
+#endif
+  AddAccScalar(dst, x, n);
+}
+
+void SubAcc(float* dst, const float* x, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return SubAccAvx2(dst, x, n);
+#endif
+  SubAccScalar(dst, x, n);
+}
+
+void Mul(float* dst, const float* x, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return MulAvx2(dst, x, n);
+#endif
+  MulScalar(dst, x, n);
+}
+
+void MulAcc(float* dst, const float* x, const float* y, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return MulAccAvx2(dst, x, y, n);
+#endif
+  MulAccScalar(dst, x, y, n);
+}
+
+void Scale(float* dst, float s, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return ScaleAvx2(dst, s, n);
+#endif
+  ScaleScalar(dst, s, n);
+}
+
+void Relu(float* dst, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return ReluAvx2(dst, n);
+#endif
+  ReluScalar(dst, n);
+}
+
+float Dot(const float* x, const float* y, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return DotAvx2(x, y, n);
+#endif
+  return DotScalar(x, y, n);
+}
+
+void MatMulRows(const float* A, const float* B, float* C, size_t row_begin,
+                size_t row_end, int k, int n) {
+  constexpr int kTile = 128;
+  for (int kb = 0; kb < k; kb += kTile) {
+    const int ke = std::min(k, kb + kTile);
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = A + i * static_cast<size_t>(k);
+      float* c_row = C + i * static_cast<size_t>(n);
+      for (int kk = kb; kk < ke; ++kk) {
+        const float av = a_row[kk];
+        // Zero rows are common (embedding padding, relu output); skipping
+        // them is exact: the skipped saxpy would add ±0 everywhere.
+        if (av == 0.0f) continue;
+        Axpy(c_row, B + static_cast<size_t>(kk) * n, av,
+             static_cast<size_t>(n));
+      }
+    }
+  }
+}
+
+}  // namespace sqlfacil::nn::simd

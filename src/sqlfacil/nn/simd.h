@@ -1,0 +1,72 @@
+#ifndef SQLFACIL_NN_SIMD_H_
+#define SQLFACIL_NN_SIMD_H_
+
+#include <cstddef>
+
+namespace sqlfacil::nn::simd {
+
+/// Runtime SIMD dispatch for the float kernels below. AVX2 variants are
+/// selected when the CPU supports AVX2 and SQLFACIL_SIMD is not 0; the
+/// scalar fallbacks are always available.
+///
+/// Determinism contract (extends the thread-count contract of
+/// util/thread_pool.h): every kernel performs the same per-element IEEE
+/// operations in the same order on both paths, so results are bit-identical
+/// with SIMD on or off.
+///   - Elementwise kernels (Axpy, AddAcc, SubAcc, Mul, MulAcc, Scale, Relu)
+///     touch each element independently; lane-parallel evaluation cannot
+///     reorder anything. FMA is deliberately never used: the scalar path
+///     rounds after the multiply and after the add, so the vector path must
+///     too (mul + add, not fused).
+///   - Dot is a reduction and uses a fixed 8-lane decomposition: lane l
+///     accumulates elements l, l+8, l+16, ... and the eight partials are
+///     combined in one documented tree order. The scalar fallback implements
+///     the identical decomposition, so the sum is bit-identical to the AVX2
+///     accumulator-register version at any length.
+bool HasAvx2();
+
+/// True when AVX2 kernels are dispatched. Initialized on first use from
+/// SQLFACIL_SIMD (1 = force on when supported, 0 = force scalar, unset =
+/// auto-detect).
+bool Enabled();
+
+/// Overrides dispatch at runtime (clamped to HasAvx2()); for tests and the
+/// SIMD on/off bench sweeps. Must not race with running kernels.
+void SetEnabled(bool on);
+
+/// dst[i] += a * x[i]
+void Axpy(float* dst, const float* x, float a, size_t n);
+
+/// dst[i] += x[i]
+void AddAcc(float* dst, const float* x, size_t n);
+
+/// dst[i] -= x[i]
+void SubAcc(float* dst, const float* x, size_t n);
+
+/// dst[i] *= x[i]
+void Mul(float* dst, const float* x, size_t n);
+
+/// dst[i] += x[i] * y[i]
+void MulAcc(float* dst, const float* x, const float* y, size_t n);
+
+/// dst[i] *= s
+void Scale(float* dst, float s, size_t n);
+
+/// dst[i] = dst[i] > 0 ? dst[i] : 0
+void Relu(float* dst, size_t n);
+
+/// Canonical 8-lane dot product (see contract above).
+float Dot(const float* x, const float* y, size_t n);
+
+/// C[rb..re) += A[rb..re) @ B for an (m x k) @ (k x n) product, saxpy form
+/// with k-tiling: a tile of B rows stays cache-hot while it is reused
+/// across every row of the chunk. Per output element the accumulation runs
+/// over k ascending regardless of tiling, chunking, or SIMD, so the result
+/// is bit-identical across all of them. Rows of C depend only on the same
+/// row of A, so any row partition yields identical bits.
+void MatMulRows(const float* A, const float* B, float* C, size_t row_begin,
+                size_t row_end, int k, int n);
+
+}  // namespace sqlfacil::nn::simd
+
+#endif  // SQLFACIL_NN_SIMD_H_

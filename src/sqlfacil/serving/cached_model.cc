@@ -1,0 +1,97 @@
+#include "sqlfacil/serving/cached_model.h"
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::serving {
+
+CachedModel::CachedModel(models::ModelPtr inner, size_t capacity)
+    : inner_(std::move(inner)), cache_(capacity) {
+  SQLFACIL_CHECK(inner_ != nullptr);
+}
+
+std::string CachedModel::MakeKey(const std::string& statement,
+                                 double opt_cost) const {
+  // opt_cost keys by exact bit pattern: only the opt baseline reads it, but
+  // merging two calls that differ in it would be wrong for that model.
+  uint64_t cost_bits = 0;
+  static_assert(sizeof(cost_bits) == sizeof(opt_cost));
+  std::memcpy(&cost_bits, &opt_cost, sizeof(cost_bits));
+  std::string key = inner_->name();
+  key.push_back('\x1f');
+  key += std::to_string(cost_bits);
+  key.push_back('\x1f');
+  key += NormalizeStatement(statement);
+  return key;
+}
+
+void CachedModel::Fit(const models::Dataset& train,
+                      const models::Dataset& valid, Rng* rng) {
+  inner_->Fit(train, valid, rng);
+  cache_.Clear();
+  ++generation_;
+}
+
+Status CachedModel::SaveTo(std::ostream& out) const {
+  return inner_->SaveTo(out);
+}
+
+Status CachedModel::LoadFrom(std::istream& in) {
+  Status s = inner_->LoadFrom(in);
+  cache_.Clear();
+  ++generation_;
+  return s;
+}
+
+std::vector<float> CachedModel::Predict(const std::string& statement,
+                                        double opt_cost) const {
+  const std::string key = MakeKey(statement, opt_cost);
+  if (auto hit = cache_.Get(key)) return std::move(*hit);
+  auto pred = inner_->Predict(statement, opt_cost);
+  cache_.Put(key, pred);
+  return pred;
+}
+
+std::vector<std::vector<float>> CachedModel::PredictBatch(
+    std::span<const std::string> statements,
+    std::span<const double> opt_costs) const {
+  SQLFACIL_CHECK(opt_costs.empty() || opt_costs.size() == statements.size())
+      << "PredictBatch opt_costs size mismatch";
+  const size_t n = statements.size();
+  std::vector<std::vector<float>> preds(n);
+  // Dedup the misses so each distinct (key) costs one inner inference even
+  // when the batch repeats statements.
+  std::unordered_map<std::string, std::vector<size_t>> miss_positions;
+  std::vector<std::string> miss_statements;
+  std::vector<double> miss_costs;
+  std::vector<const std::vector<size_t>*> miss_slots;
+  for (size_t i = 0; i < n; ++i) {
+    const double cost = opt_costs.empty() ? 0.0 : opt_costs[i];
+    std::string key = MakeKey(statements[i], cost);
+    if (auto hit = cache_.Get(key)) {
+      preds[i] = std::move(*hit);
+      continue;
+    }
+    auto [it, inserted] = miss_positions.emplace(std::move(key),
+                                                 std::vector<size_t>{});
+    if (inserted) {
+      miss_statements.push_back(statements[i]);
+      miss_costs.push_back(cost);
+      miss_slots.push_back(&it->second);
+    }
+    it->second.push_back(i);
+  }
+  if (miss_statements.empty()) return preds;
+  auto miss_preds = inner_->PredictBatch(miss_statements, miss_costs);
+  for (size_t m = 0; m < miss_statements.size(); ++m) {
+    const auto& positions = *miss_slots[m];
+    cache_.Put(MakeKey(miss_statements[m], miss_costs[m]), miss_preds[m]);
+    for (size_t pos : positions) preds[pos] = miss_preds[m];
+  }
+  return preds;
+}
+
+}  // namespace sqlfacil::serving

@@ -1,0 +1,58 @@
+#ifndef SQLFACIL_SERVING_CACHED_MODEL_H_
+#define SQLFACIL_SERVING_CACHED_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "sqlfacil/models/model.h"
+#include "sqlfacil/serving/prediction_cache.h"
+
+namespace sqlfacil::serving {
+
+/// Memoizing decorator for any Model: predictions are cached under
+/// (model name, normalized statement, opt-cost bits). The paper's workloads
+/// are highly repetitive (fig20_repetition), so serve-time hit rates are
+/// large; a hit returns bit-identical results to a cold miss because the
+/// cached vector IS the miss's result and normalization is
+/// semantics-preserving (see NormalizeStatement).
+///
+/// Invalidation: Fit and LoadFrom change the wrapped model's parameters, so
+/// both clear the cache and bump generation() (tests observe it).
+class CachedModel : public models::Model {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  CachedModel(models::ModelPtr inner, size_t capacity = kDefaultCapacity);
+
+  std::string name() const override { return inner_->name(); }
+  void Fit(const models::Dataset& train, const models::Dataset& valid,
+           Rng* rng) override;
+  std::vector<float> Predict(const std::string& statement,
+                             double opt_cost) const override;
+  /// Batched lookup: hits are served from the cache, the distinct missing
+  /// statements (batch-deduplicated) flow through the inner model's
+  /// batched fast path in one call, then populate the cache.
+  std::vector<std::vector<float>> PredictBatch(
+      std::span<const std::string> statements,
+      std::span<const double> opt_costs = {}) const override;
+  size_t vocab_size() const override { return inner_->vocab_size(); }
+  size_t num_parameters() const override { return inner_->num_parameters(); }
+  Status SaveTo(std::ostream& out) const override;
+  Status LoadFrom(std::istream& in) override;
+
+  const models::Model& inner() const { return *inner_; }
+  PredictionCache& cache() const { return cache_; }
+  /// Bumped on every Fit/LoadFrom (cache invalidation epoch).
+  size_t generation() const { return generation_; }
+
+ private:
+  std::string MakeKey(const std::string& statement, double opt_cost) const;
+
+  models::ModelPtr inner_;
+  mutable PredictionCache cache_;
+  size_t generation_ = 0;
+};
+
+}  // namespace sqlfacil::serving
+
+#endif  // SQLFACIL_SERVING_CACHED_MODEL_H_

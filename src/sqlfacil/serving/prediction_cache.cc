@@ -1,0 +1,102 @@
+#include "sqlfacil/serving/prediction_cache.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+
+namespace sqlfacil::serving {
+
+std::string NormalizeStatement(const std::string& statement) {
+  std::string out;
+  out.reserve(statement.size());
+  bool pending_space = false;
+  for (char c : statement) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+PredictionCache::PredictionCache(size_t capacity, size_t num_shards)
+    : shards_(std::max<size_t>(1, num_shards)) {
+  per_shard_capacity_ = std::max<size_t>(1, capacity / shards_.size());
+}
+
+PredictionCache::Shard& PredictionCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<std::vector<float>> PredictionCache::Get(
+    const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void PredictionCache::Put(const std::string& key, std::vector<float> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.index.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+}
+
+void PredictionCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+size_t PredictionCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.index.size();
+  }
+  return total;
+}
+
+size_t PredictionCache::hits() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.hits;
+  }
+  return total;
+}
+
+size_t PredictionCache::misses() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.misses;
+  }
+  return total;
+}
+
+}  // namespace sqlfacil::serving

@@ -1,0 +1,68 @@
+#ifndef SQLFACIL_SERVING_PREDICTION_CACHE_H_
+#define SQLFACIL_SERVING_PREDICTION_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sqlfacil::serving {
+
+/// Normalizes a SQL statement for cache keying: strips leading/trailing
+/// whitespace and collapses internal whitespace runs to one space. This is
+/// semantics-preserving for every model family — the char tokenizer skips
+/// all whitespace and the word tokenizer lexes (whitespace-insensitive) —
+/// so two statements with the same normal form always predict identically.
+/// Case is NOT folded: char-gram models are case-sensitive.
+std::string NormalizeStatement(const std::string& statement);
+
+/// Sharded, thread-safe LRU cache for prediction vectors. Keys are opaque
+/// strings (CachedModel composes model id + normalized statement +
+/// opt-cost bits); each shard holds capacity/num_shards entries behind its
+/// own mutex, so concurrent Predict calls from the thread pool rarely
+/// contend.
+class PredictionCache {
+ public:
+  /// `capacity` = max cached entries across all shards (floored at one per
+  /// shard).
+  explicit PredictionCache(size_t capacity, size_t num_shards = 8);
+
+  /// Returns a copy of the cached vector and refreshes its LRU position.
+  std::optional<std::vector<float>> Get(const std::string& key);
+
+  /// Inserts (or refreshes) key -> value, evicting the shard's least
+  /// recently used entry when over capacity.
+  void Put(const std::string& key, std::vector<float> value);
+
+  /// Drops every entry (model retrained / reloaded).
+  void Clear();
+
+  size_t size() const;
+  size_t hits() const;
+  size_t misses() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<float> value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace sqlfacil::serving
+
+#endif  // SQLFACIL_SERVING_PREDICTION_CACHE_H_

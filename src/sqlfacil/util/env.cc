@@ -36,4 +36,13 @@ int GetThreadsFromEnv() {
   return threads >= 1 ? threads : fallback;
 }
 
+int GetSimdFromEnv() {
+  const char* v = std::getenv("SQLFACIL_SIMD");
+  if (v == nullptr) return -1;
+  const std::string s(v);
+  if (s == "0") return 0;
+  if (s == "1") return 1;
+  return -1;
+}
+
 }  // namespace sqlfacil

@@ -22,6 +22,11 @@ uint64_t GetSeedFromEnv(uint64_t fallback);
 /// default. 1 disables parallelism entirely.
 int GetThreadsFromEnv();
 
+/// Reads SQLFACIL_SIMD: 0 forces the scalar kernels, 1 requests the vector
+/// kernels (still subject to CPU support), unset/other returns -1 meaning
+/// auto-detect.
+int GetSimdFromEnv();
+
 }  // namespace sqlfacil
 
 #endif  // SQLFACIL_UTIL_ENV_H_

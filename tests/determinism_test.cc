@@ -1,13 +1,16 @@
 // Verifies the parallelism determinism contract: training, prediction, and
-// workload generation produce bit-identical results at any thread count.
+// workload generation produce bit-identical results at any thread count and
+// with the SIMD kernels enabled or disabled.
 
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
+#include "sqlfacil/models/cnn_model.h"
 #include "sqlfacil/models/lstm_model.h"
 #include "sqlfacil/models/tfidf_model.h"
+#include "sqlfacil/nn/simd.h"
 #include "sqlfacil/util/random.h"
 #include "sqlfacil/util/thread_pool.h"
 #include "sqlfacil/workload/sdss.h"
@@ -92,6 +95,89 @@ TEST(DeterminismTest, LstmModelBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(serial[i][c], parallel[i][c]) << "example " << i;
     }
   }
+}
+
+// Restores the SIMD dispatch state a test toggled.
+class SimdGuard {
+ public:
+  SimdGuard() : saved_(nn::simd::Enabled()) {}
+  ~SimdGuard() { nn::simd::SetEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// The full contract sweep: every (simd, threads) combination must reproduce
+// the reference run bit for bit — training AND both prediction paths.
+template <typename Model, typename Config>
+void SweepSimdAndThreads(const Config& config, const Dataset& train,
+                         const Dataset& valid) {
+  SimdGuard guard;
+  std::vector<std::vector<float>> reference;
+  std::vector<std::vector<float>> reference_batch;
+  bool have_reference = false;
+  for (bool simd_on : {false, true}) {
+    if (simd_on && !nn::simd::HasAvx2()) continue;
+    nn::simd::SetEnabled(simd_on);
+    for (int threads : {1, 2, 8}) {
+      ThreadPool::SetGlobalThreads(threads);
+      Model model(config);
+      Rng rng(7);
+      model.Fit(train, valid, &rng);
+      std::vector<std::vector<float>> preds;
+      for (size_t i = 0; i < valid.size(); ++i) {
+        preds.push_back(
+            model.Predict(valid.statements[i], valid.opt_costs[i]));
+      }
+      const auto batch =
+          model.PredictBatch(valid.statements, valid.opt_costs);
+      if (!have_reference) {
+        reference = preds;
+        reference_batch = batch;
+        have_reference = true;
+        continue;
+      }
+      ASSERT_EQ(reference.size(), preds.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(reference[i].size(), preds[i].size());
+        for (size_t c = 0; c < reference[i].size(); ++c) {
+          EXPECT_EQ(reference[i][c], preds[i][c])
+              << "simd=" << simd_on << " threads=" << threads << " example "
+              << i;
+          EXPECT_EQ(reference_batch[i][c], batch[i][c])
+              << "simd=" << simd_on << " threads=" << threads
+              << " batch example " << i;
+        }
+      }
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(DeterminismTest, CnnModelBitIdenticalAcrossSimdAndThreads) {
+  const Dataset train = SyntheticClassification(30, 55);
+  const Dataset valid = SyntheticClassification(10, 66);
+  models::CnnModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.embed_dim = 4;
+  config.kernels_per_width = 4;
+  config.widths = {2, 3};
+  config.epochs = 1;
+  config.batch_size = 8;
+  SweepSimdAndThreads<models::CnnModel>(config, train, valid);
+}
+
+TEST(DeterminismTest, LstmModelBitIdenticalAcrossSimdAndThreads) {
+  const Dataset train = SyntheticClassification(24, 77);
+  const Dataset valid = SyntheticClassification(8, 88);
+  models::LstmModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.embed_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  config.epochs = 1;
+  config.batch_size = 8;
+  SweepSimdAndThreads<models::LstmModel>(config, train, valid);
 }
 
 TEST(DeterminismTest, SdssWorkloadBitIdenticalAcrossThreadCounts) {

@@ -1,0 +1,405 @@
+// Tests for the batched inference fast path: arena lifetime, SIMD kernel
+// bit-identity across dispatch, PredictBatch == per-query Predict for every
+// model family, and the prediction cache (hits bit-identical to misses,
+// normalization, LRU eviction, invalidation on refit).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/models/cnn_model.h"
+#include "sqlfacil/models/lstm_model.h"
+#include "sqlfacil/models/tfidf_model.h"
+#include "sqlfacil/nn/arena.h"
+#include "sqlfacil/nn/simd.h"
+#include "sqlfacil/serving/cached_model.h"
+#include "sqlfacil/serving/prediction_cache.h"
+#include "sqlfacil/util/random.h"
+#include "sqlfacil/util/thread_pool.h"
+
+namespace sqlfacil {
+namespace {
+
+using models::Dataset;
+using models::TaskKind;
+
+Dataset SyntheticClassification(size_t n, uint64_t seed) {
+  Dataset data;
+  data.kind = TaskKind::kClassification;
+  data.num_classes = 2;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const bool agg = rng.Bernoulli(0.5);
+    const int64_t id = rng.UniformInt(1, 500);
+    data.statements.push_back(
+        agg ? "SELECT COUNT(*) FROM photoobj WHERE objid = " +
+                  std::to_string(id)
+            : "SELECT ra, dec FROM specobj WHERE specobjid = " +
+                  std::to_string(id));
+    data.labels.push_back(agg ? 1 : 0);
+    data.opt_costs.push_back(rng.Uniform(1.0, 100.0));
+  }
+  return data;
+}
+
+void ExpectBitIdentical(const std::vector<std::vector<float>>& a,
+                        const std::vector<std::vector<float>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "example " << i;
+    for (size_t c = 0; c < a[i].size(); ++c) {
+      EXPECT_EQ(a[i][c], b[i][c]) << "example " << i << " output " << c;
+    }
+  }
+}
+
+// Per-query Predict loop (the slow path PredictBatch must reproduce).
+template <typename Model>
+std::vector<std::vector<float>> PredictLoop(
+    const Model& model, const std::vector<std::string>& statements) {
+  std::vector<std::vector<float>> preds;
+  for (const auto& s : statements) preds.push_back(model.Predict(s, 0.0));
+  return preds;
+}
+
+// --- Arena -----------------------------------------------------------------
+
+TEST(ArenaTest, BumpAllocationAndReuse) {
+  nn::Arena arena;
+  float* a = arena.Alloc(5);
+  float* b = arena.Alloc(3);
+  // Rounded to 8 floats: second allocation starts one stride later.
+  EXPECT_EQ(b, a + 8);
+  arena.Reset();
+  // Same sequence after Reset lands on the same storage — no new blocks.
+  EXPECT_EQ(arena.Alloc(5), a);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+}
+
+TEST(ArenaTest, ResetCoalescesBlocks) {
+  nn::Arena arena;
+  // Force several blocks.
+  for (int i = 0; i < 4; ++i) arena.Alloc(size_t{1} << 16);
+  EXPECT_GT(arena.num_blocks(), 1u);
+  const size_t reserved = arena.reserved_floats();
+  arena.Reset();
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  EXPECT_EQ(arena.reserved_floats(), reserved);
+  // The whole former footprint now fits in block 0: steady state allocates
+  // no further memory.
+  for (int i = 0; i < 4; ++i) arena.Alloc(size_t{1} << 16);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+}
+
+TEST(ArenaTest, AllocZeroZeroes) {
+  nn::Arena arena;
+  float* p = arena.Alloc(16);
+  for (int i = 0; i < 16; ++i) p[i] = 1.0f;
+  arena.Reset();
+  float* z = arena.AllocZero(16);
+  ASSERT_EQ(z, p);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(z[i], 0.0f);
+}
+
+// --- SIMD kernels ----------------------------------------------------------
+
+class SimdGuard {
+ public:
+  SimdGuard() : saved_(nn::simd::Enabled()) {}
+  ~SimdGuard() { nn::simd::SetEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(SimdTest, KernelsBitIdenticalAcrossDispatch) {
+  if (!nn::simd::HasAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  SimdGuard guard;
+  Rng rng(123);
+  // Lengths straddle the 8-lane boundary, including scalar-tail cases.
+  for (size_t n : {1, 7, 8, 9, 31, 64, 100}) {
+    std::vector<float> x(n), y(n), base(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<float>(rng.Uniform(-2.0, 2.0));
+      y[i] = static_cast<float>(rng.Uniform(-2.0, 2.0));
+      base[i] = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    }
+    auto run = [&](bool simd_on) {
+      nn::simd::SetEnabled(simd_on);
+      struct Out {
+        std::vector<float> axpy, add, sub, mul, mulacc, scale, relu;
+        float dot;
+      } out;
+      out.axpy = base;
+      nn::simd::Axpy(out.axpy.data(), x.data(), 1.7f, n);
+      out.add = base;
+      nn::simd::AddAcc(out.add.data(), x.data(), n);
+      out.sub = base;
+      nn::simd::SubAcc(out.sub.data(), x.data(), n);
+      out.mul = base;
+      nn::simd::Mul(out.mul.data(), x.data(), n);
+      out.mulacc = base;
+      nn::simd::MulAcc(out.mulacc.data(), x.data(), y.data(), n);
+      out.scale = base;
+      nn::simd::Scale(out.scale.data(), 0.3f, n);
+      out.relu = base;
+      nn::simd::Relu(out.relu.data(), n);
+      out.dot = nn::simd::Dot(x.data(), y.data(), n);
+      return out;
+    };
+    const auto scalar = run(false);
+    const auto avx2 = run(true);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(scalar.axpy[i], avx2.axpy[i]) << "axpy n=" << n;
+      EXPECT_EQ(scalar.add[i], avx2.add[i]) << "add n=" << n;
+      EXPECT_EQ(scalar.sub[i], avx2.sub[i]) << "sub n=" << n;
+      EXPECT_EQ(scalar.mul[i], avx2.mul[i]) << "mul n=" << n;
+      EXPECT_EQ(scalar.mulacc[i], avx2.mulacc[i]) << "mulacc n=" << n;
+      EXPECT_EQ(scalar.scale[i], avx2.scale[i]) << "scale n=" << n;
+      EXPECT_EQ(scalar.relu[i], avx2.relu[i]) << "relu n=" << n;
+    }
+    EXPECT_EQ(scalar.dot, avx2.dot) << "dot n=" << n;
+  }
+}
+
+TEST(SimdTest, MatMulRowsBitIdenticalAcrossDispatch) {
+  if (!nn::simd::HasAvx2()) GTEST_SKIP() << "no AVX2 on this host";
+  SimdGuard guard;
+  Rng rng(321);
+  const int m = 13, k = 37, n = 21;
+  std::vector<float> A(m * k), B(k * n);
+  for (auto& v : A) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : B) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  A[5] = 0.0f;  // exercise the zero-skip path
+  std::vector<float> c_scalar(m * n, 0.0f), c_avx2(m * n, 0.0f);
+  nn::simd::SetEnabled(false);
+  nn::simd::MatMulRows(A.data(), B.data(), c_scalar.data(), 0, m, k, n);
+  nn::simd::SetEnabled(true);
+  nn::simd::MatMulRows(A.data(), B.data(), c_avx2.data(), 0, m, k, n);
+  for (int i = 0; i < m * n; ++i) EXPECT_EQ(c_scalar[i], c_avx2[i]);
+}
+
+// --- PredictBatch == Predict ----------------------------------------------
+
+TEST(PredictBatchTest, TfidfMatchesPredict) {
+  const Dataset train = SyntheticClassification(60, 1);
+  const Dataset test = SyntheticClassification(25, 2);
+  models::TfidfModel::Config config;
+  config.epochs = 2;
+  config.granularity = sql::Granularity::kWord;
+  models::TfidfModel model(config);
+  Rng rng(7);
+  model.Fit(train, train, &rng);
+  ExpectBitIdentical(model.PredictBatch(test.statements),
+                     PredictLoop(model, test.statements));
+}
+
+TEST(PredictBatchTest, CnnMatchesPredict) {
+  const Dataset train = SyntheticClassification(40, 3);
+  const Dataset test = SyntheticClassification(40, 4);
+  models::CnnModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.embed_dim = 4;
+  config.kernels_per_width = 4;
+  config.widths = {2, 3};
+  config.epochs = 1;
+  models::CnnModel model(config);
+  Rng rng(7);
+  model.Fit(train, train, &rng);
+  // 40 queries > the 32-query slice, so slicing boundaries are exercised.
+  ExpectBitIdentical(model.PredictBatch(test.statements),
+                     PredictLoop(model, test.statements));
+}
+
+TEST(PredictBatchTest, LstmMatchesPredict) {
+  const Dataset train = SyntheticClassification(40, 5);
+  const Dataset test = SyntheticClassification(30, 6);
+  models::LstmModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.embed_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  config.epochs = 1;
+  config.batch_size = 8;
+  models::LstmModel model(config);
+  Rng rng(7);
+  model.Fit(train, train, &rng);
+  ExpectBitIdentical(model.PredictBatch(test.statements),
+                     PredictLoop(model, test.statements));
+}
+
+TEST(PredictBatchTest, LstmEdgeCases) {
+  const Dataset train = SyntheticClassification(30, 8);
+  models::LstmModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.embed_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  config.epochs = 1;
+  config.batch_size = 4;
+  models::LstmModel model(config);
+  Rng rng(7);
+  model.Fit(train, train, &rng);
+
+  // Empty batch.
+  EXPECT_TRUE(model.PredictBatch(std::vector<std::string>{}).empty());
+
+  // Single query.
+  const std::vector<std::string> one = {train.statements[0]};
+  ExpectBitIdentical(model.PredictBatch(one), PredictLoop(model, one));
+
+  // Mixed lengths: empty statement (pads to <UNK>), a single token, and
+  // wildly different lengths in one batch to force uneven buckets and
+  // state-carrying padded rows.
+  std::vector<std::string> mixed = {
+      "",
+      "SELECT",
+      "SELECT COUNT(*) FROM photoobj WHERE objid = 1 AND ra > 0 AND "
+      "dec < 10 ORDER BY objid",
+      "SELECT ra FROM specobj",
+      "SELECT ra, dec, objid, specobjid FROM specobj WHERE specobjid = 99 "
+      "AND ra BETWEEN 1 AND 2 AND dec BETWEEN 3 AND 4",
+  };
+  ExpectBitIdentical(model.PredictBatch(mixed), PredictLoop(model, mixed));
+}
+
+TEST(PredictBatchTest, BitIdenticalAcrossThreadCounts) {
+  const Dataset train = SyntheticClassification(40, 9);
+  const Dataset test = SyntheticClassification(40, 10);
+  models::CnnModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.embed_dim = 4;
+  config.kernels_per_width = 4;
+  config.widths = {2, 3};
+  config.epochs = 1;
+  models::CnnModel model(config);
+  Rng rng(7);
+  model.Fit(train, train, &rng);
+  ThreadPool::SetGlobalThreads(1);
+  const auto serial = model.PredictBatch(test.statements);
+  ThreadPool::SetGlobalThreads(8);
+  const auto parallel = model.PredictBatch(test.statements);
+  ThreadPool::SetGlobalThreads(1);
+  ExpectBitIdentical(serial, parallel);
+}
+
+// --- Prediction cache ------------------------------------------------------
+
+TEST(PredictionCacheTest, NormalizeStatement) {
+  using serving::NormalizeStatement;
+  EXPECT_EQ(NormalizeStatement("  SELECT  *\n FROM\tt  "),
+            "SELECT * FROM t");
+  EXPECT_EQ(NormalizeStatement("SELECT * FROM t"), "SELECT * FROM t");
+  // Case must NOT fold (char-gram models distinguish case).
+  EXPECT_EQ(NormalizeStatement("select X"), "select X");
+  EXPECT_EQ(NormalizeStatement("   "), "");
+}
+
+TEST(PredictionCacheTest, LruEviction) {
+  serving::PredictionCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put("a", {1.0f});
+  cache.Put("b", {2.0f});
+  ASSERT_TRUE(cache.Get("a").has_value());  // refresh a; b is now LRU
+  cache.Put("c", {3.0f});                   // evicts b
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CachedModelTest, HitBitIdenticalToColdMiss) {
+  const Dataset train = SyntheticClassification(60, 11);
+  models::TfidfModel::Config config;
+  config.epochs = 2;
+  config.granularity = sql::Granularity::kWord;
+  serving::CachedModel model(
+      std::make_unique<models::TfidfModel>(config));
+  Rng rng(7);
+  model.Fit(train, train, &rng);
+
+  const std::string q = train.statements[0];
+  const auto cold = model.Predict(q, 0.0);  // miss, populates cache
+  const auto hit = model.Predict(q, 0.0);   // hit
+  ASSERT_EQ(cold.size(), hit.size());
+  for (size_t i = 0; i < cold.size(); ++i) EXPECT_EQ(cold[i], hit[i]);
+  EXPECT_GE(model.cache().hits(), 1u);
+
+  // Whitespace-variant statement hits the same entry and returns the same
+  // bits (normalization is semantics-preserving for the tokenizers).
+  const auto variant = model.Predict("  " + q + "\n", 0.0);
+  for (size_t i = 0; i < cold.size(); ++i) EXPECT_EQ(cold[i], variant[i]);
+}
+
+TEST(CachedModelTest, BatchDedupAndCachePopulation) {
+  const Dataset train = SyntheticClassification(60, 12);
+  models::TfidfModel::Config config;
+  config.epochs = 2;
+  config.granularity = sql::Granularity::kWord;
+  serving::CachedModel model(
+      std::make_unique<models::TfidfModel>(config));
+  Rng rng(7);
+  model.Fit(train, train, &rng);
+
+  std::vector<std::string> batch = {
+      train.statements[0], train.statements[1], train.statements[0],
+      "  " + train.statements[1]};  // [2],[3] duplicate [0],[1] by key
+  const auto preds = model.PredictBatch(batch);
+  ASSERT_EQ(preds.size(), 4u);
+  for (size_t c = 0; c < preds[0].size(); ++c) {
+    EXPECT_EQ(preds[0][c], preds[2][c]);
+    EXPECT_EQ(preds[1][c], preds[3][c]);
+  }
+  // Only the two distinct keys were inserted.
+  EXPECT_EQ(model.cache().size(), 2u);
+
+  // A repeat batch is all hits and bit-identical.
+  const auto again = model.PredictBatch(batch);
+  ExpectBitIdentical(preds, again);
+}
+
+TEST(CachedModelTest, FitInvalidatesCache) {
+  const Dataset train_a = SyntheticClassification(60, 13);
+  const Dataset train_b = SyntheticClassification(60, 14);
+  models::TfidfModel::Config config;
+  config.epochs = 2;
+  config.granularity = sql::Granularity::kWord;
+  serving::CachedModel model(
+      std::make_unique<models::TfidfModel>(config));
+  Rng rng(7);
+  model.Fit(train_a, train_a, &rng);
+  const size_t gen = model.generation();
+  (void)model.Predict(train_a.statements[0], 0.0);
+  EXPECT_GE(model.cache().size(), 1u);
+
+  Rng rng2(8);
+  model.Fit(train_b, train_b, &rng2);
+  EXPECT_EQ(model.generation(), gen + 1);
+  EXPECT_EQ(model.cache().size(), 0u);
+  // Post-refit prediction reflects the new parameters, not the stale cache.
+  const auto fresh = model.Predict(train_a.statements[0], 0.0);
+  const auto direct = model.inner().Predict(train_a.statements[0], 0.0);
+  ASSERT_EQ(fresh.size(), direct.size());
+  for (size_t i = 0; i < fresh.size(); ++i) EXPECT_EQ(fresh[i], direct[i]);
+}
+
+TEST(CachedModelTest, OptCostIsPartOfTheKey) {
+  serving::PredictionCache cache(4, 1);
+  (void)cache;
+  const Dataset train = SyntheticClassification(40, 15);
+  models::TfidfModel::Config config;
+  config.epochs = 1;
+  config.granularity = sql::Granularity::kWord;
+  serving::CachedModel model(
+      std::make_unique<models::TfidfModel>(config));
+  Rng rng(7);
+  model.Fit(train, train, &rng);
+  (void)model.Predict(train.statements[0], 1.0);
+  (void)model.Predict(train.statements[0], 2.0);
+  EXPECT_EQ(model.cache().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sqlfacil
