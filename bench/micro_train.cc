@@ -1,0 +1,156 @@
+// Micro-benchmarks of the training fast path: fused LSTM BPTT training
+// steps through the sharded data-parallel driver, sharded CNN steps, and
+// the flat-slab optimizer kernels. BM_LstmFusedTrainStep is the successor
+// of micro_nn's BM_LstmSequenceTrainStep (same workload shape) running the
+// fused kernel path; comparing the two isolates the graph-overhead win.
+
+#include <benchmark/benchmark.h>
+
+#include "sqlfacil/nn/autograd.h"
+#include "sqlfacil/nn/data_parallel.h"
+#include "sqlfacil/nn/layers.h"
+#include "sqlfacil/nn/lstm_fused.h"
+#include "sqlfacil/nn/optim.h"
+#include "sqlfacil/util/thread_pool.h"
+
+namespace sqlfacil::nn {
+namespace {
+
+const std::vector<int64_t> kThreadSweep = {1, 2, 4, 8};
+
+// One full training step (forward + BPTT + clip + AdaMax) of the paper's
+// LSTM shape — batch 16, 3 layers, hidden 32, seq 96 — through the fused
+// LstmSequence op and the deterministic shard driver. Mirrors
+// BM_LstmSequenceTrainStep in micro_nn.cc, which runs the same step through
+// the layer-by-layer autograd graph.
+void BM_LstmFusedTrainStep(benchmark::State& state) {
+  const int batch = 16, hidden = 32, embed = 12, seq = 96;
+  const size_t max_shards = 8;
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  Embedding emb(200, embed, &rng);
+  LstmStack stack(embed, hidden, 3, &rng);
+  Linear head(hidden, 3, &rng);
+  auto params = stack.Params();
+  for (auto& p : emb.Params()) params.push_back(p);
+  for (auto& p : head.Params()) params.push_back(p);
+  AdaMax opt(params, 2e-3f);
+  GradShards shards;
+  shards.Prepare(params, max_shards);
+  std::vector<int> step_ids(static_cast<size_t>(seq) * batch);
+  for (int t = 0; t < seq; ++t) {
+    for (int b = 0; b < batch; ++b) step_ids[t * batch + b] = (t * 7) % 200;
+  }
+  std::vector<int> labels(batch, 1);
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    ShardedTrainStep(
+        params, &shards, batch, max_shards,
+        [&](size_t, size_t sb, size_t se) {
+          const int sz = static_cast<int>(se - sb);
+          thread_local std::vector<int> ids, lens, shard_labels;
+          ids.assign(static_cast<size_t>(seq) * sz, -1);
+          lens.assign(sz, seq);
+          shard_labels.assign(sz, 1);
+          for (int t = 0; t < seq; ++t) {
+            for (int i = 0; i < sz; ++i) {
+              ids[static_cast<size_t>(t) * sz + i] =
+                  step_ids[static_cast<size_t>(t) * batch + sb + i];
+            }
+          }
+          Var h = LstmSequence(emb.table, stack, ids, lens, seq);
+          Var loss = SoftmaxCrossEntropy(head.Apply(h), shard_labels);
+          return Scale(loss, static_cast<float>(sz) / batch);
+        });
+    ClipGradNorm(params, 0.25f);
+    opt.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmFusedTrainStep)->ArgsProduct({kThreadSweep});
+
+// One sharded CNN training step: batch 16 per-example graphs (embeddings,
+// three conv widths, max-over-time, head) built inside pooled tape scopes.
+void BM_CnnShardedTrainStep(benchmark::State& state) {
+  const int batch = 16, embed = 12, kernels = 32, seq = 96;
+  const size_t max_shards = 8;
+  ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
+  Rng rng(4);
+  Embedding emb(200, embed, &rng);
+  std::vector<Linear> convs;
+  for (int w : {3, 4, 5}) convs.emplace_back(w * embed, kernels, &rng);
+  Linear head(3 * kernels, 3, &rng);
+  std::vector<Var> params = emb.Params();
+  for (auto& conv : convs) {
+    for (auto& p : conv.Params()) params.push_back(p);
+  }
+  for (auto& p : head.Params()) params.push_back(p);
+  AdaMax opt(params, 2e-3f);
+  GradShards shards;
+  shards.Prepare(params, max_shards);
+  std::vector<int> ids(seq);
+  for (int i = 0; i < seq; ++i) ids[i] = (i * 13) % 200;
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    ShardedTrainStep(
+        params, &shards, batch, max_shards,
+        [&](size_t, size_t sb, size_t se) {
+          Var shard_loss;
+          for (size_t i = sb; i < se; ++i) {
+            Var e = emb.Lookup(ids);
+            std::vector<Var> pooled;
+            int wi = 0;
+            for (int w : {3, 4, 5}) {
+              pooled.push_back(
+                  MaxOverTime(Relu(convs[wi++].Apply(Unfold(e, w)))));
+            }
+            Var loss = SoftmaxCrossEntropy(head.Apply(ConcatCols(pooled)),
+                                           {static_cast<int>(i) % 3});
+            shard_loss = shard_loss == nullptr ? loss : Add(shard_loss, loss);
+          }
+          return Scale(shard_loss, 1.0f / batch);
+        });
+    ClipGradNorm(params, 0.25f);
+    opt.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CnnShardedTrainStep)->ArgsProduct({kThreadSweep});
+
+// Flat-slab optimizer steps over a parameter block the size of the LSTM's
+// weights (~50K floats): isolates the simd Adam/AdaMax/SGD kernels.
+template <typename Opt>
+void OptimizerStepBench(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Var w = MakeParam(Tensor::RandomUniform({n, 64}, 1.0f, &rng));
+  Opt opt({w}, 2e-3f);
+  opt.ZeroGrad();
+  Tensor& g = w->EnsureGrad();
+  for (size_t i = 0; i < g.size(); ++i) {
+    g.data()[i] = 0.01f * static_cast<float>((i % 13)) - 0.06f;
+  }
+  for (auto _ : state) {
+    opt.Step();
+    benchmark::DoNotOptimize(w->value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 64);
+}
+
+void BM_SgdStep(benchmark::State& state) {
+  OptimizerStepBench<Sgd>(state);
+}
+BENCHMARK(BM_SgdStep)->Arg(256)->Arg(1024);
+
+void BM_AdamStep(benchmark::State& state) {
+  OptimizerStepBench<Adam>(state);
+}
+BENCHMARK(BM_AdamStep)->Arg(256)->Arg(1024);
+
+void BM_AdaMaxStep(benchmark::State& state) {
+  OptimizerStepBench<AdaMax>(state);
+}
+BENCHMARK(BM_AdaMaxStep)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace sqlfacil::nn

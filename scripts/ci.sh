@@ -1,0 +1,24 @@
+#!/bin/sh
+# Full local CI: tier-1 tests (Release), then the ASan and TSan suites.
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+# Exits non-zero on the first failing stage; prints one loud status line
+# per stage so logs are greppable (CI_TESTS_OK / ASAN_CLEAN / TSAN_CLEAN).
+set -eu
+BUILD_DIR="${1:-build}"
+
+echo "== tier-1 tests (Release) =="
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build "$BUILD_DIR" -j >/dev/null
+if ! ctest --test-dir "$BUILD_DIR" --output-on-failure; then
+  echo "CI_TESTS_FAILED" >&2
+  exit 1
+fi
+echo "CI_TESTS_OK"
+
+echo "== sanitizers =="
+scripts/check_asan.sh
+scripts/check_tsan.sh
+
+echo "CI_PASSED"

@@ -2,16 +2,44 @@
 # Runs every bench binary, writing bench_logs/<name>.log, skipping binaries
 # whose log already ends with the DONE marker. Re-run until all complete.
 #
+# Benchmarks only mean anything from an optimized build, so this script
+# refuses to run against a tree configured with any CMAKE_BUILD_TYPE other
+# than Release (and configures one itself if the tree doesn't exist yet).
+#
 # --json: instead of the full sweep, runs the micro-benchmarks that track
-# the perf work (micro_nn, micro_parallel, micro_serving) with
+# the perf work (micro_nn, micro_train, micro_parallel, micro_serving) with
 # google-benchmark's JSON writer and distills the key metrics into
-# bench_logs/BENCH_2.json.
+# bench_logs/BENCH_3.json.
 set -u
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+# Fail loudly on a non-Release tree instead of silently producing numbers
+# from an unoptimized binary.
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  echo "configuring $BUILD_DIR (Release)..."
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null || {
+    echo "ERROR: cmake configure failed" >&2
+    exit 1
+  }
+fi
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+if [ "$build_type" != "Release" ]; then
+  echo "ERROR: $BUILD_DIR is configured as '${build_type:-<unset>}', not Release." >&2
+  echo "Benchmark numbers from non-Release builds are meaningless." >&2
+  echo "Reconfigure with: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+echo "building $BUILD_DIR (Release)..."
+cmake --build "$BUILD_DIR" -j >/dev/null || {
+  echo "ERROR: build failed" >&2
+  exit 1
+}
 
 if [ "${1:-}" = "--json" ]; then
   mkdir -p bench_logs
-  for b in micro_nn micro_parallel micro_serving; do
-    bin="build/bench/$b"
+  for b in micro_nn micro_train micro_parallel micro_serving; do
+    bin="$BUILD_DIR/bench/$b"
     if [ ! -x "$bin" ]; then
       echo "missing $bin (build first)" >&2
       exit 1
@@ -21,16 +49,17 @@ if [ "${1:-}" = "--json" ]; then
       --benchmark_out_format=json >/dev/null 2>&1 || exit 1
   done
   python3 scripts/summarize_benches.py \
-    bench_logs/micro_nn.json bench_logs/micro_parallel.json \
-    bench_logs/micro_serving.json > bench_logs/BENCH_2.json || exit 1
-  rm -f bench_logs/micro_nn.json bench_logs/micro_parallel.json \
-    bench_logs/micro_serving.json
-  echo "wrote bench_logs/BENCH_2.json"
+    bench_logs/micro_nn.json bench_logs/micro_train.json \
+    bench_logs/micro_parallel.json bench_logs/micro_serving.json \
+    > bench_logs/BENCH_3.json || exit 1
+  rm -f bench_logs/micro_nn.json bench_logs/micro_train.json \
+    bench_logs/micro_parallel.json bench_logs/micro_serving.json
+  echo "wrote bench_logs/BENCH_3.json"
   exit 0
 fi
 
 mkdir -p bench_logs
-for b in build/bench/*; do
+for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name=$(basename "$b")
   log="bench_logs/$name.log"

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""Distills google-benchmark JSON files into bench_logs/BENCH_2.json.
+"""Distills google-benchmark JSON files into bench_logs/BENCH_<n>.json.
 
 Keeps the metrics the perf PRs track: per-benchmark wall time, throughput
-(items/s) where reported, latency percentiles (p50/p99 counters), and the
-derived batched-vs-loop speedups from micro_serving.
+(items/s) where reported, latency percentiles (p50/p99 counters), the
+derived batched-vs-loop speedups from micro_serving, and the training
+fast-path metrics from micro_train (fused sharded step times across the
+thread sweep, speedup over the layer-by-layer graph step, optimizer
+kernel throughput).
 """
 
 import json
@@ -59,6 +62,31 @@ def main(paths):
                 out["derived"][f"cached_batch_{family}_hit{pct}_items_per_s"] = round(
                     b["items_per_second"], 1
                 )
+    train = {b["name"]: b for b in out["benchmarks"].get("micro_train", [])}
+    to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+    for name, b in train.items():
+        if name.startswith("BM_LstmFusedTrainStep/"):
+            threads = name.split("/")[1]
+            out["derived"][f"lstm_fused_train_step_ms_t{threads}"] = round(
+                b["real_time"] * to_ms.get(b.get("time_unit"), 1.0), 3
+            )
+        if name.startswith(("BM_SgdStep/", "BM_AdamStep/", "BM_AdaMaxStep/")):
+            if b.get("items_per_second"):
+                key = name.replace("BM_", "").replace("/", "_n").lower()
+                out["derived"][f"{key}_gfloats_per_s"] = round(
+                    b["items_per_second"] / 1e9, 3
+                )
+    nn_entries = {b["name"]: b for b in out["benchmarks"].get("micro_nn", [])}
+    graph = nn_entries.get("BM_LstmSequenceTrainStep")
+    fused = train.get("BM_LstmFusedTrainStep/8")
+    if graph and fused and fused.get("real_time"):
+        # Same workload shape (batch 16, hidden 32, 3 layers, seq 96): the
+        # layer-by-layer graph step vs the fused sharded step at 8 threads.
+        out["derived"]["fused_vs_graph_train_speedup"] = round(
+            (graph["real_time"] * to_ms.get(graph.get("time_unit"), 1.0))
+            / (fused["real_time"] * to_ms.get(fused.get("time_unit"), 1.0)),
+            3,
+        )
     json.dump(out, sys.stdout, indent=2)
     sys.stdout.write("\n")
 

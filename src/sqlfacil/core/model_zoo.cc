@@ -29,6 +29,7 @@ models::ModelPtr MakeModel(const std::string& name, const ZooConfig& config) {
     c.max_features = config.tfidf_max_features;
     c.epochs = std::max(4, config.epochs * 2);  // cheap epochs
     c.batch_size = config.batch_size;
+    c.train_shards = config.train_shards;
     return std::make_unique<models::TfidfModel>(c);
   }
   if (name == "ccnn" || name == "wcnn") {
@@ -41,6 +42,7 @@ models::ModelPtr MakeModel(const std::string& name, const ZooConfig& config) {
     c.batch_size = config.batch_size;
     c.clip_norm = config.clip_norm;
     c.lr = config.cnn_lr;
+    c.train_shards = config.train_shards;
     return std::make_unique<models::CnnModel>(c);
   }
   if (name == "clstm" || name == "wlstm") {
@@ -54,6 +56,7 @@ models::ModelPtr MakeModel(const std::string& name, const ZooConfig& config) {
     c.batch_size = config.batch_size;
     c.clip_norm = config.clip_norm;
     c.lr = config.lstm_lr;
+    c.train_shards = config.train_shards;
     return std::make_unique<models::LstmModel>(c);
   }
   SQLFACIL_CHECK(false) << "unknown model name '" << name << "'";

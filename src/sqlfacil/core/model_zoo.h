@@ -28,6 +28,11 @@ struct ZooConfig {
   /// vs the paper's hundreds of thousands at lr 1e-3).
   float cnn_lr = 3e-3f;
   float lstm_lr = 6e-3f;
+  /// Upper bound on data-parallel microbatch shards per training step
+  /// (see nn/data_parallel.h). Shard boundaries depend only on the batch
+  /// size and this cap, so trained weights do not change with
+  /// SQLFACIL_THREADS; raising it only adds parallelism granularity.
+  int train_shards = 8;
 };
 
 /// Builds a model by its paper name: mfreq, median, opt, ctfidf, wtfidf,

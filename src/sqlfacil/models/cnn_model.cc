@@ -5,6 +5,7 @@
 
 #include "sqlfacil/models/serialize_util.h"
 #include "sqlfacil/nn/arena.h"
+#include "sqlfacil/nn/data_parallel.h"
 #include "sqlfacil/nn/infer.h"
 #include "sqlfacil/nn/simd.h"
 #include "sqlfacil/util/logging.h"
@@ -130,35 +131,58 @@ void CnnModel::TrainLoop(const Dataset& train, const Dataset& valid,
   // Pre-encode (sharded over the thread pool).
   auto encoded = vocab_.EncodeAll(train.statements, MaxLen());
 
+  // Data-parallel training: minibatches split into at most `train_shards`
+  // microbatch shards that build their per-example graphs on the thread
+  // pool. Dropout masks come from per-example seeds drawn serially from the
+  // master stream, so masks — and therefore weights — are bit-identical at
+  // any shard/thread count.
+  const size_t max_shards =
+      static_cast<size_t>(std::max(1, config_.train_shards));
+  nn::GradShards shards;
+  shards.Prepare(params, max_shards);
+
   std::vector<nn::Tensor> best = Snapshot(params);
   double best_valid = 1e300;
+  valid_history_.clear();
   const size_t n = train.size();
+  std::vector<uint64_t> dropout_seeds;
   for (int epoch = 0; epoch < epochs; ++epoch) {
     auto perm = rng->Permutation(n);
     for (size_t start = 0; start < n; start += config_.batch_size) {
       const size_t end = std::min(n, start + config_.batch_size);
+      const size_t batch = end - start;
+      dropout_seeds.resize(batch);
+      for (size_t i = 0; i < batch; ++i) dropout_seeds[i] = rng->Next();
       optimizer.ZeroGrad();
-      nn::Var batch_loss;
-      for (size_t i = start; i < end; ++i) {
-        const size_t idx = perm[i];
-        nn::Var logits = Forward(encoded[idx], /*training=*/true, rng);
-        nn::Var loss;
-        if (kind_ == TaskKind::kClassification) {
-          loss = nn::SoftmaxCrossEntropy(logits, {train.labels[idx]});
-        } else if (config_.use_squared_loss) {
-          loss = nn::SquaredLoss(logits, {train.targets[idx]});
-        } else {
-          loss = nn::HuberLoss(logits, {train.targets[idx]},
-                               config_.huber_delta);
-        }
-        batch_loss = batch_loss == nullptr ? loss : nn::Add(batch_loss, loss);
-      }
-      batch_loss = nn::Scale(batch_loss, 1.0f / (end - start));
-      nn::Backward(batch_loss);
+      nn::ShardedTrainStep(
+          params, &shards, batch, max_shards,
+          [&](size_t /*shard*/, size_t sb, size_t se) {
+            nn::Var shard_loss;
+            for (size_t i = sb; i < se; ++i) {
+              const size_t idx = perm[start + i];
+              Rng example_rng(dropout_seeds[i]);
+              nn::Var logits =
+                  Forward(encoded[idx], /*training=*/true, &example_rng);
+              nn::Var loss;
+              if (kind_ == TaskKind::kClassification) {
+                loss = nn::SoftmaxCrossEntropy(logits, {train.labels[idx]});
+              } else if (config_.use_squared_loss) {
+                loss = nn::SquaredLoss(logits, {train.targets[idx]});
+              } else {
+                loss = nn::HuberLoss(logits, {train.targets[idx]},
+                                     config_.huber_delta);
+              }
+              shard_loss =
+                  shard_loss == nullptr ? loss : nn::Add(shard_loss, loss);
+            }
+            // Shard's share of the batch-mean loss.
+            return nn::Scale(shard_loss, 1.0f / static_cast<float>(batch));
+          });
       nn::ClipGradNorm(params, config_.clip_norm);
       optimizer.Step();
     }
     const double vloss = ValidLoss(valid);
+    valid_history_.push_back(vloss);
     if (vloss < best_valid || valid.size() == 0) {
       best_valid = vloss;
       best = Snapshot(params);

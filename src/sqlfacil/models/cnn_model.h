@@ -31,6 +31,10 @@ class CnnModel : public Model {
     /// Regression ablation: plain squared loss instead of Huber
     /// (Section 4.4.1 argues Huber is more robust to label outliers).
     bool use_squared_loss = false;
+    /// Upper bound on microbatch shards per training step. Shard boundaries
+    /// depend only on (batch size, this cap), so trained weights are
+    /// bit-identical at any SQLFACIL_THREADS setting.
+    int train_shards = 8;
   };
 
   explicit CnnModel(Config config) : config_(std::move(config)) {}
@@ -51,6 +55,8 @@ class CnnModel : public Model {
       std::span<const double> opt_costs = {}) const override;
   size_t vocab_size() const override { return vocab_.size(); }
   size_t num_parameters() const override;
+  /// Validation-loss trajectory of the last Fit/FineTune (one per epoch).
+  const std::vector<double>& valid_history() const { return valid_history_; }
   Status SaveTo(std::ostream& out) const override;
   Status LoadFrom(std::istream& in) override;
 
@@ -85,6 +91,7 @@ class CnnModel : public Model {
   nn::Embedding embedding_;
   std::vector<nn::Linear> convs_;  // one (width*d x K) map per width
   nn::Linear head_;
+  std::vector<double> valid_history_;
 };
 
 }  // namespace sqlfacil::models

@@ -6,7 +6,9 @@
 
 #include "sqlfacil/models/serialize_util.h"
 #include "sqlfacil/nn/arena.h"
+#include "sqlfacil/nn/data_parallel.h"
 #include "sqlfacil/nn/infer.h"
+#include "sqlfacil/nn/lstm_fused.h"
 #include "sqlfacil/nn/simd.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
@@ -138,33 +140,69 @@ void LstmModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
     batches.emplace_back(by_length.begin() + start, by_length.begin() + end);
   }
 
+  // Data-parallel training: each minibatch splits into at most
+  // `train_shards` microbatch shards that run the fused LstmSequence
+  // forward/backward on the thread pool. Shard boundaries, gradient
+  // reduction order, and the loss sum depend only on the batch size and the
+  // shard cap, so the trained weights are bit-identical at any thread count.
+  const size_t max_shards =
+      static_cast<size_t>(std::max(1, config_.train_shards));
+  nn::GradShards shards;
+  shards.Prepare(params, max_shards);
+
   std::vector<nn::Tensor> best = Snapshot(params);
   double best_valid = 1e300;
+  valid_history_.clear();
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     auto batch_order = rng->Permutation(batches.size());
     for (size_t bi : batch_order) {
       const auto& batch = batches[bi];
-      std::vector<const std::vector<int>*> refs;
-      std::vector<int> labels;
-      std::vector<float> targets;
-      for (size_t idx : batch) {
-        refs.push_back(&encoded[idx]);
-        if (kind_ == TaskKind::kClassification) {
-          labels.push_back(train.labels[idx]);
-        } else {
-          targets.push_back(train.targets[idx]);
-        }
-      }
       optimizer.ZeroGrad();
-      nn::Var out = Forward(refs);
-      nn::Var loss = kind_ == TaskKind::kClassification
-                         ? nn::SoftmaxCrossEntropy(out, labels)
-                         : nn::HuberLoss(out, targets, config_.huber_delta);
-      nn::Backward(loss);
+      nn::ShardedTrainStep(
+          params, &shards, batch.size(), max_shards,
+          [&](size_t /*shard*/, size_t sb, size_t se) {
+            const int sz = static_cast<int>(se - sb);
+            // Pooled shard scratch: shapes are stable across steps, so
+            // steady-state assembly performs no allocation.
+            thread_local std::vector<int> step_ids, lens, labels;
+            thread_local std::vector<float> targets;
+            int max_len = 1;
+            lens.assign(sz, 1);
+            for (int i = 0; i < sz; ++i) {
+              lens[i] = static_cast<int>(encoded[batch[sb + i]].size());
+              max_len = std::max(max_len, lens[i]);
+            }
+            step_ids.assign(static_cast<size_t>(max_len) * sz, -1);
+            labels.clear();
+            targets.clear();
+            for (int i = 0; i < sz; ++i) {
+              const size_t idx = batch[sb + i];
+              const auto& ids = encoded[idx];
+              for (size_t t = 0; t < ids.size(); ++t) {
+                step_ids[t * sz + i] = ids[t];
+              }
+              if (kind_ == TaskKind::kClassification) {
+                labels.push_back(train.labels[idx]);
+              } else {
+                targets.push_back(train.targets[idx]);
+              }
+            }
+            nn::Var h = nn::LstmSequence(embedding_.table, stack_, step_ids,
+                                         lens, max_len);
+            nn::Var out = head_.Apply(h);
+            nn::Var loss =
+                kind_ == TaskKind::kClassification
+                    ? nn::SoftmaxCrossEntropy(out, labels)
+                    : nn::HuberLoss(out, targets, config_.huber_delta);
+            // Per-shard mean -> shard's share of the batch mean.
+            return nn::Scale(loss, static_cast<float>(sz) /
+                                       static_cast<float>(batch.size()));
+          });
       nn::ClipGradNorm(params, config_.clip_norm);
       optimizer.Step();
     }
     const double vloss = ValidLoss(valid, valid_encoded);
+    valid_history_.push_back(vloss);
     if (vloss < best_valid || valid.size() == 0) {
       best_valid = vloss;
       best = Snapshot(params);
@@ -250,17 +288,12 @@ Status LstmModel::LoadFrom(std::istream& in) {
 
 std::vector<float> LstmModel::Predict(const std::string& statement,
                                       double opt_cost) const {
-  (void)opt_cost;
-  auto ids = vocab_.Encode(statement, MaxLen());
-  if (ids.empty()) ids.push_back(Vocabulary::kUnkId);
-  std::vector<const std::vector<int>*> batch = {&ids};
-  nn::Var out = Forward(batch);
-  std::vector<float> scores(out->value.data(),
-                            out->value.data() + out->value.size());
-  if (kind_ == TaskKind::kClassification) {
-    nn::infer::SoftmaxInPlace(scores.data(), scores.size());
-  }
-  return scores;
+  // A single query is a batch of one through the same fused inference
+  // kernels, so Predict and PredictBatch are bit-identical by construction
+  // (the autograd Forward sums the two gate matmuls separately and would
+  // differ from the fused LstmGates order in the last bit).
+  return PredictBatch(std::span<const std::string>(&statement, 1),
+                      std::span<const double>(&opt_cost, 1))[0];
 }
 
 void LstmModel::ForwardInference(
@@ -280,7 +313,6 @@ void LstmModel::ForwardInference(
   // so the arena high-water mark is independent of sequence length.
   float* x = arena->Alloc(static_cast<size_t>(batch) * d);
   float* gx = arena->Alloc(static_cast<size_t>(batch) * 4 * hidden);
-  float* gh = arena->Alloc(static_cast<size_t>(batch) * 4 * hidden);
   // Double-buffered per-layer state (prev / next swap each step).
   thread_local std::vector<float*> h_prev, h_next, c_prev, c_next;
   h_prev.assign(layers, nullptr);
@@ -308,15 +340,13 @@ void LstmModel::ForwardInference(
     int input_dim = d;
     for (int l = 0; l < layers; ++l) {
       const auto& layer = stack_.layers[l];
-      // Gate pre-activations, replicating the autograd op order exactly:
-      // gx = x @ Wx, gx += bias (broadcast), gh = h_prev @ Wh, gx += gh.
-      nn::infer::MatMul(input, layer.input_map.weight->value.data(), gx,
-                        batch, input_dim, 4 * hidden);
-      nn::infer::BiasAdd(gx, layer.input_map.bias->value.data(), batch,
-                         4 * hidden);
-      nn::infer::MatMul(h_prev[l], layer.hidden_map.weight->value.data(), gh,
-                        batch, hidden, 4 * hidden);
-      nn::simd::AddAcc(gx, gh, static_cast<size_t>(batch) * 4 * hidden);
+      // Gate pre-activations in one register-resident sweep:
+      // gx = x @ Wx + bias + h_prev @ Wh (same term order as the training
+      // fast path's forward).
+      nn::simd::LstmGates(input, layer.input_map.weight->value.data(),
+                          layer.input_map.bias->value.data(), h_prev[l],
+                          layer.hidden_map.weight->value.data(), gx, 0, batch,
+                          input_dim, hidden, 4 * hidden);
       for (int b = 0; b < batch; ++b) {
         float* h_out = h_next[l] + static_cast<size_t>(b) * hidden;
         float* c_out = c_next[l] + static_cast<size_t>(b) * hidden;
@@ -331,18 +361,11 @@ void LstmModel::ForwardInference(
         // Gate order [update, forget, output, candidate], matching
         // SplitGates.
         float* row = gx + static_cast<size_t>(b) * 4 * hidden;
-        nn::infer::SigmoidInPlace(row, 3 * static_cast<size_t>(hidden));
-        nn::infer::TanhInPlace(row + 3 * hidden, hidden);
-        const float* u = row;
-        const float* f = row + hidden;
-        const float* o = row + 2 * hidden;
-        const float* cand = row + 3 * hidden;
-        for (int j = 0; j < hidden; ++j) {
-          const float uc = u[j] * cand[j];
-          const float fc = f[j] * c_in[j];
-          c_out[j] = uc + fc;
-          h_out[j] = o[j] * std::tanh(c_out[j]);
-        }
+        nn::simd::SigmoidInPlace(row, 3 * static_cast<size_t>(hidden));
+        nn::simd::TanhInPlace(row + 3 * hidden, hidden);
+        nn::simd::LstmCellForward(row, row + hidden, row + 2 * hidden,
+                                  row + 3 * hidden, c_in, c_out, h_out,
+                                  static_cast<size_t>(hidden));
       }
       std::swap(h_prev[l], h_next[l]);
       std::swap(c_prev[l], c_next[l]);

@@ -32,6 +32,10 @@ class LstmModel : public Model {
     int epochs = 3;
     int batch_size = 16;
     float huber_delta = 1.0f;
+    /// Upper bound on microbatch shards per training step. Shard boundaries
+    /// depend only on (batch size, this cap), so trained weights are
+    /// bit-identical at any SQLFACIL_THREADS setting.
+    int train_shards = 8;
   };
 
   explicit LstmModel(Config config) : config_(std::move(config)) {}
@@ -53,6 +57,8 @@ class LstmModel : public Model {
       std::span<const double> opt_costs = {}) const override;
   size_t vocab_size() const override { return vocab_.size(); }
   size_t num_parameters() const override;
+  /// Validation-loss trajectory of the last Fit (one entry per epoch).
+  const std::vector<double>& valid_history() const { return valid_history_; }
   Status SaveTo(std::ostream& out) const override;
   Status LoadFrom(std::istream& in) override;
 
@@ -82,6 +88,7 @@ class LstmModel : public Model {
   nn::Embedding embedding_;
   nn::LstmStack stack_;
   nn::Linear head_;
+  std::vector<double> valid_history_;
 };
 
 }  // namespace sqlfacil::models

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sqlfacil/nn/data_parallel.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
 
@@ -126,51 +127,82 @@ void MultiTaskCnnModel::Fit(const MultiTaskDataset& train,
 
   auto encoded = vocab_.EncodeAll(train.statements, config_.max_len);
 
+  // Data-parallel training (see nn/data_parallel.h): per-example dropout
+  // seeds are drawn serially from the master stream so masks — and thus
+  // weights — are bit-identical at any shard/thread count.
+  const size_t max_shards =
+      static_cast<size_t>(std::max(1, config_.train_shards));
+  nn::GradShards shards;
+  shards.Prepare(params, max_shards);
+
+  auto has_any_loss = [&](size_t idx) {
+    return train.error_labels[idx] >= 0 || HasTarget(train.cpu_targets[idx]) ||
+           HasTarget(train.answer_targets[idx]);
+  };
+
   std::vector<nn::Tensor> best = Snapshot(params);
   double best_valid = 1e300;
+  valid_history_.clear();
   const size_t n = train.size();
+  std::vector<uint64_t> dropout_seeds;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     auto perm = rng->Permutation(n);
     for (size_t start = 0; start < n;
          start += static_cast<size_t>(config_.batch_size)) {
       const size_t end =
           std::min(n, start + static_cast<size_t>(config_.batch_size));
-      optimizer.ZeroGrad();
-      nn::Var batch_loss;
-      for (size_t i = start; i < end; ++i) {
-        const size_t idx = perm[i];
-        nn::Var features = Encode(encoded[idx], /*training=*/true, rng);
-        nn::Var example_loss;
-        auto accumulate = [&](nn::Var task_loss) {
-          example_loss = example_loss == nullptr
-                             ? task_loss
-                             : nn::Add(example_loss, task_loss);
-        };
-        if (train.error_labels[idx] >= 0) {
-          accumulate(nn::SoftmaxCrossEntropy(error_head_.Apply(features),
-                                             {train.error_labels[idx]}));
-        }
-        if (HasTarget(train.cpu_targets[idx])) {
-          accumulate(nn::HuberLoss(cpu_head_.Apply(features),
-                                   {train.cpu_targets[idx]},
-                                   config_.huber_delta));
-        }
-        if (HasTarget(train.answer_targets[idx])) {
-          accumulate(nn::HuberLoss(answer_head_.Apply(features),
-                                   {train.answer_targets[idx]},
-                                   config_.huber_delta));
-        }
-        if (example_loss == nullptr) continue;
-        batch_loss = batch_loss == nullptr ? example_loss
-                                           : nn::Add(batch_loss, example_loss);
+      const size_t batch = end - start;
+      dropout_seeds.resize(batch);
+      for (size_t i = 0; i < batch; ++i) dropout_seeds[i] = rng->Next();
+      bool any_loss = false;
+      for (size_t i = start; i < end && !any_loss; ++i) {
+        any_loss = has_any_loss(perm[i]);
       }
-      if (batch_loss == nullptr) continue;
-      batch_loss = nn::Scale(batch_loss, 1.0f / (end - start));
-      nn::Backward(batch_loss);
+      if (!any_loss) continue;  // fully unlabeled batch: no step
+      optimizer.ZeroGrad();
+      nn::ShardedTrainStep(
+          params, &shards, batch, max_shards,
+          [&](size_t /*shard*/, size_t sb, size_t se) {
+            nn::Var shard_loss;
+            for (size_t i = sb; i < se; ++i) {
+              const size_t idx = perm[start + i];
+              if (!has_any_loss(idx)) continue;
+              Rng example_rng(dropout_seeds[i]);
+              nn::Var features =
+                  Encode(encoded[idx], /*training=*/true, &example_rng);
+              nn::Var example_loss;
+              auto accumulate = [&](nn::Var task_loss) {
+                example_loss = example_loss == nullptr
+                                   ? task_loss
+                                   : nn::Add(example_loss, task_loss);
+              };
+              if (train.error_labels[idx] >= 0) {
+                accumulate(nn::SoftmaxCrossEntropy(
+                    error_head_.Apply(features), {train.error_labels[idx]}));
+              }
+              if (HasTarget(train.cpu_targets[idx])) {
+                accumulate(nn::HuberLoss(cpu_head_.Apply(features),
+                                         {train.cpu_targets[idx]},
+                                         config_.huber_delta));
+              }
+              if (HasTarget(train.answer_targets[idx])) {
+                accumulate(nn::HuberLoss(answer_head_.Apply(features),
+                                         {train.answer_targets[idx]},
+                                         config_.huber_delta));
+              }
+              shard_loss = shard_loss == nullptr
+                               ? example_loss
+                               : nn::Add(shard_loss, example_loss);
+            }
+            // A shard may hold only unlabeled examples; contribute zero.
+            if (shard_loss == nullptr) return nn::ZerosConst({1, 1});
+            return nn::Scale(shard_loss, 1.0f / static_cast<float>(batch));
+          });
       nn::ClipGradNorm(params, config_.clip_norm);
       optimizer.Step();
     }
     const double vloss = ValidLoss(valid);
+    valid_history_.push_back(vloss);
     if (vloss < best_valid || valid.size() == 0) {
       best_valid = vloss;
       best = Snapshot(params);

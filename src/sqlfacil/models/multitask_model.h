@@ -46,6 +46,10 @@ class MultiTaskCnnModel {
     int epochs = 3;
     int batch_size = 16;
     float huber_delta = 1.0f;
+    /// Upper bound on microbatch shards per training step. Shard boundaries
+    /// depend only on (batch size, this cap), so trained weights are
+    /// bit-identical at any SQLFACIL_THREADS setting.
+    int train_shards = 8;
   };
 
   explicit MultiTaskCnnModel(Config config) : config_(std::move(config)) {}
@@ -62,6 +66,9 @@ class MultiTaskCnnModel {
 
   size_t num_parameters() const;
 
+  /// Validation-loss trajectory of the last Fit (one entry per epoch).
+  const std::vector<double>& valid_history() const { return valid_history_; }
+
  private:
   nn::Var Encode(const std::vector<int>& ids, bool training, Rng* rng) const;
   double ValidLoss(const MultiTaskDataset& valid) const;
@@ -76,6 +83,7 @@ class MultiTaskCnnModel {
   nn::Linear error_head_;
   nn::Linear cpu_head_;
   nn::Linear answer_head_;
+  std::vector<double> valid_history_;
 };
 
 }  // namespace sqlfacil::models

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/nn/data_parallel.h"
 #include "sqlfacil/nn/infer.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
@@ -82,38 +83,70 @@ void TfidfModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
   std::vector<float> best_bias = bias_;
   double best_valid = 1e300;
 
+  // Sharded mini-batch sparse SGD. Each minibatch runs two phases:
+  // (1) per-example score gradients compute in parallel from the
+  // batch-start weights (shard boundaries depend only on the batch size and
+  // the shard cap, never on SQLFACIL_THREADS), then (2) a serial merge
+  // applies the sparse updates in example order. Trained weights are
+  // therefore bit-identical at any thread count.
+  const size_t max_shards =
+      static_cast<size_t>(std::max(1, config_.train_shards));
+  const size_t batch_size =
+      static_cast<size_t>(std::max(1, config_.batch_size));
   const size_t n = train.size();
+  std::vector<float> dscores;
+  valid_history_.clear();
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     const float lr =
         config_.lr / (1.0f + 0.5f * static_cast<float>(epoch));
     auto perm = rng->Permutation(n);
-    for (size_t i = 0; i < n; ++i) {
-      const size_t idx = perm[i];
-      const auto& feats = train_features[idx];
-      auto scores = Scores(feats);
-      // Gradient of the per-output score.
-      std::vector<float> dscore(outputs_, 0.0f);
-      if (kind_ == TaskKind::kClassification) {
-        Softmax(&scores);
-        for (int c = 0; c < outputs_; ++c) {
-          dscore[c] = scores[c] - (c == train.labels[idx] ? 1.0f : 0.0f);
+    for (size_t start = 0; start < n; start += batch_size) {
+      const size_t end = std::min(n, start + batch_size);
+      const size_t batch = end - start;
+      dscores.assign(batch * static_cast<size_t>(outputs_), 0.0f);
+      const size_t grain = nn::ShardGrain(batch, max_shards);
+      ParallelForChunks(0, batch, grain, [&](size_t, size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          const size_t idx = perm[start + i];
+          auto scores = Scores(train_features[idx]);
+          float* dscore = &dscores[i * static_cast<size_t>(outputs_)];
+          if (kind_ == TaskKind::kClassification) {
+            Softmax(&scores);
+            for (int c = 0; c < outputs_; ++c) {
+              dscore[c] = scores[c] - (c == train.labels[idx] ? 1.0f : 0.0f);
+            }
+          } else {
+            const float r = scores[0] - train.targets[idx];
+            dscore[0] = std::fabs(r) <= config_.huber_delta
+                            ? r
+                            : (r > 0 ? config_.huber_delta
+                                     : -config_.huber_delta);
+          }
+          // Batch-mean normalization: every gradient in the batch was taken
+          // at the same (batch-start) weights, so applying their sum at the
+          // per-example rate would overshoot; the mean keeps the linear
+          // region contractive at any batch size.
+          for (int c = 0; c < outputs_; ++c) {
+            dscore[c] /= static_cast<float>(batch);
+          }
         }
-      } else {
-        const float r = scores[0] - train.targets[idx];
-        dscore[0] = std::fabs(r) <= config_.huber_delta
-                        ? r
-                        : (r > 0 ? config_.huber_delta : -config_.huber_delta);
-      }
-      // Sparse SGD update (weight decay applied to touched rows only).
-      for (const auto& [f, x] : feats) {
-        float* row = &weights_[static_cast<size_t>(f) * outputs_];
-        for (int c = 0; c < outputs_; ++c) {
-          row[c] -= lr * (dscore[c] * x + config_.weight_decay * row[c]);
+      });
+      // Ordered merge: sparse updates apply in example order (weight decay
+      // on touched rows only, reading the live row as before).
+      for (size_t i = 0; i < batch; ++i) {
+        const size_t idx = perm[start + i];
+        const float* dscore = &dscores[i * static_cast<size_t>(outputs_)];
+        for (const auto& [f, x] : train_features[idx]) {
+          float* row = &weights_[static_cast<size_t>(f) * outputs_];
+          for (int c = 0; c < outputs_; ++c) {
+            row[c] -= lr * (dscore[c] * x + config_.weight_decay * row[c]);
+          }
         }
+        for (int c = 0; c < outputs_; ++c) bias_[c] -= lr * dscore[c];
       }
-      for (int c = 0; c < outputs_; ++c) bias_[c] -= lr * dscore[c];
     }
     const double vloss = valid_loss();
+    valid_history_.push_back(vloss);
     if (vloss < best_valid || valid_features.empty()) {
       best_valid = vloss;
       best_weights = weights_;

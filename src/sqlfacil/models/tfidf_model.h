@@ -21,6 +21,11 @@ class TfidfModel : public Model {
     float lr = 0.5f;
     float weight_decay = 1e-5f;
     float huber_delta = 1.0f;
+    /// Upper bound on microbatch shards per training step: per-example
+    /// score gradients compute in parallel from batch-start weights, then a
+    /// serial merge applies the sparse updates in example order, so trained
+    /// weights are bit-identical at any SQLFACIL_THREADS setting.
+    int train_shards = 8;
   };
 
   explicit TfidfModel(Config config) : config_(config) {}
@@ -46,6 +51,9 @@ class TfidfModel : public Model {
   Status SaveTo(std::ostream& out) const override;
   Status LoadFrom(std::istream& in) override;
 
+  /// Validation-loss trajectory of the last Fit (one entry per epoch).
+  const std::vector<double>& valid_history() const { return valid_history_; }
+
  private:
   std::vector<float> Scores(
       const std::vector<std::pair<int, float>>& features) const;
@@ -56,6 +64,7 @@ class TfidfModel : public Model {
   TfidfVectorizer vectorizer_;
   std::vector<float> weights_;  // (num_features x outputs), row-major
   std::vector<float> bias_;     // (outputs)
+  std::vector<double> valid_history_;
 };
 
 }  // namespace sqlfacil::models

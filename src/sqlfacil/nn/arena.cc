@@ -56,4 +56,9 @@ Arena& ThreadLocalArena() {
   return arena;
 }
 
+Arena& ThreadLocalTrainArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
 }  // namespace sqlfacil::nn

@@ -50,6 +50,13 @@ class Arena {
 /// must Reset() it when their unit of work completes.
 Arena& ThreadLocalArena();
 
+/// Per-thread arena reserved for training-step state (fused-op activation
+/// slabs that must stay alive from forward until the backward pass reads
+/// them). Kept separate from ThreadLocalArena() because inference helpers
+/// may reset that one mid-graph; this one is reset once per training step
+/// by the step driver, after Backward.
+Arena& ThreadLocalTrainArena();
+
 }  // namespace sqlfacil::nn
 
 #endif  // SQLFACIL_NN_ARENA_H_

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "sqlfacil/nn/simd.h"
 #include "sqlfacil/util/logging.h"
@@ -43,10 +42,100 @@ size_t MatMulBwdRowGrain(int k, int n) {
   return RowGrainForFlops(kMatMulBwdFlopGrain, k, n);
 }
 
+// --- Thread-local tape / redirect / traversal state -------------------------
+
+struct Tape {
+  std::vector<Var> nodes;
+  size_t cursor = 0;
+  int active = 0;  // nesting depth; 0 = pooling off
+};
+
+thread_local Tape t_tape;
+thread_local const GradRedirectScope::Map* t_redirect = nullptr;
+// Per-thread Backward epoch. Only non-leaf nodes are marked, and those are
+// created on this thread's tape, so marks never race across shard workers.
+thread_local std::uint64_t t_backward_epoch = 0;
+thread_local std::vector<std::pair<Variable*, size_t>> t_dfs_stack;
+thread_local std::vector<Variable*> t_order;
+
 }  // namespace
 
+namespace detail {
+
+Var AllocNode() {
+  if (t_tape.active > 0) {
+    if (t_tape.cursor == t_tape.nodes.size()) {
+      t_tape.nodes.push_back(std::make_shared<Variable>());
+    }
+    Var v = t_tape.nodes[t_tape.cursor++];
+    v->op = Op::kLeaf;
+    v->requires_grad = false;
+    v->grad_ready = false;
+    v->parents.clear();  // keeps capacity
+    v->paux[0] = v->paux[1] = v->paux[2] = nullptr;
+    return v;
+  }
+  return std::make_shared<Variable>();
+}
+
+void FinalizeOp(const Var& v, Op op, const std::vector<Var>& parents) {
+  bool needs_grad = false;
+  for (const auto& p : parents) needs_grad |= p->requires_grad;
+  if (needs_grad) {
+    v->op = op;
+    v->requires_grad = true;
+    v->parents.assign(parents.begin(), parents.end());
+  } else {
+    v->op = Op::kLeaf;
+    v->requires_grad = false;
+    v->parents.clear();
+  }
+}
+
+void FinalizeOp(const Var& v, Op op, std::initializer_list<Var> parents) {
+  bool needs_grad = false;
+  for (const auto& p : parents) needs_grad |= p->requires_grad;
+  if (needs_grad) {
+    v->op = op;
+    v->requires_grad = true;
+    v->parents.assign(parents.begin(), parents.end());
+  } else {
+    v->op = Op::kLeaf;
+    v->requires_grad = false;
+    v->parents.clear();
+  }
+}
+
+// Defined in lstm_fused.cc.
+void LstmSequenceBackward(Variable& node);
+
+}  // namespace detail
+
+TapeScope::TapeScope() : base_(t_tape.cursor) { ++t_tape.active; }
+
+TapeScope::~TapeScope() {
+  t_tape.cursor = base_;
+  --t_tape.active;
+}
+
+GradRedirectScope::GradRedirectScope(const Map* map) : prev_(t_redirect) {
+  t_redirect = map;
+}
+
+GradRedirectScope::~GradRedirectScope() { t_redirect = prev_; }
+
 Tensor& Variable::EnsureGrad() {
-  if (!grad.SameShape(value)) grad = Tensor(value.shape());
+  // Redirect only ever applies to leaves (parameters); op nodes carry
+  // parents and skip the scan, so their grads stay thread-confined.
+  if (t_redirect != nullptr && requires_grad && parents.empty()) {
+    for (const auto& [var, buf] : *t_redirect) {
+      if (var == this) return *buf;
+    }
+  }
+  if (!grad_ready || !grad.SameShape(value)) {
+    grad.ResetShape(value.shape());
+    grad_ready = true;
+  }
   return grad;
 }
 
@@ -58,25 +147,386 @@ Var MakeParam(Tensor value) {
 }
 
 Var MakeConst(Tensor value) {
-  auto v = std::make_shared<Variable>();
-  v->value = std::move(value);
-  v->requires_grad = false;
+  Var v = detail::AllocNode();
+  if (t_tape.active > 0) {
+    v->value.CopyFrom(value);
+  } else {
+    v->value = std::move(value);
+  }
   return v;
 }
 
+Var ZerosConst(const std::vector<int>& shape) {
+  Var v = detail::AllocNode();
+  v->value.ResetShape(shape);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Backward dispatch
+// ---------------------------------------------------------------------------
+
 namespace {
 
-// Marks an op output: it requires grad if any parent does.
-Var MakeOp(Tensor value, std::vector<Var> parents,
-           std::function<void(Variable&)> backward_fn) {
-  auto v = std::make_shared<Variable>();
-  v->value = std::move(value);
-  for (const auto& p : parents) v->requires_grad |= p->requires_grad;
-  if (v->requires_grad) {
-    v->parents = std::move(parents);
-    v->backward_fn = std::move(backward_fn);
+void MatMulBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  Variable* b = node.parents[1].get();
+  const int m = node.value.rows();
+  const int n = node.value.cols();
+  const int k = a->value.cols();
+  const float* G = node.grad.data();
+  if (a->requires_grad) {
+    // dA = G @ B^T: row i of dA is a set of dot products against rows of
+    // B — contiguous reads, disjoint writes per chunk. simd::Dot fixes the
+    // reduction decomposition, so any chunking/SIMD combination yields
+    // identical bits.
+    float* dA = a->EnsureGrad().data();
+    const float* B = b->value.data();
+    ParallelForChunks(0, static_cast<size_t>(m), MatMulBwdRowGrain(k, n),
+                      [&](size_t, size_t rb, size_t re) {
+                        simd::MatMulGradARows(G, B, dA, rb, re, k, n);
+                      });
   }
-  return v;
+  if (b->requires_grad) {
+    // dB = A^T @ G. The serial path keeps the cache-friendly i-outer saxpy;
+    // the parallel path partitions rows of dB (transposed walk of A). Both
+    // accumulate each dB element over i ascending, so results are
+    // bit-identical regardless of which path runs.
+    float* dB = b->EnsureGrad().data();
+    const float* A = a->value.data();
+    const size_t kk_grain = MatMulBwdRowGrain(m, n);
+    if (NumChunks(0, static_cast<size_t>(k), kk_grain) <= 1 ||
+        ThreadPool::InWorker()) {
+      simd::MatMulGradBRows(A, G, dB, m, 0, static_cast<size_t>(k), k, n);
+    } else {
+      ParallelForChunks(0, static_cast<size_t>(k), kk_grain,
+                        [&](size_t, size_t kb, size_t ke) {
+                          simd::MatMulGradBRows(A, G, dB, m, kb, ke, k, n);
+                        });
+    }
+  }
+}
+
+void AddBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  Variable* b = node.parents[1].get();
+  const int rows = node.value.rows();
+  const int cols = node.value.cols();
+  const bool broadcast = b->value.rows() == 1 && rows > 1;
+  const float* G = node.grad.data();
+  if (a->requires_grad) {
+    float* dA = a->EnsureGrad().data();
+    ParallelFor(0, node.grad.size(), kElementwiseGrain,
+                [&](size_t b_, size_t e_) {
+                  simd::AddAcc(dA + b_, G + b_, e_ - b_);
+                });
+  }
+  if (b->requires_grad) {
+    // Broadcast grad is a row reduction (i ascending per element at any
+    // chunking), so it stays serial.
+    float* dB = b->EnsureGrad().data();
+    for (int i = 0; i < rows; ++i) {
+      simd::AddAcc(dB + (broadcast ? 0 : i) * static_cast<size_t>(cols),
+                   G + static_cast<size_t>(i) * cols,
+                   static_cast<size_t>(cols));
+    }
+  }
+}
+
+void SubBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  Variable* b = node.parents[1].get();
+  if (a->requires_grad) {
+    simd::AddAcc(a->EnsureGrad().data(), node.grad.data(), node.grad.size());
+  }
+  if (b->requires_grad) {
+    simd::SubAcc(b->EnsureGrad().data(), node.grad.data(), node.grad.size());
+  }
+}
+
+void MulBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  Variable* b = node.parents[1].get();
+  const float* G = node.grad.data();
+  if (a->requires_grad) {
+    float* dA = a->EnsureGrad().data();
+    const float* BV = b->value.data();
+    ParallelFor(0, node.grad.size(), kElementwiseGrain,
+                [&](size_t b_, size_t e_) {
+                  simd::MulAcc(dA + b_, G + b_, BV + b_, e_ - b_);
+                });
+  }
+  if (b->requires_grad) {
+    float* dB = b->EnsureGrad().data();
+    const float* AV = a->value.data();
+    ParallelFor(0, node.grad.size(), kElementwiseGrain,
+                [&](size_t b_, size_t e_) {
+                  simd::MulAcc(dB + b_, G + b_, AV + b_, e_ - b_);
+                });
+  }
+}
+
+void ScaleBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  if (!a->requires_grad) return;
+  simd::Axpy(a->EnsureGrad().data(), node.grad.data(), node.farg,
+             node.grad.size());
+}
+
+// Pointwise grads read the forward output straight from node.value (it IS
+// the op output), which removed the per-node output copy the closure design
+// carried.
+void SigmoidBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  if (!a->requires_grad) return;
+  float* dA = a->EnsureGrad().data();
+  const float* G = node.grad.data();
+  const float* O = node.value.data();
+  ParallelFor(0, node.grad.size(), kElementwiseGrain,
+              [&](size_t b, size_t e) {
+                simd::SigmoidGradAcc(dA + b, G + b, O + b, e - b);
+              });
+}
+
+void TanhBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  if (!a->requires_grad) return;
+  float* dA = a->EnsureGrad().data();
+  const float* G = node.grad.data();
+  const float* O = node.value.data();
+  ParallelFor(0, node.grad.size(), kElementwiseGrain,
+              [&](size_t b, size_t e) {
+                simd::TanhGradAcc(dA + b, G + b, O + b, e - b);
+              });
+}
+
+void ReluBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  if (!a->requires_grad) return;
+  float* dA = a->EnsureGrad().data();
+  const float* G = node.grad.data();
+  const float* O = node.value.data();
+  ParallelFor(0, node.grad.size(), kElementwiseGrain,
+              [&](size_t b, size_t e) {
+                simd::ReluGradAcc(dA + b, G + b, O + b, e - b);
+              });
+}
+
+void RowsBackward(Variable& node) {
+  Variable* table = node.parents[0].get();
+  if (!table->requires_grad) return;
+  const int d = node.value.cols();
+  // Scatter into the table: rows can repeat, so the i-loop stays serial
+  // (ascending i fixes the accumulation order per table row).
+  Tensor& dT = table->EnsureGrad();
+  const float* G = node.grad.data();
+  for (size_t i = 0; i < node.iaux.size(); ++i) {
+    const int idx = node.iaux[i];
+    if (idx < 0) continue;
+    simd::AddAcc(dT.data() + static_cast<size_t>(idx) * d,
+                 G + i * static_cast<size_t>(d), static_cast<size_t>(d));
+  }
+}
+
+void ConcatColsBackward(Variable& node) {
+  const int rows = node.value.rows();
+  const int total_cols = node.value.cols();
+  int offset = 0;
+  for (const auto& p : node.parents) {
+    const int c = p->value.cols();
+    if (p->requires_grad) {
+      Tensor& dp = p->EnsureGrad();
+      for (int i = 0; i < rows; ++i) {
+        simd::AddAcc(dp.data() + static_cast<size_t>(i) * c,
+                     node.grad.data() +
+                         static_cast<size_t>(i) * total_cols + offset,
+                     static_cast<size_t>(c));
+      }
+    }
+    offset += c;
+  }
+}
+
+void SliceColsBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  if (!a->requires_grad) return;
+  const int rows = node.value.rows();
+  const int len = node.value.cols();
+  const int start = node.iarg0;
+  const int in_cols = a->value.cols();
+  Tensor& dA = a->EnsureGrad();
+  for (int i = 0; i < rows; ++i) {
+    simd::AddAcc(dA.data() + static_cast<size_t>(i) * in_cols + start,
+                 node.grad.data() + static_cast<size_t>(i) * len,
+                 static_cast<size_t>(len));
+  }
+}
+
+void MaxOverTimeBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  if (!a->requires_grad) return;
+  const int k = node.value.cols();
+  Tensor& dA = a->EnsureGrad();
+  for (int j = 0; j < k; ++j) {
+    dA.at(node.iaux[j], j) += node.grad.at(0, j);
+  }
+}
+
+void MeanBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  if (!a->requires_grad) return;
+  const size_t n = a->value.size();
+  const float g = node.grad.at(0, 0) / static_cast<float>(n);
+  float* dA = a->EnsureGrad().data();
+  for (size_t i = 0; i < n; ++i) dA[i] += g;
+}
+
+void DropoutBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  if (!a->requires_grad) return;
+  float* dA = a->EnsureGrad().data();
+  simd::MulAcc(dA, node.grad.data(), node.faux.data(), node.grad.size());
+}
+
+void BlendRowsBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  Variable* b = node.parents[1].get();
+  const int cols = node.value.cols();
+  for (size_t i = 0; i < node.iaux.size(); ++i) {
+    Variable* target = node.iaux[i] != 0 ? a : b;
+    if (!target->requires_grad) continue;
+    simd::AddAcc(target->EnsureGrad().data() + i * static_cast<size_t>(cols),
+                 node.grad.data() + i * static_cast<size_t>(cols),
+                 static_cast<size_t>(cols));
+  }
+}
+
+void UnfoldBackward(Variable& node) {
+  Variable* a = node.parents[0].get();
+  if (!a->requires_grad) return;
+  const int window = node.iarg0;
+  const int d = a->value.cols();
+  const int out_rows = node.value.rows();
+  // Scatter: input row r receives from up to `window` output rows —
+  // overlapping writes, so this stays serial.
+  Tensor& dA = a->EnsureGrad();
+  for (int i = 0; i < out_rows; ++i) {
+    for (int w = 0; w < window; ++w) {
+      simd::AddAcc(dA.data() + static_cast<size_t>(i + w) * d,
+                   node.grad.data() +
+                       static_cast<size_t>(i) * (window * d) +
+                       static_cast<size_t>(w) * d,
+                   static_cast<size_t>(d));
+    }
+  }
+}
+
+void SoftmaxCrossEntropyBackward(Variable& node) {
+  Variable* logits = node.parents[0].get();
+  if (!logits->requires_grad) return;
+  const int b = logits->value.rows();
+  const int c = logits->value.cols();
+  const float g = node.grad.at(0, 0) / static_cast<float>(b);
+  Tensor& dL = logits->EnsureGrad();
+  const float* P = node.aux.data();
+  // dL += g * probs, then the label column subtracts g (the indicator).
+  for (int i = 0; i < b; ++i) {
+    float* dl_row = dL.data() + static_cast<size_t>(i) * c;
+    simd::Axpy(dl_row, P + static_cast<size_t>(i) * c, g,
+               static_cast<size_t>(c));
+    dl_row[node.iaux[i]] -= g;
+  }
+}
+
+void HuberLossBackward(Variable& node) {
+  Variable* pred = node.parents[0].get();
+  if (!pred->requires_grad) return;
+  const int b = static_cast<int>(node.faux.size());
+  const float delta = node.farg;
+  const float g = node.grad.at(0, 0) / static_cast<float>(b);
+  Tensor& dP = pred->EnsureGrad();
+  for (int i = 0; i < b; ++i) {
+    const float r = node.faux[i];
+    const float dr =
+        (std::fabs(r) <= delta) ? r : (r > 0 ? delta : -delta);
+    dP.at(i, 0) += g * dr;
+  }
+}
+
+void SquaredLossBackward(Variable& node) {
+  Variable* pred = node.parents[0].get();
+  if (!pred->requires_grad) return;
+  const int b = static_cast<int>(node.faux.size());
+  const float g = node.grad.at(0, 0) / static_cast<float>(b);
+  Tensor& dP = pred->EnsureGrad();
+  for (int i = 0; i < b; ++i) dP.at(i, 0) += g * node.faux[i];
+}
+
+void RunBackward(Variable& node) {
+  switch (node.op) {
+    case Op::kLeaf:
+      break;
+    case Op::kMatMul:
+      MatMulBackward(node);
+      break;
+    case Op::kAdd:
+      AddBackward(node);
+      break;
+    case Op::kSub:
+      SubBackward(node);
+      break;
+    case Op::kMul:
+      MulBackward(node);
+      break;
+    case Op::kScale:
+      ScaleBackward(node);
+      break;
+    case Op::kSigmoid:
+      SigmoidBackward(node);
+      break;
+    case Op::kTanh:
+      TanhBackward(node);
+      break;
+    case Op::kRelu:
+      ReluBackward(node);
+      break;
+    case Op::kRows:
+      RowsBackward(node);
+      break;
+    case Op::kConcatCols:
+      ConcatColsBackward(node);
+      break;
+    case Op::kSliceCols:
+      SliceColsBackward(node);
+      break;
+    case Op::kMaxOverTime:
+      MaxOverTimeBackward(node);
+      break;
+    case Op::kMean:
+      MeanBackward(node);
+      break;
+    case Op::kDropout:
+      DropoutBackward(node);
+      break;
+    case Op::kBlendRows:
+      BlendRowsBackward(node);
+      break;
+    case Op::kUnfold:
+      UnfoldBackward(node);
+      break;
+    case Op::kSoftmaxCrossEntropy:
+      SoftmaxCrossEntropyBackward(node);
+      break;
+    case Op::kHuberLoss:
+      HuberLossBackward(node);
+      break;
+    case Op::kSquaredLoss:
+      SquaredLossBackward(node);
+      break;
+    case Op::kLstmSequence:
+      detail::LstmSequenceBackward(node);
+      break;
+  }
 }
 
 }  // namespace
@@ -84,35 +534,36 @@ Var MakeOp(Tensor value, std::vector<Var> parents,
 void Backward(const Var& root) {
   SQLFACIL_CHECK(root->value.size() == 1)
       << "Backward requires a scalar root";
-  std::unordered_set<Variable*> seen;
-  std::vector<Var> order;
-  // Iterative topological sort (deep LSTM graphs overflow recursion).
-  {
-    struct Frame {
-      Var node;
-      size_t next_parent = 0;
-    };
-    std::vector<Frame> stack;
-    if (root->requires_grad) stack.push_back({root, 0});
-    seen.insert(root.get());
-    while (!stack.empty()) {
-      Frame& top = stack.back();
-      if (top.next_parent < top.node->parents.size()) {
-        Var parent = top.node->parents[top.next_parent++];
-        if (parent->requires_grad && seen.insert(parent.get()).second) {
-          stack.push_back({std::move(parent), 0});
-        }
-      } else {
-        order.push_back(top.node);
-        stack.pop_back();
+  const std::uint64_t epoch = ++t_backward_epoch;
+  auto& stack = t_dfs_stack;
+  auto& order = t_order;
+  stack.clear();
+  order.clear();
+  // Iterative topological sort (deep LSTM graphs overflow recursion). Only
+  // op nodes enter the order: leaves have no backward, and skipping them
+  // avoids epoch-marking shared parameters from shard worker threads.
+  if (root->requires_grad && !root->parents.empty()) {
+    root->visit_epoch = epoch;
+    stack.emplace_back(root.get(), 0);
+  }
+  while (!stack.empty()) {
+    auto& top = stack.back();
+    Variable* node = top.first;
+    if (top.second < node->parents.size()) {
+      Variable* parent = node->parents[top.second++].get();
+      if (parent->requires_grad && !parent->parents.empty() &&
+          parent->visit_epoch != epoch) {
+        parent->visit_epoch = epoch;
+        stack.emplace_back(parent, 0);
       }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
     }
   }
-  root->EnsureGrad();
-  root->grad.Fill(1.0f);
+  root->EnsureGrad().Fill(1.0f);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    Variable& node = **it;
-    if (node.backward_fn) node.backward_fn(node);
+    RunBackward(**it);
   }
 }
 
@@ -134,78 +585,19 @@ Var MatMul(const Var& a, const Var& b) {
   SQLFACIL_CHECK(b->value.rows() == k)
       << "MatMul shape mismatch: (" << m << "x" << k << ") @ ("
       << b->value.rows() << "x" << n << ")";
-  Tensor out({m, n});
+  Var v = detail::AllocNode();
+  v->value.ResetShape({m, n});
   const float* A = a->value.data();
   const float* B = b->value.data();
-  float* C = out.data();
+  float* C = v->value.data();
   // Row-partitioned: each chunk owns a disjoint slice of C, and per output
   // element the accumulation order matches the serial loop exactly.
   ParallelFor(0, static_cast<size_t>(m), MatMulRowGrain(k, n),
               [&](size_t rb, size_t re) {
                 simd::MatMulRows(A, B, C, rb, re, k, n);
               });
-  Var av = a, bv = b;
-  return MakeOp(std::move(out), {a, b}, [av, bv, m, k, n](Variable& node) {
-    const float* G = node.grad.data();
-    if (av->requires_grad) {
-      // dA = G @ B^T: row i of dA is a set of dot products against rows of
-      // B — contiguous reads, disjoint writes per chunk. simd::Dot fixes
-      // the reduction decomposition, so any chunking/SIMD combination
-      // yields identical bits.
-      float* dA = av->EnsureGrad().data();
-      const float* B = bv->value.data();
-      ParallelForChunks(
-          0, static_cast<size_t>(m), MatMulBwdRowGrain(k, n),
-          [&](size_t, size_t rb, size_t re) {
-            for (size_t i = rb; i < re; ++i) {
-              const float* g_row = G + i * static_cast<size_t>(n);
-              float* da_row = dA + i * static_cast<size_t>(k);
-              for (int kk = 0; kk < k; ++kk) {
-                da_row[kk] += simd::Dot(g_row,
-                                        B + static_cast<size_t>(kk) * n,
-                                        static_cast<size_t>(n));
-              }
-            }
-          });
-    }
-    if (bv->requires_grad) {
-      // dB = A^T @ G. The serial path keeps the cache-friendly i-outer
-      // saxpy; the parallel path partitions rows of dB (transposed walk of
-      // A). Both accumulate each dB element over i ascending, so results
-      // are bit-identical regardless of which path runs.
-      float* dB = bv->EnsureGrad().data();
-      const float* A = av->value.data();
-      const size_t kk_grain = MatMulBwdRowGrain(m, n);
-      if (NumChunks(0, static_cast<size_t>(k), kk_grain) <= 1 ||
-          ThreadPool::InWorker()) {
-        for (int i = 0; i < m; ++i) {
-          const float* a_row = A + static_cast<size_t>(i) * k;
-          const float* g_row = G + static_cast<size_t>(i) * n;
-          for (int kk = 0; kk < k; ++kk) {
-            const float a_ik = a_row[kk];
-            if (a_ik == 0.0f) continue;
-            simd::Axpy(dB + static_cast<size_t>(kk) * n, g_row, a_ik,
-                       static_cast<size_t>(n));
-          }
-        }
-      } else {
-        ParallelForChunks(
-            0, static_cast<size_t>(k), kk_grain,
-            [&](size_t, size_t kb, size_t ke) {
-              for (int i = 0; i < m; ++i) {
-                const float* a_row = A + static_cast<size_t>(i) * k;
-                const float* g_row = G + static_cast<size_t>(i) * n;
-                for (size_t kk = kb; kk < ke; ++kk) {
-                  const float a_ik = a_row[kk];
-                  if (a_ik == 0.0f) continue;
-                  simd::Axpy(dB + kk * static_cast<size_t>(n), g_row, a_ik,
-                             static_cast<size_t>(n));
-                }
-              }
-            });
-      }
-    }
-  });
+  detail::FinalizeOp(v, Op::kMatMul, {a, b});
+  return v;
 }
 
 Var Add(const Var& a, const Var& b) {
@@ -214,12 +606,13 @@ Var Add(const Var& a, const Var& b) {
       a->value.cols() == b->value.cols();
   SQLFACIL_CHECK(broadcast || a->value.SameShape(b->value))
       << "Add shape mismatch";
-  Tensor out = a->value;
-  const int rows = out.rows(), cols = out.cols();
+  Var v = detail::AllocNode();
+  v->value.CopyFrom(a->value);
+  const int rows = v->value.rows(), cols = v->value.cols();
   const size_t row_grain =
       std::max<size_t>(1, kElementwiseGrain / std::max(1, cols));
   const float* B = b->value.data();
-  float* O = out.data();
+  float* O = v->value.data();
   ParallelFor(0, static_cast<size_t>(rows), row_grain,
               [&](size_t rb, size_t re) {
                 for (size_t i = rb; i < re; ++i) {
@@ -229,158 +622,77 @@ Var Add(const Var& a, const Var& b) {
                                static_cast<size_t>(cols));
                 }
               });
-  Var av = a, bv = b;
-  return MakeOp(std::move(out), {a, b},
-                [av, bv, broadcast, rows, cols](Variable& node) {
-                  if (av->requires_grad) {
-                    float* dA = av->EnsureGrad().data();
-                    const float* G = node.grad.data();
-                    ParallelFor(0, node.grad.size(), kElementwiseGrain,
-                                [&](size_t b_, size_t e_) {
-                                  simd::AddAcc(dA + b_, G + b_, e_ - b_);
-                                });
-                  }
-                  if (bv->requires_grad) {
-                    // Broadcast grad is a row reduction (i ascending per
-                    // element at any chunking), so it stays serial.
-                    float* dB = bv->EnsureGrad().data();
-                    const float* G = node.grad.data();
-                    for (int i = 0; i < rows; ++i) {
-                      simd::AddAcc(dB + (broadcast ? 0 : i) *
-                                            static_cast<size_t>(cols),
-                                   G + static_cast<size_t>(i) * cols,
-                                   static_cast<size_t>(cols));
-                    }
-                  }
-                });
+  detail::FinalizeOp(v, Op::kAdd, {a, b});
+  return v;
 }
 
 Var Sub(const Var& a, const Var& b) {
   SQLFACIL_CHECK(a->value.SameShape(b->value)) << "Sub shape mismatch";
-  Tensor out = a->value;
-  simd::SubAcc(out.data(), b->value.data(), out.size());
-  Var av = a, bv = b;
-  return MakeOp(std::move(out), {a, b}, [av, bv](Variable& node) {
-    if (av->requires_grad) {
-      simd::AddAcc(av->EnsureGrad().data(), node.grad.data(),
-                   node.grad.size());
-    }
-    if (bv->requires_grad) {
-      simd::SubAcc(bv->EnsureGrad().data(), node.grad.data(),
-                   node.grad.size());
-    }
-  });
+  Var v = detail::AllocNode();
+  v->value.CopyFrom(a->value);
+  simd::SubAcc(v->value.data(), b->value.data(), v->value.size());
+  detail::FinalizeOp(v, Op::kSub, {a, b});
+  return v;
 }
 
 Var Mul(const Var& a, const Var& b) {
   SQLFACIL_CHECK(a->value.SameShape(b->value)) << "Mul shape mismatch";
-  Tensor out = a->value;
-  float* o = out.data();
+  Var v = detail::AllocNode();
+  v->value.CopyFrom(a->value);
+  float* o = v->value.data();
   const float* B = b->value.data();
-  ParallelFor(0, out.size(), kElementwiseGrain, [&](size_t b_, size_t e_) {
-    simd::Mul(o + b_, B + b_, e_ - b_);
-  });
-  Var av = a, bv = b;
-  return MakeOp(std::move(out), {a, b}, [av, bv](Variable& node) {
-    const float* G = node.grad.data();
-    if (av->requires_grad) {
-      float* dA = av->EnsureGrad().data();
-      const float* BV = bv->value.data();
-      ParallelFor(0, node.grad.size(), kElementwiseGrain,
-                  [&](size_t b_, size_t e_) {
-                    simd::MulAcc(dA + b_, G + b_, BV + b_, e_ - b_);
-                  });
-    }
-    if (bv->requires_grad) {
-      float* dB = bv->EnsureGrad().data();
-      const float* AV = av->value.data();
-      ParallelFor(0, node.grad.size(), kElementwiseGrain,
-                  [&](size_t b_, size_t e_) {
-                    simd::MulAcc(dB + b_, G + b_, AV + b_, e_ - b_);
-                  });
-    }
-  });
+  ParallelFor(0, v->value.size(), kElementwiseGrain,
+              [&](size_t b_, size_t e_) {
+                simd::Mul(o + b_, B + b_, e_ - b_);
+              });
+  detail::FinalizeOp(v, Op::kMul, {a, b});
+  return v;
 }
 
 Var Scale(const Var& a, float s) {
-  Tensor out = a->value;
-  simd::Scale(out.data(), s, out.size());
-  Var av = a;
-  return MakeOp(std::move(out), {a}, [av, s](Variable& node) {
-    if (!av->requires_grad) return;
-    simd::Axpy(av->EnsureGrad().data(), node.grad.data(), s,
-               node.grad.size());
-  });
+  Var v = detail::AllocNode();
+  v->value.CopyFrom(a->value);
+  simd::Scale(v->value.data(), s, v->value.size());
+  v->farg = s;
+  detail::FinalizeOp(v, Op::kScale, {a});
+  return v;
 }
-
-namespace {
-
-template <typename Fwd, typename Bwd>
-Var Pointwise(const Var& a, Fwd fwd, Bwd bwd_from_out) {
-  Tensor out = a->value;
-  float* o = out.data();
-  ParallelFor(0, out.size(), kElementwiseGrain, [&](size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) o[i] = fwd(o[i]);
-  });
-  Var av = a;
-  // Capture the forward output values for the backward pass.
-  auto out_copy = std::make_shared<Tensor>(out);
-  return MakeOp(std::move(out), {a},
-                [av, out_copy, bwd_from_out](Variable& node) {
-                  if (!av->requires_grad) return;
-                  float* dA = av->EnsureGrad().data();
-                  const float* G = node.grad.data();
-                  const float* O = out_copy->data();
-                  ParallelFor(0, node.grad.size(), kElementwiseGrain,
-                              [&](size_t b, size_t e) {
-                                for (size_t i = b; i < e; ++i) {
-                                  dA[i] += G[i] * bwd_from_out(O[i]);
-                                }
-                              });
-                });
-}
-
-}  // namespace
 
 Var Sigmoid(const Var& a) {
-  return Pointwise(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-      [](float y) { return y * (1.0f - y); });
+  Var v = detail::AllocNode();
+  v->value.CopyFrom(a->value);
+  float* o = v->value.data();
+  ParallelFor(0, v->value.size(), kElementwiseGrain,
+              [&](size_t b, size_t e) { simd::SigmoidInPlace(o + b, e - b); });
+  detail::FinalizeOp(v, Op::kSigmoid, {a});
+  return v;
 }
 
 Var Tanh(const Var& a) {
-  return Pointwise(a, [](float x) { return std::tanh(x); },
-                   [](float y) { return 1.0f - y * y; });
+  Var v = detail::AllocNode();
+  v->value.CopyFrom(a->value);
+  float* o = v->value.data();
+  ParallelFor(0, v->value.size(), kElementwiseGrain,
+              [&](size_t b, size_t e) { simd::TanhInPlace(o + b, e - b); });
+  detail::FinalizeOp(v, Op::kTanh, {a});
+  return v;
 }
 
 Var Relu(const Var& a) {
-  // Not Pointwise: the forward is branch-free under simd::Relu, and the
-  // backward keeps the multiply-by-indicator form (G * 0.0f preserves the
-  // sign of zero exactly as the scalar spec does).
-  Tensor out = a->value;
-  float* o = out.data();
-  ParallelFor(0, out.size(), kElementwiseGrain, [&](size_t b, size_t e) {
-    simd::Relu(o + b, e - b);
-  });
-  Var av = a;
-  auto out_copy = std::make_shared<Tensor>(out);
-  return MakeOp(std::move(out), {a}, [av, out_copy](Variable& node) {
-    if (!av->requires_grad) return;
-    float* dA = av->EnsureGrad().data();
-    const float* G = node.grad.data();
-    const float* O = out_copy->data();
-    ParallelFor(0, node.grad.size(), kElementwiseGrain,
-                [&](size_t b, size_t e) {
-                  for (size_t i = b; i < e; ++i) {
-                    dA[i] += G[i] * (O[i] > 0.0f ? 1.0f : 0.0f);
-                  }
-                });
-  });
+  Var v = detail::AllocNode();
+  v->value.CopyFrom(a->value);
+  float* o = v->value.data();
+  ParallelFor(0, v->value.size(), kElementwiseGrain,
+              [&](size_t b, size_t e) { simd::Relu(o + b, e - b); });
+  detail::FinalizeOp(v, Op::kRelu, {a});
+  return v;
 }
 
 Var Rows(const Var& table, const std::vector<int>& indices) {
   const int d = table->value.cols();
-  Tensor out({static_cast<int>(indices.size()), d});
+  Var v = detail::AllocNode();
+  v->value.ResetShape({static_cast<int>(indices.size()), d});
+  Tensor& out = v->value;
   const size_t row_grain =
       std::max<size_t>(1, kElementwiseGrain / std::max(1, d));
   ParallelFor(0, indices.size(), row_grain, [&](size_t rb, size_t re) {
@@ -393,19 +705,9 @@ Var Rows(const Var& table, const std::vector<int>& indices) {
       }
     }
   });
-  Var tv = table;
-  auto idx_copy = std::make_shared<std::vector<int>>(indices);
-  return MakeOp(std::move(out), {table}, [tv, idx_copy, d](Variable& node) {
-    if (!tv->requires_grad) return;
-    Tensor& dT = tv->EnsureGrad();
-    for (size_t i = 0; i < idx_copy->size(); ++i) {
-      const int idx = (*idx_copy)[i];
-      if (idx < 0) continue;
-      for (int j = 0; j < d; ++j) {
-        dT.at(idx, j) += node.grad.at(static_cast<int>(i), j);
-      }
-    }
-  });
+  v->iaux.assign(indices.begin(), indices.end());
+  detail::FinalizeOp(v, Op::kRows, {table});
+  return v;
 }
 
 Var ConcatCols(const std::vector<Var>& parts) {
@@ -416,7 +718,9 @@ Var ConcatCols(const std::vector<Var>& parts) {
     SQLFACIL_CHECK(p->value.rows() == rows) << "ConcatCols row mismatch";
     total_cols += p->value.cols();
   }
-  Tensor out({rows, total_cols});
+  Var v = detail::AllocNode();
+  v->value.ResetShape({rows, total_cols});
+  Tensor& out = v->value;
   int offset = 0;
   for (const auto& p : parts) {
     const int c = p->value.cols();
@@ -425,48 +729,33 @@ Var ConcatCols(const std::vector<Var>& parts) {
     }
     offset += c;
   }
-  auto parts_copy = parts;
-  return MakeOp(std::move(out), parts, [parts_copy, rows](Variable& node) {
-    int offset = 0;
-    for (const auto& p : parts_copy) {
-      const int c = p->value.cols();
-      if (p->requires_grad) {
-        Tensor& dp = p->EnsureGrad();
-        for (int i = 0; i < rows; ++i) {
-          for (int j = 0; j < c; ++j) dp.at(i, j) += node.grad.at(i, offset + j);
-        }
-      }
-      offset += c;
-    }
-  });
+  detail::FinalizeOp(v, Op::kConcatCols, parts);
+  return v;
 }
 
 Var SliceCols(const Var& a, int start, int len) {
   const int rows = a->value.rows();
   const int cols = a->value.cols();
   SQLFACIL_CHECK(start >= 0 && len >= 0 && start + len <= cols);
-  Tensor out({rows, len});
+  Var v = detail::AllocNode();
+  v->value.ResetShape({rows, len});
+  Tensor& out = v->value;
   for (int i = 0; i < rows; ++i) {
     for (int j = 0; j < len; ++j) out.at(i, j) = a->value.at(i, start + j);
   }
-  Var av = a;
-  return MakeOp(std::move(out), {a}, [av, start, len, rows](Variable& node) {
-    if (!av->requires_grad) return;
-    Tensor& dA = av->EnsureGrad();
-    for (int i = 0; i < rows; ++i) {
-      for (int j = 0; j < len; ++j) {
-        dA.at(i, start + j) += node.grad.at(i, j);
-      }
-    }
-  });
+  v->iarg0 = start;
+  v->iarg1 = len;
+  detail::FinalizeOp(v, Op::kSliceCols, {a});
+  return v;
 }
 
 Var MaxOverTime(const Var& a) {
   const int t = a->value.rows();
   const int k = a->value.cols();
   SQLFACIL_CHECK(t >= 1);
-  Tensor out({1, k});
-  auto argmax = std::make_shared<std::vector<int>>(k, 0);
+  Var v = detail::AllocNode();
+  v->value.ResetShape({1, k});
+  v->iaux.assign(static_cast<size_t>(k), 0);
   for (int j = 0; j < k; ++j) {
     float best = a->value.at(0, j);
     int best_i = 0;
@@ -476,33 +765,23 @@ Var MaxOverTime(const Var& a) {
         best_i = i;
       }
     }
-    out.at(0, j) = best;
-    (*argmax)[j] = best_i;
+    v->value.at(0, j) = best;
+    v->iaux[j] = best_i;
   }
-  Var av = a;
-  return MakeOp(std::move(out), {a}, [av, argmax, k](Variable& node) {
-    if (!av->requires_grad) return;
-    Tensor& dA = av->EnsureGrad();
-    for (int j = 0; j < k; ++j) {
-      dA.at((*argmax)[j], j) += node.grad.at(0, j);
-    }
-  });
+  detail::FinalizeOp(v, Op::kMaxOverTime, {a});
+  return v;
 }
 
 Var Mean(const Var& a) {
   const size_t n = a->value.size();
   SQLFACIL_CHECK(n > 0);
-  Tensor out({1, 1});
+  Var v = detail::AllocNode();
+  v->value.ResetShape({1, 1});
   double sum = 0.0;
   for (size_t i = 0; i < n; ++i) sum += a->value.data()[i];
-  out.at(0, 0) = static_cast<float>(sum / static_cast<double>(n));
-  Var av = a;
-  return MakeOp(std::move(out), {a}, [av, n](Variable& node) {
-    if (!av->requires_grad) return;
-    const float g = node.grad.at(0, 0) / static_cast<float>(n);
-    float* dA = av->EnsureGrad().data();
-    for (size_t i = 0; i < n; ++i) dA[i] += g;
-  });
+  v->value.at(0, 0) = static_cast<float>(sum / static_cast<double>(n));
+  detail::FinalizeOp(v, Op::kMean, {a});
+  return v;
 }
 
 Var Dropout(const Var& a, float p, bool training, Rng* rng) {
@@ -510,49 +789,36 @@ Var Dropout(const Var& a, float p, bool training, Rng* rng) {
   SQLFACIL_CHECK(p < 1.0f);
   SQLFACIL_CHECK(rng != nullptr);
   const float keep = 1.0f - p;
-  auto mask = std::make_shared<std::vector<float>>(a->value.size());
-  Tensor out = a->value;
-  for (size_t i = 0; i < out.size(); ++i) {
+  Var v = detail::AllocNode();
+  v->value.CopyFrom(a->value);
+  v->faux.resize(v->value.size());
+  for (size_t i = 0; i < v->value.size(); ++i) {
     const float m = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
-    (*mask)[i] = m;
-    out.data()[i] *= m;
+    v->faux[i] = m;
+    v->value.data()[i] *= m;
   }
-  Var av = a;
-  return MakeOp(std::move(out), {a}, [av, mask](Variable& node) {
-    if (!av->requires_grad) return;
-    float* dA = av->EnsureGrad().data();
-    for (size_t i = 0; i < node.grad.size(); ++i) {
-      dA[i] += node.grad.data()[i] * (*mask)[i];
-    }
-  });
+  detail::FinalizeOp(v, Op::kDropout, {a});
+  return v;
 }
 
 Var BlendRows(const Var& a, const Var& b, const std::vector<bool>& mask) {
   SQLFACIL_CHECK(a->value.SameShape(b->value));
   SQLFACIL_CHECK(static_cast<int>(mask.size()) == a->value.rows());
-  Tensor out = a->value;
-  const int cols = out.cols();
+  Var v = detail::AllocNode();
+  v->value.CopyFrom(a->value);
+  const int cols = v->value.cols();
+  v->iaux.resize(mask.size());
   for (size_t i = 0; i < mask.size(); ++i) {
+    v->iaux[i] = mask[i] ? 1 : 0;
     if (!mask[i]) {
       for (int j = 0; j < cols; ++j) {
-        out.at(static_cast<int>(i), j) = b->value.at(static_cast<int>(i), j);
+        v->value.at(static_cast<int>(i), j) =
+            b->value.at(static_cast<int>(i), j);
       }
     }
   }
-  Var av = a, bv = b;
-  auto mask_copy = std::make_shared<std::vector<bool>>(mask);
-  return MakeOp(std::move(out), {a, b},
-                [av, bv, mask_copy, cols](Variable& node) {
-                  for (size_t i = 0; i < mask_copy->size(); ++i) {
-                    const int r = static_cast<int>(i);
-                    Var target = (*mask_copy)[i] ? av : bv;
-                    if (!target->requires_grad) continue;
-                    Tensor& dt = target->EnsureGrad();
-                    for (int j = 0; j < cols; ++j) {
-                      dt.at(r, j) += node.grad.at(r, j);
-                    }
-                  }
-                });
+  detail::FinalizeOp(v, Op::kBlendRows, {a, b});
+  return v;
 }
 
 Var Unfold(const Var& a, int window) {
@@ -561,7 +827,9 @@ Var Unfold(const Var& a, int window) {
   SQLFACIL_CHECK(window >= 1 && t >= window)
       << "Unfold: sequence shorter than window";
   const int out_rows = t - window + 1;
-  Tensor out({out_rows, window * d});
+  Var v = detail::AllocNode();
+  v->value.ResetShape({out_rows, window * d});
+  Tensor& out = v->value;
   const size_t row_grain = std::max<size_t>(
       1, kElementwiseGrain / std::max(1, window * d));
   ParallelFor(0, static_cast<size_t>(out_rows), row_grain,
@@ -575,21 +843,9 @@ Var Unfold(const Var& a, int window) {
                   }
                 }
               });
-  Var av = a;
-  return MakeOp(std::move(out), {a},
-                [av, window, d, out_rows](Variable& node) {
-                  if (!av->requires_grad) return;
-                  // Scatter: input row r receives from up to `window`
-                  // output rows — overlapping writes, so this stays serial.
-                  Tensor& dA = av->EnsureGrad();
-                  for (int i = 0; i < out_rows; ++i) {
-                    for (int w = 0; w < window; ++w) {
-                      for (int j = 0; j < d; ++j) {
-                        dA.at(i + w, j) += node.grad.at(i, w * d + j);
-                      }
-                    }
-                  }
-                });
+  v->iarg0 = window;
+  detail::FinalizeOp(v, Op::kUnfold, {a});
+  return v;
 }
 
 Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& labels,
@@ -597,7 +853,9 @@ Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& labels,
   const int b = logits->value.rows();
   const int c = logits->value.cols();
   SQLFACIL_CHECK(static_cast<int>(labels.size()) == b);
-  auto probs = std::make_shared<Tensor>(std::vector<int>{b, c});
+  Var v = detail::AllocNode();
+  v->aux.ResetShape({b, c});
+  Tensor& probs = v->aux;
   double loss_sum = 0.0;
   for (int i = 0; i < b; ++i) {
     float max_logit = logits->value.at(i, 0);
@@ -610,32 +868,20 @@ Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& labels,
                                             max_logit));
     }
     for (int j = 0; j < c; ++j) {
-      probs->at(i, j) = static_cast<float>(
+      probs.at(i, j) = static_cast<float>(
           std::exp(static_cast<double>(logits->value.at(i, j) - max_logit)) /
           denom);
     }
     SQLFACIL_CHECK(labels[i] >= 0 && labels[i] < c);
     loss_sum -= std::log(std::max(1e-12, static_cast<double>(
-                                             probs->at(i, labels[i]))));
+                                             probs.at(i, labels[i]))));
   }
-  if (probs_out != nullptr) *probs_out = *probs;
-  Tensor out({1, 1});
-  out.at(0, 0) = static_cast<float>(loss_sum / b);
-  Var lv = logits;
-  auto labels_copy = std::make_shared<std::vector<int>>(labels);
-  return MakeOp(std::move(out), {logits},
-                [lv, probs, labels_copy, b, c](Variable& node) {
-                  if (!lv->requires_grad) return;
-                  const float g = node.grad.at(0, 0) / static_cast<float>(b);
-                  Tensor& dL = lv->EnsureGrad();
-                  for (int i = 0; i < b; ++i) {
-                    for (int j = 0; j < c; ++j) {
-                      const float indicator =
-                          (j == (*labels_copy)[i]) ? 1.0f : 0.0f;
-                      dL.at(i, j) += g * (probs->at(i, j) - indicator);
-                    }
-                  }
-                });
+  if (probs_out != nullptr) probs_out->CopyFrom(probs);
+  v->value.ResetShape({1, 1});
+  v->value.at(0, 0) = static_cast<float>(loss_sum / b);
+  v->iaux.assign(labels.begin(), labels.end());
+  detail::FinalizeOp(v, Op::kSoftmaxCrossEntropy, {logits});
+  return v;
 }
 
 Var HuberLoss(const Var& pred, const std::vector<float>& targets,
@@ -643,52 +889,38 @@ Var HuberLoss(const Var& pred, const std::vector<float>& targets,
   const int b = pred->value.rows();
   SQLFACIL_CHECK(pred->value.cols() == 1);
   SQLFACIL_CHECK(static_cast<int>(targets.size()) == b);
+  Var v = detail::AllocNode();
+  v->faux.resize(static_cast<size_t>(b));
   double loss_sum = 0.0;
-  auto residuals = std::make_shared<std::vector<float>>(b);
   for (int i = 0; i < b; ++i) {
     const float r = pred->value.at(i, 0) - targets[i];
-    (*residuals)[i] = r;
+    v->faux[i] = r;
     const float ar = std::fabs(r);
     loss_sum += (ar <= delta) ? 0.5f * r * r : delta * (ar - 0.5f * delta);
   }
-  Tensor out({1, 1});
-  out.at(0, 0) = static_cast<float>(loss_sum / b);
-  Var pv = pred;
-  return MakeOp(std::move(out), {pred},
-                [pv, residuals, delta, b](Variable& node) {
-                  if (!pv->requires_grad) return;
-                  const float g = node.grad.at(0, 0) / static_cast<float>(b);
-                  Tensor& dP = pv->EnsureGrad();
-                  for (int i = 0; i < b; ++i) {
-                    const float r = (*residuals)[i];
-                    const float dr = (std::fabs(r) <= delta)
-                                         ? r
-                                         : (r > 0 ? delta : -delta);
-                    dP.at(i, 0) += g * dr;
-                  }
-                });
+  v->value.ResetShape({1, 1});
+  v->value.at(0, 0) = static_cast<float>(loss_sum / b);
+  v->farg = delta;
+  detail::FinalizeOp(v, Op::kHuberLoss, {pred});
+  return v;
 }
 
 Var SquaredLoss(const Var& pred, const std::vector<float>& targets) {
   const int b = pred->value.rows();
   SQLFACIL_CHECK(pred->value.cols() == 1);
   SQLFACIL_CHECK(static_cast<int>(targets.size()) == b);
+  Var v = detail::AllocNode();
+  v->faux.resize(static_cast<size_t>(b));
   double loss_sum = 0.0;
-  auto residuals = std::make_shared<std::vector<float>>(b);
   for (int i = 0; i < b; ++i) {
     const float r = pred->value.at(i, 0) - targets[i];
-    (*residuals)[i] = r;
+    v->faux[i] = r;
     loss_sum += 0.5f * r * r;
   }
-  Tensor out({1, 1});
-  out.at(0, 0) = static_cast<float>(loss_sum / b);
-  Var pv = pred;
-  return MakeOp(std::move(out), {pred}, [pv, residuals, b](Variable& node) {
-    if (!pv->requires_grad) return;
-    const float g = node.grad.at(0, 0) / static_cast<float>(b);
-    Tensor& dP = pv->EnsureGrad();
-    for (int i = 0; i < b; ++i) dP.at(i, 0) += g * (*residuals)[i];
-  });
+  v->value.ResetShape({1, 1});
+  v->value.at(0, 0) = static_cast<float>(loss_sum / b);
+  detail::FinalizeOp(v, Op::kSquaredLoss, {pred});
+  return v;
 }
 
 }  // namespace sqlfacil::nn

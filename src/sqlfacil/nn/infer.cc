@@ -57,13 +57,9 @@ void MaxOverTime(const float* X, int row_begin, int row_end, int k,
   }
 }
 
-void SigmoidInPlace(float* v, size_t n) {
-  for (size_t i = 0; i < n; ++i) v[i] = 1.0f / (1.0f + std::exp(-v[i]));
-}
+void SigmoidInPlace(float* v, size_t n) { simd::SigmoidInPlace(v, n); }
 
-void TanhInPlace(float* v, size_t n) {
-  for (size_t i = 0; i < n; ++i) v[i] = std::tanh(v[i]);
-}
+void TanhInPlace(float* v, size_t n) { simd::TanhInPlace(v, n); }
 
 void SoftmaxInPlace(float* v, size_t n) {
   const float max_v = *std::max_element(v, v + n);

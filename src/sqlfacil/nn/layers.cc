@@ -30,8 +30,9 @@ LstmLayer::LstmLayer(int input_dim, int hidden_dim_in, Rng* rng)
 }
 
 LstmLayer::State LstmLayer::InitialState(int batch) const {
-  return State{MakeConst(Tensor::Zeros({batch, hidden_dim})),
-               MakeConst(Tensor::Zeros({batch, hidden_dim}))};
+  // Pooled zero constants: no per-batch allocation once the tape warms up.
+  return State{ZerosConst({batch, hidden_dim}),
+               ZerosConst({batch, hidden_dim})};
 }
 
 std::vector<Var> SplitGates(const Var& fused, int hidden_dim) {

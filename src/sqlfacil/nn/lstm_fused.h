@@ -1,0 +1,36 @@
+#ifndef SQLFACIL_NN_LSTM_FUSED_H_
+#define SQLFACIL_NN_LSTM_FUSED_H_
+
+#include <vector>
+
+#include "sqlfacil/nn/autograd.h"
+#include "sqlfacil/nn/layers.h"
+
+namespace sqlfacil::nn {
+
+/// Fused embedding + multi-layer LSTM over a padded batch, as ONE tape node
+/// (Op::kLstmSequence) instead of the ~30-node-per-(step, layer) graph the
+/// layer-by-layer API builds. The forward replicates the graph-free
+/// inference kernel sequence (gx = x@Wx; gx += b; gh = h@Wh; gx += gh;
+/// sigmoid/tanh gates; c' = u*cand + f*c; h' = o*tanh(c'); padded rows carry
+/// state), saving the activated gate slabs and per-(t, layer) h/c states in
+/// the thread-local training arena. The backward is a hand-written BPTT
+/// that walks t descending / layer descending and scatters parameter
+/// gradients through the simd contract kernels, so results are bit-identical
+/// across SQLFACIL_SIMD on/off and any chunking.
+///
+/// `step_ids` holds max_len * batch token ids, row-major by time step
+/// (step_ids[t * batch + b]; -1 = padding); `lens[b]` is sample b's true
+/// length (>= 1). Returns the top layer's final hidden state (batch x H).
+///
+/// Lifetime: the activation slabs live in ThreadLocalTrainArena() from this
+/// call until Backward() has run on the same thread; the caller (the
+/// training-step driver) must reset that arena after the step, and must not
+/// reset it in between.
+Var LstmSequence(const Var& table, const LstmStack& stack,
+                 const std::vector<int>& step_ids,
+                 const std::vector<int>& lens, int max_len);
+
+}  // namespace sqlfacil::nn
+
+#endif  // SQLFACIL_NN_LSTM_FUSED_H_

@@ -2,18 +2,22 @@
 
 #include <cmath>
 
+#include "sqlfacil/nn/simd.h"
+
 namespace sqlfacil::nn {
+
+// Optimizer steps run as flat-slab kernels (nn/simd.h): one fused pass per
+// parameter tensor, per-step scalars (bias corrections, rates) hoisted out
+// of the element loop. The kernels follow the simd bit-identity contract,
+// so stepped weights match exactly with SQLFACIL_SIMD on or off.
 
 Sgd::Sgd(std::vector<Var> params, float lr, float weight_decay)
     : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
 
 void Sgd::Step() {
   for (auto& p : params_) {
-    float* w = p->value.data();
-    const float* g = p->EnsureGrad().data();
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
-    }
+    simd::SgdStep(p->value.data(), p->EnsureGrad().data(), lr_, weight_decay_,
+                  p->value.size());
   }
 }
 
@@ -37,18 +41,9 @@ void Adam::Step() {
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
   for (size_t pi = 0; pi < params_.size(); ++pi) {
     auto& p = params_[pi];
-    float* w = p->value.data();
-    const float* g = p->EnsureGrad().data();
-    float* m = m_[pi].data();
-    float* v = v_[pi].data();
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      const float grad = g[i] + weight_decay_ * w[i];
-      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
-      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
-      const float m_hat = m[i] / bc1;
-      const float v_hat = v[i] / bc2;
-      w[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    simd::AdamStep(p->value.data(), p->EnsureGrad().data(), m_[pi].data(),
+                   v_[pi].data(), beta1_, beta2_, bc1, bc2, lr_, eps_,
+                   weight_decay_, p->value.size());
   }
 }
 
@@ -71,16 +66,9 @@ void AdaMax::Step() {
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   for (size_t pi = 0; pi < params_.size(); ++pi) {
     auto& p = params_[pi];
-    float* w = p->value.data();
-    const float* g = p->EnsureGrad().data();
-    float* m = m_[pi].data();
-    float* u = u_[pi].data();
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      const float grad = g[i] + weight_decay_ * w[i];
-      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
-      u[i] = std::max(beta2_ * u[i], std::fabs(grad));
-      w[i] -= lr_ * (m[i] / bc1) / (u[i] + eps_);
-    }
+    simd::AdaMaxStep(p->value.data(), p->EnsureGrad().data(), m_[pi].data(),
+                     u_[pi].data(), beta1_, beta2_, bc1, lr_, eps_,
+                     weight_decay_, p->value.size());
   }
 }
 
@@ -96,8 +84,7 @@ float ClipGradNorm(const std::vector<Var>& params, float max_norm) {
   if (max_norm > 0.0f && norm > max_norm) {
     const float scale = max_norm / (norm + 1e-8f);
     for (const auto& p : params) {
-      float* g = p->grad.data();
-      for (size_t i = 0; i < p->grad.size(); ++i) g[i] *= scale;
+      simd::Scale(p->grad.data(), scale, p->grad.size());
     }
   }
   return norm;

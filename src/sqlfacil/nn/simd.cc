@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "sqlfacil/util/env.h"
 
@@ -60,6 +63,157 @@ void ScaleScalar(float* dst, float s, size_t n) {
 
 void ReluScalar(float* dst, size_t n) {
   for (size_t i = 0; i < n; ++i) dst[i] = dst[i] > 0.0f ? dst[i] : 0.0f;
+}
+
+void SigmoidGradAccScalar(float* dst, const float* g, const float* y,
+                          size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += g[i] * (y[i] * (1.0f - y[i]));
+}
+
+void TanhGradAccScalar(float* dst, const float* g, const float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += g[i] * (1.0f - y[i] * y[i]);
+}
+
+void ReluGradAccScalar(float* dst, const float* g, const float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += y[i] > 0.0f ? g[i] : 0.0f;
+}
+
+// --- Shared polynomial exp --------------------------------------------------
+// exp(x) = 2^n * P(r): z = x*log2e clamped to [-43, 43] (past which sigmoid
+// and tanh saturate in float anyway), n = nearbyint(z), r = z - n in
+// [-0.5, 0.5], P = degree-7 Taylor of 2^r (max error ~1e-8 on that range),
+// and the 2^n scale built directly in the exponent bits. Every step is one
+// IEEE op in a fixed Horner order with no FMA; the AVX2 lanes below run the
+// identical sequence, so scalar and vector results match bit-for-bit. The
+// nearbyint/roundps pair agrees because both round-to-nearest-even under
+// the default FP environment, which this project never changes.
+
+constexpr float kExpLog2e = 1.442695040888963f;
+constexpr float kExpClamp = 43.0f;
+constexpr float kExpC7 = 1.52527338040598e-5f;  // ln2^7 / 7!
+constexpr float kExpC6 = 1.54035303933816e-4f;  // ln2^6 / 6!
+constexpr float kExpC5 = 1.33335581464284e-3f;  // ln2^5 / 5!
+constexpr float kExpC4 = 9.61812910762848e-3f;  // ln2^4 / 4!
+constexpr float kExpC3 = 5.55041086648216e-2f;  // ln2^3 / 3!
+constexpr float kExpC2 = 2.40226506959101e-1f;  // ln2^2 / 2!
+constexpr float kExpC1 = 6.93147180559945e-1f;  // ln2
+constexpr float kExpC0 = 1.0f;
+
+inline float ExpPolyScalar(float x) {
+  float z = x * kExpLog2e;
+  z = std::min(std::max(z, -kExpClamp), kExpClamp);
+  const float nf = std::nearbyintf(z);
+  const float r = z - nf;
+  float p = kExpC7;
+  p = p * r + kExpC6;
+  p = p * r + kExpC5;
+  p = p * r + kExpC4;
+  p = p * r + kExpC3;
+  p = p * r + kExpC2;
+  p = p * r + kExpC1;
+  p = p * r + kExpC0;
+  // 2^n via the exponent field; n is integral and |n| <= 63 after the clamp.
+  const uint32_t bits =
+      static_cast<uint32_t>(static_cast<int>(nf) + 127) << 23;
+  float s;
+  std::memcpy(&s, &bits, sizeof(s));
+  return p * s;
+}
+
+inline float SigmoidPolyScalar(float x) {
+  return 1.0f / (1.0f + ExpPolyScalar(-x));
+}
+
+inline float TanhPolyScalar(float x) {
+  const float e = ExpPolyScalar(x + x);
+  return (e - 1.0f) / (e + 1.0f);
+}
+
+void SigmoidInPlaceScalar(float* v, size_t n) {
+  for (size_t i = 0; i < n; ++i) v[i] = SigmoidPolyScalar(v[i]);
+}
+
+void TanhInPlaceScalar(float* v, size_t n) {
+  for (size_t i = 0; i < n; ++i) v[i] = TanhPolyScalar(v[i]);
+}
+
+void LstmCellForwardScalar(const float* u, const float* f, const float* o,
+                           const float* cand, const float* ci, float* co,
+                           float* ho, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float c_new = u[i] * cand[i] + f[i] * ci[i];
+    co[i] = c_new;
+    ho[i] = o[i] * TanhPolyScalar(c_new);
+  }
+}
+
+void LstmGatesScalar(const float* x, const float* wx, const float* bias,
+                     const float* h, const float* wh, float* gates,
+                     size_t row_begin, size_t row_end, int in_dim,
+                     int hidden_dim, int n) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const float* x_row = x + i * static_cast<size_t>(in_dim);
+    const float* h_row = h + i * static_cast<size_t>(hidden_dim);
+    float* out = gates + i * static_cast<size_t>(n);
+    std::memset(out, 0, static_cast<size_t>(n) * sizeof(float));
+    for (int kk = 0; kk < in_dim; ++kk) {
+      const float av = x_row[kk];
+      if (av == 0.0f) continue;
+      AxpyScalar(out, wx + static_cast<size_t>(kk) * n, av,
+                 static_cast<size_t>(n));
+    }
+    AddAccScalar(out, bias, static_cast<size_t>(n));
+    for (int kk = 0; kk < hidden_dim; ++kk) {
+      const float av = h_row[kk];
+      if (av == 0.0f) continue;
+      AxpyScalar(out, wh + static_cast<size_t>(kk) * n, av,
+                 static_cast<size_t>(n));
+    }
+  }
+}
+
+void LstmCellBackwardScalar(const float* u, const float* f, const float* o,
+                            const float* cand, const float* co,
+                            const float* ci, const float* dh, const float* dc,
+                            float* dgu, float* dgf, float* dgo, float* dgc,
+                            float* dci, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float tc = TanhPolyScalar(co[i]);
+    const float dc_total = dc[i] + (dh[i] * o[i]) * (1.0f - tc * tc);
+    dci[i] = dc_total * f[i];
+    dgu[i] = (dc_total * cand[i]) * (u[i] * (1.0f - u[i]));
+    dgf[i] = (dc_total * ci[i]) * (f[i] * (1.0f - f[i]));
+    dgo[i] = (dh[i] * tc) * (o[i] * (1.0f - o[i]));
+    dgc[i] = (dc_total * u[i]) * (1.0f - cand[i] * cand[i]);
+  }
+}
+
+void SgdStepScalar(float* w, const float* g, float lr, float wd, size_t n) {
+  for (size_t i = 0; i < n; ++i) w[i] -= lr * (g[i] + wd * w[i]);
+}
+
+void AdamStepScalar(float* w, const float* g, float* m, float* v, float beta1,
+                    float beta2, float bc1, float bc2, float lr, float eps,
+                    float wd, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float grad = g[i] + wd * w[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * grad;
+    v[i] = beta2 * v[i] + ((1.0f - beta2) * grad) * grad;
+    const float m_hat = m[i] / bc1;
+    const float v_hat = v[i] / bc2;
+    w[i] -= (lr * m_hat) / (std::sqrt(v_hat) + eps);
+  }
+}
+
+void AdaMaxStepScalar(float* w, const float* g, float* m, float* u,
+                      float beta1, float beta2, float bc1, float lr, float eps,
+                      float wd, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float grad = g[i] + wd * w[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * grad;
+    u[i] = std::max(beta2 * u[i], std::fabs(grad));
+    w[i] -= (lr * (m[i] / bc1)) / (u[i] + eps);
+  }
 }
 
 // Fixed combine tree of the canonical 8-lane dot decomposition.
@@ -177,6 +331,591 @@ __attribute__((target("avx2"))) float DotAvx2(const float* x, const float* y,
   return CombineLanes(lanes);
 }
 
+__attribute__((target("avx2"))) void SigmoidGradAccAvx2(float* dst,
+                                                        const float* g,
+                                                        const float* y,
+                                                        size_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    const __m256 d = _mm256_mul_ps(vy, _mm256_sub_ps(one, vy));
+    const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(g + i), d);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), t));
+  }
+  for (; i < n; ++i) dst[i] += g[i] * (y[i] * (1.0f - y[i]));
+}
+
+__attribute__((target("avx2"))) void TanhGradAccAvx2(float* dst,
+                                                     const float* g,
+                                                     const float* y,
+                                                     size_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    const __m256 d = _mm256_sub_ps(one, _mm256_mul_ps(vy, vy));
+    const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(g + i), d);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), t));
+  }
+  for (; i < n; ++i) dst[i] += g[i] * (1.0f - y[i] * y[i]);
+}
+
+__attribute__((target("avx2"))) void ReluGradAccAvx2(float* dst,
+                                                     const float* g,
+                                                     const float* y,
+                                                     size_t n) {
+  // cmp GT_OQ is false for y == ±0 and for NaN y, matching the scalar
+  // `y > 0` branch; the masked lanes then add +0, same as the scalar path.
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask =
+        _mm256_cmp_ps(_mm256_loadu_ps(y + i), zero, _CMP_GT_OQ);
+    const __m256 t = _mm256_and_ps(_mm256_loadu_ps(g + i), mask);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), t));
+  }
+  for (; i < n; ++i) dst[i] += y[i] > 0.0f ? g[i] : 0.0f;
+}
+
+__attribute__((target("avx2"))) void SgdStepAvx2(float* w, const float* g,
+                                                 float lr, float wd,
+                                                 size_t n) {
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 vwd = _mm256_set1_ps(wd);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vw = _mm256_loadu_ps(w + i);
+    const __m256 grad =
+        _mm256_add_ps(_mm256_loadu_ps(g + i), _mm256_mul_ps(vwd, vw));
+    _mm256_storeu_ps(w + i, _mm256_sub_ps(vw, _mm256_mul_ps(vlr, grad)));
+  }
+  for (; i < n; ++i) w[i] -= lr * (g[i] + wd * w[i]);
+}
+
+__attribute__((target("avx2"))) void AdamStepAvx2(float* w, const float* g,
+                                                  float* m, float* v,
+                                                  float beta1, float beta2,
+                                                  float bc1, float bc2,
+                                                  float lr, float eps,
+                                                  float wd, size_t n) {
+  const __m256 vb1 = _mm256_set1_ps(beta1);
+  const __m256 vb2 = _mm256_set1_ps(beta2);
+  const __m256 vob1 = _mm256_set1_ps(1.0f - beta1);
+  const __m256 vob2 = _mm256_set1_ps(1.0f - beta2);
+  const __m256 vbc1 = _mm256_set1_ps(bc1);
+  const __m256 vbc2 = _mm256_set1_ps(bc2);
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 veps = _mm256_set1_ps(eps);
+  const __m256 vwd = _mm256_set1_ps(wd);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vw = _mm256_loadu_ps(w + i);
+    const __m256 grad =
+        _mm256_add_ps(_mm256_loadu_ps(g + i), _mm256_mul_ps(vwd, vw));
+    const __m256 vm = _mm256_add_ps(
+        _mm256_mul_ps(vb1, _mm256_loadu_ps(m + i)), _mm256_mul_ps(vob1, grad));
+    _mm256_storeu_ps(m + i, vm);
+    const __m256 vv =
+        _mm256_add_ps(_mm256_mul_ps(vb2, _mm256_loadu_ps(v + i)),
+                      _mm256_mul_ps(_mm256_mul_ps(vob2, grad), grad));
+    _mm256_storeu_ps(v + i, vv);
+    const __m256 m_hat = _mm256_div_ps(vm, vbc1);
+    const __m256 v_hat = _mm256_div_ps(vv, vbc2);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), veps);
+    const __m256 upd = _mm256_div_ps(_mm256_mul_ps(vlr, m_hat), denom);
+    _mm256_storeu_ps(w + i, _mm256_sub_ps(vw, upd));
+  }
+  for (; i < n; ++i) {
+    const float grad = g[i] + wd * w[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * grad;
+    v[i] = beta2 * v[i] + ((1.0f - beta2) * grad) * grad;
+    w[i] -= (lr * (m[i] / bc1)) / (std::sqrt(v[i] / bc2) + eps);
+  }
+}
+
+__attribute__((target("avx2"))) void AdaMaxStepAvx2(float* w, const float* g,
+                                                    float* m, float* u,
+                                                    float beta1, float beta2,
+                                                    float bc1, float lr,
+                                                    float eps, float wd,
+                                                    size_t n) {
+  const __m256 vb1 = _mm256_set1_ps(beta1);
+  const __m256 vb2 = _mm256_set1_ps(beta2);
+  const __m256 vob1 = _mm256_set1_ps(1.0f - beta1);
+  const __m256 vbc1 = _mm256_set1_ps(bc1);
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 veps = _mm256_set1_ps(eps);
+  const __m256 vwd = _mm256_set1_ps(wd);
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vw = _mm256_loadu_ps(w + i);
+    const __m256 grad =
+        _mm256_add_ps(_mm256_loadu_ps(g + i), _mm256_mul_ps(vwd, vw));
+    const __m256 vm = _mm256_add_ps(
+        _mm256_mul_ps(vb1, _mm256_loadu_ps(m + i)), _mm256_mul_ps(vob1, grad));
+    _mm256_storeu_ps(m + i, vm);
+    // max_ps(b2*u, |grad|): both operands are non-negative for finite
+    // inputs, so the tie-break (second operand on equality) is bit-neutral.
+    const __m256 vu = _mm256_max_ps(_mm256_mul_ps(vb2, _mm256_loadu_ps(u + i)),
+                                    _mm256_and_ps(grad, abs_mask));
+    _mm256_storeu_ps(u + i, vu);
+    const __m256 upd = _mm256_div_ps(_mm256_mul_ps(vlr, _mm256_div_ps(vm, vbc1)),
+                                     _mm256_add_ps(vu, veps));
+    _mm256_storeu_ps(w + i, _mm256_sub_ps(vw, upd));
+  }
+  for (; i < n; ++i) {
+    const float grad = g[i] + wd * w[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * grad;
+    u[i] = std::max(beta2 * u[i], std::fabs(grad));
+    w[i] -= (lr * (m[i] / bc1)) / (u[i] + eps);
+  }
+}
+
+// Lane-parallel twin of ExpPolyScalar: same clamp, same round, same Horner
+// order, same exponent-bit scale.
+__attribute__((target("avx2"))) inline __m256 ExpPolyAvx2(__m256 x) {
+  __m256 z = _mm256_mul_ps(x, _mm256_set1_ps(kExpLog2e));
+  z = _mm256_min_ps(_mm256_max_ps(z, _mm256_set1_ps(-kExpClamp)),
+                    _mm256_set1_ps(kExpClamp));
+  const __m256 nf =
+      _mm256_round_ps(z, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256 r = _mm256_sub_ps(z, nf);
+  __m256 p = _mm256_set1_ps(kExpC7);
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC6));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC5));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC4));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC3));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC2));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC1));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(kExpC0));
+  const __m256i e = _mm256_cvtps_epi32(nf);
+  const __m256 s = _mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_add_epi32(e, _mm256_set1_epi32(127)), 23));
+  return _mm256_mul_ps(p, s);
+}
+
+__attribute__((target("avx2"))) inline __m256 SigmoidPolyAvx2(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  // xor with the sign mask is the same bit flip as scalar negation.
+  const __m256 e = ExpPolyAvx2(_mm256_xor_ps(x, _mm256_set1_ps(-0.0f)));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+__attribute__((target("avx2"))) inline __m256 TanhPolyAvx2(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = ExpPolyAvx2(_mm256_add_ps(x, x));
+  return _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one));
+}
+
+__attribute__((target("avx2"))) void SigmoidInPlaceAvx2(float* v, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(v + i, SigmoidPolyAvx2(_mm256_loadu_ps(v + i)));
+  }
+  for (; i < n; ++i) v[i] = SigmoidPolyScalar(v[i]);
+}
+
+__attribute__((target("avx2"))) void TanhInPlaceAvx2(float* v, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(v + i, TanhPolyAvx2(_mm256_loadu_ps(v + i)));
+  }
+  for (; i < n; ++i) v[i] = TanhPolyScalar(v[i]);
+}
+
+__attribute__((target("avx2"))) void LstmCellForwardAvx2(
+    const float* u, const float* f, const float* o, const float* cand,
+    const float* ci, float* co, float* ho, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 c_new =
+        _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(u + i),
+                                    _mm256_loadu_ps(cand + i)),
+                      _mm256_mul_ps(_mm256_loadu_ps(f + i),
+                                    _mm256_loadu_ps(ci + i)));
+    _mm256_storeu_ps(co + i, c_new);
+    _mm256_storeu_ps(
+        ho + i, _mm256_mul_ps(_mm256_loadu_ps(o + i), TanhPolyAvx2(c_new)));
+  }
+  for (; i < n; ++i) {
+    const float c_new = u[i] * cand[i] + f[i] * ci[i];
+    co[i] = c_new;
+    ho[i] = o[i] * TanhPolyScalar(c_new);
+  }
+}
+
+__attribute__((target("avx2"))) void LstmCellBackwardAvx2(
+    const float* u, const float* f, const float* o, const float* cand,
+    const float* co, const float* ci, const float* dh, const float* dc,
+    float* dgu, float* dgf, float* dgo, float* dgc, float* dci, size_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vu = _mm256_loadu_ps(u + i);
+    const __m256 vf = _mm256_loadu_ps(f + i);
+    const __m256 vo = _mm256_loadu_ps(o + i);
+    const __m256 vc = _mm256_loadu_ps(cand + i);
+    const __m256 vdh = _mm256_loadu_ps(dh + i);
+    const __m256 tc = TanhPolyAvx2(_mm256_loadu_ps(co + i));
+    const __m256 dc_total = _mm256_add_ps(
+        _mm256_loadu_ps(dc + i),
+        _mm256_mul_ps(_mm256_mul_ps(vdh, vo),
+                      _mm256_sub_ps(one, _mm256_mul_ps(tc, tc))));
+    _mm256_storeu_ps(dci + i, _mm256_mul_ps(dc_total, vf));
+    _mm256_storeu_ps(
+        dgu + i,
+        _mm256_mul_ps(_mm256_mul_ps(dc_total, vc),
+                      _mm256_mul_ps(vu, _mm256_sub_ps(one, vu))));
+    _mm256_storeu_ps(
+        dgf + i,
+        _mm256_mul_ps(_mm256_mul_ps(dc_total, _mm256_loadu_ps(ci + i)),
+                      _mm256_mul_ps(vf, _mm256_sub_ps(one, vf))));
+    _mm256_storeu_ps(
+        dgo + i,
+        _mm256_mul_ps(_mm256_mul_ps(vdh, tc),
+                      _mm256_mul_ps(vo, _mm256_sub_ps(one, vo))));
+    _mm256_storeu_ps(
+        dgc + i,
+        _mm256_mul_ps(_mm256_mul_ps(dc_total, vu),
+                      _mm256_sub_ps(one, _mm256_mul_ps(vc, vc))));
+  }
+  for (; i < n; ++i) {
+    const float tc = TanhPolyScalar(co[i]);
+    const float dc_total = dc[i] + (dh[i] * o[i]) * (1.0f - tc * tc);
+    dci[i] = dc_total * f[i];
+    dgu[i] = (dc_total * cand[i]) * (u[i] * (1.0f - u[i]));
+    dgf[i] = (dc_total * ci[i]) * (f[i] * (1.0f - f[i]));
+    dgo[i] = (dh[i] * tc) * (o[i] * (1.0f - o[i]));
+    dgc[i] = (dc_total * u[i]) * (1.0f - cand[i] * cand[i]);
+  }
+}
+
+// Register-blocked matmul kernels. The generic paths below accumulate
+// through memory (load C, mul, add, store C for every k), which makes the
+// inner loop a store-to-load latency chain. These variants hold a block of
+// up to 64 C columns in eight ymm accumulators across the whole k loop.
+// Each C element still receives its a[k]*B[k][j] terms with k ascending,
+// one rounding after the multiply and one after the add, and the same
+// zero-skips, so the results are bit-identical to the generic spec.
+
+__attribute__((target("avx2"))) void MatMulRowsAvx2(const float* A,
+                                                    const float* B, float* C,
+                                                    size_t row_begin,
+                                                    size_t row_end, int k,
+                                                    int n) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const float* a_row = A + i * static_cast<size_t>(k);
+    float* c_row = C + i * static_cast<size_t>(n);
+    int nb = 0;
+    for (; nb + 64 <= n; nb += 64) {
+      float* c = c_row + nb;
+      __m256 acc0 = _mm256_loadu_ps(c);
+      __m256 acc1 = _mm256_loadu_ps(c + 8);
+      __m256 acc2 = _mm256_loadu_ps(c + 16);
+      __m256 acc3 = _mm256_loadu_ps(c + 24);
+      __m256 acc4 = _mm256_loadu_ps(c + 32);
+      __m256 acc5 = _mm256_loadu_ps(c + 40);
+      __m256 acc6 = _mm256_loadu_ps(c + 48);
+      __m256 acc7 = _mm256_loadu_ps(c + 56);
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = a_row[kk];
+        if (av == 0.0f) continue;
+        const __m256 va = _mm256_set1_ps(av);
+        const float* b = B + static_cast<size_t>(kk) * n + nb;
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, _mm256_loadu_ps(b)));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(va, _mm256_loadu_ps(b + 8)));
+        acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(va, _mm256_loadu_ps(b + 16)));
+        acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(va, _mm256_loadu_ps(b + 24)));
+        acc4 = _mm256_add_ps(acc4, _mm256_mul_ps(va, _mm256_loadu_ps(b + 32)));
+        acc5 = _mm256_add_ps(acc5, _mm256_mul_ps(va, _mm256_loadu_ps(b + 40)));
+        acc6 = _mm256_add_ps(acc6, _mm256_mul_ps(va, _mm256_loadu_ps(b + 48)));
+        acc7 = _mm256_add_ps(acc7, _mm256_mul_ps(va, _mm256_loadu_ps(b + 56)));
+      }
+      _mm256_storeu_ps(c, acc0);
+      _mm256_storeu_ps(c + 8, acc1);
+      _mm256_storeu_ps(c + 16, acc2);
+      _mm256_storeu_ps(c + 24, acc3);
+      _mm256_storeu_ps(c + 32, acc4);
+      _mm256_storeu_ps(c + 40, acc5);
+      _mm256_storeu_ps(c + 48, acc6);
+      _mm256_storeu_ps(c + 56, acc7);
+    }
+    for (; nb + 8 <= n; nb += 8) {
+      __m256 acc = _mm256_loadu_ps(c_row + nb);
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = a_row[kk];
+        if (av == 0.0f) continue;
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_set1_ps(av),
+                               _mm256_loadu_ps(
+                                   B + static_cast<size_t>(kk) * n + nb)));
+      }
+      _mm256_storeu_ps(c_row + nb, acc);
+    }
+    for (; nb < n; ++nb) {
+      float acc = c_row[nb];
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = a_row[kk];
+        if (av == 0.0f) continue;
+        acc += av * B[static_cast<size_t>(kk) * n + nb];
+      }
+      c_row[nb] = acc;
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void LstmGatesAvx2(
+    const float* x, const float* wx, const float* bias, const float* h,
+    const float* wh, float* gates, size_t row_begin, size_t row_end,
+    int in_dim, int hidden_dim, int n) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const float* x_row = x + i * static_cast<size_t>(in_dim);
+    const float* h_row = h + i * static_cast<size_t>(hidden_dim);
+    float* out = gates + i * static_cast<size_t>(n);
+    int nb = 0;
+    for (; nb + 64 <= n; nb += 64) {
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      __m256 acc4 = _mm256_setzero_ps();
+      __m256 acc5 = _mm256_setzero_ps();
+      __m256 acc6 = _mm256_setzero_ps();
+      __m256 acc7 = _mm256_setzero_ps();
+      for (int pass = 0; pass < 2; ++pass) {
+        const float* a_row = pass == 0 ? x_row : h_row;
+        const float* B = pass == 0 ? wx : wh;
+        const int k = pass == 0 ? in_dim : hidden_dim;
+        for (int kk = 0; kk < k; ++kk) {
+          const float av = a_row[kk];
+          if (av == 0.0f) continue;
+          const __m256 va = _mm256_set1_ps(av);
+          const float* b = B + static_cast<size_t>(kk) * n + nb;
+          acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, _mm256_loadu_ps(b)));
+          acc1 =
+              _mm256_add_ps(acc1, _mm256_mul_ps(va, _mm256_loadu_ps(b + 8)));
+          acc2 =
+              _mm256_add_ps(acc2, _mm256_mul_ps(va, _mm256_loadu_ps(b + 16)));
+          acc3 =
+              _mm256_add_ps(acc3, _mm256_mul_ps(va, _mm256_loadu_ps(b + 24)));
+          acc4 =
+              _mm256_add_ps(acc4, _mm256_mul_ps(va, _mm256_loadu_ps(b + 32)));
+          acc5 =
+              _mm256_add_ps(acc5, _mm256_mul_ps(va, _mm256_loadu_ps(b + 40)));
+          acc6 =
+              _mm256_add_ps(acc6, _mm256_mul_ps(va, _mm256_loadu_ps(b + 48)));
+          acc7 =
+              _mm256_add_ps(acc7, _mm256_mul_ps(va, _mm256_loadu_ps(b + 56)));
+        }
+        if (pass == 0) {
+          // Bias joins between the two products, matching the scalar spec.
+          acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(bias + nb));
+          acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(bias + nb + 8));
+          acc2 = _mm256_add_ps(acc2, _mm256_loadu_ps(bias + nb + 16));
+          acc3 = _mm256_add_ps(acc3, _mm256_loadu_ps(bias + nb + 24));
+          acc4 = _mm256_add_ps(acc4, _mm256_loadu_ps(bias + nb + 32));
+          acc5 = _mm256_add_ps(acc5, _mm256_loadu_ps(bias + nb + 40));
+          acc6 = _mm256_add_ps(acc6, _mm256_loadu_ps(bias + nb + 48));
+          acc7 = _mm256_add_ps(acc7, _mm256_loadu_ps(bias + nb + 56));
+        }
+      }
+      float* c = out + nb;
+      _mm256_storeu_ps(c, acc0);
+      _mm256_storeu_ps(c + 8, acc1);
+      _mm256_storeu_ps(c + 16, acc2);
+      _mm256_storeu_ps(c + 24, acc3);
+      _mm256_storeu_ps(c + 32, acc4);
+      _mm256_storeu_ps(c + 40, acc5);
+      _mm256_storeu_ps(c + 48, acc6);
+      _mm256_storeu_ps(c + 56, acc7);
+    }
+    for (; nb + 8 <= n; nb += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (int kk = 0; kk < in_dim; ++kk) {
+        const float av = x_row[kk];
+        if (av == 0.0f) continue;
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_set1_ps(av),
+                               _mm256_loadu_ps(
+                                   wx + static_cast<size_t>(kk) * n + nb)));
+      }
+      acc = _mm256_add_ps(acc, _mm256_loadu_ps(bias + nb));
+      for (int kk = 0; kk < hidden_dim; ++kk) {
+        const float av = h_row[kk];
+        if (av == 0.0f) continue;
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_set1_ps(av),
+                               _mm256_loadu_ps(
+                                   wh + static_cast<size_t>(kk) * n + nb)));
+      }
+      _mm256_storeu_ps(out + nb, acc);
+    }
+    for (; nb < n; ++nb) {
+      float acc = 0.0f;
+      for (int kk = 0; kk < in_dim; ++kk) {
+        const float av = x_row[kk];
+        if (av == 0.0f) continue;
+        acc += av * wx[static_cast<size_t>(kk) * n + nb];
+      }
+      acc += bias[nb];
+      for (int kk = 0; kk < hidden_dim; ++kk) {
+        const float av = h_row[kk];
+        if (av == 0.0f) continue;
+        acc += av * wh[static_cast<size_t>(kk) * n + nb];
+      }
+      out[nb] = acc;
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void MatMulGradBRowsAvx2(const float* A,
+                                                         const float* G,
+                                                         float* dB, int m,
+                                                         size_t k_begin,
+                                                         size_t k_end, int k,
+                                                         int n) {
+  // Per dB element the accumulation runs over i ascending with the same
+  // zero-skips as the generic (i-outer) loop, so bits match exactly. The
+  // i range is tiled so a G slice stays L1-resident across the kk sweep —
+  // without the tile, each kk re-streams the whole G matrix, which is
+  // ruinous when m is thousands of rows (the fused LSTM's one-pass weight
+  // grads). Tiling cannot reorder anything: for a fixed dB element the
+  // tiles visit i in ascending runs, same global order as one pass.
+  constexpr int kIBlock = 32;
+  for (int ib = 0; ib < m; ib += kIBlock) {
+    const int ie = std::min(m, ib + kIBlock);
+    for (size_t kk = k_begin; kk < k_end; ++kk) {
+      const float* a_col = A + kk;
+      float* db_row = dB + kk * static_cast<size_t>(n);
+      int nb = 0;
+      for (; nb + 64 <= n; nb += 64) {
+        float* c = db_row + nb;
+        __m256 acc0 = _mm256_loadu_ps(c);
+        __m256 acc1 = _mm256_loadu_ps(c + 8);
+        __m256 acc2 = _mm256_loadu_ps(c + 16);
+        __m256 acc3 = _mm256_loadu_ps(c + 24);
+        __m256 acc4 = _mm256_loadu_ps(c + 32);
+        __m256 acc5 = _mm256_loadu_ps(c + 40);
+        __m256 acc6 = _mm256_loadu_ps(c + 48);
+        __m256 acc7 = _mm256_loadu_ps(c + 56);
+        for (int i = ib; i < ie; ++i) {
+          const float av = a_col[static_cast<size_t>(i) * k];
+          if (av == 0.0f) continue;
+          const __m256 va = _mm256_set1_ps(av);
+          const float* g = G + static_cast<size_t>(i) * n + nb;
+          acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, _mm256_loadu_ps(g)));
+          acc1 =
+              _mm256_add_ps(acc1, _mm256_mul_ps(va, _mm256_loadu_ps(g + 8)));
+          acc2 =
+              _mm256_add_ps(acc2, _mm256_mul_ps(va, _mm256_loadu_ps(g + 16)));
+          acc3 =
+              _mm256_add_ps(acc3, _mm256_mul_ps(va, _mm256_loadu_ps(g + 24)));
+          acc4 =
+              _mm256_add_ps(acc4, _mm256_mul_ps(va, _mm256_loadu_ps(g + 32)));
+          acc5 =
+              _mm256_add_ps(acc5, _mm256_mul_ps(va, _mm256_loadu_ps(g + 40)));
+          acc6 =
+              _mm256_add_ps(acc6, _mm256_mul_ps(va, _mm256_loadu_ps(g + 48)));
+          acc7 =
+              _mm256_add_ps(acc7, _mm256_mul_ps(va, _mm256_loadu_ps(g + 56)));
+        }
+        _mm256_storeu_ps(c, acc0);
+        _mm256_storeu_ps(c + 8, acc1);
+        _mm256_storeu_ps(c + 16, acc2);
+        _mm256_storeu_ps(c + 24, acc3);
+        _mm256_storeu_ps(c + 32, acc4);
+        _mm256_storeu_ps(c + 40, acc5);
+        _mm256_storeu_ps(c + 48, acc6);
+        _mm256_storeu_ps(c + 56, acc7);
+      }
+      for (; nb + 8 <= n; nb += 8) {
+        __m256 acc = _mm256_loadu_ps(db_row + nb);
+        for (int i = ib; i < ie; ++i) {
+          const float av = a_col[static_cast<size_t>(i) * k];
+          if (av == 0.0f) continue;
+          acc = _mm256_add_ps(
+              acc, _mm256_mul_ps(_mm256_set1_ps(av),
+                                 _mm256_loadu_ps(
+                                     G + static_cast<size_t>(i) * n + nb)));
+        }
+        _mm256_storeu_ps(db_row + nb, acc);
+      }
+      for (; nb < n; ++nb) {
+        float acc = db_row[nb];
+        for (int i = ib; i < ie; ++i) {
+          const float av = a_col[static_cast<size_t>(i) * k];
+          if (av == 0.0f) continue;
+          acc += av * G[static_cast<size_t>(i) * n + nb];
+        }
+        db_row[nb] = acc;
+      }
+    }
+  }
+}
+
+template <bool kAssign>
+__attribute__((target("avx2"))) void MatMulGradARowsAvx2(const float* G,
+                                                         const float* B,
+                                                         float* dA,
+                                                         size_t row_begin,
+                                                         size_t row_end,
+                                                         int k, int n) {
+  // Four dots at a time share each G-row load. Every dot keeps its own
+  // 8-lane accumulator register and finishes with the canonical tail +
+  // CombineLanes, i.e. it is exactly DotAvx2 per element.
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const float* g_row = G + i * static_cast<size_t>(n);
+    float* da_row = dA + i * static_cast<size_t>(k);
+    int kk = 0;
+    for (; kk + 4 <= k; kk += 4) {
+      const float* b0 = B + static_cast<size_t>(kk) * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      size_t j = 0;
+      for (; j + 8 <= static_cast<size_t>(n); j += 8) {
+        const __m256 vg = _mm256_loadu_ps(g_row + j);
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(vg, _mm256_loadu_ps(b0 + j)));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(vg, _mm256_loadu_ps(b1 + j)));
+        acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(vg, _mm256_loadu_ps(b2 + j)));
+        acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(vg, _mm256_loadu_ps(b3 + j)));
+      }
+      alignas(32) float lanes[4][8];
+      _mm256_store_ps(lanes[0], acc0);
+      _mm256_store_ps(lanes[1], acc1);
+      _mm256_store_ps(lanes[2], acc2);
+      _mm256_store_ps(lanes[3], acc3);
+      const float* bs[4] = {b0, b1, b2, b3};
+      for (int t = 0; t < 4; ++t) {
+        for (int l = 0; j + l < static_cast<size_t>(n); ++l) {
+          lanes[t][l] += g_row[j + l] * bs[t][j + l];
+        }
+        if constexpr (kAssign) {
+          da_row[kk + t] = CombineLanes(lanes[t]);
+        } else {
+          da_row[kk + t] += CombineLanes(lanes[t]);
+        }
+      }
+    }
+    for (; kk < k; ++kk) {
+      const float dot = DotAvx2(g_row, B + static_cast<size_t>(kk) * n,
+                                static_cast<size_t>(n));
+      if constexpr (kAssign) {
+        da_row[kk] = dot;
+      } else {
+        da_row[kk] += dot;
+      }
+    }
+  }
+}
+
 #endif  // SQLFACIL_X86
 
 }  // namespace
@@ -248,6 +987,103 @@ void Relu(float* dst, size_t n) {
   ReluScalar(dst, n);
 }
 
+void SigmoidGradAcc(float* dst, const float* g, const float* y, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return SigmoidGradAccAvx2(dst, g, y, n);
+#endif
+  SigmoidGradAccScalar(dst, g, y, n);
+}
+
+void TanhGradAcc(float* dst, const float* g, const float* y, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return TanhGradAccAvx2(dst, g, y, n);
+#endif
+  TanhGradAccScalar(dst, g, y, n);
+}
+
+void ReluGradAcc(float* dst, const float* g, const float* y, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return ReluGradAccAvx2(dst, g, y, n);
+#endif
+  ReluGradAccScalar(dst, g, y, n);
+}
+
+void SigmoidInPlace(float* v, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return SigmoidInPlaceAvx2(v, n);
+#endif
+  SigmoidInPlaceScalar(v, n);
+}
+
+void TanhInPlace(float* v, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return TanhInPlaceAvx2(v, n);
+#endif
+  TanhInPlaceScalar(v, n);
+}
+
+void LstmCellForward(const float* u, const float* f, const float* o,
+                     const float* cand, const float* ci, float* co, float* ho,
+                     size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return LstmCellForwardAvx2(u, f, o, cand, ci, co, ho, n);
+#endif
+  LstmCellForwardScalar(u, f, o, cand, ci, co, ho, n);
+}
+
+void LstmGates(const float* x, const float* wx, const float* bias,
+               const float* h, const float* wh, float* gates,
+               size_t row_begin, size_t row_end, int in_dim, int hidden_dim,
+               int n) {
+#if SQLFACIL_X86
+  if (Enabled())
+    return LstmGatesAvx2(x, wx, bias, h, wh, gates, row_begin, row_end,
+                         in_dim, hidden_dim, n);
+#endif
+  LstmGatesScalar(x, wx, bias, h, wh, gates, row_begin, row_end, in_dim,
+                  hidden_dim, n);
+}
+
+void LstmCellBackward(const float* u, const float* f, const float* o,
+                      const float* cand, const float* co, const float* ci,
+                      const float* dh, const float* dc, float* dgu, float* dgf,
+                      float* dgo, float* dgc, float* dci, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled())
+    return LstmCellBackwardAvx2(u, f, o, cand, co, ci, dh, dc, dgu, dgf, dgo,
+                                dgc, dci, n);
+#endif
+  LstmCellBackwardScalar(u, f, o, cand, co, ci, dh, dc, dgu, dgf, dgo, dgc,
+                         dci, n);
+}
+
+void SgdStep(float* w, const float* g, float lr, float wd, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled()) return SgdStepAvx2(w, g, lr, wd, n);
+#endif
+  SgdStepScalar(w, g, lr, wd, n);
+}
+
+void AdamStep(float* w, const float* g, float* m, float* v, float beta1,
+              float beta2, float bc1, float bc2, float lr, float eps,
+              float wd, size_t n) {
+#if SQLFACIL_X86
+  if (Enabled())
+    return AdamStepAvx2(w, g, m, v, beta1, beta2, bc1, bc2, lr, eps, wd, n);
+#endif
+  AdamStepScalar(w, g, m, v, beta1, beta2, bc1, bc2, lr, eps, wd, n);
+}
+
+void AdaMaxStep(float* w, const float* g, float* m, float* u, float beta1,
+                float beta2, float bc1, float lr, float eps, float wd,
+                size_t n) {
+#if SQLFACIL_X86
+  if (Enabled())
+    return AdaMaxStepAvx2(w, g, m, u, beta1, beta2, bc1, lr, eps, wd, n);
+#endif
+  AdaMaxStepScalar(w, g, m, u, beta1, beta2, bc1, lr, eps, wd, n);
+}
+
 float Dot(const float* x, const float* y, size_t n) {
 #if SQLFACIL_X86
   if (Enabled()) return DotAvx2(x, y, n);
@@ -257,6 +1093,9 @@ float Dot(const float* x, const float* y, size_t n) {
 
 void MatMulRows(const float* A, const float* B, float* C, size_t row_begin,
                 size_t row_end, int k, int n) {
+#if SQLFACIL_X86
+  if (Enabled()) return MatMulRowsAvx2(A, B, C, row_begin, row_end, k, n);
+#endif
   constexpr int kTile = 128;
   for (int kb = 0; kb < k; kb += kTile) {
     const int ke = std::min(k, kb + kTile);
@@ -271,6 +1110,56 @@ void MatMulRows(const float* A, const float* B, float* C, size_t row_begin,
         Axpy(c_row, B + static_cast<size_t>(kk) * n, av,
              static_cast<size_t>(n));
       }
+    }
+  }
+}
+
+void MatMulGradARows(const float* G, const float* B, float* dA,
+                     size_t row_begin, size_t row_end, int k, int n) {
+#if SQLFACIL_X86
+  if (Enabled())
+    return MatMulGradARowsAvx2<false>(G, B, dA, row_begin, row_end, k, n);
+#endif
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const float* g_row = G + i * static_cast<size_t>(n);
+    float* da_row = dA + i * static_cast<size_t>(k);
+    for (int kk = 0; kk < k; ++kk) {
+      da_row[kk] += Dot(g_row, B + static_cast<size_t>(kk) * n,
+                        static_cast<size_t>(n));
+    }
+  }
+}
+
+void MatMulGradARowsTo(const float* G, const float* B, float* dA,
+                       size_t row_begin, size_t row_end, int k, int n) {
+#if SQLFACIL_X86
+  if (Enabled())
+    return MatMulGradARowsAvx2<true>(G, B, dA, row_begin, row_end, k, n);
+#endif
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const float* g_row = G + i * static_cast<size_t>(n);
+    float* da_row = dA + i * static_cast<size_t>(k);
+    for (int kk = 0; kk < k; ++kk) {
+      da_row[kk] = Dot(g_row, B + static_cast<size_t>(kk) * n,
+                       static_cast<size_t>(n));
+    }
+  }
+}
+
+void MatMulGradBRows(const float* A, const float* G, float* dB, int m,
+                     size_t k_begin, size_t k_end, int k, int n) {
+#if SQLFACIL_X86
+  if (Enabled())
+    return MatMulGradBRowsAvx2(A, G, dB, m, k_begin, k_end, k, n);
+#endif
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = A + static_cast<size_t>(i) * k;
+    const float* g_row = G + static_cast<size_t>(i) * n;
+    for (size_t kk = k_begin; kk < k_end; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      Axpy(dB + kk * static_cast<size_t>(n), g_row, av,
+           static_cast<size_t>(n));
     }
   }
 }

@@ -39,4 +39,21 @@ Tensor Tensor::Glorot(int fan_in, int fan_out, Rng* rng) {
 
 void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
+void Tensor::ResetShape(const std::vector<int>& shape) {
+  size_t total = 1;
+  for (int d : shape) {
+    SQLFACIL_CHECK(d >= 0);
+    total *= static_cast<size_t>(d);
+  }
+  shape_.assign(shape.begin(), shape.end());
+  data_.assign(total, 0.0f);
+  row_stride_ = static_cast<size_t>(cols());
+}
+
+void Tensor::CopyFrom(const Tensor& other) {
+  shape_.assign(other.shape_.begin(), other.shape_.end());
+  data_.assign(other.data_.begin(), other.data_.end());
+  row_stride_ = other.row_stride_;
+}
+
 }  // namespace sqlfacil::nn

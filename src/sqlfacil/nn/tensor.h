@@ -46,6 +46,15 @@ class Tensor {
 
   void Fill(float v);
 
+  /// Reshapes in place to `shape`, zero-filling the elements. Keeps the
+  /// underlying capacity, so a pooled tensor cycling through the same shape
+  /// performs no heap allocation (the training-arena steady state).
+  void ResetShape(const std::vector<int>& shape);
+
+  /// Becomes a copy of `other` without releasing capacity (allocation-free
+  /// when `other` fits in the current buffer).
+  void CopyFrom(const Tensor& other);
+
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
  private:

@@ -110,6 +110,19 @@ void ParallelForChunks(
     run_serial();
     return;
   }
+  // Helper workers beyond the machine's cores cannot add parallelism — an
+  // oversubscribed pool only adds wakeups and context switches while the
+  // calling thread drains the chunk queue itself. Which thread runs a chunk
+  // never affects its result, so the helper count is free to vary.
+  size_t helpers = std::min<size_t>(static_cast<size_t>(threads), chunks - 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0) {
+    helpers = std::min<size_t>(helpers, hw - 1);
+  }
+  if (helpers == 0) {
+    run_serial();
+    return;
+  }
 
   // Shared dispatch state. Workers (plus this thread) claim chunks from an
   // atomic cursor; which thread runs a chunk never affects its result.
@@ -147,8 +160,6 @@ void ParallelForChunks(
     }
   };
 
-  const size_t helpers =
-      std::min<size_t>(static_cast<size_t>(threads), chunks - 1);
   for (size_t i = 0; i < helpers; ++i) pool->Submit(drain);
   drain();  // the calling thread participates
 

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -178,6 +179,116 @@ TEST(DeterminismTest, LstmModelBitIdenticalAcrossSimdAndThreads) {
   config.epochs = 1;
   config.batch_size = 8;
   SweepSimdAndThreads<models::LstmModel>(config, train, valid);
+}
+
+Dataset SyntheticRegression(size_t n, uint64_t seed) {
+  Dataset data;
+  data.kind = TaskKind::kRegression;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t joins = rng.UniformInt(0, 3);
+    std::string stmt = "SELECT objid FROM photoobj";
+    for (int64_t j = 0; j < joins; ++j) {
+      stmt += " JOIN specobj ON photoobj.objid = specobj.objid";
+    }
+    data.statements.push_back(stmt);
+    data.targets.push_back(static_cast<float>(joins) +
+                           static_cast<float>(rng.Uniform(0.0, 0.1)));
+    data.opt_costs.push_back(rng.Uniform(1.0, 100.0));
+  }
+  return data;
+}
+
+// The training sweep: final weights (serialized bytes) and the per-epoch
+// validation-loss trajectory must be bit-identical across every
+// (simd, threads) combination — the shard boundaries, reduction order, and
+// loss sums depend only on the batch size and the shard cap.
+template <typename Model, typename Config>
+void TrainingSweep(const Config& config, const Dataset& train,
+                   const Dataset& valid) {
+  SimdGuard guard;
+  std::string ref_bytes;
+  std::vector<double> ref_history;
+  bool have_reference = false;
+  for (bool simd_on : {false, true}) {
+    if (simd_on && !nn::simd::HasAvx2()) continue;
+    nn::simd::SetEnabled(simd_on);
+    for (int threads : {1, 2, 8}) {
+      ThreadPool::SetGlobalThreads(threads);
+      Model model(config);
+      Rng rng(7);
+      model.Fit(train, valid, &rng);
+      std::ostringstream out;
+      ASSERT_TRUE(model.SaveTo(out).ok());
+      const std::string bytes = out.str();
+      const std::vector<double> history = model.valid_history();
+      if (!have_reference) {
+        ref_bytes = bytes;
+        ref_history = history;
+        have_reference = true;
+        continue;
+      }
+      EXPECT_EQ(ref_bytes, bytes)
+          << "trained weights diverged at simd=" << simd_on
+          << " threads=" << threads;
+      ASSERT_EQ(ref_history.size(), history.size());
+      for (size_t e = 0; e < ref_history.size(); ++e) {
+        EXPECT_EQ(ref_history[e], history[e])
+            << "valid loss diverged at epoch " << e << " simd=" << simd_on
+            << " threads=" << threads;
+      }
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(DeterminismTest, TfidfTrainingSweepBitIdentical) {
+  const Dataset train = SyntheticClassification(40, 101);
+  const Dataset valid = SyntheticClassification(12, 102);
+  models::TfidfModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.epochs = 3;
+  config.batch_size = 8;
+  TrainingSweep<models::TfidfModel>(config, train, valid);
+}
+
+TEST(DeterminismTest, CnnTrainingSweepBitIdentical) {
+  const Dataset train = SyntheticClassification(20, 103);
+  const Dataset valid = SyntheticClassification(8, 104);
+  models::CnnModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.embed_dim = 4;
+  config.kernels_per_width = 4;
+  config.widths = {2, 3};
+  config.epochs = 2;
+  config.batch_size = 6;  // uneven final batch exercises ragged shards
+  TrainingSweep<models::CnnModel>(config, train, valid);
+}
+
+TEST(DeterminismTest, LstmTrainingSweepBitIdentical) {
+  const Dataset train = SyntheticClassification(20, 105);
+  const Dataset valid = SyntheticClassification(8, 106);
+  models::LstmModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.embed_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 2;  // covers the fused op's inter-layer backward
+  config.epochs = 2;
+  config.batch_size = 6;
+  TrainingSweep<models::LstmModel>(config, train, valid);
+}
+
+TEST(DeterminismTest, LstmRegressionTrainingSweepBitIdentical) {
+  const Dataset train = SyntheticRegression(18, 107);
+  const Dataset valid = SyntheticRegression(6, 108);
+  models::LstmModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.embed_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  config.epochs = 2;
+  config.batch_size = 5;
+  TrainingSweep<models::LstmModel>(config, train, valid);
 }
 
 TEST(DeterminismTest, SdssWorkloadBitIdenticalAcrossThreadCounts) {

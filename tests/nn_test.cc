@@ -3,8 +3,11 @@
 #include <cmath>
 #include <functional>
 
+#include "sqlfacil/nn/arena.h"
 #include "sqlfacil/nn/autograd.h"
+#include "sqlfacil/nn/data_parallel.h"
 #include "sqlfacil/nn/layers.h"
+#include "sqlfacil/nn/lstm_fused.h"
 #include "sqlfacil/nn/optim.h"
 #include "sqlfacil/nn/tensor.h"
 
@@ -440,6 +443,158 @@ TEST(TrainingTest, LstmLearnsToCountTokens) {
     final_loss = loss->value.at(0);
   }
   EXPECT_LT(final_loss, 0.25f);
+}
+
+// ---------------------------------------------------------------------------
+// Fused LSTM op
+// ---------------------------------------------------------------------------
+
+// The fused LstmSequence op must agree with the layer-by-layer autograd
+// graph: same forward values, same parameter gradients (up to accumulation
+// order), on a variable-length padded batch with multiple layers.
+TEST(LstmFusedTest, MatchesLayerByLayerForwardAndGradients) {
+  Rng rng(31);
+  Embedding emb(10, 4, &rng);
+  LstmStack stack(4, 6, 2, &rng);
+  const std::vector<std::vector<int>> seqs = {{1, 2, 3}, {4, 5}};
+  const int max_len = 3;
+  const int batch = 2;
+
+  auto params = stack.Params();
+  params.push_back(emb.table);
+
+  // Layer-by-layer reference.
+  ZeroGrad(params);
+  std::vector<Var> steps;
+  std::vector<std::vector<bool>> active;
+  for (int t = 0; t < max_len; ++t) {
+    std::vector<int> ids(batch);
+    std::vector<bool> act(batch);
+    for (int b = 0; b < batch; ++b) {
+      const bool a = t < static_cast<int>(seqs[b].size());
+      act[b] = a;
+      ids[b] = a ? seqs[b][t] : -1;
+    }
+    steps.push_back(emb.Lookup(ids));
+    active.push_back(act);
+  }
+  Var h_ref = stack.Run(steps, active);
+  Var loss_ref = Mean(h_ref);
+  Backward(loss_ref);
+  const Tensor h_ref_value = h_ref->value;
+  std::vector<Tensor> ref_grads;
+  for (const auto& p : params) ref_grads.push_back(p->grad);
+
+  // Fused op.
+  ZeroGrad(params);
+  std::vector<int> step_ids(static_cast<size_t>(max_len) * batch, -1);
+  std::vector<int> lens(batch);
+  for (int b = 0; b < batch; ++b) {
+    lens[b] = static_cast<int>(seqs[b].size());
+    for (size_t t = 0; t < seqs[b].size(); ++t) {
+      step_ids[t * batch + b] = seqs[b][t];
+    }
+  }
+  Var h_fused = LstmSequence(emb.table, stack, step_ids, lens, max_len);
+  Var loss_fused = Mean(h_fused);
+  Backward(loss_fused);
+  ThreadLocalTrainArena().Reset();
+
+  ASSERT_TRUE(h_fused->value.SameShape(h_ref_value));
+  for (size_t i = 0; i < h_ref_value.size(); ++i) {
+    EXPECT_NEAR(h_fused->value.data()[i], h_ref_value.data()[i], 1e-6f)
+        << "hidden element " << i;
+  }
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    const Tensor& ref = ref_grads[pi];
+    const Tensor& fused = params[pi]->grad;
+    ASSERT_TRUE(fused.SameShape(ref)) << "param " << pi;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(fused.data()[i], ref.data()[i],
+                  1e-4f * std::max(1.0f, std::fabs(ref.data()[i])))
+          << "param " << pi << " element " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tape pooling and sharded training steps
+// ---------------------------------------------------------------------------
+
+// Nodes built inside a TapeScope are recycled by the next scope on the same
+// thread: the steady-state training step allocates no graph nodes.
+TEST(TapeTest, ScopeRecyclesNodes) {
+  Var a = MakeParam(Tensor::Full({2, 3}, 0.5f));
+  const Variable* first_node = nullptr;
+  float first_value = 0.0f;
+  {
+    TapeScope tape;
+    Var s = Sigmoid(a);
+    first_node = s.get();
+    first_value = s->value.at(0, 0);
+  }
+  {
+    TapeScope tape;
+    Var s = Sigmoid(a);
+    EXPECT_EQ(s.get(), first_node) << "node was not recycled";
+    EXPECT_FLOAT_EQ(s->value.at(0, 0), first_value);
+    // Recycled node must behave like a fresh one in backward.
+    ZeroGrad({a});
+    Backward(Mean(s));
+    double norm = 0.0;
+    for (size_t i = 0; i < a->grad.size(); ++i) {
+      norm += std::fabs(a->grad.data()[i]);
+    }
+    EXPECT_GT(norm, 0.0);
+  }
+}
+
+// A sharded training step must produce the same gradients and loss as one
+// full-batch graph (up to float accumulation order).
+TEST(DataParallelTest, ShardedStepMatchesFullBatchGradients) {
+  Rng rng(17);
+  const int batch = 10;
+  const int dim = 6;
+  Var w = MakeParam(Tensor::Glorot(dim, 1, &rng));
+  Tensor x = Tensor::RandomUniform({batch, dim}, 1.0f, &rng);
+  std::vector<float> targets;
+  for (int i = 0; i < batch; ++i) {
+    targets.push_back(std::sin(static_cast<float>(i)));
+  }
+  const std::vector<Var> params = {w};
+
+  // Full-batch reference.
+  ZeroGrad(params);
+  Var full_loss = SquaredLoss(MatMul(MakeConst(x), w), targets);
+  Backward(full_loss);
+  const Tensor ref_grad = w->grad;
+  const float ref_loss = full_loss->value.at(0, 0);
+
+  // Sharded step: 4 shards over 10 rows.
+  GradShards shards;
+  shards.Prepare(params, 4);
+  ZeroGrad(params);
+  const double sharded_loss = ShardedTrainStep(
+      params, &shards, batch, 4, [&](size_t, size_t b, size_t e) {
+        const int rows = static_cast<int>(e - b);
+        Tensor slice({rows, dim});
+        std::vector<float> slice_targets;
+        for (int r = 0; r < rows; ++r) {
+          for (int c = 0; c < dim; ++c) {
+            slice.at(r, c) = x.at(static_cast<int>(b) + r, c);
+          }
+          slice_targets.push_back(targets[b + r]);
+        }
+        Var loss = SquaredLoss(MatMul(MakeConst(slice), w), slice_targets);
+        return Scale(loss, static_cast<float>(rows) / batch);
+      });
+
+  EXPECT_NEAR(sharded_loss, ref_loss, 1e-5);
+  for (size_t i = 0; i < ref_grad.size(); ++i) {
+    EXPECT_NEAR(w->grad.data()[i], ref_grad.data()[i],
+                1e-5f * std::max(1.0f, std::fabs(ref_grad.data()[i])))
+        << "grad element " << i;
+  }
 }
 
 }  // namespace
