@@ -1,0 +1,24 @@
+#!/bin/sh
+# Builds the fault-handling and kernel tests under UndefinedBehaviorSanitizer
+# (fatal on the first finding) and runs them.
+# Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
+set -eu
+BUILD_DIR="${1:-build-ubsan}"
+TESTS="resilience_test fuzz_smoke_test serialize_test serving_test nn_test"
+cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+# shellcheck disable=SC2086
+cmake --build "$BUILD_DIR" -j --target $TESTS
+status=0
+for t in $TESTS; do
+  echo "== $t (UBSan) =="
+  if ! "$BUILD_DIR/tests/$t"; then
+    status=1
+  fi
+done
+if [ "$status" -eq 0 ]; then
+  echo "UBSAN_CLEAN"
+else
+  echo "UBSAN_FAILURES"
+fi
+exit "$status"

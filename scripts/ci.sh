@@ -1,8 +1,10 @@
 #!/bin/sh
-# Full local CI: tier-1 tests (Release), then the ASan and TSan suites.
+# Full local CI: tier-1 tests (Release), the failpoint fault-injection
+# matrix, then the ASan, TSan and UBSan suites.
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 # Exits non-zero on the first failing stage; prints one loud status line
-# per stage so logs are greppable (CI_TESTS_OK / ASAN_CLEAN / TSAN_CLEAN).
+# per stage so logs are greppable (CI_TESTS_OK / CI_FAILPOINT_MATRIX_OK /
+# ASAN_CLEAN / TSAN_CLEAN / UBSAN_CLEAN).
 set -eu
 BUILD_DIR="${1:-build}"
 
@@ -17,8 +19,35 @@ if ! ctest --test-dir "$BUILD_DIR" --output-on-failure; then
 fi
 echo "CI_TESTS_OK"
 
+echo "== failpoint matrix =="
+# Hard faults drive the end-to-end degradation chain: serving must answer
+# from a lower tier (or return a typed error), never abort.
+for spec in \
+  "model.predict:throw" \
+  "checkpoint.read:corrupt" \
+  "checkpoint.write:error" \
+  "cache.get:error;model.predict:throw@n2"; do
+  echo "-- resilience_test end-to-end under SQLFACIL_FAILPOINTS='$spec' --"
+  if ! SQLFACIL_FAILPOINTS="$spec" "$BUILD_DIR/tests/resilience_test" \
+      --gtest_filter='ResilienceEndToEndTest.EndToEndUnderEnvFailpoints'; then
+    echo "CI_FAILPOINT_MATRIX_FAILED" >&2
+    exit 1
+  fi
+done
+# Benign delay-mode faults across the full serving suite: added latency
+# must never change results (the suite's bit-identity assertions still hold).
+for spec in "cache.get:delay(1)@n10;model.predict:delay(1)@n25"; do
+  echo "-- serving_test under SQLFACIL_FAILPOINTS='$spec' --"
+  if ! SQLFACIL_FAILPOINTS="$spec" "$BUILD_DIR/tests/serving_test"; then
+    echo "CI_FAILPOINT_MATRIX_FAILED" >&2
+    exit 1
+  fi
+done
+echo "CI_FAILPOINT_MATRIX_OK"
+
 echo "== sanitizers =="
 scripts/check_asan.sh
 scripts/check_tsan.sh
+scripts/check_ubsan.sh
 
 echo "CI_PASSED"

@@ -1,8 +1,9 @@
 #include "sqlfacil/core/facilitator.h"
 
 #include <algorithm>
-#include <fstream>
+#include <sstream>
 
+#include "sqlfacil/models/checkpoint.h"
 #include "sqlfacil/models/serialize_util.h"
 
 namespace sqlfacil::core {
@@ -32,10 +33,7 @@ void QueryFacilitator::Train(const workload::QueryWorkload& workload) {
 }
 
 Status QueryFacilitator::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.good()) {
-    return Status::InvalidArgument("cannot open '" + path + "' for writing");
-  }
+  std::ostringstream out;
   models::serialize::WriteTag(out, "sqlfacil_facilitator.v1");
   models::serialize::WriteU64(out, trained_models_.size());
   for (const auto& [problem, model] : trained_models_) {
@@ -46,14 +44,14 @@ Status QueryFacilitator::Save(const std::string& path) const {
         out, it == transforms_.end() ? 0.0 : it->second.min_label());
     if (Status s = model->SaveTo(out); !s.ok()) return s;
   }
-  out.flush();
-  if (!out.good()) return Status::Internal("write to '" + path + "' failed");
-  return Status::Ok();
+  if (!out.good()) return Status::Internal("serializing facilitator failed");
+  return models::WriteCheckpointFile(path, std::move(out).str());
 }
 
 Status QueryFacilitator::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return Status::NotFound("cannot open '" + path + "'");
+  auto ckpt = models::ReadCheckpointFile(path);
+  if (!ckpt.ok()) return ckpt.status();
+  std::istringstream in(ckpt->payload);
   if (Status s =
           models::serialize::ExpectTag(in, "sqlfacil_facilitator.v1");
       !s.ok()) {
@@ -70,6 +68,10 @@ Status QueryFacilitator::Load(const std::string& path) {
     if (!name.ok()) return name.status();
     auto min_label = models::serialize::ReadF64(in);
     if (!min_label.ok()) return min_label.status();
+    if (!IsKnownModelName(*name)) {
+      return Status::CorruptCheckpoint("checkpoint names unknown model '" +
+                                       *name + "'");
+    }
     auto model = MakeModel(*name, options_.zoo);
     if (Status s = model->LoadFrom(in); !s.ok()) return s;
     const Problem p = static_cast<Problem>(*problem);

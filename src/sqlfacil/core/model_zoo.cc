@@ -1,8 +1,9 @@
 #include "sqlfacil/core/model_zoo.h"
 
-#include <fstream>
+#include <sstream>
 
 #include "sqlfacil/models/baselines.h"
+#include "sqlfacil/models/checkpoint.h"
 #include "sqlfacil/models/serialize_util.h"
 #include "sqlfacil/models/cnn_model.h"
 #include "sqlfacil/models/lstm_model.h"
@@ -63,6 +64,16 @@ models::ModelPtr MakeModel(const std::string& name, const ZooConfig& config) {
   return nullptr;
 }
 
+bool IsKnownModelName(const std::string& name) {
+  static const auto* kNames = new std::vector<std::string>{
+      "mfreq",  "median", "opt",  "ctfidf", "wtfidf",
+      "ccnn",   "wcnn",   "clstm", "wlstm"};
+  for (const auto& known : *kNames) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
 const std::vector<std::string>& LearnedModelNames() {
   static const auto* kNames = new std::vector<std::string>{
       "ctfidf", "ccnn", "clstm", "wtfidf", "wcnn", "wlstm"};
@@ -70,28 +81,32 @@ const std::vector<std::string>& LearnedModelNames() {
 }
 
 Status SaveModelToFile(const models::Model& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.good()) {
-    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  std::ostringstream payload;
+  models::serialize::WriteTag(payload, "sqlfacil_model.v1");
+  models::serialize::WriteString(payload, model.name());
+  if (Status s = model.SaveTo(payload); !s.ok()) return s;
+  if (!payload.good()) {
+    return Status::Internal("serializing model '" + model.name() +
+                            "' failed");
   }
-  models::serialize::WriteTag(out, "sqlfacil_model.v1");
-  models::serialize::WriteString(out, model.name());
-  if (Status s = model.SaveTo(out); !s.ok()) return s;
-  out.flush();
-  if (!out.good()) return Status::Internal("write to '" + path + "' failed");
-  return Status::Ok();
+  return models::WriteCheckpointFile(path, std::move(payload).str());
 }
 
 StatusOr<models::ModelPtr> LoadModelFromFile(const std::string& path,
                                              const ZooConfig& config) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return Status::NotFound("cannot open '" + path + "'");
+  auto ckpt = models::ReadCheckpointFile(path);
+  if (!ckpt.ok()) return ckpt.status();
+  std::istringstream in(ckpt->payload);
   if (Status s = models::serialize::ExpectTag(in, "sqlfacil_model.v1");
       !s.ok()) {
     return s;
   }
   auto name = models::serialize::ReadString(in);
   if (!name.ok()) return name.status();
+  if (!IsKnownModelName(*name)) {
+    return Status::CorruptCheckpoint("checkpoint names unknown model '" +
+                                     *name + "'");
+  }
   models::ModelPtr model = MakeModel(*name, config);
   if (Status s = model->LoadFrom(in); !s.ok()) return s;
   return model;

@@ -39,15 +39,24 @@ struct ZooConfig {
 /// ccnn, wcnn, clstm, wlstm. CHECK-fails on unknown names.
 models::ModelPtr MakeModel(const std::string& name, const ZooConfig& config);
 
+/// True for the names MakeModel accepts. Checkpoint loaders validate the
+/// stored model name with this before constructing, so a corrupted name
+/// yields a Status instead of a CHECK abort.
+bool IsKnownModelName(const std::string& name);
+
 /// The six learned models compared in every table, in the paper's row
 /// order: ctfidf, ccnn, clstm, wtfidf, wcnn, wlstm.
 const std::vector<std::string>& LearnedModelNames();
 
-/// Writes a trained model (name header + checkpoint) to a file.
+/// Writes a trained model (name header + checkpoint) to a file, using the
+/// hardened v2 framing (atomic temp+fsync+rename save, CRC-32 footer; see
+/// models/checkpoint.h).
 Status SaveModelToFile(const models::Model& model, const std::string& path);
 
-/// Reads a model file: reconstructs the model by its stored name and
-/// restores the trained state.
+/// Reads a model file: validates the frame (CRC, version), reconstructs
+/// the model by its stored name and restores the trained state. Legacy v1
+/// (unframed) files still load; corruption yields kCorruptCheckpoint and
+/// unknown framed versions kVersionMismatch — never an abort.
 StatusOr<models::ModelPtr> LoadModelFromFile(const std::string& path,
                                              const ZooConfig& config = {});
 

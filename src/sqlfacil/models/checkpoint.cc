@@ -1,0 +1,188 @@
+#include "sqlfacil/models/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sqlfacil/util/crc32.h"
+#include "sqlfacil/util/failpoint.h"
+
+namespace sqlfacil::models {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'Q', 'F', 'C', 'K', 'P', 'T', '\0'};
+constexpr size_t kHeaderSize =
+    sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kFooterSize = sizeof(uint32_t);
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T LoadPod(const char* p) {
+  T v{};
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+/// Deterministically flips one bit in the payload region of framed bytes
+/// (the checkpoint.read/write corrupt mode).
+void CorruptFramed(std::string* framed) {
+  if (framed->empty()) return;
+  const size_t pos =
+      framed->size() > kHeaderSize + kFooterSize
+          ? kHeaderSize + (framed->size() - kHeaderSize - kFooterSize) / 2
+          : framed->size() / 2;
+  (*framed)[pos] = static_cast<char>((*framed)[pos] ^ 0x01);
+}
+
+}  // namespace
+
+std::string FrameCheckpoint(const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size() + kFooterSize);
+  out.append(kMagic, sizeof(kMagic));
+  AppendPod(&out, kCheckpointVersion);
+  AppendPod(&out, static_cast<uint64_t>(payload.size()));
+  out += payload;
+  AppendPod(&out, Crc32(payload.data(), payload.size()));
+  return out;
+}
+
+StatusOr<Checkpoint> ParseCheckpoint(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    // A near-miss magic is a damaged v2 header, not a legacy file: report
+    // it as corruption. Legacy v1 payloads start with a small u64 string
+    // length, which is many bits away from the magic, so the Hamming
+    // distance disambiguates reliably.
+    if (bytes.size() >= sizeof(kMagic)) {
+      int flipped_bits = 0;
+      for (size_t i = 0; i < sizeof(kMagic); ++i) {
+        flipped_bits += __builtin_popcount(
+            static_cast<unsigned char>(bytes[i] ^ kMagic[i]));
+      }
+      if (flipped_bits <= 2) {
+        return Status::CorruptCheckpoint("checkpoint magic damaged");
+      }
+    }
+    // Legacy v1: no frame, the payload is the whole file. Its tag-based
+    // readers validate it field by field (and reject garbage).
+    return Checkpoint{1, bytes};
+  }
+  if (bytes.size() < kHeaderSize + kFooterSize) {
+    return Status::CorruptCheckpoint("checkpoint truncated inside header");
+  }
+  const uint32_t version = LoadPod<uint32_t>(bytes.data() + sizeof(kMagic));
+  if (version != kCheckpointVersion) {
+    return Status::VersionMismatch("checkpoint format version " +
+                                   std::to_string(version) +
+                                   " is not readable by this build");
+  }
+  const uint64_t payload_size =
+      LoadPod<uint64_t>(bytes.data() + sizeof(kMagic) + sizeof(uint32_t));
+  if (bytes.size() != kHeaderSize + payload_size + kFooterSize) {
+    return Status::CorruptCheckpoint(
+        "checkpoint size mismatch: header claims " +
+        std::to_string(payload_size) + " payload bytes");
+  }
+  const uint32_t stored_crc =
+      LoadPod<uint32_t>(bytes.data() + kHeaderSize + payload_size);
+  const uint32_t actual_crc =
+      Crc32(bytes.data() + kHeaderSize, payload_size);
+  if (stored_crc != actual_crc) {
+    return Status::CorruptCheckpoint("checkpoint CRC mismatch");
+  }
+  Checkpoint ckpt;
+  ckpt.version = version;
+  ckpt.payload = bytes.substr(kHeaderSize, payload_size);
+  return ckpt;
+}
+
+Status WriteCheckpointFile(const std::string& path,
+                           const std::string& payload) {
+  const failpoint::Mode fp = failpoint::Eval("checkpoint.write");
+  if (fp == failpoint::Mode::kError) {
+    return Status::Internal("failpoint 'checkpoint.write' fired");
+  }
+  if (fp == failpoint::Mode::kThrow) {
+    throw failpoint::FailpointError("checkpoint.write");
+  }
+  std::string framed = FrameCheckpoint(payload);
+  // Corrupt after the CRC is computed: the file reaches disk atomically but
+  // damaged, and the next load must reject it.
+  if (fp == failpoint::Mode::kCorrupt) CorruptFramed(&framed);
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open '" + tmp +
+                                   "' for writing: " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < framed.size()) {
+    const ssize_t n =
+        ::write(fd, framed.data() + written, framed.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal("write to '" + tmp + "' failed: " + err);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("fsync of '" + tmp + "' failed: " + err);
+  }
+  if (::close(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return Status::Internal("close of '" + tmp + "' failed: " + err);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return Status::Internal("rename '" + tmp + "' -> '" + path +
+                            "' failed: " + err);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Checkpoint> ReadCheckpointFile(const std::string& path) {
+  failpoint::Mode corrupt_mode = failpoint::Mode::kOff;
+  switch (failpoint::Eval("checkpoint.read")) {
+    case failpoint::Mode::kError:
+      return Status::Internal("failpoint 'checkpoint.read' fired");
+    case failpoint::Mode::kThrow:
+      throw failpoint::FailpointError("checkpoint.read");
+    case failpoint::Mode::kCorrupt:
+      corrupt_mode = failpoint::Mode::kCorrupt;
+      break;
+    default:
+      break;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::CorruptCheckpoint("read of '" + path + "' failed");
+  }
+  std::string bytes = std::move(buf).str();
+  if (corrupt_mode == failpoint::Mode::kCorrupt) CorruptFramed(&bytes);
+  return ParseCheckpoint(bytes);
+}
+
+}  // namespace sqlfacil::models

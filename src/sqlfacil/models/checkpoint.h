@@ -1,0 +1,59 @@
+#ifndef SQLFACIL_MODELS_CHECKPOINT_H_
+#define SQLFACIL_MODELS_CHECKPOINT_H_
+
+#include <string>
+
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::models {
+
+/// Checkpoint file format v2 — hardened framing around the per-model
+/// payload produced by Model::SaveTo / QueryFacilitator::Save:
+///
+///   [ 8B magic "SQFCKPT\0" ][ u32 version = 2 ][ u64 payload_size ]
+///   [ payload bytes ............................................. ]
+///   [ u32 CRC-32 of payload ]
+///
+/// Any single-bit flip or truncation is detected: payload damage fails the
+/// CRC (kCorruptCheckpoint), header damage fails the magic / version /
+/// size checks (kCorruptCheckpoint / kVersionMismatch). Files without the
+/// magic are treated as legacy v1 payloads (pre-framing checkpoints),
+/// whose tag-based readers still validate them field by field.
+///
+/// Saves are atomic: the framed bytes are written to `<path>.tmp`,
+/// fsync()ed, then rename()d over `path`, so a crash mid-save never
+/// leaves a half-written checkpoint under the serving path.
+
+inline constexpr uint32_t kCheckpointVersion = 2;
+
+/// A parsed checkpoint: the format version the bytes carried and the raw
+/// payload to hand to the tag-based model readers.
+struct Checkpoint {
+  uint32_t version = kCheckpointVersion;
+  std::string payload;
+};
+
+/// Wraps `payload` in the v2 frame (magic, version, size, CRC footer).
+std::string FrameCheckpoint(const std::string& payload);
+
+/// Validates framed bytes and extracts the payload. Bytes without the
+/// magic are returned as-is with version 1 (legacy). Truncation, size
+/// mismatch, or CRC failure yield kCorruptCheckpoint; an unknown framed
+/// version yields kVersionMismatch.
+StatusOr<Checkpoint> ParseCheckpoint(const std::string& bytes);
+
+/// Atomically writes `payload` framed as v2 to `path` (temp + fsync +
+/// rename). Plants failpoint "checkpoint.write" (error|throw|delay|
+/// corrupt — corrupt flips one payload byte after the CRC is computed, so
+/// a subsequent load must reject the file).
+Status WriteCheckpointFile(const std::string& path,
+                           const std::string& payload);
+
+/// Reads and validates `path`. Plants failpoint "checkpoint.read"
+/// (error|throw|delay|corrupt — corrupt flips one read byte before
+/// validation).
+StatusOr<Checkpoint> ReadCheckpointFile(const std::string& path);
+
+}  // namespace sqlfacil::models
+
+#endif  // SQLFACIL_MODELS_CHECKPOINT_H_

@@ -10,6 +10,7 @@
 #include "sqlfacil/nn/infer.h"
 #include "sqlfacil/nn/lstm_fused.h"
 #include "sqlfacil/nn/simd.h"
+#include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
 
@@ -105,6 +106,7 @@ double LstmModel::ValidLoss(
 }
 
 void LstmModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
+  failpoint::MaybeFail("model.fit");
   kind_ = train.kind;
   outputs_ = kind_ == TaskKind::kClassification ? train.num_classes : 1;
   vocab_ = Vocabulary::Build(train.statements, config_.granularity,
@@ -392,6 +394,7 @@ std::vector<std::vector<float>> LstmModel::PredictBatch(
     std::span<const std::string> statements,
     std::span<const double> opt_costs) const {
   (void)opt_costs;
+  failpoint::MaybeFail("model.predict");
   const size_t n = statements.size();
   if (n == 0) return {};
   auto encoded = vocab_.EncodeAll(statements, MaxLen(), /*pad_empty=*/true);

@@ -1,5 +1,6 @@
 #include "sqlfacil/models/model.h"
 
+#include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
 
@@ -10,6 +11,7 @@ std::vector<std::vector<float>> Model::PredictBatch(
     std::span<const double> opt_costs) const {
   SQLFACIL_CHECK(opt_costs.empty() || opt_costs.size() == statements.size())
       << "PredictBatch opt_costs size mismatch";
+  failpoint::MaybeFail("model.predict");
   std::vector<std::vector<float>> preds(statements.size());
   constexpr size_t kPredictGrain = 16;
   ParallelFor(0, statements.size(), kPredictGrain,

@@ -1,5 +1,7 @@
 #include "sqlfacil/models/serialize_util.h"
 
+#include <limits>
+
 namespace sqlfacil::models::serialize {
 
 namespace {
@@ -13,11 +15,43 @@ template <typename T>
 StatusOr<T> ReadPod(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in.good()) return Status::InvalidArgument("truncated model file");
+  if (!in.good()) return Status::CorruptCheckpoint("truncated model file");
   return v;
 }
 
+/// Validates a length prefix before any allocation happens: it must pass
+/// the caller's sanity cap AND fit in the bytes the stream still holds.
+/// `elem_size` converts an element count into bytes.
+Status BoundLength(std::istream& in, uint64_t count, uint64_t cap,
+                   uint64_t elem_size, const char* what) {
+  if (count > cap) {
+    return Status::ResourceExhausted(std::string("implausible ") + what +
+                                     " size in model file");
+  }
+  const uint64_t remaining = RemainingBytes(in);
+  if (remaining != std::numeric_limits<uint64_t>::max() &&
+      count * elem_size > remaining) {
+    return Status::CorruptCheckpoint(
+        std::string(what) + " length exceeds remaining model file bytes");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+uint64_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(end - pos);
+}
 
 void WriteU64(std::ostream& out, uint64_t v) { WritePod(out, v); }
 StatusOr<uint64_t> ReadU64(std::istream& in) { return ReadPod<uint64_t>(in); }
@@ -39,15 +73,16 @@ void WriteString(std::ostream& out, const std::string& s) {
 StatusOr<std::string> ReadString(std::istream& in) {
   auto size = ReadU64(in);
   if (!size.ok()) return size.status();
-  if (*size > (uint64_t{1} << 32)) {
-    return Status::InvalidArgument("implausible string size in model file");
+  if (Status s = BoundLength(in, *size, uint64_t{1} << 32, 1, "string");
+      !s.ok()) {
+    return s;
   }
-  std::string s(*size, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(*size));
+  std::string str(*size, '\0');
+  in.read(str.data(), static_cast<std::streamsize>(*size));
   if (!in.good() && *size > 0) {
-    return Status::InvalidArgument("truncated model file");
+    return Status::CorruptCheckpoint("truncated model file");
   }
-  return s;
+  return str;
 }
 
 void WriteFloats(std::ostream& out, const std::vector<float>& v) {
@@ -59,14 +94,16 @@ void WriteFloats(std::ostream& out, const std::vector<float>& v) {
 StatusOr<std::vector<float>> ReadFloats(std::istream& in) {
   auto size = ReadU64(in);
   if (!size.ok()) return size.status();
-  if (*size > (uint64_t{1} << 32)) {
-    return Status::InvalidArgument("implausible array size in model file");
+  if (Status s =
+          BoundLength(in, *size, uint64_t{1} << 32, sizeof(float), "array");
+      !s.ok()) {
+    return s;
   }
   std::vector<float> v(*size);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(*size * sizeof(float)));
   if (!in.good() && *size > 0) {
-    return Status::InvalidArgument("truncated model file");
+    return Status::CorruptCheckpoint("truncated model file");
   }
   return v;
 }
@@ -81,21 +118,35 @@ void WriteTensor(std::ostream& out, const nn::Tensor& t) {
 StatusOr<nn::Tensor> ReadTensor(std::istream& in) {
   auto rank = ReadU64(in);
   if (!rank.ok()) return rank.status();
-  if (*rank > 8) return Status::InvalidArgument("implausible tensor rank");
+  if (*rank > 8) {
+    return Status::ResourceExhausted("implausible tensor rank");
+  }
   std::vector<int> shape;
+  uint64_t elems = 1;
   for (uint64_t i = 0; i < *rank; ++i) {
     auto d = ReadI32(in);
     if (!d.ok()) return d.status();
     if (*d < 0 || *d > (1 << 28)) {
-      return Status::InvalidArgument("implausible tensor dim");
+      return Status::ResourceExhausted("implausible tensor dim");
     }
     shape.push_back(*d);
+    elems *= static_cast<uint64_t>(*d);
+    // Checked per-dim so the running product can never overflow u64
+    // (elems <= 2^32 here, each dim <= 2^28).
+    if (elems > (uint64_t{1} << 32)) {
+      return Status::ResourceExhausted("implausible tensor element count");
+    }
+  }
+  if (Status s =
+          BoundLength(in, elems, uint64_t{1} << 32, sizeof(float), "tensor");
+      !s.ok()) {
+    return s;
   }
   nn::Tensor t(shape);
   in.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.size() * sizeof(float)));
   if (!in.good() && t.size() > 0) {
-    return Status::InvalidArgument("truncated model file");
+    return Status::CorruptCheckpoint("truncated model file");
   }
   return t;
 }
@@ -113,8 +164,11 @@ StatusOr<std::unordered_map<std::string, int>> ReadStringIntMap(
     std::istream& in) {
   auto size = ReadU64(in);
   if (!size.ok()) return size.status();
-  if (*size > (uint64_t{1} << 28)) {
-    return Status::InvalidArgument("implausible map size in model file");
+  // Each entry needs at least a u64 length prefix plus an i32 value.
+  if (Status s = BoundLength(in, *size, uint64_t{1} << 28,
+                             sizeof(uint64_t) + sizeof(int32_t), "map");
+      !s.ok()) {
+    return s;
   }
   std::unordered_map<std::string, int> m;
   m.reserve(*size);
@@ -136,8 +190,8 @@ Status ExpectTag(std::istream& in, const std::string& tag) {
   auto read = ReadString(in);
   if (!read.ok()) return read.status();
   if (*read != tag) {
-    return Status::InvalidArgument("model file tag mismatch: expected '" +
-                                   tag + "', found '" + *read + "'");
+    return Status::CorruptCheckpoint("model file tag mismatch: expected '" +
+                                     tag + "', found '" + *read + "'");
   }
   return Status::Ok();
 }

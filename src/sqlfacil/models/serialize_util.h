@@ -15,6 +15,16 @@ namespace sqlfacil::models::serialize {
 // Binary (de)serialization helpers for trained models. The format is
 // native-endian and versioned per model; it is a model checkpoint format,
 // not an interchange format.
+//
+// Hardened readers: every length-prefixed reader bounds the claimed length
+// against both a sanity cap and the bytes actually remaining in the stream
+// before allocating, so a truncated or bit-flipped checkpoint yields a
+// typed Status (kCorruptCheckpoint / kResourceExhausted) instead of a
+// multi-GB allocation or garbage weights.
+
+/// Upper bound on the bytes left in `in` from the current read position.
+/// Returns UINT64_MAX for non-seekable streams (no bound available).
+uint64_t RemainingBytes(std::istream& in);
 
 void WriteU64(std::ostream& out, uint64_t v);
 StatusOr<uint64_t> ReadU64(std::istream& in);

@@ -6,6 +6,7 @@
 #include "sqlfacil/models/serialize_util.h"
 #include "sqlfacil/nn/data_parallel.h"
 #include "sqlfacil/nn/infer.h"
+#include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
 
@@ -30,6 +31,7 @@ std::vector<float> TfidfModel::Scores(
 }
 
 void TfidfModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
+  failpoint::MaybeFail("model.fit");
   kind_ = train.kind;
   outputs_ = kind_ == TaskKind::kClassification ? train.num_classes : 1;
 
@@ -169,6 +171,7 @@ std::vector<std::vector<float>> TfidfModel::PredictBatch(
     std::span<const std::string> statements,
     std::span<const double> opt_costs) const {
   (void)opt_costs;
+  failpoint::MaybeFail("model.predict");
   const auto features = vectorizer_.TransformAll(statements);
   std::vector<std::vector<float>> preds(statements.size());
   constexpr size_t kScoreGrain = 64;

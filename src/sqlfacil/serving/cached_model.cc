@@ -46,6 +46,11 @@ Status CachedModel::LoadFrom(std::istream& in) {
   return s;
 }
 
+std::optional<std::vector<float>> CachedModel::Lookup(
+    const std::string& statement, double opt_cost) const {
+  return cache_.Get(MakeKey(statement, opt_cost));
+}
+
 std::vector<float> CachedModel::Predict(const std::string& statement,
                                         double opt_cost) const {
   const std::string key = MakeKey(statement, opt_cost);

@@ -35,6 +35,12 @@ class CachedModel : public models::Model {
   std::vector<std::vector<float>> PredictBatch(
       std::span<const std::string> statements,
       std::span<const double> opt_costs = {}) const override;
+  /// Cache-only lookup: returns the cached prediction without ever calling
+  /// the inner model, or nullopt on a miss. This is the stale-prediction
+  /// tier of serving::ResilientModel — when the primary model is failing,
+  /// entries populated by earlier successful calls are still served.
+  std::optional<std::vector<float>> Lookup(const std::string& statement,
+                                           double opt_cost) const;
   size_t vocab_size() const override { return inner_->vocab_size(); }
   size_t num_parameters() const override { return inner_->num_parameters(); }
   Status SaveTo(std::ostream& out) const override;

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <functional>
 
+#include "sqlfacil/util/failpoint.h"
+
 namespace sqlfacil::serving {
 
 std::string NormalizeStatement(const std::string& statement) {
@@ -35,6 +37,17 @@ PredictionCache::Shard& PredictionCache::ShardFor(const std::string& key) {
 
 std::optional<std::vector<float>> PredictionCache::Get(
     const std::string& key) {
+  // Failpoint "cache.get": kError degrades the lookup to a miss (the
+  // caller recomputes — results stay correct), kThrow simulates a broken
+  // cache backend, kDelay has already slept.
+  switch (failpoint::Eval("cache.get")) {
+    case failpoint::Mode::kError:
+      return std::nullopt;
+    case failpoint::Mode::kThrow:
+      throw failpoint::FailpointError("cache.get");
+    default:
+      break;
+  }
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);

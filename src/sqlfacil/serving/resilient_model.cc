@@ -1,0 +1,224 @@
+#include "sqlfacil/serving/resilient_model.h"
+
+#include <chrono>
+#include <utility>
+
+#include "sqlfacil/util/failpoint.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::serving {
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kPrimary:
+      return "primary";
+    case Tier::kStaleCache:
+      return "stale_cache";
+    case Tier::kBaseline:
+      return "baseline";
+    case Tier::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(int failure_threshold, int cooldown_requests)
+    : failure_threshold_(failure_threshold),
+      cooldown_requests_(cooldown_requests) {
+  SQLFACIL_CHECK(failure_threshold_ >= 1);
+  SQLFACIL_CHECK(cooldown_requests_ >= 0);
+}
+
+bool CircuitBreaker::AllowRequest() {
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      // Call-counted cool-down: the first `cooldown_requests_` requests are
+      // rejected, the one after becomes the half-open probe.
+      if (++rejected_in_open_ > cooldown_requests_) {
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  rejected_in_open_ = 0;
+}
+
+void CircuitBreaker::RecordFailure() {
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      consecutive_failures_ >= failure_threshold_) {
+    state_ = State::kOpen;
+    rejected_in_open_ = 0;
+  }
+}
+
+ResilientModel::ResilientModel(models::ModelPtr primary,
+                               models::ModelPtr baseline,
+                               ResilientOptions options)
+    : baseline_(std::move(baseline)),
+      options_(options),
+      breaker_(options.breaker_failure_threshold,
+               options.breaker_cooldown_requests) {
+  SQLFACIL_CHECK(baseline_ != nullptr);
+  if (primary != nullptr) {
+    primary_ = std::make_unique<CachedModel>(std::move(primary),
+                                             options_.cache_capacity);
+  }
+}
+
+Status ResilientModel::Fit(const models::Dataset& train,
+                           const models::Dataset& valid, Rng* rng) {
+  // Baseline first: even if the primary blows up mid-training, degraded
+  // serving has something to answer with.
+  baseline_->Fit(train, valid, rng);
+  if (primary_ == nullptr) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  primary_usable_ = false;  // Fit mutates primary state in place.
+  try {
+    primary_->Fit(train, valid, rng);
+  } catch (const std::exception& e) {
+    breaker_.RecordFailure();
+    return Status::Internal(std::string("primary model Fit failed: ") +
+                            e.what());
+  } catch (...) {
+    breaker_.RecordFailure();
+    return Status::Internal("primary model Fit failed");
+  }
+  primary_usable_ = true;
+  return Status::Ok();
+}
+
+void ResilientModel::ServeFallback(std::span<const std::string> statements,
+                                   std::span<const double> opt_costs,
+                                   ServedBatch* batch) const {
+  for (size_t i = 0; i < statements.size(); ++i) {
+    if (batch->provenance[i] != Tier::kFailed) continue;
+    const double cost = opt_costs.empty() ? 0.0 : opt_costs[i];
+    // Tier 2: a stale prediction-cache entry from an earlier successful
+    // primary call. The cache itself may be failing (cache.get failpoint) —
+    // a throw here just skips the tier.
+    if (primary_ != nullptr) {
+      try {
+        if (auto hit = primary_->Lookup(statements[i], cost)) {
+          batch->predictions[i] = std::move(*hit);
+          batch->provenance[i] = Tier::kStaleCache;
+          continue;
+        }
+      } catch (...) {
+        // Cache unavailable; fall through to the baseline.
+      }
+    }
+    // Tier 3: the always-cheap baseline.
+    try {
+      failpoint::MaybeFail("baseline.predict");
+      batch->predictions[i] = baseline_->Predict(statements[i], cost);
+      batch->provenance[i] = Tier::kBaseline;
+    } catch (...) {
+      // Tier 4: nothing left; the slot stays empty and kFailed.
+    }
+  }
+}
+
+ServedBatch ResilientModel::PredictBatch(
+    std::span<const std::string> statements,
+    std::span<const double> opt_costs) const {
+  const size_t n = statements.size();
+  ServedBatch batch;
+  batch.predictions.resize(n);
+  batch.provenance.assign(n, Tier::kFailed);
+  if (n == 0) return batch;
+
+  bool try_primary = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    try_primary =
+        primary_ != nullptr && primary_usable_ && breaker_.AllowRequest();
+  }
+  if (try_primary) {
+    bool ok = false;
+    try {
+      const auto start = std::chrono::steady_clock::now();
+      auto preds = primary_->PredictBatch(statements, opt_costs);
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (options_.batch_deadline_ms > 0.0 &&
+          elapsed_ms > options_.batch_deadline_ms) {
+        // Late primary results are discarded — a caller with a deadline has
+        // already moved on, so serving them would be a lie about latency.
+        batch.deadline_exceeded = true;
+      } else {
+        batch.predictions = std::move(preds);
+        batch.provenance.assign(n, Tier::kPrimary);
+        ok = true;
+      }
+    } catch (...) {
+      // Primary inference failed (model bug, failpoint, broken cache
+      // backend). Degrade below.
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok) {
+      breaker_.RecordSuccess();
+    } else {
+      breaker_.RecordFailure();
+    }
+  }
+
+  if (batch.provenance[0] != Tier::kPrimary) {
+    ServeFallback(statements, opt_costs, &batch);
+  }
+
+  size_t failed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Tier t : batch.provenance) {
+      switch (t) {
+        case Tier::kPrimary:
+          ++counts_.primary;
+          break;
+        case Tier::kStaleCache:
+          ++counts_.stale_cache;
+          break;
+        case Tier::kBaseline:
+          ++counts_.baseline;
+          break;
+        case Tier::kFailed:
+          ++counts_.failed;
+          ++failed;
+          break;
+      }
+    }
+  }
+  if (failed > 0) {
+    const std::string msg =
+        "all serving tiers failed for " + std::to_string(failed) + " of " +
+        std::to_string(n) + " queries";
+    batch.status = batch.deadline_exceeded ? Status::DeadlineExceeded(msg)
+                                           : Status::Internal(msg);
+  }
+  return batch;
+}
+
+CircuitBreaker::State ResilientModel::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_.state();
+}
+
+ResilientModel::TierCounts ResilientModel::tier_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+}  // namespace sqlfacil::serving

@@ -1,0 +1,150 @@
+#ifndef SQLFACIL_SERVING_RESILIENT_MODEL_H_
+#define SQLFACIL_SERVING_RESILIENT_MODEL_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/models/model.h"
+#include "sqlfacil/serving/cached_model.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::serving {
+
+/// Provenance of a served prediction, ordered from best to worst.
+enum class Tier {
+  kPrimary,     ///< fresh inference from the primary (learned) model
+  kStaleCache,  ///< cache entry from an earlier successful primary call
+  kBaseline,    ///< mfreq/median-style baseline answer
+  kFailed,      ///< every tier failed; the prediction slot is empty
+};
+
+const char* TierName(Tier tier);
+
+/// Consecutive-failure circuit breaker with a *call-counted* cool-down so
+/// behaviour is deterministic (no wall-clock timers): after
+/// `failure_threshold` consecutive failures the breaker opens; the next
+/// `cooldown_requests` requests are rejected outright; the request after
+/// that is a half-open probe. A probe success closes the breaker, a probe
+/// failure re-opens it for another full cool-down.
+///
+/// Not internally synchronized — callers (ResilientModel) serialize access.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(int failure_threshold, int cooldown_requests);
+
+  /// True when the caller should attempt the primary. Open-state calls count
+  /// toward the cool-down and flip the breaker to half-open once it elapses.
+  bool AllowRequest();
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  const int failure_threshold_;
+  const int cooldown_requests_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int rejected_in_open_ = 0;
+};
+
+struct ResilientOptions {
+  int breaker_failure_threshold = 3;
+  int breaker_cooldown_requests = 4;
+  /// Per-batch deadline for the primary tier, in milliseconds. A primary
+  /// batch that completes but overruns the deadline is *discarded* (its
+  /// results never reach the caller) and counts as a breaker failure.
+  /// 0 disables the deadline (the default: wall-clock deadlines are
+  /// inherently nondeterministic, so determinism sweeps leave this off).
+  double batch_deadline_ms = 0.0;
+  size_t cache_capacity = CachedModel::kDefaultCapacity;
+};
+
+/// One served batch: predictions plus per-query provenance. `status` is OK
+/// whenever every query got *some* answer (possibly degraded); it is a typed
+/// error (kDeadlineExceeded / kInternal) when at least one slot is kFailed.
+struct ServedBatch {
+  std::vector<std::vector<float>> predictions;
+  std::vector<Tier> provenance;
+  Status status = Status::Ok();
+  bool deadline_exceeded = false;
+};
+
+/// Graceful-degradation serving chain (ISSUE 4 tentpole, part 3):
+///
+///   primary model (cached)  ->  stale cache entry  ->  baseline  ->  failed
+///
+/// The primary is wrapped in a CachedModel so successful batches populate a
+/// prediction cache; when the primary starts throwing (or the breaker is
+/// open, or the batch deadline is exceeded) earlier answers are served from
+/// that cache, and cache misses fall back to an always-available baseline
+/// (mfreq for classification, median for regression). Every response is
+/// tagged with its tier so callers can observe degradation.
+///
+/// Determinism: with a fixed failpoint configuration and deadline disabled,
+/// the tier chosen per query and the bits of every prediction are identical
+/// across SQLFACIL_THREADS x SQLFACIL_SIMD settings — the breaker cool-down
+/// is call-counted, not timed.
+class ResilientModel {
+ public:
+  /// `primary` may be null: serving then starts degraded (baseline tier),
+  /// which is exactly the posture after a failed checkpoint load.
+  /// `baseline` must be non-null and cheap enough to never fail.
+  ResilientModel(models::ModelPtr primary, models::ModelPtr baseline,
+                 ResilientOptions options = {});
+
+  /// Fits the baseline first (so degraded serving works even if the primary
+  /// blows up mid-training), then the primary. A primary Fit that throws
+  /// leaves the previous primary state alone, records a breaker failure and
+  /// returns kInternal — serving continues on lower tiers.
+  Status Fit(const models::Dataset& train, const models::Dataset& valid,
+             Rng* rng);
+
+  /// Serves a batch through the degradation chain. Never throws and never
+  /// aborts: failures surface as lower-tier provenance or a typed status.
+  ServedBatch PredictBatch(std::span<const std::string> statements,
+                           std::span<const double> opt_costs = {}) const;
+
+  bool has_primary() const { return primary_ != nullptr; }
+  /// Cached wrapper around the primary (null when constructed without one).
+  const CachedModel* primary() const { return primary_.get(); }
+  const models::Model& baseline() const { return *baseline_; }
+
+  CircuitBreaker::State breaker_state() const;
+
+  /// Cumulative per-tier response counts (monotonic; for tests/telemetry).
+  struct TierCounts {
+    size_t primary = 0;
+    size_t stale_cache = 0;
+    size_t baseline = 0;
+    size_t failed = 0;
+  };
+  TierCounts tier_counts() const;
+
+ private:
+  void ServeFallback(std::span<const std::string> statements,
+                     std::span<const double> opt_costs,
+                     ServedBatch* batch) const;
+
+  std::unique_ptr<CachedModel> primary_;
+  models::ModelPtr baseline_;
+  ResilientOptions options_;
+  /// False while the primary holds no servable state (a Fit that threw
+  /// part-way leaves it half-mutated). Constructed true: a primary loaded
+  /// from a checkpoint is servable without a Fit call.
+  bool primary_usable_ = true;
+
+  mutable std::mutex mu_;
+  mutable CircuitBreaker breaker_;
+  mutable TierCounts counts_;
+};
+
+}  // namespace sqlfacil::serving
+
+#endif  // SQLFACIL_SERVING_RESILIENT_MODEL_H_

@@ -1,0 +1,19 @@
+#ifndef SQLFACIL_UTIL_CRC32_H_
+#define SQLFACIL_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sqlfacil {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial 0xEDB88320), table-driven.
+/// Used as the integrity footer of checkpoint files: any single-bit flip
+/// or truncation of the payload changes the CRC.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Incremental form: feed `crc` from a previous call (start from 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace sqlfacil
+
+#endif  // SQLFACIL_UTIL_CRC32_H_

@@ -1,0 +1,200 @@
+#include "sqlfacil/util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace sqlfacil::failpoint {
+
+namespace internal {
+std::atomic<int> g_active_count{0};
+}  // namespace internal
+
+namespace {
+
+struct Point {
+  Mode mode = Mode::kOff;
+  int delay_ms = 10;
+  // Trigger: every-Nth when every_n >= 1, probabilistic when prob >= 0.
+  // Neither set == fire on every hit.
+  uint64_t every_n = 0;
+  double prob = -1.0;
+  uint64_t seed = 42;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> fires{0};
+};
+
+// Registry. The map is only mutated under g_mu by Configure/Clear; EvalSlow
+// reads it under the same mutex (failpoints are for tests and fault drills,
+// not hot paths — the disabled case never gets here).
+std::mutex g_mu;
+std::unordered_map<std::string, std::unique_ptr<Point>>& Registry() {
+  static auto* kMap =
+      new std::unordered_map<std::string, std::unique_ptr<Point>>();
+  return *kMap;
+}
+std::string& SpecString() {
+  static auto* kSpec = new std::string();
+  return *kSpec;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void Warn(const std::string& entry, const char* why) {
+  std::cerr << "[failpoint] ignoring '" << entry << "': " << why << "\n";
+}
+
+// Parses one `name:mode[trigger]` entry into the registry.
+void ParseEntry(const std::string& entry) {
+  const size_t colon = entry.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    Warn(entry, "expected name:mode");
+    return;
+  }
+  const std::string name = entry.substr(0, colon);
+  std::string rest = entry.substr(colon + 1);
+
+  auto point = std::make_unique<Point>();
+  const size_t at = rest.find('@');
+  std::string mode_str = rest.substr(0, at);
+  if (at != std::string::npos) {
+    const std::string trigger = rest.substr(at + 1);
+    if (trigger.size() >= 2 && trigger[0] == 'n') {
+      const long n = std::atol(trigger.c_str() + 1);
+      if (n < 1) {
+        Warn(entry, "@n trigger needs N >= 1");
+        return;
+      }
+      point->every_n = static_cast<uint64_t>(n);
+    } else if (trigger.size() >= 2 && trigger[0] == 'p') {
+      const size_t slash = trigger.find('/');
+      point->prob = std::atof(trigger.substr(1, slash - 1).c_str());
+      if (point->prob < 0.0 || point->prob > 1.0) {
+        Warn(entry, "@p trigger needs a probability in [0,1]");
+        return;
+      }
+      if (slash != std::string::npos) {
+        point->seed = std::strtoull(trigger.c_str() + slash + 1, nullptr, 10);
+      }
+    } else {
+      Warn(entry, "unknown trigger (want @nN or @pPROB[/SEED])");
+      return;
+    }
+  }
+
+  if (mode_str.rfind("delay", 0) == 0) {
+    point->mode = Mode::kDelay;
+    const size_t open = mode_str.find('(');
+    if (open != std::string::npos) {
+      point->delay_ms = std::atoi(mode_str.c_str() + open + 1);
+      if (point->delay_ms < 0) point->delay_ms = 0;
+    }
+  } else if (mode_str == "error") {
+    point->mode = Mode::kError;
+  } else if (mode_str == "throw") {
+    point->mode = Mode::kThrow;
+  } else if (mode_str == "corrupt") {
+    point->mode = Mode::kCorrupt;
+  } else {
+    Warn(entry, "unknown mode (want error|throw|delay|corrupt)");
+    return;
+  }
+  Registry()[name] = std::move(point);
+}
+
+}  // namespace
+
+namespace internal {
+
+Mode EvalSlow(const char* name) {
+  Point* point = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    auto it = Registry().find(name);
+    if (it == Registry().end()) return Mode::kOff;
+    point = it->second.get();
+  }
+  // Registry entries live until the next Configure/Clear; sites evaluate
+  // between configuration changes, so the pointer stays valid here.
+  const uint64_t hit = point->hits.fetch_add(1, std::memory_order_relaxed);
+  bool fire = true;
+  if (point->every_n >= 1) {
+    fire = (hit + 1) % point->every_n == 0;
+  } else if (point->prob >= 0.0) {
+    const uint64_t h = SplitMix64(point->seed ^ SplitMix64(hit + 1));
+    fire = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0) <
+           point->prob;
+  }
+  if (!fire) return Mode::kOff;
+  point->fires.fetch_add(1, std::memory_order_relaxed);
+  if (point->mode == Mode::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(point->delay_ms));
+  }
+  return point->mode;
+}
+
+}  // namespace internal
+
+void Configure(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  Registry().clear();
+  SpecString().clear();
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find_first_of(";,", begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    if (!entry.empty()) ParseEntry(entry);
+    begin = end + 1;
+  }
+  if (!Registry().empty()) SpecString() = spec;
+  internal::g_active_count.store(static_cast<int>(Registry().size()),
+                                 std::memory_order_release);
+}
+
+void ConfigureFromEnv() {
+  const char* v = std::getenv("SQLFACIL_FAILPOINTS");
+  if (v != nullptr && v[0] != '\0') Configure(v);
+}
+
+void Clear() { Configure(""); }
+
+std::string CurrentSpec() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return SpecString();
+}
+
+uint64_t HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Registry().find(name);
+  return it == Registry().end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FireCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Registry().find(name);
+  return it == Registry().end()
+             ? 0
+             : it->second->fires.load(std::memory_order_relaxed);
+}
+
+ScopedFailpoints::ScopedFailpoints(const std::string& spec)
+    : saved_(CurrentSpec()) {
+  Configure(spec);
+}
+
+ScopedFailpoints::~ScopedFailpoints() { Configure(saved_); }
+
+}  // namespace sqlfacil::failpoint

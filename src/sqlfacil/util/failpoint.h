@@ -1,0 +1,113 @@
+#ifndef SQLFACIL_UTIL_FAILPOINT_H_
+#define SQLFACIL_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sqlfacil::failpoint {
+
+/// Deterministic fault-injection framework. Production code plants named
+/// failpoints at its failure boundaries (checkpoint I/O, cache lookups,
+/// model Fit/Predict, thread-pool tasks); tests and CI activate them via
+/// SQLFACIL_FAILPOINTS or ScopedFailpoints to prove the fault-handling
+/// paths work. When nothing is configured, a planted failpoint costs one
+/// relaxed atomic load.
+///
+/// Spec grammar (entries separated by ';' or ','):
+///   entry   := name ':' mode trigger?
+///   mode    := 'error' | 'throw' | 'corrupt' | 'delay' ( '(' ms ')' )?
+///   trigger := '@n' N            fire on every Nth hit (N >= 1)
+///            | '@p' PROB ( '/' SEED )?   seeded pseudo-random activation
+/// Examples:
+///   SQLFACIL_FAILPOINTS="checkpoint.read:corrupt"
+///   SQLFACIL_FAILPOINTS="model.predict:throw@n2;cache.get:error"
+///   SQLFACIL_FAILPOINTS="model.fit:delay(5)@p0.25/42"
+///
+/// Activation is deterministic: every-Nth counts hits per failpoint, and
+/// the probabilistic trigger hashes (seed, hit index) — the same hit
+/// sequence always yields the same activations. Hits from concurrent
+/// threads keep per-hit determinism but the interleaving assigns indices
+/// in arrival order, so determinism sweeps should only force failpoints
+/// that sit outside parallel sections.
+enum class Mode {
+  kOff = 0,
+  kError,    // the site reports failure through its Status channel
+  kThrow,    // the site throws FailpointError
+  kDelay,    // Eval sleeps for the configured ms (default 10), returns kDelay
+  kCorrupt,  // the site flips bytes in its payload (checkpoint I/O only)
+};
+
+/// Exception thrown by fail sites in kThrow mode (and by MaybeFail in
+/// kError mode at sites with no Status channel).
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& name)
+      : std::runtime_error("failpoint '" + name + "' fired") {}
+};
+
+namespace internal {
+extern std::atomic<int> g_active_count;
+Mode EvalSlow(const char* name);
+}  // namespace internal
+
+/// True when at least one failpoint is configured.
+inline bool AnyActive() {
+  return internal::g_active_count.load(std::memory_order_acquire) > 0;
+}
+
+/// Evaluates the named failpoint: counts the hit, applies the trigger, and
+/// returns the activated mode (kOff when inactive or not selected). A
+/// kDelay activation has already slept by the time Eval returns.
+inline Mode Eval(const char* name) {
+  if (!AnyActive()) return Mode::kOff;
+  return internal::EvalSlow(name);
+}
+
+/// Convenience for sites without a Status channel: kThrow and kError throw
+/// FailpointError, kDelay has already slept, kCorrupt is ignored.
+inline void MaybeFail(const char* name) {
+  if (!AnyActive()) return;
+  const Mode m = internal::EvalSlow(name);
+  if (m == Mode::kThrow || m == Mode::kError) throw FailpointError(name);
+}
+
+/// (Re)configures the active set from a spec string (see grammar above).
+/// Replaces any previous configuration and resets all counters. Malformed
+/// entries are skipped with a warning on stderr. Empty spec == Clear().
+void Configure(const std::string& spec);
+
+/// Configure(getenv("SQLFACIL_FAILPOINTS")); no-op when unset. Binaries
+/// and tests that opt into env-driven fault injection call this at start.
+void ConfigureFromEnv();
+
+/// Deactivates every failpoint.
+void Clear();
+
+/// The currently active spec (normalized), empty when none.
+std::string CurrentSpec();
+
+/// Hits seen by `name` since configuration (whether or not they fired).
+uint64_t HitCount(const std::string& name);
+
+/// Activations (non-kOff evaluations) of `name` since configuration.
+uint64_t FireCount(const std::string& name);
+
+/// RAII for tests: Configure(spec) on construction, restore the previous
+/// configuration (counters reset) on destruction.
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(const std::string& spec);
+  ~ScopedFailpoints();
+
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+
+ private:
+  std::string saved_;
+};
+
+}  // namespace sqlfacil::failpoint
+
+#endif  // SQLFACIL_UTIL_FAILPOINT_H_

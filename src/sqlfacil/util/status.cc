@@ -20,6 +20,12 @@ const char* CodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kCorruptCheckpoint:
+      return "CORRUPT_CHECKPOINT";
+    case StatusCode::kVersionMismatch:
+      return "VERSION_MISMATCH";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -17,8 +17,12 @@ enum class StatusCode {
   kParseError,        // statement rejected by the front-end (severe)
   kNotFound,          // unknown table/column/function (severe)
   kExecutionError,    // runtime failure inside the engine (non-severe)
-  kResourceExhausted, // row/cost limits exceeded (non-severe)
+  kResourceExhausted, // row/cost limits exceeded; implausible sizes in a
+                      // checkpoint that would force huge allocations
   kInternal,
+  kCorruptCheckpoint, // checkpoint bytes fail CRC/framing/tag validation
+  kVersionMismatch,   // checkpoint format version this build cannot read
+  kDeadlineExceeded,  // serving batch exceeded its latency budget
 };
 
 /// A lightweight success-or-error result, modeled after absl::Status.
@@ -46,6 +50,15 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status CorruptCheckpoint(std::string m) {
+    return Status(StatusCode::kCorruptCheckpoint, std::move(m));
+  }
+  static Status VersionMismatch(std::string m) {
+    return Status(StatusCode::kVersionMismatch, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "sqlfacil/util/env.h"
+#include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/logging.h"
 
 namespace sqlfacil {
@@ -55,7 +56,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // The task boundary is exception-safe: a throwing task (or the
+    // "pool.task" failpoint) must never std::terminate the process or kill
+    // this worker. ParallelFor bodies catch their own exceptions and
+    // rethrow in the caller; anything that escapes a bare Submit() task is
+    // swallowed here and counted.
+    try {
+      failpoint::MaybeFail("pool.task");
+      task();
+    } catch (...) {
+      uncaught_task_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

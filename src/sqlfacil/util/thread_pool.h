@@ -1,6 +1,7 @@
 #ifndef SQLFACIL_UTIL_THREAD_POOL_H_
 #define SQLFACIL_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -31,8 +32,17 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues a task. Tasks must not block on other tasks (chunk bodies are
-  /// independent by construction).
+  /// independent by construction). A task that throws does NOT kill the
+  /// worker or the process: the exception is swallowed at the task boundary
+  /// and counted (ParallelFor/ParallelForChunks capture body exceptions
+  /// themselves and rethrow the first one in the caller).
   void Submit(std::function<void()> task);
+
+  /// Exceptions that escaped bare Submit() tasks (ParallelFor bodies never
+  /// reach this — their exceptions travel the join path instead).
+  size_t uncaught_task_errors() const {
+    return uncaught_task_errors_.load(std::memory_order_relaxed);
+  }
 
   /// The process-wide pool, created on first use with GetThreadsFromEnv()
   /// workers. Never returns null.
@@ -54,6 +64,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::queue<std::function<void()>> tasks_;
   bool stop_ = false;
+  std::atomic<size_t> uncaught_task_errors_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,161 @@
+// Deterministic fuzz smoke test (ISSUE 4 satellite): a seeded mutator feeds
+// mangled workload queries and adversarial hand-built inputs through the
+// full pipeline — lexer, parser, feature extractor, batched model inference.
+// Nothing may crash, abort, or trip a sanitizer; the front-end reports
+// malformed statements as data (Status / parse_ok), never as failures.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sqlfacil/models/tfidf_model.h"
+#include "sqlfacil/sql/features.h"
+#include "sqlfacil/sql/lexer.h"
+#include "sqlfacil/sql/parser.h"
+#include "sqlfacil/util/random.h"
+#include "sqlfacil/workload/querygen.h"
+
+namespace sqlfacil {
+namespace {
+
+// Applies one random mutation to a statement. Every draw comes from the
+// seeded Rng, so the whole corpus is reproducible bit for bit.
+std::string Mutate(std::string s, Rng* rng) {
+  if (s.empty()) return s;
+  switch (rng->UniformInt(0, 5)) {
+    case 0: {  // truncate at a random byte
+      s.resize(rng->NextUint64(s.size()));
+      break;
+    }
+    case 1: {  // flip a random byte to an arbitrary value (incl. non-ASCII)
+      s[rng->NextUint64(s.size())] =
+          static_cast<char>(rng->UniformInt(0, 255));
+      break;
+    }
+    case 2: {  // duplicate a random slice in place
+      const size_t begin = rng->NextUint64(s.size());
+      const size_t len = rng->NextUint64(s.size() - begin) + 1;
+      s.insert(begin, s.substr(begin, len));
+      break;
+    }
+    case 3: {  // delete a random slice
+      const size_t begin = rng->NextUint64(s.size());
+      const size_t len = rng->NextUint64(s.size() - begin) + 1;
+      s.erase(begin, len);
+      break;
+    }
+    case 4: {  // inject a structural token mid-statement
+      static const char* kTokens[] = {"(", ")", "'", "\"", ";", "--",
+                                      "/*", "*/", ",", ".", "0x"};
+      s.insert(rng->NextUint64(s.size() + 1),
+               kTokens[rng->NextUint64(std::size(kTokens))]);
+      break;
+    }
+    default: {  // append garbage bytes
+      const size_t n = rng->NextUint64(16) + 1;
+      for (size_t i = 0; i < n; ++i) {
+        s.push_back(static_cast<char>(rng->UniformInt(1, 255)));
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+std::vector<std::string> FuzzCorpus() {
+  std::vector<std::string> corpus;
+  Rng rng(20260806);
+  workload::QueryGenerator gen(&rng);
+  // ~200 realistic workload queries, each pushed through 1-3 mutations.
+  for (int i = 0; i < 200; ++i) {
+    std::string q = gen.Generate(static_cast<workload::SessionClass>(
+        i % workload::kNumSessionClasses));
+    const int mutations = static_cast<int>(rng.UniformInt(1, 3));
+    for (int m = 0; m < mutations; ++m) q = Mutate(std::move(q), &rng);
+    corpus.push_back(std::move(q));
+  }
+  // Hand-built adversarial inputs: pathological nesting, unterminated
+  // literals and comments, and degenerate shapes.
+  std::string nested = "SELECT 1";
+  for (int d = 0; d < 200; ++d) {
+    nested = "SELECT * FROM (" + nested + ") t" + std::to_string(d);
+  }
+  corpus.push_back(nested);
+  corpus.push_back(std::string(300, '('));
+  corpus.push_back("SELECT name FROM t WHERE s = 'unterminated");
+  corpus.push_back("SELECT /* comment never ends FROM t");
+  corpus.push_back("SELECT \"quoted ident never ends FROM t");
+  corpus.push_back("");
+  corpus.push_back(std::string(1, '\0'));
+  corpus.push_back(std::string(4096, 'A'));
+  corpus.push_back("SELECT ((((((((((((((((1))))))))))))))))");
+  return corpus;
+}
+
+TEST(FuzzSmokeTest, FrontEndNeverCrashesOnMutatedQueries) {
+  const auto corpus = FuzzCorpus();
+  size_t parsed_ok = 0;
+  for (const auto& statement : corpus) {
+    // Lexing never fails; the stream always terminates.
+    const auto tokens = sql::Lex(statement);
+    EXPECT_FALSE(tokens.empty());
+    // Parsing rejects garbage through its Status channel, never by crash.
+    const auto parse = sql::ParseStatement(statement);
+    if (parse.ok()) ++parsed_ok;
+    // Feature extraction handles both outcomes.
+    const auto features = sql::ExtractFeatures(statement);
+    EXPECT_EQ(features.num_characters, static_cast<int>(statement.size()));
+    EXPECT_GE(features.nestedness_level, 0);
+  }
+  // The mutator must not destroy every statement: some survivors parse.
+  EXPECT_GT(parsed_ok, 0u);
+}
+
+TEST(FuzzSmokeTest, ModelInferenceNeverCrashesOnMutatedQueries) {
+  // A small trained model must produce a well-formed probability vector for
+  // every input, however mangled — unknown tokens map to OOV, not UB.
+  models::Dataset train;
+  train.kind = models::TaskKind::kClassification;
+  train.num_classes = 2;
+  Rng drng(5);
+  workload::QueryGenerator gen(&drng);
+  for (int i = 0; i < 40; ++i) {
+    train.statements.push_back(
+        gen.Generate(i % 2 == 0 ? workload::SessionClass::kBot
+                                : workload::SessionClass::kBrowser));
+    train.labels.push_back(i % 2);
+    train.opt_costs.push_back(1.0);
+  }
+  models::TfidfModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  config.epochs = 1;
+  models::TfidfModel model(config);
+  Rng rng(7);
+  model.Fit(train, train, &rng);
+
+  const auto corpus = FuzzCorpus();
+  const auto preds = model.PredictBatch(corpus);
+  ASSERT_EQ(preds.size(), corpus.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    ASSERT_EQ(preds[i].size(), 2u) << "input " << i;
+    float sum = 0.0f;
+    for (float p : preds[i]) {
+      EXPECT_TRUE(p >= 0.0f && p <= 1.0f) << "input " << i;
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-3f) << "input " << i;
+  }
+}
+
+TEST(FuzzSmokeTest, CorpusIsDeterministic) {
+  // The seeded mutator yields the same corpus on every run and platform —
+  // a failure here reproduces exactly.
+  const auto a = FuzzCorpus();
+  const auto b = FuzzCorpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+}
+
+}  // namespace
+}  // namespace sqlfacil

@@ -1,0 +1,682 @@
+// Fault-tolerance tests (ISSUE 4): the failpoint framework, hardened
+// checkpoint framing (bit flips and truncation always yield a typed Status),
+// the circuit breaker, the ResilientModel degradation chain, and a
+// faults-enabled determinism sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/core/model_zoo.h"
+#include "sqlfacil/models/baselines.h"
+#include "sqlfacil/models/checkpoint.h"
+#include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/models/tfidf_model.h"
+#include "sqlfacil/nn/simd.h"
+#include "sqlfacil/serving/resilient_model.h"
+#include "sqlfacil/util/failpoint.h"
+#include "sqlfacil/util/random.h"
+#include "sqlfacil/util/thread_pool.h"
+#include "sqlfacil/workload/querygen.h"
+
+namespace sqlfacil {
+namespace {
+
+using models::Dataset;
+using models::TaskKind;
+using serving::CircuitBreaker;
+using serving::ResilientModel;
+using serving::ResilientOptions;
+using serving::Tier;
+
+Dataset SyntheticClassification(size_t n, uint64_t seed) {
+  Dataset data;
+  data.kind = TaskKind::kClassification;
+  data.num_classes = 2;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const bool agg = rng.Bernoulli(0.5);
+    const int64_t id = rng.UniformInt(1, 500);
+    data.statements.push_back(
+        agg ? "SELECT COUNT(*) FROM photoobj WHERE objid = " +
+                  std::to_string(id)
+            : "SELECT ra, dec FROM specobj WHERE specobjid = " +
+                  std::to_string(id));
+    data.labels.push_back(agg ? 1 : 0);
+    data.opt_costs.push_back(rng.Uniform(1.0, 100.0));
+  }
+  return data;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- Failpoint framework ---------------------------------------------------
+
+TEST(FailpointTest, OffByDefaultAndAfterClear) {
+  failpoint::Clear();
+  EXPECT_FALSE(failpoint::AnyActive());
+  EXPECT_EQ(failpoint::Eval("anything"), failpoint::Mode::kOff);
+  EXPECT_NO_THROW(failpoint::MaybeFail("anything"));
+}
+
+TEST(FailpointTest, EveryNthTriggerCountsHitsDeterministically) {
+  failpoint::ScopedFailpoints fp("x:throw@n2");
+  // Hits 1, 3, 5 pass; hits 2, 4 fire.
+  EXPECT_NO_THROW(failpoint::MaybeFail("x"));
+  EXPECT_THROW(failpoint::MaybeFail("x"), failpoint::FailpointError);
+  EXPECT_NO_THROW(failpoint::MaybeFail("x"));
+  EXPECT_THROW(failpoint::MaybeFail("x"), failpoint::FailpointError);
+  EXPECT_NO_THROW(failpoint::MaybeFail("x"));
+  EXPECT_EQ(failpoint::HitCount("x"), 5u);
+  EXPECT_EQ(failpoint::FireCount("x"), 2u);
+  // An unconfigured name still evaluates to kOff.
+  EXPECT_EQ(failpoint::Eval("y"), failpoint::Mode::kOff);
+}
+
+TEST(FailpointTest, ProbabilisticTriggerIsSeededAndReproducible) {
+  auto pattern = [] {
+    failpoint::ScopedFailpoints fp("p:error@p0.5/1234");
+    std::string fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(failpoint::Eval("p") == failpoint::Mode::kError ? '1'
+                                                                      : '0');
+    }
+    return fired;
+  };
+  const std::string a = pattern();
+  const std::string b = pattern();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find('1'), std::string::npos) << "p=0.5 never fired in 64";
+  EXPECT_NE(a.find('0'), std::string::npos) << "p=0.5 always fired in 64";
+}
+
+TEST(FailpointTest, DelayModeReturnsAfterSleeping) {
+  failpoint::ScopedFailpoints fp("d:delay(1)");
+  EXPECT_EQ(failpoint::Eval("d"), failpoint::Mode::kDelay);
+  EXPECT_NO_THROW(failpoint::MaybeFail("d"));
+}
+
+TEST(FailpointTest, ScopedRestoresPreviousConfiguration) {
+  failpoint::Clear();
+  {
+    failpoint::ScopedFailpoints outer("a:error");
+    EXPECT_EQ(failpoint::Eval("a"), failpoint::Mode::kError);
+    {
+      failpoint::ScopedFailpoints inner("b:throw");
+      EXPECT_EQ(failpoint::Eval("a"), failpoint::Mode::kOff);
+      EXPECT_THROW(failpoint::MaybeFail("b"), failpoint::FailpointError);
+    }
+    EXPECT_EQ(failpoint::Eval("a"), failpoint::Mode::kError);
+  }
+  EXPECT_FALSE(failpoint::AnyActive());
+}
+
+TEST(FailpointTest, MalformedEntriesAreSkippedNotFatal) {
+  failpoint::ScopedFailpoints fp("bad_no_mode;x:nonsense;ok:error");
+  EXPECT_EQ(failpoint::Eval("ok"), failpoint::Mode::kError);
+  EXPECT_EQ(failpoint::Eval("x"), failpoint::Mode::kOff);
+}
+
+// --- Checkpoint framing ----------------------------------------------------
+
+TEST(CheckpointTest, FrameRoundTrip) {
+  const std::string payload = "hello checkpoint payload";
+  const std::string framed = models::FrameCheckpoint(payload);
+  auto parsed = models::ParseCheckpoint(framed);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->version, models::kCheckpointVersion);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(CheckpointTest, UnknownVersionYieldsVersionMismatch) {
+  std::string framed = models::FrameCheckpoint("payload");
+  framed[8] = 99;  // version field follows the 8-byte magic
+  auto parsed = models::ParseCheckpoint(framed);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kVersionMismatch);
+}
+
+TEST(CheckpointTest, PayloadBitFlipFailsCrc) {
+  std::string framed = models::FrameCheckpoint("0123456789");
+  framed[20 + 3] ^= 0x10;  // inside the payload region
+  auto parsed = models::ParseCheckpoint(framed);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptCheckpoint);
+}
+
+class CheckpointCorruptionTest : public ::testing::Test {
+ protected:
+  // Trains a small model of the given zoo name and saves it with the v2
+  // framing; returns the checkpoint path.
+  std::string SaveTrained(const std::string& name) {
+    core::ZooConfig zc;
+    zc.epochs = 1;
+    zc.batch_size = 8;
+    zc.embed_dim = 4;
+    zc.lstm_hidden = 8;
+    zc.lstm_layers = 1;
+    zc.tfidf_max_features = 512;
+    zc.neural_max_vocab = 128;
+    config_ = zc;
+    auto model = core::MakeModel(name, zc);
+    const Dataset train = SyntheticClassification(24, 13);
+    const Dataset valid = SyntheticClassification(8, 14);
+    Rng rng(7);
+    model->Fit(train, valid, &rng);
+    const std::string path = testing::TempDir() + "/ckpt_" + name + ".bin";
+    Status s = core::SaveModelToFile(*model, path);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return path;
+  }
+
+  // Every truncation length must load as a typed error, never OK and never
+  // an abort. Byte-granular up to `dense_prefix`, strided afterwards (the
+  // stride still crosses every serialized field boundary of these models).
+  void ExpectTruncationsDetected(const std::string& path) {
+    const std::string bytes = ReadFile(path);
+    ASSERT_GT(bytes.size(), 32u);
+    const std::string mutated = path + ".mut";
+    const size_t dense_prefix = 64;
+    for (size_t len = 0; len < bytes.size();
+         len += (len < dense_prefix ? 1 : 97)) {
+      WriteFile(mutated, bytes.substr(0, len));
+      auto loaded = core::LoadModelFromFile(mutated, config_);
+      ASSERT_FALSE(loaded.ok()) << "truncation at " << len << " loaded OK";
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptCheckpoint)
+          << "truncation at " << len << ": " << loaded.status().ToString();
+    }
+    std::remove(mutated.c_str());
+  }
+
+  // Every single-bit flip must load as kCorruptCheckpoint (payload, size,
+  // magic, CRC damage) or kVersionMismatch (version-field damage).
+  void ExpectBitFlipsDetected(const std::string& path) {
+    const std::string bytes = ReadFile(path);
+    const std::string mutated = path + ".mut";
+    const size_t dense_prefix = 64;
+    for (size_t pos = 0; pos < bytes.size();
+         pos += (pos < dense_prefix ? 1 : 97)) {
+      std::string flipped = bytes;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ 0x01);
+      WriteFile(mutated, flipped);
+      auto loaded = core::LoadModelFromFile(mutated, config_);
+      ASSERT_FALSE(loaded.ok()) << "bit flip at " << pos << " loaded OK";
+      const StatusCode code = loaded.status().code();
+      EXPECT_TRUE(code == StatusCode::kCorruptCheckpoint ||
+                  code == StatusCode::kVersionMismatch)
+          << "bit flip at " << pos << ": " << loaded.status().ToString();
+    }
+    std::remove(mutated.c_str());
+  }
+
+  core::ZooConfig config_;
+};
+
+TEST_F(CheckpointCorruptionTest, TfidfTruncationAtEveryBoundaryDetected) {
+  ExpectTruncationsDetected(SaveTrained("wtfidf"));
+}
+
+TEST_F(CheckpointCorruptionTest, TfidfSingleBitFlipsDetected) {
+  ExpectBitFlipsDetected(SaveTrained("wtfidf"));
+}
+
+TEST_F(CheckpointCorruptionTest, LstmTruncationAtEveryBoundaryDetected) {
+  ExpectTruncationsDetected(SaveTrained("wlstm"));
+}
+
+TEST_F(CheckpointCorruptionTest, LstmSingleBitFlipsDetected) {
+  ExpectBitFlipsDetected(SaveTrained("wlstm"));
+}
+
+TEST_F(CheckpointCorruptionTest, IntactCheckpointRoundTrips) {
+  const std::string path = SaveTrained("wtfidf");
+  auto loaded = core::LoadModelFromFile(path, config_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), "wtfidf");
+}
+
+TEST_F(CheckpointCorruptionTest, LegacyV1UnframedCheckpointStillLoads) {
+  core::ZooConfig zc;
+  zc.epochs = 1;
+  zc.tfidf_max_features = 512;
+  config_ = zc;
+  auto model = core::MakeModel("wtfidf", zc);
+  const Dataset train = SyntheticClassification(24, 13);
+  const Dataset valid = SyntheticClassification(8, 14);
+  Rng rng(7);
+  model->Fit(train, valid, &rng);
+  // A v1 file is the raw payload with no frame: tag + name + model state.
+  std::ostringstream payload;
+  models::serialize::WriteTag(payload, "sqlfacil_model.v1");
+  models::serialize::WriteString(payload, model->name());
+  ASSERT_TRUE(model->SaveTo(payload).ok());
+  const std::string path = testing::TempDir() + "/legacy_v1.bin";
+  WriteFile(path, payload.str());
+  auto loaded = core::LoadModelFromFile(path, config_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::string q = "SELECT COUNT(*) FROM photoobj WHERE objid = 3";
+  EXPECT_EQ((*loaded)->Predict(q, 0.0), model->Predict(q, 0.0));
+}
+
+TEST_F(CheckpointCorruptionTest, WriteFailpointLeavesExistingFileIntact) {
+  const std::string path = SaveTrained("wtfidf");
+  const std::string before = ReadFile(path);
+  {
+    failpoint::ScopedFailpoints fp("checkpoint.write:error");
+    Status s = models::WriteCheckpointFile(path, "replacement payload");
+    EXPECT_FALSE(s.ok());
+  }
+  EXPECT_EQ(ReadFile(path), before) << "failed save clobbered the file";
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file left behind";
+}
+
+TEST_F(CheckpointCorruptionTest, WriteCorruptFailpointIsCaughtOnLoad) {
+  core::ZooConfig zc;
+  zc.epochs = 1;
+  zc.tfidf_max_features = 512;
+  config_ = zc;
+  auto model = core::MakeModel("wtfidf", zc);
+  const Dataset train = SyntheticClassification(24, 13);
+  Rng rng(7);
+  model->Fit(train, train, &rng);
+  const std::string path = testing::TempDir() + "/write_corrupt.bin";
+  {
+    failpoint::ScopedFailpoints fp("checkpoint.write:corrupt");
+    ASSERT_TRUE(core::SaveModelToFile(*model, path).ok());
+  }
+  auto loaded = core::LoadModelFromFile(path, config_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptCheckpoint);
+}
+
+TEST_F(CheckpointCorruptionTest, ReadCorruptFailpointYieldsTypedError) {
+  const std::string path = SaveTrained("wtfidf");
+  failpoint::ScopedFailpoints fp("checkpoint.read:corrupt");
+  auto loaded = core::LoadModelFromFile(path, config_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptCheckpoint);
+}
+
+// --- Circuit breaker -------------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker breaker(/*failure_threshold=*/3, /*cooldown_requests=*/2);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordSuccess();  // success resets the consecutive count
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, CooldownThenHalfOpenProbe) {
+  CircuitBreaker breaker(1, /*cooldown_requests=*/3);
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // The cool-down rejects exactly `cooldown_requests` calls.
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  // The next call is the half-open probe.
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // Probe failure re-opens for a fresh cool-down.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  // Probe success closes.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+// --- ResilientModel degradation chain --------------------------------------
+
+class ResilientModelTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<ResilientModel> MakeServing(ResilientOptions options = {}) {
+    models::TfidfModel::Config config;
+    config.granularity = sql::Granularity::kWord;
+    config.epochs = 2;
+    auto serving = std::make_unique<ResilientModel>(
+        std::make_unique<models::TfidfModel>(config),
+        std::make_unique<models::MfreqModel>(), options);
+    Rng rng(7);
+    EXPECT_TRUE(serving->Fit(train_, valid_, &rng).ok());
+    return serving;
+  }
+
+  std::vector<std::string> Queries(size_t n, uint64_t seed) const {
+    return SyntheticClassification(n, seed).statements;
+  }
+
+  const Dataset train_ = SyntheticClassification(40, 21);
+  const Dataset valid_ = SyntheticClassification(10, 22);
+};
+
+TEST_F(ResilientModelTest, HealthyPrimaryServesPrimaryTier) {
+  auto serving = MakeServing();
+  const auto queries = Queries(6, 31);
+  const auto batch = serving->PredictBatch(queries);
+  ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+  ASSERT_EQ(batch.predictions.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch.provenance[i], Tier::kPrimary);
+    EXPECT_FALSE(batch.predictions[i].empty());
+  }
+  EXPECT_EQ(serving->tier_counts().primary, queries.size());
+}
+
+TEST_F(ResilientModelTest, ThrowingPrimaryFallsBackToStaleCacheThenBaseline) {
+  auto serving = MakeServing();
+  const auto warm = Queries(6, 31);
+  ASSERT_TRUE(serving->PredictBatch(warm).status.ok());  // populates cache
+
+  failpoint::ScopedFailpoints fp("model.predict:throw");
+  // Seen statements come from the stale cache, bit-identical to the warm
+  // answers; unseen ones fall through to the baseline.
+  auto mixed = warm;
+  const auto fresh = Queries(3, 77);
+  mixed.insert(mixed.end(), fresh.begin(), fresh.end());
+  const auto batch = serving->PredictBatch(mixed);
+  ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+  for (size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(batch.provenance[i], Tier::kStaleCache) << "query " << i;
+  }
+  for (size_t i = warm.size(); i < mixed.size(); ++i) {
+    EXPECT_EQ(batch.provenance[i], Tier::kBaseline) << "query " << i;
+    EXPECT_FALSE(batch.predictions[i].empty());
+  }
+}
+
+TEST_F(ResilientModelTest, BreakerOpensAndRecoversViaHalfOpenProbe) {
+  ResilientOptions options;
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_requests = 3;
+  auto serving = MakeServing(options);
+  const auto queries = Queries(4, 41);
+  {
+    failpoint::ScopedFailpoints fp("model.predict:throw");
+    serving->PredictBatch(queries);
+    EXPECT_EQ(serving->breaker_state(), CircuitBreaker::State::kClosed);
+    serving->PredictBatch(queries);
+    EXPECT_EQ(serving->breaker_state(), CircuitBreaker::State::kOpen);
+
+    // While open, the primary is not attempted at all.
+    const uint64_t fires_before = failpoint::FireCount("model.predict");
+    for (int i = 0; i < options.breaker_cooldown_requests; ++i) {
+      const auto batch = serving->PredictBatch(queries);
+      EXPECT_EQ(batch.provenance[0], Tier::kBaseline);
+    }
+    EXPECT_EQ(failpoint::FireCount("model.predict"), fires_before);
+
+    // Cool-down elapsed: the next request probes the (still failing)
+    // primary and re-opens.
+    serving->PredictBatch(queries);
+    EXPECT_GT(failpoint::FireCount("model.predict"), fires_before);
+    EXPECT_EQ(serving->breaker_state(), CircuitBreaker::State::kOpen);
+  }
+  // Fault cleared: after the cool-down the probe succeeds and serving
+  // returns to the primary tier.
+  for (int i = 0; i < options.breaker_cooldown_requests; ++i) {
+    serving->PredictBatch(queries);
+  }
+  const auto batch = serving->PredictBatch(queries);
+  EXPECT_EQ(batch.provenance[0], Tier::kPrimary);
+  EXPECT_EQ(serving->breaker_state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(ResilientModelTest, SlowPrimaryTripsBatchDeadline) {
+  ResilientOptions options;
+  options.batch_deadline_ms = 5.0;
+  auto serving = MakeServing(options);
+  failpoint::ScopedFailpoints fp("model.predict:delay(50)");
+  const auto batch = serving->PredictBatch(Queries(3, 51));
+  EXPECT_TRUE(batch.deadline_exceeded);
+  ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+  for (Tier t : batch.provenance) {
+    EXPECT_NE(t, Tier::kPrimary) << "late primary result was served";
+    EXPECT_NE(t, Tier::kFailed);
+  }
+}
+
+TEST_F(ResilientModelTest, FailingCacheDegradesToBaselineNotCrash) {
+  auto serving = MakeServing();
+  ASSERT_TRUE(serving->PredictBatch(Queries(4, 61)).status.ok());
+  // Both the primary and the cache are broken: every answer must still
+  // arrive, from the baseline tier.
+  failpoint::ScopedFailpoints fp("model.predict:throw;cache.get:throw");
+  const auto batch = serving->PredictBatch(Queries(4, 61));
+  ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+  for (Tier t : batch.provenance) EXPECT_EQ(t, Tier::kBaseline);
+}
+
+TEST_F(ResilientModelTest, AllTiersFailingYieldsTypedStatusNotAbort) {
+  // No primary at all (the posture after a failed checkpoint load) and a
+  // failing baseline: the response is a typed error, never an abort.
+  ResilientModel serving(nullptr, std::make_unique<models::MfreqModel>());
+  Rng rng(7);
+  ASSERT_TRUE(serving.Fit(train_, valid_, &rng).ok());
+  failpoint::ScopedFailpoints fp("baseline.predict:throw");
+  const auto batch = serving.PredictBatch(Queries(3, 71));
+  ASSERT_FALSE(batch.status.ok());
+  EXPECT_EQ(batch.status.code(), StatusCode::kInternal);
+  for (Tier t : batch.provenance) EXPECT_EQ(t, Tier::kFailed);
+}
+
+TEST_F(ResilientModelTest, PrimaryFitFailureKeepsBaselineServing) {
+  models::TfidfModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  ResilientModel serving(std::make_unique<models::TfidfModel>(config),
+                         std::make_unique<models::MfreqModel>());
+  Rng rng(7);
+  Status fit_status;
+  {
+    failpoint::ScopedFailpoints fp("model.fit:throw");
+    fit_status = serving.Fit(train_, valid_, &rng);
+  }
+  ASSERT_FALSE(fit_status.ok());
+  // The half-trained primary is never served; the baseline answers.
+  const auto batch = serving.PredictBatch(Queries(4, 81));
+  ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+  for (Tier t : batch.provenance) EXPECT_EQ(t, Tier::kBaseline);
+}
+
+// --- End-to-end under failpoints -------------------------------------------
+
+// Run under the CI failpoint matrix (SQLFACIL_FAILPOINTS set in the
+// environment): whatever faults are configured, every query gets either a
+// provenance-tagged answer or a typed error — never an abort. The primary
+// goes through a full checkpoint cycle, so checkpoint faults degrade
+// serving to the baseline tier instead of failing the test.
+TEST(ResilienceEndToEndTest, EndToEndUnderEnvFailpoints) {
+  failpoint::ConfigureFromEnv();
+  const Dataset train = SyntheticClassification(40, 91);
+  const Dataset valid = SyntheticClassification(10, 92);
+  core::ZooConfig zc;
+  zc.epochs = 2;
+  zc.tfidf_max_features = 512;
+  auto trained = core::MakeModel("wtfidf", zc);
+  Rng rng(7);
+  try {
+    trained->Fit(train, valid, &rng);  // may fail under model.fit faults
+  } catch (...) {
+    trained.reset();
+  }
+
+  // Checkpoint cycle: a failed save or a corrupt/unreadable load leaves the
+  // serving chain without a primary — exactly the degraded start posture.
+  models::ModelPtr primary;
+  if (trained != nullptr) {
+    const std::string path = testing::TempDir() + "/e2e_primary.bin";
+    Status saved = Status::Ok();
+    try {
+      saved = core::SaveModelToFile(*trained, path);
+    } catch (...) {
+      saved = Status::Internal("save threw");
+    }
+    if (saved.ok()) {
+      try {
+        auto loaded = core::LoadModelFromFile(path, zc);
+        if (loaded.ok()) primary = std::move(*loaded);
+      } catch (...) {
+      }
+    }
+  }
+
+  auto baseline = std::make_unique<models::MfreqModel>();
+  baseline->Fit(train, valid, &rng);
+  ResilientModel serving(std::move(primary), std::move(baseline));
+
+  Rng qrng(17);
+  workload::QueryGenerator gen(&qrng);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::string> queries;
+    for (int i = 0; i < 5; ++i) {
+      queries.push_back(gen.Generate(
+          static_cast<workload::SessionClass>(i % workload::kNumSessionClasses)));
+    }
+    const auto batch = serving.PredictBatch(queries);
+    ASSERT_EQ(batch.predictions.size(), queries.size());
+    ASSERT_EQ(batch.provenance.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (batch.provenance[i] == Tier::kFailed) {
+        EXPECT_FALSE(batch.status.ok());
+      } else {
+        EXPECT_FALSE(batch.predictions[i].empty());
+      }
+    }
+  }
+  failpoint::Clear();
+}
+
+// With the primary hard-failing end to end, every answer must come from a
+// degraded tier and still be a valid probability vector.
+TEST(ResilienceEndToEndTest, ForcedPrimaryOutageServesBaselineAnswers) {
+  models::TfidfModel::Config config;
+  config.granularity = sql::Granularity::kWord;
+  ResilientModel serving(std::make_unique<models::TfidfModel>(config),
+                         std::make_unique<models::MfreqModel>());
+  const Dataset train = SyntheticClassification(40, 93);
+  Rng rng(7);
+  ASSERT_TRUE(serving.Fit(train, train, &rng).ok());
+
+  failpoint::ScopedFailpoints fp("model.predict:throw");
+  const auto queries = SyntheticClassification(12, 94).statements;
+  const auto batch = serving.PredictBatch(queries);
+  ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(batch.provenance[i] == Tier::kBaseline ||
+                batch.provenance[i] == Tier::kStaleCache);
+    ASSERT_EQ(batch.predictions[i].size(), 2u);
+    float sum = 0.0f;
+    for (float p : batch.predictions[i]) sum += p;
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+  EXPECT_EQ(serving.tier_counts().primary, 0u);
+}
+
+// --- Determinism under faults ----------------------------------------------
+
+class SimdGuard {
+ public:
+  SimdGuard() : saved_(nn::simd::Enabled()) {}
+  ~SimdGuard() { nn::simd::SetEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// The PR 1-3 contract extended to fault handling: with a fixed failpoint
+// configuration, the tier chosen for every query and the bits of every
+// prediction are identical across thread counts and SIMD dispatch. The
+// forced failpoints sit at batch entry (outside parallel sections), so hit
+// indices are thread-count-invariant.
+TEST(FaultDeterminismTest, DegradedServingBitIdenticalAcrossSimdAndThreads) {
+  const Dataset train = SyntheticClassification(40, 111);
+  const Dataset valid = SyntheticClassification(10, 112);
+  const auto batch_a = SyntheticClassification(8, 113).statements;
+  const auto batch_b = SyntheticClassification(8, 114).statements;
+
+  SimdGuard guard;
+  std::vector<Tier> ref_tiers;
+  std::vector<std::vector<float>> ref_preds;
+  bool have_reference = false;
+  for (bool simd_on : {false, true}) {
+    if (simd_on && !nn::simd::HasAvx2()) continue;
+    nn::simd::SetEnabled(simd_on);
+    for (int threads : {1, 2, 8}) {
+      ThreadPool::SetGlobalThreads(threads);
+      models::TfidfModel::Config config;
+      config.granularity = sql::Granularity::kWord;
+      config.epochs = 2;
+      ResilientModel serving(std::make_unique<models::TfidfModel>(config),
+                             std::make_unique<models::MfreqModel>());
+      Rng rng(7);
+      ASSERT_TRUE(serving.Fit(train, valid, &rng).ok());
+
+      // Counters reset with each configuration: the fault schedule is the
+      // same for every (simd, threads) combination.
+      failpoint::ScopedFailpoints fp("model.predict:throw@n2");
+      std::vector<Tier> tiers;
+      std::vector<std::vector<float>> preds;
+      for (int round = 0; round < 6; ++round) {
+        const auto& queries = (round % 2 == 0) ? batch_a : batch_b;
+        const auto batch = serving.PredictBatch(queries);
+        ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+        tiers.insert(tiers.end(), batch.provenance.begin(),
+                     batch.provenance.end());
+        preds.insert(preds.end(), batch.predictions.begin(),
+                     batch.predictions.end());
+      }
+      if (!have_reference) {
+        ref_tiers = tiers;
+        ref_preds = preds;
+        have_reference = true;
+        continue;
+      }
+      ASSERT_EQ(ref_tiers.size(), tiers.size());
+      for (size_t i = 0; i < ref_tiers.size(); ++i) {
+        EXPECT_EQ(ref_tiers[i], tiers[i])
+            << "tier diverged at simd=" << simd_on << " threads=" << threads
+            << " response " << i;
+      }
+      ASSERT_EQ(ref_preds.size(), preds.size());
+      for (size_t i = 0; i < ref_preds.size(); ++i) {
+        ASSERT_EQ(ref_preds[i].size(), preds[i].size());
+        for (size_t c = 0; c < ref_preds[i].size(); ++c) {
+          EXPECT_EQ(ref_preds[i][c], preds[i][c])
+              << "prediction diverged at simd=" << simd_on
+              << " threads=" << threads << " response " << i;
+        }
+      }
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+}  // namespace
+}  // namespace sqlfacil

@@ -17,11 +17,20 @@
 #include "sqlfacil/nn/simd.h"
 #include "sqlfacil/serving/cached_model.h"
 #include "sqlfacil/serving/prediction_cache.h"
+#include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/random.h"
 #include "sqlfacil/util/thread_pool.h"
 
 namespace sqlfacil {
 namespace {
+
+// Opt in to env-driven fault injection: the CI failpoint matrix re-runs
+// this binary under benign (delay-mode) SQLFACIL_FAILPOINTS specs to prove
+// serving results are latency-invariant.
+[[maybe_unused]] const bool kFailpointsFromEnv = [] {
+  failpoint::ConfigureFromEnv();
+  return true;
+}();
 
 using models::Dataset;
 using models::TaskKind;

@@ -140,5 +140,52 @@ TEST(ThreadPoolTest, DeterministicReductionAcrossThreadCounts) {
   EXPECT_EQ(t1, t8);
 }
 
+TEST(ThreadPoolTest, ThrowingTaskDoesNotKillWorkerOrProcess) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<int> completed{0};
+  auto signal = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    completed.fetch_add(1);
+    cv.notify_all();
+  };
+  // A bare Submit() task that throws must be swallowed at the task
+  // boundary (counted, not terminated), and the pool stays usable.
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([] { throw std::runtime_error("task boom"); });
+  }
+  for (int i = 0; i < 3; ++i) pool.Submit(signal);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return completed.load() == 3; }));
+  }
+  EXPECT_EQ(pool.uncaught_task_errors(), 4u);
+  // Still reusable after the failures.
+  pool.Submit(signal);
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return completed.load() == 4; }));
+}
+
+TEST(ParallelForTest, BodyExceptionRethrownInCallerPoolReusable) {
+  ThreadPool::SetGlobalThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 7,
+                  [&](size_t b, size_t) {
+                    if (b >= 490) throw std::runtime_error("chunk boom");
+                  }),
+      std::runtime_error);
+  // The pool survives and later parallel sections still complete and
+  // produce correct results.
+  std::atomic<size_t> count{0};
+  ParallelFor(0, 1000, 7, [&](size_t b, size_t e) {
+    count.fetch_add(e - b);
+  });
+  EXPECT_EQ(count.load(), 1000u);
+  ThreadPool::SetGlobalThreads(1);
+}
+
 }  // namespace
 }  // namespace sqlfacil
