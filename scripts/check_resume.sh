@@ -1,0 +1,105 @@
+#!/bin/sh
+# Kill/resume chaos harness for crash-safe resumable training.
+#
+# For each model family x SQLFACIL_THREADS x SQLFACIL_SIMD combination:
+#   1. run tools/train_resume uninterrupted -> reference weights + ValidLoss
+#      trajectory;
+#   2. repeatedly start the same run against a fresh snapshot dir and
+#      SIGKILL it after a pseudo-random (seeded, reproducible) delay until a
+#      run exits cleanly — every restart resumes from the latest snapshot;
+#   3. byte-compare the interrupted run's final weights and per-epoch
+#      ValidLoss history against the reference.
+#
+# Any divergence, crash, or non-{0,75,137} exit fails the sweep. Exits 0
+# and prints RESUME_CHAOS_OK when every combination is bit-identical.
+#
+# Usage: scripts/check_resume.sh [build-dir] [chaos-seed]
+set -u
+BUILD_DIR="${1:-build}"
+R="${2:-20260806}"   # LCG state; pass a different seed to vary kill timing
+TOOL="$BUILD_DIR/tools/train_resume"
+WORK="${TMPDIR:-/tmp}/sqlfacil_resume_$$"
+MAX_KILLS=60
+
+if [ ! -x "$TOOL" ]; then
+  echo "missing $TOOL; build first (cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+# Deterministic pseudo-random kill delays: a classic LCG stepped in shell
+# arithmetic, mapped to 20-320 ms.
+next_delay() {
+  R=$(( (R * 1103515245 + 12345) % 2147483648 ))
+  echo $(( 20 + R % 300 ))
+}
+
+# Per-family workload sizes tuned so an uninterrupted run takes a few
+# hundred ms — long enough that most kill delays land mid-training. For
+# ctfidf the one-time featurization must stay well under the shortest kill
+# delay (epochs are cheap, so progress lives in the epoch count).
+model_args() {
+  case "$1" in
+    ctfidf) echo "--epochs 400 --train-n 800 --valid-n 60" ;;
+    *)      echo "--epochs 20 --train-n 600 --valid-n 60" ;;
+  esac
+}
+
+fail() {
+  echo "RESUME_CHAOS_FAILED: $*" >&2
+  exit 1
+}
+
+for model in ctfidf ccnn clstm mtcnn; do
+  ARGS="--model $model $(model_args "$model") --seed 7 --snapshot-every 1"
+  for threads in 1 2 8; do
+    for simd in 0 1; do
+      export SQLFACIL_THREADS="$threads" SQLFACIL_SIMD="$simd"
+      tag="$model.t$threads.s$simd"
+      ref="$WORK/ref.$tag"
+      run="$WORK/run.$tag"
+      mkdir -p "$ref" "$run"
+
+      # shellcheck disable=SC2086  # ARGS is a word list by construction
+      $TOOL $ARGS --snapshot-dir "$ref" \
+          --weights-out "$ref/w.ckpt" --history-out "$ref/h.txt" \
+          || fail "$tag reference run rc=$?"
+
+      kills=0
+      while :; do
+        # shellcheck disable=SC2086
+        $TOOL $ARGS --snapshot-dir "$run" \
+            --weights-out "$run/w.ckpt" --history-out "$run/h.txt" &
+        pid=$!
+        delay_ms=$(next_delay)
+        # sleep accepts fractional seconds on every shell we target (the
+        # coreutils binary, not a builtin).
+        sleep "0.$(printf '%03d' "$delay_ms")"
+        if kill -KILL "$pid" 2>/dev/null; then
+          wait "$pid" 2>/dev/null
+          rc=$?
+          [ "$rc" -eq 137 ] || [ "$rc" -eq 0 ] \
+              || fail "$tag killed run rc=$rc (crash before SIGKILL?)"
+          kills=$((kills + 1))
+          [ "$kills" -le "$MAX_KILLS" ] \
+              || fail "$tag never completed after $MAX_KILLS kills"
+          continue
+        fi
+        # The process outlived the kill window: it finished on its own.
+        wait "$pid"
+        rc=$?
+        [ "$rc" -eq 0 ] || [ "$rc" -eq 75 ] || fail "$tag run rc=$rc"
+        [ "$rc" -eq 0 ] && break
+      done
+
+      cmp -s "$ref/w.ckpt" "$run/w.ckpt" \
+          || fail "$tag final weights diverged after $kills kills"
+      cmp -s "$ref/h.txt" "$run/h.txt" \
+          || fail "$tag ValidLoss trajectory diverged after $kills kills"
+      echo "ok $tag (kills=$kills)"
+    done
+  done
+done
+
+echo "RESUME_CHAOS_OK"

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Full local CI: tier-1 tests (Release), the failpoint fault-injection
-# matrix, then the ASan, TSan and UBSan suites.
+# matrix, the kill/resume chaos harness, then the ASan, TSan and UBSan
+# suites.
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 # Exits non-zero on the first failing stage; prints one loud status line
 # per stage so logs are greppable (CI_TESTS_OK / CI_FAILPOINT_MATRIX_OK /
-# ASAN_CLEAN / TSAN_CLEAN / UBSAN_CLEAN).
+# RESUME_CHAOS_OK / ASAN_CLEAN / TSAN_CLEAN / UBSAN_CLEAN).
 set -eu
 BUILD_DIR="${1:-build}"
 
@@ -43,7 +44,31 @@ for spec in "cache.get:delay(1)@n10;model.predict:delay(1)@n25"; do
     exit 1
   fi
 done
+# Snapshot-layer faults: failed/corrupted snapshot saves, unreadable or
+# damaged loads, and a rename failure during the atomic install must
+# degrade durability only — training still runs to completion, and a
+# damaged snapshot cold-starts the next run instead of diverging it.
+for spec in \
+  "train.snapshot_save:error" \
+  "train.snapshot_load:corrupt" \
+  "train.snapshot_save:corrupt;train.snapshot_load:error@n2" \
+  "checkpoint.rename:error"; do
+  echo "-- resume_test end-to-end under SQLFACIL_FAILPOINTS='$spec' --"
+  if ! SQLFACIL_FAILPOINTS="$spec" "$BUILD_DIR/tests/resume_test" \
+      --gtest_filter='ResumeEndToEndTest.TrainsToCompletionUnderEnvFailpoints'; then
+    echo "CI_FAILPOINT_MATRIX_FAILED" >&2
+    exit 1
+  fi
+done
 echo "CI_FAILPOINT_MATRIX_OK"
+
+echo "== kill/resume chaos =="
+# Seeded SIGKILL storm over every model family x threads x SIMD: resumed
+# runs must finish with bit-identical weights and ValidLoss trajectories.
+if ! scripts/check_resume.sh "$BUILD_DIR"; then
+  echo "CI_RESUME_CHAOS_FAILED" >&2
+  exit 1
+fi
 
 echo "== sanitizers =="
 scripts/check_asan.sh

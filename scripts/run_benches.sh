@@ -9,7 +9,7 @@
 # --json: instead of the full sweep, runs the micro-benchmarks that track
 # the perf work (micro_nn, micro_train, micro_parallel, micro_serving) with
 # google-benchmark's JSON writer and distills the key metrics into
-# bench_logs/BENCH_3.json.
+# bench_logs/BENCH_5.json.
 set -u
 
 BUILD_DIR="${BUILD_DIR:-build}"
@@ -51,10 +51,10 @@ if [ "${1:-}" = "--json" ]; then
   python3 scripts/summarize_benches.py \
     bench_logs/micro_nn.json bench_logs/micro_train.json \
     bench_logs/micro_parallel.json bench_logs/micro_serving.json \
-    > bench_logs/BENCH_3.json || exit 1
+    > bench_logs/BENCH_5.json || exit 1
   rm -f bench_logs/micro_nn.json bench_logs/micro_train.json \
     bench_logs/micro_parallel.json bench_logs/micro_serving.json
-  echo "wrote bench_logs/BENCH_3.json"
+  echo "wrote bench_logs/BENCH_5.json"
   exit 0
 fi
 

@@ -76,6 +76,28 @@ def main(paths):
                 out["derived"][f"{key}_gfloats_per_s"] = round(
                     b["items_per_second"] / 1e9, 3
                 )
+    # Crash-safe training snapshots: absolute save/load cost and the
+    # end-to-end overhead of an every-epoch snapshot schedule on a full
+    # CnnModel::Fit (acceptance target: saves < 5% of epoch time).
+    save = train.get("BM_TrainSnapshotSave")
+    if save:
+        out["derived"]["snapshot_save_ms"] = round(
+            save["real_time"] * to_ms.get(save.get("time_unit"), 1.0), 3
+        )
+    snap_load = train.get("BM_TrainSnapshotLoad")
+    if snap_load:
+        out["derived"]["snapshot_load_ms"] = round(
+            snap_load["real_time"] * to_ms.get(snap_load.get("time_unit"), 1.0), 3
+        )
+    fit_off = train.get("BM_CnnFitWithSnapshots/0/min_time:2.000")
+    fit_on = train.get("BM_CnnFitWithSnapshots/1/min_time:2.000")
+    if fit_off and fit_on and fit_off.get("real_time"):
+        out["derived"]["snapshot_overhead_pct"] = round(
+            (fit_on["real_time"] - fit_off["real_time"])
+            / fit_off["real_time"]
+            * 100.0,
+            2,
+        )
     nn_entries = {b["name"]: b for b in out["benchmarks"].get("micro_nn", [])}
     graph = nn_entries.get("BM_LstmSequenceTrainStep")
     fused = train.get("BM_LstmFusedTrainStep/8")

@@ -5,6 +5,7 @@
 
 #include "sqlfacil/models/checkpoint.h"
 #include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/util/drain.h"
 
 namespace sqlfacil::core {
 
@@ -24,11 +25,19 @@ void QueryFacilitator::Train(const workload::QueryWorkload& workload) {
         Problem::kCpuTime, Problem::kAnswerSize}) {
     TaskData task = BuildTask(workload, split, problem);
     if (task.train.size() == 0) continue;
-    auto model = MakeModel(options_.model_name, options_.zoo);
     Rng fit_rng = rng.Fork();
+    // Each problem snapshots under its own tag so one SQLFACIL_SNAPSHOT_DIR
+    // serves the whole facilitator; a drained (SIGTERM/SIGINT) run stops
+    // between problems and resumes mid-problem from those snapshots.
+    ZooConfig zoo = options_.zoo;
+    const std::string base =
+        zoo.snapshot_tag.empty() ? options_.model_name : zoo.snapshot_tag;
+    zoo.snapshot_tag = base + "." + ProblemName(problem);
+    auto model = MakeModel(options_.model_name, zoo);
     model->Fit(task.train, task.valid, &fit_rng);
     trained_models_[problem] = std::move(model);
     transforms_[problem] = task.transform;
+    if (train::DrainRequested()) break;
   }
 }
 

@@ -8,6 +8,7 @@
 #include "sqlfacil/models/cnn_model.h"
 #include "sqlfacil/models/lstm_model.h"
 #include "sqlfacil/models/tfidf_model.h"
+#include "sqlfacil/util/env.h"
 #include "sqlfacil/util/logging.h"
 
 namespace sqlfacil::core {
@@ -16,6 +17,20 @@ namespace {
 
 sql::Granularity GranularityOf(const std::string& name) {
   return name[0] == 'c' ? sql::Granularity::kChar : sql::Granularity::kWord;
+}
+
+// Resolves the zoo's snapshot knobs against the environment: explicit
+// ZooConfig values win, SQLFACIL_SNAPSHOT_DIR / SQLFACIL_SNAPSHOT_EVERY
+// fill the gaps. An empty resulting dir disables snapshotting entirely.
+models::SnapshotOptions ResolveSnapshot(const ZooConfig& config) {
+  models::SnapshotOptions snap;
+  snap.dir = config.snapshot_dir.empty() ? GetSnapshotDirFromEnv()
+                                         : config.snapshot_dir;
+  snap.every = config.snapshot_every > 0
+                   ? config.snapshot_every
+                   : GetSnapshotEveryFromEnv(/*fallback=*/1);
+  snap.tag = config.snapshot_tag;
+  return snap;
 }
 
 }  // namespace
@@ -31,6 +46,7 @@ models::ModelPtr MakeModel(const std::string& name, const ZooConfig& config) {
     c.epochs = std::max(4, config.epochs * 2);  // cheap epochs
     c.batch_size = config.batch_size;
     c.train_shards = config.train_shards;
+    c.snapshot = ResolveSnapshot(config);
     return std::make_unique<models::TfidfModel>(c);
   }
   if (name == "ccnn" || name == "wcnn") {
@@ -44,6 +60,7 @@ models::ModelPtr MakeModel(const std::string& name, const ZooConfig& config) {
     c.clip_norm = config.clip_norm;
     c.lr = config.cnn_lr;
     c.train_shards = config.train_shards;
+    c.snapshot = ResolveSnapshot(config);
     return std::make_unique<models::CnnModel>(c);
   }
   if (name == "clstm" || name == "wlstm") {
@@ -58,6 +75,7 @@ models::ModelPtr MakeModel(const std::string& name, const ZooConfig& config) {
     c.clip_norm = config.clip_norm;
     c.lr = config.lstm_lr;
     c.train_shards = config.train_shards;
+    c.snapshot = ResolveSnapshot(config);
     return std::make_unique<models::LstmModel>(c);
   }
   SQLFACIL_CHECK(false) << "unknown model name '" << name << "'";

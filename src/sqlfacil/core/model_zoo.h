@@ -33,6 +33,12 @@ struct ZooConfig {
   /// size and this cap, so trained weights do not change with
   /// SQLFACIL_THREADS; raising it only adds parallelism granularity.
   int train_shards = 8;
+  /// Crash-safe training snapshots (models/train_state.h). An empty dir
+  /// disables snapshotting; MakeModel falls back to SQLFACIL_SNAPSHOT_DIR /
+  /// SQLFACIL_SNAPSHOT_EVERY when these are left at their defaults.
+  std::string snapshot_dir;
+  int snapshot_every = 0;  ///< 0 = take SQLFACIL_SNAPSHOT_EVERY (default 1).
+  std::string snapshot_tag;  ///< Empty = the model's default tag.
 };
 
 /// Builds a model by its paper name: mfreq, median, opt, ctfidf, wtfidf,

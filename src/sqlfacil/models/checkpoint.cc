@@ -151,6 +151,12 @@ Status WriteCheckpointFile(const std::string& path,
     ::unlink(tmp.c_str());
     return Status::Internal("close of '" + tmp + "' failed: " + err);
   }
+  // Fault injection between the durable tmp write and the atomic rename:
+  // the previous checkpoint at `path` must survive untouched.
+  if (failpoint::Eval("checkpoint.rename") == failpoint::Mode::kError) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("failpoint 'checkpoint.rename' fired");
+  }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     const std::string err = std::strerror(errno);
     ::unlink(tmp.c_str());

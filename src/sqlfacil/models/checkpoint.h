@@ -45,7 +45,9 @@ StatusOr<Checkpoint> ParseCheckpoint(const std::string& bytes);
 /// Atomically writes `payload` framed as v2 to `path` (temp + fsync +
 /// rename). Plants failpoint "checkpoint.write" (error|throw|delay|
 /// corrupt — corrupt flips one payload byte after the CRC is computed, so
-/// a subsequent load must reject the file).
+/// a subsequent load must reject the file) and "checkpoint.rename" (error
+/// — fails between the durable tmp write and the atomic rename; the
+/// previous file at `path` survives untouched).
 Status WriteCheckpointFile(const std::string& path,
                            const std::string& payload);
 

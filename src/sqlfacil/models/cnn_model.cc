@@ -4,10 +4,12 @@
 #include <cmath>
 
 #include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/models/train_state.h"
 #include "sqlfacil/nn/arena.h"
 #include "sqlfacil/nn/data_parallel.h"
 #include "sqlfacil/nn/infer.h"
 #include "sqlfacil/nn/simd.h"
+#include "sqlfacil/util/drain.h"
 #include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
@@ -127,6 +129,9 @@ void CnnModel::FineTune(const Dataset& train, const Dataset& valid,
 
 void CnnModel::TrainLoop(const Dataset& train, const Dataset& valid,
                          int epochs, Rng* rng) {
+  // Captured before the loop's first draw; a resumed epoch re-draws its
+  // permutation and per-example dropout seeds from this stream position.
+  const Rng::State entry_state = rng->state();
   auto params = Params();
   nn::AdaMax optimizer(params, config_.lr);
 
@@ -147,14 +152,56 @@ void CnnModel::TrainLoop(const Dataset& train, const Dataset& valid,
   double best_valid = 1e300;
   valid_history_.clear();
   const size_t n = train.size();
+  const size_t batches_per_epoch =
+      (n + config_.batch_size - 1) / config_.batch_size;
+
+  Fingerprint fp;
+  fp.MixString("cnn_model.v1|" + name());
+  fp.MixI32(config_.granularity == sql::Granularity::kChar ? 0 : 1)
+      .Mix(config_.max_vocab)
+      .Mix(MaxLen())
+      .MixI32(config_.embed_dim)
+      .MixI32(config_.kernels_per_width)
+      .Mix(config_.widths.size());
+  for (int w : config_.widths) fp.MixI32(w);
+  fp.MixFloat(config_.dropout)
+      .MixFloat(config_.lr)
+      .MixFloat(config_.clip_norm)
+      .MixI32(epochs)
+      .MixI32(config_.batch_size)
+      .MixFloat(config_.huber_delta)
+      .MixI32(config_.use_squared_loss ? 1 : 0)
+      .MixI32(config_.train_shards);
+  // TrainLoop also backs FineTune, where the starting weights are not a
+  // function of the seed — mix the parameter values themselves so a
+  // snapshot is tied to the exact network it was training.
+  for (const auto& p : params) {
+    fp.Mix(p->value.size());
+    const float* v = p->value.data();
+    for (size_t i = 0; i < p->value.size(); ++i) fp.MixFloat(v[i]);
+  }
+  MixDataset(&fp, train);
+  MixDataset(&fp, valid);
+  fp.MixRngState(entry_state);
+  TrainSnapshotter snap(config_.snapshot, name(), fp.digest());
+  const ResumePoint at =
+      ResumeOrColdStart(&snap, epochs, batches_per_epoch, params, &optimizer,
+                        rng, &best, &best_valid, &valid_history_);
+
   std::vector<uint64_t> dropout_seeds;
-  for (int epoch = 0; epoch < epochs; ++epoch) {
+  for (int epoch = at.epoch; epoch < epochs; ++epoch) {
+    const Rng::State epoch_rng = rng->state();
     auto perm = rng->Permutation(n);
-    for (size_t start = 0; start < n; start += config_.batch_size) {
+    const uint64_t skip = epoch == at.epoch ? at.batch : 0;
+    uint64_t bpos = 0;
+    for (size_t start = 0; start < n; start += config_.batch_size, ++bpos) {
       const size_t end = std::min(n, start + config_.batch_size);
       const size_t batch = end - start;
+      // Seeds are drawn even for replayed batches: the master stream must
+      // pass the same positions an uninterrupted run would.
       dropout_seeds.resize(batch);
       for (size_t i = 0; i < batch; ++i) dropout_seeds[i] = rng->Next();
+      if (bpos < skip) continue;  // replayed: applied before the snapshot
       optimizer.ZeroGrad();
       nn::ShardedTrainStep(
           params, &shards, batch, max_shards,
@@ -182,6 +229,12 @@ void CnnModel::TrainLoop(const Dataset& train, const Dataset& valid,
           });
       nn::ClipGradNorm(params, config_.clip_norm);
       optimizer.Step();
+      if (train::DrainRequested()) {
+        SaveTrainSnapshot(&snap, epoch, bpos + 1, epoch_rng, best_valid,
+                          valid_history_, params, best, &optimizer);
+        Restore(params, best);
+        return;
+      }
     }
     const double vloss = ValidLoss(valid);
     valid_history_.push_back(vloss);
@@ -189,6 +242,12 @@ void CnnModel::TrainLoop(const Dataset& train, const Dataset& valid,
       best_valid = vloss;
       best = Snapshot(params);
     }
+    const bool drained = train::DrainRequested();
+    if (snap.ShouldSnapshot(epoch + 1, epochs) || drained) {
+      SaveTrainSnapshot(&snap, epoch + 1, 0, rng->state(), best_valid,
+                        valid_history_, params, best, &optimizer);
+    }
+    if (drained) break;
   }
   Restore(params, best);
 }

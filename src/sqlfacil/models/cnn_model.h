@@ -2,6 +2,7 @@
 #define SQLFACIL_MODELS_CNN_MODEL_H_
 
 #include "sqlfacil/models/model.h"
+#include "sqlfacil/models/train_state.h"
 #include "sqlfacil/models/vocab.h"
 #include "sqlfacil/nn/layers.h"
 #include "sqlfacil/nn/optim.h"
@@ -35,6 +36,8 @@ class CnnModel : public Model {
     /// depend only on (batch size, this cap), so trained weights are
     /// bit-identical at any SQLFACIL_THREADS setting.
     int train_shards = 8;
+    /// Crash-safe training snapshots (empty dir disables).
+    SnapshotOptions snapshot;
   };
 
   explicit CnnModel(Config config) : config_(std::move(config)) {}

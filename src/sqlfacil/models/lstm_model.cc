@@ -4,12 +4,16 @@
 #include <cmath>
 #include <numeric>
 
+#include <iostream>
+
 #include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/models/train_state.h"
 #include "sqlfacil/nn/arena.h"
 #include "sqlfacil/nn/data_parallel.h"
 #include "sqlfacil/nn/infer.h"
 #include "sqlfacil/nn/lstm_fused.h"
 #include "sqlfacil/nn/simd.h"
+#include "sqlfacil/util/drain.h"
 #include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
@@ -107,6 +111,10 @@ double LstmModel::ValidLoss(
 
 void LstmModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
   failpoint::MaybeFail("model.fit");
+  // Captured before any init draw: the fingerprint ties a snapshot to the
+  // exact draw stream this run would produce, and a resumed epoch replays
+  // from this stream's positions.
+  const Rng::State entry_state = rng->state();
   kind_ = train.kind;
   outputs_ = kind_ == TaskKind::kClassification ? train.num_classes : 1;
   vocab_ = Vocabulary::Build(train.statements, config_.granularity,
@@ -155,10 +163,39 @@ void LstmModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
   std::vector<nn::Tensor> best = Snapshot(params);
   double best_valid = 1e300;
   valid_history_.clear();
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+
+  Fingerprint fp;
+  fp.MixString("lstm_model.v1|" + name());
+  fp.MixI32(config_.granularity == sql::Granularity::kChar ? 0 : 1)
+      .Mix(config_.max_vocab)
+      .Mix(MaxLen())
+      .MixI32(config_.embed_dim)
+      .MixI32(config_.hidden_dim)
+      .MixI32(config_.num_layers)
+      .MixFloat(config_.lr)
+      .MixFloat(config_.clip_norm)
+      .MixI32(config_.epochs)
+      .MixI32(config_.batch_size)
+      .MixFloat(config_.huber_delta)
+      .MixI32(config_.train_shards);
+  MixDataset(&fp, train);
+  MixDataset(&fp, valid);
+  fp.MixRngState(entry_state);
+  TrainSnapshotter snap(config_.snapshot, name(), fp.digest());
+  const ResumePoint at =
+      ResumeOrColdStart(&snap, config_.epochs, batches.size(), params,
+                        &optimizer, rng, &best, &best_valid, &valid_history_);
+
+  for (int epoch = at.epoch; epoch < config_.epochs; ++epoch) {
+    // The master RNG state at epoch start: a mid-epoch snapshot stores it,
+    // and resume re-draws the identical permutation then skips the batches
+    // that were already applied.
+    const Rng::State epoch_rng = rng->state();
     auto batch_order = rng->Permutation(batches.size());
-    for (size_t bi : batch_order) {
-      const auto& batch = batches[bi];
+    const uint64_t skip = epoch == at.epoch ? at.batch : 0;
+    for (size_t bpos = 0; bpos < batch_order.size(); ++bpos) {
+      if (bpos < skip) continue;  // replayed: applied before the snapshot
+      const auto& batch = batches[batch_order[bpos]];
       optimizer.ZeroGrad();
       nn::ShardedTrainStep(
           params, &shards, batch.size(), max_shards,
@@ -202,6 +239,14 @@ void LstmModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
           });
       nn::ClipGradNorm(params, config_.clip_norm);
       optimizer.Step();
+      if (train::DrainRequested()) {
+        // Graceful drain: the in-flight sharded step finished above; save
+        // the mid-epoch position and stop.
+        SaveTrainSnapshot(&snap, epoch, bpos + 1, epoch_rng, best_valid,
+                          valid_history_, params, best, &optimizer);
+        Restore(params, best);
+        return;
+      }
     }
     const double vloss = ValidLoss(valid, valid_encoded);
     valid_history_.push_back(vloss);
@@ -209,6 +254,12 @@ void LstmModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
       best_valid = vloss;
       best = Snapshot(params);
     }
+    const bool drained = train::DrainRequested();
+    if (snap.ShouldSnapshot(epoch + 1, config_.epochs) || drained) {
+      SaveTrainSnapshot(&snap, epoch + 1, 0, rng->state(), best_valid,
+                        valid_history_, params, best, &optimizer);
+    }
+    if (drained) break;
   }
   Restore(params, best);
 }

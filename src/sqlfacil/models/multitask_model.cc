@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/models/train_state.h"
 #include "sqlfacil/nn/data_parallel.h"
+#include "sqlfacil/util/drain.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
 
@@ -12,6 +15,17 @@ namespace sqlfacil::models {
 namespace {
 
 bool HasTarget(float v) { return !std::isnan(v); }
+
+// Multi-task datasets are not models::Dataset, so their content hashes
+// into the fingerprint here (same role as MixDataset).
+void MixMultiTaskDataset(Fingerprint* fp, const MultiTaskDataset& data) {
+  fp->MixI32(data.num_error_classes);
+  fp->Mix(data.statements.size());
+  for (const auto& s : data.statements) fp->MixString(s);
+  for (int l : data.error_labels) fp->MixI32(l);
+  for (float t : data.cpu_targets) fp->MixFloat(t);
+  for (float t : data.answer_targets) fp->MixFloat(t);
+}
 
 std::vector<nn::Tensor> Snapshot(const std::vector<nn::Var>& params) {
   std::vector<nn::Tensor> out;
@@ -100,6 +114,8 @@ void MultiTaskCnnModel::Fit(const MultiTaskDataset& train,
   SQLFACIL_CHECK(train.error_labels.size() == train.size());
   SQLFACIL_CHECK(train.cpu_targets.size() == train.size());
   SQLFACIL_CHECK(train.answer_targets.size() == train.size());
+  // Captured before any init draw (see train_state.h: deterministic resume).
+  const Rng::State entry_state = rng->state();
   num_error_classes_ = train.num_error_classes;
   vocab_ = Vocabulary::Build(train.statements, config_.granularity,
                              config_.max_vocab);
@@ -144,21 +160,69 @@ void MultiTaskCnnModel::Fit(const MultiTaskDataset& train,
   double best_valid = 1e300;
   valid_history_.clear();
   const size_t n = train.size();
+  const size_t batches_per_epoch =
+      (n + static_cast<size_t>(config_.batch_size) - 1) /
+      static_cast<size_t>(config_.batch_size);
+
+  Fingerprint fp;
+  fp.MixString("multitask_model.v1");
+  fp.MixI32(config_.granularity == sql::Granularity::kChar ? 0 : 1)
+      .Mix(config_.max_vocab)
+      .Mix(config_.max_len)
+      .MixI32(config_.embed_dim)
+      .MixI32(config_.kernels_per_width)
+      .Mix(config_.widths.size());
+  for (int w : config_.widths) fp.MixI32(w);
+  fp.MixFloat(config_.dropout)
+      .MixFloat(config_.lr)
+      .MixFloat(config_.clip_norm)
+      .MixI32(config_.epochs)
+      .MixI32(config_.batch_size)
+      .MixFloat(config_.huber_delta)
+      .MixI32(config_.train_shards);
+  MixMultiTaskDataset(&fp, train);
+  MixMultiTaskDataset(&fp, valid);
+  fp.MixRngState(entry_state);
+  TrainSnapshotter snap(config_.snapshot, "mtcnn", fp.digest());
+  const ResumePoint at =
+      ResumeOrColdStart(&snap, config_.epochs, batches_per_epoch, params,
+                        &optimizer, rng, &best, &best_valid, &valid_history_);
+
   std::vector<uint64_t> dropout_seeds;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int epoch = at.epoch; epoch < config_.epochs; ++epoch) {
+    const Rng::State epoch_rng = rng->state();
     auto perm = rng->Permutation(n);
+    const uint64_t skip = epoch == at.epoch ? at.batch : 0;
+    // Drains the run after the batch position `next_cursor - 1` completed
+    // (applied or skipped-as-unlabeled — the cursor counts positions, so
+    // resume replays the same seed draws either way).
+    auto drain_now = [&](uint64_t next_cursor) {
+      SaveTrainSnapshot(&snap, epoch, next_cursor, epoch_rng, best_valid,
+                        valid_history_, params, best, &optimizer);
+      Restore(params, best);
+    };
+    uint64_t bpos = 0;
     for (size_t start = 0; start < n;
-         start += static_cast<size_t>(config_.batch_size)) {
+         start += static_cast<size_t>(config_.batch_size), ++bpos) {
       const size_t end =
           std::min(n, start + static_cast<size_t>(config_.batch_size));
       const size_t batch = end - start;
+      // Seeds are drawn even for replayed / unlabeled batches: the master
+      // stream must pass the same positions an uninterrupted run would.
       dropout_seeds.resize(batch);
       for (size_t i = 0; i < batch; ++i) dropout_seeds[i] = rng->Next();
+      if (bpos < skip) continue;  // replayed: applied before the snapshot
       bool any_loss = false;
       for (size_t i = start; i < end && !any_loss; ++i) {
         any_loss = has_any_loss(perm[i]);
       }
-      if (!any_loss) continue;  // fully unlabeled batch: no step
+      if (!any_loss) {  // fully unlabeled batch: no step
+        if (train::DrainRequested()) {
+          drain_now(bpos + 1);
+          return;
+        }
+        continue;
+      }
       optimizer.ZeroGrad();
       nn::ShardedTrainStep(
           params, &shards, batch, max_shards,
@@ -200,6 +264,10 @@ void MultiTaskCnnModel::Fit(const MultiTaskDataset& train,
           });
       nn::ClipGradNorm(params, config_.clip_norm);
       optimizer.Step();
+      if (train::DrainRequested()) {
+        drain_now(bpos + 1);
+        return;
+      }
     }
     const double vloss = ValidLoss(valid);
     valid_history_.push_back(vloss);
@@ -207,8 +275,94 @@ void MultiTaskCnnModel::Fit(const MultiTaskDataset& train,
       best_valid = vloss;
       best = Snapshot(params);
     }
+    const bool drained = train::DrainRequested();
+    if (snap.ShouldSnapshot(epoch + 1, config_.epochs) || drained) {
+      SaveTrainSnapshot(&snap, epoch + 1, 0, rng->state(), best_valid,
+                        valid_history_, params, best, &optimizer);
+    }
+    if (drained) break;
   }
   Restore(params, best);
+}
+
+Status MultiTaskCnnModel::SaveTo(std::ostream& out) const {
+  serialize::WriteTag(out, "multitask_model.v1");
+  serialize::WriteI32(out, num_error_classes_);
+  serialize::WriteI32(out,
+                      config_.granularity == sql::Granularity::kChar ? 0 : 1);
+  serialize::WriteI32(out, config_.embed_dim);
+  serialize::WriteI32(out, config_.kernels_per_width);
+  serialize::WriteU64(out, config_.max_len);
+  serialize::WriteU64(out, config_.widths.size());
+  for (int w : config_.widths) serialize::WriteI32(out, w);
+  vocab_.SaveTo(out);
+  serialize::WriteTensor(out, embedding_.table->value);
+  for (const auto& conv : convs_) {
+    serialize::WriteTensor(out, conv.weight->value);
+    serialize::WriteTensor(out, conv.bias->value);
+  }
+  for (const auto* head : {&error_head_, &cpu_head_, &answer_head_}) {
+    serialize::WriteTensor(out, head->weight->value);
+    serialize::WriteTensor(out, head->bias->value);
+  }
+  return Status::Ok();
+}
+
+Status MultiTaskCnnModel::LoadFrom(std::istream& in) {
+  if (Status s = serialize::ExpectTag(in, "multitask_model.v1"); !s.ok()) {
+    return s;
+  }
+  auto read_i32 = [&](int* dst) -> Status {
+    auto v = serialize::ReadI32(in);
+    if (!v.ok()) return v.status();
+    *dst = *v;
+    return Status::Ok();
+  };
+  if (Status s = read_i32(&num_error_classes_); !s.ok()) return s;
+  if (num_error_classes_ < 1 || num_error_classes_ > 1024) {
+    return Status::InvalidArgument("implausible error class count");
+  }
+  int granularity = 0;
+  if (Status s = read_i32(&granularity); !s.ok()) return s;
+  config_.granularity =
+      granularity == 0 ? sql::Granularity::kChar : sql::Granularity::kWord;
+  if (Status s = read_i32(&config_.embed_dim); !s.ok()) return s;
+  if (Status s = read_i32(&config_.kernels_per_width); !s.ok()) return s;
+  auto max_len = serialize::ReadU64(in);
+  if (!max_len.ok()) return max_len.status();
+  config_.max_len = *max_len;
+  auto num_widths = serialize::ReadU64(in);
+  if (!num_widths.ok()) return num_widths.status();
+  if (*num_widths == 0 || *num_widths > 16) {
+    return Status::InvalidArgument("implausible width count");
+  }
+  config_.widths.clear();
+  for (uint64_t i = 0; i < *num_widths; ++i) {
+    int w = 0;
+    if (Status s = read_i32(&w); !s.ok()) return s;
+    config_.widths.push_back(w);
+  }
+  auto vocab = Vocabulary::LoadFrom(in);
+  if (!vocab.ok()) return vocab.status();
+  vocab_ = std::move(vocab).value();
+
+  auto read_param = [&](nn::Var* dst) -> Status {
+    auto t = serialize::ReadTensor(in);
+    if (!t.ok()) return t.status();
+    *dst = nn::MakeParam(std::move(t).value());
+    return Status::Ok();
+  };
+  if (Status s = read_param(&embedding_.table); !s.ok()) return s;
+  convs_.assign(config_.widths.size(), nn::Linear());
+  for (auto& conv : convs_) {
+    if (Status s = read_param(&conv.weight); !s.ok()) return s;
+    if (Status s = read_param(&conv.bias); !s.ok()) return s;
+  }
+  for (auto* head : {&error_head_, &cpu_head_, &answer_head_}) {
+    if (Status s = read_param(&head->weight); !s.ok()) return s;
+    if (Status s = read_param(&head->bias); !s.ok()) return s;
+  }
+  return Status::Ok();
 }
 
 MultiTaskCnnModel::Prediction MultiTaskCnnModel::Predict(

@@ -1,14 +1,17 @@
 #ifndef SQLFACIL_MODELS_MULTITASK_MODEL_H_
 #define SQLFACIL_MODELS_MULTITASK_MODEL_H_
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "sqlfacil/models/train_state.h"
 #include "sqlfacil/models/vocab.h"
 #include "sqlfacil/nn/layers.h"
 #include "sqlfacil/nn/optim.h"
 #include "sqlfacil/util/random.h"
+#include "sqlfacil/util/status.h"
 
 namespace sqlfacil::models {
 
@@ -50,6 +53,8 @@ class MultiTaskCnnModel {
     /// depend only on (batch size, this cap), so trained weights are
     /// bit-identical at any SQLFACIL_THREADS setting.
     int train_shards = 8;
+    /// Crash-safe training snapshots (empty dir disables).
+    SnapshotOptions snapshot;
   };
 
   explicit MultiTaskCnnModel(Config config) : config_(std::move(config)) {}
@@ -68,6 +73,12 @@ class MultiTaskCnnModel {
 
   /// Validation-loss trajectory of the last Fit (one entry per epoch).
   const std::vector<double>& valid_history() const { return valid_history_; }
+
+  /// Trained-state serialization in the same hardened tag-based format as
+  /// the single-task models ("multitask_model.v1"); wrap with the
+  /// checkpoint layer (models/checkpoint.h) for framing + atomic writes.
+  Status SaveTo(std::ostream& out) const;
+  Status LoadFrom(std::istream& in);
 
  private:
   nn::Var Encode(const std::vector<int>& ids, bool training, Rng* rng) const;

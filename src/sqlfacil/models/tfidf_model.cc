@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 
 #include "sqlfacil/models/serialize_util.h"
+#include "sqlfacil/models/train_state.h"
 #include "sqlfacil/nn/data_parallel.h"
 #include "sqlfacil/nn/infer.h"
+#include "sqlfacil/util/drain.h"
 #include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/thread_pool.h"
@@ -32,6 +35,9 @@ std::vector<float> TfidfModel::Scores(
 
 void TfidfModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
   failpoint::MaybeFail("model.fit");
+  // Captured before the first epoch draw (see train_state.h): a resumed
+  // epoch re-draws the identical permutation from this stream.
+  const Rng::State entry_state = rng->state();
   kind_ = train.kind;
   outputs_ = kind_ == TaskKind::kClassification ? train.num_classes : 1;
 
@@ -98,11 +104,99 @@ void TfidfModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
   const size_t n = train.size();
   std::vector<float> dscores;
   valid_history_.clear();
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+
+  const size_t batches_per_epoch = (n + batch_size - 1) / batch_size;
+  Fingerprint fp;
+  fp.MixString("tfidf_model.v1|" + name());
+  fp.MixI32(config_.granularity == sql::Granularity::kChar ? 0 : 1)
+      .MixI32(config_.max_n)
+      .Mix(config_.max_features)
+      .MixI32(config_.epochs)
+      .MixI32(config_.batch_size)
+      .MixFloat(config_.lr)
+      .MixFloat(config_.weight_decay)
+      .MixFloat(config_.huber_delta)
+      .MixI32(config_.train_shards);
+  MixDataset(&fp, train);
+  MixDataset(&fp, valid);
+  fp.MixRngState(entry_state);
+  TrainSnapshotter snap(config_.snapshot, name(), fp.digest());
+
+  // The linear model has no autograd Vars or optimizer state: snapshots
+  // carry the weight matrix and bias wrapped as two tensors, and an empty
+  // optimizer blob (plain SGD with a closed-form per-epoch rate).
+  const int num_features = static_cast<int>(vectorizer_.num_features());
+  auto wrap = [&](const std::vector<float>& w, const std::vector<float>& b) {
+    std::vector<nn::Tensor> tensors;
+    tensors.emplace_back(std::vector<int>{num_features, outputs_});
+    std::copy(w.begin(), w.end(), tensors[0].data());
+    tensors.emplace_back(std::vector<int>{1, outputs_});
+    std::copy(b.begin(), b.end(), tensors[1].data());
+    return tensors;
+  };
+  auto shapes_ok = [&](const std::vector<nn::Tensor>& ts) {
+    return ts.size() == 2 &&
+           ts[0].shape() == std::vector<int>{num_features, outputs_} &&
+           ts[1].shape() == std::vector<int>{1, outputs_};
+  };
+  auto save_snapshot = [&](int32_t epoch, uint64_t cursor,
+                           const Rng::State& rng_state) {
+    if (!snap.enabled()) return;
+    TrainState st;
+    st.epoch = epoch;
+    st.batch_cursor = cursor;
+    st.rng = rng_state;
+    st.best_valid = best_valid;
+    st.valid_history = valid_history_;
+    st.params = wrap(weights_, bias_);
+    st.best_params = wrap(best_weights, best_bias);
+    if (Status s = snap.Save(std::move(st)); !s.ok()) {
+      std::cerr << "[sqlfacil] training snapshot save to '" << snap.path()
+                << "' failed: " << s.ToString() << "; continuing\n";
+    }
+  };
+
+  int start_epoch = 0;
+  uint64_t start_batch = 0;
+  if (snap.enabled()) {
+    auto resumed = snap.TryResume(config_.epochs, batches_per_epoch);
+    Status status = resumed.status();
+    if (resumed.ok()) {
+      if (shapes_ok(resumed->params) && shapes_ok(resumed->best_params)) {
+        std::copy_n(resumed->params[0].data(), weights_.size(),
+                    weights_.begin());
+        std::copy_n(resumed->params[1].data(), bias_.size(), bias_.begin());
+        std::copy_n(resumed->best_params[0].data(), best_weights.size(),
+                    best_weights.begin());
+        std::copy_n(resumed->best_params[1].data(), best_bias.size(),
+                    best_bias.begin());
+        best_valid = resumed->best_valid;
+        valid_history_ = std::move(resumed->valid_history);
+        rng->set_state(resumed->rng);
+        start_epoch = resumed->epoch;
+        start_batch = resumed->batch_cursor;
+        status = Status::Ok();
+      } else {
+        status = Status::CorruptCheckpoint(
+            "snapshot tensor shapes do not match the tfidf model");
+      }
+    }
+    if (!status.ok() && status.code() != StatusCode::kNotFound) {
+      std::cerr << "[sqlfacil] training snapshot '" << snap.path()
+                << "' not resumable: " << status.ToString()
+                << "; cold start\n";
+    }
+  }
+
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     const float lr =
         config_.lr / (1.0f + 0.5f * static_cast<float>(epoch));
+    const Rng::State epoch_rng = rng->state();
     auto perm = rng->Permutation(n);
-    for (size_t start = 0; start < n; start += batch_size) {
+    const uint64_t skip = epoch == start_epoch ? start_batch : 0;
+    uint64_t bpos = 0;
+    for (size_t start = 0; start < n; start += batch_size, ++bpos) {
+      if (bpos < skip) continue;  // replayed: applied before the snapshot
       const size_t end = std::min(n, start + batch_size);
       const size_t batch = end - start;
       dscores.assign(batch * static_cast<size_t>(outputs_), 0.0f);
@@ -146,6 +240,14 @@ void TfidfModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
         }
         for (int c = 0; c < outputs_; ++c) bias_[c] -= lr * dscore[c];
       }
+      if (train::DrainRequested()) {
+        // Graceful drain: this batch's serial merge completed; record the
+        // mid-epoch position and stop.
+        save_snapshot(epoch, bpos + 1, epoch_rng);
+        weights_ = std::move(best_weights);
+        bias_ = std::move(best_bias);
+        return;
+      }
     }
     const double vloss = valid_loss();
     valid_history_.push_back(vloss);
@@ -154,6 +256,11 @@ void TfidfModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
       best_weights = weights_;
       best_bias = bias_;
     }
+    const bool drained = train::DrainRequested();
+    if (snap.ShouldSnapshot(epoch + 1, config_.epochs) || drained) {
+      save_snapshot(epoch + 1, 0, rng->state());
+    }
+    if (drained) break;
   }
   weights_ = std::move(best_weights);
   bias_ = std::move(best_bias);

@@ -2,6 +2,7 @@
 #define SQLFACIL_MODELS_TFIDF_MODEL_H_
 
 #include "sqlfacil/models/model.h"
+#include "sqlfacil/models/train_state.h"
 #include "sqlfacil/models/vocab.h"
 
 namespace sqlfacil::models {
@@ -26,6 +27,8 @@ class TfidfModel : public Model {
     /// serial merge applies the sparse updates in example order, so trained
     /// weights are bit-identical at any SQLFACIL_THREADS setting.
     int train_shards = 8;
+    /// Crash-safe training snapshots (empty dir disables).
+    SnapshotOptions snapshot;
   };
 
   explicit TfidfModel(Config config) : config_(config) {}

@@ -1,10 +1,43 @@
 #include "sqlfacil/nn/optim.h"
 
 #include <cmath>
+#include <iostream>
+#include <utility>
 
+#include "sqlfacil/models/serialize_util.h"
 #include "sqlfacil/nn/simd.h"
 
 namespace sqlfacil::nn {
+
+namespace {
+
+namespace ser = sqlfacil::models::serialize;
+
+// Writes one moment tensor per parameter (same order as params_).
+void WriteMoments(std::ostream& out, const std::vector<Tensor>& moments) {
+  for (const auto& m : moments) ser::WriteTensor(out, m);
+}
+
+// Reads one moment tensor per parameter, validating each shape against the
+// matching parameter before anything is committed.
+Status ReadMoments(std::istream& in, const std::vector<Var>& params,
+                   std::vector<Tensor>* out) {
+  std::vector<Tensor> loaded;
+  loaded.reserve(params.size());
+  for (const auto& p : params) {
+    auto t = ser::ReadTensor(in);
+    if (!t.ok()) return t.status();
+    if (!t->SameShape(p->value)) {
+      return Status::CorruptCheckpoint(
+          "optimizer moment shape does not match parameter shape");
+    }
+    loaded.push_back(std::move(*t));
+  }
+  *out = std::move(loaded);
+  return Status::Ok();
+}
+
+}  // namespace
 
 // Optimizer steps run as flat-slab kernels (nn/simd.h): one fused pass per
 // parameter tensor, per-step scalars (bias corrections, rates) hoisted out
@@ -19,6 +52,16 @@ void Sgd::Step() {
     simd::SgdStep(p->value.data(), p->EnsureGrad().data(), lr_, weight_decay_,
                   p->value.size());
   }
+}
+
+void Sgd::SaveState(std::ostream& out) const {
+  // SGD carries no per-step state; the tag alone makes resume files
+  // self-describing (and mismatched optimizer kinds detectable).
+  ser::WriteTag(out, "sgd_state.v1");
+}
+
+Status Sgd::LoadState(std::istream& in) {
+  return ser::ExpectTag(in, "sgd_state.v1");
 }
 
 Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
@@ -47,6 +90,27 @@ void Adam::Step() {
   }
 }
 
+void Adam::SaveState(std::ostream& out) const {
+  ser::WriteTag(out, "adam_state.v1");
+  ser::WriteI32(out, t_);
+  WriteMoments(out, m_);
+  WriteMoments(out, v_);
+}
+
+Status Adam::LoadState(std::istream& in) {
+  if (auto s = ser::ExpectTag(in, "adam_state.v1"); !s.ok()) return s;
+  auto t = ser::ReadI32(in);
+  if (!t.ok()) return t.status();
+  if (*t < 0) return Status::CorruptCheckpoint("negative Adam step counter");
+  std::vector<Tensor> m, v;
+  if (auto s = ReadMoments(in, params_, &m); !s.ok()) return s;
+  if (auto s = ReadMoments(in, params_, &v); !s.ok()) return s;
+  t_ = *t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::Ok();
+}
+
 AdaMax::AdaMax(std::vector<Var> params, float lr, float beta1, float beta2,
                float eps, float weight_decay)
     : Optimizer(std::move(params)),
@@ -70,6 +134,27 @@ void AdaMax::Step() {
                      u_[pi].data(), beta1_, beta2_, bc1, lr_, eps_,
                      weight_decay_, p->value.size());
   }
+}
+
+void AdaMax::SaveState(std::ostream& out) const {
+  ser::WriteTag(out, "adamax_state.v1");
+  ser::WriteI32(out, t_);
+  WriteMoments(out, m_);
+  WriteMoments(out, u_);
+}
+
+Status AdaMax::LoadState(std::istream& in) {
+  if (auto s = ser::ExpectTag(in, "adamax_state.v1"); !s.ok()) return s;
+  auto t = ser::ReadI32(in);
+  if (!t.ok()) return t.status();
+  if (*t < 0) return Status::CorruptCheckpoint("negative AdaMax step counter");
+  std::vector<Tensor> m, u;
+  if (auto s = ReadMoments(in, params_, &m); !s.ok()) return s;
+  if (auto s = ReadMoments(in, params_, &u); !s.ok()) return s;
+  t_ = *t;
+  m_ = std::move(m);
+  u_ = std::move(u);
+  return Status::Ok();
 }
 
 float ClipGradNorm(const std::vector<Var>& params, float max_norm) {

@@ -1,10 +1,12 @@
 #ifndef SQLFACIL_NN_OPTIM_H_
 #define SQLFACIL_NN_OPTIM_H_
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
 #include "sqlfacil/nn/autograd.h"
+#include "sqlfacil/util/status.h"
 
 namespace sqlfacil::nn {
 
@@ -19,6 +21,17 @@ class Optimizer {
   /// Applies one update from the accumulated gradients.
   virtual void Step() = 0;
 
+  /// Serializes the optimizer's internal state (step counter, moment
+  /// tensors) so a resumed training run steps bit-identically to one that
+  /// never stopped. Parameter values are NOT included — they live in the
+  /// model / TrainState.
+  virtual void SaveState(std::ostream& out) const = 0;
+
+  /// Restores state written by SaveState. Validates the step counter and
+  /// every moment tensor's shape against the current parameter list before
+  /// mutating anything, so a failed load leaves the optimizer untouched.
+  virtual Status LoadState(std::istream& in) = 0;
+
   void ZeroGrad() { nn::ZeroGrad(params_); }
   const std::vector<Var>& params() const { return params_; }
 
@@ -30,6 +43,8 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<Var> params, float lr, float weight_decay = 0.0f);
   void Step() override;
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   float lr_;
@@ -42,6 +57,8 @@ class Adam : public Optimizer {
   Adam(std::vector<Var> params, float lr = 1e-3f, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void Step() override;
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;
@@ -56,6 +73,8 @@ class AdaMax : public Optimizer {
   AdaMax(std::vector<Var> params, float lr = 2e-3f, float beta1 = 0.9f,
          float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void Step() override;
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

@@ -1,0 +1,41 @@
+#include "sqlfacil/util/drain.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace sqlfacil {
+namespace train {
+
+namespace {
+
+// Async-signal-safe: the handler only stores into this flag.
+std::atomic<bool> g_drain_requested{false};
+
+void DrainHandler(int /*signum*/) {
+  g_drain_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallSignalDrain() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  struct sigaction sa;
+  sa.sa_handler = DrainHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+bool DrainRequested() {
+  return g_drain_requested.load(std::memory_order_relaxed);
+}
+
+void RequestDrain() { g_drain_requested.store(true, std::memory_order_relaxed); }
+
+void ClearDrain() { g_drain_requested.store(false, std::memory_order_relaxed); }
+
+}  // namespace train
+}  // namespace sqlfacil

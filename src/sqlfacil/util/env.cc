@@ -36,6 +36,18 @@ int GetThreadsFromEnv() {
   return threads >= 1 ? threads : fallback;
 }
 
+std::string GetSnapshotDirFromEnv() {
+  const char* v = std::getenv("SQLFACIL_SNAPSHOT_DIR");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+int GetSnapshotEveryFromEnv(int fallback) {
+  const char* v = std::getenv("SQLFACIL_SNAPSHOT_EVERY");
+  if (v == nullptr) return fallback;
+  const int every = std::atoi(v);
+  return every >= 1 ? every : fallback;
+}
+
 int GetSimdFromEnv() {
   const char* v = std::getenv("SQLFACIL_SIMD");
   if (v == nullptr) return -1;

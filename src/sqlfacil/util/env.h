@@ -2,6 +2,7 @@
 #define SQLFACIL_UTIL_ENV_H_
 
 #include <cstdint>
+#include <string>
 
 namespace sqlfacil {
 
@@ -26,6 +27,14 @@ int GetThreadsFromEnv();
 /// kernels (still subject to CPU support), unset/other returns -1 meaning
 /// auto-detect.
 int GetSimdFromEnv();
+
+/// Reads SQLFACIL_SNAPSHOT_DIR: the directory training snapshots are written
+/// to (and resumed from). Empty / unset disables snapshotting.
+std::string GetSnapshotDirFromEnv();
+
+/// Reads SQLFACIL_SNAPSHOT_EVERY (default `fallback`): write a training
+/// snapshot every N completed epochs. Values < 1 fall back.
+int GetSnapshotEveryFromEnv(int fallback);
 
 }  // namespace sqlfacil
 

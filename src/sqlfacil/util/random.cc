@@ -155,4 +155,18 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
 
+Rng::State Rng::state() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 }  // namespace sqlfacil

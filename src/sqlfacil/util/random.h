@@ -63,6 +63,19 @@ class Rng {
   /// Forks a child generator whose stream is independent of this one.
   Rng Fork();
 
+  /// Full generator state: the xoshiro words plus the Box-Muller cache.
+  /// Restoring a captured State reproduces the exact draw stream from that
+  /// point, which is what training snapshots rely on for deterministic
+  /// resume.
+  struct State {
+    uint64_t s[4];
+    double cached_normal;
+    bool has_cached_normal;
+  };
+
+  State state() const;
+  void set_state(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;

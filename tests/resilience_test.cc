@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -15,6 +16,7 @@
 #include "sqlfacil/core/model_zoo.h"
 #include "sqlfacil/models/baselines.h"
 #include "sqlfacil/models/checkpoint.h"
+#include "sqlfacil/models/multitask_model.h"
 #include "sqlfacil/models/serialize_util.h"
 #include "sqlfacil/models/tfidf_model.h"
 #include "sqlfacil/nn/simd.h"
@@ -28,6 +30,7 @@ namespace sqlfacil {
 namespace {
 
 using models::Dataset;
+using models::MultiTaskDataset;
 using models::TaskKind;
 using serving::CircuitBreaker;
 using serving::ResilientModel;
@@ -184,10 +187,23 @@ class CheckpointCorruptionTest : public ::testing::Test {
     return path;
   }
 
+  // Attempts to load a (possibly damaged) checkpoint file; returns the
+  // typed load status. The default goes through the model zoo; the
+  // multitask sweep substitutes its own loader.
+  using Loader = std::function<Status(const std::string& path)>;
+
+  Loader ZooLoader() {
+    return [this](const std::string& path) {
+      auto loaded = core::LoadModelFromFile(path, config_);
+      return loaded.ok() ? Status::Ok() : loaded.status();
+    };
+  }
+
   // Every truncation length must load as a typed error, never OK and never
   // an abort. Byte-granular up to `dense_prefix`, strided afterwards (the
   // stride still crosses every serialized field boundary of these models).
-  void ExpectTruncationsDetected(const std::string& path) {
+  void ExpectTruncationsDetected(const std::string& path, Loader loader = {}) {
+    if (!loader) loader = ZooLoader();
     const std::string bytes = ReadFile(path);
     ASSERT_GT(bytes.size(), 32u);
     const std::string mutated = path + ".mut";
@@ -195,17 +211,18 @@ class CheckpointCorruptionTest : public ::testing::Test {
     for (size_t len = 0; len < bytes.size();
          len += (len < dense_prefix ? 1 : 97)) {
       WriteFile(mutated, bytes.substr(0, len));
-      auto loaded = core::LoadModelFromFile(mutated, config_);
+      const Status loaded = loader(mutated);
       ASSERT_FALSE(loaded.ok()) << "truncation at " << len << " loaded OK";
-      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptCheckpoint)
-          << "truncation at " << len << ": " << loaded.status().ToString();
+      EXPECT_EQ(loaded.code(), StatusCode::kCorruptCheckpoint)
+          << "truncation at " << len << ": " << loaded.ToString();
     }
     std::remove(mutated.c_str());
   }
 
   // Every single-bit flip must load as kCorruptCheckpoint (payload, size,
   // magic, CRC damage) or kVersionMismatch (version-field damage).
-  void ExpectBitFlipsDetected(const std::string& path) {
+  void ExpectBitFlipsDetected(const std::string& path, Loader loader = {}) {
+    if (!loader) loader = ZooLoader();
     const std::string bytes = ReadFile(path);
     const std::string mutated = path + ".mut";
     const size_t dense_prefix = 64;
@@ -214,12 +231,12 @@ class CheckpointCorruptionTest : public ::testing::Test {
       std::string flipped = bytes;
       flipped[pos] = static_cast<char>(flipped[pos] ^ 0x01);
       WriteFile(mutated, flipped);
-      auto loaded = core::LoadModelFromFile(mutated, config_);
+      const Status loaded = loader(mutated);
       ASSERT_FALSE(loaded.ok()) << "bit flip at " << pos << " loaded OK";
-      const StatusCode code = loaded.status().code();
+      const StatusCode code = loaded.code();
       EXPECT_TRUE(code == StatusCode::kCorruptCheckpoint ||
                   code == StatusCode::kVersionMismatch)
-          << "bit flip at " << pos << ": " << loaded.status().ToString();
+          << "bit flip at " << pos << ": " << loaded.ToString();
     }
     std::remove(mutated.c_str());
   }
@@ -241,6 +258,73 @@ TEST_F(CheckpointCorruptionTest, LstmTruncationAtEveryBoundaryDetected) {
 
 TEST_F(CheckpointCorruptionTest, LstmSingleBitFlipsDetected) {
   ExpectBitFlipsDetected(SaveTrained("wlstm"));
+}
+
+TEST_F(CheckpointCorruptionTest, CnnTruncationAtEveryBoundaryDetected) {
+  ExpectTruncationsDetected(SaveTrained("wcnn"));
+}
+
+TEST_F(CheckpointCorruptionTest, CnnSingleBitFlipsDetected) {
+  ExpectBitFlipsDetected(SaveTrained("wcnn"));
+}
+
+// The multitask model serializes outside the zoo (it is not a zoo name);
+// its checkpoints go through the same framing and must reject damage with
+// the same typed statuses.
+class MultitaskCorruptionTest : public CheckpointCorruptionTest {
+ protected:
+  std::string SaveTrainedMultitask() {
+    mt_config_.embed_dim = 4;
+    mt_config_.kernels_per_width = 4;
+    mt_config_.widths = {2, 3};
+    mt_config_.epochs = 1;
+    MultiTaskDataset data;
+    data.num_error_classes = 2;
+    Rng gen(15);
+    for (int i = 0; i < 24; ++i) {
+      const bool big = gen.Bernoulli(0.5);
+      data.statements.push_back(
+          big ? "SELECT * FROM Galaxy WHERE r < " + std::to_string(i % 30)
+              : "SELECT objid FROM Star WHERE objid = " + std::to_string(i));
+      data.error_labels.push_back(big ? 1 : 0);
+      data.cpu_targets.push_back(big ? 4.0f : 1.0f);
+      data.answer_targets.push_back(big ? 6.0f : 0.0f);
+    }
+    models::MultiTaskCnnModel model(mt_config_);
+    Rng rng(7);
+    model.Fit(data, data, &rng);
+    std::ostringstream payload;
+    EXPECT_TRUE(model.SaveTo(payload).ok());
+    const std::string path = testing::TempDir() + "/ckpt_mtcnn.bin";
+    Status s = models::WriteCheckpointFile(path, std::move(payload).str());
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return path;
+  }
+
+  Loader MultitaskLoader() {
+    return [this](const std::string& path) {
+      auto ckpt = models::ReadCheckpointFile(path);
+      if (!ckpt.ok()) return ckpt.status();
+      std::istringstream in(ckpt->payload);
+      models::MultiTaskCnnModel model(mt_config_);
+      return model.LoadFrom(in);
+    };
+  }
+
+  models::MultiTaskCnnModel::Config mt_config_;
+};
+
+TEST_F(MultitaskCorruptionTest, TruncationAtEveryBoundaryDetected) {
+  ExpectTruncationsDetected(SaveTrainedMultitask(), MultitaskLoader());
+}
+
+TEST_F(MultitaskCorruptionTest, SingleBitFlipsDetected) {
+  ExpectBitFlipsDetected(SaveTrainedMultitask(), MultitaskLoader());
+}
+
+TEST_F(MultitaskCorruptionTest, IntactCheckpointRoundTrips) {
+  const std::string path = SaveTrainedMultitask();
+  EXPECT_TRUE(MultitaskLoader()(path).ok());
 }
 
 TEST_F(CheckpointCorruptionTest, IntactCheckpointRoundTrips) {

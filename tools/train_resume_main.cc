@@ -1,0 +1,240 @@
+// Training driver for the kill/resume chaos harness
+// (scripts/check_resume.sh). Trains one model family on a deterministic
+// synthetic workload with crash-safe snapshots enabled, then writes the
+// final weights (framed checkpoint) and the per-epoch ValidLoss trajectory
+// to files. The harness SIGKILLs this binary at random instants and
+// re-runs it until it exits cleanly; the outputs must be bit-identical to
+// an uninterrupted run at any SQLFACIL_THREADS x SQLFACIL_SIMD setting.
+//
+// Exit codes: 0 = trained to completion, 75 = drained early on
+// SIGTERM/SIGINT (snapshot saved, re-run to continue), 1 = failure,
+// 2 = usage error.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/models/checkpoint.h"
+#include "sqlfacil/models/cnn_model.h"
+#include "sqlfacil/models/dataset.h"
+#include "sqlfacil/models/lstm_model.h"
+#include "sqlfacil/models/multitask_model.h"
+#include "sqlfacil/models/tfidf_model.h"
+#include "sqlfacil/models/train_state.h"
+#include "sqlfacil/util/drain.h"
+#include "sqlfacil/util/random.h"
+
+namespace {
+
+using sqlfacil::Rng;
+using sqlfacil::models::Dataset;
+using sqlfacil::models::MultiTaskDataset;
+using sqlfacil::models::TaskKind;
+
+struct Args {
+  std::string model = "ccnn";
+  int epochs = 4;
+  uint64_t seed = 7;
+  std::string snapshot_dir;
+  int snapshot_every = 1;
+  int train_n = 48;
+  int valid_n = 12;
+  std::string weights_out;
+  std::string history_out;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--model ctfidf|ccnn|clstm|mtcnn] [--epochs N] [--seed N]\n"
+      "          [--snapshot-dir DIR] [--snapshot-every N] [--train-n N]\n"
+      "          [--valid-n N] [--weights-out FILE] [--history-out FILE]\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--model" && (v = next())) {
+      args->model = v;
+    } else if (flag == "--epochs" && (v = next())) {
+      args->epochs = std::atoi(v);
+    } else if (flag == "--seed" && (v = next())) {
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--snapshot-dir" && (v = next())) {
+      args->snapshot_dir = v;
+    } else if (flag == "--snapshot-every" && (v = next())) {
+      args->snapshot_every = std::atoi(v);
+    } else if (flag == "--train-n" && (v = next())) {
+      args->train_n = std::atoi(v);
+    } else if (flag == "--valid-n" && (v = next())) {
+      args->valid_n = std::atoi(v);
+    } else if (flag == "--weights-out" && (v = next())) {
+      args->weights_out = v;
+    } else if (flag == "--history-out" && (v = next())) {
+      args->history_out = v;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag '%s'\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Deterministic synthetic workload: the dataset depends only on (n, seed),
+// never on the training RNG, so every re-run of an interrupted training
+// sees byte-identical data (a requirement of the snapshot fingerprint).
+Dataset SyntheticClassification(int n, uint64_t seed) {
+  Dataset data;
+  data.kind = TaskKind::kClassification;
+  data.num_classes = 2;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const bool agg = rng.Bernoulli(0.5);
+    const int64_t id = rng.UniformInt(1, 500);
+    data.statements.push_back(
+        agg ? "SELECT COUNT(*) FROM photoobj WHERE objid = " +
+                  std::to_string(id)
+            : "SELECT ra, dec FROM specobj WHERE specobjid = " +
+                  std::to_string(id));
+    data.labels.push_back(agg ? 1 : 0);
+    data.opt_costs.push_back(rng.Uniform(1.0, 100.0));
+  }
+  return data;
+}
+
+MultiTaskDataset SyntheticMultiTask(int n, uint64_t seed) {
+  MultiTaskDataset data;
+  data.num_error_classes = 2;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const bool big = rng.Bernoulli(0.5);
+    data.statements.push_back(
+        big ? "SELECT * FROM Galaxy WHERE r < " + std::to_string(i % 30)
+            : "SELECT objid FROM Star WHERE objid = " + std::to_string(i));
+    data.error_labels.push_back(big ? 1 : 0);
+    data.cpu_targets.push_back(big ? 4.0f : 1.0f);
+    data.answer_targets.push_back(big ? 6.0f : 0.0f);
+  }
+  return data;
+}
+
+// Writes one ValidLoss per line at full double precision — the harness
+// byte-compares this file between interrupted and uninterrupted runs.
+int WriteHistory(const std::string& path,
+                 const std::vector<double>& history) {
+  if (path.empty()) return 0;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return 1;
+  }
+  for (double v : history) std::fprintf(f, "%.17g\n", v);
+  std::fclose(f);
+  return 0;
+}
+
+template <typename Model>
+int WriteWeights(const std::string& path, const Model& model) {
+  if (path.empty()) return 0;
+  std::ostringstream out;
+  if (sqlfacil::Status s = model.SaveTo(out); !s.ok()) {
+    std::fprintf(stderr, "serializing weights failed: %s\n",
+                 s.message().c_str());
+    return 1;
+  }
+  if (sqlfacil::Status s =
+          sqlfacil::models::WriteCheckpointFile(path, std::move(out).str());
+      !s.ok()) {
+    std::fprintf(stderr, "writing '%s' failed: %s\n", path.c_str(),
+                 s.message().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// Epilogue shared by all families: a drained run reports 75 WITHOUT
+// writing outputs (training is not finished — the snapshot carries it);
+// a completed run writes weights + history and reports 0.
+template <typename Model>
+int Finish(const Model& model, const Args& args) {
+  if (sqlfacil::train::DrainRequested()) return 75;
+  if (int rc = WriteWeights(args.weights_out, model)) return rc;
+  if (int rc = WriteHistory(args.history_out, model.valid_history()))
+    return rc;
+  return 0;
+}
+
+template <typename Model>
+int RunSingleTask(typename Model::Config config, const Args& args) {
+  config.epochs = args.epochs;
+  config.snapshot.dir = args.snapshot_dir;
+  config.snapshot.every = args.snapshot_every;
+  const Dataset train_set =
+      SyntheticClassification(args.train_n, args.seed * 2654435761ULL + 1);
+  const Dataset valid_set =
+      SyntheticClassification(args.valid_n, args.seed * 2654435761ULL + 2);
+  Model model(config);
+  Rng rng(args.seed);
+  model.Fit(train_set, valid_set, &rng);
+  return Finish(model, args);
+}
+
+int RunMultiTask(const Args& args) {
+  sqlfacil::models::MultiTaskCnnModel::Config config;
+  config.embed_dim = 8;
+  config.kernels_per_width = 8;
+  config.epochs = args.epochs;
+  config.snapshot.dir = args.snapshot_dir;
+  config.snapshot.every = args.snapshot_every;
+  const MultiTaskDataset train_set =
+      SyntheticMultiTask(args.train_n, args.seed * 2654435761ULL + 1);
+  const MultiTaskDataset valid_set =
+      SyntheticMultiTask(args.valid_n, args.seed * 2654435761ULL + 2);
+  sqlfacil::models::MultiTaskCnnModel model(config);
+  Rng rng(args.seed);
+  model.Fit(train_set, valid_set, &rng);
+  return Finish(model, args);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+  sqlfacil::train::InstallSignalDrain();
+  if (args.model == "ctfidf") {
+    sqlfacil::models::TfidfModel::Config config;
+    config.max_features = 2000;
+    return RunSingleTask<sqlfacil::models::TfidfModel>(config, args);
+  }
+  if (args.model == "ccnn") {
+    sqlfacil::models::CnnModel::Config config;
+    config.embed_dim = 8;
+    config.kernels_per_width = 8;
+    config.widths = {2, 3};
+    return RunSingleTask<sqlfacil::models::CnnModel>(config, args);
+  }
+  if (args.model == "clstm") {
+    sqlfacil::models::LstmModel::Config config;
+    config.embed_dim = 8;
+    config.hidden_dim = 12;
+    config.num_layers = 1;
+    return RunSingleTask<sqlfacil::models::LstmModel>(config, args);
+  }
+  if (args.model == "mtcnn") return RunMultiTask(args);
+  std::fprintf(stderr, "unknown model '%s'\n", args.model.c_str());
+  Usage(argv[0]);
+  return 2;
+}
