@@ -6,11 +6,18 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target serving_test nn_test models_test determinism_test resilience_test fuzz_smoke_test
+  --target serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test
 status=0
-for t in serving_test nn_test models_test determinism_test resilience_test fuzz_smoke_test; do
+for t in serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test; do
   echo "== $t (ASan) =="
   if ! "$BUILD_DIR/tests/$t"; then
+    status=1
+  fi
+done
+# Tier-sensitive suites again with the quantized kernels dispatched.
+for t in quant_test distill_test serving_test determinism_test; do
+  echo "== $t (ASan, SQLFACIL_PRECISION=int8) =="
+  if ! SQLFACIL_PRECISION=int8 "$BUILD_DIR/tests/$t"; then
     status=1
   fi
 done

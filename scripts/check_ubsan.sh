@@ -4,7 +4,7 @@
 # Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
 set -eu
 BUILD_DIR="${1:-build-ubsan}"
-TESTS="resilience_test fuzz_smoke_test serialize_test serving_test nn_test"
+TESTS="resilience_test fuzz_smoke_test serialize_test serving_test nn_test quant_test distill_test"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 # shellcheck disable=SC2086
@@ -13,6 +13,13 @@ status=0
 for t in $TESTS; do
   echo "== $t (UBSan) =="
   if ! "$BUILD_DIR/tests/$t"; then
+    status=1
+  fi
+done
+# Tier-sensitive suites again with the quantized kernels dispatched.
+for t in quant_test distill_test serving_test; do
+  echo "== $t (UBSan, SQLFACIL_PRECISION=int8) =="
+  if ! SQLFACIL_PRECISION=int8 "$BUILD_DIR/tests/$t"; then
     status=1
   fi
 done

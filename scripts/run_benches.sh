@@ -7,9 +7,10 @@
 # than Release (and configures one itself if the tree doesn't exist yet).
 #
 # --json: instead of the full sweep, runs the micro-benchmarks that track
-# the perf work (micro_nn, micro_train, micro_parallel, micro_serving) with
-# google-benchmark's JSON writer and distills the key metrics into
-# bench_logs/BENCH_5.json.
+# the perf work (micro_nn, micro_train, micro_parallel, micro_serving,
+# micro_quant) with google-benchmark's JSON writer and distills the key
+# metrics into bench_logs/BENCH_6.json (BENCH_5 and earlier are kept as
+# historical snapshots).
 set -u
 
 BUILD_DIR="${BUILD_DIR:-build}"
@@ -38,7 +39,7 @@ cmake --build "$BUILD_DIR" -j >/dev/null || {
 
 if [ "${1:-}" = "--json" ]; then
   mkdir -p bench_logs
-  for b in micro_nn micro_train micro_parallel micro_serving; do
+  for b in micro_nn micro_train micro_parallel micro_serving micro_quant; do
     bin="$BUILD_DIR/bench/$b"
     if [ ! -x "$bin" ]; then
       echo "missing $bin (build first)" >&2
@@ -51,10 +52,12 @@ if [ "${1:-}" = "--json" ]; then
   python3 scripts/summarize_benches.py \
     bench_logs/micro_nn.json bench_logs/micro_train.json \
     bench_logs/micro_parallel.json bench_logs/micro_serving.json \
-    > bench_logs/BENCH_5.json || exit 1
+    bench_logs/micro_quant.json \
+    > bench_logs/BENCH_6.json || exit 1
   rm -f bench_logs/micro_nn.json bench_logs/micro_train.json \
-    bench_logs/micro_parallel.json bench_logs/micro_serving.json
-  echo "wrote bench_logs/BENCH_5.json"
+    bench_logs/micro_parallel.json bench_logs/micro_serving.json \
+    bench_logs/micro_quant.json
+  echo "wrote bench_logs/BENCH_6.json"
   exit 0
 fi
 

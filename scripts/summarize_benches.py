@@ -3,10 +3,12 @@
 
 Keeps the metrics the perf PRs track: per-benchmark wall time, throughput
 (items/s) where reported, latency percentiles (p50/p99 counters), the
-derived batched-vs-loop speedups from micro_serving, and the training
+derived batched-vs-loop speedups from micro_serving, the training
 fast-path metrics from micro_train (fused sharded step times across the
 thread sweep, speedup over the layer-by-layer graph step, optimizer
-kernel throughput).
+kernel throughput), and the int8 quantized-tier metrics from micro_quant
+(quantized GEMM speedups, per-tier single-query p50 / batch throughput,
+and the fp32-vs-int8 accuracy deltas).
 """
 
 import json
@@ -33,7 +35,16 @@ def main(paths):
                 "cpu_time": b.get("cpu_time"),
                 "time_unit": b.get("time_unit"),
             }
-            for key in ("items_per_second", "p50_us", "p99_us"):
+            for key in (
+                "items_per_second",
+                "p50_us",
+                "p99_us",
+                "acc_fp32",
+                "acc_int8",
+                "rel_acc_delta_pct",
+                "mean_abs_dprob",
+                "max_abs_dprob",
+            ):
                 if key in b:
                     entry[key] = b[key]
             entries.append(entry)
@@ -98,6 +109,57 @@ def main(paths):
             * 100.0,
             2,
         )
+    # Int8 quantized-tier metrics from micro_quant: per-shape quantized GEMM
+    # speedup over the fp32 MatMul, single-query latency and batch throughput
+    # per precision tier, and the calibration-set accuracy deltas (the
+    # acceptance gate: int8 within 2% relative accuracy of fp32).
+    quant = {b["name"]: b for b in out["benchmarks"].get("micro_quant", [])}
+    for shape in ("1/32/128", "64/32/128", "188/36/32"):
+        fp32 = quant.get(f"BM_GemmFp32/{shape}")
+        int8 = quant.get(f"BM_GemmInt8/{shape}")
+        if fp32 and int8 and int8.get("real_time"):
+            key = shape.replace("/", "x")
+            out["derived"][f"gemm_int8_speedup_{key}"] = round(
+                fp32["real_time"] / int8["real_time"], 3
+            )
+    for family in ("ccnn", "clstm"):
+        fp32 = quant.get(f"BM_PredictSingle_{family}_fp32")
+        int8 = quant.get(f"BM_PredictSingle_{family}_int8")
+        if fp32 and int8:
+            for tier, b in (("fp32", fp32), ("int8", int8)):
+                out["derived"][f"predict_{family}_{tier}_p50_us"] = round(
+                    b.get("p50_us", 0.0), 2
+                )
+            if int8.get("p50_us"):
+                out["derived"][f"predict_{family}_int8_p50_speedup"] = round(
+                    fp32.get("p50_us", 0.0) / int8["p50_us"], 3
+                )
+        bfp32 = quant.get(f"BM_PredictBatch_{family}_fp32")
+        bint8 = quant.get(f"BM_PredictBatch_{family}_int8")
+        if bfp32 and bint8 and bfp32.get("items_per_second"):
+            out["derived"][f"batch_{family}_fp32_items_per_s"] = round(
+                bfp32["items_per_second"], 1
+            )
+            out["derived"][f"batch_{family}_int8_items_per_s"] = round(
+                bint8.get("items_per_second", 0.0), 1
+            )
+            out["derived"][f"batch_{family}_int8_vs_fp32"] = round(
+                bint8.get("items_per_second", 0.0) / bfp32["items_per_second"],
+                3,
+            )
+        acc = quant.get(
+            f"BM_Int8AccuracyDelta_{family}/iterations:1"
+        ) or quant.get(f"BM_Int8AccuracyDelta_{family}")
+        if acc:
+            for key in (
+                "acc_fp32",
+                "acc_int8",
+                "rel_acc_delta_pct",
+                "mean_abs_dprob",
+                "max_abs_dprob",
+            ):
+                if key in acc:
+                    out["derived"][f"{family}_{key}"] = round(acc[key], 5)
     nn_entries = {b["name"]: b for b in out["benchmarks"].get("micro_nn", [])}
     graph = nn_entries.get("BM_LstmSequenceTrainStep")
     fused = train.get("BM_LstmFusedTrainStep/8")

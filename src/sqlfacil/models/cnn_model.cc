@@ -8,6 +8,7 @@
 #include "sqlfacil/nn/arena.h"
 #include "sqlfacil/nn/data_parallel.h"
 #include "sqlfacil/nn/infer.h"
+#include "sqlfacil/nn/quant.h"
 #include "sqlfacil/nn/simd.h"
 #include "sqlfacil/util/drain.h"
 #include "sqlfacil/util/failpoint.h"
@@ -214,7 +215,13 @@ void CnnModel::TrainLoop(const Dataset& train, const Dataset& valid,
                   Forward(encoded[idx], /*training=*/true, &example_rng);
               nn::Var loss;
               if (kind_ == TaskKind::kClassification) {
-                loss = nn::SoftmaxCrossEntropy(logits, {train.labels[idx]});
+                // Distillation: train against the teacher's soft target row
+                // when present; validation still scores hard labels.
+                if (train.soft_labels.size() == train.size()) {
+                  loss = nn::SoftCrossEntropy(logits, train.soft_labels[idx]);
+                } else {
+                  loss = nn::SoftmaxCrossEntropy(logits, {train.labels[idx]});
+                }
               } else if (config_.use_squared_loss) {
                 loss = nn::SquaredLoss(logits, {train.targets[idx]});
               } else {
@@ -250,10 +257,36 @@ void CnnModel::TrainLoop(const Dataset& train, const Dataset& valid,
     if (drained) break;
   }
   Restore(params, best);
+  // The int8 tier needs no data-dependent calibration (conv inputs are
+  // embedding rows with a static range), so every trained network quantizes
+  // immediately.
+  (void)Quantize({});
+}
+
+Status CnnModel::Quantize(std::span<const std::string> calibration) {
+  (void)calibration;  // conv input ranges are static: see the header doc
+  if (head_.weight == nullptr || convs_.empty() || vocab_.size() <= 1) {
+    return Status::InvalidArgument("quantize requires a trained model");
+  }
+  CnnQuant q;
+  const auto& table = embedding_.table->value;
+  nn::quant::Calibration cal;
+  cal.Observe(table.data(), table.size());
+  q.emb_scale = cal.scale();
+  q.qtable.resize(table.size());
+  nn::quant::QuantizeActivations(table.data(), table.size(),
+                                 1.0f / q.emb_scale, q.qtable.data());
+  for (size_t w = 0; w < config_.widths.size(); ++w) {
+    q.convs.push_back(nn::quant::QuantizeWeights(
+        convs_[w].weight->value.data(),
+        config_.widths[w] * config_.embed_dim, config_.kernels_per_width));
+  }
+  quant_ = std::move(q);
+  return Status::Ok();
 }
 
 Status CnnModel::SaveTo(std::ostream& out) const {
-  serialize::WriteTag(out, "cnn_model.v1");
+  serialize::WriteTag(out, "cnn_model.v2");
   serialize::WriteI32(out, kind_ == TaskKind::kClassification ? 0 : 1);
   serialize::WriteI32(out, outputs_);
   serialize::WriteI32(out,
@@ -272,11 +305,25 @@ Status CnnModel::SaveTo(std::ostream& out) const {
   }
   serialize::WriteTensor(out, head_.weight->value);
   serialize::WriteTensor(out, head_.bias->value);
+  // v2 trailer: the int8 tier. The u8 embedding table is derived from the
+  // fp32 table + scale and is rebuilt on load.
+  serialize::WriteI32(out, quant_.ready() ? 1 : 0);
+  if (quant_.ready()) {
+    serialize::WriteF32(out, quant_.emb_scale);
+    for (const auto& w : quant_.convs) serialize::WriteQuantTensor(out, w);
+  }
   return Status::Ok();
 }
 
 Status CnnModel::LoadFrom(std::istream& in) {
-  if (Status s = serialize::ExpectTag(in, "cnn_model.v1"); !s.ok()) return s;
+  auto tag = serialize::ReadString(in);
+  if (!tag.ok()) return tag.status();
+  const bool v2 = *tag == "cnn_model.v2";
+  if (!v2 && *tag != "cnn_model.v1") {
+    return Status::CorruptCheckpoint(
+        "model file tag mismatch: expected 'cnn_model.v1/v2', found '" +
+        *tag + "'");
+  }
   auto read_i32 = [&](int* dst) -> Status {
     auto v = serialize::ReadI32(in);
     if (!v.ok()) return v.status();
@@ -327,12 +374,53 @@ Status CnnModel::LoadFrom(std::istream& in) {
     if (Status s = read_param(&conv.bias); !s.ok()) return s;
   }
   if (Status s = read_param(&head_.weight); !s.ok()) return s;
-  return read_param(&head_.bias);
+  if (Status s = read_param(&head_.bias); !s.ok()) return s;
+
+  quant_ = CnnQuant{};
+  if (!v2) return Status::Ok();  // v1: fp32-only checkpoint
+  auto qflag = serialize::ReadI32(in);
+  if (!qflag.ok()) return qflag.status();
+  if (*qflag == 0) return Status::Ok();
+  if (*qflag != 1) {
+    return Status::CorruptCheckpoint("bad quantization flag");
+  }
+  CnnQuant q;
+  auto es = serialize::ReadF32(in);
+  if (!es.ok()) return es.status();
+  if (!std::isfinite(*es) || *es <= 0.0f) {
+    return Status::CorruptCheckpoint("bad embedding scale");
+  }
+  q.emb_scale = *es;
+  for (size_t w = 0; w < config_.widths.size(); ++w) {
+    auto t = serialize::ReadQuantTensor(in);
+    if (!t.ok()) return t.status();
+    if (t->k != config_.widths[w] * config_.embed_dim ||
+        t->n != config_.kernels_per_width) {
+      return Status::CorruptCheckpoint("quantized conv shape mismatch");
+    }
+    q.convs.push_back(std::move(t).value());
+  }
+  // The u8 table is derived: requantize the fp32 table under the stored
+  // scale (bit-identical to the save-time table by the rounding contract).
+  const auto& table = embedding_.table->value;
+  q.qtable.resize(table.size());
+  nn::quant::QuantizeActivations(table.data(), table.size(),
+                                 1.0f / q.emb_scale, q.qtable.data());
+  quant_ = std::move(q);
+  return Status::Ok();
 }
 
 std::vector<float> CnnModel::Predict(const std::string& statement,
                                      double opt_cost) const {
   (void)opt_cost;
+  if (nn::quant::ActivePrecision() == nn::quant::Precision::kInt8 &&
+      quant_.ready()) {
+    // The fp32 Predict builds the autograd graph; the int8 tier has only the
+    // graph-free batched kernels, so a single query is a batch of one (which
+    // also keeps Predict == PredictBatch bit-identical on this tier).
+    return PredictBatch(std::span<const std::string>(&statement, 1))[0];
+  }
+  nn::simd::LogDispatchOnce();
   Rng unused(0);
   const auto ids = vocab_.Encode(statement, MaxLen());
   nn::Var logits = Forward(ids, /*training=*/false, &unused);
@@ -349,8 +437,13 @@ std::vector<std::vector<float>> CnnModel::PredictBatch(
     std::span<const double> opt_costs) const {
   (void)opt_costs;
   failpoint::MaybeFail("model.predict");
+  nn::simd::LogDispatchOnce();
   const size_t n = statements.size();
   if (n == 0) return {};
+  if (nn::quant::ActivePrecision() == nn::quant::Precision::kInt8 &&
+      quant_.ready()) {
+    return PredictBatchInt8(statements);
+  }
   auto encoded = vocab_.EncodeAll(statements, MaxLen());
   const int max_width = *std::max_element(config_.widths.begin(),
                                           config_.widths.end());
@@ -417,6 +510,103 @@ std::vector<std::vector<float>> CnnModel::PredictBatch(
         nn::simd::Relu(conv_out, total_rows * kernels);
         // Max-over-time per query lands directly in this width's feature
         // columns, so the concat of pooled widths needs no extra copy.
+        row = 0;
+        for (size_t q = qb; q < qe; ++q) {
+          const int rows_q = static_cast<int>(encoded[q].size()) - width + 1;
+          nn::infer::MaxOverTime(
+              conv_out, static_cast<int>(row), static_cast<int>(row) + rows_q,
+              kernels,
+              features + (q - qb) * static_cast<size_t>(feat_dim) +
+                  w * static_cast<size_t>(kernels));
+          row += static_cast<size_t>(rows_q);
+        }
+      }
+
+      float* logits = arena.Alloc(static_cast<size_t>(slice) * outputs_);
+      nn::infer::MatMul(features, head_.weight->value.data(), logits, slice,
+                        feat_dim, outputs_);
+      nn::infer::BiasAdd(logits, head_.bias->value.data(), slice, outputs_);
+      for (size_t q = qb; q < qe; ++q) {
+        const float* row = logits + (q - qb) * static_cast<size_t>(outputs_);
+        preds[q].assign(row, row + outputs_);
+        if (kind_ == TaskKind::kClassification) {
+          nn::infer::SoftmaxInPlace(preds[q].data(), preds[q].size());
+        }
+      }
+      arena.Reset();
+    }
+  });
+  return preds;
+}
+
+std::vector<std::vector<float>> CnnModel::PredictBatchInt8(
+    std::span<const std::string> statements) const {
+  const size_t n = statements.size();
+  auto encoded = vocab_.EncodeAll(statements, MaxLen());
+  const int max_width = *std::max_element(config_.widths.begin(),
+                                          config_.widths.end());
+  for (auto& ids : encoded) {
+    while (ids.size() < static_cast<size_t>(max_width)) ids.push_back(-1);
+  }
+
+  const int d = config_.embed_dim;
+  const int kernels = config_.kernels_per_width;
+  const int feat_dim = static_cast<int>(config_.widths.size()) * kernels;
+  std::vector<std::vector<float>> preds(n);
+
+  // Same fixed-slice partition as the fp32 path; gather and unfold move u8
+  // bytes, each width's conv is one quantized stacked matmul (dequantized
+  // against the fp32 conv bias), and Relu / max-over-time / head run the
+  // fp32 kernels on the dequantized activations.
+  constexpr size_t kSliceQueries = 32;
+  const size_t num_slices = (n + kSliceQueries - 1) / kSliceQueries;
+  ParallelFor(0, num_slices, 1, [&](size_t sb, size_t se) {
+    nn::Arena& arena = nn::ThreadLocalArena();
+    auto alloc_bytes = [&arena](size_t bytes) {
+      return reinterpret_cast<uint8_t*>(arena.Alloc((bytes + 3) / 4));
+    };
+    thread_local std::vector<size_t> row_offset;
+    for (size_t s = sb; s < se; ++s) {
+      const size_t qb = s * kSliceQueries;
+      const size_t qe = std::min(n, qb + kSliceQueries);
+      const int slice = static_cast<int>(qe - qb);
+
+      size_t total_tokens = 0;
+      for (size_t q = qb; q < qe; ++q) total_tokens += encoded[q].size();
+      uint8_t* emb = alloc_bytes(total_tokens * d);
+      row_offset.assign(slice + 1, 0);
+      for (size_t q = qb; q < qe; ++q) {
+        const auto& ids = encoded[q];
+        nn::infer::Int8GatherRows(quant_.qtable.data(), d, ids.data(),
+                                  static_cast<int>(ids.size()),
+                                  emb + row_offset[q - qb] * d, d);
+        row_offset[q - qb + 1] = row_offset[q - qb] + ids.size();
+      }
+
+      float* features = arena.Alloc(static_cast<size_t>(slice) * feat_dim);
+      for (size_t w = 0; w < config_.widths.size(); ++w) {
+        const int width = config_.widths[w];
+        const auto& W = quant_.convs[w];
+        const int a_stride = 4 * W.k4;
+        size_t total_rows = 0;
+        for (size_t q = qb; q < qe; ++q) {
+          total_rows += encoded[q].size() - width + 1;
+        }
+        uint8_t* windows = alloc_bytes(total_rows * a_stride);
+        size_t row = 0;
+        for (size_t q = qb; q < qe; ++q) {
+          const int t = static_cast<int>(encoded[q].size());
+          nn::infer::Int8Unfold(emb + row_offset[q - qb] * d, t, d, width,
+                                windows + row * a_stride, a_stride);
+          row += static_cast<size_t>(t - width + 1);
+        }
+        int32_t* acc = reinterpret_cast<int32_t*>(
+            arena.Alloc(total_rows * static_cast<size_t>(W.n_pad)));
+        float* conv_out = arena.Alloc(total_rows * kernels);
+        nn::infer::Int8MatMul(windows, a_stride, W, quant_.emb_scale,
+                              convs_[w].bias->value.data(),
+                              static_cast<int>(total_rows), acc, conv_out);
+        nn::simd::Relu(conv_out, total_rows * kernels);
         row = 0;
         for (size_t q = qb; q < qe; ++q) {
           const int rows_q = static_cast<int>(encoded[q].size()) - width + 1;

@@ -1,11 +1,14 @@
 #ifndef SQLFACIL_MODELS_CNN_MODEL_H_
 #define SQLFACIL_MODELS_CNN_MODEL_H_
 
+#include <cstdint>
+
 #include "sqlfacil/models/model.h"
 #include "sqlfacil/models/train_state.h"
 #include "sqlfacil/models/vocab.h"
 #include "sqlfacil/nn/layers.h"
 #include "sqlfacil/nn/optim.h"
+#include "sqlfacil/nn/quant.h"
 
 namespace sqlfacil::models {
 
@@ -58,6 +61,14 @@ class CnnModel : public Model {
       std::span<const double> opt_costs = {}) const override;
   size_t vocab_size() const override { return vocab_.size(); }
   size_t num_parameters() const override;
+  /// Builds the int8 tier: the embedding table quantizes to u8 under its own
+  /// max-abs range (the conv inputs ARE table rows, so the range is static —
+  /// `calibration` is accepted for interface parity but unused) and each
+  /// width's conv map quantizes per-tensor. Relu, max-over-time pooling, and
+  /// the head stay fp32. Fit/FineTune call this automatically.
+  Status Quantize(std::span<const std::string> calibration) override;
+  /// True when the int8 tier is built (SQLFACIL_PRECISION=int8 serves it).
+  bool quantized() const { return quant_.ready(); }
   /// Validation-loss trajectory of the last Fit/FineTune (one per epoch).
   const std::vector<double>& valid_history() const { return valid_history_; }
   Status SaveTo(std::ostream& out) const override;
@@ -72,6 +83,15 @@ class CnnModel : public Model {
                 Rng* rng);
 
  private:
+  /// The int8 tier's offline-quantized state (see Quantize()).
+  struct CnnQuant {
+    float emb_scale = 0.0f;        // u8 scale of the embedding rows
+    std::vector<uint8_t> qtable;   // (vocab x d) quantized embedding
+    std::vector<nn::quant::QuantizedTensor> convs;  // per width (w*d x K)
+
+    bool ready() const { return !convs.empty(); }
+  };
+
   /// Shared training loop (from-scratch fit and fine-tuning).
   void TrainLoop(const Dataset& train, const Dataset& valid, int epochs,
                  Rng* rng);
@@ -86,6 +106,11 @@ class CnnModel : public Model {
                   Rng* rng) const;
   std::vector<nn::Var> Params() const;
   double ValidLoss(const Dataset& valid) const;
+  /// Int8-tier PredictBatch (quant_ must be ready): the same fixed-slice
+  /// partition as the fp32 path with u8 gather/unfold and quantized conv
+  /// matmuls; pooling and the head run fp32.
+  std::vector<std::vector<float>> PredictBatchInt8(
+      std::span<const std::string> statements) const;
 
   Config config_;
   TaskKind kind_ = TaskKind::kClassification;
@@ -95,6 +120,7 @@ class CnnModel : public Model {
   std::vector<nn::Linear> convs_;  // one (width*d x K) map per width
   nn::Linear head_;
   std::vector<double> valid_history_;
+  CnnQuant quant_;
 };
 
 }  // namespace sqlfacil::models

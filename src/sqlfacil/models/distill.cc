@@ -1,0 +1,91 @@
+#include "sqlfacil/models/distill.h"
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sqlfacil::models {
+namespace {
+
+/// Softens a probability row in place: p_c <- p_c^(1/T), renormalized.
+/// Working from probabilities rather than logits keeps the recipe usable
+/// with any teacher that returns a softmax (all classification models here).
+void SoftenRow(std::vector<float>* row, float temperature) {
+  if (temperature == 1.0f) return;
+  const double inv_t = 1.0 / static_cast<double>(temperature);
+  double denom = 0.0;
+  for (float& p : *row) {
+    const double s = std::pow(std::max(1e-12, static_cast<double>(p)), inv_t);
+    p = static_cast<float>(s);
+    denom += s;
+  }
+  const float inv_denom = static_cast<float>(1.0 / denom);
+  for (float& p : *row) p *= inv_denom;
+}
+
+}  // namespace
+
+Dataset MakeSoftDataset(const Model& teacher, const Dataset& train,
+                        const DistillConfig& config) {
+  Dataset soft = train;
+  if (train.size() == 0) return soft;
+  const auto teacher_out = teacher.PredictBatch(
+      std::span<const std::string>(train.statements),
+      std::span<const double>(train.opt_costs));
+  if (train.kind == TaskKind::kRegression) {
+    // Regression distillation: blend the teacher's (log-space) prediction
+    // into the target. Temperature has no analogue here.
+    for (size_t i = 0; i < train.size(); ++i) {
+      soft.targets[i] = config.alpha * teacher_out[i][0] +
+                        (1.0f - config.alpha) * train.targets[i];
+    }
+    return soft;
+  }
+  const int c = train.num_classes;
+  // A teacher whose output width does not match the task (e.g. a regression
+  // teacher) has nothing to distill from; leave soft_labels empty so Distill
+  // can report it instead of training on garbage.
+  for (const auto& row : teacher_out) {
+    if (static_cast<int>(row.size()) != c) return soft;
+  }
+  soft.soft_labels.resize(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    std::vector<float> t = teacher_out[i];
+    SoftenRow(&t, config.temperature);
+    const int label = train.labels[i];
+    for (int j = 0; j < c; ++j) {
+      const float one_hot = j == label ? 1.0f : 0.0f;
+      t[j] = config.alpha * t[j] + (1.0f - config.alpha) * one_hot;
+    }
+    soft.soft_labels[i] = std::move(t);
+  }
+  return soft;
+}
+
+Status Distill(const Model& teacher, Model* student, const Dataset& train,
+               const Dataset& valid, Rng* rng, const DistillConfig& config) {
+  if (student == nullptr) {
+    return Status::InvalidArgument("Distill: null student");
+  }
+  if (train.size() == 0) {
+    return Status::InvalidArgument("Distill: empty training set");
+  }
+  if (config.alpha < 0.0f || config.alpha > 1.0f) {
+    return Status::InvalidArgument("Distill: alpha must be in [0, 1]");
+  }
+  if (!(config.temperature > 0.0f)) {
+    return Status::InvalidArgument("Distill: temperature must be positive");
+  }
+  const Dataset soft = MakeSoftDataset(teacher, train, config);
+  if (train.kind == TaskKind::kClassification &&
+      soft.soft_labels.size() != train.size()) {
+    return Status::InvalidArgument(
+        "Distill: teacher '" + teacher.name() +
+        "' produced no class distribution to distill from");
+  }
+  student->Fit(soft, valid, rng);
+  return Status::Ok();
+}
+
+}  // namespace sqlfacil::models

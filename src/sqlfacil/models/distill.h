@@ -1,0 +1,44 @@
+#ifndef SQLFACIL_MODELS_DISTILL_H_
+#define SQLFACIL_MODELS_DISTILL_H_
+
+#include "sqlfacil/models/dataset.h"
+#include "sqlfacil/models/model.h"
+#include "sqlfacil/util/random.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::models {
+
+/// Teacher–student distillation (Hinton et al.): transfers the per-class
+/// structure learned by an expensive teacher (clstm/wlstm) into a cheap
+/// student (ccnn/ctfidf) by training the student against softened teacher
+/// outputs instead of (or blended with) the hard labels.
+struct DistillConfig {
+  /// Weight of the softened teacher distribution in the blended target:
+  /// t = alpha * softened_teacher + (1 - alpha) * one_hot. alpha = 0 recovers
+  /// from-scratch training; alpha = 1 trains purely on the teacher.
+  float alpha = 0.7f;
+  /// Softmax temperature. Teacher probabilities p are softened to
+  /// p^(1/T) / sum p^(1/T) — equivalent to dividing the teacher's logits by T
+  /// — so higher T exposes more of the teacher's dark knowledge in the
+  /// non-argmax classes. T = 1 uses the teacher's probabilities as-is.
+  float temperature = 2.0f;
+};
+
+/// Builds the distillation dataset: a copy of `train` whose `soft_labels`
+/// (classification) or `targets` (regression) carry the blended teacher
+/// signal from batched teacher inference. Hard labels are preserved so
+/// validation and accuracy remain scored against ground truth.
+Dataset MakeSoftDataset(const Model& teacher, const Dataset& train,
+                        const DistillConfig& config);
+
+/// Runs the full recipe: queries the teacher over `train`, blends soft
+/// targets per DistillConfig, and fits `student` on the soft dataset with
+/// best-epoch selection against the (hard-labeled) `valid` split. The
+/// teacher must already be trained; the student is trained in place.
+Status Distill(const Model& teacher, Model* student, const Dataset& train,
+               const Dataset& valid, Rng* rng,
+               const DistillConfig& config = {});
+
+}  // namespace sqlfacil::models
+
+#endif  // SQLFACIL_MODELS_DISTILL_H_

@@ -262,10 +262,18 @@ void LstmModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
     if (drained) break;
   }
   Restore(params, best);
+  // Auto-calibrate the int8 tier on a held-out slice (valid when available)
+  // so every trained model can serve SQLFACIL_PRECISION=int8 without an
+  // extra offline step; tools/quantize re-runs this on saved checkpoints.
+  const auto& cal_src = valid.size() > 0 ? valid.statements : train.statements;
+  const size_t cal_n = std::min<size_t>(cal_src.size(), 256);
+  if (cal_n > 0) {
+    (void)Quantize(std::span<const std::string>(cal_src.data(), cal_n));
+  }
 }
 
 Status LstmModel::SaveTo(std::ostream& out) const {
-  serialize::WriteTag(out, "lstm_model.v1");
+  serialize::WriteTag(out, "lstm_model.v2");
   serialize::WriteI32(out, kind_ == TaskKind::kClassification ? 0 : 1);
   serialize::WriteI32(out, outputs_);
   serialize::WriteI32(out,
@@ -284,11 +292,31 @@ Status LstmModel::SaveTo(std::ostream& out) const {
   }
   serialize::WriteTensor(out, head_.weight->value);
   serialize::WriteTensor(out, head_.bias->value);
+  // v2 trailer: the int8 tier. The x_table is derived data (an exact fp32
+  // fold of weights already stored above) and is rebuilt on load.
+  serialize::WriteI32(out, quant_.ready() ? 1 : 0);
+  if (quant_.ready()) {
+    serialize::WriteF32(out, hidden_scale_);
+    serialize::WriteQuantTensor(out, quant_.wh0);
+    for (size_t l = 0; l < quant_.wcat.size(); ++l) {
+      serialize::WriteQuantTensor(out, quant_.wcat[l]);
+      serialize::WriteFloats(out, quant_.bias[l]);
+    }
+    serialize::WriteQuantTensor(out, quant_.head);
+    serialize::WriteFloats(out, quant_.head_bias);
+  }
   return Status::Ok();
 }
 
 Status LstmModel::LoadFrom(std::istream& in) {
-  if (Status s = serialize::ExpectTag(in, "lstm_model.v1"); !s.ok()) return s;
+  auto tag = serialize::ReadString(in);
+  if (!tag.ok()) return tag.status();
+  const bool v2 = *tag == "lstm_model.v2";
+  if (!v2 && *tag != "lstm_model.v1") {
+    return Status::CorruptCheckpoint(
+        "model file tag mismatch: expected 'lstm_model.v1/v2', found '" +
+        *tag + "'");
+  }
   auto read_i32 = [&](int* dst) -> Status {
     auto v = serialize::ReadI32(in);
     if (!v.ok()) return v.status();
@@ -336,7 +364,63 @@ Status LstmModel::LoadFrom(std::istream& in) {
     if (Status s = read_param(&layer.hidden_map.weight); !s.ok()) return s;
   }
   if (Status s = read_param(&head_.weight); !s.ok()) return s;
-  return read_param(&head_.bias);
+  if (Status s = read_param(&head_.bias); !s.ok()) return s;
+
+  quant_ = nn::QuantLstmStack{};
+  hidden_scale_ = 0.0f;
+  if (!v2) return Status::Ok();  // v1: fp32-only checkpoint
+  auto qflag = serialize::ReadI32(in);
+  if (!qflag.ok()) return qflag.status();
+  if (*qflag == 0) return Status::Ok();
+  if (*qflag != 1) {
+    return Status::CorruptCheckpoint("bad quantization flag");
+  }
+  auto hs = serialize::ReadF32(in);
+  if (!hs.ok()) return hs.status();
+  if (!std::isfinite(*hs) || *hs <= 0.0f) {
+    return Status::CorruptCheckpoint("bad hidden-state scale");
+  }
+  hidden_scale_ = *hs;
+  const int hidden = config_.hidden_dim;
+  nn::QuantLstmStack q;
+  q.num_layers = config_.num_layers;
+  q.hidden = hidden;
+  q.vocab = embedding_.table->value.shape()[0];
+  q.outputs = outputs_;
+  q.hidden_scale = hidden_scale_;
+  auto read_qt = [&](nn::quant::QuantizedTensor* dst, int k,
+                     int n) -> Status {
+    auto t = serialize::ReadQuantTensor(in);
+    if (!t.ok()) return t.status();
+    if (t->k != k || t->n != n) {
+      return Status::CorruptCheckpoint("quantized tensor shape mismatch");
+    }
+    *dst = std::move(t).value();
+    return Status::Ok();
+  };
+  if (Status s = read_qt(&q.wh0, hidden, 4 * hidden); !s.ok()) return s;
+  for (int l = 1; l < config_.num_layers; ++l) {
+    nn::quant::QuantizedTensor w;
+    if (Status s = read_qt(&w, 2 * hidden, 4 * hidden); !s.ok()) return s;
+    q.wcat.push_back(std::move(w));
+    auto b = serialize::ReadFloats(in);
+    if (!b.ok()) return b.status();
+    if (static_cast<int>(b->size()) != 4 * hidden) {
+      return Status::CorruptCheckpoint("quantized bias size mismatch");
+    }
+    q.bias.push_back(std::move(b).value());
+  }
+  if (Status s = read_qt(&q.head, hidden, outputs_); !s.ok()) return s;
+  auto hb = serialize::ReadFloats(in);
+  if (!hb.ok()) return hb.status();
+  if (static_cast<int>(hb->size()) != outputs_) {
+    return Status::CorruptCheckpoint("quantized head bias size mismatch");
+  }
+  q.head_bias = std::move(hb).value();
+  // The exact token -> gate fold is derived from the fp32 weights above.
+  q.x_table = nn::BuildLstmXTable(embedding_.table->value, stack_.layers[0]);
+  quant_ = std::move(q);
+  return Status::Ok();
 }
 
 std::vector<float> LstmModel::Predict(const std::string& statement,
@@ -352,7 +436,8 @@ std::vector<float> LstmModel::Predict(const std::string& statement,
 void LstmModel::ForwardInference(
     const std::vector<std::vector<int>>& encoded,
     const std::vector<size_t>& order, size_t start, size_t end,
-    nn::Arena* arena, std::vector<std::vector<float>>* preds) const {
+    nn::Arena* arena, std::vector<std::vector<float>>* preds,
+    float* max_abs_h) const {
   const int batch = static_cast<int>(end - start);
   const int d = config_.embed_dim;
   const int hidden = config_.hidden_dim;
@@ -419,6 +504,12 @@ void LstmModel::ForwardInference(
         nn::simd::LstmCellForward(row, row + hidden, row + 2 * hidden,
                                   row + 3 * hidden, c_in, c_out, h_out,
                                   static_cast<size_t>(hidden));
+        if (max_abs_h != nullptr) {
+          for (int j = 0; j < hidden; ++j) {
+            const float a = std::fabs(h_out[j]);
+            if (a > *max_abs_h) *max_abs_h = a;
+          }
+        }
       }
       std::swap(h_prev[l], h_next[l]);
       std::swap(c_prev[l], c_next[l]);
@@ -446,8 +537,13 @@ std::vector<std::vector<float>> LstmModel::PredictBatch(
     std::span<const double> opt_costs) const {
   (void)opt_costs;
   failpoint::MaybeFail("model.predict");
+  nn::simd::LogDispatchOnce();
   const size_t n = statements.size();
   if (n == 0) return {};
+  if (nn::quant::ActivePrecision() == nn::quant::Precision::kInt8 &&
+      quant_.ready()) {
+    return PredictBatchInt8(statements);
+  }
   auto encoded = vocab_.EncodeAll(statements, MaxLen(), /*pad_empty=*/true);
   // Length bucketing as in Fit: stable sort by encoded length so buckets
   // carry minimal padding (and results stay order-independent — every row
@@ -470,6 +566,96 @@ std::vector<std::vector<float>> LstmModel::PredictBatch(
     }
   });
   return preds;
+}
+
+std::vector<std::vector<float>> LstmModel::PredictBatchInt8(
+    std::span<const std::string> statements) const {
+  const size_t n = statements.size();
+  std::vector<std::vector<float>> preds(n);
+  if (n == 1) {
+    // Single-query bypass: the bucketed path below costs one EncodeAll shard
+    // dispatch, a sort, and a ParallelFor round trip — fixed overhead that
+    // dominates once the gates are quantized. Encode inline and run the
+    // bucket kernel on one row; bit-identical because LstmInt8Forward's rows
+    // depend only on their own sequence.
+    std::vector<int> ids = vocab_.Encode(statements[0], MaxLen());
+    if (ids.empty()) ids.push_back(Vocabulary::kUnkId);
+    const std::vector<int>* seq = &ids;
+    nn::Arena& arena = nn::ThreadLocalArena();
+    auto& out = preds[0];
+    out.resize(static_cast<size_t>(outputs_));
+    nn::LstmInt8Forward(quant_, &seq, 1, &arena, out.data());
+    arena.Reset();
+    if (kind_ == TaskKind::kClassification) {
+      nn::infer::SoftmaxInPlace(out.data(), out.size());
+    }
+    return preds;
+  }
+  auto encoded = vocab_.EncodeAll(statements, MaxLen(), /*pad_empty=*/true);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return encoded[a].size() < encoded[b].size();
+  });
+  const size_t bucket = static_cast<size_t>(std::max(1, config_.batch_size));
+  const size_t num_buckets = (n + bucket - 1) / bucket;
+  ParallelFor(0, num_buckets, 1, [&](size_t bb, size_t be) {
+    nn::Arena& arena = nn::ThreadLocalArena();
+    thread_local std::vector<const std::vector<int>*> seqs;
+    thread_local std::vector<float> logits;
+    for (size_t b = bb; b < be; ++b) {
+      const size_t start = b * bucket;
+      const size_t end = std::min(n, start + bucket);
+      const int batch = static_cast<int>(end - start);
+      seqs.assign(batch, nullptr);
+      for (int i = 0; i < batch; ++i) seqs[i] = &encoded[order[start + i]];
+      logits.assign(static_cast<size_t>(batch) * outputs_, 0.0f);
+      nn::LstmInt8Forward(quant_, seqs.data(), batch, &arena, logits.data());
+      arena.Reset();
+      for (int i = 0; i < batch; ++i) {
+        const float* row = logits.data() + static_cast<size_t>(i) * outputs_;
+        auto& out = preds[order[start + i]];
+        out.assign(row, row + outputs_);
+        if (kind_ == TaskKind::kClassification) {
+          nn::infer::SoftmaxInPlace(out.data(), out.size());
+        }
+      }
+    }
+  });
+  return preds;
+}
+
+Status LstmModel::Quantize(std::span<const std::string> calibration) {
+  if (stack_.layers.empty() || vocab_.size() <= 1) {
+    return Status::InvalidArgument("quantize requires a trained model");
+  }
+  if (calibration.empty()) {
+    return Status::InvalidArgument(
+        "quantize requires calibration statements");
+  }
+  // Calibration = the fp32 inference path with max|h| capture. Serial over
+  // buckets: the split is small and a single running max avoids any
+  // cross-thread reduction question.
+  auto encoded = vocab_.EncodeAll(calibration, MaxLen(), /*pad_empty=*/true);
+  std::vector<size_t> order(encoded.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return encoded[a].size() < encoded[b].size();
+  });
+  const size_t bucket = static_cast<size_t>(std::max(1, config_.batch_size));
+  std::vector<std::vector<float>> preds(encoded.size());
+  float max_abs = 0.0f;
+  nn::Arena& arena = nn::ThreadLocalArena();
+  for (size_t start = 0; start < encoded.size(); start += bucket) {
+    ForwardInference(encoded, order, start,
+                     std::min(encoded.size(), start + bucket), &arena, &preds,
+                     &max_abs);
+    arena.Reset();
+  }
+  hidden_scale_ = std::max(max_abs, 1e-6f) / 127.0f;
+  quant_ = nn::BuildQuantLstmStack(embedding_.table->value, stack_, head_,
+                                   outputs_, hidden_scale_);
+  return Status::Ok();
 }
 
 }  // namespace sqlfacil::models

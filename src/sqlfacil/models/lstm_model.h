@@ -5,6 +5,7 @@
 #include "sqlfacil/models/train_state.h"
 #include "sqlfacil/models/vocab.h"
 #include "sqlfacil/nn/layers.h"
+#include "sqlfacil/nn/lstm_fused.h"
 #include "sqlfacil/nn/optim.h"
 
 namespace sqlfacil::nn {
@@ -60,6 +61,16 @@ class LstmModel : public Model {
       std::span<const double> opt_costs = {}) const override;
   size_t vocab_size() const override { return vocab_.size(); }
   size_t num_parameters() const override;
+  /// Builds the int8 tier (nn/lstm_fused.h QuantLstmStack): runs the fp32
+  /// inference path over `calibration` to find max|h| (one shared u8 hidden
+  /// scale), folds layer 0's token -> gate transform into an exact fp32
+  /// lookup table, and quantizes the recurrent, stacked, and head weights.
+  /// Fit calls this automatically on a held-out slice after training.
+  Status Quantize(std::span<const std::string> calibration) override;
+  /// True when the int8 tier is built (SQLFACIL_PRECISION=int8 serves it).
+  bool quantized() const { return quant_.ready(); }
+  /// max|h| / 127 from the last calibration (0 when unquantized).
+  float hidden_scale() const { return hidden_scale_; }
   /// Validation-loss trajectory of the last Fit (one entry per epoch).
   const std::vector<double>& valid_history() const { return valid_history_; }
   Status SaveTo(std::ostream& out) const override;
@@ -75,11 +86,19 @@ class LstmModel : public Model {
   nn::Var Forward(const std::vector<const std::vector<int>*>& batch) const;
   /// Graph-free forward for one bucket of PredictBatch: queries
   /// order[start..end), temporaries in `arena` (caller resets it), results
-  /// written to (*preds)[order[i]].
+  /// written to (*preds)[order[i]]. When `max_abs_h` is non-null, it also
+  /// accumulates max|h| over every active hidden state (all layers, all
+  /// steps) — the int8 tier's activation calibration.
   void ForwardInference(const std::vector<std::vector<int>>& encoded,
                         const std::vector<size_t>& order, size_t start,
                         size_t end, nn::Arena* arena,
-                        std::vector<std::vector<float>>* preds) const;
+                        std::vector<std::vector<float>>* preds,
+                        float* max_abs_h = nullptr) const;
+  /// Int8-tier PredictBatch (quant_ must be ready): same length-bucketed
+  /// partition as the fp32 path, plus a single-query bypass that skips the
+  /// EncodeAll shard dispatch, the sort, and the ParallelFor round trip.
+  std::vector<std::vector<float>> PredictBatchInt8(
+      std::span<const std::string> statements) const;
   std::vector<nn::Var> Params() const;
   double ValidLoss(const Dataset& valid,
                    const std::vector<std::vector<int>>& encoded) const;
@@ -92,6 +111,8 @@ class LstmModel : public Model {
   nn::LstmStack stack_;
   nn::Linear head_;
   std::vector<double> valid_history_;
+  nn::QuantLstmStack quant_;
+  float hidden_scale_ = 0.0f;
 };
 
 }  // namespace sqlfacil::models

@@ -24,6 +24,12 @@ std::vector<std::vector<float>> Model::PredictBatch(
   return preds;
 }
 
+Status Model::Quantize(std::span<const std::string> calibration) {
+  (void)calibration;
+  return Status::InvalidArgument("model '" + name() +
+                                 "' does not support int8 quantization");
+}
+
 Status Model::SaveTo(std::ostream& out) const {
   (void)out;
   return Status::InvalidArgument("model '" + name() +

@@ -47,6 +47,13 @@ class Model {
   virtual size_t vocab_size() const { return 0; }
   virtual size_t num_parameters() const { return 0; }
 
+  /// Builds the model's int8 inference tier from its trained fp32 weights,
+  /// calibrating activation ranges over `calibration` statements (a held-out
+  /// split; typically a few hundred queries). After success the model serves
+  /// quantized when the SQLFACIL_PRECISION=int8 tier is active; fp32 serving
+  /// is unchanged. Default: unsupported.
+  virtual Status Quantize(std::span<const std::string> calibration);
+
   /// Checkpointing: serializes the *trained* state. Default: unsupported.
   virtual Status SaveTo(std::ostream& out) const;
   /// Restores trained state into a model constructed with the same name.

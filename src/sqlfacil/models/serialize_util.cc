@@ -1,5 +1,6 @@
 #include "sqlfacil/models/serialize_util.h"
 
+#include <cmath>
 #include <limits>
 
 namespace sqlfacil::models::serialize {
@@ -149,6 +150,53 @@ StatusOr<nn::Tensor> ReadTensor(std::istream& in) {
     return Status::CorruptCheckpoint("truncated model file");
   }
   return t;
+}
+
+void WriteQuantTensor(std::ostream& out,
+                      const nn::quant::QuantizedTensor& q) {
+  WriteI32(out, q.k);
+  WriteI32(out, q.n);
+  WriteF32(out, q.scale);
+  WriteString(out, std::string(reinterpret_cast<const char*>(q.packed.data()),
+                               q.packed.size()));
+}
+
+StatusOr<nn::quant::QuantizedTensor> ReadQuantTensor(std::istream& in) {
+  nn::quant::QuantizedTensor q;
+  auto k = ReadI32(in);
+  if (!k.ok()) return k.status();
+  auto n = ReadI32(in);
+  if (!n.ok()) return n.status();
+  if (*k <= 0 || *k > (1 << 24) || *n <= 0 || *n > (1 << 24)) {
+    return Status::ResourceExhausted("implausible quantized tensor shape");
+  }
+  q.k = *k;
+  q.n = *n;
+  q.k4 = (q.k + 3) / 4;
+  q.n_pad = (q.n + 7) / 8 * 8;
+  auto scale = ReadF32(in);
+  if (!scale.ok()) return scale.status();
+  if (!std::isfinite(*scale) || *scale <= 0.0f) {
+    return Status::CorruptCheckpoint("bad quantized tensor scale");
+  }
+  q.scale = *scale;
+  auto bytes = ReadString(in);
+  if (!bytes.ok()) return bytes.status();
+  const size_t expect = static_cast<size_t>(q.k4) * q.n_pad * 4;
+  if (bytes->size() != expect) {
+    return Status::CorruptCheckpoint("quantized tensor byte count mismatch");
+  }
+  q.packed.resize(expect);
+  for (size_t i = 0; i < expect; ++i) {
+    const int8_t v = static_cast<int8_t>((*bytes)[i]);
+    if (v < -nn::quant::kWeightQmax || v > nn::quant::kWeightQmax) {
+      return Status::CorruptCheckpoint(
+          "quantized weight outside the +-63 range");
+    }
+    q.packed[i] = v;
+  }
+  nn::quant::ComputeColCorr(&q);
+  return q;
 }
 
 void WriteStringIntMap(std::ostream& out,

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sqlfacil/nn/quant.h"
 #include "sqlfacil/nn/tensor.h"
 #include "sqlfacil/util/status.h"
 
@@ -46,6 +47,13 @@ StatusOr<std::vector<float>> ReadFloats(std::istream& in);
 
 void WriteTensor(std::ostream& out, const nn::Tensor& t);
 StatusOr<nn::Tensor> ReadTensor(std::istream& in);
+
+/// Quantized weight matrix (nn/quant.h): stores shape, scale, and the packed
+/// bytes. col_corr is derived data and recomputed on read; readers validate
+/// the byte count against the shape and every byte against the +-63 weight
+/// range (the no-saturation invariant of the quad-dot kernel).
+void WriteQuantTensor(std::ostream& out, const nn::quant::QuantizedTensor& q);
+StatusOr<nn::quant::QuantizedTensor> ReadQuantTensor(std::istream& in);
 
 void WriteStringIntMap(std::ostream& out,
                        const std::unordered_map<std::string, int>& m);

@@ -208,8 +208,14 @@ void TfidfModel::Fit(const Dataset& train, const Dataset& valid, Rng* rng) {
           float* dscore = &dscores[i * static_cast<size_t>(outputs_)];
           if (kind_ == TaskKind::kClassification) {
             Softmax(&scores);
+            // Soft-target cross-entropy has the same gradient form with the
+            // one-hot indicator replaced by the teacher distribution.
+            const bool soft = train.soft_labels.size() == n;
+            const float* t = soft ? train.soft_labels[idx].data() : nullptr;
             for (int c = 0; c < outputs_; ++c) {
-              dscore[c] = scores[c] - (c == train.labels[idx] ? 1.0f : 0.0f);
+              const float target =
+                  soft ? t[c] : (c == train.labels[idx] ? 1.0f : 0.0f);
+              dscore[c] = scores[c] - target;
             }
           } else {
             const float r = scores[0] - train.targets[idx];

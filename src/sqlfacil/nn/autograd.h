@@ -32,6 +32,7 @@ enum class Op : std::uint8_t {
   kBlendRows,
   kUnfold,
   kSoftmaxCrossEntropy,
+  kSoftCrossEntropy,
   kHuberLoss,
   kSquaredLoss,
   kLstmSequence,  // fused multi-layer BPTT op (nn/lstm_fused.h)
@@ -178,6 +179,14 @@ Var Unfold(const Var& a, int window);
 /// If `probs_out` is non-null it receives the (B x C) softmax.
 Var SoftmaxCrossEntropy(const Var& logits, const std::vector<int>& labels,
                         Tensor* probs_out = nullptr);
+
+/// Soft-target cross-entropy for logits (B x C) against full target
+/// distributions `targets` (B*C row-major; each row sums to 1): the
+/// distillation loss -mean_i sum_j t_ij log softmax(logits)_ij, whose
+/// gradient is (softmax - t) / B. Reduces to SoftmaxCrossEntropy when each
+/// row is a one-hot indicator.
+Var SoftCrossEntropy(const Var& logits, const std::vector<float>& targets,
+                     Tensor* probs_out = nullptr);
 
 /// Huber loss (Eq. A.1/A.2) of predictions (B x 1) against targets.
 Var HuberLoss(const Var& pred, const std::vector<float>& targets,

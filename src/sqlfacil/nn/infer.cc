@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "sqlfacil/nn/simd.h"
+#include "sqlfacil/nn/simd_int8.h"
 
 namespace sqlfacil::nn::infer {
 
@@ -60,6 +61,45 @@ void MaxOverTime(const float* X, int row_begin, int row_end, int k,
 void SigmoidInPlace(float* v, size_t n) { simd::SigmoidInPlace(v, n); }
 
 void TanhInPlace(float* v, size_t n) { simd::TanhInPlace(v, n); }
+
+void Int8GatherRows(const uint8_t* qtable, int d, const int* ids, int n,
+                    uint8_t* out, int stride) {
+  for (int i = 0; i < n; ++i) {
+    uint8_t* row = out + static_cast<size_t>(i) * stride;
+    if (ids[i] < 0) {
+      std::memset(row, quant::kActZeroPoint, static_cast<size_t>(stride));
+    } else {
+      std::memcpy(row, qtable + static_cast<size_t>(ids[i]) * d,
+                  static_cast<size_t>(d));
+      std::memset(row + d, quant::kActZeroPoint,
+                  static_cast<size_t>(stride - d));
+    }
+  }
+}
+
+void Int8Unfold(const uint8_t* in, int t, int d, int window, uint8_t* out,
+                int stride) {
+  const int out_rows = t - window + 1;
+  const size_t row_bytes = static_cast<size_t>(window) * d;
+  for (int i = 0; i < out_rows; ++i) {
+    uint8_t* row = out + static_cast<size_t>(i) * stride;
+    std::memcpy(row, in + static_cast<size_t>(i) * d, row_bytes);
+    std::memset(row + row_bytes, quant::kActZeroPoint,
+                static_cast<size_t>(stride) - row_bytes);
+  }
+}
+
+void Int8MatMul(const uint8_t* A, int a_stride,
+                const quant::QuantizedTensor& W, float act_scale,
+                const float* bias, int m, int32_t* acc, float* C) {
+  simd::Int8GemmRowsNoSat(A, static_cast<size_t>(a_stride), W.packed.data(),
+                          W.k4, W.n_pad, acc, static_cast<size_t>(W.n_pad), 0,
+                          static_cast<size_t>(m));
+  simd::Int8DequantRows(acc, static_cast<size_t>(W.n_pad), W.col_corr.data(),
+                        act_scale * W.scale, bias, 0, C,
+                        static_cast<size_t>(W.n), 0, static_cast<size_t>(m),
+                        W.n);
+}
 
 void SoftmaxInPlace(float* v, size_t n) {
   const float max_v = *std::max_element(v, v + n);

@@ -2,6 +2,9 @@
 #define SQLFACIL_NN_INFER_H_
 
 #include <cstddef>
+#include <cstdint>
+
+#include "sqlfacil/nn/quant.h"
 
 namespace sqlfacil::nn::infer {
 
@@ -43,6 +46,29 @@ void TanhInPlace(float* v, size_t n);
 /// the exact sequence every model's Predict uses on its logits, shared here
 /// so the fast path and the cache key the same numbers.
 void SoftmaxInPlace(float* v, size_t n);
+
+// --- Int8 tier wrappers (nn/quant.h scheme, nn/simd_int8.h kernels) --------
+
+/// out[i, :] = qtable[ids[i], :] for u8-quantized embedding rows; ids[i] < 0
+/// (padding) yields a row of the activation zero point 128 (the quantized
+/// zero row). Rows are `stride` bytes apart in `out`; the d..stride tail of
+/// each row is padded with 128 so quad-dot kernels read exact zeros.
+void Int8GatherRows(const uint8_t* qtable, int d, const int* ids, int n,
+                    uint8_t* out, int stride);
+
+/// u8 Unfold: out row i = window*d bytes starting at input row i, written
+/// with rows `stride` bytes apart, tail padded with the zero point 128.
+void Int8Unfold(const uint8_t* in, int t, int d, int window, uint8_t* out,
+                int stride);
+
+/// Quantized matmul + dequant: C (m x W.n fp32, row stride W.n) =
+/// float(A_q @ W_q - corr) * (act_scale * W.scale) + bias. A holds m u8
+/// rows `a_stride` bytes apart covering W's padded reduction length
+/// (4 * W.k4 bytes, tail at the zero point); `acc` is caller scratch of
+/// m x W.n_pad int32.
+void Int8MatMul(const uint8_t* A, int a_stride,
+                const quant::QuantizedTensor& W, float act_scale,
+                const float* bias, int m, int32_t* acc, float* C);
 
 }  // namespace sqlfacil::nn::infer
 

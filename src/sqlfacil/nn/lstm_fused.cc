@@ -7,6 +7,7 @@
 #include "sqlfacil/nn/arena.h"
 #include "sqlfacil/nn/infer.h"
 #include "sqlfacil/nn/simd.h"
+#include "sqlfacil/nn/simd_int8.h"
 #include "sqlfacil/util/logging.h"
 
 namespace sqlfacil::nn {
@@ -327,5 +328,179 @@ void LstmSequenceBackward(Variable& node) {
 }
 
 }  // namespace detail
+
+std::vector<float> BuildLstmXTable(const Tensor& embedding,
+                                   const LstmLayer& layer0) {
+  const int vocab = embedding.shape()[0];
+  const int d = embedding.shape()[1];
+  const int gates = 4 * layer0.hidden_dim;
+  std::vector<float> table(static_cast<size_t>(vocab) * gates);
+  infer::MatMul(embedding.data(), layer0.input_map.weight->value.data(),
+                table.data(), vocab, d, gates);
+  infer::BiasAdd(table.data(), layer0.input_map.bias->value.data(), vocab,
+                 gates);
+  return table;
+}
+
+QuantLstmStack BuildQuantLstmStack(const Tensor& embedding,
+                                   const LstmStack& stack, const Linear& head,
+                                   int outputs, float hidden_scale) {
+  QuantLstmStack q;
+  q.num_layers = static_cast<int>(stack.layers.size());
+  q.hidden = stack.layers.empty() ? 0 : stack.layers[0].hidden_dim;
+  q.vocab = embedding.shape()[0];
+  q.outputs = outputs;
+  q.hidden_scale = hidden_scale > 0 ? hidden_scale : 1.0f / 127.0f;
+  const int hidden = q.hidden;
+  const int gates = 4 * hidden;
+
+  // Layer 0 input transform folded into an exact fp32 lookup: the same
+  // MatMul + BiasAdd kernels the fp32 tier uses, evaluated once per vocab
+  // row at quantization time.
+  const auto& l0 = stack.layers[0];
+  q.x_table = BuildLstmXTable(embedding, l0);
+  q.wh0 = quant::QuantizeWeights(l0.hidden_map.weight->value.data(), hidden,
+                                 gates);
+
+  // Layers >= 1: stack [Wx; Wh] row-wise into one (2H x 4H) tensor so the
+  // step input is the concatenated [h_below, h_prev] byte row.
+  for (int l = 1; l < q.num_layers; ++l) {
+    const auto& layer = stack.layers[l];
+    std::vector<float> cat(static_cast<size_t>(2 * hidden) * gates);
+    std::memcpy(cat.data(), layer.input_map.weight->value.data(),
+                static_cast<size_t>(hidden) * gates * sizeof(float));
+    std::memcpy(cat.data() + static_cast<size_t>(hidden) * gates,
+                layer.hidden_map.weight->value.data(),
+                static_cast<size_t>(hidden) * gates * sizeof(float));
+    q.wcat.push_back(quant::QuantizeWeights(cat.data(), 2 * hidden, gates));
+    const float* b = layer.input_map.bias->value.data();
+    q.bias.emplace_back(b, b + gates);
+  }
+
+  q.head = quant::QuantizeWeights(head.weight->value.data(), hidden, outputs);
+  const float* hb = head.bias->value.data();
+  q.head_bias.assign(hb, hb + outputs);
+  return q;
+}
+
+void LstmInt8Forward(const QuantLstmStack& q,
+                     const std::vector<int>* const* seqs, int batch,
+                     Arena* arena, float* logits) {
+  const int hidden = q.hidden;
+  const int gates = 4 * hidden;
+  const int layers = q.num_layers;
+  const float inv_hidden_scale = 1.0f / q.hidden_scale;
+  size_t max_len = 1;
+  for (int b = 0; b < batch; ++b) {
+    max_len = std::max(max_len, seqs[b]->size());
+  }
+
+  auto alloc_bytes = [&](size_t bytes) {
+    return reinterpret_cast<uint8_t*>(arena->Alloc((bytes + 3) / 4));
+  };
+
+  // Persistent per-layer state: fp32 cell (updated in place — padded rows
+  // simply skip the update, which carries their state) and the u8 hidden
+  // bytes. Initial h = 0 quantizes to the zero point 128 exactly, so the
+  // byte slabs start at 128 everywhere (including the quad-dot tail pad).
+  const int hq_stride = 4 * q.wh0.k4;          // layer-0 GEMV row bytes
+  const int cat_stride = q.wcat.empty() ? 2 * hidden : 4 * q.wcat[0].k4;
+  thread_local std::vector<float*> c_state;
+  thread_local std::vector<uint8_t*> h_q;
+  c_state.assign(layers, nullptr);
+  h_q.assign(layers, nullptr);
+  for (int l = 0; l < layers; ++l) {
+    c_state[l] = arena->AllocZero(static_cast<size_t>(batch) * hidden);
+    h_q[l] = alloc_bytes(static_cast<size_t>(batch) * hq_stride);
+    std::memset(h_q[l], quant::kActZeroPoint,
+                static_cast<size_t>(batch) * hq_stride);
+  }
+  int32_t* acc = reinterpret_cast<int32_t*>(
+      arena->Alloc(static_cast<size_t>(batch) * q.wh0.n_pad));
+  float* gx = arena->Alloc(static_cast<size_t>(batch) * gates);
+  float* base = arena->Alloc(static_cast<size_t>(batch) * gates);
+  float* h_out = arena->Alloc(static_cast<size_t>(hidden));
+  uint8_t* cat_q = alloc_bytes(static_cast<size_t>(batch) * cat_stride);
+  if (!q.wcat.empty()) {
+    std::memset(cat_q, quant::kActZeroPoint,
+                static_cast<size_t>(batch) * cat_stride);
+  }
+
+  for (size_t t = 0; t < max_len; ++t) {
+    for (int l = 0; l < layers; ++l) {
+      const quant::QuantizedTensor& w = l == 0 ? q.wh0 : q.wcat[l - 1];
+      const float* bias_row;
+      size_t bias_stride;
+      if (l == 0) {
+        // Gather the exact token -> gate rows; padded rows reuse row 0
+        // (their gates are never read — the cell update skips them).
+        if (batch == 1) {
+          const auto& ids = *seqs[0];
+          const int id = t < ids.size() ? ids[t] : 0;
+          bias_row = q.x_table.data() + static_cast<size_t>(id) * gates;
+          bias_stride = 0;
+        } else {
+          for (int b = 0; b < batch; ++b) {
+            const auto& ids = *seqs[b];
+            const int id = t < ids.size() ? ids[t] : 0;
+            std::memcpy(base + static_cast<size_t>(b) * gates,
+                        q.x_table.data() + static_cast<size_t>(id) * gates,
+                        static_cast<size_t>(gates) * sizeof(float));
+          }
+          bias_row = base;
+          bias_stride = static_cast<size_t>(gates);
+        }
+        simd::Int8GemmRowsNoSat(h_q[0], static_cast<size_t>(hq_stride),
+                                w.packed.data(), w.k4, w.n_pad, acc, w.n_pad,
+                                0, static_cast<size_t>(batch));
+      } else {
+        // Concatenate [h_below(t), h_prev(t-1)]: h_q[l - 1] was updated
+        // this step by the layer below, h_q[l] still holds t - 1.
+        for (int b = 0; b < batch; ++b) {
+          uint8_t* row = cat_q + static_cast<size_t>(b) * cat_stride;
+          std::memcpy(row, h_q[l - 1] + static_cast<size_t>(b) * hq_stride,
+                      static_cast<size_t>(hidden));
+          std::memcpy(row + hidden,
+                      h_q[l] + static_cast<size_t>(b) * hq_stride,
+                      static_cast<size_t>(hidden));
+        }
+        bias_row = q.bias[l - 1].data();
+        bias_stride = 0;
+        simd::Int8GemmRowsNoSat(cat_q, static_cast<size_t>(cat_stride),
+                                w.packed.data(), w.k4, w.n_pad, acc, w.n_pad,
+                                0, static_cast<size_t>(batch));
+      }
+      simd::Int8DequantRows(acc, w.n_pad, w.col_corr.data(),
+                            q.hidden_scale * w.scale, bias_row, bias_stride,
+                            gx, static_cast<size_t>(gates), 0,
+                            static_cast<size_t>(batch), gates);
+      for (int b = 0; b < batch; ++b) {
+        if (t >= seqs[b]->size()) continue;  // padded: state carries
+        float* row = gx + static_cast<size_t>(b) * gates;
+        float* c = c_state[l] + static_cast<size_t>(b) * hidden;
+        simd::SigmoidInPlace(row, 3 * static_cast<size_t>(hidden));
+        simd::TanhInPlace(row + 3 * hidden, hidden);
+        simd::LstmCellForward(row, row + hidden, row + 2 * hidden,
+                              row + 3 * hidden, c, c, h_out,
+                              static_cast<size_t>(hidden));
+        simd::Int8Quantize(h_out, static_cast<size_t>(hidden),
+                           inv_hidden_scale,
+                           h_q[l] + static_cast<size_t>(b) * hq_stride);
+      }
+    }
+  }
+
+  // Quantized head on the top layer's final hidden bytes.
+  int32_t* head_acc = reinterpret_cast<int32_t*>(
+      arena->Alloc(static_cast<size_t>(batch) * q.head.n_pad));
+  simd::Int8GemmRowsNoSat(h_q[layers - 1], static_cast<size_t>(hq_stride),
+                          q.head.packed.data(), q.head.k4, q.head.n_pad,
+                          head_acc, q.head.n_pad, 0,
+                          static_cast<size_t>(batch));
+  simd::Int8DequantRows(head_acc, q.head.n_pad, q.head.col_corr.data(),
+                        q.hidden_scale * q.head.scale, q.head_bias.data(), 0,
+                        logits, static_cast<size_t>(q.outputs), 0,
+                        static_cast<size_t>(batch), q.outputs);
+}
 
 }  // namespace sqlfacil::nn

@@ -5,7 +5,11 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
 
+#include "sqlfacil/nn/quant.h"
 #include "sqlfacil/util/env.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -928,6 +932,14 @@ bool HasAvx2() {
 #endif
 }
 
+bool HasAvxVnni() {
+#if SQLFACIL_X86
+  return __builtin_cpu_supports("avxvnni") != 0;
+#else
+  return false;
+#endif
+}
+
 bool Enabled() {
   InitOnce();
   return g_enabled.load(std::memory_order_relaxed);
@@ -936,6 +948,31 @@ bool Enabled() {
 void SetEnabled(bool on) {
   InitOnce();
   g_enabled.store(on && HasAvx2(), std::memory_order_relaxed);
+}
+
+std::string DispatchReport() {
+  InitOnce();
+  const bool avx2 = HasAvx2();
+  const bool on = g_enabled.load(std::memory_order_relaxed);
+  const bool int8 = quant::ActivePrecision() == quant::Precision::kInt8;
+  std::string report = "simd dispatch: avx2=";
+  report += avx2 ? "yes" : "no";
+  report += " float-kernels=";
+  report += on ? "avx2" : "scalar";
+  report += " precision=";
+  report += int8 ? "int8" : "fp32";
+  report += " int8-kernels=";
+  report += on ? (HasAvxVnni() ? "avx2+vnni" : "avx2") : "scalar";
+  if (int8 && !avx2) {
+    report += " (AVX2 unavailable: int8 tier runs the scalar reference path)";
+  }
+  return report;
+}
+
+void LogDispatchOnce() {
+  static std::once_flag logged;
+  std::call_once(logged,
+                 [] { std::cerr << "[sqlfacil] " << DispatchReport() << "\n"; });
 }
 
 void Axpy(float* dst, const float* x, float a, size_t n) {

@@ -2,6 +2,7 @@
 #define SQLFACIL_NN_SIMD_H_
 
 #include <cstddef>
+#include <string>
 
 namespace sqlfacil::nn::simd {
 
@@ -25,6 +26,12 @@ namespace sqlfacil::nn::simd {
 ///     accumulator-register version at any length.
 bool HasAvx2();
 
+/// True when the CPU additionally supports AVX-VNNI (vpdpbusd on 256-bit
+/// registers). Consulted only by the int8 no-saturation GEMM path
+/// (simd_int8.h Int8GemmRowsNoSat), whose +-63 weight precondition makes the
+/// fused instruction bit-identical to the quad-dot spec.
+bool HasAvxVnni();
+
 /// True when AVX2 kernels are dispatched. Initialized on first use from
 /// SQLFACIL_SIMD (1 = force on when supported, 0 = force scalar, unset =
 /// auto-detect).
@@ -33,6 +40,16 @@ bool Enabled();
 /// Overrides dispatch at runtime (clamped to HasAvx2()); for tests and the
 /// SIMD on/off bench sweeps. Must not race with running kernels.
 void SetEnabled(bool on);
+
+/// One-line dispatch report: CPU capability, the float kernel path, the
+/// active precision tier (nn/quant.h), and the int8 kernel path — including
+/// an explicit note when the int8 tier falls back to the scalar reference
+/// because AVX2 is unavailable, so the slowdown is never silent.
+std::string DispatchReport();
+
+/// Logs DispatchReport() to stderr exactly once per process. The model
+/// inference entry points call this on their first prediction.
+void LogDispatchOnce();
 
 /// dst[i] += a * x[i]
 void Axpy(float* dst, const float* x, float a, size_t n);

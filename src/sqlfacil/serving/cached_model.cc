@@ -9,7 +9,9 @@
 namespace sqlfacil::serving {
 
 CachedModel::CachedModel(models::ModelPtr inner, size_t capacity)
-    : inner_(std::move(inner)), cache_(capacity) {
+    : inner_(std::move(inner)),
+      cache_(capacity),
+      seen_precision_(static_cast<int>(nn::quant::ActivePrecision())) {
   SQLFACIL_CHECK(inner_ != nullptr);
 }
 
@@ -22,10 +24,26 @@ std::string CachedModel::MakeKey(const std::string& statement,
   std::memcpy(&cost_bits, &opt_cost, sizeof(cost_bits));
   std::string key = inner_->name();
   key.push_back('\x1f');
+  // The tier is part of the key (int8 and fp32 predictions differ), on top
+  // of the RefreshPrecision invalidation: entries can never be served across
+  // tiers even in a window where another thread races the clear.
+  key += nn::quant::PrecisionName(nn::quant::ActivePrecision());
+  key.push_back('\x1f');
   key += std::to_string(cost_bits);
   key.push_back('\x1f');
   key += NormalizeStatement(statement);
   return key;
+}
+
+void CachedModel::RefreshPrecision() const {
+  const int now = static_cast<int>(nn::quant::ActivePrecision());
+  int seen = seen_precision_.load(std::memory_order_acquire);
+  if (seen == now) return;
+  // First observer of the switch clears; latecomers see seen == now.
+  if (seen_precision_.compare_exchange_strong(seen, now)) {
+    cache_.Clear();
+    ++generation_;
+  }
 }
 
 void CachedModel::Fit(const models::Dataset& train,
@@ -48,11 +66,13 @@ Status CachedModel::LoadFrom(std::istream& in) {
 
 std::optional<std::vector<float>> CachedModel::Lookup(
     const std::string& statement, double opt_cost) const {
+  RefreshPrecision();
   return cache_.Get(MakeKey(statement, opt_cost));
 }
 
 std::vector<float> CachedModel::Predict(const std::string& statement,
                                         double opt_cost) const {
+  RefreshPrecision();
   const std::string key = MakeKey(statement, opt_cost);
   if (auto hit = cache_.Get(key)) return std::move(*hit);
   auto pred = inner_->Predict(statement, opt_cost);
@@ -65,6 +85,7 @@ std::vector<std::vector<float>> CachedModel::PredictBatch(
     std::span<const double> opt_costs) const {
   SQLFACIL_CHECK(opt_costs.empty() || opt_costs.size() == statements.size())
       << "PredictBatch opt_costs size mismatch";
+  RefreshPrecision();
   const size_t n = statements.size();
   std::vector<std::vector<float>> preds(n);
   // Dedup the misses so each distinct (key) costs one inner inference even

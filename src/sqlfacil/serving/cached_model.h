@@ -1,23 +1,29 @@
 #ifndef SQLFACIL_SERVING_CACHED_MODEL_H_
 #define SQLFACIL_SERVING_CACHED_MODEL_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
 #include "sqlfacil/models/model.h"
+#include "sqlfacil/nn/quant.h"
 #include "sqlfacil/serving/prediction_cache.h"
 
 namespace sqlfacil::serving {
 
 /// Memoizing decorator for any Model: predictions are cached under
-/// (model name, normalized statement, opt-cost bits). The paper's workloads
-/// are highly repetitive (fig20_repetition), so serve-time hit rates are
-/// large; a hit returns bit-identical results to a cold miss because the
-/// cached vector IS the miss's result and normalization is
+/// (model name, precision tier, normalized statement, opt-cost bits). The
+/// paper's workloads are highly repetitive (fig20_repetition), so serve-time
+/// hit rates are large; a hit returns bit-identical results to a cold miss
+/// because the cached vector IS the miss's result and normalization is
 /// semantics-preserving (see NormalizeStatement).
 ///
 /// Invalidation: Fit and LoadFrom change the wrapped model's parameters, so
-/// both clear the cache and bump generation() (tests observe it).
+/// both clear the cache and bump generation() (tests observe it). A runtime
+/// precision-tier switch (SetActivePrecision) also invalidates on the next
+/// lookup: int8 and fp32 predictions are numerically different tiers and a
+/// stale-tier hit would silently violate Predict/PredictBatch bit-identity
+/// within the active tier.
 class CachedModel : public models::Model {
  public:
   static constexpr size_t kDefaultCapacity = 1 << 16;
@@ -53,10 +59,14 @@ class CachedModel : public models::Model {
 
  private:
   std::string MakeKey(const std::string& statement, double opt_cost) const;
+  /// Clears the cache (and bumps generation) if the active precision tier
+  /// changed since the last lookup. Called on every read path.
+  void RefreshPrecision() const;
 
   models::ModelPtr inner_;
   mutable PredictionCache cache_;
-  size_t generation_ = 0;
+  mutable std::atomic<size_t> generation_{0};
+  mutable std::atomic<int> seen_precision_;
 };
 
 }  // namespace sqlfacil::serving

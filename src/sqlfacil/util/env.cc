@@ -57,4 +57,13 @@ int GetSimdFromEnv() {
   return -1;
 }
 
+int GetPrecisionFromEnv() {
+  const char* v = std::getenv("SQLFACIL_PRECISION");
+  if (v == nullptr) return -1;
+  const std::string s(v);
+  if (s == "fp32" || s == "0") return 0;
+  if (s == "int8" || s == "1") return 1;
+  return -1;
+}
+
 }  // namespace sqlfacil

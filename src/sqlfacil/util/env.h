@@ -28,6 +28,10 @@ int GetThreadsFromEnv();
 /// auto-detect.
 int GetSimdFromEnv();
 
+/// Reads SQLFACIL_PRECISION: "int8" selects the quantized inference tier,
+/// "fp32" the float tier, unset/other returns -1 meaning the default (fp32).
+int GetPrecisionFromEnv();
+
 /// Reads SQLFACIL_SNAPSHOT_DIR: the directory training snapshots are written
 /// to (and resumed from). Empty / unset disables snapshotting.
 std::string GetSnapshotDirFromEnv();

@@ -394,6 +394,44 @@ TEST(CachedModelTest, FitInvalidatesCache) {
   for (size_t i = 0; i < fresh.size(); ++i) EXPECT_EQ(fresh[i], direct[i]);
 }
 
+TEST(CachedModelTest, PrecisionSwitchInvalidatesCache) {
+  const auto saved = nn::quant::ActivePrecision();
+  const Dataset train = SyntheticClassification(60, 21);
+  models::LstmModel::Config config;
+  config.embed_dim = 8;
+  config.hidden_dim = 12;
+  config.num_layers = 1;
+  config.epochs = 1;
+  serving::CachedModel model(std::make_unique<models::LstmModel>(config));
+  Rng rng(7);
+  nn::quant::SetActivePrecision(nn::quant::Precision::kFp32);
+  model.Fit(train, train, &rng);
+
+  const std::string q = train.statements[0];
+  const auto fp32_pred = model.Predict(q, 0.0);
+  EXPECT_GE(model.cache().size(), 1u);
+  const size_t gen = model.generation();
+
+  // Switching tiers invalidates on the next lookup: no fp32 entry may be
+  // served as an int8 result.
+  nn::quant::SetActivePrecision(nn::quant::Precision::kInt8);
+  const auto int8_pred = model.Predict(q, 0.0);
+  EXPECT_EQ(model.generation(), gen + 1);
+  const auto int8_direct = model.inner().Predict(q, 0.0);
+  ASSERT_EQ(int8_pred.size(), int8_direct.size());
+  for (size_t i = 0; i < int8_pred.size(); ++i) {
+    EXPECT_EQ(int8_pred[i], int8_direct[i]);
+  }
+
+  // Switching back invalidates again and reproduces the fp32 bits.
+  nn::quant::SetActivePrecision(nn::quant::Precision::kFp32);
+  const auto back = model.Predict(q, 0.0);
+  EXPECT_EQ(model.generation(), gen + 2);
+  ASSERT_EQ(back.size(), fp32_pred.size());
+  for (size_t i = 0; i < back.size(); ++i) EXPECT_EQ(back[i], fp32_pred[i]);
+  nn::quant::SetActivePrecision(saved);
+}
+
 TEST(CachedModelTest, OptCostIsPartOfTheKey) {
   serving::PredictionCache cache(4, 1);
   (void)cache;
