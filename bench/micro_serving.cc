@@ -1,19 +1,26 @@
 // Micro-benchmarks of the serving fast path: single-query Predict latency
 // (p50/p99), batched PredictBatch throughput vs a per-query Predict loop,
-// and the prediction cache at hit rates 0% / 50% / 90%.
+// the prediction cache at hit rates 0% / 50% / 90%, and the full serving
+// front end (serving::Server) under closed-loop concurrent clients with the
+// micro-batch window on vs off.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "sqlfacil/models/baselines.h"
 #include "sqlfacil/models/cnn_model.h"
 #include "sqlfacil/models/lstm_model.h"
 #include "sqlfacil/models/tfidf_model.h"
 #include "sqlfacil/serving/cached_model.h"
+#include "sqlfacil/serving/server.h"
+#include "sqlfacil/util/latency_histogram.h"
 #include "sqlfacil/util/random.h"
 
 namespace sqlfacil {
@@ -83,33 +90,24 @@ const models::LstmModel& Lstm() {
   return Trained<models::LstmModel>(config);
 }
 
-double PercentileUs(std::vector<double> v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const size_t idx = std::min(
-      v.size() - 1, static_cast<size_t>(p / 100.0 * static_cast<double>(
-                                                        v.size())));
-  return v[idx];
-}
-
 // Single-query latency with p50/p99 counters (queries rotate so cache-like
 // locality in the model itself cannot flatter the numbers).
 void SingleLatency(benchmark::State& state, const models::Model& model) {
   const auto& queries = ServeQueries();
-  std::vector<double> lat_us;
-  lat_us.reserve(1 << 12);
+  LatencyHistogram lat;
   size_t qi = 0;
   for (auto _ : state) {
     const auto t0 = std::chrono::steady_clock::now();
     auto pred = model.Predict(queries[qi], 0.0);
     const auto t1 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(pred.data());
-    lat_us.push_back(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    lat.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
     qi = (qi + 1) % queries.size();
   }
-  state.counters["p50_us"] = PercentileUs(lat_us, 50.0);
-  state.counters["p99_us"] = PercentileUs(lat_us, 99.0);
+  state.counters["p50_us"] = lat.PercentileUs(50.0);
+  state.counters["p99_us"] = lat.PercentileUs(99.0);
 }
 
 // Whole-batch cost: per-query Predict loop (baseline) vs PredictBatch
@@ -239,6 +237,79 @@ BENCHMARK(BM_CachedBatch_clstm)
     ->Arg(50)
     ->Arg(90)
     ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Full serving front end under closed-loop concurrent clients. Arg(0) is the
+// per-query baseline (batch window off); Arg(N) opens an N-microsecond batch
+// window so concurrent arrivals coalesce into PredictBatch flushes. One
+// iteration = every client serving its whole slice, so items/s is end-to-end
+// server throughput and the counters expose client-observed percentiles plus
+// the realized mean batch size.
+void ServerClosedLoop(benchmark::State& state) {
+  const auto& queries = ServeQueries();
+  constexpr size_t kClients = 16;
+  constexpr size_t kPerClient = 32;
+
+  static models::CnnModel* shared = [] {
+    models::CnnModel::Config config;
+    config.epochs = 1;
+    auto* m = new models::CnnModel(config);
+    Rng rng(7);
+    m->Fit(TrainData(), TrainData(), &rng);
+    return m;
+  }();
+
+  serving::ServerOptions options;
+  options.num_shards = 2;
+  // Small enough that the closed-loop client pool can complete a batch
+  // before the window expires (threshold wake-up, not a timeout flush).
+  options.max_batch = 4;
+  options.batch_window_us = state.range(0);
+  serving::Server server(
+      [&](size_t) {
+        return std::make_unique<serving::ResilientModel>(
+            std::make_unique<serving::ModelRef>(shared),
+            std::make_unique<models::MfreqModel>());
+      },
+      options);
+
+  LatencyHistogram lat;
+  std::mutex lat_mu;
+  for (auto _ : state) {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        LatencyHistogram local;
+        for (size_t i = 0; i < kPerClient; ++i) {
+          const std::string& q = queries[(c * 13 + i * 5) % queries.size()];
+          const auto t0 = std::chrono::steady_clock::now();
+          auto reply = server.Call(q);
+          const auto t1 = std::chrono::steady_clock::now();
+          benchmark::DoNotOptimize(reply.prediction.data());
+          local.Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+        }
+        std::lock_guard<std::mutex> lock(lat_mu);
+        lat.Merge(local);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const auto stats = server.GetStats();
+  server.Shutdown();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kClients * kPerClient));
+  state.counters["p50_us"] = lat.PercentileUs(50.0);
+  state.counters["p99_us"] = lat.PercentileUs(99.0);
+  state.counters["mean_batch"] = stats.mean_batch_size;
+}
+BENCHMARK(ServerClosedLoop)
+    ->Name("BM_ServerClosedLoop_ccnn")
+    ->Arg(0)
+    ->Arg(200)
+    ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

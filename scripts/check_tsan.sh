@@ -6,14 +6,22 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test determinism_test nn_test models_test resilience_test fuzz_smoke_test
+  --target thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test serve_bench
 status=0
-for t in thread_pool_test determinism_test nn_test models_test resilience_test fuzz_smoke_test; do
+for t in thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test; do
   echo "== $t (TSan) =="
   if ! "$BUILD_DIR/tests/$t"; then
     status=1
   fi
 done
+# Short closed-loop soak of the serving front end: concurrent clients,
+# batcher threads, stats polling and the shard caches all under TSan.
+echo "== serve_bench soak (TSan) =="
+if ! "$BUILD_DIR/tools/serve_bench" --rates 0 --clients 8 --shards 2 \
+    --duration-s 0.2 --warmup-s 0.05 --precision fp32 --train-n 48 \
+    --trace-len 64 >/dev/null; then
+  status=1
+fi
 if [ "$status" -eq 0 ]; then
   echo "TSAN_CLEAN"
 else

@@ -5,8 +5,8 @@
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 # Exits non-zero on the first failing stage; prints one loud status line
 # per stage so logs are greppable (CI_TESTS_OK / CI_INT8_TESTS_OK /
-# CI_FAILPOINT_MATRIX_OK / RESUME_CHAOS_OK / ASAN_CLEAN / TSAN_CLEAN /
-# UBSAN_CLEAN).
+# CI_FAILPOINT_MATRIX_OK / CI_SERVING_SOAK_OK / RESUME_CHAOS_OK /
+# ASAN_CLEAN / TSAN_CLEAN / UBSAN_CLEAN).
 set -eu
 BUILD_DIR="${1:-build}"
 
@@ -72,6 +72,20 @@ for spec in \
   fi
 done
 echo "CI_FAILPOINT_MATRIX_OK"
+
+echo "== serving soak =="
+# Closed-loop load against the full serving front end while the primary
+# model throws on every 40th predict: each shard's breaker must absorb the
+# faults and answer from a degraded tier — zero outright-failed requests
+# (serve_bench exits non-zero if any request ends kInternal).
+if ! SQLFACIL_FAILPOINTS="model.predict:throw@n40" \
+    "$BUILD_DIR/tools/serve_bench" --rates 0 --clients 16 --shards 2 \
+    --duration-s 0.3 --warmup-s 0.05 --precision fp32 --train-n 64 \
+    --trace-len 64; then
+  echo "CI_SERVING_SOAK_FAILED" >&2
+  exit 1
+fi
+echo "CI_SERVING_SOAK_OK"
 
 echo "== kill/resume chaos =="
 # Seeded SIGKILL storm over every model family x threads x SIMD: resumed

@@ -8,9 +8,9 @@
 #
 # --json: instead of the full sweep, runs the micro-benchmarks that track
 # the perf work (micro_nn, micro_train, micro_parallel, micro_serving,
-# micro_quant) with google-benchmark's JSON writer and distills the key
-# metrics into bench_logs/BENCH_6.json (BENCH_5 and earlier are kept as
-# historical snapshots).
+# micro_quant) plus the serve_bench closed-loop load generator, and
+# distills the key metrics into bench_logs/BENCH_7.json (BENCH_6 and
+# earlier are kept as historical snapshots).
 set -u
 
 BUILD_DIR="${BUILD_DIR:-build}"
@@ -49,15 +49,24 @@ if [ "${1:-}" = "--json" ]; then
     "$bin" --benchmark_out="bench_logs/$b.json" \
       --benchmark_out_format=json >/dev/null 2>&1 || exit 1
   done
+  # Closed-loop load through the full serving front end: three arrival
+  # rates (0 = unpaced max) x {fp32, int8}, plus a per-query (window = 0)
+  # baseline at the highest-concurrency point per tier.
+  # --max-batch 16: with 2 shards x 64 clients, batches of 16 complete by
+  # threshold wake-up inside the window instead of waiting out the timeout.
+  echo "running serve_bench (json)..."
+  "$BUILD_DIR/tools/serve_bench" --duration-s 1.5 --warmup-s 1.0 \
+    --max-batch 16 --json bench_logs/serve_bench.json >/dev/null 2>&1 \
+    || exit 1
   python3 scripts/summarize_benches.py \
     bench_logs/micro_nn.json bench_logs/micro_train.json \
     bench_logs/micro_parallel.json bench_logs/micro_serving.json \
-    bench_logs/micro_quant.json \
-    > bench_logs/BENCH_6.json || exit 1
+    bench_logs/micro_quant.json bench_logs/serve_bench.json \
+    > bench_logs/BENCH_7.json || exit 1
   rm -f bench_logs/micro_nn.json bench_logs/micro_train.json \
     bench_logs/micro_parallel.json bench_logs/micro_serving.json \
-    bench_logs/micro_quant.json
-  echo "wrote bench_logs/BENCH_6.json"
+    bench_logs/micro_quant.json bench_logs/serve_bench.json
+  echo "wrote bench_logs/BENCH_7.json"
   exit 0
 fi
 

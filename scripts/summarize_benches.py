@@ -9,6 +9,13 @@ thread sweep, speedup over the layer-by-layer graph step, optimizer
 kernel throughput), and the int8 quantized-tier metrics from micro_quant
 (quantized GEMM speedups, per-tier single-query p50 / batch throughput,
 and the fp32-vs-int8 accuracy deltas).
+
+A serve_bench --json report (detected by its top-level "runs" array) may
+be passed alongside the google-benchmark files: its closed-loop load
+results are embedded under "serving" and distilled into per-rate
+qps / p50 / p99 / p999 metrics, the micro-batching speedup over the
+per-query (window = 0) configuration, and the p99-vs-SLO verdict at the
+middle paced rate, per precision tier.
 """
 
 import json
@@ -25,6 +32,9 @@ def main(paths):
     for path in paths:
         doc = load(path)
         name = path.split("/")[-1].removesuffix(".json")
+        if "runs" in doc:  # serve_bench closed-loop load report
+            out["serving"] = doc
+            continue
         entries = []
         for b in doc.get("benchmarks", []):
             if b.get("run_type") == "aggregate":
@@ -39,6 +49,7 @@ def main(paths):
                 "items_per_second",
                 "p50_us",
                 "p99_us",
+                "mean_batch",
                 "acc_fp32",
                 "acc_int8",
                 "rel_acc_delta_pct",
@@ -73,6 +84,65 @@ def main(paths):
                 out["derived"][f"cached_batch_{family}_hit{pct}_items_per_s"] = round(
                     b["items_per_second"], 1
                 )
+    # Serving front end (Server): closed-loop clients through the admission
+    # queue + micro-batcher + shard pool, window on vs off (micro_serving).
+    sc_off = serving.get("BM_ServerClosedLoop_ccnn/0/real_time")
+    sc_on = serving.get("BM_ServerClosedLoop_ccnn/200/real_time")
+    for label, b in (("perquery", sc_off), ("window200", sc_on)):
+        if b and b.get("items_per_second"):
+            out["derived"][f"server_closed_loop_{label}_items_per_s"] = round(
+                b["items_per_second"], 1
+            )
+            out["derived"][f"server_closed_loop_{label}_p99_us"] = round(
+                b.get("p99_us", 0.0), 2
+            )
+    if sc_on and sc_off and sc_off.get("items_per_second"):
+        out["derived"]["server_closed_loop_mean_batch"] = round(
+            sc_on.get("mean_batch", 0.0), 2
+        )
+
+    # serve_bench load-generator report: per precision x rate QPS and
+    # latency percentiles, the micro-batching speedup over window = 0, and
+    # the SLO verdict at the middle paced rate (mirrors serve_bench's own
+    # greppable summary lines).
+    sb = out.get("serving")
+    if sb:
+        sb.setdefault(
+            "note",
+            "measured on a single-core container: PredictBatch's ParallelFor"
+            " fan-out cannot engage and a saturated per-query server already"
+            " self-batches at the scheduler level, capping the micro-batching"
+            " speedup near 1.1-1.3x; the >=2x design target needs a"
+            " multi-core host (see DESIGN.md 'Serving front end')",
+        )
+        runs = sb.get("runs", [])
+        slo_us = sb.get("config", {}).get("slo_us")
+        for r in runs:
+            rate = "max" if r["rate_qps"] == 0 else str(int(r["rate_qps"]))
+            tag = f"serve_{r['precision']}_rate{rate}_w{r['window_us']}"
+            out["derived"][f"{tag}_qps"] = round(r["qps"], 1)
+            out["derived"][f"{tag}_p50_us"] = round(r["p50_us"], 1)
+            out["derived"][f"{tag}_p99_us"] = round(r["p99_us"], 1)
+            out["derived"][f"{tag}_p999_us"] = round(r["p999_us"], 1)
+        for prec in ("fp32", "int8"):
+            mine = [r for r in runs if r["precision"] == prec]
+            batched = [r for r in mine if r["window_us"] != 0]
+            perquery = [r for r in mine if r["window_us"] == 0]
+            if batched and perquery and perquery[0]["qps"]:
+                best = max(r["qps"] for r in batched)
+                out["derived"][f"serve_{prec}_batching_speedup"] = round(
+                    best / perquery[0]["qps"], 3
+                )
+            paced = [r for r in batched if r["rate_qps"] > 0]
+            if paced and slo_us:
+                mid = paced[len(paced) // 2]
+                out["derived"][f"serve_{prec}_slo_p99_us"] = round(
+                    mid["p99_us"], 1
+                )
+                out["derived"][f"serve_{prec}_slo_ok"] = bool(
+                    mid["p99_us"] <= slo_us
+                )
+
     train = {b["name"]: b for b in out["benchmarks"].get("micro_train", [])}
     to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
     for name, b in train.items():

@@ -1,0 +1,74 @@
+#ifndef SQLFACIL_SERVING_LOADGEN_H_
+#define SQLFACIL_SERVING_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/serving/server.h"
+#include "sqlfacil/util/latency_histogram.h"
+
+namespace sqlfacil::serving {
+
+/// Closed-loop load generator for serving::Server (ISSUE 7): each client
+/// thread replays a session-style SQL trace, pacing its submissions against
+/// an open-loop arrival schedule (rate-controlled) but waiting for every
+/// reply before issuing the next request (closed loop — a slow server
+/// back-pressures the clients instead of building an unbounded in-flight
+/// set). The run loop polls train::DrainRequested(), so a SIGTERM drains the
+/// load (and the server's queues) instead of tearing mid-request.
+struct LoadGenOptions {
+  size_t num_clients = 8;
+  /// Total offered arrival rate across all clients, queries/second.
+  /// 0 = unpaced: every client issues back-to-back (saturation load).
+  double arrival_rate_qps = 0.0;
+  double duration_s = 1.0;
+  /// Untimed lead-in before measurement starts: clients run the same load
+  /// but nothing is recorded. Warms the server-side caches and settles the
+  /// scheduler so the measured window sees steady state, not the cold start.
+  double warmup_s = 0.0;
+  /// Probability a request replays an earlier statement of the trace
+  /// verbatim, matching the ~18.5% statement redundancy Query2Vec reports
+  /// in real workloads (PAPERS.md) — the redundancy the serving cache
+  /// converts into hits.
+  double duplicate_rate = 0.185;
+  /// Distinct-generation budget of each client's trace (statements beyond
+  /// it replay earlier entries, so the trace stays cache-sized).
+  size_t trace_len = 512;
+  /// Per-request deadline forwarded to Server::Submit; 0 = none.
+  int64_t deadline_us = 0;
+  uint64_t seed = 20200221;
+};
+
+/// Outcome of one load-generation run: client-observed counts and latency
+/// (merged across client threads) plus the server's own stats snapshot.
+struct LoadReport {
+  uint64_t issued = 0;
+  uint64_t ok = 0;           ///< replies with a prediction (any tier)
+  uint64_t rejected = 0;     ///< kResourceExhausted (queue full)
+  uint64_t unavailable = 0;  ///< kUnavailable (server draining)
+  uint64_t expired = 0;      ///< kDeadlineExceeded
+  uint64_t failed = 0;       ///< every other error status
+  double duration_s = 0.0;   ///< measured wall time of the run
+  double offered_qps = 0.0;  ///< requested arrival rate (0 = unpaced)
+  double achieved_qps = 0.0; ///< ok replies / measured duration
+  /// Client-observed latency of ok replies (submit to reply), nanoseconds.
+  LatencyHistogram latency_ns;
+  /// Server-side snapshot taken after the run completes.
+  Server::Stats server;
+};
+
+/// Builds a session-traffic trace in the style of the SDSS/SQLShare
+/// workloads: statements generated per session class by
+/// workload::QueryGenerator, with `duplicate_rate` of entries replaying an
+/// earlier statement verbatim (Zipf-skewed towards recent/hot statements).
+std::vector<std::string> BuildSessionTrace(size_t n, double duplicate_rate,
+                                           uint64_t seed);
+
+/// Runs the closed-loop load against `server` and reports. Does not shut
+/// the server down; the caller owns its lifecycle.
+LoadReport RunLoadGen(Server& server, const LoadGenOptions& options);
+
+}  // namespace sqlfacil::serving
+
+#endif  // SQLFACIL_SERVING_LOADGEN_H_

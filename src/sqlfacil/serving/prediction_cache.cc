@@ -52,10 +52,10 @@ std::optional<std::vector<float>> PredictionCache::Get(
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    ++shard.misses;
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++shard.hits;
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->value;
 }
@@ -74,6 +74,7 @@ void PredictionCache::Put(const std::string& key, std::vector<float> value) {
   if (shard.index.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -94,22 +95,15 @@ size_t PredictionCache::size() const {
   return total;
 }
 
-size_t PredictionCache::hits() const {
-  size_t total = 0;
+PredictionCache::Stats PredictionCache::GetStats() const {
+  Stats stats;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    total += shard.hits;
+    stats.hits += shard.hits.load(std::memory_order_relaxed);
+    stats.misses += shard.misses.load(std::memory_order_relaxed);
+    stats.evictions += shard.evictions.load(std::memory_order_relaxed);
   }
-  return total;
-}
-
-size_t PredictionCache::misses() const {
-  size_t total = 0;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    total += shard.misses;
-  }
-  return total;
+  stats.size = size();
+  return stats;
 }
 
 }  // namespace sqlfacil::serving

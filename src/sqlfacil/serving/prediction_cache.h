@@ -1,7 +1,9 @@
 #ifndef SQLFACIL_SERVING_PREDICTION_CACHE_H_
 #define SQLFACIL_SERVING_PREDICTION_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -40,9 +42,27 @@ class PredictionCache {
   /// Drops every entry (model retrained / reloaded).
   void Clear();
 
+  /// One coherent-enough counter snapshot. Counters are per-shard relaxed
+  /// atomics folded on read: increments from concurrent server threads are
+  /// race-free without taking the shard locks, and a snapshot taken during
+  /// traffic is the sum of per-shard values that are each exact (the
+  /// cross-shard sum may straddle in-flight requests, which is fine for
+  /// telemetry). hit_rate() is hits / (hits + misses).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  Stats GetStats() const;
+
   size_t size() const;
-  size_t hits() const;
-  size_t misses() const;
+  size_t hits() const { return GetStats().hits; }
+  size_t misses() const { return GetStats().misses; }
 
  private:
   struct Entry {
@@ -53,8 +73,11 @@ class PredictionCache {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recent
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    size_t hits = 0;
-    size_t misses = 0;
+    // Counters live outside the lock so Stats() never contends with the
+    // serving hot path.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
   };
 
   Shard& ShardFor(const std::string& key);

@@ -1,0 +1,74 @@
+#include "sqlfacil/util/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil {
+
+LatencyHistogram::LatencyHistogram() : counts_(kNumBuckets, 0) {}
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  // Octave 0 (values < 2*kSubBuckets) is identity-mapped and exact. Above
+  // that, the top kSubBucketBits bits after the leading one select the
+  // sub-bucket within the value's power of two.
+  if (value < 2 * kSubBuckets) return static_cast<size_t>(value);
+  const int top = 63 - std::countl_zero(value);  // position of the msb
+  const int shift = top - kSubBucketBits;
+  return static_cast<size_t>(
+      (static_cast<uint64_t>(shift + 1) << kSubBucketBits) +
+      ((value >> shift) - kSubBuckets));
+}
+
+uint64_t LatencyHistogram::BucketUpperEdge(size_t bucket) {
+  const uint64_t octave = bucket >> kSubBucketBits;
+  if (octave <= 1) return bucket;  // identity region
+  const int shift = static_cast<int>(octave) - 1;
+  const uint64_t base = ((bucket & (kSubBuckets - 1)) + kSubBuckets) << shift;
+  return base + ((uint64_t{1} << shift) - 1);
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  const size_t idx = BucketIndex(nanos);
+  SQLFACIL_CHECK(idx < counts_.size());
+  ++counts_[idx];
+  if (count_ == 0 || nanos < min_) min_ = nanos;
+  if (nanos > max_) max_ = nanos;
+  ++count_;
+  sum_ += static_cast<double>(nanos);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation, 1-based: p50 of 10 values is the 5th.
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_)));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += counts_[i];
+    if (cum >= target) return std::min(BucketUpperEdge(i), max_);
+  }
+  return max_;
+}
+
+}  // namespace sqlfacil

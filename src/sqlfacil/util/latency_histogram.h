@@ -1,0 +1,75 @@
+#ifndef SQLFACIL_UTIL_LATENCY_HISTOGRAM_H_
+#define SQLFACIL_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sqlfacil {
+
+/// Log-bucketed latency histogram (HdrHistogram-style layout): each power of
+/// two is split into kSubBuckets linear sub-buckets, so the relative bucket
+/// width — and therefore the worst-case percentile error — is 1/kSubBuckets
+/// (~3%) at every magnitude, while the whole uint64 nanosecond range fits in
+/// a fixed ~2k-entry count array. Values below kSubBuckets are exact.
+///
+/// Recording is O(1) with no allocation; histograms from different threads
+/// merge by bucket-wise addition (Merge), which is how the server folds its
+/// per-shard histograms into one Stats() snapshot and how serve_bench folds
+/// per-client-thread observations into the run report.
+///
+/// Not internally synchronized: one writer per instance (or external
+/// locking), merge on the reader side.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBucketBits;
+  /// Octave 0 covers [0, 2*kSubBuckets) exactly; each further octave covers
+  /// one power of two. 64-bit values need (64 - kSubBucketBits) octaves.
+  static constexpr size_t kNumBuckets =
+      (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  LatencyHistogram();
+
+  /// Adds one observation (nanoseconds by convention; the unit is opaque to
+  /// the histogram, only the *Us helpers assume nanos).
+  void Record(uint64_t nanos);
+
+  /// Bucket-wise addition of another histogram into this one.
+  void Merge(const LatencyHistogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Value at percentile p in [0, 100]: the upper edge of the bucket holding
+  /// the p-th observation (conservative — never under-reports), clamped to
+  /// the exact observed max. Returns 0 on an empty histogram.
+  uint64_t Percentile(double p) const;
+
+  /// Microsecond conveniences for nanosecond-recorded histograms.
+  double PercentileUs(double p) const { return Percentile(p) / 1e3; }
+  double MeanUs() const { return mean() / 1e3; }
+
+  /// Bucket index for a value (exposed for tests of the bucketing scheme).
+  static size_t BucketIndex(uint64_t value);
+  /// Largest value mapping to `bucket` (the representative Percentile
+  /// reports).
+  static uint64_t BucketUpperEdge(size_t bucket);
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace sqlfacil
+
+#endif  // SQLFACIL_UTIL_LATENCY_HISTOGRAM_H_

@@ -26,6 +26,8 @@ const char* CodeName(StatusCode code) {
       return "VERSION_MISMATCH";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kCorruptCheckpoint, // checkpoint bytes fail CRC/framing/tag validation
   kVersionMismatch,   // checkpoint format version this build cannot read
   kDeadlineExceeded,  // serving batch exceeded its latency budget
+  kUnavailable,       // server draining/stopped; retry against a live one
 };
 
 /// A lightweight success-or-error result, modeled after absl::Status.
@@ -59,6 +60,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

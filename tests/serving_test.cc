@@ -10,13 +10,28 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "sqlfacil/models/baselines.h"
 #include "sqlfacil/models/cnn_model.h"
 #include "sqlfacil/models/lstm_model.h"
 #include "sqlfacil/models/tfidf_model.h"
 #include "sqlfacil/nn/arena.h"
 #include "sqlfacil/nn/simd.h"
+#include "sqlfacil/serving/admission_queue.h"
 #include "sqlfacil/serving/cached_model.h"
+#include "sqlfacil/serving/loadgen.h"
 #include "sqlfacil/serving/prediction_cache.h"
+#include "sqlfacil/serving/server.h"
+#include "sqlfacil/util/drain.h"
 #include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/random.h"
 #include "sqlfacil/util/thread_pool.h"
@@ -446,6 +461,503 @@ TEST(CachedModelTest, OptCostIsPartOfTheKey) {
   (void)model.Predict(train.statements[0], 1.0);
   (void)model.Predict(train.statements[0], 2.0);
   EXPECT_EQ(model.cache().size(), 2u);
+}
+
+// --- AdmissionQueue --------------------------------------------------------
+
+TEST(AdmissionQueueTest, TryPushRejectsWhenFullNeverBlocks) {
+  serving::AdmissionQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.TryPush(3));
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(100));
+  EXPECT_EQ(queue.size(), 2u);
+  int out = 0;
+  EXPECT_TRUE(queue.PopWait(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.TryPush(3));  // space again after a pop
+}
+
+TEST(AdmissionQueueTest, CloseDrainsThenPopWaitReturnsFalse) {
+  serving::AdmissionQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(7));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(8));  // no admission after close
+  int out = 0;
+  EXPECT_TRUE(queue.PopWait(&out));  // queued item still drains
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(queue.PopWait(&out));  // drained + closed -> done
+}
+
+TEST(AdmissionQueueTest, PopUpToTakesQueuedItemsWithoutWaiting) {
+  serving::AdmissionQueue<int> queue(8);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.TryPush(i));
+  std::vector<int> out;
+  // Deadline already passed: the greedy drain must still take everything
+  // queued, with no window sleep.
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t popped =
+      queue.PopUpTo(&out, 8, std::chrono::steady_clock::now());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(100));
+  EXPECT_EQ(popped, 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AdmissionQueueTest, PopUpToWakesWhenBatchCompletes) {
+  serving::AdmissionQueue<int> queue(8);
+  std::vector<int> out;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(queue.TryPush(1));
+    ASSERT_TRUE(queue.TryPush(2));
+  });
+  // Window far in the future: the pop must return when the 2-item batch
+  // completes, not at the deadline.
+  const size_t popped = queue.PopUpTo(
+      &out, 2, std::chrono::steady_clock::now() + std::chrono::seconds(30));
+  producer.join();
+  EXPECT_EQ(popped, 2u);
+}
+
+TEST(AdmissionQueueTest, PopUpToFlushesStragglersAtDeadline) {
+  serving::AdmissionQueue<int> queue(8);
+  std::vector<int> out;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(queue.TryPush(1));  // sub-threshold: no consumer wakeup
+  });
+  const size_t popped = queue.PopUpTo(
+      &out, 5,
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(80));
+  producer.join();
+  // The straggler queued silently and was drained at the window edge.
+  EXPECT_EQ(popped, 1u);
+  EXPECT_EQ(out, (std::vector<int>{1}));
+}
+
+TEST(AdmissionQueueTest, CloseWakesWindowWaiter) {
+  serving::AdmissionQueue<int> queue(8);
+  std::vector<int> out;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.Close();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t popped = queue.PopUpTo(
+      &out, 4, std::chrono::steady_clock::now() + std::chrono::seconds(30));
+  closer.join();
+  EXPECT_EQ(popped, 0u);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(10));
+}
+
+// --- PredictionCache stats -------------------------------------------------
+
+TEST(PredictionCacheTest, StatsSnapshotCountsHitsMissesEvictions) {
+  serving::PredictionCache cache(/*capacity=*/2, /*num_shards=*/1);
+  EXPECT_FALSE(cache.Get("a").has_value());  // miss
+  cache.Put("a", {1.0f});
+  EXPECT_TRUE(cache.Get("a").has_value());  // hit
+  cache.Put("b", {2.0f});
+  cache.Put("c", {3.0f});  // evicts "a" (LRU, single shard)
+  const serving::PredictionCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+  // Back-compat accessors read the same counters.
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// --- Server ----------------------------------------------------------------
+
+// Test double whose Predict blocks until released: makes queue-full and
+// shutdown-drain states deterministic instead of racing the batcher thread.
+class BlockingModel : public models::Model {
+ public:
+  std::string name() const override { return "blocking"; }
+  void Fit(const Dataset&, const Dataset&, Rng*) override {}
+  std::vector<float> Predict(const std::string&, double) const override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    entered_cv_.notify_all();
+    release_cv_.wait(lock, [&] { return released_; });
+    return {0.25f, 0.75f};
+  }
+
+  void WaitUntilBlocked() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [&] { return entered_ > 0; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::condition_variable release_cv_;
+  mutable int entered_ = 0;
+  bool released_ = false;
+};
+
+// Counts Predict invocations; proves expired requests never reach the model.
+class CountingModel : public models::Model {
+ public:
+  std::string name() const override { return "counting"; }
+  void Fit(const Dataset&, const Dataset&, Rng*) override {}
+  std::vector<float> Predict(const std::string&, double) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return {1.0f, 0.0f};
+  }
+  int calls() const { return calls_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<int> calls_{0};
+};
+
+std::unique_ptr<serving::ResilientModel> WrapResilient(
+    std::unique_ptr<models::Model> primary) {
+  return std::make_unique<serving::ResilientModel>(
+      std::move(primary), std::make_unique<models::MfreqModel>());
+}
+
+TEST(ServerTest, QueueFullRejectsWithResourceExhausted) {
+  auto owned = std::make_unique<BlockingModel>();
+  BlockingModel* blocking = owned.get();
+  serving::ServerOptions options;
+  options.num_shards = 1;
+  options.queue_depth = 2;
+  options.batch_window_us = 0;  // strict per-query: the worker stays busy
+  serving::Server server(
+      [&](size_t) { return WrapResilient(std::move(owned)); }, options);
+
+  std::vector<std::future<serving::ServerReply>> accepted;
+  auto submit = [&](const std::string& s) {
+    auto promise =
+        std::make_shared<std::promise<serving::ServerReply>>();
+    auto future = promise->get_future();
+    const bool ok = server.Submit(
+        s, 0.0,
+        [promise](serving::ServerReply r) { promise->set_value(std::move(r)); });
+    return std::make_pair(ok, std::move(future));
+  };
+
+  // First request is popped by the worker and blocks inside the model.
+  auto first = submit("SELECT 1");
+  ASSERT_TRUE(first.first);
+  blocking->WaitUntilBlocked();
+  // Now fill the admission queue to its bound...
+  auto second = submit("SELECT 2");
+  auto third = submit("SELECT 3");
+  ASSERT_TRUE(second.first);
+  ASSERT_TRUE(third.first);
+  // ...and the next submission is shed with a typed status, immediately.
+  auto fourth = submit("SELECT 4");
+  EXPECT_FALSE(fourth.first);
+  auto reply = fourth.second.get();
+  EXPECT_EQ(reply.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(reply.prediction.empty());
+
+  blocking->Release();
+  // Every admitted request still completes.
+  for (auto* f : {&first.second, &second.second, &third.second}) {
+    auto r = f->get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.tier, serving::Tier::kPrimary);
+  }
+  const serving::Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(ServerTest, DeadlineExpiresInsideBatchWindow) {
+  auto owned = std::make_unique<CountingModel>();
+  CountingModel* counting = owned.get();
+  serving::ServerOptions options;
+  options.num_shards = 1;
+  options.max_batch = 32;
+  options.batch_window_us = 30000;  // 30ms window >> 1ms deadline
+  serving::Server server(
+      [&](size_t) { return WrapResilient(std::move(owned)); }, options);
+
+  // The doomed request opens the window; its deadline lapses before the
+  // window closes.
+  auto doomed = std::async(std::launch::async, [&] {
+    return server.Call("SELECT doomed", 0.0, /*deadline_us=*/1000);
+  });
+  auto served = std::async(std::launch::async, [&] {
+    return server.Call("SELECT served", 0.0, /*deadline_us=*/0);
+  });
+  const serving::ServerReply dr = doomed.get();
+  const serving::ServerReply sr = served.get();
+  EXPECT_EQ(dr.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(dr.prediction.empty());
+  EXPECT_EQ(dr.batch_size, 0u);  // never occupied a model batch slot
+  EXPECT_TRUE(sr.status.ok()) << sr.status.ToString();
+  // Only the live request reached the model.
+  EXPECT_EQ(counting->calls(), 1);
+  const serving::Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServerTest, BatcherCoalescesAndFlushesPartialBatch) {
+  serving::ServerOptions options;
+  options.num_shards = 1;
+  options.max_batch = 16;
+  options.batch_window_us = 60000;  // long enough to catch all three
+  serving::Server server(
+      [&](size_t) { return WrapResilient(std::make_unique<CountingModel>()); },
+      options);
+
+  std::vector<std::future<serving::ServerReply>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(std::async(std::launch::async, [&, i] {
+      return server.Call("SELECT q" + std::to_string(i));
+    }));
+  }
+  size_t max_batch_seen = 0;
+  for (auto& f : futures) {
+    const serving::ServerReply r = f.get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    max_batch_seen = std::max(max_batch_seen, r.batch_size);
+  }
+  // All three coalesced into one partial batch (3 < max_batch) which the
+  // window expiry flushed — it did not wait for a full batch.
+  EXPECT_EQ(max_batch_seen, 3u);
+  const serving::Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size, 3.0);
+}
+
+TEST(ServerTest, ShutdownDrainsEveryAcceptedRequest) {
+  auto owned = std::make_unique<BlockingModel>();
+  BlockingModel* blocking = owned.get();
+  serving::ServerOptions options;
+  options.num_shards = 1;
+  options.queue_depth = 8;
+  options.batch_window_us = 0;
+  serving::Server server(
+      [&](size_t) { return WrapResilient(std::move(owned)); }, options);
+
+  std::vector<std::future<serving::ServerReply>> futures;
+  auto submit_ok = [&](const std::string& s) {
+    auto promise =
+        std::make_shared<std::promise<serving::ServerReply>>();
+    futures.push_back(promise->get_future());
+    ASSERT_TRUE(server.Submit(s, 0.0, [promise](serving::ServerReply r) {
+      promise->set_value(std::move(r));
+    }));
+  };
+  submit_ok("SELECT 1");
+  blocking->WaitUntilBlocked();
+  submit_ok("SELECT 2");
+  submit_ok("SELECT 3");
+  submit_ok("SELECT 4");
+
+  std::thread shutdown([&] { server.Shutdown(); });
+  // Admission stops as soon as the drain starts; already-accepted requests
+  // are not dropped.
+  while (server.accepting()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  serving::ServerReply rejected = server.Call("SELECT 5");
+  EXPECT_EQ(rejected.status.code(), StatusCode::kUnavailable);
+
+  blocking->Release();
+  shutdown.join();
+  for (auto& f : futures) {
+    const serving::ServerReply r = f.get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_FALSE(r.prediction.empty());
+  }
+  const serving::Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.rejected_unavailable, 1u);
+  server.Shutdown();  // idempotent
+}
+
+TEST(ServerTest, BatchedRepliesBitIdenticalToDirectPredict) {
+  const Dataset train = SyntheticClassification(48, 21);
+  models::CnnModel::Config config;
+  config.epochs = 1;
+  models::CnnModel cnn(config);
+  Rng rng(5);
+  cnn.Fit(train, train, &rng);
+  models::MfreqModel baseline;
+  baseline.Fit(train, train, &rng);
+
+  for (int64_t window_us : {int64_t{0}, int64_t{200}}) {
+    serving::ServerOptions options;
+    options.num_shards = 2;
+    options.max_batch = 8;
+    options.batch_window_us = window_us;
+    serving::Server server(
+        [&](size_t) {
+          return std::make_unique<serving::ResilientModel>(
+              std::make_unique<serving::ModelRef>(&cnn),
+              std::make_unique<serving::ModelRef>(&baseline));
+        },
+        options);
+
+    // Concurrent clients issue overlapping statements so batches mix
+    // duplicates and distinct queries across both shards.
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 12;
+    std::vector<std::thread> clients;
+    std::vector<std::vector<std::pair<std::string, std::vector<float>>>>
+        results(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kPerClient; ++i) {
+          const std::string& s =
+              train.statements[(c * 7 + i * 3) % train.statements.size()];
+          serving::ServerReply reply = server.Call(s);
+          ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+          ASSERT_EQ(reply.tier, serving::Tier::kPrimary);
+          results[c].emplace_back(s, std::move(reply.prediction));
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    server.Shutdown();
+
+    // Whatever batches formed, every reply's bits equal the direct
+    // per-query Predict: micro-batching never changes an answer.
+    for (const auto& client : results) {
+      for (const auto& [statement, prediction] : client) {
+        const std::vector<float> direct = cnn.Predict(statement, 0.0);
+        ASSERT_EQ(prediction.size(), direct.size());
+        for (size_t k = 0; k < direct.size(); ++k) {
+          ASSERT_EQ(prediction[k], direct[k])
+              << "window=" << window_us << " statement=" << statement;
+        }
+      }
+    }
+  }
+}
+
+// Short concurrency soak: many clients, stats polling, cache churn. Run
+// under TSan in CI (scripts/check_tsan.sh) to prove the serving path —
+// admission queue, batcher, per-shard stats, cache counters — is race-free.
+TEST(ServerSoakTest, ConcurrentClientsAndStatsPollingAreClean) {
+  const Dataset train = SyntheticClassification(32, 33);
+  models::TfidfModel::Config config;
+  config.epochs = 1;
+  models::TfidfModel tfidf(config);
+  Rng rng(9);
+  tfidf.Fit(train, train, &rng);
+  models::MfreqModel baseline;
+  baseline.Fit(train, train, &rng);
+
+  serving::ServerOptions options;
+  options.num_shards = 2;
+  options.max_batch = 8;
+  options.batch_window_us = 100;
+  options.queue_depth = 64;
+  serving::Server server(
+      [&](size_t) {
+        return std::make_unique<serving::ResilientModel>(
+            std::make_unique<serving::ModelRef>(&tfidf),
+            std::make_unique<serving::ModelRef>(&baseline));
+      },
+      options);
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 150;
+  std::atomic<uint64_t> ok{0};
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const serving::Server::Stats stats = server.GetStats();
+      ASSERT_LE(stats.completed, stats.accepted);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng crng(100 + static_cast<uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string& s = train.statements[crng.NextUint64(
+            train.statements.size())];
+        const serving::ServerReply reply = server.Call(s);
+        if (reply.status.ok()) ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true, std::memory_order_release);
+  poller.join();
+  server.Shutdown();
+
+  EXPECT_EQ(ok.load(), static_cast<uint64_t>(kClients * kPerClient));
+  const serving::Server::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, stats.completed);
+  EXPECT_EQ(stats.total_ns.count(), stats.completed);
+  EXPECT_GE(stats.cache.hits, 1u);  // 6x150 draws over 32 statements repeat
+}
+
+// --- Load generator --------------------------------------------------------
+
+TEST(LoadGenTest, SessionTraceIsDeterministicWithMatchedRedundancy) {
+  const auto a = serving::BuildSessionTrace(400, 0.185, 77);
+  const auto b = serving::BuildSessionTrace(400, 0.185, 77);
+  ASSERT_EQ(a.size(), 400u);
+  EXPECT_EQ(a, b);  // same seed, same trace
+  const auto c = serving::BuildSessionTrace(400, 0.185, 78);
+  EXPECT_NE(a, c);  // different seed, different trace
+
+  std::set<std::string> distinct(a.begin(), a.end());
+  // ~18.5% of entries replay an earlier statement, so the distinct count
+  // sits well below the trace length but far above a degenerate trace.
+  EXPECT_LT(distinct.size(), 390u);
+  EXPECT_GT(distinct.size(), 200u);
+
+  const auto unique_trace = serving::BuildSessionTrace(400, 0.0, 77);
+  std::set<std::string> all(unique_trace.begin(), unique_trace.end());
+  // With replay off the generator may still coincidentally repeat, but the
+  // trace must be near-fully distinct.
+  EXPECT_GT(all.size(), 350u);
+}
+
+TEST(LoadGenTest, DrainRequestStopsTheRun) {
+  serving::ServerOptions options;
+  options.num_shards = 1;
+  serving::Server server(
+      [&](size_t) { return WrapResilient(std::make_unique<CountingModel>()); },
+      options);
+
+  serving::LoadGenOptions load;
+  load.num_clients = 2;
+  load.duration_s = 30.0;  // would run half a minute without the drain
+  load.trace_len = 32;
+  load.seed = 11;
+  std::thread drainer([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    train::RequestDrain();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const serving::LoadReport report = serving::RunLoadGen(server, load);
+  drainer.join();
+  train::ClearDrain();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::seconds(20));
+  EXPECT_GT(report.issued, 0u);
+  EXPECT_EQ(report.issued, report.ok);
+  EXPECT_EQ(report.latency_ns.count(), report.ok);
+  server.Shutdown();
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "sqlfacil/util/env.h"
+#include "sqlfacil/util/latency_histogram.h"
 #include "sqlfacil/util/random.h"
 #include "sqlfacil/util/stats.h"
 #include "sqlfacil/util/status.h"
@@ -269,6 +270,154 @@ TEST(EnvTest, DefaultsWhenUnset) {
   EXPECT_DOUBLE_EQ(GetScaleFromEnv(), 1.0);
   EXPECT_EQ(GetEpochsFromEnv(3), 3);
   EXPECT_EQ(GetSeedFromEnv(77), 77u);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0u);
+  EXPECT_EQ(h.Percentile(99.9), 0u);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 10; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+  // Values below 2*kSubBuckets are identity-bucketed, so percentiles over
+  // small samples are exact rank statistics.
+  EXPECT_EQ(h.Percentile(50.0), 5u);
+  EXPECT_EQ(h.Percentile(100.0), 10u);
+  EXPECT_EQ(h.Percentile(0.0), 1u);
+}
+
+TEST(LatencyHistogramTest, BucketEdgesBoundTheirValues) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    // Log-uniform draws cover every magnitude the bucketing handles.
+    const int shift = static_cast<int>(rng.NextUint64(63));
+    const uint64_t value = (uint64_t{1} << shift) | rng.NextUint64(1u << 20);
+    const size_t bucket = LatencyHistogram::BucketIndex(value);
+    ASSERT_LT(bucket, LatencyHistogram::kNumBuckets);
+    const uint64_t edge = LatencyHistogram::BucketUpperEdge(bucket);
+    ASSERT_GE(edge, value) << "value " << value;
+    ASSERT_EQ(LatencyHistogram::BucketIndex(edge), bucket)
+        << "edge " << edge << " escapes bucket of " << value;
+    // The bucket's relative width stays within the advertised ~3%
+    // resolution at every magnitude.
+    ASSERT_LE(static_cast<double>(edge - value),
+              static_cast<double>(value) / LatencyHistogram::kSubBuckets + 1.0)
+        << "value " << value;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotonic) {
+  size_t last = 0;
+  for (uint64_t v = 0; v < 4096; ++v) {
+    const size_t bucket = LatencyHistogram::BucketIndex(v);
+    ASSERT_GE(bucket, last) << "value " << v;
+    last = bucket;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesWithinResolution) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 100000; ++v) h.Record(v);
+  // Conservative upper-edge reporting: never under the true rank value,
+  // never more than one bucket width (~3.2%) above it.
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double exact = p / 100.0 * 100000.0;
+    const double got = static_cast<double>(h.Percentile(p));
+    EXPECT_GE(got, exact - 1.0) << "p" << p;
+    EXPECT_LE(got, exact * 1.04) << "p" << p;
+  }
+  EXPECT_EQ(h.Percentile(100.0), 100000u);
+}
+
+TEST(LatencyHistogramTest, PercentileClampsToObservedMax) {
+  LatencyHistogram h;
+  h.Record(1000000);  // alone in its bucket; upper edge is above the value
+  EXPECT_EQ(h.Percentile(99.9), 1000000u);
+  EXPECT_EQ(h.max(), 1000000u);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram all;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextUint64(1u << 22) + 1;
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.Percentile(p), all.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(123);
+  h.Record(456789);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(99.0), 0u);
+  h.Record(42);
+  EXPECT_EQ(h.Percentile(50.0), 42u);
+}
+
+TEST(LatencyHistogramTest, MicrosecondHelpers) {
+  LatencyHistogram h;
+  h.Record(1500);  // 1.5us in nanos
+  EXPECT_NEAR(h.PercentileUs(50.0), 1.5, 1.5 / 32 + 0.001);
+  EXPECT_NEAR(h.MeanUs(), 1.5, 1e-9);
+}
+
+TEST(EnvTest, ServingKnobDefaults) {
+  unsetenv("SQLFACIL_BATCH_WINDOW_US");
+  unsetenv("SQLFACIL_MAX_BATCH");
+  unsetenv("SQLFACIL_QUEUE_DEPTH");
+  EXPECT_EQ(GetBatchWindowUsFromEnv(50), 50);
+  EXPECT_EQ(GetMaxBatchFromEnv(32), 32);
+  EXPECT_EQ(GetQueueDepthFromEnv(1024), 1024);
+}
+
+TEST(EnvTest, ServingKnobsReadAndClamp) {
+  setenv("SQLFACIL_BATCH_WINDOW_US", "250", 1);
+  setenv("SQLFACIL_MAX_BATCH", "8", 1);
+  setenv("SQLFACIL_QUEUE_DEPTH", "64", 1);
+  EXPECT_EQ(GetBatchWindowUsFromEnv(50), 250);
+  EXPECT_EQ(GetMaxBatchFromEnv(32), 8);
+  EXPECT_EQ(GetQueueDepthFromEnv(1024), 64);
+  setenv("SQLFACIL_BATCH_WINDOW_US", "-5", 1);
+  setenv("SQLFACIL_MAX_BATCH", "0", 1);
+  setenv("SQLFACIL_QUEUE_DEPTH", "-1", 1);
+  EXPECT_EQ(GetBatchWindowUsFromEnv(50), 50);
+  EXPECT_EQ(GetMaxBatchFromEnv(32), 32);
+  EXPECT_EQ(GetQueueDepthFromEnv(1024), 1024);
+  unsetenv("SQLFACIL_BATCH_WINDOW_US");
+  unsetenv("SQLFACIL_MAX_BATCH");
+  unsetenv("SQLFACIL_QUEUE_DEPTH");
 }
 
 TEST(EnvTest, ReadsValues) {
