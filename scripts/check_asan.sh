@@ -1,14 +1,15 @@
 #!/bin/sh
-# Builds the serving/arena/cache tests under AddressSanitizer and runs them.
+# Builds the serving/arena/cache/storage tests under AddressSanitizer and
+# runs them.
 # Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
 set -eu
 BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test
+  --target serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test storage_test engine_test
 status=0
-for t in serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test; do
+for t in serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test storage_test; do
   echo "== $t (ASan) =="
   if ! "$BUILD_DIR/tests/$t"; then
     status=1
@@ -21,6 +22,13 @@ for t in quant_test distill_test serving_test determinism_test; do
     status=1
   fi
 done
+# Engine suite on the disk backend: slotted pages, buffer pool and B+ tree
+# under ASan (buffer overruns in page payloads, use-after-evict).
+echo "== engine_test (ASan, SQLFACIL_STORAGE=disk) =="
+if ! SQLFACIL_STORAGE=disk SQLFACIL_BUFFER_POOL_PAGES=64 \
+    "$BUILD_DIR/tests/engine_test"; then
+  status=1
+fi
 if [ "$status" -eq 0 ]; then
   echo "ASAN_CLEAN"
 else

@@ -6,14 +6,22 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test serve_bench
+  --target thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test storage_test serve_bench
 status=0
-for t in thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test; do
+for t in thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test storage_test; do
   echo "== $t (TSan) =="
   if ! "$BUILD_DIR/tests/$t"; then
     status=1
   fi
 done
+# Concurrent-reader soak: many threads paging through one buffer pool
+# (table-heap readers and B+ tree equal-scans) repeated under TSan to
+# shake out latch races in the fetch/unpin/evict path.
+echo "== storage_test concurrent soak (TSan) =="
+if ! "$BUILD_DIR/tests/storage_test" \
+    --gtest_filter='*Concurrent*' --gtest_repeat=10; then
+  status=1
+fi
 # Short closed-loop soak of the serving front end: concurrent clients,
 # batcher threads, stats polling and the shard caches all under TSan.
 echo "== serve_bench soak (TSan) =="

@@ -4,11 +4,11 @@
 # Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
 set -eu
 BUILD_DIR="${1:-build-ubsan}"
-TESTS="resilience_test fuzz_smoke_test serialize_test serving_test nn_test quant_test distill_test"
+TESTS="resilience_test fuzz_smoke_test serialize_test serving_test nn_test quant_test distill_test storage_test"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 # shellcheck disable=SC2086
-cmake --build "$BUILD_DIR" -j --target $TESTS
+cmake --build "$BUILD_DIR" -j --target $TESTS engine_test
 status=0
 for t in $TESTS; do
   echo "== $t (UBSan) =="
@@ -23,6 +23,13 @@ for t in quant_test distill_test serving_test; do
     status=1
   fi
 done
+# Engine suite on the disk backend: key encoding (sign-flip, big-endian
+# shifts) and page offset arithmetic under UBSan.
+echo "== engine_test (UBSan, SQLFACIL_STORAGE=disk) =="
+if ! SQLFACIL_STORAGE=disk SQLFACIL_BUFFER_POOL_PAGES=64 \
+    "$BUILD_DIR/tests/engine_test"; then
+  status=1
+fi
 if [ "$status" -eq 0 ]; then
   echo "UBSAN_CLEAN"
 else

@@ -5,8 +5,9 @@
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 # Exits non-zero on the first failing stage; prints one loud status line
 # per stage so logs are greppable (CI_TESTS_OK / CI_INT8_TESTS_OK /
-# CI_FAILPOINT_MATRIX_OK / CI_SERVING_SOAK_OK / RESUME_CHAOS_OK /
-# ASAN_CLEAN / TSAN_CLEAN / UBSAN_CLEAN).
+# CI_DISK_TESTS_OK / CI_FAILPOINT_MATRIX_OK / CI_STORAGE_MATRIX_OK /
+# CI_SERVING_SOAK_OK / RESUME_CHAOS_OK / ASAN_CLEAN / TSAN_CLEAN /
+# UBSAN_CLEAN).
 set -eu
 BUILD_DIR="${1:-build}"
 
@@ -30,6 +31,22 @@ if ! SQLFACIL_PRECISION=int8 ctest --test-dir "$BUILD_DIR" --output-on-failure; 
   exit 1
 fi
 echo "CI_INT8_TESTS_OK"
+
+echo "== disk storage backend =="
+# Re-run the engine suite with every table on the disk backend (slotted
+# pages through the buffer pool, B+ tree indexes): the same results and
+# statistics assertions must hold as in mem mode, plus the dedicated
+# storage-layer suite (disk manager, LRU-K, buffer pool, heap, B+ tree).
+if ! "$BUILD_DIR/tests/storage_test"; then
+  echo "CI_DISK_TESTS_FAILED" >&2
+  exit 1
+fi
+if ! SQLFACIL_STORAGE=disk SQLFACIL_BUFFER_POOL_PAGES=64 \
+    "$BUILD_DIR/tests/engine_test"; then
+  echo "CI_DISK_TESTS_FAILED" >&2
+  exit 1
+fi
+echo "CI_DISK_TESTS_OK"
 
 echo "== failpoint matrix =="
 # Hard faults drive the end-to-end degradation chain: serving must answer
@@ -72,6 +89,26 @@ for spec in \
   fi
 done
 echo "CI_FAILPOINT_MATRIX_OK"
+
+echo "== storage failpoint matrix =="
+# Disk-layer faults against the paging query path: reads failing or
+# throwing mid-scan, evictions failing under pool pressure. Queries must
+# surface typed storage errors while faults are armed and return
+# bit-identical answers once they clear — no torn pages, no stuck pins.
+for spec in \
+  "disk.read:throw@n3" \
+  "disk.read:error@n5" \
+  "disk.write:throw@n4" \
+  "bufferpool.evict:throw@n2" \
+  "disk.read:error@n6;bufferpool.evict:error@n3"; do
+  echo "-- resilience_test storage end-to-end under SQLFACIL_FAILPOINTS='$spec' --"
+  if ! SQLFACIL_FAILPOINTS="$spec" "$BUILD_DIR/tests/resilience_test" \
+      --gtest_filter='StorageResilienceTest.EndToEndUnderEnvStorageFailpoints'; then
+    echo "CI_STORAGE_MATRIX_FAILED" >&2
+    exit 1
+  fi
+done
+echo "CI_STORAGE_MATRIX_OK"
 
 echo "== serving soak =="
 # Closed-loop load against the full serving front end while the primary

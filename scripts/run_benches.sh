@@ -8,9 +8,11 @@
 #
 # --json: instead of the full sweep, runs the micro-benchmarks that track
 # the perf work (micro_nn, micro_train, micro_parallel, micro_serving,
-# micro_quant) plus the serve_bench closed-loop load generator, and
-# distills the key metrics into bench_logs/BENCH_7.json (BENCH_6 and
-# earlier are kept as historical snapshots).
+# micro_quant, micro_storage) plus the serve_bench closed-loop load
+# generator, and distills the key metrics into bench_logs/BENCH_8.json
+# (BENCH_7 and earlier are kept as historical snapshots). Ends with a
+# greppable STORAGE_BENCH_OK line carrying the storage-engine headline
+# numbers (index-vs-seq speedup, hit rate, paging rate).
 set -u
 
 BUILD_DIR="${BUILD_DIR:-build}"
@@ -39,7 +41,8 @@ cmake --build "$BUILD_DIR" -j >/dev/null || {
 
 if [ "${1:-}" = "--json" ]; then
   mkdir -p bench_logs
-  for b in micro_nn micro_train micro_parallel micro_serving micro_quant; do
+  for b in micro_nn micro_train micro_parallel micro_serving micro_quant \
+      micro_storage; do
     bin="$BUILD_DIR/bench/$b"
     if [ ! -x "$bin" ]; then
       echo "missing $bin (build first)" >&2
@@ -61,12 +64,30 @@ if [ "${1:-}" = "--json" ]; then
   python3 scripts/summarize_benches.py \
     bench_logs/micro_nn.json bench_logs/micro_train.json \
     bench_logs/micro_parallel.json bench_logs/micro_serving.json \
-    bench_logs/micro_quant.json bench_logs/serve_bench.json \
-    > bench_logs/BENCH_7.json || exit 1
+    bench_logs/micro_quant.json bench_logs/micro_storage.json \
+    bench_logs/serve_bench.json \
+    > bench_logs/BENCH_8.json || exit 1
   rm -f bench_logs/micro_nn.json bench_logs/micro_train.json \
     bench_logs/micro_parallel.json bench_logs/micro_serving.json \
-    bench_logs/micro_quant.json bench_logs/serve_bench.json
-  echo "wrote bench_logs/BENCH_7.json"
+    bench_logs/micro_quant.json bench_logs/micro_storage.json \
+    bench_logs/serve_bench.json
+  echo "wrote bench_logs/BENCH_8.json"
+  python3 - <<'EOF' || exit 1
+import json
+d = json.load(open("bench_logs/BENCH_8.json"))["derived"]
+speedup = d.get("index_vs_seq_speedup_1pct", 0.0)
+ok = speedup >= 10.0
+print(
+    f"STORAGE_BENCH_{'OK' if ok else 'FAIL'}"
+    f" index_vs_seq_1pct={speedup}x"
+    f" index_vs_seq_0p1pct={d.get('index_vs_seq_speedup_0p1pct', 0.0)}x"
+    f" scan_pool_ratio={d.get('scan_gt_pool_ratio', 0.0)}"
+    f" scan_hit_rate={d.get('scan_gt_pool_hit_rate', 0.0)}"
+    f" scan_pages_per_s={d.get('scan_gt_pool_pages_per_s', 0.0)}"
+    f" labeling_mem_vs_disk={d.get('labeling_mem_vs_disk', 0.0)}x"
+)
+raise SystemExit(0 if ok else 1)
+EOF
   exit 0
 fi
 

@@ -55,6 +55,10 @@ def main(paths):
                 "rel_acc_delta_pct",
                 "mean_abs_dprob",
                 "max_abs_dprob",
+                "hit_rate",
+                "pages_per_s",
+                "pool_ratio",
+                "success_frac",
             ):
                 if key in b:
                     entry[key] = b[key]
@@ -240,6 +244,69 @@ def main(paths):
             (graph["real_time"] * to_ms.get(graph.get("time_unit"), 1.0))
             / (fused["real_time"] * to_ms.get(fused.get("time_unit"), 1.0)),
             3,
+        )
+    # Disk storage engine (micro_storage): index-vs-seq speedup at selective
+    # predicates on the 1M-row disk table (acceptance gate: >= 10x at <= 1%
+    # selectivity), buffer-pool behaviour on a heap several times the pool
+    # (hit rate, paging rate), raw pool fetch latencies, and end-to-end
+    # labeling throughput mem vs disk.
+    stor = {b["name"]: b for b in out["benchmarks"].get("micro_storage", [])}
+    for permille, tag in ((1, "0p1pct"), (10, "1pct")):
+        idx = stor.get(f"BM_IndexScanSelective/{permille}")
+        seq = stor.get(f"BM_SeqScanSelective/{permille}")
+        if idx and seq and idx.get("real_time"):
+            out["derived"][f"index_vs_seq_speedup_{tag}"] = round(
+                seq["real_time"] / idx["real_time"], 2
+            )
+    scan = stor.get("BM_ScanLargerThanPool")
+    if scan:
+        out["derived"]["scan_gt_pool_ratio"] = round(
+            scan.get("pool_ratio", 0.0), 2
+        )
+        out["derived"]["scan_gt_pool_hit_rate"] = round(
+            scan.get("hit_rate", 0.0), 4
+        )
+        out["derived"]["scan_gt_pool_pages_per_s"] = round(
+            scan.get("pages_per_s", 0.0), 1
+        )
+        if scan.get("items_per_second"):
+            out["derived"]["scan_gt_pool_rows_per_s"] = round(
+                scan["items_per_second"], 1
+            )
+    for name, key in (
+        ("BM_PoolFetchHot", "pool_fetch_hot_ns"),
+        ("BM_PoolFetchCold", "pool_fetch_cold_ns"),
+    ):
+        b = stor.get(name)
+        if b and b.get("real_time") is not None:
+            ns = b["real_time"] * {"ns": 1.0, "us": 1e3, "ms": 1e6}.get(
+                b.get("time_unit"), 1.0
+            )
+            out["derived"][key] = round(ns, 1)
+    cold = stor.get("BM_PoolFetchCold")
+    if cold and cold.get("pages_per_s"):
+        out["derived"]["pool_fetch_cold_pages_per_s"] = round(
+            cold["pages_per_s"], 1
+        )
+    lab_mem = stor.get("BM_LabelingThroughput_mem")
+    lab_disk = stor.get("BM_LabelingThroughput_disk")
+    if lab_mem and lab_disk and lab_disk.get("items_per_second"):
+        out["derived"]["labeling_mem_queries_per_s"] = round(
+            lab_mem.get("items_per_second", 0.0), 2
+        )
+        out["derived"]["labeling_disk_queries_per_s"] = round(
+            lab_disk["items_per_second"], 2
+        )
+        out["derived"]["labeling_mem_vs_disk"] = round(
+            lab_mem.get("items_per_second", 0.0)
+            / lab_disk["items_per_second"],
+            2,
+        )
+        out["derived"]["labeling_disk_hit_rate"] = round(
+            lab_disk.get("hit_rate", 0.0), 4
+        )
+        out["derived"]["labeling_disk_pool_ratio"] = round(
+            lab_disk.get("pool_ratio", 0.0), 2
         )
     json.dump(out, sys.stdout, indent=2)
     sys.stdout.write("\n")

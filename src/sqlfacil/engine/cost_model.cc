@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,105 @@ void CountConjuncts(const Expr* e, int* eq, int* range, int* like,
   ++*other;
 }
 
+/// The most selective WHERE conjunct that an index on `table` can serve.
+struct IndexablePred {
+  int col = -1;
+  double selectivity = 1.0;
+};
+
+bool NumericLiteral(const Expr* e, double* out) {
+  if (e == nullptr || e->kind != ExprKind::kLiteral) return false;
+  const auto* lit = static_cast<const sql::LiteralExpr*>(e);
+  if (lit->type == sql::LiteralType::kInt) {
+    *out = static_cast<double>(lit->int_value);
+    return true;
+  }
+  if (lit->type == sql::LiteralType::kDouble) {
+    *out = lit->double_value;
+    return true;
+  }
+  return false;
+}
+
+int ResolveColumn(const Expr* e, const Table& table) {
+  if (e == nullptr || e->kind != ExprKind::kColumnRef) return -1;
+  const auto* ref = static_cast<const sql::ColumnRefExpr*>(e);
+  return table.schema().FindColumn(ref->column);
+}
+
+void Consider(const Table& table, int col, double selectivity,
+              bool needs_ordered, IndexablePred* best) {
+  if (col < 0) return;
+  if (needs_ordered ? !table.HasOrderedIndex(col) : !table.HasIndex(col)) {
+    return;
+  }
+  if (best->col < 0 || selectivity < best->selectivity) {
+    best->col = col;
+    best->selectivity = selectivity;
+  }
+}
+
+/// Walks AND-ed conjuncts collecting the most selective predicate an index
+/// can serve: equality against any indexed column, bounds / BETWEEN
+/// against a B+-tree-indexed column.
+void FindIndexablePreds(const Expr* e, const Table& table,
+                        IndexablePred* best) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBetween) {
+    const auto* bt = static_cast<const sql::BetweenExpr*>(e);
+    if (bt->negated) return;
+    const int col = ResolveColumn(bt->value.get(), table);
+    double lo = 0.0, hi = 0.0;
+    if (col >= 0 && NumericLiteral(bt->lo.get(), &lo) &&
+        NumericLiteral(bt->hi.get(), &hi)) {
+      Consider(table, col,
+               RangeSelectivity(lo, hi, table.ColumnMin(col),
+                                table.ColumnMax(col)),
+               /*needs_ordered=*/true, best);
+    }
+    return;
+  }
+  if (e->kind != ExprKind::kBinary) return;
+  const auto* b = static_cast<const BinaryExpr*>(e);
+  if (b->op == BinaryOp::kAnd) {
+    FindIndexablePreds(b->lhs.get(), table, best);
+    FindIndexablePreds(b->rhs.get(), table, best);
+    return;
+  }
+  // Normalize to `col op literal`.
+  int col = ResolveColumn(b->lhs.get(), table);
+  double lit = 0.0;
+  bool col_on_left = true;
+  if (col < 0 || !NumericLiteral(b->rhs.get(), &lit)) {
+    col = ResolveColumn(b->rhs.get(), table);
+    if (col < 0 || !NumericLiteral(b->lhs.get(), &lit)) return;
+    col_on_left = false;
+  }
+  switch (b->op) {
+    case BinaryOp::kEq:
+      Consider(table, col, EqualitySelectivity(table.DistinctCount(col)),
+               /*needs_ordered=*/false, best);
+      return;
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      const bool upper_bound = col_on_left ? (b->op == BinaryOp::kLt ||
+                                              b->op == BinaryOp::kLe)
+                                           : (b->op == BinaryOp::kGt ||
+                                              b->op == BinaryOp::kGe);
+      const double cmin = table.ColumnMin(col);
+      const double cmax = table.ColumnMax(col);
+      const double sel = upper_bound ? RangeSelectivity(cmin, lit, cmin, cmax)
+                                     : RangeSelectivity(lit, cmax, cmin, cmax);
+      Consider(table, col, sel, /*needs_ordered=*/true, best);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
 struct Estimator {
   const Catalog* catalog;
 
@@ -78,19 +178,38 @@ struct Estimator {
       return s;
     }
 
-    // Base cardinality: product of table sizes.
+    // Selectivities from WHERE conjuncts.
+    int eq = 0, range = 0, like = 0, other = 0;
+    CountConjuncts(q.where.get(), &eq, &range, &like, &other);
+    const int num_preds = eq + range + like + other;
+
+    // Base cardinality: product of table sizes. Scan cost is page-granular
+    // for base tables; a single-table query with an indexable conjunct is
+    // costed as the cheaper of seq scan and index scan.
     double card = 1.0;
     double scan_cost = 0.0;
     double max_table = 1.0;
     for (const auto& t : tables) {
       card *= std::max(1.0, t.rows);
-      scan_cost += t.rows * kScanCostPerRow;
       max_table = std::max(max_table, t.rows);
+      if (t.table == nullptr) {
+        scan_cost += t.rows * kScanCostPerRow;  // derived: rows only
+        continue;
+      }
+      double access = SeqScanCost(
+          t.rows, static_cast<double>(t.table->num_data_pages()), num_preds);
+      if (tables.size() == 1) {
+        IndexablePred best;
+        FindIndexablePreds(q.where.get(), *t.table, &best);
+        if (best.col >= 0) {
+          const AccessPathChoice choice = ChooseAccessPath(
+              *t.table, best.col, best.selectivity, num_preds);
+          access = std::min(choice.seq_cost, choice.index_cost);
+        }
+      }
+      scan_cost += access;
     }
 
-    // Selectivities from WHERE conjuncts.
-    int eq = 0, range = 0, like = 0, other = 0;
-    CountConjuncts(q.where.get(), &eq, &range, &like, &other);
     // ON predicates of explicit joins behave like equality conjuncts.
     eq += num_joins;
 
@@ -190,6 +309,53 @@ struct Estimator {
 };
 
 }  // namespace
+
+double SeqScanCost(double rows, double pages, int num_predicates) {
+  return std::max(1.0, pages) * kPageFetchCost +
+         std::max(0.0, rows) *
+             (kCpuCostPerRow + kPredCpuCost * std::max(0, num_predicates));
+}
+
+double IndexScanCost(double rows, double pages, double selectivity,
+                     int index_height) {
+  (void)pages;  // heap fetches are random, not capped by the heap size
+  const double sel = std::clamp(selectivity, 0.0, 1.0);
+  const double matching = sel * std::max(0.0, rows);
+  const double leaf_pages = std::max(1.0, matching / kIndexLeafEntriesPerPage);
+  const double descent = std::max(1, index_height) * kPageFetchCost;
+  return descent + leaf_pages * kPageFetchCost + matching * kPageFetchCost +
+         matching * kCpuCostPerRow;
+}
+
+double EqualitySelectivity(size_t distinct_values) {
+  return 1.0 / static_cast<double>(std::max<size_t>(1, distinct_values));
+}
+
+double RangeSelectivity(double lo, double hi, double col_min, double col_max) {
+  if (col_max <= col_min) return 1.0;
+  const double clamped_lo = std::max(lo, col_min);
+  const double clamped_hi = std::min(hi, col_max);
+  if (clamped_hi < clamped_lo) return 0.0;
+  return std::clamp((clamped_hi - clamped_lo) / (col_max - col_min), 0.0, 1.0);
+}
+
+AccessPathChoice ChooseAccessPath(const Table& table, int col,
+                                  double selectivity, int num_predicates) {
+  AccessPathChoice choice;
+  const double rows = static_cast<double>(table.num_rows());
+  const double pages = static_cast<double>(table.num_data_pages());
+  choice.selectivity = std::clamp(selectivity, 0.0, 1.0);
+  choice.seq_cost = SeqScanCost(rows, pages, num_predicates);
+  choice.index_available = col >= 0 && table.HasIndex(col);
+  if (!choice.index_available) {
+    choice.index_cost = std::numeric_limits<double>::infinity();
+    return choice;
+  }
+  choice.index_cost = IndexScanCost(rows, pages, choice.selectivity,
+                                    table.IndexHeight(col));
+  choice.use_index = choice.index_cost < choice.seq_cost;
+  return choice;
+}
 
 StatusOr<CostEstimate> EstimateQuery(const sql::SelectQuery& query,
                                      const Catalog& catalog) {

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sqlfacil/storage/page.h"
+#include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/string_util.h"
 
@@ -940,8 +942,35 @@ Status Executor::Impl::FilterRelation(const std::vector<BoundRel>& rels,
   const BoundRel& rel = rels[rel_idx];
   const size_t n = rel.NumRows();
 
-  // Index fast path: an equality between an indexed base-table int column
-  // and a literal.
+  // Runs `hits` (ascending row ids from an index) through every predicate.
+  // Candidates are supersets of the matching rows and arrive in the same
+  // ascending order a sequential scan visits, so the output is identical
+  // to the full-scan path regardless of which index produced them.
+  auto apply_preds_to_hits = [&](const std::vector<uint32_t>& hits) {
+    if (Status s = ChargeRows(static_cast<double>(hits.size())); !s.ok()) {
+      return s;
+    }
+    Tuple tuple(rels.size(), 0);
+    for (uint32_t row : hits) {
+      tuple[rel_idx] = row;
+      EvalCtx ctx{&rels, &tuple};
+      bool pass = true;
+      for (const Expr* pred : preds) {
+        cost_ += kPredEvalCost;
+        auto v = Eval(pred, ctx);
+        if (!v.ok()) return v.status();
+        if (!v->IsTruthy()) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) out->push_back(row);
+    }
+    return Status::Ok();
+  };
+
+  // Index fast path 1: an equality between an indexed base-table column
+  // and a literal (int via hash or B+ tree index, string via B+ tree).
   if (rel.base != nullptr) {
     for (const Expr* pred : preds) {
       if (pred->kind != ExprKind::kBinary) continue;
@@ -964,32 +993,104 @@ Status Executor::Impl::FilterRelation(const std::vector<BoundRel>& rels,
           ResolveColumn(static_cast<const ColumnRefExpr*>(col_side), rels);
       if (!binding.ok()) return binding.status();
       if (binding->rel != static_cast<int>(rel_idx)) continue;
-      if (!rel.base->HasIndex(binding->col)) continue;
       const auto* lit = static_cast<const LiteralExpr*>(lit_side);
-      if (lit->type != sql::LiteralType::kInt) continue;
-      cost_ += kIndexLookupCost;
-      const auto& hits = rel.base->IndexLookup(binding->col, lit->int_value);
-      if (Status s = ChargeRows(static_cast<double>(hits.size())); !s.ok()) {
-        return s;
+      const ColumnType col_type =
+          rel.base->schema().columns[binding->col].type;
+      if (lit->type == sql::LiteralType::kInt &&
+          col_type == ColumnType::kInt64 &&
+          rel.base->HasIndex(binding->col)) {
+        cost_ += kIndexLookupCost;
+        return apply_preds_to_hits(
+            rel.base->IndexLookup(binding->col, lit->int_value));
       }
-      // Apply the remaining predicates to the index hits.
-      Tuple tuple(rels.size(), 0);
-      for (uint32_t row : hits) {
-        tuple[rel_idx] = row;
-        EvalCtx ctx{&rels, &tuple};
-        bool pass = true;
-        for (const Expr* other : preds) {
-          cost_ += kPredEvalCost;
-          auto v = Eval(other, ctx);
-          if (!v.ok()) return v.status();
-          if (!v->IsTruthy()) {
-            pass = false;
-            break;
-          }
+      if (lit->type == sql::LiteralType::kString &&
+          col_type == ColumnType::kString &&
+          rel.base->HasOrderedIndex(binding->col)) {
+        cost_ += kIndexLookupCost;
+        return apply_preds_to_hits(
+            rel.base->IndexLookup(binding->col, lit->string_value));
+      }
+    }
+  }
+
+  // Index fast path 2: a range predicate (</<=/>/>= or BETWEEN against int
+  // literals) over a column with an ordered (B+ tree) index.
+  if (rel.base != nullptr) {
+    for (const Expr* pred : preds) {
+      const ColumnRefExpr* col_ref = nullptr;
+      bool has_lo = false, has_hi = false;
+      bool lo_incl = true, hi_incl = true;
+      int64_t lo = 0, hi = 0;
+      if (pred->kind == ExprKind::kBinary) {
+        const auto* b = static_cast<const BinaryExpr*>(pred);
+        if (b->op != BinaryOp::kLt && b->op != BinaryOp::kLe &&
+            b->op != BinaryOp::kGt && b->op != BinaryOp::kGe) {
+          continue;
         }
-        if (pass) out->push_back(row);
+        bool col_on_left = true;
+        const Expr* col_side = nullptr;
+        const Expr* lit_side = nullptr;
+        if (b->lhs->kind == ExprKind::kColumnRef &&
+            b->rhs->kind == ExprKind::kLiteral) {
+          col_side = b->lhs.get();
+          lit_side = b->rhs.get();
+        } else if (b->rhs->kind == ExprKind::kColumnRef &&
+                   b->lhs->kind == ExprKind::kLiteral) {
+          col_side = b->rhs.get();
+          lit_side = b->lhs.get();
+          col_on_left = false;
+        } else {
+          continue;
+        }
+        const auto* lit = static_cast<const LiteralExpr*>(lit_side);
+        if (lit->type != sql::LiteralType::kInt) continue;
+        col_ref = static_cast<const ColumnRefExpr*>(col_side);
+        // Normalize to a bound on the column ("5 < col" is "col > 5").
+        const bool less = (b->op == BinaryOp::kLt || b->op == BinaryOp::kLe)
+                              ? col_on_left
+                              : !col_on_left;
+        const bool strict = b->op == BinaryOp::kLt || b->op == BinaryOp::kGt;
+        if (less) {
+          has_hi = true;
+          hi = lit->int_value;
+          hi_incl = !strict;
+        } else {
+          has_lo = true;
+          lo = lit->int_value;
+          lo_incl = !strict;
+        }
+      } else if (pred->kind == ExprKind::kBetween) {
+        const auto* bt = static_cast<const sql::BetweenExpr*>(pred);
+        if (bt->negated || bt->value->kind != ExprKind::kColumnRef ||
+            bt->lo->kind != ExprKind::kLiteral ||
+            bt->hi->kind != ExprKind::kLiteral) {
+          continue;
+        }
+        const auto* lo_lit = static_cast<const LiteralExpr*>(bt->lo.get());
+        const auto* hi_lit = static_cast<const LiteralExpr*>(bt->hi.get());
+        if (lo_lit->type != sql::LiteralType::kInt ||
+            hi_lit->type != sql::LiteralType::kInt) {
+          continue;
+        }
+        col_ref = static_cast<const ColumnRefExpr*>(bt->value.get());
+        has_lo = has_hi = true;
+        lo = lo_lit->int_value;
+        hi = hi_lit->int_value;
+      } else {
+        continue;
       }
-      return Status::Ok();
+      auto binding = ResolveColumn(col_ref, rels);
+      if (!binding.ok()) return binding.status();
+      if (binding->rel != static_cast<int>(rel_idx)) continue;
+      if (!rel.base->HasOrderedIndex(binding->col)) continue;
+      if (rel.base->schema().columns[binding->col].type !=
+          ColumnType::kInt64) {
+        continue;
+      }
+      cost_ += kIndexLookupCost;
+      return apply_preds_to_hits(rel.base->IndexRange(
+          binding->col, has_lo ? &lo : nullptr, lo_incl,
+          has_hi ? &hi : nullptr, hi_incl));
     }
   }
 
@@ -1447,20 +1548,41 @@ Executor::Executor(const Catalog* catalog, ExecOptions options)
 
 StatusOr<QueryResult> Executor::Execute(const sql::SelectQuery& query) {
   Impl impl(catalog_, options_);
-  auto rel = impl.Run(query);
-  cost_units_ += impl.cost_units();
-  if (!rel.ok()) return rel.status();
-  QueryResult result;
-  result.answer_rows = rel->total_rows;
-  result.cost_units = impl.cost_units();
-  return result;
+  // Disk-backed storage surfaces faults either as StorageError (no Status
+  // channel through expression evaluation) or, under injected kThrow
+  // failpoints, as FailpointError. Both degrade the query to a typed
+  // error — the workload labeler records a non-severe failure instead of
+  // the process crashing.
+  try {
+    auto rel = impl.Run(query);
+    cost_units_ += impl.cost_units();
+    if (!rel.ok()) return rel.status();
+    QueryResult result;
+    result.answer_rows = rel->total_rows;
+    result.cost_units = impl.cost_units();
+    return result;
+  } catch (const storage::StorageError& e) {
+    cost_units_ += impl.cost_units();
+    return e.status();
+  } catch (const failpoint::FailpointError& e) {
+    cost_units_ += impl.cost_units();
+    return Status::IoError(e.what());
+  }
 }
 
 StatusOr<Relation> Executor::ExecuteToRelation(const sql::SelectQuery& query) {
   Impl impl(catalog_, options_);
-  auto rel = impl.Run(query);
-  cost_units_ += impl.cost_units();
-  return rel;
+  try {
+    auto rel = impl.Run(query);
+    cost_units_ += impl.cost_units();
+    return rel;
+  } catch (const storage::StorageError& e) {
+    cost_units_ += impl.cost_units();
+    return e.status();
+  } catch (const failpoint::FailpointError& e) {
+    cost_units_ += impl.cost_units();
+    return Status::IoError(e.what());
+  }
 }
 
 }  // namespace sqlfacil::engine

@@ -1,12 +1,93 @@
 #include "sqlfacil/engine/table.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstring>
 #include <unordered_set>
 
+#include "sqlfacil/storage/bplus_tree.h"
+#include "sqlfacil/storage/buffer_pool.h"
+#include "sqlfacil/storage/disk_manager.h"
+#include "sqlfacil/storage/table_heap.h"
+#include "sqlfacil/util/env.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/string_util.h"
 
 namespace sqlfacil::engine {
+
+namespace {
+
+std::atomic<uint64_t> g_table_gen{1};
+
+/// splitmix64 finalizer: cheap avalanche for the HLL hashes.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a, then finalized
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+// --- Row codec -------------------------------------------------------------
+// int64 / double: 8 bytes little-endian. string: u16 length + raw bytes.
+// Nulls are stored as their backend defaults (0 / 0.0 / "") to match the
+// mem backend's AppendRow semantics exactly.
+
+void EncodeRow(const TableSchema& schema, const std::vector<Value>& row,
+               std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < schema.columns.size(); ++i) {
+    switch (schema.columns[i].type) {
+      case ColumnType::kInt64: {
+        const int64_t v = row[i].is_null() ? 0 : row[i].AsInt();
+        out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case ColumnType::kDouble: {
+        const double v = row[i].is_null() ? 0.0 : row[i].ToDouble();
+        out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case ColumnType::kString: {
+        const std::string& s =
+            row[i].is_null() ? std::string() : row[i].AsString();
+        SQLFACIL_CHECK(s.size() <= 0xffff) << "string value exceeds 64KiB";
+        const uint16_t len = static_cast<uint16_t>(s.size());
+        out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+/// Thread-local cache of the most recently decoded rows, keyed by
+/// (table generation, row). Direct-mapped over a few slots so a join
+/// alternating between two tables keeps both hot. Safe because rows are
+/// immutable once appended and generations are process-unique.
+struct RowCacheEntry {
+  uint64_t table_gen = 0;
+  uint64_t row = ~0ull;
+  size_t page_hint = 0;
+  std::vector<Value> values;
+};
+constexpr size_t kRowCacheSlots = 8;
+thread_local RowCacheEntry t_row_cache[kRowCacheSlots];
+
+}  // namespace
 
 int TableSchema::FindColumn(const std::string& column_name) const {
   for (size_t i = 0; i < columns.size(); ++i) {
@@ -17,46 +98,316 @@ int TableSchema::FindColumn(const std::string& column_name) const {
   return -1;
 }
 
-Table::Table(TableSchema schema) : schema_(std::move(schema)) {
-  columns_.resize(schema_.columns.size());
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    columns_[i].type = schema_.columns[i].type;
+TableOptions TableOptions::FromEnv() {
+  TableOptions options;
+  options.backend = GetStorageModeFromEnv() == 1 ? StorageBackend::kDisk
+                                                 : StorageBackend::kMem;
+  options.data_dir = GetDataDirFromEnv();
+  options.buffer_pool_pages =
+      GetBufferPoolPagesFromEnv(options.buffer_pool_pages);
+  return options;
+}
+
+Table::Table(TableSchema schema) : Table(std::move(schema), TableOptions::FromEnv()) {}
+
+Table::Table(TableSchema schema, TableOptions options)
+    : schema_(std::move(schema)), options_(std::move(options)) {
+  if (options_.data_dir.empty()) options_.data_dir = GetDataDirFromEnv();
+  // B+ tree inserts pin a root-to-leaf path plus split pages; a handful of
+  // frames is the floor for correctness, not a tuning choice.
+  options_.buffer_pool_pages = std::max<size_t>(16, options_.buffer_pool_pages);
+  stats_.resize(schema_.columns.size());
+  if (options_.backend == StorageBackend::kMem) {
+    columns_.resize(schema_.columns.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      columns_[i].type = schema_.columns[i].type;
+    }
+  } else {
+    table_gen_ = g_table_gen.fetch_add(1, std::memory_order_relaxed);
+    hlls_.resize(schema_.columns.size());
+    for (auto& s : stats_) s.computed = true;  // maintained incrementally
   }
-  stats_.resize(columns_.size());
+}
+
+Table::~Table() = default;
+Table::Table(Table&&) noexcept = default;
+Table& Table::operator=(Table&&) noexcept = default;
+
+Status Table::EnsureDiskStorage() {
+  if (disk_ != nullptr) return Status::Ok();
+  std::string safe_name;
+  for (char c : schema_.name) {
+    safe_name += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  if (options_.data_dir.empty()) options_.data_dir = GetDataDirFromEnv();
+  const std::string path = options_.data_dir + "/sqlfacil_" + safe_name +
+                           "." + std::to_string(::getpid()) + "." +
+                           std::to_string(table_gen_) + ".tbl";
+  auto disk = std::make_unique<storage::DiskManager>();
+  if (Status s = disk->Open(path); !s.ok()) return s;
+  disk_ = std::move(disk);
+  pool_ = std::make_unique<storage::BufferPoolManager>(
+      options_.buffer_pool_pages, disk_.get());
+  heap_ = std::make_unique<storage::TableHeap>(pool_.get());
+  return Status::Ok();
 }
 
 void Table::AppendRow(const std::vector<Value>& row) {
-  SQLFACIL_CHECK(row.size() == columns_.size());
+  SQLFACIL_CHECK_OK(TryAppendRow(row));
+}
+
+Status Table::TryAppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.columns.size()));
+  }
+  if (options_.backend == StorageBackend::kDisk) return AppendRowDisk(row);
   for (size_t i = 0; i < row.size(); ++i) {
     Column& col = columns_[i];
     switch (col.type) {
       case ColumnType::kInt64:
         col.ints.push_back(row[i].is_null() ? 0 : row[i].AsInt());
+        encoded_bytes_ += 8;
         break;
       case ColumnType::kDouble:
         col.doubles.push_back(row[i].is_null() ? 0.0 : row[i].ToDouble());
+        encoded_bytes_ += 8;
         break;
       case ColumnType::kString:
         col.strings.push_back(row[i].is_null() ? std::string()
                                                : row[i].AsString());
+        encoded_bytes_ += 2 + col.strings.back().size();
         break;
     }
   }
   ++num_rows_;
+  return Status::Ok();
+}
+
+Status Table::AppendRowDisk(const std::vector<Value>& row) {
+  if (Status s = EnsureDiskStorage(); !s.ok()) return s;
+  std::string record;
+  EncodeRow(schema_, row, &record);
+  if (Status s = heap_->Append(record.data(), record.size()); !s.ok()) {
+    return s;
+  }
+  UpdateIncrementalStats(row);
+  encoded_bytes_ += record.size();
+  ++num_rows_;
+  return Status::Ok();
+}
+
+void Table::UpdateIncrementalStats(const std::vector<Value>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    ColumnStats& s = stats_[i];
+    switch (schema_.columns[i].type) {
+      case ColumnType::kInt64: {
+        const int64_t v = row[i].is_null() ? 0 : row[i].AsInt();
+        const double d = static_cast<double>(v);
+        if (num_rows_ == 0) {
+          s.min = s.max = d;
+        } else {
+          s.min = std::min(s.min, d);
+          s.max = std::max(s.max, d);
+        }
+        hlls_[i].Add(Mix64(static_cast<uint64_t>(v)));
+        break;
+      }
+      case ColumnType::kDouble: {
+        const double d = row[i].is_null() ? 0.0 : row[i].ToDouble();
+        if (num_rows_ == 0) {
+          s.min = s.max = d;
+        } else {
+          s.min = std::min(s.min, d);
+          s.max = std::max(s.max, d);
+        }
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        hlls_[i].Add(Mix64(bits));
+        break;
+      }
+      case ColumnType::kString: {
+        const std::string& str =
+            row[i].is_null() ? std::string() : row[i].AsString();
+        hlls_[i].Add(HashBytes(str.data(), str.size()));
+        break;
+      }
+    }
+    s.distinct = hlls_[i].Estimate();
+  }
+}
+
+void Table::Hll::Add(uint64_t hash) {
+  if (!dense) {
+    sparse.insert(hash);
+    if (sparse.size() > kSparseLimit) {
+      sparse.clear();
+      dense = true;
+    }
+  }
+  const size_t bucket = hash >> 56;  // top 8 bits -> 256 registers
+  const uint64_t rest = hash << 8;
+  // Rank = leading zeros of the remaining 56 bits + 1, capped.
+  uint8_t rank = 1;
+  uint64_t probe = rest;
+  while (rank < 57 && (probe & (1ull << 63)) == 0) {
+    ++rank;
+    probe <<= 1;
+  }
+  registers[bucket] = std::max(registers[bucket], rank);
+}
+
+size_t Table::Hll::Estimate() const {
+  if (!dense) return sparse.size();
+  const double m = static_cast<double>(registers.size());
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double sum = 0.0;
+  int zeros = 0;
+  for (uint8_t r : registers) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / zeros);  // small-range correction
+  }
+  return static_cast<size_t>(std::llround(std::max(0.0, estimate)));
+}
+
+Value Table::DecodeColumnValue(const char* record, size_t len,
+                               size_t col) const {
+  size_t off = 0;
+  for (size_t i = 0; i < schema_.columns.size(); ++i) {
+    switch (schema_.columns[i].type) {
+      case ColumnType::kInt64: {
+        if (off + 8 > len) {
+          throw storage::StorageError(
+              Status::DataCorruption("truncated int field in record"));
+        }
+        if (i == col) {
+          int64_t v;
+          std::memcpy(&v, record + off, sizeof(v));
+          return Value(v);
+        }
+        off += 8;
+        break;
+      }
+      case ColumnType::kDouble: {
+        if (off + 8 > len) {
+          throw storage::StorageError(
+              Status::DataCorruption("truncated double field in record"));
+        }
+        if (i == col) {
+          double v;
+          std::memcpy(&v, record + off, sizeof(v));
+          return Value(v);
+        }
+        off += 8;
+        break;
+      }
+      case ColumnType::kString: {
+        if (off + 2 > len) {
+          throw storage::StorageError(
+              Status::DataCorruption("truncated string length in record"));
+        }
+        uint16_t slen;
+        std::memcpy(&slen, record + off, sizeof(slen));
+        off += 2;
+        if (off + slen > len) {
+          throw storage::StorageError(
+              Status::DataCorruption("truncated string field in record"));
+        }
+        if (i == col) return Value(std::string(record + off, slen));
+        off += slen;
+        break;
+      }
+    }
+  }
+  throw storage::StorageError(
+      Status::Internal("column index out of range in DecodeColumnValue"));
+}
+
+void Table::DecodeRow(const char* record, size_t len,
+                      std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(schema_.columns.size());
+  size_t off = 0;
+  for (const ColumnDef& def : schema_.columns) {
+    switch (def.type) {
+      case ColumnType::kInt64: {
+        if (off + 8 > len) {
+          throw storage::StorageError(
+              Status::DataCorruption("truncated int field in record"));
+        }
+        int64_t v;
+        std::memcpy(&v, record + off, sizeof(v));
+        off += 8;
+        out->push_back(Value(v));
+        break;
+      }
+      case ColumnType::kDouble: {
+        if (off + 8 > len) {
+          throw storage::StorageError(
+              Status::DataCorruption("truncated double field in record"));
+        }
+        double v;
+        std::memcpy(&v, record + off, sizeof(v));
+        off += 8;
+        out->push_back(Value(v));
+        break;
+      }
+      case ColumnType::kString: {
+        if (off + 2 > len) {
+          throw storage::StorageError(
+              Status::DataCorruption("truncated string length in record"));
+        }
+        uint16_t slen;
+        std::memcpy(&slen, record + off, sizeof(slen));
+        off += 2;
+        if (off + slen > len) {
+          throw storage::StorageError(
+              Status::DataCorruption("truncated string field in record"));
+        }
+        out->push_back(Value(std::string(record + off, slen)));
+        off += slen;
+        break;
+      }
+    }
+  }
 }
 
 Value Table::GetValue(size_t row, size_t col) const {
-  SQLFACIL_CHECK(row < num_rows_ && col < columns_.size());
-  const Column& c = columns_[col];
-  switch (c.type) {
-    case ColumnType::kInt64:
-      return Value(c.ints[row]);
-    case ColumnType::kDouble:
-      return Value(c.doubles[row]);
-    case ColumnType::kString:
-      return Value(c.strings[row]);
+  SQLFACIL_CHECK(row < num_rows_ && col < schema_.columns.size());
+  if (options_.backend == StorageBackend::kMem) {
+    const Column& c = columns_[col];
+    switch (c.type) {
+      case ColumnType::kInt64:
+        return Value(c.ints[row]);
+      case ColumnType::kDouble:
+        return Value(c.doubles[row]);
+      case ColumnType::kString:
+        return Value(c.strings[row]);
+    }
+    return Value::Null();
   }
-  return Value::Null();
+  RowCacheEntry& slot = t_row_cache[table_gen_ % kRowCacheSlots];
+  if (slot.table_gen == table_gen_ && slot.row == row) {
+    return slot.values[col];
+  }
+  Status s = heap_->ReadRow(
+      row,
+      [&](const char* record, size_t len) {
+        DecodeRow(record, len, &slot.values);
+      },
+      &slot.page_hint);
+  if (!s.ok()) {
+    slot.table_gen = 0;  // decoder may have clobbered the cached values
+    throw storage::StorageError(std::move(s));
+  }
+  slot.table_gen = table_gen_;
+  slot.row = row;
+  return slot.values[col];
 }
 
 Status Table::BuildIndex(const std::string& column_name) {
@@ -65,26 +416,131 @@ Status Table::BuildIndex(const std::string& column_name) {
     return Status::NotFound("no column '" + column_name + "' in table '" +
                             schema_.name + "'");
   }
-  if (columns_[col].type != ColumnType::kInt64) {
-    return Status::InvalidArgument("index requires an int64 column");
+  if (options_.backend == StorageBackend::kMem) {
+    if (columns_[col].type != ColumnType::kInt64) {
+      return Status::InvalidArgument("index requires an int64 column");
+    }
+    if (indexes_.count(col) > 0) return Status::Ok();
+    auto& index = indexes_[col];
+    const auto& ints = columns_[col].ints;
+    for (size_t row = 0; row < ints.size(); ++row) {
+      index[ints[row]].push_back(static_cast<uint32_t>(row));
+    }
+    return Status::Ok();
   }
-  if (indexes_.count(col) > 0) return Status::Ok();
-  auto& index = indexes_[col];
-  const auto& ints = columns_[col].ints;
-  for (size_t row = 0; row < ints.size(); ++row) {
-    index[ints[row]].push_back(static_cast<uint32_t>(row));
+
+  const ColumnType type = schema_.columns[col].type;
+  if (type == ColumnType::kDouble) {
+    return Status::InvalidArgument(
+        "disk index requires an int64 or string column");
   }
+  if (btrees_.count(col) > 0) return Status::Ok();
+  if (Status s = EnsureDiskStorage(); !s.ok()) return s;
+
+  // Gather (key, row) pairs, sort by composite, insert in order: every
+  // insert lands on the rightmost path, keeping the build pass friendly to
+  // a pool smaller than the index.
+  std::vector<std::pair<storage::IndexKey, uint32_t>> entries;
+  entries.reserve(num_rows_);
+  size_t page_hint = 0;
+  for (size_t row = 0; row < num_rows_; ++row) {
+    Status decode_status;
+    storage::IndexKey key{};
+    Status s = heap_->ReadRow(
+        row,
+        [&](const char* record, size_t len) {
+          if (type == ColumnType::kInt64) {
+            key = storage::EncodeIntKey(
+                DecodeColumnValue(record, len, col).AsInt());
+          } else {
+            auto k = storage::EncodeStringKey(
+                DecodeColumnValue(record, len, col).AsString());
+            if (!k.ok()) {
+              decode_status = k.status();
+              return;
+            }
+            key = *k;
+          }
+        },
+        &page_hint);
+    if (!s.ok()) return s;
+    if (!decode_status.ok()) return decode_status;
+    entries.emplace_back(key, static_cast<uint32_t>(row));
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    const int c = std::memcmp(a.first.data(), b.first.data(),
+                              storage::kIndexKeyLen);
+    return c != 0 ? c < 0 : a.second < b.second;
+  });
+
+  auto tree = std::make_unique<storage::BPlusTree>(pool_.get());
+  for (const auto& [key, row] : entries) {
+    if (Status s = tree->Insert(key, row); !s.ok()) return s;
+  }
+  btrees_[col] = std::move(tree);
   return Status::Ok();
 }
 
-bool Table::HasIndex(int col) const { return indexes_.count(col) > 0; }
+bool Table::HasIndex(int col) const {
+  return indexes_.count(col) > 0 || btrees_.count(col) > 0;
+}
 
-const std::vector<uint32_t>& Table::IndexLookup(int col, int64_t key) const {
-  static const std::vector<uint32_t>* empty = new std::vector<uint32_t>();
-  auto it = indexes_.find(col);
-  SQLFACIL_CHECK(it != indexes_.end()) << "IndexLookup without index";
-  auto rows = it->second.find(key);
-  return rows == it->second.end() ? *empty : rows->second;
+bool Table::HasOrderedIndex(int col) const {
+  return btrees_.count(col) > 0;
+}
+
+std::vector<uint32_t> Table::IndexLookup(int col, int64_t key) const {
+  if (options_.backend == StorageBackend::kMem) {
+    auto it = indexes_.find(col);
+    SQLFACIL_CHECK(it != indexes_.end()) << "IndexLookup without index";
+    auto rows = it->second.find(key);
+    return rows == it->second.end() ? std::vector<uint32_t>() : rows->second;
+  }
+  auto it = btrees_.find(col);
+  SQLFACIL_CHECK(it != btrees_.end()) << "IndexLookup without index";
+  std::vector<uint32_t> out;
+  if (Status s = it->second->ScanEqual(storage::EncodeIntKey(key), &out);
+      !s.ok()) {
+    throw storage::StorageError(std::move(s));
+  }
+  return out;
+}
+
+std::vector<uint32_t> Table::IndexLookup(int col,
+                                         const std::string& key) const {
+  auto it = btrees_.find(col);
+  SQLFACIL_CHECK(it != btrees_.end()) << "string IndexLookup without index";
+  auto encoded = storage::EncodeStringKey(key);
+  // Values that survived index build always encode, so a literal that does
+  // not (too long / embedded NUL) cannot equal any stored value.
+  if (!encoded.ok()) return {};
+  std::vector<uint32_t> out;
+  if (Status s = it->second->ScanEqual(*encoded, &out); !s.ok()) {
+    throw storage::StorageError(std::move(s));
+  }
+  return out;
+}
+
+std::vector<uint32_t> Table::IndexRange(int col, const int64_t* lo,
+                                        bool lo_inclusive, const int64_t* hi,
+                                        bool hi_inclusive) const {
+  auto it = btrees_.find(col);
+  SQLFACIL_CHECK(it != btrees_.end()) << "IndexRange without ordered index";
+  storage::IndexKey lo_key{}, hi_key{};
+  if (lo != nullptr) lo_key = storage::EncodeIntKey(*lo);
+  if (hi != nullptr) hi_key = storage::EncodeIntKey(*hi);
+  std::vector<uint32_t> out;
+  if (Status s = it->second->ScanRange(lo != nullptr ? &lo_key : nullptr,
+                                       lo_inclusive,
+                                       hi != nullptr ? &hi_key : nullptr,
+                                       hi_inclusive, &out);
+      !s.ok()) {
+    throw storage::StorageError(std::move(s));
+  }
+  // ScanRange yields composite (key, row) order; executor bit-identity
+  // with the mem backend's sequential scan needs ascending row ids.
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void Table::ComputeStatsIfNeeded(int col) const {
@@ -123,27 +579,59 @@ void Table::ComputeStatsIfNeeded(int col) const {
 }
 
 void Table::WarmStats() const {
+  if (options_.backend == StorageBackend::kDisk) return;  // always warm
   for (size_t col = 0; col < columns_.size(); ++col) {
     ComputeStatsIfNeeded(static_cast<int>(col));
   }
 }
 
 size_t Table::DistinctCount(int col) const {
-  SQLFACIL_CHECK(col >= 0 && static_cast<size_t>(col) < columns_.size());
+  SQLFACIL_CHECK(col >= 0 && static_cast<size_t>(col) < stats_.size());
   ComputeStatsIfNeeded(col);
   return stats_[col].distinct;
 }
 
 double Table::ColumnMin(int col) const {
-  SQLFACIL_CHECK(col >= 0 && static_cast<size_t>(col) < columns_.size());
+  SQLFACIL_CHECK(col >= 0 && static_cast<size_t>(col) < stats_.size());
   ComputeStatsIfNeeded(col);
   return stats_[col].min;
 }
 
 double Table::ColumnMax(int col) const {
-  SQLFACIL_CHECK(col >= 0 && static_cast<size_t>(col) < columns_.size());
+  SQLFACIL_CHECK(col >= 0 && static_cast<size_t>(col) < stats_.size());
   ComputeStatsIfNeeded(col);
   return stats_[col].max;
+}
+
+size_t Table::num_data_pages() const {
+  if (heap_ != nullptr) return std::max<size_t>(1, heap_->num_pages());
+  return std::max<uint64_t>(
+      1, (encoded_bytes_ + storage::kPayloadSize - 1) / storage::kPayloadSize);
+}
+
+int Table::IndexHeight(int col) const {
+  auto it = btrees_.find(col);
+  return it == btrees_.end() ? 0 : it->second->height();
+}
+
+Table::StorageStats Table::GetStorageStats() const {
+  StorageStats out;
+  if (pool_ == nullptr) return out;
+  const storage::BufferPoolStats stats = pool_->stats();
+  out.pool_hits = stats.hits;
+  out.pool_misses = stats.misses;
+  out.pool_evictions = stats.evictions;
+  out.hit_rate = stats.hit_rate();
+  out.pool_pages = pool_->pool_pages();
+  out.pages_read = disk_->pages_read();
+  out.pages_written = disk_->pages_written();
+  out.heap_pages = heap_ != nullptr ? heap_->num_pages() : 0;
+  return out;
+}
+
+Status Table::FlushStorage() {
+  if (pool_ == nullptr) return Status::Ok();
+  return pool_->FlushAll();
 }
 
 }  // namespace sqlfacil::engine

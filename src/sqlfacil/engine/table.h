@@ -1,13 +1,24 @@
 #ifndef SQLFACIL_ENGINE_TABLE_H_
 #define SQLFACIL_ENGINE_TABLE_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sqlfacil/engine/value.h"
 #include "sqlfacil/util/status.h"
+
+namespace sqlfacil::storage {
+class BPlusTree;
+class BufferPoolManager;
+class DiskManager;
+class TableHeap;
+struct BufferPoolStats;
+}  // namespace sqlfacil::storage
 
 namespace sqlfacil::engine {
 
@@ -24,43 +35,128 @@ struct TableSchema {
   int FindColumn(const std::string& column_name) const;
 };
 
-/// Columnar in-memory table. Int columns can carry an equality hash index
-/// (point lookups on object ids dominate bot traffic in SDSS; the index
-/// makes executing tens of thousands of generated queries feasible).
+enum class StorageBackend {
+  kMem,   // columnar vectors in RAM (the original engine)
+  kDisk,  // slotted-page table heap through a buffer pool
+};
+
+/// Where and how a Table stores its rows. Defaults resolve the
+/// SQLFACIL_STORAGE / SQLFACIL_DATA_DIR / SQLFACIL_BUFFER_POOL_PAGES
+/// knobs, so existing call sites switch backends via the environment.
+struct TableOptions {
+  StorageBackend backend = StorageBackend::kMem;
+  std::string data_dir;
+  size_t buffer_pool_pages = 2048;  // 8 MiB per table
+
+  static TableOptions FromEnv();
+};
+
+/// A relation addressed by dense row index. Two interchangeable backends:
+///
+///  - kMem: columnar in-memory vectors with equality hash indexes over int
+///    columns (the seed engine, bit-for-bit unchanged).
+///  - kDisk: rows encoded into a slotted-page TableHeap behind an LRU-K
+///    buffer pool (4KiB CRC-framed pages), with B+ tree indexes over int64
+///    *and* string columns supporting equality and range scans. Datasets
+///    larger than the pool spill to disk and are paged back on demand.
+///
+/// Both backends return identical values for identical appends, and index
+/// lookups return row ids ascending, so query results do not depend on the
+/// backend. Loading and index building are single-threaded; afterwards any
+/// number of threads may read concurrently (disk-mode reads pin pages
+/// through the buffer pool's mutex).
 class Table {
  public:
+  /// The single-argument form resolves TableOptions::FromEnv(), so
+  /// SQLFACIL_STORAGE=disk switches every table built through datagen /
+  /// the workload catalogs without touching call sites.
   explicit Table(TableSchema schema);
+  Table(TableSchema schema, TableOptions options);
+  ~Table();
+
+  Table(Table&&) noexcept;
+  Table& operator=(Table&&) noexcept;
 
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return schema_.columns.size(); }
+  StorageBackend backend() const { return options_.backend; }
 
   /// Appends one row; values must match the schema arity and types
   /// (int64 for kInt64, double for kDouble, string for kString).
+  /// Storage failures abort; use TryAppendRow for a Status channel.
   void AppendRow(const std::vector<Value>& row);
 
+  /// Status-returning append: kResourceExhausted for oversized rows,
+  /// kIoError/kDataCorruption for disk faults. On error the row is not
+  /// visible (num_rows() unchanged, no torn tuples).
+  Status TryAppendRow(const std::vector<Value>& row);
+
+  /// In disk mode a storage fault surfaces as storage::StorageError (the
+  /// executor converts it back to a typed Status); mem mode never throws.
   Value GetValue(size_t row, size_t col) const;
 
-  /// Builds an equality index over an int column. Idempotent.
+  /// Builds an index over a column. Idempotent. Mem backend: equality hash
+  /// index, int64 columns only. Disk backend: B+ tree, int64 or string
+  /// columns, supporting equality and (for int64) range scans.
   Status BuildIndex(const std::string& column_name);
   bool HasIndex(int col) const;
+  /// True when `col` carries a B+ tree (ordered) index — range scans and
+  /// string-equality scans are only available here.
+  bool HasOrderedIndex(int col) const;
 
-  /// Row ids whose `col` equals `key`. Requires HasIndex(col).
-  const std::vector<uint32_t>& IndexLookup(int col, int64_t key) const;
+  /// Row ids whose `col` equals `key`, ascending. Requires HasIndex(col).
+  std::vector<uint32_t> IndexLookup(int col, int64_t key) const;
+
+  /// Row ids whose string `col` equals `key`, ascending. Requires
+  /// HasOrderedIndex(col).
+  std::vector<uint32_t> IndexLookup(int col, const std::string& key) const;
+
+  /// Row ids with lo </<= col </<= hi (null bound = unbounded), sorted
+  /// ascending. Requires HasOrderedIndex(col).
+  std::vector<uint32_t> IndexRange(int col, const int64_t* lo,
+                                   bool lo_inclusive, const int64_t* hi,
+                                   bool hi_inclusive) const;
 
   // --- Statistics used by the optimizer cost model (opt baseline) ---
 
-  /// Approximate number of distinct values in a column.
+  /// Approximate number of distinct values in a column (exact for the mem
+  /// backend, HyperLogLog-estimated for disk).
   size_t DistinctCount(int col) const;
   /// Min/max of a numeric column as doubles (0 for empty/string columns).
   double ColumnMin(int col) const;
   double ColumnMax(int col) const;
 
-  /// Eagerly computes every column's statistics. The stats cache is lazily
-  /// filled and not thread-safe; call this before sharing a table across
-  /// threads that consult the cost model.
+  /// Data pages the table occupies (actual heap pages on disk; the
+  /// encoded-size equivalent for mem tables). Drives page-fetch costing.
+  size_t num_data_pages() const;
+  /// B+ tree height of `col`'s index (0 without an ordered index).
+  int IndexHeight(int col) const;
+
+  /// Eagerly computes every column's statistics. The mem backend's stats
+  /// cache is lazily filled and not thread-safe; call this before sharing
+  /// a table across threads that consult the cost model. Disk-mode stats
+  /// are maintained incrementally at append time, so this is a no-op.
   void WarmStats() const;
+
+  /// Buffer-pool counters (hits/misses/evictions/hit rate) plus pages
+  /// read/written; zeros for the mem backend.
+  struct StorageStats {
+    uint64_t pool_hits = 0;
+    uint64_t pool_misses = 0;
+    uint64_t pool_evictions = 0;
+    uint64_t pages_read = 0;
+    uint64_t pages_written = 0;
+    size_t pool_pages = 0;
+    size_t heap_pages = 0;
+    double hit_rate = 0.0;
+  };
+  StorageStats GetStorageStats() const;
+
+  /// Flushes dirty pages to disk (no-op for mem). Called after load so
+  /// read-only query phases start from a clean pool.
+  Status FlushStorage();
 
  private:
   struct Column {
@@ -70,13 +166,17 @@ class Table {
     std::vector<std::string> strings;
   };
 
-  void ComputeStatsIfNeeded(int col) const;
-
-  TableSchema schema_;
-  std::vector<Column> columns_;
-  size_t num_rows_ = 0;
-  std::unordered_map<int, std::unordered_map<int64_t, std::vector<uint32_t>>>
-      indexes_;
+  /// Distinct-count sketch: exact (hash-set) up to kSparseLimit distinct
+  /// hashes, HyperLogLog beyond. Small cardinalities — where the cost
+  /// model's selectivity estimates are most sensitive — stay exact.
+  struct Hll {
+    static constexpr size_t kSparseLimit = 4096;
+    std::array<uint8_t, 256> registers{};
+    std::unordered_set<uint64_t> sparse;
+    bool dense = false;
+    void Add(uint64_t hash);
+    size_t Estimate() const;
+  };
 
   struct ColumnStats {
     bool computed = false;
@@ -84,6 +184,36 @@ class Table {
     double min = 0.0;
     double max = 0.0;
   };
+
+  Status EnsureDiskStorage();
+  Status AppendRowDisk(const std::vector<Value>& row);
+  void UpdateIncrementalStats(const std::vector<Value>& row);
+  void ComputeStatsIfNeeded(int col) const;
+  /// Decodes one column value from an encoded record; throws StorageError
+  /// on malformed bytes.
+  Value DecodeColumnValue(const char* record, size_t len, size_t col) const;
+  /// Decodes a full record into `out`.
+  void DecodeRow(const char* record, size_t len,
+                 std::vector<Value>* out) const;
+
+  TableSchema schema_;
+  TableOptions options_;
+  std::vector<Column> columns_;  // mem backend only
+  size_t num_rows_ = 0;
+  uint64_t encoded_bytes_ = 0;  // mem: size the rows would occupy on disk
+
+  // mem backend: equality hash indexes over int columns.
+  std::unordered_map<int, std::unordered_map<int64_t, std::vector<uint32_t>>>
+      indexes_;
+
+  // disk backend.
+  uint64_t table_gen_ = 0;  // process-unique id keying the row-decode cache
+  std::unique_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::BufferPoolManager> pool_;
+  std::unique_ptr<storage::TableHeap> heap_;
+  std::unordered_map<int, std::unique_ptr<storage::BPlusTree>> btrees_;
+  std::vector<Hll> hlls_;  // per-column distinct estimators (disk)
+
   mutable std::vector<ColumnStats> stats_;
 };
 

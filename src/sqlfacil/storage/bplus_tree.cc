@@ -1,0 +1,368 @@
+#include "sqlfacil/storage/bplus_tree.h"
+
+#include <cstring>
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::storage {
+
+namespace {
+
+// Node page payload layout (both kinds share the 8-byte node header):
+//   u8  is_leaf | u8 unused | u16 num_entries | u32 link
+// where `link` is the next-leaf page id for leaves and child0 for
+// internal nodes. Entries follow:
+//   leaf:     key[24] | row u32                  (28 bytes)
+//   internal: key[24] | row u32 | child u32      (32 bytes)
+constexpr size_t kNodeHeaderSize = 8;
+constexpr size_t kCompositeLen = kIndexKeyLen + 4;   // key + row
+constexpr size_t kLeafEntrySize = kCompositeLen;
+constexpr size_t kInternalEntrySize = kCompositeLen + 4;
+constexpr size_t kMaxLeafEntries =
+    (kPayloadSize - kNodeHeaderSize) / kLeafEntrySize;  // 145
+constexpr size_t kMaxInternalEntries =
+    (kPayloadSize - kNodeHeaderSize) / kInternalEntrySize;  // 127
+
+bool IsLeaf(const char* payload) { return payload[0] != 0; }
+
+uint16_t NumEntries(const char* payload) {
+  uint16_t n;
+  std::memcpy(&n, payload + 2, sizeof(n));
+  return n;
+}
+
+void SetNumEntries(char* payload, uint16_t n) {
+  std::memcpy(payload + 2, &n, sizeof(n));
+}
+
+page_id_t Link(const char* payload) {
+  page_id_t id;
+  std::memcpy(&id, payload + 4, sizeof(id));
+  return id;
+}
+
+void SetLink(char* payload, page_id_t id) {
+  std::memcpy(payload + 4, &id, sizeof(id));
+}
+
+const unsigned char* LeafEntry(const char* payload, size_t i) {
+  return reinterpret_cast<const unsigned char*>(payload + kNodeHeaderSize +
+                                                i * kLeafEntrySize);
+}
+
+unsigned char* LeafEntry(char* payload, size_t i) {
+  return reinterpret_cast<unsigned char*>(payload + kNodeHeaderSize +
+                                          i * kLeafEntrySize);
+}
+
+const unsigned char* InternalEntry(const char* payload, size_t i) {
+  return reinterpret_cast<const unsigned char*>(payload + kNodeHeaderSize +
+                                                i * kInternalEntrySize);
+}
+
+unsigned char* InternalEntry(char* payload, size_t i) {
+  return reinterpret_cast<unsigned char*>(payload + kNodeHeaderSize +
+                                          i * kInternalEntrySize);
+}
+
+uint32_t EntryRow(const unsigned char* entry) {
+  uint32_t row;
+  std::memcpy(&row, entry + kIndexKeyLen, sizeof(row));
+  return row;
+}
+
+page_id_t EntryChild(const unsigned char* entry) {
+  page_id_t child;
+  std::memcpy(&child, entry + kCompositeLen, sizeof(child));
+  return child;
+}
+
+/// Total order over (key bytes, row id) composites.
+int CompareComposite(const unsigned char* a, const unsigned char* b) {
+  const int c = std::memcmp(a, b, kIndexKeyLen);
+  if (c != 0) return c;
+  const uint32_t ra = EntryRow(a);
+  const uint32_t rb = EntryRow(b);
+  return ra < rb ? -1 : (ra > rb ? 1 : 0);
+}
+
+/// First leaf position whose composite is >= target.
+size_t LeafLowerBound(const char* payload, const unsigned char* target) {
+  size_t lo = 0, hi = NumEntries(payload);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (CompareComposite(LeafEntry(payload, mid), target) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child to follow for `target`: entries index of the largest separator
+/// <= target, or -1 for child0.
+int InternalChildIndex(const char* payload, const unsigned char* target) {
+  int lo = 0, hi = NumEntries(payload);  // find first sep > target
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (CompareComposite(InternalEntry(payload, mid), target) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo - 1;
+}
+
+}  // namespace
+
+IndexKey EncodeIntKey(int64_t v) {
+  IndexKey key{};
+  const uint64_t biased = static_cast<uint64_t>(v) ^ (1ull << 63);
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<unsigned char>(biased >> (56 - 8 * i));
+  }
+  return key;
+}
+
+StatusOr<IndexKey> EncodeStringKey(const std::string& s) {
+  if (s.size() > kIndexKeyLen) {
+    return Status::InvalidArgument("string key longer than " +
+                                   std::to_string(kIndexKeyLen) + " bytes");
+  }
+  if (s.find('\0') != std::string::npos) {
+    return Status::InvalidArgument("string key contains NUL");
+  }
+  IndexKey key{};
+  std::memcpy(key.data(), s.data(), s.size());
+  return key;
+}
+
+Status BPlusTree::Insert(const IndexKey& key, uint32_t row) {
+  unsigned char composite[kCompositeLen];
+  std::memcpy(composite, key.data(), kIndexKeyLen);
+  std::memcpy(composite + kIndexKeyLen, &row, sizeof(row));
+
+  if (root_ == kInvalidPageId) {
+    page_id_t page_id = kInvalidPageId;
+    auto page = pool_->NewPage(&page_id);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    char* payload = guard.mutable_payload();
+    payload[0] = 1;  // leaf
+    SetNumEntries(payload, 1);
+    SetLink(payload, kInvalidPageId);
+    std::memcpy(LeafEntry(payload, 0), composite, kCompositeLen);
+    root_ = page_id;
+    height_ = 1;
+    num_leaves_ = 1;
+    ++num_entries_;
+    return Status::Ok();
+  }
+
+  SplitResult split;
+  if (Status s = InsertRec(root_, composite, &split); !s.ok()) return s;
+  ++num_entries_;
+  if (!split.split) return Status::Ok();
+
+  // Root split: new internal root over (old root, right).
+  page_id_t page_id = kInvalidPageId;
+  auto page = pool_->NewPage(&page_id);
+  if (!page.ok()) return page.status();
+  PageGuard guard(pool_, *page);
+  char* payload = guard.mutable_payload();
+  payload[0] = 0;  // internal
+  SetNumEntries(payload, 1);
+  SetLink(payload, root_);  // child0
+  unsigned char* entry = InternalEntry(payload, 0);
+  std::memcpy(entry, split.sep, kCompositeLen);
+  std::memcpy(entry + kCompositeLen, &split.right, sizeof(split.right));
+  root_ = page_id;
+  ++height_;
+  return Status::Ok();
+}
+
+Status BPlusTree::InsertRec(page_id_t node, const unsigned char* composite,
+                            SplitResult* out) {
+  auto page = pool_->FetchPage(node);
+  if (!page.ok()) return page.status();
+  PageGuard guard(pool_, *page);
+
+  if (IsLeaf(guard.payload())) {
+    char* payload = guard.mutable_payload();
+    const size_t n = NumEntries(payload);
+    const size_t pos = LeafLowerBound(payload, composite);
+    if (n < kMaxLeafEntries) {
+      std::memmove(LeafEntry(payload, pos + 1), LeafEntry(payload, pos),
+                   (n - pos) * kLeafEntrySize);
+      std::memcpy(LeafEntry(payload, pos), composite, kCompositeLen);
+      SetNumEntries(payload, static_cast<uint16_t>(n + 1));
+      return Status::Ok();
+    }
+    // Leaf split: merge into a temp array, keep the lower half.
+    unsigned char temp[(kMaxLeafEntries + 1) * kLeafEntrySize];
+    std::memcpy(temp, LeafEntry(payload, 0), pos * kLeafEntrySize);
+    std::memcpy(temp + pos * kLeafEntrySize, composite, kCompositeLen);
+    std::memcpy(temp + (pos + 1) * kLeafEntrySize, LeafEntry(payload, pos),
+                (n - pos) * kLeafEntrySize);
+    const size_t total = n + 1;
+    const size_t left_n = total / 2;
+
+    page_id_t right_id = kInvalidPageId;
+    auto right = pool_->NewPage(&right_id);
+    if (!right.ok()) return right.status();
+    PageGuard right_guard(pool_, *right);
+    char* rp = right_guard.mutable_payload();
+    rp[0] = 1;
+    SetNumEntries(rp, static_cast<uint16_t>(total - left_n));
+    SetLink(rp, Link(payload));
+    std::memcpy(LeafEntry(rp, 0), temp + left_n * kLeafEntrySize,
+                (total - left_n) * kLeafEntrySize);
+
+    SetNumEntries(payload, static_cast<uint16_t>(left_n));
+    std::memcpy(LeafEntry(payload, 0), temp, left_n * kLeafEntrySize);
+    SetLink(payload, right_id);
+
+    out->split = true;
+    std::memcpy(out->sep, LeafEntry(rp, 0), kCompositeLen);
+    out->right = right_id;
+    ++num_leaves_;
+    return Status::Ok();
+  }
+
+  // Internal node: recurse into the covering child.
+  const int idx = InternalChildIndex(guard.payload(), composite);
+  const page_id_t child =
+      idx < 0 ? Link(guard.payload())
+              : EntryChild(InternalEntry(guard.payload(), idx));
+  SplitResult child_split;
+  if (Status s = InsertRec(child, composite, &child_split); !s.ok()) return s;
+  if (!child_split.split) return Status::Ok();
+
+  char* payload = guard.mutable_payload();
+  const size_t n = NumEntries(payload);
+  const size_t pos = static_cast<size_t>(idx + 1);  // right after the child
+  unsigned char new_entry[kInternalEntrySize];
+  std::memcpy(new_entry, child_split.sep, kCompositeLen);
+  std::memcpy(new_entry + kCompositeLen, &child_split.right,
+              sizeof(child_split.right));
+  if (n < kMaxInternalEntries) {
+    std::memmove(InternalEntry(payload, pos + 1), InternalEntry(payload, pos),
+                 (n - pos) * kInternalEntrySize);
+    std::memcpy(InternalEntry(payload, pos), new_entry, kInternalEntrySize);
+    SetNumEntries(payload, static_cast<uint16_t>(n + 1));
+    return Status::Ok();
+  }
+  // Internal split: middle entry's key moves up; its child becomes the
+  // right node's child0.
+  unsigned char temp[(kMaxInternalEntries + 1) * kInternalEntrySize];
+  std::memcpy(temp, InternalEntry(payload, 0), pos * kInternalEntrySize);
+  std::memcpy(temp + pos * kInternalEntrySize, new_entry, kInternalEntrySize);
+  std::memcpy(temp + (pos + 1) * kInternalEntrySize,
+              InternalEntry(payload, pos), (n - pos) * kInternalEntrySize);
+  const size_t total = n + 1;
+  const size_t mid = total / 2;
+
+  page_id_t right_id = kInvalidPageId;
+  auto right = pool_->NewPage(&right_id);
+  if (!right.ok()) return right.status();
+  PageGuard right_guard(pool_, *right);
+  char* rp = right_guard.mutable_payload();
+  rp[0] = 0;
+  const unsigned char* mid_entry = temp + mid * kInternalEntrySize;
+  SetLink(rp, EntryChild(mid_entry));
+  SetNumEntries(rp, static_cast<uint16_t>(total - mid - 1));
+  std::memcpy(InternalEntry(rp, 0), temp + (mid + 1) * kInternalEntrySize,
+              (total - mid - 1) * kInternalEntrySize);
+
+  SetNumEntries(payload, static_cast<uint16_t>(mid));
+  std::memcpy(InternalEntry(payload, 0), temp, mid * kInternalEntrySize);
+
+  out->split = true;
+  std::memcpy(out->sep, mid_entry, kCompositeLen);
+  out->right = right_id;
+  return Status::Ok();
+}
+
+StatusOr<page_id_t> BPlusTree::FindLeaf(
+    const unsigned char* composite) const {
+  if (root_ == kInvalidPageId) return kInvalidPageId;
+  page_id_t node = root_;
+  for (int depth = 0; depth < height_ + 1; ++depth) {
+    auto page = pool_->FetchPage(node);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    if (IsLeaf(guard.payload())) return node;
+    int idx = -1;
+    if (composite != nullptr) {
+      idx = InternalChildIndex(guard.payload(), composite);
+    }
+    node = idx < 0 ? Link(guard.payload())
+                   : EntryChild(InternalEntry(guard.payload(), idx));
+  }
+  return Status::DataCorruption("B+ tree deeper than its recorded height");
+}
+
+Status BPlusTree::ScanEqual(const IndexKey& key,
+                            std::vector<uint32_t>* out) const {
+  unsigned char target[kCompositeLen] = {};
+  std::memcpy(target, key.data(), kIndexKeyLen);  // row 0: smallest composite
+  auto leaf = FindLeaf(target);
+  if (!leaf.ok()) return leaf.status();
+  page_id_t node = *leaf;
+  bool first = true;
+  while (node != kInvalidPageId) {
+    auto page = pool_->FetchPage(node);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    const char* payload = guard.payload();
+    const size_t n = NumEntries(payload);
+    size_t i = first ? LeafLowerBound(payload, target) : 0;
+    first = false;
+    for (; i < n; ++i) {
+      const unsigned char* entry = LeafEntry(payload, i);
+      const int c = std::memcmp(entry, key.data(), kIndexKeyLen);
+      if (c > 0) return Status::Ok();
+      out->push_back(EntryRow(entry));
+    }
+    node = Link(payload);
+  }
+  return Status::Ok();
+}
+
+Status BPlusTree::ScanRange(const IndexKey* lo, bool lo_inclusive,
+                            const IndexKey* hi, bool hi_inclusive,
+                            std::vector<uint32_t>* out) const {
+  unsigned char target[kCompositeLen] = {};
+  if (lo != nullptr) std::memcpy(target, lo->data(), kIndexKeyLen);
+  auto leaf = FindLeaf(lo != nullptr ? target : nullptr);
+  if (!leaf.ok()) return leaf.status();
+  page_id_t node = *leaf;
+  bool first = true;
+  while (node != kInvalidPageId) {
+    auto page = pool_->FetchPage(node);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    const char* payload = guard.payload();
+    const size_t n = NumEntries(payload);
+    size_t i = (first && lo != nullptr) ? LeafLowerBound(payload, target) : 0;
+    first = false;
+    for (; i < n; ++i) {
+      const unsigned char* entry = LeafEntry(payload, i);
+      if (lo != nullptr && !lo_inclusive &&
+          std::memcmp(entry, lo->data(), kIndexKeyLen) == 0) {
+        continue;
+      }
+      if (hi != nullptr) {
+        const int c = std::memcmp(entry, hi->data(), kIndexKeyLen);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return Status::Ok();
+      }
+      out->push_back(EntryRow(entry));
+    }
+    node = Link(payload);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sqlfacil::storage

@@ -1,0 +1,90 @@
+#ifndef SQLFACIL_STORAGE_BPLUS_TREE_H_
+#define SQLFACIL_STORAGE_BPLUS_TREE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/storage/buffer_pool.h"
+#include "sqlfacil/storage/page.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::storage {
+
+/// Fixed-width normalized index key: 24 bytes whose memcmp order equals the
+/// logical order of the encoded value.
+///  - int64: big-endian bytes with the sign bit flipped (memcmp == numeric
+///    order), zero-padded to 24 bytes.
+///  - string: raw bytes zero-padded to 24; strings longer than 24 bytes are
+///    rejected at encode time (categorical columns in this workload are
+///    short). Embedded NUL bytes would alias with the padding and are
+///    rejected too.
+inline constexpr size_t kIndexKeyLen = 24;
+using IndexKey = std::array<unsigned char, kIndexKeyLen>;
+
+IndexKey EncodeIntKey(int64_t v);
+StatusOr<IndexKey> EncodeStringKey(const std::string& s);
+
+/// Disk-backed B+ tree mapping (key, row) composites to row ids, with
+/// leaf-level sibling chaining for range scans.
+///
+/// Invariants:
+///  - Every node is one page. Leaves hold (key, row) entries sorted by the
+///    composite (key bytes, then row id); internal nodes hold child0 plus
+///    (separator, child) entries where subtree `child_i` covers composites
+///    in [sep_i, sep_{i+1}).
+///  - Entries with equal key bytes are ordered by row id, so ScanEqual
+///    returns rows ascending — the same order the in-memory hash index
+///    produces — which keeps disk and mem query results bit-identical.
+///  - Splits move the upper half right and promote the right node's first
+///    composite (leaf) or the middle entry (internal); the root split is
+///    the only place the height grows.
+///
+/// Writes (Insert) are single-threaded — index build happens during the
+/// load phase; concurrent ScanEqual/ScanRange afterwards are safe.
+class BPlusTree {
+ public:
+  explicit BPlusTree(BufferPoolManager* pool) : pool_(pool) {}
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  Status Insert(const IndexKey& key, uint32_t row);
+
+  /// Rows whose key equals `key`, ascending.
+  Status ScanEqual(const IndexKey& key, std::vector<uint32_t>* out) const;
+
+  /// Rows with lo </<= key </<= hi; null bound = unbounded. Appended in
+  /// composite order (by key first), NOT by row id — callers wanting row
+  /// order sort afterwards.
+  Status ScanRange(const IndexKey* lo, bool lo_inclusive, const IndexKey* hi,
+                   bool hi_inclusive, std::vector<uint32_t>* out) const;
+
+  int height() const { return height_; }
+  size_t num_entries() const { return num_entries_; }
+  size_t num_leaf_pages() const { return num_leaves_; }
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    unsigned char sep[kIndexKeyLen + 4];  // promoted composite
+    page_id_t right = kInvalidPageId;
+  };
+
+  Status InsertRec(page_id_t node, const unsigned char* composite,
+                   SplitResult* out);
+  /// Descends to the leaf that may contain `composite` (or the leftmost
+  /// leaf when composite is null).
+  StatusOr<page_id_t> FindLeaf(const unsigned char* composite) const;
+
+  BufferPoolManager* pool_;
+  page_id_t root_ = kInvalidPageId;
+  int height_ = 0;
+  size_t num_entries_ = 0;
+  size_t num_leaves_ = 0;
+};
+
+}  // namespace sqlfacil::storage
+
+#endif  // SQLFACIL_STORAGE_BPLUS_TREE_H_

@@ -1,0 +1,156 @@
+#include "sqlfacil/storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "sqlfacil/util/failpoint.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::storage {
+
+BufferPoolManager::BufferPoolManager(size_t pool_pages, DiskManager* disk)
+    : disk_(disk), replacer_(pool_pages == 0 ? 1 : pool_pages) {
+  if (pool_pages == 0) pool_pages = 1;
+  frames_.reserve(pool_pages);
+  free_list_.reserve(pool_pages);
+  for (size_t i = 0; i < pool_pages; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+  }
+  // Hand out low frame indices first for deterministic placement.
+  for (size_t i = pool_pages; i > 0; --i) free_list_.push_back(i - 1);
+}
+
+StatusOr<size_t> BufferPoolManager::AcquireFrame() {
+  if (!free_list_.empty()) {
+    const size_t frame = free_list_.back();
+    free_list_.pop_back();
+    return frame;
+  }
+  size_t victim = 0;
+  if (!replacer_.Evict(&victim)) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all " + std::to_string(frames_.size()) +
+        " pages pinned");
+  }
+  const failpoint::Mode evict_fp = failpoint::Eval("bufferpool.evict");
+  if (evict_fp == failpoint::Mode::kError ||
+      evict_fp == failpoint::Mode::kThrow) {
+    // Put the victim back before failing so the pool stays consistent.
+    replacer_.RecordAccess(victim);
+    replacer_.SetEvictable(victim, true);
+    if (evict_fp == failpoint::Mode::kThrow) {
+      throw failpoint::FailpointError("bufferpool.evict");
+    }
+    return Status::ResourceExhausted("injected bufferpool.evict failure");
+  }
+  Page* page = frames_[victim].get();
+  if (page->dirty) {
+    if (Status s = disk_->WritePage(page->page_id, page->data); !s.ok()) {
+      // Leave the victim mapped, dirty and evictable: nothing torn, the
+      // data is still only in memory and a later flush can retry.
+      replacer_.RecordAccess(victim);
+      replacer_.SetEvictable(victim, true);
+      return s;
+    }
+    ++stats_.flushes;
+    page->dirty = false;
+  }
+  page_table_.erase(page->page_id);
+  page->page_id = kInvalidPageId;
+  ++stats_.evictions;
+  return victim;
+}
+
+StatusOr<Page*> BufferPoolManager::FetchPage(page_id_t page_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Page* page = frames_[it->second].get();
+    ++page->pin_count;
+    replacer_.RecordAccess(it->second);
+    replacer_.SetEvictable(it->second, false);
+    return page;
+  }
+  ++stats_.misses;
+  auto frame = AcquireFrame();
+  if (!frame.ok()) return frame.status();
+  Page* page = frames_[*frame].get();
+  if (Status s = disk_->ReadPage(page_id, page->data); !s.ok()) {
+    free_list_.push_back(*frame);
+    return s;
+  }
+  page->page_id = page_id;
+  page->pin_count = 1;
+  page->dirty = false;
+  page_table_[page_id] = *frame;
+  replacer_.RecordAccess(*frame);
+  replacer_.SetEvictable(*frame, false);
+  return page;
+}
+
+StatusOr<Page*> BufferPoolManager::NewPage(page_id_t* page_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto frame = AcquireFrame();
+  if (!frame.ok()) return frame.status();
+  auto id = disk_->AllocatePage();
+  if (!id.ok()) {
+    free_list_.push_back(*frame);
+    return id.status();
+  }
+  Page* page = frames_[*frame].get();
+  std::memset(page->data, 0, kPageSize);
+  page->page_id = *id;
+  page->pin_count = 1;
+  page->dirty = true;  // a never-written page must reach disk before reuse
+  page_table_[*id] = *frame;
+  replacer_.RecordAccess(*frame);
+  replacer_.SetEvictable(*frame, false);
+  *page_id = *id;
+  return page;
+}
+
+void BufferPoolManager::UnpinPage(page_id_t page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;
+  Page* page = frames_[it->second].get();
+  SQLFACIL_CHECK(page->pin_count > 0) << "unpin of unpinned page";
+  page->dirty = page->dirty || dirty;
+  if (--page->pin_count == 0) replacer_.SetEvictable(it->second, true);
+}
+
+Status BufferPoolManager::FlushPage(page_id_t page_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::Ok();
+  Page* page = frames_[it->second].get();
+  if (!page->dirty) return Status::Ok();
+  if (Status s = disk_->WritePage(page->page_id, page->data); !s.ok()) {
+    return s;
+  }
+  page->dirty = false;
+  ++stats_.flushes;
+  return Status::Ok();
+}
+
+Status BufferPoolManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status first;
+  for (auto& frame : frames_) {
+    if (frame->page_id == kInvalidPageId || !frame->dirty) continue;
+    if (Status s = disk_->WritePage(frame->page_id, frame->data); !s.ok()) {
+      if (first.ok()) first = s;
+      continue;
+    }
+    frame->dirty = false;
+    ++stats_.flushes;
+  }
+  return first;
+}
+
+BufferPoolStats BufferPoolManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sqlfacil::storage

@@ -1,0 +1,135 @@
+#ifndef SQLFACIL_STORAGE_BUFFER_POOL_H_
+#define SQLFACIL_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlfacil/storage/disk_manager.h"
+#include "sqlfacil/storage/lru_k_replacer.h"
+#include "sqlfacil/storage/page.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::storage {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Fixed-size page cache between the table heap / B+ tree layers and the
+/// DiskManager, with LRU-K replacement. Fetch/New pin the returned frame;
+/// callers unpin (via PageGuard) when done. All structural state (page
+/// table, free list, replacer, pin counts) is guarded by one mutex; the
+/// 4KiB page reads on a miss happen under that mutex, which also makes
+/// freshly loaded bytes visible to later readers.
+///
+/// Concurrency contract: any number of threads may fetch and *read* pinned
+/// pages concurrently. Page *contents* are only written during the
+/// single-threaded load / index-build phase (queries are read-only), so
+/// content writes need no per-page latch.
+///
+/// Failpoint `bufferpool.evict` fires when a victim frame is reclaimed:
+/// kError surfaces Status::ResourceExhausted, kThrow raises
+/// FailpointError. A failed eviction write-back leaves the victim intact
+/// in the pool (still dirty, still mapped) — no torn state.
+class BufferPoolManager {
+ public:
+  BufferPoolManager(size_t pool_pages, DiskManager* disk);
+
+  BufferPoolManager(const BufferPoolManager&) = delete;
+  BufferPoolManager& operator=(const BufferPoolManager&) = delete;
+
+  /// Pins the page, loading it from disk on a miss. The returned frame
+  /// stays valid until the matching Unpin.
+  StatusOr<Page*> FetchPage(page_id_t page_id);
+
+  /// Allocates a fresh zeroed page and pins it (born dirty).
+  StatusOr<Page*> NewPage(page_id_t* page_id);
+
+  /// Drops one pin; marks the page dirty if `dirty`. Unpinning to zero
+  /// makes the frame evictable.
+  void UnpinPage(page_id_t page_id, bool dirty);
+
+  /// Writes the page back if dirty (no-op for clean/unmapped pages).
+  Status FlushPage(page_id_t page_id);
+
+  /// Writes back every dirty frame; first error wins but all are tried.
+  Status FlushAll();
+
+  BufferPoolStats stats() const;
+  size_t pool_pages() const { return frames_.size(); }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  /// Claims a usable frame: free list first, else evict a victim (writing
+  /// it back if dirty). Caller holds mutex_. On success the frame is
+  /// unmapped and ready to receive a page.
+  StatusOr<size_t> AcquireFrame();
+
+  mutable std::mutex mutex_;
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<page_id_t, size_t> page_table_;
+  std::vector<size_t> free_list_;
+  LruKReplacer replacer_;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin: fetches in the constructor, unpins in the destructor.
+/// Move-only. `ok()` must be checked before touching the payload.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPoolManager* pool, Page* page)
+      : pool_(pool), page_(page) {}
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    Release();
+    pool_ = other.pool_;
+    page_ = other.page_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    return *this;
+  }
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool ok() const { return page_ != nullptr; }
+  page_id_t page_id() const { return page_->page_id; }
+  const char* payload() const { return page_->payload(); }
+  char* mutable_payload() {
+    dirty_ = true;
+    return page_->payload();
+  }
+
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->UnpinPage(page_->page_id, dirty_);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPoolManager* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace sqlfacil::storage
+
+#endif  // SQLFACIL_STORAGE_BUFFER_POOL_H_

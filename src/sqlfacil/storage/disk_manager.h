@@ -1,0 +1,77 @@
+#ifndef SQLFACIL_STORAGE_DISK_MANAGER_H_
+#define SQLFACIL_STORAGE_DISK_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "sqlfacil/storage/page.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::storage {
+
+/// Page-granular file I/O. Pages are allocated by a monotonically growing
+/// counter; the backing file grows atomically under a mutex (pwrite/pread
+/// at page offsets are otherwise lock-free and positionally independent).
+/// Every write stamps the frame header (CRC-32 over bytes [4, kPageSize)
+/// plus the page id) and every read verifies it, so torn or misdirected
+/// writes surface as kDataCorruption instead of silently wrong tuples.
+///
+/// Failpoints: `disk.read` and `disk.write`. kError returns
+/// Status::IoError, kThrow raises FailpointError, kCorrupt flips one
+/// payload byte (before the CRC stamp on writes, after the CRC check on
+/// reads) so the corruption is caught by the next CRC verification.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Creates (truncating) the backing file. Storage files are ephemeral
+  /// scratch space for one process; Open never reuses prior contents.
+  Status Open(const std::string& path);
+
+  /// Closes and removes the backing file (ephemeral semantics).
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Reserves a fresh page id and grows the file to cover it.
+  StatusOr<page_id_t> AllocatePage();
+
+  /// Writes one full page. `data` points at kPageSize bytes whose payload
+  /// is caller-owned; the frame header is stamped into a local copy, so
+  /// the caller's buffer is never mutated.
+  Status WritePage(page_id_t page_id, const char* data);
+
+  /// Reads one full page into `out` (kPageSize bytes) and verifies the
+  /// frame header. Returns kDataCorruption on CRC/page-id mismatch or a
+  /// short read, kIoError on syscall failure.
+  Status ReadPage(page_id_t page_id, char* out);
+
+  size_t num_pages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
+  uint64_t pages_read() const {
+    return pages_read_.load(std::memory_order_relaxed);
+  }
+  uint64_t pages_written() const {
+    return pages_written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::mutex grow_mutex_;
+  std::atomic<size_t> num_pages_{0};
+  std::atomic<uint64_t> pages_read_{0};
+  std::atomic<uint64_t> pages_written_{0};
+};
+
+}  // namespace sqlfacil::storage
+
+#endif  // SQLFACIL_STORAGE_DISK_MANAGER_H_

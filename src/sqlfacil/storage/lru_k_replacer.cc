@@ -1,0 +1,60 @@
+#include "sqlfacil/storage/lru_k_replacer.h"
+
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::storage {
+
+LruKReplacer::LruKReplacer(size_t num_frames, size_t k)
+    : k_(k == 0 ? 1 : k), frames_(num_frames) {}
+
+void LruKReplacer::RecordAccess(size_t frame) {
+  SQLFACIL_CHECK(frame < frames_.size());
+  FrameInfo& info = frames_[frame];
+  info.history.push_back(++clock_);
+  if (info.history.size() > k_) info.history.pop_front();
+}
+
+void LruKReplacer::SetEvictable(size_t frame, bool evictable) {
+  SQLFACIL_CHECK(frame < frames_.size());
+  FrameInfo& info = frames_[frame];
+  if (info.evictable == evictable) return;
+  info.evictable = evictable;
+  evictable_count_ += evictable ? 1 : static_cast<size_t>(-1);
+}
+
+void LruKReplacer::Remove(size_t frame) {
+  SQLFACIL_CHECK(frame < frames_.size());
+  FrameInfo& info = frames_[frame];
+  if (info.evictable) --evictable_count_;
+  info.evictable = false;
+  info.history.clear();
+}
+
+bool LruKReplacer::Evict(size_t* frame) {
+  // Victim order: any frame with < k accesses (distance +inf) beats every
+  // frame with a full history; ties among +inf frames break on the oldest
+  // first access; full-history frames compare on their k-th-latest access.
+  bool found = false;
+  bool found_inf = false;
+  uint64_t best_key = 0;
+  size_t best = 0;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const FrameInfo& info = frames_[i];
+    if (!info.evictable) continue;
+    const bool inf = info.history.size() < k_;
+    const uint64_t key = info.history.empty() ? 0 : info.history.front();
+    if (!found || (inf && !found_inf) ||
+        (inf == found_inf && key < best_key)) {
+      found = true;
+      found_inf = inf;
+      best_key = key;
+      best = i;
+    }
+  }
+  if (!found) return false;
+  Remove(best);
+  *frame = best;
+  return true;
+}
+
+}  // namespace sqlfacil::storage

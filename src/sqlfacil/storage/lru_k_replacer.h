@@ -1,0 +1,56 @@
+#ifndef SQLFACIL_STORAGE_LRU_K_REPLACER_H_
+#define SQLFACIL_STORAGE_LRU_K_REPLACER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace sqlfacil::storage {
+
+/// LRU-K eviction policy over a fixed set of frames. Each access records a
+/// logical timestamp; the victim is the evictable frame with the largest
+/// backward k-distance (time since its k-th most recent access). Frames
+/// with fewer than k recorded accesses have +inf distance and are evicted
+/// first, oldest first access winning — this is what protects hot pages
+/// from a one-pass sequential scan flushing the pool (the classic LRU
+/// failure mode for table scans bigger than memory).
+///
+/// Not internally synchronized: the BufferPoolManager calls every method
+/// under its own mutex. Evict() is a linear scan over the frames — fine at
+/// buffer-pool sizes (thousands) where the page-fault I/O it accompanies
+/// dominates.
+class LruKReplacer {
+ public:
+  explicit LruKReplacer(size_t num_frames, size_t k = 2);
+
+  /// Records an access to `frame`, aging its history window to k entries.
+  void RecordAccess(size_t frame);
+
+  /// Marks whether `frame` may be chosen as a victim (pin count zero).
+  void SetEvictable(size_t frame, bool evictable);
+
+  /// Drops all history for `frame` (it now holds a different page).
+  void Remove(size_t frame);
+
+  /// Picks and removes the victim with the largest backward k-distance.
+  /// Returns false when no frame is evictable.
+  bool Evict(size_t* frame);
+
+  size_t evictable_count() const { return evictable_count_; }
+
+ private:
+  struct FrameInfo {
+    std::deque<uint64_t> history;  // last <= k access timestamps
+    bool evictable = false;
+  };
+
+  size_t k_;
+  uint64_t clock_ = 0;
+  size_t evictable_count_ = 0;
+  std::vector<FrameInfo> frames_;
+};
+
+}  // namespace sqlfacil::storage
+
+#endif  // SQLFACIL_STORAGE_LRU_K_REPLACER_H_

@@ -1,0 +1,57 @@
+#ifndef SQLFACIL_STORAGE_PAGE_H_
+#define SQLFACIL_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::storage {
+
+/// On-disk unit of I/O. Every page carries an 8-byte frame header:
+///   bytes [0,4)  CRC-32 of bytes [4, kPageSize)   (little-endian)
+///   bytes [4,8)  page id                          (little-endian)
+/// so a torn or misdirected write is detected on the next read. The
+/// remaining kPayloadSize bytes belong to the page's owner (table heap or
+/// B+ tree node).
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageHeaderSize = 8;
+inline constexpr size_t kPayloadSize = kPageSize - kPageHeaderSize;
+
+using page_id_t = uint32_t;
+inline constexpr page_id_t kInvalidPageId = 0xffffffffu;
+
+/// One buffer-pool frame: the raw page bytes plus replacement metadata.
+/// Frame metadata is guarded by the BufferPoolManager's mutex; the page
+/// bytes may be read concurrently by any thread holding a pin, but written
+/// only while the writer is the sole user (the load/index-build phase is
+/// single-threaded; queries are read-only).
+struct Page {
+  char data[kPageSize];
+  page_id_t page_id = kInvalidPageId;
+  int pin_count = 0;
+  bool dirty = false;
+
+  char* payload() { return data + kPageHeaderSize; }
+  const char* payload() const { return data + kPageHeaderSize; }
+};
+
+/// Escape hatch for storage failures surfacing through interfaces with no
+/// Status channel (Table::GetValue inside expression evaluation). The
+/// executor facade catches it and converts back to the carried Status, so
+/// a disk fault degrades a query to a typed error instead of a crash.
+class StorageError : public std::runtime_error {
+ public:
+  explicit StorageError(Status status)
+      : std::runtime_error(status.ToString()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace sqlfacil::storage
+
+#endif  // SQLFACIL_STORAGE_PAGE_H_

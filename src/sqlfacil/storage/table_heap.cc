@@ -1,0 +1,107 @@
+#include "sqlfacil/storage/table_heap.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sqlfacil::storage {
+
+namespace {
+
+uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+Status TableHeap::Append(const char* record, size_t len) {
+  const size_t kMaxRecord = kPayloadSize - 4 /*header*/ - 4 /*one slot*/;
+  if (len > kMaxRecord) {
+    return Status::ResourceExhausted(
+        "record of " + std::to_string(len) +
+        " bytes exceeds the per-page limit of " + std::to_string(kMaxRecord));
+  }
+  // Try the current tail page first.
+  if (!pages_.empty()) {
+    auto page = pool_->FetchPage(pages_.back());
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    const uint16_t num_slots = LoadU16(guard.payload());
+    const uint16_t tuple_off = LoadU16(guard.payload() + 2);
+    const size_t used_low = kSlotDirOffset + num_slots * 4;
+    if (used_low + 4 + len <= tuple_off) {
+      char* payload = guard.mutable_payload();
+      const uint16_t new_off = static_cast<uint16_t>(tuple_off - len);
+      std::memcpy(payload + new_off, record, len);
+      StoreU16(payload + kSlotDirOffset + num_slots * 4, new_off);
+      StoreU16(payload + kSlotDirOffset + num_slots * 4 + 2,
+               static_cast<uint16_t>(len));
+      StoreU16(payload, static_cast<uint16_t>(num_slots + 1));
+      StoreU16(payload + 2, new_off);
+      ++num_rows_;
+      total_bytes_ += len;
+      return Status::Ok();
+    }
+  }
+  // Start a new page.
+  page_id_t page_id = kInvalidPageId;
+  auto page = pool_->NewPage(&page_id);
+  if (!page.ok()) return page.status();
+  PageGuard guard(pool_, *page);
+  char* payload = guard.mutable_payload();
+  const uint16_t new_off = static_cast<uint16_t>(kPayloadSize - len);
+  std::memcpy(payload + new_off, record, len);
+  StoreU16(payload, 1);
+  StoreU16(payload + 2, new_off);
+  StoreU16(payload + kSlotDirOffset, new_off);
+  StoreU16(payload + kSlotDirOffset + 2, static_cast<uint16_t>(len));
+  pages_.push_back(page_id);
+  first_row_.push_back(static_cast<uint32_t>(num_rows_));
+  ++num_rows_;
+  total_bytes_ += len;
+  return Status::Ok();
+}
+
+Status TableHeap::ReadRow(size_t row,
+                          const std::function<void(const char*, size_t)>& fn,
+                          size_t* page_hint) const {
+  if (row >= num_rows_) {
+    return Status::InvalidArgument("row " + std::to_string(row) +
+                                   " out of range");
+  }
+  size_t page_idx;
+  if (page_hint != nullptr && *page_hint < pages_.size() &&
+      first_row_[*page_hint] <= row &&
+      (*page_hint + 1 == pages_.size() || row < first_row_[*page_hint + 1])) {
+    page_idx = *page_hint;
+  } else {
+    // Last directory entry with first_row <= row.
+    auto it = std::upper_bound(first_row_.begin(), first_row_.end(),
+                               static_cast<uint32_t>(row));
+    page_idx = static_cast<size_t>(it - first_row_.begin()) - 1;
+    if (page_hint != nullptr) *page_hint = page_idx;
+  }
+  auto page = pool_->FetchPage(pages_[page_idx]);
+  if (!page.ok()) return page.status();
+  PageGuard guard(pool_, *page);
+  const char* payload = guard.payload();
+  const size_t slot = row - first_row_[page_idx];
+  const uint16_t num_slots = LoadU16(payload);
+  if (slot >= num_slots) {
+    return Status::DataCorruption("slot " + std::to_string(slot) +
+                                  " missing on page " +
+                                  std::to_string(pages_[page_idx]));
+  }
+  const uint16_t off = LoadU16(payload + kSlotDirOffset + slot * 4);
+  const uint16_t len = LoadU16(payload + kSlotDirOffset + slot * 4 + 2);
+  if (off + static_cast<size_t>(len) > kPayloadSize) {
+    return Status::DataCorruption("slot bounds out of page");
+  }
+  fn(payload + off, len);
+  return Status::Ok();
+}
+
+}  // namespace sqlfacil::storage

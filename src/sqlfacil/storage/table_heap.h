@@ -1,0 +1,61 @@
+#ifndef SQLFACIL_STORAGE_TABLE_HEAP_H_
+#define SQLFACIL_STORAGE_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sqlfacil/storage/buffer_pool.h"
+#include "sqlfacil/storage/page.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::storage {
+
+/// Append-only slotted-page heap addressed by dense row index. Page payload
+/// layout:
+///   u16 num_slots | u16 tuple_off | slot[num_slots] | ...free... | tuples
+/// where each slot is (u16 offset, u16 length) into the payload and tuples
+/// grow down from the payload end. Rows are immutable once appended
+/// (labeling workloads are load-once, query-many), which is what lets
+/// readers share pages without per-page latches.
+///
+/// An in-memory page directory (page id + first row per page) maps a row
+/// index to its (page, slot) in O(log pages); with a hint for the common
+/// sequential access pattern it is O(1).
+class TableHeap {
+ public:
+  explicit TableHeap(BufferPoolManager* pool) : pool_(pool) {}
+
+  TableHeap(const TableHeap&) = delete;
+  TableHeap& operator=(const TableHeap&) = delete;
+
+  /// Appends one encoded record; fails with kResourceExhausted when the
+  /// record cannot fit a page. On success the record's row index is
+  /// num_rows()-1.
+  Status Append(const char* record, size_t len);
+
+  /// Invokes `fn` on the record bytes of `row` while its page is pinned.
+  /// `page_hint` (in/out, may be null) caches the directory position
+  /// across sequential calls.
+  Status ReadRow(size_t row,
+                 const std::function<void(const char*, size_t)>& fn,
+                 size_t* page_hint = nullptr) const;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_pages() const { return pages_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  static constexpr size_t kSlotDirOffset = 4;  // after num_slots + tuple_off
+
+  BufferPoolManager* pool_;
+  std::vector<page_id_t> pages_;
+  std::vector<uint32_t> first_row_;  // first row index stored on pages_[i]
+  size_t num_rows_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace sqlfacil::storage
+
+#endif  // SQLFACIL_STORAGE_TABLE_HEAP_H_

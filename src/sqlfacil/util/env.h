@@ -1,6 +1,7 @@
 #ifndef SQLFACIL_UTIL_ENV_H_
 #define SQLFACIL_UTIL_ENV_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -54,6 +55,26 @@ std::string GetSnapshotDirFromEnv();
 /// Reads SQLFACIL_SNAPSHOT_EVERY (default `fallback`): write a training
 /// snapshot every N completed epochs. Values < 1 fall back.
 int GetSnapshotEveryFromEnv(int fallback);
+
+/// Parses a size-suffixed byte count: a plain integer, or one followed by
+/// K/M/G (powers of 1024) with an optional trailing B, case-insensitive —
+/// "4096", "64M", "1g", "512KB". Returns `fallback` on unset, malformed,
+/// or negative input.
+uint64_t GetEnvBytes(const char* name, uint64_t fallback);
+
+/// Reads SQLFACIL_BUFFER_POOL_PAGES (default `fallback` pages): the
+/// buffer-pool capacity of each disk-backed table. A bare integer is a
+/// page count; a size-suffixed value ("64M") is a byte budget converted
+/// to 4KiB pages. Values < 1 page fall back.
+size_t GetBufferPoolPagesFromEnv(size_t fallback);
+
+/// Reads SQLFACIL_DATA_DIR: where disk-backed storage writes its
+/// (ephemeral) table files. Default: TMPDIR if set, else /tmp.
+std::string GetDataDirFromEnv();
+
+/// Reads SQLFACIL_STORAGE: "disk" selects the disk-backed table storage,
+/// "mem" the in-memory columnar backend, unset/other returns 0 (mem).
+int GetStorageModeFromEnv();
 
 }  // namespace sqlfacil
 

@@ -28,6 +28,10 @@ const char* CodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kDataCorruption:
+      return "DATA_CORRUPTION";
   }
   return "UNKNOWN";
 }

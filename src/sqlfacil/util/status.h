@@ -24,6 +24,8 @@ enum class StatusCode {
   kVersionMismatch,   // checkpoint format version this build cannot read
   kDeadlineExceeded,  // serving batch exceeded its latency budget
   kUnavailable,       // server draining/stopped; retry against a live one
+  kIoError,           // disk read/write failed (storage engine)
+  kDataCorruption,    // page bytes fail CRC/framing validation on read
 };
 
 /// A lightweight success-or-error result, modeled after absl::Status.
@@ -63,6 +65,12 @@ class Status {
   }
   static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status DataCorruption(std::string m) {
+    return Status(StatusCode::kDataCorruption, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

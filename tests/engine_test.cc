@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sqlfacil/engine/catalog.h"
 #include "sqlfacil/engine/cost_model.h"
 #include "sqlfacil/engine/datagen.h"
@@ -7,6 +9,7 @@
 #include "sqlfacil/engine/table.h"
 #include "sqlfacil/engine/value.h"
 #include "sqlfacil/sql/parser.h"
+#include "sqlfacil/util/failpoint.h"
 #include "sqlfacil/util/random.h"
 
 namespace sqlfacil::engine {
@@ -508,6 +511,224 @@ TEST_F(CostModelTest, JoinEstimateExceedsScans) {
   auto ej = EstimateQuery(*join->select, catalog_);
   ASSERT_TRUE(ej.ok());
   EXPECT_GT(ej->estimated_cost, 1000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Access-path costing (index vs seq scan)
+// ---------------------------------------------------------------------------
+
+TEST(AccessPathTest, CostFormulaShapes) {
+  // Seq cost grows with pages and rows.
+  EXPECT_GT(SeqScanCost(1000, 50, 1), SeqScanCost(1000, 10, 1));
+  EXPECT_GT(SeqScanCost(5000, 10, 1), SeqScanCost(1000, 10, 1));
+  EXPECT_GT(SeqScanCost(1000, 10, 4), SeqScanCost(1000, 10, 1));
+
+  // Index cost grows with selectivity; a selective index probe is far
+  // cheaper than scanning, an unselective one far more expensive (random
+  // heap fetches cost a page each).
+  const double rows = 1e6, pages = rows / 170.0;
+  const double seq = SeqScanCost(rows, pages, 1);
+  EXPECT_LT(IndexScanCost(rows, pages, 0.001, 3) * 10.0, seq);
+  EXPECT_GT(IndexScanCost(rows, pages, 1.0, 3), seq);
+  EXPECT_LT(IndexScanCost(rows, pages, 0.001, 3),
+            IndexScanCost(rows, pages, 0.01, 3));
+
+  EXPECT_DOUBLE_EQ(EqualitySelectivity(1000), 0.001);
+  EXPECT_DOUBLE_EQ(EqualitySelectivity(0), 1.0);
+  EXPECT_DOUBLE_EQ(RangeSelectivity(0, 25, 0, 100), 0.25);
+  EXPECT_DOUBLE_EQ(RangeSelectivity(-50, 200, 0, 100), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(RangeSelectivity(30, 20, 0, 100), 0.0);    // empty
+  EXPECT_DOUBLE_EQ(RangeSelectivity(1, 2, 5, 5), 1.0);  // degenerate domain
+}
+
+TEST(AccessPathTest, ChoosesIndexOnlyWhenSelective) {
+  TableSchema schema;
+  schema.name = "ap";
+  schema.columns = {{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}};
+  Table t(std::move(schema));
+  for (int64_t i = 0; i < 100000; ++i) {
+    t.AppendRow({Value(i), Value(i % 100)});
+  }
+  ASSERT_TRUE(t.BuildIndex("id").ok());
+
+  // Point lookup: 1/100000 selectivity -> index wins decisively.
+  const auto point =
+      ChooseAccessPath(t, 0, EqualitySelectivity(t.DistinctCount(0)), 1);
+  EXPECT_TRUE(point.index_available);
+  EXPECT_TRUE(point.use_index);
+  EXPECT_LT(point.index_cost * 10.0, point.seq_cost);
+
+  // Unselective predicate on the same index -> seq scan wins.
+  const auto broad = ChooseAccessPath(t, 0, 0.8, 1);
+  EXPECT_TRUE(broad.index_available);
+  EXPECT_FALSE(broad.use_index);
+
+  // No index on the column -> seq is the only path.
+  const auto unindexed = ChooseAccessPath(t, 1, 0.01, 1);
+  EXPECT_FALSE(unindexed.index_available);
+  EXPECT_FALSE(unindexed.use_index);
+  EXPECT_TRUE(std::isinf(unindexed.index_cost));
+}
+
+TEST_F(CostModelTest, IndexedPointQueryCostsBelowSeqPredicates) {
+  // objid is the auto-indexed id column; type is unindexed. Both WHERE
+  // clauses have one conjunct, but only the first can use an index, so its
+  // estimate must be far below both the full scan and the unindexed
+  // predicate scan.
+  auto by_id = sql::ParseStatement("SELECT * FROM PhotoObj WHERE objid = 17");
+  auto by_type = sql::ParseStatement("SELECT * FROM PhotoObj WHERE type = 3");
+  auto full = sql::ParseStatement("SELECT * FROM PhotoObj");
+  auto ei = EstimateQuery(*by_id->select, catalog_);
+  auto et = EstimateQuery(*by_type->select, catalog_);
+  auto ef = EstimateQuery(*full->select, catalog_);
+  ASSERT_TRUE(ei.ok() && et.ok() && ef.ok());
+  EXPECT_LT(ei->estimated_cost, et->estimated_cost);
+  EXPECT_LT(ei->estimated_cost, ef->estimated_cost);
+  EXPECT_GT(et->estimated_cost, ef->estimated_cost * 0.5);  // truly seq
+}
+
+// ---------------------------------------------------------------------------
+// Disk storage backend
+// ---------------------------------------------------------------------------
+
+TableOptions DiskOptions(size_t pool_pages = 64) {
+  TableOptions opts;
+  opts.backend = StorageBackend::kDisk;
+  opts.data_dir = ::testing::TempDir();
+  opts.buffer_pool_pages = pool_pages;
+  return opts;
+}
+
+Table MakeSmallDiskTable() {
+  TableSchema schema;
+  schema.name = "t_disk";
+  schema.columns = {{"id", ColumnType::kInt64},
+                    {"x", ColumnType::kDouble},
+                    {"name", ColumnType::kString}};
+  Table table(std::move(schema), DiskOptions());
+  for (int64_t i = 0; i < 10; ++i) {
+    table.AppendRow({Value(i), Value(static_cast<double>(i) * 0.5),
+                     Value(std::string(i % 2 == 0 ? "even" : "odd"))});
+  }
+  return table;
+}
+
+TEST(DiskTableTest, AppendAndGetMatchesMem) {
+  Table mem = MakeSmallTable();
+  Table disk = MakeSmallDiskTable();
+  ASSERT_EQ(disk.backend(), StorageBackend::kDisk);
+  ASSERT_EQ(disk.num_rows(), mem.num_rows());
+  for (size_t r = 0; r < mem.num_rows(); ++r) {
+    for (size_t c = 0; c < mem.num_columns(); ++c) {
+      EXPECT_EQ(disk.GetValue(r, c).Compare(mem.GetValue(r, c)), 0)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(DiskTableTest, StatisticsMatchMem) {
+  Table t = MakeSmallDiskTable();
+  EXPECT_EQ(t.DistinctCount(0), 10u);
+  EXPECT_EQ(t.DistinctCount(2), 2u);
+  EXPECT_DOUBLE_EQ(t.ColumnMin(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.ColumnMax(0), 9.0);
+  EXPECT_DOUBLE_EQ(t.ColumnMax(1), 4.5);
+}
+
+TEST(DiskTableTest, BPlusTreeIndexEqualityAndRange) {
+  Table t = MakeSmallDiskTable();
+  ASSERT_TRUE(t.BuildIndex("id").ok());
+  ASSERT_TRUE(t.BuildIndex("name").ok());  // strings only work on disk
+  EXPECT_TRUE(t.HasIndex(0));
+  EXPECT_TRUE(t.HasOrderedIndex(0));
+  EXPECT_TRUE(t.HasOrderedIndex(2));
+  EXPECT_GE(t.IndexHeight(0), 1);
+
+  const auto hits = t.IndexLookup(0, 7);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+  EXPECT_TRUE(t.IndexLookup(0, 99).empty());
+
+  EXPECT_EQ(t.IndexLookup(2, std::string("even")),
+            (std::vector<uint32_t>{0, 2, 4, 6, 8}));
+  EXPECT_EQ(t.IndexLookup(2, std::string("odd")),
+            (std::vector<uint32_t>{1, 3, 5, 7, 9}));
+  EXPECT_TRUE(t.IndexLookup(2, std::string("none")).empty());
+
+  const int64_t lo = 3, hi = 6;
+  EXPECT_EQ(t.IndexRange(0, &lo, true, &hi, true),
+            (std::vector<uint32_t>{3, 4, 5, 6}));
+  EXPECT_EQ(t.IndexRange(0, &lo, false, &hi, false),
+            (std::vector<uint32_t>{4, 5}));
+  EXPECT_EQ(t.IndexRange(0, nullptr, true, &lo, true),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(t.IndexRange(0, &hi, false, nullptr, true),
+            (std::vector<uint32_t>{7, 8, 9}));
+}
+
+TEST(DiskTableTest, SpillsBeyondBufferPool) {
+  TableSchema schema;
+  schema.name = "spill";
+  schema.columns = {{"id", ColumnType::kInt64},
+                    {"payload", ColumnType::kString}};
+  Table t(std::move(schema), DiskOptions(16));  // 64 KiB pool
+  const size_t kRows = 20000;
+  for (size_t i = 0; i < kRows; ++i) {
+    t.AppendRow({Value(static_cast<int64_t>(i)),
+                 Value(std::string(24 + i % 17, 'a' + i % 26))});
+  }
+  ASSERT_TRUE(t.FlushStorage().ok());
+
+  const auto st = t.GetStorageStats();
+  EXPECT_EQ(st.pool_pages, 16u);
+  EXPECT_GT(st.heap_pages, 4 * st.pool_pages);  // dataset >= 4x the pool
+
+  // Random probes across the whole table page correctly through the pool.
+  for (size_t i = 0; i < kRows; i += 997) {
+    EXPECT_EQ(t.GetValue(i, 0).AsInt(), static_cast<int64_t>(i));
+    EXPECT_EQ(t.GetValue(i, 1).AsString(),
+              std::string(24 + i % 17, 'a' + i % 26));
+  }
+  const auto after = t.GetStorageStats();
+  EXPECT_GT(after.pool_evictions, 0u);
+  EXPECT_GT(after.pages_read, 0u);
+}
+
+TEST(DiskTableTest, WriteFaultsLeaveNoTornRows) {
+  TableSchema schema;
+  schema.name = "faulty";
+  schema.columns = {{"id", ColumnType::kInt64}};
+  Table t(std::move(schema), DiskOptions(16));
+  // A tiny pool forces evictions (and thus disk writes) during load.
+  for (int64_t i = 0; i < 40000; ++i) {
+    ASSERT_TRUE(t.TryAppendRow({Value(i)}).ok());
+  }
+
+  // ~340 rows fit a page, so 4000 appends force ~12 page turnovers whose
+  // eviction write-backs hit the failpoint.
+  size_t rejected = 0, appended = 0;
+  {
+    failpoint::ScopedFailpoints fp("disk.write:error@n2");
+    for (int64_t i = 40000; i < 44000; ++i) {
+      const Status s = t.TryAppendRow({Value(i)});
+      if (s.ok()) {
+        ++appended;
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kIoError);
+        ++rejected;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(t.num_rows(), 40000 + appended);
+
+  // Everything that was reported appended reads back exactly; rejected
+  // rows left no trace. (Values are dense ids until the fault window, so
+  // the first 40000 rows are simply their index.)
+  for (size_t i = 0; i < 40000; i += 1013) {
+    EXPECT_EQ(t.GetValue(i, 0).AsInt(), static_cast<int64_t>(i));
+  }
+  EXPECT_TRUE(t.FlushStorage().ok());
 }
 
 }  // namespace

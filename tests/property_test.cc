@@ -12,7 +12,9 @@
 #include "sqlfacil/sql/lexer.h"
 #include "sqlfacil/sql/parser.h"
 #include "sqlfacil/sql/tokenizer.h"
+#include "sqlfacil/util/env.h"
 #include "sqlfacil/util/string_util.h"
+#include "sqlfacil/util/thread_pool.h"
 #include "sqlfacil/workload/labeler.h"
 #include "sqlfacil/workload/querygen.h"
 #include "sqlfacil/workload/sdss_catalog.h"
@@ -193,6 +195,146 @@ INSTANTIATE_TEST_SUITE_P(
                       "modelmag_r < 19.5", "objid % 7 = 0",
                       "type IN (1, 3, 5)", "NOT type = 0",
                       "ra > 350 OR ra < 10"));
+
+// ---------------------------------------------------------------------------
+// Storage-backend bit-identity: the disk engine (slotted pages + buffer
+// pool + B+ tree indexes) must return exactly what the mem engine returns
+// — same statuses, same row sets, same values — on randomized workloads,
+// at every thread count. The disk catalog gets a deliberately tiny buffer
+// pool so queries actually page, and the executor budget is raised so the
+// differing row-charge ordering of index vs hash access paths cannot tip
+// one backend over a budget edge the other doesn't hit.
+// ---------------------------------------------------------------------------
+
+class StorageBackendProperty : public ::testing::TestWithParam<int> {
+ protected:
+  static engine::Catalog* Build(const char* mode) {
+    const char* prev_mode = getenv("SQLFACIL_STORAGE");
+    const std::string saved_mode = prev_mode == nullptr ? "" : prev_mode;
+    const char* prev_pool = getenv("SQLFACIL_BUFFER_POOL_PAGES");
+    const std::string saved_pool = prev_pool == nullptr ? "" : prev_pool;
+    setenv("SQLFACIL_STORAGE", mode, 1);
+    setenv("SQLFACIL_BUFFER_POOL_PAGES", "64", 1);  // 256 KiB: forces paging
+
+    workload::SdssCatalogConfig config;
+    config.photoobj_rows = 2500;
+    config.phototag_rows = 2500;
+    config.specobj_rows = 350;
+    config.specphoto_rows = 350;
+    config.galaxy_rows = 1200;
+    config.star_rows = 900;
+    Rng rng(7);  // same seed both backends -> identical logical contents
+    auto* catalog = new engine::Catalog(workload::BuildSdssCatalog(config, &rng));
+
+    if (saved_mode.empty()) {
+      unsetenv("SQLFACIL_STORAGE");
+    } else {
+      setenv("SQLFACIL_STORAGE", saved_mode.c_str(), 1);
+    }
+    if (saved_pool.empty()) {
+      unsetenv("SQLFACIL_BUFFER_POOL_PAGES");
+    } else {
+      setenv("SQLFACIL_BUFFER_POOL_PAGES", saved_pool.c_str(), 1);
+    }
+    return catalog;
+  }
+
+  static const engine::Catalog& Mem() {
+    static engine::Catalog* catalog = Build("mem");
+    return *catalog;
+  }
+  static const engine::Catalog& Disk() {
+    static engine::Catalog* catalog = Build("disk");
+    return *catalog;
+  }
+
+  static engine::ExecOptions BigBudget() {
+    engine::ExecOptions opts;
+    opts.row_budget = 1e15;
+    return opts;
+  }
+
+  void ExpectIdentical(const std::string& text) {
+    auto stmt = sql::ParseStatement(text);
+    if (!stmt.ok() || stmt->kind != sql::Statement::Kind::kSelect) return;
+    engine::Executor mem_exec(&Mem(), BigBudget());
+    engine::Executor disk_exec(&Disk(), BigBudget());
+    auto rm = mem_exec.ExecuteToRelation(*stmt->select);
+    auto rd = disk_exec.ExecuteToRelation(*stmt->select);
+    ASSERT_EQ(rm.ok(), rd.ok())
+        << text << "\nmem: " << rm.status().ToString()
+        << "\ndisk: " << rd.status().ToString();
+    if (!rm.ok()) {
+      EXPECT_EQ(rm.status().code(), rd.status().code()) << text;
+      return;
+    }
+    ASSERT_EQ(rm->total_rows, rd->total_rows) << text;
+    ASSERT_EQ(rm->rows.size(), rd->rows.size()) << text;
+    EXPECT_EQ(rm->column_names, rd->column_names) << text;
+    for (size_t r = 0; r < rm->rows.size(); ++r) {
+      ASSERT_EQ(rm->rows[r].size(), rd->rows[r].size());
+      for (size_t c = 0; c < rm->rows[r].size(); ++c) {
+        ASSERT_EQ(rm->rows[r][c].Compare(rd->rows[r][c]), 0)
+            << text << " row " << r << " col " << c;
+      }
+    }
+  }
+};
+
+TEST_P(StorageBackendProperty, HandWrittenQueriesAreBitIdentical) {
+  ThreadPool::SetGlobalThreads(GetParam());
+  const char* kQueries[] = {
+      "SELECT * FROM PhotoObj WHERE objid = 42",        // index eq path
+      "SELECT * FROM PhotoObj WHERE objid BETWEEN 100 AND 140",  // range
+      "SELECT * FROM PhotoObj WHERE objid < 25",
+      "SELECT * FROM PhotoObj WHERE 2000 <= objid",
+      "SELECT objid, type FROM PhotoObj WHERE type = 3 ORDER BY objid",
+      "SELECT COUNT(*) FROM PhotoObj WHERE ra BETWEEN 100 AND 150",
+      "SELECT type, COUNT(*) FROM PhotoObj GROUP BY type ORDER BY type",
+      "SELECT TOP 50 * FROM Galaxy ORDER BY objid",
+      "SELECT s.specobjid, p.objid FROM SpecObj s, PhotoObj p "
+      "WHERE s.bestobjid = p.objid AND p.type > 2 ORDER BY s.specobjid",
+      "SELECT AVG(z) FROM SpecObj WHERE z > 0.5",
+      "SELECT DISTINCT type FROM PhotoObj ORDER BY type",
+  };
+  for (const char* q : kQueries) ExpectIdentical(q);
+  ThreadPool::SetGlobalThreads(GetThreadsFromEnv());
+}
+
+TEST_P(StorageBackendProperty, GeneratedWorkloadIsBitIdentical) {
+  ThreadPool::SetGlobalThreads(GetParam());
+  for (SessionClass cls : {SessionClass::kBot, SessionClass::kProgram,
+                           SessionClass::kBrowser}) {
+    Rng rng(505 + static_cast<int>(cls));
+    QueryGenerator gen(&rng);
+    for (int i = 0; i < 25; ++i) ExpectIdentical(gen.Generate(cls));
+  }
+  ThreadPool::SetGlobalThreads(GetThreadsFromEnv());
+}
+
+TEST_P(StorageBackendProperty, LabelsAgreeAcrossBackends) {
+  ThreadPool::SetGlobalThreads(GetParam());
+  // base_cpu_seconds is a function of accounted cost, which legitimately
+  // differs between access paths, so compare the class and answer size.
+  workload::QueryLabeler mem_labeler(&Mem(), {});
+  workload::QueryLabeler disk_labeler(&Disk(), {});
+  Rng rng(606);
+  QueryGenerator gen(&rng);
+  for (int i = 0; i < 60; ++i) {
+    const std::string q = gen.Generate(SessionClass::kProgram);
+    const auto lm = mem_labeler.Label(q);
+    const auto ld = disk_labeler.Label(q);
+    EXPECT_EQ(lm.error_class, ld.error_class) << q;
+    EXPECT_DOUBLE_EQ(lm.answer_size, ld.answer_size) << q;
+  }
+  ThreadPool::SetGlobalThreads(GetThreadsFromEnv());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, StorageBackendProperty,
+                         ::testing::Values(1, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
 
 // ---------------------------------------------------------------------------
 // qerror properties.

@@ -272,6 +272,73 @@ TEST(EnvTest, DefaultsWhenUnset) {
   EXPECT_EQ(GetSeedFromEnv(77), 77u);
 }
 
+TEST(EnvTest, GetEnvBytesParsesSizeSuffixes) {
+  const char* kName = "SQLFACIL_TEST_BYTES";
+  unsetenv(kName);
+  EXPECT_EQ(GetEnvBytes(kName, 123), 123u);  // unset -> fallback
+
+  setenv(kName, "4096", 1);
+  EXPECT_EQ(GetEnvBytes(kName, 0), 4096u);  // plain integer is bytes
+  setenv(kName, "0", 1);
+  EXPECT_EQ(GetEnvBytes(kName, 7), 0u);  // zero is a valid parse
+
+  setenv(kName, "64K", 1);
+  EXPECT_EQ(GetEnvBytes(kName, 0), 64u << 10);
+  setenv(kName, "64M", 1);
+  EXPECT_EQ(GetEnvBytes(kName, 0), 64u << 20);
+  setenv(kName, "1G", 1);
+  EXPECT_EQ(GetEnvBytes(kName, 0), 1ull << 30);
+  setenv(kName, "2g", 1);  // case-insensitive
+  EXPECT_EQ(GetEnvBytes(kName, 0), 2ull << 30);
+  setenv(kName, "512KB", 1);  // optional trailing B
+  EXPECT_EQ(GetEnvBytes(kName, 0), 512u << 10);
+  setenv(kName, "8mb", 1);
+  EXPECT_EQ(GetEnvBytes(kName, 0), 8u << 20);
+
+  // Malformed / negative inputs fall back.
+  for (const char* bad : {"", "junk", "-4", "12Q", "64MX", "64MBs"}) {
+    setenv(kName, bad, 1);
+    EXPECT_EQ(GetEnvBytes(kName, 999), 999u) << "input '" << bad << "'";
+  }
+  unsetenv(kName);
+}
+
+TEST(EnvTest, BufferPoolPagesBareVsSuffixed) {
+  unsetenv("SQLFACIL_BUFFER_POOL_PAGES");
+  EXPECT_EQ(GetBufferPoolPagesFromEnv(2048), 2048u);
+
+  setenv("SQLFACIL_BUFFER_POOL_PAGES", "64", 1);
+  EXPECT_EQ(GetBufferPoolPagesFromEnv(2048), 64u);  // bare = page count
+
+  // Size-suffixed = byte budget, converted to 4 KiB pages.
+  setenv("SQLFACIL_BUFFER_POOL_PAGES", "64M", 1);
+  EXPECT_EQ(GetBufferPoolPagesFromEnv(2048), (64u << 20) / 4096);
+  setenv("SQLFACIL_BUFFER_POOL_PAGES", "8K", 1);
+  EXPECT_EQ(GetBufferPoolPagesFromEnv(2048), 2u);
+
+  // Sub-page budgets and garbage fall back.
+  setenv("SQLFACIL_BUFFER_POOL_PAGES", "1K", 1);
+  EXPECT_EQ(GetBufferPoolPagesFromEnv(2048), 2048u);
+  setenv("SQLFACIL_BUFFER_POOL_PAGES", "none", 1);
+  EXPECT_EQ(GetBufferPoolPagesFromEnv(2048), 2048u);
+  unsetenv("SQLFACIL_BUFFER_POOL_PAGES");
+}
+
+TEST(EnvTest, StorageModeAndDataDir) {
+  unsetenv("SQLFACIL_STORAGE");
+  EXPECT_EQ(GetStorageModeFromEnv(), 0);
+  setenv("SQLFACIL_STORAGE", "disk", 1);
+  EXPECT_EQ(GetStorageModeFromEnv(), 1);
+  setenv("SQLFACIL_STORAGE", "mem", 1);
+  EXPECT_EQ(GetStorageModeFromEnv(), 0);
+  unsetenv("SQLFACIL_STORAGE");
+
+  setenv("SQLFACIL_DATA_DIR", "/nonexistent/override", 1);
+  EXPECT_EQ(GetDataDirFromEnv(), "/nonexistent/override");
+  unsetenv("SQLFACIL_DATA_DIR");
+  EXPECT_FALSE(GetDataDirFromEnv().empty());
+}
+
 // ---------------------------------------------------------------------------
 // LatencyHistogram
 // ---------------------------------------------------------------------------
