@@ -22,6 +22,9 @@
 #include "sqlfacil/sql/parser.h"
 #include "sqlfacil/storage/buffer_pool.h"
 #include "sqlfacil/storage/disk_manager.h"
+#include "sqlfacil/storage/recovery.h"
+#include "sqlfacil/storage/table_heap.h"
+#include "sqlfacil/storage/wal.h"
 #include "sqlfacil/util/env.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/random.h"
@@ -219,6 +222,115 @@ void BM_ScanLargerThanPool(benchmark::State& state) {
 }
 
 // ---------------------------------------------------------------------------
+// Durable (WAL) mode: insert throughput with logging off vs on across the
+// group-commit fsync batch, and the redo pass's replay speed vs log length.
+// ---------------------------------------------------------------------------
+
+/// Arg 0 benches the wal-off disk backend (the baseline the overhead gate
+/// compares against); any other arg is the wal_fsync_every batch size.
+/// Each measurement loads a fresh 10000-row table and flushes it, so the
+/// timed region covers append + log + page write-back for both modes at a
+/// batch size where the final flush amortizes like a real bulk load.
+void BM_DurableInsert(benchmark::State& state) {
+  const int fsync_every = static_cast<int>(state.range(0));
+  constexpr size_t kRows = 10000;
+  double wal_syncs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TableOptions opts = DiskOpts(/*pool_pages=*/256);
+    opts.durable = fsync_every > 0;
+    opts.recover = false;  // fresh file every iteration, no replay
+    if (fsync_every > 0) {
+      opts.wal_fsync_every = fsync_every;
+    }
+    TableSchema schema;
+    schema.name = "walbench";
+    schema.columns = {{"id", ColumnType::kInt64},
+                      {"val", ColumnType::kInt64},
+                      {"tag", ColumnType::kString},
+                      {"ra", ColumnType::kDouble}};
+    auto table = std::make_unique<Table>(std::move(schema), std::move(opts));
+    // Open (file creation + header fsyncs in durable mode) stays untimed:
+    // the bench measures steady-state insert throughput.
+    SQLFACIL_CHECK_OK(table->OpenStorage());
+    state.ResumeTiming();
+    for (size_t i = 0; i < kRows; ++i) {
+      const uint64_t h = i * 2654435761ull;
+      table->AppendRow({Value(static_cast<int64_t>(i)),
+                        Value(static_cast<int64_t>(h % 1000)),
+                        Value("tag" + std::to_string(h % 23)),
+                        Value(static_cast<double>(h % 360) + 0.25)});
+    }
+    SQLFACIL_CHECK_OK(table->FlushStorage());
+    state.PauseTiming();
+    wal_syncs = static_cast<double>(table->GetStorageStats().wal_syncs);
+    table.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kRows) * state.iterations());
+  if (fsync_every > 0) {
+    state.counters["wal_syncs"] = wal_syncs;
+    const std::string base = GetDataDirFromEnv() + "/sqlfacil_walbench.tbl";
+    ::unlink(base.c_str());
+    ::unlink((base + ".wal").c_str());
+  }
+}
+
+/// Appends `arg` rows that reach only the log (the pool is dropped without
+/// a flush), then times the Recover() pass that rebuilds the data file by
+/// redoing the tuple records. items/s = rows replayed per second.
+void BM_WalRecovery(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const std::string base = GetDataDirFromEnv() + "/sqlfacil_walrec_" +
+                           std::to_string(::getpid()) + ".tbl";
+  const std::string wal_path = base + ".wal";
+  uint64_t applied = 0;
+  uint64_t pages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ::unlink(base.c_str());
+    ::unlink(wal_path.c_str());
+    {
+      storage::DiskManager disk;
+      SQLFACIL_CHECK_OK(disk.Open(base, storage::OpenMode::kPersistentFresh));
+      storage::WalManager wal;
+      SQLFACIL_CHECK_OK(wal.Open(wal_path, /*truncate=*/true));
+      // Pool sized above the heap so no page is evicted (written back)
+      // during the build: every row must reach disk through redo alone.
+      storage::BufferPoolManager pool(/*pool_pages=*/1024, &disk, &wal);
+      storage::TableHeap heap(&pool);
+      char rec[64];
+      for (size_t i = 0; i < rows; ++i) {
+        const size_t len = 24 + i % 40;
+        for (size_t j = 0; j < len; ++j) {
+          rec[j] = static_cast<char>((i * 31 + j * 7) & 0xff);
+        }
+        SQLFACIL_CHECK_OK(heap.Append(rec, len));
+      }
+      SQLFACIL_CHECK_OK(wal.Sync());
+    }
+    storage::DiskManager disk;
+    SQLFACIL_CHECK_OK(disk.Open(base, storage::OpenMode::kPersistent));
+    storage::WalManager wal;
+    SQLFACIL_CHECK_OK(wal.Open(wal_path));
+    state.ResumeTiming();
+    auto result = storage::Recover(&disk, &wal);
+    SQLFACIL_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result->records_applied);
+    state.PauseTiming();
+    applied += result->records_applied;
+    pages += result->pages_written;
+    state.ResumeTiming();
+  }
+  SQLFACIL_CHECK(applied == rows * state.iterations());
+  state.SetItemsProcessed(static_cast<int64_t>(applied));
+  state.counters["pages_per_s"] = benchmark::Counter(
+      static_cast<double>(pages), benchmark::Counter::kIsRate);
+  ::unlink(base.c_str());
+  ::unlink(wal_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end labeling throughput, mem vs disk backend. The disk catalog's
 // per-table pools (64 pages) hold a fraction of each table's heap, so this
 // measures the full paging path under the paper's workload.
@@ -316,6 +428,12 @@ BENCHMARK(BM_PoolFetchCold);
 BENCHMARK(BM_IndexScanSelective)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SeqScanSelective)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ScanLargerThanPool)->Unit(benchmark::kMillisecond);
+// 0 = wal off (baseline), then the group-commit sweep: fsync per row, per 8,
+// per 64 (the default — the overhead gate reads this one), per 512.
+BENCHMARK(BM_DurableInsert)
+    ->Arg(0)->Arg(1)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WalRecovery)->Arg(2000)->Arg(20000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LabelingThroughput_mem)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LabelingThroughput_disk)->Unit(benchmark::kMillisecond);
 

@@ -7,9 +7,9 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test storage_test engine_test
+  --target serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test storage_test wal_test engine_test storage_crash
 status=0
-for t in serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test storage_test; do
+for t in serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test storage_test wal_test; do
   echo "== $t (ASan) =="
   if ! "$BUILD_DIR/tests/$t"; then
     status=1
@@ -27,6 +27,23 @@ done
 echo "== engine_test (ASan, SQLFACIL_STORAGE=disk) =="
 if ! SQLFACIL_STORAGE=disk SQLFACIL_BUFFER_POOL_PAGES=64 \
     "$BUILD_DIR/tests/engine_test"; then
+  status=1
+fi
+# Engine suite again in durable (WAL) mode: log framing, recovery redo and
+# checkpoint serialization under ASan.
+echo "== engine_test (ASan, SQLFACIL_DURABILITY=wal) =="
+WAL_DIR="${TMPDIR:-/tmp}/sqlfacil_asan_wal_$$"
+mkdir -p "$WAL_DIR"
+if ! SQLFACIL_STORAGE=disk SQLFACIL_DURABILITY=wal SQLFACIL_WAL_RECOVER=0 \
+    SQLFACIL_DATA_DIR="$WAL_DIR" SQLFACIL_BUFFER_POOL_PAGES=64 \
+    "$BUILD_DIR/tests/engine_test"; then
+  status=1
+fi
+rm -rf "$WAL_DIR"
+# A short seeded crash storm with the ASan-instrumented tool: recovery's
+# redo pass walks attacker-ish torn input, exactly where ASan pays off.
+echo "== crash storm (ASan, 24 kills) =="
+if ! scripts/check_crash.sh "$BUILD_DIR" 20260809 24; then
   status=1
 fi
 if [ "$status" -eq 0 ]; then

@@ -6,9 +6,9 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test storage_test serve_bench
+  --target thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test storage_test wal_test serve_bench
 status=0
-for t in thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test storage_test; do
+for t in thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test storage_test wal_test; do
   echo "== $t (TSan) =="
   if ! "$BUILD_DIR/tests/$t"; then
     status=1

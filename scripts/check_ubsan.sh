@@ -4,7 +4,7 @@
 # Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
 set -eu
 BUILD_DIR="${1:-build-ubsan}"
-TESTS="resilience_test fuzz_smoke_test serialize_test serving_test nn_test quant_test distill_test storage_test"
+TESTS="resilience_test fuzz_smoke_test serialize_test serving_test nn_test quant_test distill_test storage_test wal_test"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 # shellcheck disable=SC2086
@@ -30,6 +30,17 @@ if ! SQLFACIL_STORAGE=disk SQLFACIL_BUFFER_POOL_PAGES=64 \
     "$BUILD_DIR/tests/engine_test"; then
   status=1
 fi
+# Durable mode on top: WAL frame arithmetic (LSN offsets, CRC windows,
+# unaligned loads in redo) under UBSan.
+echo "== engine_test (UBSan, SQLFACIL_DURABILITY=wal) =="
+WAL_DIR="${TMPDIR:-/tmp}/sqlfacil_ubsan_wal_$$"
+mkdir -p "$WAL_DIR"
+if ! SQLFACIL_STORAGE=disk SQLFACIL_DURABILITY=wal SQLFACIL_WAL_RECOVER=0 \
+    SQLFACIL_DATA_DIR="$WAL_DIR" SQLFACIL_BUFFER_POOL_PAGES=64 \
+    "$BUILD_DIR/tests/engine_test"; then
+  status=1
+fi
+rm -rf "$WAL_DIR"
 if [ "$status" -eq 0 ]; then
   echo "UBSAN_CLEAN"
 else

@@ -5,8 +5,9 @@
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 # Exits non-zero on the first failing stage; prints one loud status line
 # per stage so logs are greppable (CI_TESTS_OK / CI_INT8_TESTS_OK /
-# CI_DISK_TESTS_OK / CI_FAILPOINT_MATRIX_OK / CI_STORAGE_MATRIX_OK /
-# CI_SERVING_SOAK_OK / RESUME_CHAOS_OK / ASAN_CLEAN / TSAN_CLEAN /
+# CI_DISK_TESTS_OK / CI_WAL_TESTS_OK / CI_FAILPOINT_MATRIX_OK /
+# CI_STORAGE_MATRIX_OK / CI_WAL_MATRIX_OK / CI_SERVING_SOAK_OK /
+# RESUME_CHAOS_OK / CI_CRASH_RECOVERY_OK / ASAN_CLEAN / TSAN_CLEAN /
 # UBSAN_CLEAN).
 set -eu
 BUILD_DIR="${1:-build}"
@@ -47,6 +48,28 @@ if ! SQLFACIL_STORAGE=disk SQLFACIL_BUFFER_POOL_PAGES=64 \
   exit 1
 fi
 echo "CI_DISK_TESTS_OK"
+
+echo "== durable (WAL) storage =="
+# The WAL/recovery suite, then the engine suite with every table durable:
+# each append is logged before it touches a page and data files get stable
+# names. SQLFACIL_WAL_RECOVER=0 starts each table fresh — engine_test
+# reuses table names across cases, and recovery across unrelated schemas
+# is exercised by wal_test itself.
+if ! "$BUILD_DIR/tests/wal_test"; then
+  echo "CI_WAL_TESTS_FAILED" >&2
+  exit 1
+fi
+WAL_DIR="${TMPDIR:-/tmp}/sqlfacil_ci_wal_$$"
+mkdir -p "$WAL_DIR"
+if ! SQLFACIL_STORAGE=disk SQLFACIL_DURABILITY=wal SQLFACIL_WAL_RECOVER=0 \
+    SQLFACIL_DATA_DIR="$WAL_DIR" SQLFACIL_BUFFER_POOL_PAGES=64 \
+    "$BUILD_DIR/tests/engine_test"; then
+  rm -rf "$WAL_DIR"
+  echo "CI_WAL_TESTS_FAILED" >&2
+  exit 1
+fi
+rm -rf "$WAL_DIR"
+echo "CI_WAL_TESTS_OK"
 
 echo "== failpoint matrix =="
 # Hard faults drive the end-to-end degradation chain: serving must answer
@@ -110,6 +133,28 @@ for spec in \
 done
 echo "CI_STORAGE_MATRIX_OK"
 
+echo "== WAL failpoint matrix =="
+# Log-layer faults against a durable load + reopen: failed appends must
+# leave pages untouched (typed error, no torn tuple), failed fsyncs must
+# keep records pending, a corrupted record must stop recovery at the
+# crash frontier, and faults during the redo pass must surface as typed
+# errors with a clean retry. Whatever prefix survives must read back
+# bit-identical after reopen.
+for spec in \
+  "wal.append:error@n40" \
+  "wal.append:corrupt@n60" \
+  "wal.fsync:error@n3" \
+  "disk.short_write:error@n2" \
+  "wal.append:error@p0.02/11;wal.fsync:error@p0.05/12"; do
+  echo "-- wal_test durable load under SQLFACIL_FAILPOINTS='$spec' --"
+  if ! SQLFACIL_FAILPOINTS="$spec" "$BUILD_DIR/tests/wal_test" \
+      --gtest_filter='DurableTableTest.DurableLoadUnderEnvWalFailpoints'; then
+    echo "CI_WAL_MATRIX_FAILED" >&2
+    exit 1
+  fi
+done
+echo "CI_WAL_MATRIX_OK"
+
 echo "== serving soak =="
 # Closed-loop load against the full serving front end while the primary
 # model throws on every 40th predict: each shard's breaker must absorb the
@@ -131,6 +176,17 @@ if ! scripts/check_resume.sh "$BUILD_DIR"; then
   echo "CI_RESUME_CHAOS_FAILED" >&2
   exit 1
 fi
+
+echo "== crash recovery storm =="
+# Seeded SIGKILL storm against the durable storage engine: after every
+# kill the reopened table must hold a bit-identical prefix of the
+# pre-crash rows, honor the durable watermark, and rebuild a consistent
+# B+ tree (scripts/check_crash.sh prints CRASH_RECOVERY_OK).
+if ! scripts/check_crash.sh "$BUILD_DIR"; then
+  echo "CI_CRASH_RECOVERY_FAILED" >&2
+  exit 1
+fi
+echo "CI_CRASH_RECOVERY_OK"
 
 echo "== sanitizers =="
 scripts/check_asan.sh

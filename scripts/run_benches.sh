@@ -9,10 +9,12 @@
 # --json: instead of the full sweep, runs the micro-benchmarks that track
 # the perf work (micro_nn, micro_train, micro_parallel, micro_serving,
 # micro_quant, micro_storage) plus the serve_bench closed-loop load
-# generator, and distills the key metrics into bench_logs/BENCH_8.json
-# (BENCH_7 and earlier are kept as historical snapshots). Ends with a
-# greppable STORAGE_BENCH_OK line carrying the storage-engine headline
-# numbers (index-vs-seq speedup, hit rate, paging rate).
+# generator, and distills the key metrics into bench_logs/BENCH_9.json
+# (BENCH_8 and earlier are kept as historical snapshots). Ends with two
+# greppable gate lines: STORAGE_BENCH_OK with the storage-engine headline
+# numbers (index-vs-seq speedup, hit rate, paging rate) and WAL_BENCH_OK
+# with the durability numbers (insert overhead of the default group-commit
+# setting vs wal-off, gated at <= 25%, plus recovery replay rates).
 set -u
 
 BUILD_DIR="${BUILD_DIR:-build}"
@@ -66,15 +68,15 @@ if [ "${1:-}" = "--json" ]; then
     bench_logs/micro_parallel.json bench_logs/micro_serving.json \
     bench_logs/micro_quant.json bench_logs/micro_storage.json \
     bench_logs/serve_bench.json \
-    > bench_logs/BENCH_8.json || exit 1
+    > bench_logs/BENCH_9.json || exit 1
   rm -f bench_logs/micro_nn.json bench_logs/micro_train.json \
     bench_logs/micro_parallel.json bench_logs/micro_serving.json \
     bench_logs/micro_quant.json bench_logs/micro_storage.json \
     bench_logs/serve_bench.json
-  echo "wrote bench_logs/BENCH_8.json"
+  echo "wrote bench_logs/BENCH_9.json"
   python3 - <<'EOF' || exit 1
 import json
-d = json.load(open("bench_logs/BENCH_8.json"))["derived"]
+d = json.load(open("bench_logs/BENCH_9.json"))["derived"]
 speedup = d.get("index_vs_seq_speedup_1pct", 0.0)
 ok = speedup >= 10.0
 print(
@@ -86,7 +88,17 @@ print(
     f" scan_pages_per_s={d.get('scan_gt_pool_pages_per_s', 0.0)}"
     f" labeling_mem_vs_disk={d.get('labeling_mem_vs_disk', 0.0)}x"
 )
-raise SystemExit(0 if ok else 1)
+overhead = d.get("wal_insert_overhead_pct")
+wal_ok = overhead is not None and overhead <= 25.0
+print(
+    f"WAL_BENCH_{'OK' if wal_ok else 'FAIL'}"
+    f" wal_insert_overhead_pct={overhead}"
+    f" wal_off_rows_per_s={d.get('wal_off_insert_rows_per_s', 0.0)}"
+    f" wal_fsync64_rows_per_s={d.get('wal_insert_fsync64_rows_per_s', 0.0)}"
+    f" wal_fsync1_rows_per_s={d.get('wal_insert_fsync1_rows_per_s', 0.0)}"
+    f" recovery_rows_per_s={d.get('wal_recovery_20000_rows_per_s', 0.0)}"
+)
+raise SystemExit(0 if ok and wal_ok else 1)
 EOF
   exit 0
 fi

@@ -57,6 +57,7 @@ def main(paths):
                 "max_abs_dprob",
                 "hit_rate",
                 "pages_per_s",
+                "wal_syncs",
                 "pool_ratio",
                 "success_frac",
             ):
@@ -288,6 +289,43 @@ def main(paths):
         out["derived"]["pool_fetch_cold_pages_per_s"] = round(
             cold["pages_per_s"], 1
         )
+    # WAL durability (micro_storage): insert throughput across the
+    # wal_fsync_every sweep vs the wal-off baseline (acceptance gate: the
+    # default group-commit setting, 64, costs <= 25%), and the redo-replay
+    # rate of recovery over a log of freshly appended heap tuples.
+    wal_base = stor.get("BM_DurableInsert/0")
+    if wal_base and wal_base.get("items_per_second"):
+        out["derived"]["wal_off_insert_rows_per_s"] = round(
+            wal_base["items_per_second"], 1
+        )
+    for arg in (1, 8, 64, 512):
+        b = stor.get(f"BM_DurableInsert/{arg}")
+        if b and b.get("items_per_second"):
+            out["derived"][f"wal_insert_fsync{arg}_rows_per_s"] = round(
+                b["items_per_second"], 1
+            )
+    wal_def = stor.get("BM_DurableInsert/64")
+    if (
+        wal_base
+        and wal_def
+        and wal_def.get("items_per_second")
+        and wal_base.get("items_per_second")
+    ):
+        out["derived"]["wal_insert_overhead_pct"] = round(
+            (wal_base["items_per_second"] / wal_def["items_per_second"] - 1.0)
+            * 100.0,
+            2,
+        )
+    for arg in (2000, 20000):
+        b = stor.get(f"BM_WalRecovery/{arg}")
+        if b and b.get("items_per_second"):
+            out["derived"][f"wal_recovery_{arg}_rows_per_s"] = round(
+                b["items_per_second"], 1
+            )
+            if b.get("pages_per_s"):
+                out["derived"][f"wal_recovery_{arg}_pages_per_s"] = round(
+                    b["pages_per_s"], 1
+                )
     lab_mem = stor.get("BM_LabelingThroughput_mem")
     lab_disk = stor.get("BM_LabelingThroughput_disk")
     if lab_mem and lab_disk and lab_disk.get("items_per_second"):

@@ -12,7 +12,9 @@
 #include "sqlfacil/storage/bplus_tree.h"
 #include "sqlfacil/storage/buffer_pool.h"
 #include "sqlfacil/storage/disk_manager.h"
+#include "sqlfacil/storage/recovery.h"
 #include "sqlfacil/storage/table_heap.h"
+#include "sqlfacil/storage/wal.h"
 #include "sqlfacil/util/env.h"
 #include "sqlfacil/util/logging.h"
 #include "sqlfacil/util/string_util.h"
@@ -105,6 +107,11 @@ TableOptions TableOptions::FromEnv() {
   options.data_dir = GetDataDirFromEnv();
   options.buffer_pool_pages =
       GetBufferPoolPagesFromEnv(options.buffer_pool_pages);
+  options.durable = GetDurabilityFromEnv() == 1;
+  options.wal_fsync_every = GetWalFsyncEveryFromEnv(options.wal_fsync_every);
+  options.wal_checkpoint_bytes =
+      GetWalCheckpointBytesFromEnv(options.wal_checkpoint_bytes);
+  options.recover = GetWalRecoverFromEnv() == 1;
   return options;
 }
 
@@ -129,7 +136,14 @@ Table::Table(TableSchema schema, TableOptions options)
   }
 }
 
-Table::~Table() = default;
+Table::~Table() {
+  if (wal_ != nullptr && heap_ != nullptr) {
+    // Best-effort clean shutdown: flush the pool and checkpoint so the
+    // next open restores from metadata instead of replaying the log.
+    if (FlushStorage().ok()) (void)Checkpoint();
+  }
+}
+
 Table::Table(Table&&) noexcept = default;
 Table& Table::operator=(Table&&) noexcept = default;
 
@@ -140,6 +154,12 @@ Status Table::EnsureDiskStorage() {
     safe_name += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
   }
   if (options_.data_dir.empty()) options_.data_dir = GetDataDirFromEnv();
+  if (options_.durable) {
+    // Durable tables use a stable path (no pid / generation suffix): the
+    // whole point is that a new process finds the old files.
+    return OpenDurableStorage(options_.data_dir + "/sqlfacil_" + safe_name +
+                              ".tbl");
+  }
   const std::string path = options_.data_dir + "/sqlfacil_" + safe_name +
                            "." + std::to_string(::getpid()) + "." +
                            std::to_string(table_gen_) + ".tbl";
@@ -149,6 +169,89 @@ Status Table::EnsureDiskStorage() {
   pool_ = std::make_unique<storage::BufferPoolManager>(
       options_.buffer_pool_pages, disk_.get());
   heap_ = std::make_unique<storage::TableHeap>(pool_.get());
+  return Status::Ok();
+}
+
+Status Table::OpenDurableStorage(const std::string& path) {
+  auto disk = std::make_unique<storage::DiskManager>();
+  const auto mode = options_.recover ? storage::OpenMode::kPersistent
+                                     : storage::OpenMode::kPersistentFresh;
+  if (Status s = disk->Open(path, mode); !s.ok()) return s;
+  auto wal = std::make_unique<storage::WalManager>();
+  if (Status s = wal->Open(path + ".wal", /*truncate=*/!options_.recover);
+      !s.ok()) {
+    return s;
+  }
+  storage::RecoveryResult recovered;
+  if (options_.recover) {
+    auto result = storage::Recover(disk.get(), wal.get());
+    if (!result.ok()) return result.status();
+    recovered = std::move(*result);
+  }
+  disk_ = std::move(disk);
+  wal_ = std::move(wal);
+  pool_ = std::make_unique<storage::BufferPoolManager>(
+      options_.buffer_pool_pages, disk_.get(), wal_.get());
+  heap_ = std::make_unique<storage::TableHeap>(pool_.get());
+  if (options_.recover) {
+    storage::CheckpointState& st = recovered.state;
+    heap_->Restore(std::move(st.heap_pages), std::move(st.heap_first_row),
+                   st.num_rows, st.total_bytes);
+    num_rows_ = static_cast<size_t>(st.num_rows);
+    encoded_bytes_ = st.total_bytes;
+    for (const auto& t : st.trees) {
+      if (t.column >= schema_.columns.size()) continue;  // stale metadata
+      // A tree snapshot covers exactly the rows that existed when the
+      // checkpoint was taken (one entry per row). If replay applied later
+      // heap appends, the snapshot is stale — drop it so BuildIndex
+      // rebuilds from the recovered heap instead of missing rows.
+      if (t.num_entries != st.num_rows) continue;
+      auto tree = std::make_unique<storage::BPlusTree>(pool_.get());
+      tree->Restore(t.root, t.height, static_cast<size_t>(t.num_entries),
+                    static_cast<size_t>(t.num_leaves));
+      btrees_[static_cast<int>(t.column)] = std::move(tree);
+    }
+    recovered_ = recovered.records_scanned > 0 || recovered.found_checkpoint;
+    if (num_rows_ > 0) {
+      if (Status s = RebuildStatsFromHeap(); !s.ok()) return s;
+    }
+  }
+  last_checkpoint_end_lsn_ = wal_->end_lsn();
+  return Status::Ok();
+}
+
+Status Table::RebuildStatsFromHeap() {
+  // Min/max and distinct sketches are not checkpointed; rebuild them the
+  // same way the load path maintains them, one decoded row at a time.
+  const size_t rows = num_rows_;
+  for (auto& h : hlls_) h = Hll{};
+  for (auto& s : stats_) {
+    s = ColumnStats{};
+    s.computed = true;
+  }
+  std::vector<Value> values;
+  size_t page_hint = 0;
+  num_rows_ = 0;  // UpdateIncrementalStats keys min/max init off this
+  for (size_t row = 0; row < rows; ++row) {
+    Status s;
+    try {
+      s = heap_->ReadRow(
+          row,
+          [&](const char* record, size_t len) {
+            DecodeRow(record, len, &values);
+          },
+          &page_hint);
+    } catch (const storage::StorageError& e) {
+      s = e.status();
+    }
+    if (!s.ok()) {
+      num_rows_ = rows;
+      return s;
+    }
+    UpdateIncrementalStats(values);
+    ++num_rows_;
+  }
+  num_rows_ = rows;
   return Status::Ok();
 }
 
@@ -195,6 +298,34 @@ Status Table::AppendRowDisk(const std::vector<Value>& row) {
   UpdateIncrementalStats(row);
   encoded_bytes_ += record.size();
   ++num_rows_;
+  if (wal_ != nullptr) {
+    // Group commit: every wal_fsync_every rows the log tail is made
+    // durable. Batch size 1 keeps the strict contract — the row is on
+    // disk before the append returns. Larger batches hand the goal to
+    // the WAL's background flusher instead of fsyncing inline, so
+    // appends overlap with the fsync and goals coalesce when the disk
+    // lags; a background fsync failure surfaces here as kIoError on a
+    // later append (the row itself is in, matching the documented
+    // contract). The lag cap bounds the crash-loss window when the
+    // flusher cannot keep up.
+    if (++appends_since_sync_ >= options_.wal_fsync_every) {
+      appends_since_sync_ = 0;
+      if (options_.wal_fsync_every <= 1) {
+        if (Status s = wal_->Sync(); !s.ok()) return s;
+      } else {
+        if (Status s = wal_->RequestSync(); !s.ok()) return s;
+        constexpr uint64_t kMaxWalLagBytes = 1u << 20;
+        if (wal_->end_lsn() - wal_->durable_lsn() > kMaxWalLagBytes) {
+          if (Status s = wal_->Sync(); !s.ok()) return s;
+        }
+      }
+    }
+    if (options_.wal_checkpoint_bytes > 0 &&
+        wal_->end_lsn() - last_checkpoint_end_lsn_ >=
+            options_.wal_checkpoint_bytes) {
+      if (Status s = Checkpoint(); !s.ok()) return s;
+    }
+  }
   return Status::Ok();
 }
 
@@ -626,12 +757,84 @@ Table::StorageStats Table::GetStorageStats() const {
   out.pages_read = disk_->pages_read();
   out.pages_written = disk_->pages_written();
   out.heap_pages = heap_ != nullptr ? heap_->num_pages() : 0;
+  if (wal_ != nullptr) {
+    const storage::WalStats ws = wal_->stats();
+    out.wal_records = ws.records_appended;
+    out.wal_bytes = ws.bytes_appended;
+    out.wal_syncs = ws.syncs;
+    out.wal_truncations = ws.truncations;
+    out.wal_checkpoints = wal_checkpoints_;
+    out.recovered = recovered_;
+  }
   return out;
+}
+
+Status Table::OpenStorage() {
+  if (options_.backend != StorageBackend::kDisk) return Status::Ok();
+  return EnsureDiskStorage();
 }
 
 Status Table::FlushStorage() {
   if (pool_ == nullptr) return Status::Ok();
   return pool_->FlushAll();
+}
+
+Status Table::Checkpoint() {
+  if (wal_ == nullptr || heap_ == nullptr) return Status::Ok();
+  // Make every appended record durable before the checkpoint claims a
+  // durability watermark.
+  if (Status s = wal_->Sync(); !s.ok()) return s;
+  appends_since_sync_ = 0;
+  // Flush-behind: write back pages dirtied more than half a checkpoint
+  // interval ago. The dirty-page table's minimum recLSN bounds how much
+  // log Truncate below can reclaim; without this, a pool larger than the
+  // working set keeps early pages dirty forever and the log never shrinks.
+  // Recently-dirtied pages stay in memory — the checkpoint remains fuzzy.
+  {
+    const storage::lsn_t end = wal_->end_lsn();
+    const uint64_t keep_tail = options_.wal_checkpoint_bytes / 2;
+    const storage::lsn_t horizon = end > keep_tail ? end - keep_tail : 0;
+    if (Status s = pool_->FlushPagesBefore(horizon); !s.ok()) return s;
+  }
+  // Harden pages the pool already wrote back: the dirty-page table below
+  // says "everything NOT listed is safely on disk", which is only true
+  // past an fsync.
+  if (Status s = disk_->SyncData(); !s.ok()) return s;
+  storage::CheckpointState st;
+  st.heap_pages = heap_->pages();
+  st.heap_first_row = heap_->first_rows();
+  st.num_rows = heap_->num_rows();
+  st.total_bytes = heap_->total_bytes();
+  st.dirty_pages = pool_->DirtyPageTable();
+  if (st.dirty_pages.empty()) {
+    // Every page is durable, so tree metadata is consistent with the data
+    // file; register the trees so reopen skips the index rebuild. With
+    // dirty pages outstanding we leave them out — reopen rebuilds indexes
+    // from the recovered heap instead of trusting half-flushed nodes.
+    for (const auto& [col, tree] : btrees_) {
+      st.trees.push_back({static_cast<uint32_t>(col), tree->root(),
+                          tree->height(), tree->num_entries(),
+                          tree->num_leaf_pages()});
+    }
+  }
+  st.durable_lsn = wal_->durable_lsn();
+  st.disk_pages = disk_->num_pages();
+  auto cp_lsn = wal_->AppendCheckpoint(storage::SerializeCheckpoint(st));
+  if (!cp_lsn.ok()) return cp_lsn.status();
+  if (Status s = wal_->Sync(); !s.ok()) return s;
+  // Records before min(dirty recLSNs, the checkpoint itself) can never be
+  // needed again; reclaim them once the prefix is worth a file rewrite.
+  storage::lsn_t keep_from = *cp_lsn;
+  for (const auto& [pid, rec_lsn] : st.dirty_pages) {
+    keep_from = std::min(keep_from, rec_lsn);
+  }
+  if (Status s = wal_->Truncate(keep_from, /*min_reclaim_bytes=*/64 << 10);
+      !s.ok()) {
+    return s;
+  }
+  last_checkpoint_end_lsn_ = wal_->end_lsn();
+  ++wal_checkpoints_;
+  return Status::Ok();
 }
 
 }  // namespace sqlfacil::engine

@@ -17,6 +17,7 @@ class BPlusTree;
 class BufferPoolManager;
 class DiskManager;
 class TableHeap;
+class WalManager;
 struct BufferPoolStats;
 }  // namespace sqlfacil::storage
 
@@ -41,12 +42,30 @@ enum class StorageBackend {
 };
 
 /// Where and how a Table stores its rows. Defaults resolve the
-/// SQLFACIL_STORAGE / SQLFACIL_DATA_DIR / SQLFACIL_BUFFER_POOL_PAGES
-/// knobs, so existing call sites switch backends via the environment.
+/// SQLFACIL_STORAGE / SQLFACIL_DATA_DIR / SQLFACIL_BUFFER_POOL_PAGES /
+/// SQLFACIL_DURABILITY / SQLFACIL_WAL_* knobs, so existing call sites
+/// switch backends via the environment.
 struct TableOptions {
   StorageBackend backend = StorageBackend::kMem;
   std::string data_dir;
   size_t buffer_pool_pages = 2048;  // 8 MiB per table
+
+  /// Durability for the disk backend. false = PR 8 scratch semantics
+  /// (files truncated on open, unlinked on close). true = write-ahead
+  /// logging: the table file gets a stable name, every append is logged
+  /// before it touches a page, and reopening the table recovers the
+  /// committed prefix of a crashed process.
+  bool durable = false;
+  /// Group commit: fsync the WAL once per N appended rows (1 = every
+  /// row is durable before the append returns).
+  int wal_fsync_every = 64;
+  /// Auto-checkpoint (and truncate the log) every time the log grows by
+  /// this many bytes. 0 disables auto-checkpoints.
+  uint64_t wal_checkpoint_bytes = 4ull << 20;
+  /// Whether opening a durable table replays an existing WAL. false
+  /// starts fresh (truncating any prior files) — for harnesses reusing
+  /// table names across cases.
+  bool recover = true;
 
   static TableOptions FromEnv();
 };
@@ -90,7 +109,10 @@ class Table {
 
   /// Status-returning append: kResourceExhausted for oversized rows,
   /// kIoError/kDataCorruption for disk faults. On error the row is not
-  /// visible (num_rows() unchanged, no torn tuples).
+  /// visible (num_rows() unchanged, no torn tuples) — with one durable-
+  /// mode exception: a failed WAL group-commit fsync returns kIoError
+  /// with the row appended in memory (it may not survive a crash; a
+  /// later Checkpoint/FlushStorage retries the sync).
   Status TryAppendRow(const std::vector<Value>& row);
 
   /// In disk mode a storage fault surfaces as storage::StorageError (the
@@ -141,7 +163,7 @@ class Table {
   void WarmStats() const;
 
   /// Buffer-pool counters (hits/misses/evictions/hit rate) plus pages
-  /// read/written; zeros for the mem backend.
+  /// read/written and WAL activity; zeros for the mem backend.
   struct StorageStats {
     uint64_t pool_hits = 0;
     uint64_t pool_misses = 0;
@@ -151,12 +173,33 @@ class Table {
     size_t pool_pages = 0;
     size_t heap_pages = 0;
     double hit_rate = 0.0;
+    // Durable mode only.
+    uint64_t wal_records = 0;
+    uint64_t wal_bytes = 0;
+    uint64_t wal_syncs = 0;
+    uint64_t wal_truncations = 0;
+    uint64_t wal_checkpoints = 0;
+    bool recovered = false;  // this open replayed an existing WAL
   };
   StorageStats GetStorageStats() const;
+
+  /// Forces the disk backend open now instead of at the first append or
+  /// read — in durable mode this runs WAL recovery, so num_rows() and
+  /// GetValue() reflect the recovered table afterwards. Surfaces open and
+  /// recovery failures as a typed Status (the lazy path inside AppendRow
+  /// aborts instead). No-op for mem tables and when already open.
+  Status OpenStorage();
 
   /// Flushes dirty pages to disk (no-op for mem). Called after load so
   /// read-only query phases start from a clean pool.
   Status FlushStorage();
+
+  /// Durable mode: fuzzy checkpoint — syncs the WAL, fsyncs the data
+  /// file, logs a checkpoint record (heap directory, tree metadata when
+  /// the pool is fully clean, dirty-page table) and truncates the
+  /// reclaimable log prefix. No-op without a WAL. Called automatically
+  /// every `wal_checkpoint_bytes` of log growth and on clean shutdown.
+  Status Checkpoint();
 
  private:
   struct Column {
@@ -186,6 +229,10 @@ class Table {
   };
 
   Status EnsureDiskStorage();
+  Status OpenDurableStorage(const std::string& path);
+  /// Rebuilds per-column min/max + HLL sketches by rescanning the
+  /// recovered heap (sketches are not checkpointed).
+  Status RebuildStatsFromHeap();
   Status AppendRowDisk(const std::vector<Value>& row);
   void UpdateIncrementalStats(const std::vector<Value>& row);
   void ComputeStatsIfNeeded(int col) const;
@@ -206,13 +253,21 @@ class Table {
   std::unordered_map<int, std::unordered_map<int64_t, std::vector<uint32_t>>>
       indexes_;
 
-  // disk backend.
+  // disk backend. Declaration order doubles as destruction order in
+  // reverse: trees/heap/pool go before the WAL and the disk file.
   uint64_t table_gen_ = 0;  // process-unique id keying the row-decode cache
   std::unique_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::WalManager> wal_;
   std::unique_ptr<storage::BufferPoolManager> pool_;
   std::unique_ptr<storage::TableHeap> heap_;
   std::unordered_map<int, std::unique_ptr<storage::BPlusTree>> btrees_;
   std::vector<Hll> hlls_;  // per-column distinct estimators (disk)
+
+  // durable mode bookkeeping.
+  int appends_since_sync_ = 0;
+  uint64_t last_checkpoint_end_lsn_ = 0;
+  uint64_t wal_checkpoints_ = 0;
+  bool recovered_ = false;
 
   mutable std::vector<ColumnStats> stats_;
 };

@@ -61,6 +61,18 @@ class BPlusTree {
   Status ScanRange(const IndexKey* lo, bool lo_inclusive, const IndexKey* hi,
                    bool hi_inclusive, std::vector<uint32_t>* out) const;
 
+  /// Adopts checkpoint-recovered tree metadata. The node pages must
+  /// already be durable in the data file (checkpoints only register trees
+  /// once every pool page is flushed).
+  void Restore(page_id_t root, int height, size_t num_entries,
+               size_t num_leaves) {
+    root_ = root;
+    height_ = height;
+    num_entries_ = num_entries;
+    num_leaves_ = num_leaves;
+  }
+
+  page_id_t root() const { return root_; }
   int height() const { return height_; }
   size_t num_entries() const { return num_entries_; }
   size_t num_leaf_pages() const { return num_leaves_; }

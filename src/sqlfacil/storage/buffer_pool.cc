@@ -7,8 +7,9 @@
 
 namespace sqlfacil::storage {
 
-BufferPoolManager::BufferPoolManager(size_t pool_pages, DiskManager* disk)
-    : disk_(disk), replacer_(pool_pages == 0 ? 1 : pool_pages) {
+BufferPoolManager::BufferPoolManager(size_t pool_pages, DiskManager* disk,
+                                     WalManager* wal)
+    : disk_(disk), wal_(wal), replacer_(pool_pages == 0 ? 1 : pool_pages) {
   if (pool_pages == 0) pool_pages = 1;
   frames_.reserve(pool_pages);
   free_list_.reserve(pool_pages);
@@ -17,6 +18,32 @@ BufferPoolManager::BufferPoolManager(size_t pool_pages, DiskManager* disk)
   }
   // Hand out low frame indices first for deterministic placement.
   for (size_t i = pool_pages; i > 0; --i) free_list_.push_back(i - 1);
+}
+
+Status BufferPoolManager::WriteBackLocked(Page* page) {
+  if (wal_ != nullptr) {
+    lsn_t lsn = PageLsn(page->data);
+    if (lsn == kInvalidLsn) {
+      // Unlogged mutations (B+ tree node): capture the whole page in the
+      // log before it can reach the data file, so redo can rebuild it.
+      auto image_lsn = wal_->AppendPageImage(page->page_id, page->data);
+      if (!image_lsn.ok()) return image_lsn.status();
+      SetPageLsn(page->data, *image_lsn);
+      lsn = *image_lsn;
+    }
+    // WAL-before-data: the record covering this page must be durable
+    // before the page bytes land.
+    if (!wal_->IsDurable(lsn)) {
+      if (Status s = wal_->Sync(); !s.ok()) return s;
+    }
+  }
+  if (Status s = disk_->WritePage(page->page_id, page->data); !s.ok()) {
+    return s;
+  }
+  page->dirty = false;
+  ++stats_.flushes;
+  if (wal_ != nullptr) dirty_rec_lsn_.erase(page->page_id);
+  return Status::Ok();
 }
 
 StatusOr<size_t> BufferPoolManager::AcquireFrame() {
@@ -44,15 +71,13 @@ StatusOr<size_t> BufferPoolManager::AcquireFrame() {
   }
   Page* page = frames_[victim].get();
   if (page->dirty) {
-    if (Status s = disk_->WritePage(page->page_id, page->data); !s.ok()) {
+    if (Status s = WriteBackLocked(page); !s.ok()) {
       // Leave the victim mapped, dirty and evictable: nothing torn, the
       // data is still only in memory and a later flush can retry.
       replacer_.RecordAccess(victim);
       replacer_.SetEvictable(victim, true);
       return s;
     }
-    ++stats_.flushes;
-    page->dirty = false;
   }
   page_table_.erase(page->page_id);
   page->page_id = kInvalidPageId;
@@ -105,16 +130,36 @@ StatusOr<Page*> BufferPoolManager::NewPage(page_id_t* page_id) {
   page_table_[*id] = *frame;
   replacer_.RecordAccess(*frame);
   replacer_.SetEvictable(*frame, false);
+  if (wal_ != nullptr) {
+    // Born dirty: any redo of this page starts no earlier than here.
+    dirty_rec_lsn_[*id] = wal_->end_lsn();
+  }
   *page_id = *id;
   return page;
 }
 
-void BufferPoolManager::UnpinPage(page_id_t page_id, bool dirty) {
+void BufferPoolManager::UnpinPage(page_id_t page_id, bool dirty, bool logged) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return;
   Page* page = frames_[it->second].get();
   SQLFACIL_CHECK(page->pin_count > 0) << "unpin of unpinned page";
+  if (wal_ != nullptr && dirty) {
+    const bool was_dirty = page->dirty;
+    if (!was_dirty) {
+      // Clean -> dirty transition: record where redo must start. A logged
+      // writer stamped the covering record's LSN; unlogged changes will
+      // be captured by a page image no earlier than the current log end.
+      const lsn_t page_lsn = PageLsn(page->data);
+      dirty_rec_lsn_[page_id] =
+          (logged && page_lsn != kInvalidLsn) ? page_lsn : wal_->end_lsn();
+    }
+    if (!logged) {
+      // Mutations nobody logged: zero the stamp so write-back knows the
+      // on-log history no longer covers this page's contents.
+      SetPageLsn(page->data, kInvalidLsn);
+    }
+  }
   page->dirty = page->dirty || dirty;
   if (--page->pin_count == 0) replacer_.SetEvictable(it->second, true);
 }
@@ -125,12 +170,7 @@ Status BufferPoolManager::FlushPage(page_id_t page_id) {
   if (it == page_table_.end()) return Status::Ok();
   Page* page = frames_[it->second].get();
   if (!page->dirty) return Status::Ok();
-  if (Status s = disk_->WritePage(page->page_id, page->data); !s.ok()) {
-    return s;
-  }
-  page->dirty = false;
-  ++stats_.flushes;
-  return Status::Ok();
+  return WriteBackLocked(page);
 }
 
 Status BufferPoolManager::FlushAll() {
@@ -138,14 +178,52 @@ Status BufferPoolManager::FlushAll() {
   Status first;
   for (auto& frame : frames_) {
     if (frame->page_id == kInvalidPageId || !frame->dirty) continue;
-    if (Status s = disk_->WritePage(frame->page_id, frame->data); !s.ok()) {
+    if (Status s = WriteBackLocked(frame.get()); !s.ok()) {
       if (first.ok()) first = s;
       continue;
     }
-    frame->dirty = false;
-    ++stats_.flushes;
   }
   return first;
+}
+
+Status BufferPoolManager::FlushPagesBefore(lsn_t horizon) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wal_ == nullptr) return Status::Ok();
+  // Collect first: WriteBackLocked erases DPT entries as it goes.
+  std::vector<page_id_t> cold;
+  for (const auto& [pid, rec_lsn] : dirty_rec_lsn_) {
+    if (rec_lsn < horizon) cold.push_back(pid);
+  }
+  Status first;
+  for (const page_id_t pid : cold) {
+    auto it = page_table_.find(pid);
+    if (it == page_table_.end()) {
+      dirty_rec_lsn_.erase(pid);  // evicted since: already written back
+      continue;
+    }
+    Page* page = frames_[it->second].get();
+    if (!page->dirty) {
+      dirty_rec_lsn_.erase(pid);
+      continue;
+    }
+    if (Status s = WriteBackLocked(page); !s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+std::vector<std::pair<page_id_t, lsn_t>> BufferPoolManager::DirtyPageTable()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {dirty_rec_lsn_.begin(), dirty_rec_lsn_.end()};
+}
+
+size_t BufferPoolManager::dirty_page_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& frame : frames_) {
+    if (frame->page_id != kInvalidPageId && frame->dirty) ++n;
+  }
+  return n;
 }
 
 BufferPoolStats BufferPoolManager::stats() const {

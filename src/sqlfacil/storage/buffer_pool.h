@@ -5,11 +5,13 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sqlfacil/storage/disk_manager.h"
 #include "sqlfacil/storage/lru_k_replacer.h"
 #include "sqlfacil/storage/page.h"
+#include "sqlfacil/storage/wal.h"
 #include "sqlfacil/util/status.h"
 
 namespace sqlfacil::storage {
@@ -38,13 +40,24 @@ struct BufferPoolStats {
 /// single-threaded load / index-build phase (queries are read-only), so
 /// content writes need no per-page latch.
 ///
+/// With a WalManager attached, the pool enforces WAL-before-data on every
+/// write-back path (eviction, FlushPage, FlushAll): a dirty page may not
+/// reach the data file until the log record covering its page-LSN is
+/// durable. Pages dirtied without a log record (B+ tree nodes — their
+/// mutations are not individually logged; marked by a zero page-LSN) get
+/// a full page-image record appended and synced before the write. The
+/// pool also maintains the dirty-page table (page id -> recLSN, the LSN
+/// from which redo must start for that page) that fuzzy checkpoints
+/// snapshot to bound log truncation.
+///
 /// Failpoint `bufferpool.evict` fires when a victim frame is reclaimed:
 /// kError surfaces Status::ResourceExhausted, kThrow raises
 /// FailpointError. A failed eviction write-back leaves the victim intact
 /// in the pool (still dirty, still mapped) — no torn state.
 class BufferPoolManager {
  public:
-  BufferPoolManager(size_t pool_pages, DiskManager* disk);
+  BufferPoolManager(size_t pool_pages, DiskManager* disk,
+                    WalManager* wal = nullptr);
 
   BufferPoolManager(const BufferPoolManager&) = delete;
   BufferPoolManager& operator=(const BufferPoolManager&) = delete;
@@ -56,9 +69,12 @@ class BufferPoolManager {
   /// Allocates a fresh zeroed page and pins it (born dirty).
   StatusOr<Page*> NewPage(page_id_t* page_id);
 
-  /// Drops one pin; marks the page dirty if `dirty`. Unpinning to zero
+  /// Drops one pin; marks the page dirty if `dirty`. `logged` means the
+  /// writer appended WAL records for its mutations and stamped the page
+  /// LSN itself; a dirty unpin without it resets the page LSN to 0 so the
+  /// next write-back knows to log a full page image. Unpinning to zero
   /// makes the frame evictable.
-  void UnpinPage(page_id_t page_id, bool dirty);
+  void UnpinPage(page_id_t page_id, bool dirty, bool logged = false);
 
   /// Writes the page back if dirty (no-op for clean/unmapped pages).
   Status FlushPage(page_id_t page_id);
@@ -66,9 +82,22 @@ class BufferPoolManager {
   /// Writes back every dirty frame; first error wins but all are tried.
   Status FlushAll();
 
+  /// Flush-behind for fuzzy checkpoints: writes back every dirty page
+  /// whose recLSN is older than `horizon`, so the dirty-page table's
+  /// minimum recLSN — the bound on log truncation — keeps advancing while
+  /// recently-dirtied (hot) pages stay in memory. No-op without a WAL.
+  Status FlushPagesBefore(lsn_t horizon);
+
+  /// Snapshot of the dirty-page table (empty when no WAL is attached).
+  std::vector<std::pair<page_id_t, lsn_t>> DirtyPageTable() const;
+
+  /// Number of dirty frames currently in the pool.
+  size_t dirty_page_count() const;
+
   BufferPoolStats stats() const;
   size_t pool_pages() const { return frames_.size(); }
   DiskManager* disk() const { return disk_; }
+  WalManager* wal() const { return wal_; }
 
  private:
   /// Claims a usable frame: free list first, else evict a victim (writing
@@ -76,13 +105,21 @@ class BufferPoolManager {
   /// unmapped and ready to receive a page.
   StatusOr<size_t> AcquireFrame();
 
+  /// WAL-before-data write-back of one dirty frame. Caller holds mutex_.
+  /// On success the page is clean and dropped from the dirty-page table.
+  Status WriteBackLocked(Page* page);
+
   mutable std::mutex mutex_;
   DiskManager* disk_;
+  WalManager* wal_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<page_id_t, size_t> page_table_;
   std::vector<size_t> free_list_;
   LruKReplacer replacer_;
   BufferPoolStats stats_;
+  // Dirty-page table: page id -> recLSN (oldest LSN whose effects on the
+  // page might not be on disk). Maintained only when wal_ != nullptr.
+  std::unordered_map<page_id_t, lsn_t> dirty_rec_lsn_;
 };
 
 /// RAII pin: fetches in the constructor, unpins in the destructor.
@@ -98,6 +135,7 @@ class PageGuard {
     pool_ = other.pool_;
     page_ = other.page_;
     dirty_ = other.dirty_;
+    logged_ = other.logged_;
     other.pool_ = nullptr;
     other.page_ = nullptr;
     return *this;
@@ -115,19 +153,30 @@ class PageGuard {
     return page_->payload();
   }
 
+  /// Records that the guard's mutations are covered by a WAL record with
+  /// this LSN: stamps the page-LSN header field and marks the unpin as
+  /// logged (so the pool will not reset the stamp or log a page image).
+  void StampLsn(lsn_t lsn) {
+    SetPageLsn(page_->data, lsn);
+    dirty_ = true;
+    logged_ = true;
+  }
+
   void Release() {
     if (pool_ != nullptr && page_ != nullptr) {
-      pool_->UnpinPage(page_->page_id, dirty_);
+      pool_->UnpinPage(page_->page_id, dirty_, logged_);
     }
     pool_ = nullptr;
     page_ = nullptr;
     dirty_ = false;
+    logged_ = false;
   }
 
  private:
   BufferPoolManager* pool_ = nullptr;
   Page* page_ = nullptr;
   bool dirty_ = false;
+  bool logged_ = false;
 };
 
 }  // namespace sqlfacil::storage

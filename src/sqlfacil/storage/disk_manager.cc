@@ -1,8 +1,10 @@
 #include "sqlfacil/storage/disk_manager.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -12,6 +14,9 @@
 namespace sqlfacil::storage {
 
 namespace {
+
+// Meta page (page 0 of persistent files) payload layout.
+constexpr char kMetaMagic[8] = {'S', 'Q', 'F', 'L', 'M', 'E', 'T', 'A'};
 
 void StoreU32(char* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
 
@@ -39,27 +44,149 @@ Status VerifyFrame(page_id_t page_id, const char* buf) {
 
 }  // namespace
 
+Status PWriteFull(int fd, const char* buf, size_t count, off_t offset,
+                  const std::string& what) {
+  // `disk.short_write` caps each syscall at one byte so the retry loop is
+  // exercised deterministically; EINTR restarts likewise resume mid-buffer.
+  const bool short_writes =
+      failpoint::Eval("disk.short_write") == failpoint::Mode::kError;
+  size_t done = 0;
+  while (done < count) {
+    const size_t chunk = short_writes ? 1 : count - done;
+    const ssize_t n = ::pwrite(fd, buf + done, chunk,
+                               offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(what + " failed: " + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError(what + " failed: pwrite returned 0");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status PReadFull(int fd, char* buf, size_t count, off_t offset,
+                 const std::string& what) {
+  size_t done = 0;
+  while (done < count) {
+    const ssize_t n = ::pread(fd, buf + done, count - done,
+                              offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(what + " failed: " + std::strerror(errno));
+    }
+    if (n == 0) {
+      // EOF mid-page: the file is shorter than the page table says.
+      return Status::DataCorruption(what + ": short read (" +
+                                    std::to_string(done) + "/" +
+                                    std::to_string(count) + " bytes)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
 DiskManager::~DiskManager() { Close(); }
 
-Status DiskManager::Open(const std::string& path) {
+Status DiskManager::Open(const std::string& path, OpenMode mode) {
   Close();
-  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  int flags = O_CREAT | O_RDWR;
+  if (mode != OpenMode::kPersistent) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) {
     return Status::IoError("open('" + path +
                            "') failed: " + std::strerror(errno));
   }
   fd_ = fd;
   path_ = path;
-  num_pages_.store(0, std::memory_order_release);
+  mode_ = mode;
+  if (mode == OpenMode::kEphemeral) {
+    num_pages_.store(0, std::memory_order_release);
+    return Status::Ok();
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    const Status s = Status::IoError("fstat('" + path_ +
+                                     "') failed: " + std::strerror(errno));
+    Close();
+    return s;
+  }
+  if (st.st_size == 0) {
+    // Fresh persistent file: lay down the meta page.
+    num_pages_.store(1, std::memory_order_release);
+    if (::ftruncate(fd_, static_cast<off_t>(kPageSize)) != 0) {
+      const Status s = Status::IoError("ftruncate('" + path_ + "') failed: " +
+                                       std::strerror(errno));
+      Close();
+      return s;
+    }
+    Status s = WriteMetaPage();
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
+    return Status::Ok();
+  }
+  // Existing file: a torn tail (crash mid-ftruncate/pwrite) can leave a
+  // partial last page; count it as allocated so its id space is not
+  // recycled — recovery rewrites it from the log.
+  const size_t pages =
+      (static_cast<size_t>(st.st_size) + kPageSize - 1) / kPageSize;
+  num_pages_.store(std::max<size_t>(pages, 1), std::memory_order_release);
+  Status s = ValidateMetaPage();
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  return Status::Ok();
+}
+
+Status DiskManager::WriteMetaPage() {
+  char payload[kPayloadSize] = {};
+  std::memcpy(payload, kMetaMagic, sizeof(kMetaMagic));
+  StoreU32(payload + sizeof(kMetaMagic), kDiskFormatVersion);
+  char page[kPageSize] = {};
+  std::memcpy(page + kPageHeaderSize, payload, kPayloadSize);
+  StoreU32(page + 4, 0);
+  StoreU32(page, Crc32(page + 4, kPageSize - 4));
+  Status s = PWriteFull(fd_, page, kPageSize, 0, "pwrite meta page");
+  if (!s.ok()) return s;
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync('" + path_ +
+                           "') failed: " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status DiskManager::ValidateMetaPage() {
+  char page[kPageSize];
+  Status s = PReadFull(fd_, page, kPageSize, 0, "pread meta page");
+  if (!s.ok()) return s;
+  s = VerifyFrame(0, page);
+  if (!s.ok()) return s;
+  const char* payload = page + kPageHeaderSize;
+  if (std::memcmp(payload, kMetaMagic, sizeof(kMetaMagic)) != 0) {
+    return Status::DataCorruption("'" + path_ +
+                                  "' is not a sqlfacil page file");
+  }
+  const uint32_t version = LoadU32(payload + sizeof(kMetaMagic));
+  if (version != kDiskFormatVersion) {
+    return Status::VersionMismatch(
+        "'" + path_ + "' has page format v" + std::to_string(version) +
+        ", this build expects v" + std::to_string(kDiskFormatVersion));
+  }
   return Status::Ok();
 }
 
 void DiskManager::Close() {
   if (fd_ >= 0) {
     ::close(fd_);
-    ::unlink(path_.c_str());
+    if (mode_ == OpenMode::kEphemeral) ::unlink(path_.c_str());
     fd_ = -1;
     path_.clear();
+    mode_ = OpenMode::kEphemeral;
   }
 }
 
@@ -77,6 +204,20 @@ StatusOr<page_id_t> DiskManager::AllocatePage() {
   }
   num_pages_.store(id + 1, std::memory_order_release);
   return static_cast<page_id_t>(id);
+}
+
+Status DiskManager::EnsureAllocated(page_id_t page_id) {
+  if (fd_ < 0) return Status::Internal("DiskManager not open");
+  std::lock_guard<std::mutex> lock(grow_mutex_);
+  const size_t have = num_pages_.load(std::memory_order_relaxed);
+  if (static_cast<size_t>(page_id) < have) return Status::Ok();
+  const size_t want = static_cast<size_t>(page_id) + 1;
+  if (::ftruncate(fd_, static_cast<off_t>(want * kPageSize)) != 0) {
+    return Status::IoError("ftruncate('" + path_ +
+                           "') failed: " + std::strerror(errno));
+  }
+  num_pages_.store(want, std::memory_order_release);
+  return Status::Ok();
 }
 
 Status DiskManager::WritePage(page_id_t page_id, const char* data) {
@@ -102,12 +243,9 @@ Status DiskManager::WritePage(page_id_t page_id, const char* data) {
   StoreU32(buf, Crc32(buf + 4, kPageSize - 4));
   if (corrupt) buf[kPageHeaderSize] ^= 0x5a;  // torn write: CRC no longer holds
   const off_t offset = static_cast<off_t>(page_id) * kPageSize;
-  const ssize_t written = ::pwrite(fd_, buf, kPageSize, offset);
-  if (written != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError(
-        "pwrite page " + std::to_string(page_id) + " failed: " +
-        (written < 0 ? std::strerror(errno) : "short write"));
-  }
+  Status s = PWriteFull(fd_, buf, kPageSize, offset,
+                        "pwrite page " + std::to_string(page_id));
+  if (!s.ok()) return s;
   pages_written_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -128,18 +266,21 @@ Status DiskManager::ReadPage(page_id_t page_id, char* out) {
       break;
   }
   const off_t offset = static_cast<off_t>(page_id) * kPageSize;
-  const ssize_t got = ::pread(fd_, out, kPageSize, offset);
-  if (got < 0) {
-    return Status::IoError("pread page " + std::to_string(page_id) +
-                           " failed: " + std::strerror(errno));
-  }
-  if (got != static_cast<ssize_t>(kPageSize)) {
-    return Status::DataCorruption("short read on page " +
-                                  std::to_string(page_id));
-  }
+  Status s = PReadFull(fd_, out, kPageSize, offset,
+                       "pread page " + std::to_string(page_id));
+  if (!s.ok()) return s;
   if (corrupt) out[kPageHeaderSize] ^= 0x5a;  // simulated bit rot
   pages_read_.fetch_add(1, std::memory_order_relaxed);
   return VerifyFrame(page_id, out);
+}
+
+Status DiskManager::SyncData() {
+  if (fd_ < 0) return Status::Internal("DiskManager not open");
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync('" + path_ +
+                           "') failed: " + std::strerror(errno));
+  }
+  return Status::Ok();
 }
 
 }  // namespace sqlfacil::storage

@@ -1,6 +1,8 @@
 #ifndef SQLFACIL_STORAGE_DISK_MANAGER_H_
 #define SQLFACIL_STORAGE_DISK_MANAGER_H_
 
+#include <sys/types.h>
+
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -11,17 +13,51 @@
 
 namespace sqlfacil::storage {
 
+/// pread/pwrite the full `count` bytes, restarting on EINTR and short
+/// transfers. `what` labels the Status message. PReadFull treats EOF
+/// mid-range as kDataCorruption (the file is shorter than expected);
+/// PWriteFull honours the `disk.short_write` failpoint (kError caps each
+/// syscall at one byte to exercise the retry loop).
+Status PReadFull(int fd, char* buf, size_t count, off_t offset,
+                 const std::string& what);
+Status PWriteFull(int fd, const char* buf, size_t count, off_t offset,
+                  const std::string& what);
+
+/// On-disk format version stamped into the meta page (page 0) of
+/// persistent files. Bump when the page layout changes incompatibly;
+/// reopening a file with a different version yields kVersionMismatch.
+inline constexpr uint32_t kDiskFormatVersion = 1;
+
+/// How Open treats the backing file.
+enum class OpenMode {
+  /// Scratch semantics (pre-durability default): Open truncates, Close
+  /// unlinks. Page ids start at 0; there is no meta page.
+  kEphemeral,
+  /// Durable semantics: existing contents are preserved across Open and
+  /// the file survives Close. Page 0 is a meta page (magic + format
+  /// version); data pages start at 1.
+  kPersistent,
+  /// Durable file layout (meta page, survives Close) but any existing
+  /// contents are discarded on Open. Used when durability is configured
+  /// with recovery disabled (SQLFACIL_WAL_RECOVER=0).
+  kPersistentFresh,
+};
+
 /// Page-granular file I/O. Pages are allocated by a monotonically growing
 /// counter; the backing file grows atomically under a mutex (pwrite/pread
 /// at page offsets are otherwise lock-free and positionally independent).
 /// Every write stamps the frame header (CRC-32 over bytes [4, kPageSize)
 /// plus the page id) and every read verifies it, so torn or misdirected
 /// writes surface as kDataCorruption instead of silently wrong tuples.
+/// EINTR and short transfers are retried inside PReadFull/PWriteFull; only
+/// genuine syscall errors (or EOF on read) surface.
 ///
 /// Failpoints: `disk.read` and `disk.write`. kError returns
 /// Status::IoError, kThrow raises FailpointError, kCorrupt flips one
 /// payload byte (before the CRC stamp on writes, after the CRC check on
 /// reads) so the corruption is caught by the next CRC verification.
+/// `disk.short_write` (kError) makes each pwrite syscall transfer at most
+/// one byte, exercising the short-transfer retry loop.
 class DiskManager {
  public:
   DiskManager() = default;
@@ -30,18 +66,26 @@ class DiskManager {
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  /// Creates (truncating) the backing file. Storage files are ephemeral
-  /// scratch space for one process; Open never reuses prior contents.
-  Status Open(const std::string& path);
+  /// Opens the backing file according to `mode` (see OpenMode). For
+  /// kPersistent, validates the meta page of a non-empty existing file:
+  /// kDataCorruption on bad magic/CRC, kVersionMismatch on a format
+  /// version from a different build.
+  Status Open(const std::string& path, OpenMode mode = OpenMode::kEphemeral);
 
-  /// Closes and removes the backing file (ephemeral semantics).
+  /// Closes the backing file; removes it only in ephemeral mode.
   void Close();
 
   bool is_open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
+  OpenMode mode() const { return mode_; }
 
   /// Reserves a fresh page id and grows the file to cover it.
   StatusOr<page_id_t> AllocatePage();
+
+  /// Grows the file (if needed) so `page_id` is addressable, without
+  /// disturbing the contents of any existing page. Recovery uses this to
+  /// redo writes to pages past the crashed file's tail.
+  Status EnsureAllocated(page_id_t page_id);
 
   /// Writes one full page. `data` points at kPageSize bytes whose payload
   /// is caller-owned; the frame header is stamped into a local copy, so
@@ -52,6 +96,10 @@ class DiskManager {
   /// frame header. Returns kDataCorruption on CRC/page-id mismatch or a
   /// short read, kIoError on syscall failure.
   Status ReadPage(page_id_t page_id, char* out);
+
+  /// fsyncs the data file. Checkpoints call this before declaring flushed
+  /// pages clean, so "clean" always means "durable".
+  Status SyncData();
 
   size_t num_pages() const {
     return num_pages_.load(std::memory_order_acquire);
@@ -64,8 +112,12 @@ class DiskManager {
   }
 
  private:
+  Status WriteMetaPage();
+  Status ValidateMetaPage();
+
   int fd_ = -1;
   std::string path_;
+  OpenMode mode_ = OpenMode::kEphemeral;
   std::mutex grow_mutex_;
   std::atomic<size_t> num_pages_{0};
   std::atomic<uint64_t> pages_read_{0};

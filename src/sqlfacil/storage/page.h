@@ -9,18 +9,38 @@
 
 namespace sqlfacil::storage {
 
-/// On-disk unit of I/O. Every page carries an 8-byte frame header:
-///   bytes [0,4)  CRC-32 of bytes [4, kPageSize)   (little-endian)
-///   bytes [4,8)  page id                          (little-endian)
-/// so a torn or misdirected write is detected on the next read. The
+/// On-disk unit of I/O. Every page carries a 16-byte frame header:
+///   bytes [0,4)   CRC-32 of bytes [4, kPageSize)   (little-endian)
+///   bytes [4,8)   page id                          (little-endian)
+///   bytes [8,16)  page LSN                         (little-endian)
+/// so a torn or misdirected write is detected on the next read. The page
+/// LSN is the WAL sequence number of the last logged mutation applied to
+/// the page (0 = never logged); it is what makes redo idempotent — a
+/// recovery pass skips records the on-disk page already reflects. The
 /// remaining kPayloadSize bytes belong to the page's owner (table heap or
 /// B+ tree node).
 inline constexpr size_t kPageSize = 4096;
-inline constexpr size_t kPageHeaderSize = 8;
+inline constexpr size_t kPageHeaderSize = 16;
 inline constexpr size_t kPayloadSize = kPageSize - kPageHeaderSize;
+inline constexpr size_t kPageLsnOffset = 8;
 
 using page_id_t = uint32_t;
 inline constexpr page_id_t kInvalidPageId = 0xffffffffu;
+
+/// WAL log sequence number: the byte position of a record in the logical
+/// log stream. 0 is reserved for "never logged".
+using lsn_t = uint64_t;
+inline constexpr lsn_t kInvalidLsn = 0;
+
+inline lsn_t PageLsn(const char* page_data) {
+  lsn_t lsn;
+  __builtin_memcpy(&lsn, page_data + kPageLsnOffset, sizeof(lsn));
+  return lsn;
+}
+
+inline void SetPageLsn(char* page_data, lsn_t lsn) {
+  __builtin_memcpy(page_data + kPageLsnOffset, &lsn, sizeof(lsn));
+}
 
 /// One buffer-pool frame: the raw page bytes plus replacement metadata.
 /// Frame metadata is guarded by the BufferPoolManager's mutex; the page

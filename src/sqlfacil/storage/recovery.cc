@@ -1,0 +1,303 @@
+#include "sqlfacil/storage/recovery.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "sqlfacil/util/failpoint.h"
+
+namespace sqlfacil::storage {
+
+namespace {
+
+constexpr uint8_t kCheckpointVersion = 1;
+
+template <typename T>
+void Put(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool Get(const char* data, size_t len, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > len) return false;
+  std::memcpy(v, data + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+std::string SerializeCheckpoint(const CheckpointState& state) {
+  std::string out;
+  Put<uint8_t>(&out, kCheckpointVersion);
+  Put<uint64_t>(&out, state.num_rows);
+  Put<uint64_t>(&out, state.total_bytes);
+  Put<uint32_t>(&out, static_cast<uint32_t>(state.heap_pages.size()));
+  for (size_t i = 0; i < state.heap_pages.size(); ++i) {
+    Put<uint32_t>(&out, state.heap_pages[i]);
+    Put<uint32_t>(&out, state.heap_first_row[i]);
+  }
+  Put<uint32_t>(&out, static_cast<uint32_t>(state.trees.size()));
+  for (const auto& t : state.trees) {
+    Put<uint32_t>(&out, t.column);
+    Put<uint32_t>(&out, t.root);
+    Put<int32_t>(&out, t.height);
+    Put<uint64_t>(&out, t.num_entries);
+    Put<uint64_t>(&out, t.num_leaves);
+  }
+  Put<uint32_t>(&out, static_cast<uint32_t>(state.dirty_pages.size()));
+  for (const auto& [pid, rec_lsn] : state.dirty_pages) {
+    Put<uint32_t>(&out, pid);
+    Put<uint64_t>(&out, rec_lsn);
+  }
+  Put<uint64_t>(&out, state.durable_lsn);
+  Put<uint64_t>(&out, state.disk_pages);
+  return out;
+}
+
+StatusOr<CheckpointState> ParseCheckpoint(const char* data, size_t len) {
+  CheckpointState state;
+  size_t pos = 0;
+  uint8_t version = 0;
+  if (!Get(data, len, &pos, &version)) {
+    return Status::DataCorruption("checkpoint record truncated");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::VersionMismatch("checkpoint record v" +
+                                   std::to_string(version) +
+                                   ", this build expects v" +
+                                   std::to_string(kCheckpointVersion));
+  }
+  uint32_t n = 0;
+  bool ok = Get(data, len, &pos, &state.num_rows) &&
+            Get(data, len, &pos, &state.total_bytes) &&
+            Get(data, len, &pos, &n);
+  if (!ok) return Status::DataCorruption("checkpoint record truncated");
+  state.heap_pages.reserve(n);
+  state.heap_first_row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t pid = 0, first = 0;
+    if (!Get(data, len, &pos, &pid) || !Get(data, len, &pos, &first)) {
+      return Status::DataCorruption("checkpoint heap directory truncated");
+    }
+    state.heap_pages.push_back(pid);
+    state.heap_first_row.push_back(first);
+  }
+  if (!Get(data, len, &pos, &n)) {
+    return Status::DataCorruption("checkpoint record truncated");
+  }
+  state.trees.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CheckpointState::TreeMeta t;
+    if (!Get(data, len, &pos, &t.column) || !Get(data, len, &pos, &t.root) ||
+        !Get(data, len, &pos, &t.height) ||
+        !Get(data, len, &pos, &t.num_entries) ||
+        !Get(data, len, &pos, &t.num_leaves)) {
+      return Status::DataCorruption("checkpoint tree directory truncated");
+    }
+    state.trees.push_back(t);
+  }
+  if (!Get(data, len, &pos, &n)) {
+    return Status::DataCorruption("checkpoint record truncated");
+  }
+  state.dirty_pages.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t pid = 0;
+    uint64_t rec_lsn = 0;
+    if (!Get(data, len, &pos, &pid) || !Get(data, len, &pos, &rec_lsn)) {
+      return Status::DataCorruption("checkpoint dirty-page table truncated");
+    }
+    state.dirty_pages.emplace_back(pid, rec_lsn);
+  }
+  if (!Get(data, len, &pos, &state.durable_lsn) ||
+      !Get(data, len, &pos, &state.disk_pages)) {
+    return Status::DataCorruption("checkpoint record truncated");
+  }
+  return state;
+}
+
+namespace {
+
+/// Working set of pages being redone. Pages are materialised lazily: from
+/// disk when readable, from zeros when absent or torn (their logged
+/// history rebuilds them).
+class RedoPageSet {
+ public:
+  explicit RedoPageSet(DiskManager* disk) : disk_(disk) {}
+
+  StatusOr<char*> GetPage(page_id_t pid) {
+    auto it = pages_.find(pid);
+    if (it != pages_.end()) return it->second.data();
+    std::vector<char> buf(kPageSize, 0);
+    if (static_cast<size_t>(pid) < disk_->num_pages()) {
+      Status s = disk_->ReadPage(pid, buf.data());
+      if (!s.ok()) {
+        if (s.code() != StatusCode::kDataCorruption) return s;
+        // Torn page: start from zeros; the log's record history rebuilds
+        // it or redo fails with a typed error.
+        std::fill(buf.begin(), buf.end(), 0);
+      }
+    }
+    auto [pos, inserted] = pages_.emplace(pid, std::move(buf));
+    (void)inserted;
+    return pos->second.data();
+  }
+
+  StatusOr<uint64_t> WriteBack() {
+    uint64_t written = 0;
+    for (const auto& [pid, bytes] : pages_) {
+      Status s = disk_->EnsureAllocated(pid);
+      if (!s.ok()) return s;
+      s = disk_->WritePage(pid, bytes.data());
+      if (!s.ok()) return s;
+      ++written;
+    }
+    return written;
+  }
+
+ private:
+  DiskManager* disk_;
+  std::unordered_map<page_id_t, std::vector<char>> pages_;
+};
+
+Status RedoHeapAppend(char* page, page_id_t pid, uint16_t slot,
+                      const char* bytes, uint32_t len, lsn_t lsn) {
+  char* payload = page + kPageHeaderSize;
+  const uint16_t num_slots = LoadU16(payload);
+  if (slot != num_slots) {
+    return Status::DataCorruption(
+        "redo of page " + std::to_string(pid) + " expects slot " +
+        std::to_string(slot) + " next but page holds " +
+        std::to_string(num_slots) + " — log history has a gap");
+  }
+  const size_t tuple_off = num_slots == 0 ? kPayloadSize : LoadU16(payload + 2);
+  constexpr size_t kSlotDirOffset = 4;
+  const size_t used_low = kSlotDirOffset + num_slots * 4;
+  if (len > tuple_off || used_low + 4 > tuple_off - len) {
+    return Status::DataCorruption("redo tuple does not fit page " +
+                                  std::to_string(pid));
+  }
+  const uint16_t new_off = static_cast<uint16_t>(tuple_off - len);
+  std::memcpy(payload + new_off, bytes, len);
+  StoreU16(payload + kSlotDirOffset + num_slots * 4, new_off);
+  StoreU16(payload + kSlotDirOffset + num_slots * 4 + 2,
+           static_cast<uint16_t>(len));
+  StoreU16(payload, static_cast<uint16_t>(num_slots + 1));
+  StoreU16(payload + 2, new_off);
+  SetPageLsn(page, lsn);
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<RecoveryResult> Recover(DiskManager* disk, WalManager* wal) {
+  RecoveryResult result;
+  std::vector<char> log;
+  std::vector<WalRecord> records;
+  Status s = wal->ScanAll(&log, &records, &result.frontier);
+  if (!s.ok()) return s;
+  result.records_scanned = records.size();
+
+  // Pass 1: locate the most recent checkpoint.
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (it->type != WalRecordType::kCheckpoint) continue;
+    auto parsed = ParseCheckpoint(it->payload, it->payload_len);
+    if (!parsed.ok()) return parsed.status();
+    result.state = std::move(*parsed);
+    result.found_checkpoint = true;
+    result.checkpoint_lsn = it->lsn;
+    break;
+  }
+  if (!result.found_checkpoint && wal->base_lsn() > 1) {
+    // A truncated log always starts at (or before) its own checkpoint;
+    // not finding one means the file lost its head.
+    return Status::DataCorruption(
+        "WAL '" + wal->path() +
+        "' was truncated but holds no checkpoint record");
+  }
+
+  // Pass 2: redo in LSN order. Records at or before the checkpoint only
+  // repair pages (metadata is already in the checkpoint); records after
+  // it also advance the heap directory and row counts.
+  RedoPageSet pages(disk);
+  CheckpointState& st = result.state;
+  const lsn_t cp = result.checkpoint_lsn;
+  for (const WalRecord& rec : records) {
+    switch (failpoint::Eval("wal.recover")) {
+      case failpoint::Mode::kError:
+        return Status::IoError("injected wal.recover failure (lsn " +
+                               std::to_string(rec.lsn) + ")");
+      case failpoint::Mode::kThrow:
+        throw failpoint::FailpointError("wal.recover");
+      default:
+        break;
+    }
+    switch (rec.type) {
+      case WalRecordType::kHeapAppend: {
+        if (rec.payload_len < 6) {
+          return Status::DataCorruption("heap-append record too short");
+        }
+        uint32_t pid32 = 0;
+        uint16_t slot = 0;
+        std::memcpy(&pid32, rec.payload, 4);
+        std::memcpy(&slot, rec.payload + 4, 2);
+        const page_id_t pid = pid32;
+        const char* bytes = rec.payload + 6;
+        const uint32_t len = rec.payload_len - 6;
+        auto page = pages.GetPage(pid);
+        if (!page.ok()) return page.status();
+        if (PageLsn(*page) < rec.lsn) {
+          s = RedoHeapAppend(*page, pid, slot, bytes, len, rec.lsn);
+          if (!s.ok()) return s;
+          ++result.records_applied;
+        }
+        if (rec.lsn > cp) {
+          if (slot == 0) {
+            st.heap_pages.push_back(pid);
+            st.heap_first_row.push_back(static_cast<uint32_t>(st.num_rows));
+          }
+          st.num_rows++;
+          st.total_bytes += len;
+        }
+        break;
+      }
+      case WalRecordType::kPageImage: {
+        if (rec.payload_len != 4 + kPageSize) {
+          return Status::DataCorruption("page-image record has bad length");
+        }
+        uint32_t pid32 = 0;
+        std::memcpy(&pid32, rec.payload, 4);
+        auto page = pages.GetPage(pid32);
+        if (!page.ok()) return page.status();
+        if (PageLsn(*page) < rec.lsn) {
+          std::memcpy(*page, rec.payload + 4, kPageSize);
+          ++result.records_applied;
+        }
+        break;
+      }
+      case WalRecordType::kCheckpoint:
+        break;  // handled in pass 1
+    }
+  }
+
+  auto written = pages.WriteBack();
+  if (!written.ok()) return written.status();
+  result.pages_written = *written;
+  s = disk->SyncData();
+  if (!s.ok()) return s;
+  // Discard the torn tail so new appends extend a fully valid log.
+  s = wal->TruncateTail(result.frontier);
+  if (!s.ok()) return s;
+  return result;
+}
+
+}  // namespace sqlfacil::storage

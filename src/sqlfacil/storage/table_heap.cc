@@ -24,6 +24,7 @@ Status TableHeap::Append(const char* record, size_t len) {
         "record of " + std::to_string(len) +
         " bytes exceeds the per-page limit of " + std::to_string(kMaxRecord));
   }
+  WalManager* wal = pool_->wal();
   // Try the current tail page first.
   if (!pages_.empty()) {
     auto page = pool_->FetchPage(pages_.back());
@@ -33,6 +34,14 @@ Status TableHeap::Append(const char* record, size_t len) {
     const uint16_t tuple_off = LoadU16(guard.payload() + 2);
     const size_t used_low = kSlotDirOffset + num_slots * 4;
     if (used_low + 4 + len <= tuple_off) {
+      lsn_t lsn = kInvalidLsn;
+      if (wal != nullptr) {
+        // Log before touching the page: a failed append changes nothing.
+        auto r = wal->AppendHeapTuple(pages_.back(), num_slots, record,
+                                      static_cast<uint32_t>(len));
+        if (!r.ok()) return r.status();
+        lsn = *r;
+      }
       char* payload = guard.mutable_payload();
       const uint16_t new_off = static_cast<uint16_t>(tuple_off - len);
       std::memcpy(payload + new_off, record, len);
@@ -41,6 +50,7 @@ Status TableHeap::Append(const char* record, size_t len) {
                static_cast<uint16_t>(len));
       StoreU16(payload, static_cast<uint16_t>(num_slots + 1));
       StoreU16(payload + 2, new_off);
+      if (wal != nullptr) guard.StampLsn(lsn);
       ++num_rows_;
       total_bytes_ += len;
       return Status::Ok();
@@ -51,6 +61,15 @@ Status TableHeap::Append(const char* record, size_t len) {
   auto page = pool_->NewPage(&page_id);
   if (!page.ok()) return page.status();
   PageGuard guard(pool_, *page);
+  lsn_t lsn = kInvalidLsn;
+  if (wal != nullptr) {
+    // On failure the freshly allocated page is abandoned (zeroed, never
+    // referenced by the directory) and the row count is unchanged.
+    auto r = wal->AppendHeapTuple(page_id, 0, record,
+                                  static_cast<uint32_t>(len));
+    if (!r.ok()) return r.status();
+    lsn = *r;
+  }
   char* payload = guard.mutable_payload();
   const uint16_t new_off = static_cast<uint16_t>(kPayloadSize - len);
   std::memcpy(payload + new_off, record, len);
@@ -58,6 +77,7 @@ Status TableHeap::Append(const char* record, size_t len) {
   StoreU16(payload + 2, new_off);
   StoreU16(payload + kSlotDirOffset, new_off);
   StoreU16(payload + kSlotDirOffset + 2, static_cast<uint16_t>(len));
+  if (wal != nullptr) guard.StampLsn(lsn);
   pages_.push_back(page_id);
   first_row_.push_back(static_cast<uint32_t>(num_rows_));
   ++num_rows_;

@@ -23,6 +23,12 @@ namespace sqlfacil::storage {
 /// An in-memory page directory (page id + first row per page) maps a row
 /// index to its (page, slot) in O(log pages); with a hint for the common
 /// sequential access pattern it is O(1).
+///
+/// When the pool carries a WalManager, every Append logs a tuple-level
+/// redo record *before* mutating the page and stamps the record's LSN in
+/// the page header — the write-ahead rule that lets recovery replay the
+/// heap exactly. A failed log append leaves the page (and the row count)
+/// untouched.
 class TableHeap {
  public:
   explicit TableHeap(BufferPoolManager* pool) : pool_(pool) {}
@@ -34,6 +40,20 @@ class TableHeap {
   /// record cannot fit a page. On success the record's row index is
   /// num_rows()-1.
   Status Append(const char* record, size_t len);
+
+  /// Adopts a recovered page directory (checkpoint + redo output) in
+  /// place of replaying appends. The referenced pages must already hold
+  /// the matching slot contents on disk.
+  void Restore(std::vector<page_id_t> pages, std::vector<uint32_t> first_row,
+               size_t num_rows, uint64_t total_bytes) {
+    pages_ = std::move(pages);
+    first_row_ = std::move(first_row);
+    num_rows_ = num_rows;
+    total_bytes_ = total_bytes;
+  }
+
+  const std::vector<page_id_t>& pages() const { return pages_; }
+  const std::vector<uint32_t>& first_rows() const { return first_row_; }
 
   /// Invokes `fn` on the record bytes of `row` while its page is pinned.
   /// `page_hint` (in/out, may be null) caches the directory position

@@ -1,0 +1,519 @@
+#include "sqlfacil/storage/wal.h"
+
+#include <fcntl.h>
+#include <libgen.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "sqlfacil/storage/disk_manager.h"
+#include "sqlfacil/util/crc32.h"
+#include "sqlfacil/util/failpoint.h"
+
+namespace sqlfacil::storage {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'S', 'Q', 'F', 'W', 'A', 'L', '1', '\0'};
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kWalHeaderSize = 24;  // magic8 | version u32 | pad u32 | base_lsn u64
+constexpr size_t kFrameHeaderSize = 17;  // crc u32 | len u32 | lsn u64 | type u8
+// Records larger than this are impossible (max is a checkpoint or a page
+// image, both well under 16 MiB); a bigger stored length means garbage.
+constexpr uint32_t kMaxRecordPayload = 16u << 20;
+// Buffered appends spill to the file (without fsync) past this size.
+constexpr size_t kBufferSpillBytes = 1u << 20;
+// Group-commit accumulation window: after the flusher sees a sync goal it
+// waits this long (or until the backlog passes kFlusherEagerLagBytes) so a
+// busy appender's goals coalesce into one fsync instead of one apiece. On
+// a single core every extra fsync cycle is pure time stolen from the
+// appender, so fewer/larger batches is the whole win; the cost is a
+// bounded extra window of not-yet-durable tail on crash.
+constexpr auto kFlusherAccumulationWindow = std::chrono::milliseconds(2);
+constexpr uint64_t kFlusherEagerLagBytes = 256u << 10;
+
+template <typename T>
+void Store(char* dst, T v) {
+  std::memcpy(dst, &v, sizeof(v));
+}
+
+template <typename T>
+T Load(const char* src) {
+  T v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+// Best-effort directory fsync so a rename survives power loss.
+void SyncParentDir(const std::string& path) {
+  std::vector<char> buf(path.begin(), path.end());
+  buf.push_back('\0');
+  const char* dir = ::dirname(buf.data());
+  const int dfd = ::open(dir, O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
+WalManager::~WalManager() { Close(); }
+
+Status WalManager::WriteHeader(int fd, lsn_t base_lsn) {
+  char hdr[kWalHeaderSize] = {};
+  std::memcpy(hdr, kWalMagic, sizeof(kWalMagic));
+  Store<uint32_t>(hdr + 8, kWalVersion);
+  Store<uint64_t>(hdr + 16, base_lsn);
+  Status s = PWriteFull(fd, hdr, kWalHeaderSize, 0, "pwrite wal header");
+  if (!s.ok()) return s;
+  if (::fsync(fd) != 0) {
+    return Status::IoError("fsync wal header failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status WalManager::Open(const std::string& path, bool truncate) {
+  Close();
+  int flags = O_CREAT | O_RDWR;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IoError("open('" + path +
+                           "') failed: " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status s = Status::IoError("fstat('" + path +
+                                     "') failed: " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  fd_ = fd;
+  path_ = path;
+  if (static_cast<size_t>(st.st_size) < kWalHeaderSize) {
+    // Empty or torn-header file (a crash before the first header fsync);
+    // no record can exist yet, so (re)initialise.
+    base_lsn_ = 1;
+    Status s = WriteHeader(fd_, base_lsn_);
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(kWalHeaderSize)) != 0) {
+      const Status ts = Status::IoError("ftruncate('" + path_ + "') failed: " +
+                                        std::strerror(errno));
+      Close();
+      return ts;
+    }
+    next_lsn_.store(base_lsn_, std::memory_order_release);
+    durable_lsn_.store(base_lsn_, std::memory_order_release);
+    buffer_start_lsn_ = base_lsn_;
+    buffer_.clear();
+    return Status::Ok();
+  }
+  char hdr[kWalHeaderSize];
+  Status s = PReadFull(fd_, hdr, kWalHeaderSize, 0, "pread wal header");
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  if (std::memcmp(hdr, kWalMagic, sizeof(kWalMagic)) != 0) {
+    Close();
+    return Status::DataCorruption("'" + path + "' is not a sqlfacil WAL");
+  }
+  const uint32_t version = Load<uint32_t>(hdr + 8);
+  if (version != kWalVersion) {
+    Close();
+    return Status::VersionMismatch("'" + path + "' has WAL format v" +
+                                   std::to_string(version) +
+                                   ", this build expects v" +
+                                   std::to_string(kWalVersion));
+  }
+  base_lsn_ = Load<uint64_t>(hdr + 16);
+  if (base_lsn_ == kInvalidLsn) base_lsn_ = 1;
+  const lsn_t end =
+      base_lsn_ + (static_cast<uint64_t>(st.st_size) - kWalHeaderSize);
+  next_lsn_.store(end, std::memory_order_release);
+  durable_lsn_.store(end, std::memory_order_release);
+  buffer_start_lsn_ = end;
+  buffer_.clear();
+  return Status::Ok();
+}
+
+void WalManager::Close() {
+  StopFlusher();
+  if (fd_ < 0) return;
+  std::lock_guard<std::mutex> sync_serial(sync_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Best-effort: push pending records out so a clean close loses nothing.
+    if (FlushBufferLocked().ok()) ::fsync(fd_);
+    deferred_sync_error_ = Status::Ok();
+    sync_goal_ = 0;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  path_.clear();
+}
+
+void WalManager::StopFlusher() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!flusher_.joinable()) return;
+    flusher_stop_ = true;
+    t.swap(flusher_);
+  }
+  flusher_cv_.notify_all();
+  t.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  flusher_stop_ = false;
+}
+
+void WalManager::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    flusher_cv_.wait(lock, [&] {
+      return flusher_stop_ ||
+             sync_goal_ > durable_lsn_.load(std::memory_order_relaxed);
+    });
+    if (flusher_stop_) return;
+    // Accumulate before acting: goals arrive every few dozen appends —
+    // far faster than an fsync completes — so sleep a beat and let them
+    // pile up unless the backlog is already big enough to sync eagerly.
+    flusher_cv_.wait_for(lock, kFlusherAccumulationWindow, [&] {
+      return flusher_stop_ ||
+             sync_goal_ - durable_lsn_.load(std::memory_order_relaxed) >=
+                 kFlusherEagerLagBytes;
+    });
+    if (flusher_stop_) return;
+    lock.unlock();
+    Status s;
+    {
+      std::lock_guard<std::mutex> sync_serial(sync_mutex_);
+      std::unique_lock<std::mutex> inner(mutex_);
+      if (fd_ >= 0) {
+        // One pass covers every record appended before the fsync runs, so
+        // goals raised mid-sync coalesce instead of queueing more fsyncs.
+        try {
+          s = SyncLocked(inner);
+        } catch (const failpoint::FailpointError& e) {
+          s = Status::IoError(e.what());
+        }
+      }
+    }
+    lock.lock();
+    if (!s.ok() && deferred_sync_error_.ok()) deferred_sync_error_ = s;
+  }
+}
+
+Status WalManager::RequestSync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Internal("WalManager not open");
+  Status deferred = deferred_sync_error_;
+  deferred_sync_error_ = Status::Ok();
+  sync_goal_ = next_lsn_.load(std::memory_order_relaxed);
+  if (!flusher_.joinable()) {
+    flusher_stop_ = false;
+    flusher_ = std::thread(&WalManager::FlusherLoop, this);
+  }
+  flusher_cv_.notify_one();
+  return deferred;
+}
+
+StatusOr<lsn_t> WalManager::AppendFrame(WalRecordType type, const char* p1,
+                                        uint32_t n1, const char* p2,
+                                        uint32_t n2, lsn_t patch_lsn_at) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Internal("WalManager not open");
+  bool corrupt = false;
+  switch (failpoint::Eval("wal.append")) {
+    case failpoint::Mode::kError:
+      return Status::IoError("injected wal.append failure");
+    case failpoint::Mode::kThrow:
+      throw failpoint::FailpointError("wal.append");
+    case failpoint::Mode::kCorrupt:
+      corrupt = true;
+      break;
+    default:
+      break;
+  }
+  const uint32_t payload_len = n1 + n2;
+  const size_t frame_len = kFrameHeaderSize + payload_len;
+  const lsn_t lsn = next_lsn_.load(std::memory_order_relaxed);
+  const size_t off = buffer_.size();
+  buffer_.resize(off + frame_len);
+  char* f = buffer_.data() + off;
+  Store<uint32_t>(f + 4, payload_len);
+  Store<uint64_t>(f + 8, lsn);
+  f[16] = static_cast<char>(type);
+  if (n1 != 0) std::memcpy(f + kFrameHeaderSize, p1, n1);
+  if (n2 != 0) std::memcpy(f + kFrameHeaderSize + n1, p2, n2);
+  if (patch_lsn_at != ~0ull) {
+    Store<uint64_t>(f + kFrameHeaderSize + patch_lsn_at, lsn);
+  }
+  Store<uint32_t>(f, Crc32(f + 4, frame_len - 4));
+  if (corrupt) f[kFrameHeaderSize] ^= 0x5a;  // torn record: CRC no longer holds
+  next_lsn_.store(lsn + frame_len, std::memory_order_release);
+  stats_.records_appended++;
+  stats_.bytes_appended += frame_len;
+  // No spilling while a sync has the preceding bytes in flight: the spill
+  // offset math assumes everything before buffer_start_lsn_ is on file.
+  if (buffer_.size() >= kBufferSpillBytes && !sync_in_flight_) {
+    Status s = FlushBufferLocked();
+    if (!s.ok()) return s;
+  }
+  return lsn;
+}
+
+StatusOr<lsn_t> WalManager::AppendHeapTuple(page_id_t page_id, uint16_t slot,
+                                            const char* bytes, uint32_t len) {
+  char hdr[6];
+  Store<uint32_t>(hdr, page_id);
+  Store<uint16_t>(hdr + 4, slot);
+  return AppendFrame(WalRecordType::kHeapAppend, hdr, sizeof(hdr), bytes, len);
+}
+
+StatusOr<lsn_t> WalManager::AppendPageImage(page_id_t page_id,
+                                            const char* page) {
+  char hdr[4];
+  Store<uint32_t>(hdr, page_id);
+  // The image must carry the record's own LSN in its page-LSN field so
+  // redo re-creates a correctly stamped page; patch it post-copy.
+  return AppendFrame(WalRecordType::kPageImage, hdr, sizeof(hdr), page,
+                     static_cast<uint32_t>(kPageSize),
+                     sizeof(hdr) + kPageLsnOffset);
+}
+
+StatusOr<lsn_t> WalManager::AppendCheckpoint(const std::string& payload) {
+  return AppendFrame(WalRecordType::kCheckpoint, payload.data(),
+                     static_cast<uint32_t>(payload.size()), nullptr, 0);
+}
+
+Status WalManager::FlushBufferLocked() {
+  if (buffer_.empty()) return Status::Ok();
+  const off_t off =
+      static_cast<off_t>(kWalHeaderSize + (buffer_start_lsn_ - base_lsn_));
+  Status s =
+      PWriteFull(fd_, buffer_.data(), buffer_.size(), off, "pwrite wal");
+  if (!s.ok()) return s;
+  buffer_start_lsn_ += buffer_.size();
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status WalManager::SyncLocked(std::unique_lock<std::mutex>& lock) {
+  const lsn_t goal = next_lsn_.load(std::memory_order_relaxed);
+  if (durable_lsn_.load(std::memory_order_relaxed) >= goal) {
+    return Status::Ok();
+  }
+  switch (failpoint::Eval("wal.fsync")) {
+    case failpoint::Mode::kError:
+      return Status::IoError("injected wal.fsync failure");
+    case failpoint::Mode::kThrow:
+      throw failpoint::FailpointError("wal.fsync");
+    default:
+      break;
+  }
+  // Hand the buffered bytes to this sync and let appends refill a fresh
+  // buffer while the write() and fsync run without the buffer lock.
+  // sync_mutex_ (held by every caller) keeps fd_ and base_lsn_ stable
+  // across the window; sync_in_flight_ parks the spill path so the
+  // logical stream stays exactly scratch ++ buffer_ until we're done.
+  std::swap(buffer_, sync_scratch_);
+  const lsn_t scratch_start = buffer_start_lsn_;
+  buffer_start_lsn_ += sync_scratch_.size();
+  sync_in_flight_ = true;
+  const int fd = fd_;
+  const off_t off =
+      static_cast<off_t>(kWalHeaderSize + (scratch_start - base_lsn_));
+  lock.unlock();
+  Status s;
+  if (!sync_scratch_.empty()) {
+    s = PWriteFull(fd, sync_scratch_.data(), sync_scratch_.size(), off,
+                   "pwrite wal");
+  }
+  int rc = 0;
+  int saved_errno = 0;
+  if (s.ok()) {
+    rc = ::fsync(fd);
+    saved_errno = errno;
+  }
+  lock.lock();
+  sync_in_flight_ = false;
+  if (!s.ok()) {
+    // Nothing reached the file for sure: put the unwritten bytes back in
+    // front of whatever appends buffered meanwhile, so the stream stays
+    // contiguous and the next sync retries the whole run.
+    sync_scratch_.insert(sync_scratch_.end(), buffer_.begin(), buffer_.end());
+    std::swap(buffer_, sync_scratch_);
+    buffer_start_lsn_ = scratch_start;
+    sync_scratch_.clear();
+    return s;
+  }
+  sync_scratch_.clear();
+  if (rc != 0) {
+    // The bytes are written (a later fsync will retry flushing them);
+    // durability just does not advance past this failure.
+    return Status::IoError("fsync('" + path_ +
+                           "') failed: " + std::strerror(saved_errno));
+  }
+  // Only up to the pre-fsync goal: later appends may still sit in the
+  // buffer, untouched by the fsync that just ran.
+  if (durable_lsn_.load(std::memory_order_relaxed) < goal) {
+    durable_lsn_.store(goal, std::memory_order_release);
+  }
+  stats_.syncs++;
+  return Status::Ok();
+}
+
+Status WalManager::Sync() {
+  std::lock_guard<std::mutex> sync_serial(sync_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Internal("WalManager not open");
+  return SyncLocked(lock);
+}
+
+Status WalManager::Truncate(lsn_t keep_from, uint64_t min_reclaim_bytes) {
+  std::lock_guard<std::mutex> sync_serial(sync_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Internal("WalManager not open");
+  lsn_t end = next_lsn_.load(std::memory_order_relaxed);
+  keep_from = std::min(std::max(keep_from, base_lsn_), end);
+  if (keep_from - base_lsn_ < min_reclaim_bytes) return Status::Ok();
+  Status s = SyncLocked(lock);
+  if (!s.ok()) return s;
+  // SyncLocked drops the buffer lock around its fsync; appends that
+  // slipped in must reach the old file before the tail copy below, and
+  // `end` must cover them.
+  s = FlushBufferLocked();
+  if (!s.ok()) return s;
+  end = next_lsn_.load(std::memory_order_relaxed);
+  const std::string tmp = path_ + ".tmp";
+  const int tfd = ::open(tmp.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  if (tfd < 0) {
+    return Status::IoError("open('" + tmp +
+                           "') failed: " + std::strerror(errno));
+  }
+  s = WriteHeader(tfd, keep_from);
+  // Copy the live tail [keep_from, end) into the fresh file.
+  char chunk[64 << 10];
+  uint64_t copied = 0;
+  const uint64_t total = end - keep_from;
+  while (s.ok() && copied < total) {
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(sizeof(chunk), total - copied));
+    s = PReadFull(fd_, chunk, n,
+                  static_cast<off_t>(kWalHeaderSize +
+                                     (keep_from - base_lsn_) + copied),
+                  "pread wal tail");
+    if (!s.ok()) break;
+    s = PWriteFull(tfd, chunk, n,
+                   static_cast<off_t>(kWalHeaderSize + copied),
+                   "pwrite wal tail");
+    copied += n;
+  }
+  if (s.ok() && ::fsync(tfd) != 0) {
+    s = Status::IoError("fsync('" + tmp +
+                        "') failed: " + std::strerror(errno));
+  }
+  if (s.ok() && ::rename(tmp.c_str(), path_.c_str()) != 0) {
+    s = Status::IoError("rename('" + tmp + "' -> '" + path_ +
+                        "') failed: " + std::strerror(errno));
+  }
+  if (!s.ok()) {
+    ::close(tfd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  SyncParentDir(path_);
+  ::close(fd_);
+  fd_ = tfd;
+  base_lsn_ = keep_from;
+  buffer_start_lsn_ = end;
+  stats_.truncations++;
+  return Status::Ok();
+}
+
+Status WalManager::TruncateTail(lsn_t frontier) {
+  std::lock_guard<std::mutex> sync_serial(sync_mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Internal("WalManager not open");
+  const lsn_t end = next_lsn_.load(std::memory_order_relaxed);
+  frontier = std::min(std::max(frontier, base_lsn_), end);
+  if (::ftruncate(fd_, static_cast<off_t>(kWalHeaderSize +
+                                          (frontier - base_lsn_))) != 0) {
+    return Status::IoError("ftruncate('" + path_ +
+                           "') failed: " + std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync('" + path_ +
+                           "') failed: " + std::strerror(errno));
+  }
+  next_lsn_.store(frontier, std::memory_order_release);
+  durable_lsn_.store(frontier, std::memory_order_release);
+  buffer_start_lsn_ = frontier;
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status WalManager::ScanAll(std::vector<char>* out,
+                           std::vector<WalRecord>* records, lsn_t* frontier) {
+  // sync_mutex_ first: the scan must not read the file while a sync's
+  // out-of-lock write() is mid-flight.
+  std::lock_guard<std::mutex> sync_serial(sync_mutex_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return Status::Internal("WalManager not open");
+  Status s = FlushBufferLocked();
+  if (!s.ok()) return s;
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IoError("fstat('" + path_ +
+                           "') failed: " + std::strerror(errno));
+  }
+  const size_t body = static_cast<size_t>(st.st_size) > kWalHeaderSize
+                          ? static_cast<size_t>(st.st_size) - kWalHeaderSize
+                          : 0;
+  out->resize(body);
+  records->clear();
+  if (body != 0) {
+    s = PReadFull(fd_, out->data(), body, static_cast<off_t>(kWalHeaderSize),
+                  "pread wal body");
+    if (!s.ok()) return s;
+  }
+  size_t pos = 0;
+  lsn_t lsn = base_lsn_;
+  while (pos + kFrameHeaderSize <= body) {
+    const char* f = out->data() + pos;
+    const uint32_t payload_len = Load<uint32_t>(f + 4);
+    if (payload_len > kMaxRecordPayload) break;
+    const size_t frame_len = kFrameHeaderSize + payload_len;
+    if (pos + frame_len > body) break;  // partial tail
+    if (Load<uint32_t>(f) != Crc32(f + 4, frame_len - 4)) break;
+    if (Load<uint64_t>(f + 8) != lsn) break;  // stale/misplaced frame
+    const uint8_t type = static_cast<uint8_t>(f[16]);
+    if (type < static_cast<uint8_t>(WalRecordType::kHeapAppend) ||
+        type > static_cast<uint8_t>(WalRecordType::kCheckpoint)) {
+      break;
+    }
+    records->push_back(WalRecord{lsn, static_cast<WalRecordType>(type),
+                                 f + kFrameHeaderSize, payload_len});
+    pos += frame_len;
+    lsn += frame_len;
+  }
+  *frontier = lsn;
+  return Status::Ok();
+}
+
+WalStats WalManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sqlfacil::storage

@@ -1,0 +1,195 @@
+#ifndef SQLFACIL_STORAGE_WAL_H_
+#define SQLFACIL_STORAGE_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sqlfacil/storage/page.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::storage {
+
+/// WAL record types. All records are redo-only (no undo): the engine's
+/// write model is append-only loads, so "committed" == "appended and
+/// synced" and recovery never rolls anything back.
+enum class WalRecordType : uint8_t {
+  /// One tuple appended to a heap page: {page_id u32, slot u16, bytes}.
+  kHeapAppend = 1,
+  /// Full 4 KiB image of a page whose mutations were not individually
+  /// logged (B+ tree nodes); emitted by the buffer pool the first time
+  /// such a page is written back. The image carries its own LSN at the
+  /// page-LSN header offset.
+  kPageImage = 2,
+  /// Fuzzy checkpoint: heap directory + tree metadata + dirty-page table
+  /// + durable-LSN watermark. Bounds replay and enables truncation.
+  kCheckpoint = 3,
+};
+
+/// One parsed WAL record (borrowed payload view).
+struct WalRecord {
+  lsn_t lsn = kInvalidLsn;
+  WalRecordType type = WalRecordType::kHeapAppend;
+  const char* payload = nullptr;
+  uint32_t payload_len = 0;
+};
+
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t syncs = 0;        // fsync calls
+  uint64_t truncations = 0;  // log tail rewrites
+};
+
+/// Append-only redo log with group-commit batching.
+///
+/// File layout: a 24-byte header {magic "SQFWAL1\0", version u32,
+/// reserved u32, base_lsn u64} followed by back-to-back record frames
+///   {crc u32, payload_len u32, lsn u64, type u8, payload}.
+/// The CRC covers payload_len|lsn|type|payload, so any torn tail,
+/// bit flip, or stale frame left by a recycled file fails validation.
+///
+/// An LSN is the record's position in the *logical* byte stream: the file
+/// offset of a record with LSN L is header + (L - base_lsn). Truncation
+/// copies the live tail into a fresh file with a higher base_lsn and
+/// renames it into place, so LSNs stay monotonic forever and page-LSN
+/// comparisons survive truncation. LSN 0 is reserved (never logged).
+///
+/// Appends buffer in memory; Sync() writes the buffer and fsyncs, making
+/// every appended record durable. Callers batch appends between Syncs
+/// (group commit). The buffer also spills to the file (without fsync)
+/// past a size cap so memory stays bounded.
+///
+/// Failpoints: `wal.append` (kError fails the append before any state
+/// change; kCorrupt flips a payload byte after the CRC stamp, planting a
+/// torn record for recovery to stop at), `wal.fsync` (kError fails the
+/// sync; buffered records stay pending).
+class WalManager {
+ public:
+  WalManager() = default;
+  ~WalManager();
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Opens (creating if missing/empty) the log at `path`. If `truncate`,
+  /// any existing contents are discarded and the LSN stream restarts at 1.
+  /// An existing file must have a valid header: kDataCorruption on bad
+  /// magic, kVersionMismatch on a different version. Records past the
+  /// header are NOT validated here — recovery owns that scan; appends go
+  /// to wherever `append_end` (set by recovery, default: file end) says.
+  Status Open(const std::string& path, bool truncate = false);
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// First LSN represented in the current file.
+  lsn_t base_lsn() const { return base_lsn_; }
+  /// LSN one past the last appended record (== the next record's LSN).
+  lsn_t end_lsn() const { return next_lsn_.load(std::memory_order_acquire); }
+  /// LSN one past the last *durable* (fsynced) record.
+  lsn_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+  /// True if the record at `lsn` is already durable.
+  bool IsDurable(lsn_t lsn) const { return lsn < durable_lsn(); }
+
+  /// Appends a tuple-level heap redo record; returns its LSN.
+  StatusOr<lsn_t> AppendHeapTuple(page_id_t page_id, uint16_t slot,
+                                  const char* bytes, uint32_t len);
+
+  /// Appends a full-page image. `page` points at kPageSize bytes; the
+  /// record's own LSN is patched into the image's page-LSN field, and the
+  /// caller should stamp the same LSN on the live page. Returns the LSN.
+  StatusOr<lsn_t> AppendPageImage(page_id_t page_id, const char* page);
+
+  /// Appends an opaque checkpoint payload (see recovery.h); returns LSN.
+  StatusOr<lsn_t> AppendCheckpoint(const std::string& payload);
+
+  /// Makes every appended record durable: writes the in-memory buffer to
+  /// the file and fsyncs. No-op when already durable.
+  Status Sync();
+
+  /// Asynchronous group commit: marks everything appended so far as a
+  /// sync goal and wakes a background flusher thread (started lazily on
+  /// the first call) that writes + fsyncs toward it. Never blocks on the
+  /// fsync itself, so appends overlap with log I/O; goals raised while a
+  /// sync is in flight coalesce into the next fsync. Returns — exactly
+  /// once — the error of a previously *failed* background sync, so fsync
+  /// faults still surface on the append path; the records covered by a
+  /// failed sync stay pending and the next sync retries them.
+  Status RequestSync();
+
+  /// Drops all records before `keep_from` by copying the live tail into a
+  /// fresh file (new base_lsn = keep_from) and renaming it into place.
+  /// Clamped to [base_lsn, end_lsn]; skipped when the reclaimable prefix
+  /// is under `min_reclaim_bytes`. All pending appends are synced first.
+  Status Truncate(lsn_t keep_from, uint64_t min_reclaim_bytes = 0);
+
+  /// Discards every byte at or past `frontier` (the first torn record
+  /// found by recovery) so future appends extend a fully valid log.
+  Status TruncateTail(lsn_t frontier);
+
+  /// Reads the whole log into `out` and parses record frames starting at
+  /// base_lsn, stopping at the first invalid frame (bad CRC, bad stored
+  /// LSN, or a partial tail). `*frontier` gets the LSN one past the last
+  /// valid record. Purely read-only; used by recovery. `out` owns the
+  /// payload bytes the returned records point into.
+  Status ScanAll(std::vector<char>* out, std::vector<WalRecord>* records,
+                 lsn_t* frontier);
+
+  WalStats stats() const;
+
+  /// Total logical bytes appended since base_lsn (log length proxy used
+  /// by the auto-checkpoint trigger).
+  uint64_t LogBytes() const { return end_lsn() - base_lsn(); }
+
+ private:
+  StatusOr<lsn_t> AppendFrame(WalRecordType type, const char* p1, uint32_t n1,
+                              const char* p2, uint32_t n2,
+                              lsn_t patch_lsn_at = ~0ull);
+  Status FlushBufferLocked();  // write() buffered bytes, no fsync
+  /// Requires sync_mutex_ held and `lock` holding mutex_. Releases and
+  /// reacquires `lock` around the fsync so appends keep flowing while the
+  /// disk works; sync_mutex_ keeps fd_/base_lsn_ stable across the window.
+  Status SyncLocked(std::unique_lock<std::mutex>& lock);
+  Status WriteHeader(int fd, lsn_t base_lsn);
+  void FlusherLoop();
+  void StopFlusher();
+
+  // Lock order: sync_mutex_ before mutex_. mutex_ guards the append
+  // buffer and metadata (held only for memory work and write(); never
+  // across an fsync). sync_mutex_ serializes the operations that fsync or
+  // swap the file (Sync, the flusher, Truncate, TruncateTail, Close).
+  mutable std::mutex mutex_;
+  std::mutex sync_mutex_;
+  int fd_ = -1;
+  std::string path_;
+  lsn_t base_lsn_ = 1;
+  std::atomic<lsn_t> next_lsn_{1};
+  std::atomic<lsn_t> durable_lsn_{1};
+  // Logical LSN of the first byte of buffer_ (== LSN already on file-end).
+  lsn_t buffer_start_lsn_ = 1;
+  std::vector<char> buffer_;
+  // Bytes handed to an in-flight SyncLocked (swapped out of buffer_ so
+  // appends continue while the sync writes them without mutex_). Member
+  // rather than a local so its capacity is reused across syncs.
+  std::vector<char> sync_scratch_;
+  bool sync_in_flight_ = false;  // guarded by mutex_
+  WalStats stats_;
+  // Background group-commit flusher (lazily started by RequestSync).
+  std::thread flusher_;
+  std::condition_variable flusher_cv_;
+  bool flusher_stop_ = false;   // guarded by mutex_
+  lsn_t sync_goal_ = 0;         // guarded by mutex_
+  Status deferred_sync_error_;  // guarded by mutex_
+};
+
+}  // namespace sqlfacil::storage
+
+#endif  // SQLFACIL_STORAGE_WAL_H_

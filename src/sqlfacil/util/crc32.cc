@@ -1,36 +1,66 @@
 #include "sqlfacil/util/crc32.h"
 
-#include <array>
+#include <cstring>
 
 namespace sqlfacil {
 
 namespace {
 
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8: eight derived tables let the hot loop fold 8 input bytes
+// per iteration with independent lookups, instead of the classic
+// byte-at-a-time loop whose table index depends serially on the previous
+// byte (~6 cycles/byte). Matters doubly here: every 4 KiB page write-back
+// and every WAL frame append pays this checksum.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+Tables BuildTables() {
+  Tables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      const uint32_t prev = tables.t[k - 1][i];
+      tables.t[k][i] = tables.t[0][prev & 0xFFu] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const auto* kTable = new std::array<uint32_t, 256>(BuildTable());
-  return *kTable;
+const Tables& GetTables() {
+  static const auto* kTables = new Tables(BuildTables());
+  return *kTables;
 }
 
 }  // namespace
 
 uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
-  const auto& table = Table();
+  const auto& tb = GetTables();
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t c = crc ^ 0xFFFFFFFFu;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (size >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    c ^= lo;
+    c = tb.t[7][c & 0xFFu] ^ tb.t[6][(c >> 8) & 0xFFu] ^
+        tb.t[5][(c >> 16) & 0xFFu] ^ tb.t[4][c >> 24] ^
+        tb.t[3][hi & 0xFFu] ^ tb.t[2][(hi >> 8) & 0xFFu] ^
+        tb.t[1][(hi >> 16) & 0xFFu] ^ tb.t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+#endif
   for (size_t i = 0; i < size; ++i) {
-    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    c = tb.t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -132,6 +132,32 @@ int GetStorageModeFromEnv() {
   return 0;
 }
 
+int GetDurabilityFromEnv() {
+  const char* v = std::getenv("SQLFACIL_DURABILITY");
+  if (v == nullptr) return 0;
+  const std::string s(v);
+  if (s == "wal" || s == "1") return 1;
+  return 0;
+}
+
+int GetWalFsyncEveryFromEnv(int fallback) {
+  const char* v = std::getenv("SQLFACIL_WAL_FSYNC_EVERY");
+  if (v == nullptr) return fallback;
+  const int every = std::atoi(v);
+  return every >= 1 ? every : fallback;
+}
+
+uint64_t GetWalCheckpointBytesFromEnv(uint64_t fallback) {
+  return GetEnvBytes("SQLFACIL_WAL_CHECKPOINT_BYTES", fallback);
+}
+
+int GetWalRecoverFromEnv() {
+  const char* v = std::getenv("SQLFACIL_WAL_RECOVER");
+  if (v == nullptr) return 1;
+  const std::string s(v);
+  return s == "0" ? 0 : 1;
+}
+
 int GetSimdFromEnv() {
   const char* v = std::getenv("SQLFACIL_SIMD");
   if (v == nullptr) return -1;

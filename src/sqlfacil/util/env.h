@@ -76,6 +76,28 @@ std::string GetDataDirFromEnv();
 /// "mem" the in-memory columnar backend, unset/other returns 0 (mem).
 int GetStorageModeFromEnv();
 
+/// Reads SQLFACIL_DURABILITY: "wal"/"1" enables write-ahead logging +
+/// crash recovery for disk-backed tables (files survive process exit),
+/// "none"/"0"/unset returns 0 (ephemeral scratch files, the PR 8
+/// behaviour).
+int GetDurabilityFromEnv();
+
+/// Reads SQLFACIL_WAL_FSYNC_EVERY (default `fallback`): group-commit
+/// batch size — the WAL is fsynced once per N appended rows (1 = every
+/// row durable immediately). Values < 1 fall back.
+int GetWalFsyncEveryFromEnv(int fallback);
+
+/// Reads SQLFACIL_WAL_CHECKPOINT_BYTES (default `fallback`, size
+/// suffixes allowed): a fuzzy checkpoint is taken and the log truncated
+/// once the log grows past this many bytes. 0 disables auto-checkpoints.
+uint64_t GetWalCheckpointBytesFromEnv(uint64_t fallback);
+
+/// Reads SQLFACIL_WAL_RECOVER (default 1): whether opening a durable
+/// table runs recovery over existing files. 0 truncates them instead
+/// (fresh durable table) — used by test harnesses that reuse table names
+/// across cases.
+int GetWalRecoverFromEnv();
+
 }  // namespace sqlfacil
 
 #endif  // SQLFACIL_UTIL_ENV_H_
