@@ -7,9 +7,9 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test storage_test wal_test engine_test storage_crash
+  --target serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test storage_test wal_test lifecycle_test engine_test storage_crash lifecycle_bench
 status=0
-for t in serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test storage_test wal_test; do
+for t in serving_test nn_test models_test determinism_test quant_test distill_test resilience_test fuzz_smoke_test storage_test wal_test lifecycle_test; do
   echo "== $t (ASan) =="
   if ! "$BUILD_DIR/tests/$t"; then
     status=1
@@ -44,6 +44,13 @@ rm -rf "$WAL_DIR"
 # redo pass walks attacker-ish torn input, exactly where ASan pays off.
 echo "== crash storm (ASan, 24 kills) =="
 if ! scripts/check_crash.sh "$BUILD_DIR" 20260809 24; then
+  status=1
+fi
+# A short lifecycle swap storm: registry publishes, shadow scoring and
+# rollback republishes recycle model snapshots under ASan (use-after-free
+# on a swapped-out version is the bug class).
+echo "== lifecycle chaos (ASan, 20 swaps) =="
+if ! scripts/check_lifecycle.sh "$BUILD_DIR" 20 1; then
   status=1
 fi
 if [ "$status" -eq 0 ]; then

@@ -6,9 +6,9 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test storage_test wal_test serve_bench
+  --target thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test storage_test wal_test lifecycle_test serve_bench lifecycle_bench
 status=0
-for t in thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test storage_test wal_test; do
+for t in thread_pool_test determinism_test nn_test models_test resilience_test serving_test fuzz_smoke_test storage_test wal_test lifecycle_test; do
   echo "== $t (TSan) =="
   if ! "$BUILD_DIR/tests/$t"; then
     status=1
@@ -28,6 +28,18 @@ echo "== serve_bench soak (TSan) =="
 if ! "$BUILD_DIR/tools/serve_bench" --rates 0 --clients 8 --shards 2 \
     --duration-s 0.2 --warmup-s 0.05 --precision fp32 --train-n 48 \
     --trace-len 64 >/dev/null; then
+  status=1
+fi
+# Swap-under-concurrent-predict is the prime TSan target: the registry's
+# RCU publish, the seqlock cache binding and the shard batcher threads all
+# racing. The dedicated concurrency test repeats under TSan, then a short
+# end-to-end storm through the chaos driver.
+echo "== lifecycle swap storm (TSan) =="
+if ! "$BUILD_DIR/tests/lifecycle_test" \
+    --gtest_filter='*SwapStorm*' --gtest_repeat=5; then
+  status=1
+fi
+if ! scripts/check_lifecycle.sh "$BUILD_DIR" 20 1 >/dev/null; then
   status=1
 fi
 if [ "$status" -eq 0 ]; then

@@ -4,7 +4,7 @@
 # Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
 set -eu
 BUILD_DIR="${1:-build-ubsan}"
-TESTS="resilience_test fuzz_smoke_test serialize_test serving_test nn_test quant_test distill_test storage_test wal_test"
+TESTS="resilience_test fuzz_smoke_test serialize_test serving_test nn_test quant_test distill_test storage_test wal_test lifecycle_test"
 cmake -B "$BUILD_DIR" -S . -DSQLFACIL_SANITIZE=undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 # shellcheck disable=SC2086

@@ -7,8 +7,8 @@
 # per stage so logs are greppable (CI_TESTS_OK / CI_INT8_TESTS_OK /
 # CI_DISK_TESTS_OK / CI_WAL_TESTS_OK / CI_FAILPOINT_MATRIX_OK /
 # CI_STORAGE_MATRIX_OK / CI_WAL_MATRIX_OK / CI_SERVING_SOAK_OK /
-# RESUME_CHAOS_OK / CI_CRASH_RECOVERY_OK / ASAN_CLEAN / TSAN_CLEAN /
-# UBSAN_CLEAN).
+# CI_LIFECYCLE_OK / RESUME_CHAOS_OK / CI_CRASH_RECOVERY_OK / ASAN_CLEAN /
+# TSAN_CLEAN / UBSAN_CLEAN).
 set -eu
 BUILD_DIR="${1:-build}"
 
@@ -168,6 +168,18 @@ if ! SQLFACIL_FAILPOINTS="model.predict:throw@n40" \
   exit 1
 fi
 echo "CI_SERVING_SOAK_OK"
+
+echo "== lifecycle chaos =="
+# Seeded swap storm through the model lifecycle: >= 50 hot swaps per seed
+# under paced load with every 7th registry publish failed by the
+# lifecycle.swap failpoint, injected-regression rounds that must
+# auto-roll back, shadow-gate rejections of a known-bad candidate, and a
+# drift-detect -> stream-retrain -> gate leg. Zero failed requests
+# (scripts/check_lifecycle.sh prints CI_LIFECYCLE_OK).
+if ! scripts/check_lifecycle.sh "$BUILD_DIR"; then
+  echo "CI_LIFECYCLE_FAILED" >&2
+  exit 1
+fi
 
 echo "== kill/resume chaos =="
 # Seeded SIGKILL storm over every model family x threads x SIMD: resumed

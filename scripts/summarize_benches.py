@@ -129,6 +129,33 @@ def main(paths):
             out["derived"][f"{tag}_p50_us"] = round(r["p50_us"], 1)
             out["derived"][f"{tag}_p99_us"] = round(r["p99_us"], 1)
             out["derived"][f"{tag}_p999_us"] = round(r["p999_us"], 1)
+            if "cache_hits" in r:
+                out["derived"][f"{tag}_cache_hit_rate"] = round(
+                    r.get("cache_hit_rate", 0.0), 4
+                )
+                out["derived"][f"{tag}_cache_hits"] = r["cache_hits"]
+                out["derived"][f"{tag}_cache_misses"] = r.get(
+                    "cache_misses", 0
+                )
+                out["derived"][f"{tag}_cache_evictions"] = r.get(
+                    "cache_evictions", 0
+                )
+        # PredictionCache + circuit-breaker health across the whole sweep:
+        # totals over every run (per-run numbers stay under their rate tag).
+        if any("cache_hits" in r for r in runs):
+            for key in ("cache_hits", "cache_misses", "cache_evictions"):
+                out["derived"][f"serve_total_{key}"] = sum(
+                    r.get(key, 0) for r in runs
+                )
+        if any("breaker_opens" in r for r in runs):
+            for key in (
+                "breaker_opens",
+                "breaker_half_opens",
+                "breaker_closes",
+            ):
+                out["derived"][f"serve_total_{key}"] = sum(
+                    r.get(key, 0) for r in runs
+                )
         for prec in ("fp32", "int8"):
             mine = [r for r in runs if r["precision"] == prec]
             batched = [r for r in mine if r["window_us"] != 0]

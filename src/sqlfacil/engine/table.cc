@@ -762,6 +762,8 @@ Table::StorageStats Table::GetStorageStats() const {
     out.wal_records = ws.records_appended;
     out.wal_bytes = ws.bytes_appended;
     out.wal_syncs = ws.syncs;
+    out.wal_sync_requests = ws.sync_requests;
+    out.wal_syncs_coalesced = ws.syncs_coalesced;
     out.wal_truncations = ws.truncations;
     out.wal_checkpoints = wal_checkpoints_;
     out.recovered = recovered_;

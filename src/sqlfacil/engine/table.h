@@ -177,6 +177,8 @@ class Table {
     uint64_t wal_records = 0;
     uint64_t wal_bytes = 0;
     uint64_t wal_syncs = 0;
+    uint64_t wal_sync_requests = 0;   // group-commit goals raised
+    uint64_t wal_syncs_coalesced = 0; // goals that rode an in-flight fsync
     uint64_t wal_truncations = 0;
     uint64_t wal_checkpoints = 0;
     bool recovered = false;  // this open replayed an existing WAL

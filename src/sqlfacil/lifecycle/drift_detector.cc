@@ -1,0 +1,213 @@
+#include "sqlfacil/lifecycle/drift_detector.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace sqlfacil::lifecycle {
+
+DriftDetector::DriftDetector(const Options& options) : options_(options) {
+  if (options_.reference_window < 8) options_.reference_window = 8;
+  if (options_.detect_window < 8) options_.detect_window = 8;
+  if (options_.num_classes > 0) {
+    reference_counts_.resize(options_.num_classes, 0);
+    window_counts_.resize(options_.num_classes, 0);
+  }
+}
+
+std::array<double, DriftDetector::kNumFeatures> DriftDetector::Featurize(
+    const std::string& statement) {
+  // Cheap single-pass lexical profile. A schema shift (renamed tables,
+  // suffixed columns, longer qualified names) moves identifier length and
+  // the digit/underscore mix; a workload shift moves statement length,
+  // token count, and literal density.
+  size_t tokens = 0;
+  size_t ident_chars = 0;
+  size_t ident_count = 0;
+  size_t digits = 0;
+  size_t underscores = 0;
+  size_t punct = 0;
+  size_t uppercase = 0;
+  bool in_token = false;
+  bool in_ident = false;
+  size_t current_ident = 0;
+  size_t max_ident = 0;
+  for (char raw : statement) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    const bool space = std::isspace(c) != 0;
+    if (!space && !in_token) ++tokens;
+    in_token = !space;
+    const bool ident_char = std::isalnum(c) != 0 || c == '_';
+    if (ident_char) {
+      if (!in_ident) ++ident_count;
+      ++current_ident;
+      ++ident_chars;
+    } else {
+      max_ident = std::max(max_ident, current_ident);
+      current_ident = 0;
+    }
+    in_ident = ident_char;
+    if (std::isdigit(c) != 0) ++digits;
+    if (c == '_') ++underscores;
+    if (std::ispunct(c) != 0 && c != '_') ++punct;
+    if (std::isupper(c) != 0) ++uppercase;
+  }
+  max_ident = std::max(max_ident, current_ident);
+  const double n = statement.empty() ? 1.0 : static_cast<double>(statement.size());
+  const double idents = ident_count == 0 ? 1.0 : static_cast<double>(ident_count);
+  return {
+      static_cast<double>(statement.size()),
+      static_cast<double>(tokens),
+      static_cast<double>(ident_chars) / idents,  // mean identifier length
+      static_cast<double>(max_ident),
+      static_cast<double>(digits) / n,
+      static_cast<double>(underscores) / n,
+      static_cast<double>(punct) / n,
+      static_cast<double>(uppercase) / n,
+  };
+}
+
+void DriftDetector::AccumulateReference(
+    const std::array<double, kNumFeatures>& f, int label) {
+  ++reference_samples_;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    const double delta = f[i] - mean_[i];
+    mean_[i] += delta / static_cast<double>(reference_samples_);
+    m2_[i] += delta * (f[i] - mean_[i]);
+  }
+  if (label >= 0) {
+    if (static_cast<size_t>(label) >= reference_counts_.size()) {
+      reference_counts_.resize(label + 1, 0);
+    }
+    ++reference_counts_[label];
+  }
+}
+
+void DriftDetector::FreezeReference() {
+  for (int i = 0; i < kNumFeatures; ++i) {
+    const double var =
+        reference_samples_ > 1
+            ? m2_[i] / static_cast<double>(reference_samples_ - 1)
+            : 0.0;
+    // Floor sigma so a constant reference feature doesn't turn every later
+    // deviation into an infinite z-score.
+    stddev_[i] = std::max(std::sqrt(var), 1e-3);
+  }
+  uint64_t total = 0;
+  for (uint64_t c : reference_counts_) total += c;
+  reference_hist_.assign(reference_counts_.size(), 0.0);
+  if (total > 0) {
+    for (size_t i = 0; i < reference_counts_.size(); ++i) {
+      reference_hist_[i] =
+          static_cast<double>(reference_counts_[i]) / static_cast<double>(total);
+    }
+  }
+  if (window_counts_.size() < reference_counts_.size()) {
+    window_counts_.resize(reference_counts_.size(), 0);
+  }
+  frozen_ = true;
+}
+
+bool DriftDetector::Detect(const std::array<double, kNumFeatures>& f,
+                           int label) {
+  bool trip = false;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    const double z = (f[i] - mean_[i]) / stddev_[i];
+    cusum_pos_[i] = std::max(0.0, cusum_pos_[i] + z - options_.cusum_slack);
+    cusum_neg_[i] = std::max(0.0, cusum_neg_[i] - z - options_.cusum_slack);
+    if (cusum_pos_[i] > options_.cusum_threshold ||
+        cusum_neg_[i] > options_.cusum_threshold) {
+      trip = true;
+    }
+  }
+  if (label >= 0) {
+    if (static_cast<size_t>(label) >= window_counts_.size()) {
+      window_counts_.resize(label + 1, 0);
+    }
+    window_labels_.push_back(label);
+    ++window_counts_[label];
+    while (window_labels_.size() >
+           static_cast<size_t>(options_.detect_window)) {
+      --window_counts_[window_labels_.front()];
+      window_labels_.pop_front();
+    }
+    if (window_labels_.size() ==
+        static_cast<size_t>(options_.detect_window)) {
+      double tv = 0.0;
+      const size_t classes =
+          std::max(window_counts_.size(), reference_hist_.size());
+      for (size_t i = 0; i < classes; ++i) {
+        const double p =
+            i < reference_hist_.size() ? reference_hist_[i] : 0.0;
+        const double q =
+            i < window_counts_.size()
+                ? static_cast<double>(window_counts_[i]) /
+                      static_cast<double>(window_labels_.size())
+                : 0.0;
+        tv += std::abs(p - q);
+      }
+      last_tv_ = 0.5 * tv;
+      if (last_tv_ > options_.tv_threshold) trip = true;
+    }
+  }
+  return trip;
+}
+
+bool DriftDetector::Observe(const std::string& statement, int label) {
+  ++samples_;
+  const std::array<double, kNumFeatures> f = Featurize(statement);
+  if (!frozen_) {
+    AccumulateReference(f, label);
+    if (reference_samples_ >=
+        static_cast<uint64_t>(options_.reference_window)) {
+      FreezeReference();
+    }
+    return false;
+  }
+  const bool trip = Detect(f, label);
+  if (trip && !alarmed_) {
+    alarmed_ = true;
+    ++alarms_;
+    return true;  // rising edge: the caller triggers one retrain
+  }
+  return false;
+}
+
+DriftDetector::Stats DriftDetector::GetStats() const {
+  Stats s;
+  s.samples = samples_;
+  s.alarms = alarms_;
+  s.reference_frozen = frozen_;
+  s.alarmed = alarmed_;
+  s.label_tv = last_tv_;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    const double hot = std::max(cusum_pos_[i], cusum_neg_[i]);
+    if (hot > s.max_cusum) {
+      s.max_cusum = hot;
+      s.max_cusum_feature = i;
+    }
+  }
+  return s;
+}
+
+void DriftDetector::Rearm() {
+  alarmed_ = false;
+  cusum_pos_.fill(0.0);
+  cusum_neg_.fill(0.0);
+  window_labels_.clear();
+  std::fill(window_counts_.begin(), window_counts_.end(), 0);
+  last_tv_ = 0.0;
+}
+
+void DriftDetector::RefreezeReference() {
+  Rearm();
+  frozen_ = false;
+  reference_samples_ = 0;
+  mean_.fill(0.0);
+  m2_.fill(0.0);
+  stddev_.fill(0.0);
+  std::fill(reference_counts_.begin(), reference_counts_.end(), 0);
+  reference_hist_.clear();
+}
+
+}  // namespace sqlfacil::lifecycle

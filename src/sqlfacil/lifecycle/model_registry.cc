@@ -1,0 +1,159 @@
+#include "sqlfacil/lifecycle/model_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sqlfacil/util/failpoint.h"
+#include "sqlfacil/util/logging.h"
+
+namespace sqlfacil::lifecycle {
+
+ModelRegistry::ModelRegistry(size_t history_capacity)
+    : history_capacity_(history_capacity < 2 ? 2 : history_capacity) {}
+
+StatusOr<uint64_t> ModelRegistry::PublishLocked(
+    std::shared_ptr<const models::Model> model, std::string note,
+    uint64_t source_generation) {
+  // The swap failpoint fires before ANY state change: a failed publish is
+  // indistinguishable from one that never happened (no half-published
+  // generation, the incumbent keeps serving).
+  switch (failpoint::Eval("lifecycle.swap")) {
+    case failpoint::Mode::kError:
+      return Status::IoError("injected lifecycle.swap failure");
+    case failpoint::Mode::kThrow:
+      throw failpoint::FailpointError("lifecycle.swap");
+    default:
+      break;
+  }
+  auto version = std::make_shared<ModelVersion>();
+  version->generation =
+      generation_counter_.load(std::memory_order_relaxed) + 1;
+  version->source_generation =
+      source_generation == 0 ? version->generation : source_generation;
+  version->model = std::move(model);
+  version->note = std::move(note);
+  history_.push_back(version);
+  while (history_.size() > history_capacity_) history_.pop_front();
+  // Seqlock bracket around the pointer swap: a cache reader whose
+  // before/after epoch reads are equal and even is guaranteed its pinned
+  // snapshot belongs to that epoch; anyone straddling the swap sees a
+  // changed (or odd) epoch and skips caching that answer.
+  epoch_.fetch_add(1, std::memory_order_release);  // -> odd: in progress
+  {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    current_ = version;
+  }
+  generation_counter_.store(version->generation, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);  // -> even: complete
+  published_.fetch_add(1, std::memory_order_relaxed);
+  return version->generation;
+}
+
+StatusOr<uint64_t> ModelRegistry::Publish(
+    std::shared_ptr<const models::Model> model, std::string note) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("cannot publish a null model");
+  }
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return PublishLocked(std::move(model), std::move(note), 0);
+}
+
+StatusOr<uint64_t> ModelRegistry::Rollback(std::string note) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  if (history_.size() < 2) {
+    return Status::NotFound("no previous generation to roll back to");
+  }
+  // The entry before the live one, skipping versions that share the live
+  // version's weights (a rollback-of-a-rollback must step further back,
+  // not republish the same snapshot forever).
+  const VersionPtr live = history_.back();
+  const ModelVersion* target = nullptr;
+  for (auto it = history_.rbegin() + 1; it != history_.rend(); ++it) {
+    if ((*it)->source_generation != live->source_generation) {
+      target = it->get();
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return Status::NotFound("no distinct previous generation to roll back to");
+  }
+  auto result = PublishLocked(
+      target->model,
+      note + " (restores gen " + std::to_string(target->source_generation) +
+          ")",
+      target->source_generation);
+  if (result.ok()) rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+std::vector<uint64_t> ModelRegistry::RetainedGenerations() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::vector<uint64_t> out;
+  out.reserve(history_.size());
+  for (const VersionPtr& v : history_) out.push_back(v->generation);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RegistryModel
+// ---------------------------------------------------------------------------
+
+RegistryModel::RegistryModel(const ModelRegistry* registry)
+    : registry_(registry) {
+  SQLFACIL_CHECK(registry_ != nullptr);
+}
+
+VersionPtr RegistryModel::Pin() const {
+  VersionPtr version = registry_->Current();
+  if (version == nullptr || version->model == nullptr) {
+    // Serving before the first publish: surface as a primary failure so
+    // the ResilientModel chain answers from the baseline tier.
+    throw std::runtime_error("model registry has no published version");
+  }
+  return version;
+}
+
+std::string RegistryModel::name() const {
+  VersionPtr version = registry_->Current();
+  return version == nullptr ? "registry" : version->model->name();
+}
+
+void RegistryModel::Fit(const models::Dataset&, const models::Dataset&,
+                        Rng*) {
+  throw std::logic_error(
+      "registry versions are immutable; train a candidate and Publish it");
+}
+
+std::vector<float> RegistryModel::Predict(const std::string& statement,
+                                          double opt_cost) const {
+  return Pin()->model->Predict(statement, opt_cost);
+}
+
+std::vector<std::vector<float>> RegistryModel::PredictBatch(
+    std::span<const std::string> statements,
+    std::span<const double> opt_costs) const {
+  // One pin for the whole batch: a swap that lands mid-batch does not
+  // affect this call, and every slot is scored by the same generation.
+  return Pin()->model->PredictBatch(statements, opt_costs);
+}
+
+size_t RegistryModel::vocab_size() const {
+  VersionPtr version = registry_->Current();
+  return version == nullptr ? 0 : version->model->vocab_size();
+}
+
+size_t RegistryModel::num_parameters() const {
+  VersionPtr version = registry_->Current();
+  return version == nullptr ? 0 : version->model->num_parameters();
+}
+
+Status RegistryModel::SaveTo(std::ostream& out) const {
+  return Pin()->model->SaveTo(out);
+}
+
+Status RegistryModel::LoadFrom(std::istream&) {
+  return Status::InvalidArgument(
+      "registry versions are immutable; Publish a loaded model instead");
+}
+
+}  // namespace sqlfacil::lifecycle

@@ -1,0 +1,101 @@
+#include "sqlfacil/lifecycle/stream_trainer.h"
+
+#include <exception>
+#include <utility>
+
+namespace sqlfacil::lifecycle {
+
+StreamTrainer::StreamTrainer(const Options& options, ModelFactory factory)
+    : options_(options), factory_(std::move(factory)) {
+  if (options_.window_capacity < 16) options_.window_capacity = 16;
+  if (options_.min_batch < 1) options_.min_batch = 1;
+  if (options_.min_batch > options_.window_capacity) {
+    options_.min_batch = options_.window_capacity;
+  }
+  if (options_.valid_every < 2) options_.valid_every = 2;
+}
+
+void StreamTrainer::Ingest(std::string statement, int label, double opt_cost) {
+  window_.push_back(Sample{std::move(statement), label, opt_cost});
+  while (window_.size() > options_.window_capacity) window_.pop_front();
+  ++pending_;
+  ++ingested_;
+}
+
+void StreamTrainer::SnapshotWindow(models::Dataset* train,
+                                   models::Dataset* valid) const {
+  train->kind = models::TaskKind::kClassification;
+  valid->kind = models::TaskKind::kClassification;
+  int num_classes = options_.num_classes;
+  if (num_classes <= 0) {
+    for (const Sample& s : window_) {
+      if (s.label + 1 > num_classes) num_classes = s.label + 1;
+    }
+  }
+  train->num_classes = num_classes;
+  valid->num_classes = num_classes;
+  size_t i = 0;
+  for (const Sample& s : window_) {
+    // Deterministic modular split: every Nth sample validates, the rest
+    // train. Position-based (not content-based) so duplicated statements —
+    // ~18.5% of the stream — land on both sides like they do in production.
+    models::Dataset* side =
+        (++i % static_cast<size_t>(options_.valid_every) == 0) ? valid : train;
+    side->statements.push_back(s.statement);
+    side->labels.push_back(s.label);
+    side->opt_costs.push_back(s.opt_cost);
+  }
+  // A degenerate stream (window smaller than valid_every) still needs a
+  // non-empty valid split for best-epoch selection.
+  if (valid->statements.empty() && !train->statements.empty()) {
+    valid->statements.push_back(train->statements.back());
+    valid->labels.push_back(train->labels.back());
+    valid->opt_costs.push_back(train->opt_costs.back());
+  }
+}
+
+StatusOr<std::shared_ptr<const models::Model>> StreamTrainer::TrainRound(
+    Rng* rng) {
+  if (window_.size() < options_.min_batch) {
+    return Status::InvalidArgument(
+        "stream window has " + std::to_string(window_.size()) +
+        " samples, need " + std::to_string(options_.min_batch));
+  }
+  models::SnapshotOptions snap;
+  snap.dir = options_.snapshot_dir;
+  snap.every = options_.snapshot_every;
+  // Round-scoped tag: a crash mid-round resumes THIS round's Fit through
+  // TrainSnapshotter; a completed round's leftover snapshot can never be
+  // mistaken for the next round's (different tag -> different file).
+  snap.tag = "stream_round_" + std::to_string(rounds_ + 1);
+  models::ModelPtr candidate = factory_(snap);
+  if (candidate == nullptr) {
+    ++failed_rounds_;
+    return Status::Internal("stream model factory returned null");
+  }
+  models::Dataset train;
+  models::Dataset valid;
+  SnapshotWindow(&train, &valid);
+  try {
+    candidate->Fit(train, valid, rng);
+  } catch (const std::exception& e) {
+    ++failed_rounds_;
+    return Status::Internal(std::string("stream training round failed: ") +
+                            e.what());
+  }
+  ++rounds_;
+  pending_ = 0;
+  return std::shared_ptr<const models::Model>(std::move(candidate));
+}
+
+StreamTrainer::Stats StreamTrainer::GetStats() const {
+  Stats s;
+  s.ingested = ingested_;
+  s.rounds = rounds_;
+  s.failed_rounds = failed_rounds_;
+  s.window_size = window_.size();
+  s.pending = pending_;
+  return s;
+}
+
+}  // namespace sqlfacil::lifecycle

@@ -1,0 +1,97 @@
+#ifndef SQLFACIL_LIFECYCLE_STREAM_TRAINER_H_
+#define SQLFACIL_LIFECYCLE_STREAM_TRAINER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sqlfacil/models/dataset.h"
+#include "sqlfacil/models/model.h"
+#include "sqlfacil/models/train_state.h"
+#include "sqlfacil/util/random.h"
+#include "sqlfacil/util/status.h"
+
+namespace sqlfacil::lifecycle {
+
+/// Streaming mini-batch trainer (ISSUE 10 tentpole, part 2).
+///
+/// Consumes the live labeled query stream into a bounded sliding window
+/// and, once `min_batch` fresh samples have accumulated, trains a fresh
+/// candidate model over the window. Each round reuses the TrainState
+/// snapshot subsystem for crash safety: the round's model is constructed
+/// with a per-round SnapshotOptions tag ("stream_round_N"), so a process
+/// killed mid-round resumes that round's Fit bit-identically through the
+/// existing TrainSnapshotter protocol instead of restarting it — the same
+/// guarantee offline training has had since the crash-safe-training PR.
+///
+/// The trainer never touches the serving pool itself: TrainRound returns
+/// the candidate and the caller hands it to SwapController, which decides
+/// (shadow gate, mode knob) whether it ever reaches the registry.
+class StreamTrainer {
+ public:
+  /// Builds an UNTRAINED model for one retrain round. The SnapshotOptions
+  /// carry the round-scoped snapshot tag; factories forward them into the
+  /// model's Config so Fit snapshots/resumes through TrainSnapshotter.
+  using ModelFactory =
+      std::function<models::ModelPtr(const models::SnapshotOptions&)>;
+
+  struct Options {
+    size_t window_capacity = 2048;  ///< sliding window of recent samples
+    size_t min_batch = 256;         ///< fresh samples per retrain round
+    int valid_every = 5;            ///< every Nth window sample -> valid split
+    int num_classes = 0;            ///< label arity of the stream
+    std::string snapshot_dir;       ///< empty disables crash-safe snapshots
+    int snapshot_every = 1;         ///< epochs between round snapshots
+  };
+
+  struct Stats {
+    uint64_t ingested = 0;
+    uint64_t rounds = 0;
+    uint64_t failed_rounds = 0;
+    size_t window_size = 0;
+    size_t pending = 0;  ///< fresh samples since the last round
+  };
+
+  StreamTrainer(const Options& options, ModelFactory factory);
+
+  /// Appends one labeled live sample to the window (oldest drops once the
+  /// window is full).
+  void Ingest(std::string statement, int label, double opt_cost = 0.0);
+
+  /// True once enough fresh samples have arrived to justify a round.
+  bool ReadyToTrain() const { return pending_ >= options_.min_batch; }
+
+  /// Trains a candidate over the current window. Returns the trained model
+  /// (ownership shared so the registry can retain it), or a Status when
+  /// the window is too small, the factory declines, or Fit throws. The
+  /// fresh-sample counter resets only on success, so a failed round
+  /// retries on the next poll.
+  StatusOr<std::shared_ptr<const models::Model>> TrainRound(Rng* rng);
+
+  /// Materializes the window into train/valid datasets (exposed so the
+  /// drift bench can score candidates on exactly the data they saw).
+  void SnapshotWindow(models::Dataset* train, models::Dataset* valid) const;
+
+  Stats GetStats() const;
+
+ private:
+  struct Sample {
+    std::string statement;
+    int label = 0;
+    double opt_cost = 0.0;
+  };
+
+  Options options_;
+  ModelFactory factory_;
+  std::deque<Sample> window_;
+  size_t pending_ = 0;
+  uint64_t ingested_ = 0;
+  uint64_t rounds_ = 0;
+  uint64_t failed_rounds_ = 0;
+};
+
+}  // namespace sqlfacil::lifecycle
+
+#endif  // SQLFACIL_LIFECYCLE_STREAM_TRAINER_H_

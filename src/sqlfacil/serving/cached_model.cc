@@ -15,8 +15,15 @@ CachedModel::CachedModel(models::ModelPtr inner, size_t capacity)
   SQLFACIL_CHECK(inner_ != nullptr);
 }
 
+void CachedModel::BindVersionSource(const std::atomic<uint64_t>* source) {
+  version_source_ = source;
+  seen_version_.store(
+      source == nullptr ? 0 : source->load(std::memory_order_acquire),
+      std::memory_order_release);
+}
+
 std::string CachedModel::MakeKey(const std::string& statement,
-                                 double opt_cost) const {
+                                 double opt_cost, uint64_t version) const {
   // opt_cost keys by exact bit pattern: only the opt baseline reads it, but
   // merging two calls that differ in it would be wrong for that model.
   uint64_t cost_bits = 0;
@@ -28,6 +35,11 @@ std::string CachedModel::MakeKey(const std::string& statement,
   // of the RefreshPrecision invalidation: entries can never be served across
   // tiers even in a window where another thread races the clear.
   key += nn::quant::PrecisionName(nn::quant::ActivePrecision());
+  key.push_back('\x1f');
+  // The publish epoch is part of the key (always 0 when no registry is
+  // bound): entries can never be served across model generations even in a
+  // window where another thread races the swap-triggered clear.
+  key += std::to_string(version);
   key.push_back('\x1f');
   key += std::to_string(cost_bits);
   key.push_back('\x1f');
@@ -44,6 +56,29 @@ void CachedModel::RefreshPrecision() const {
     cache_.Clear();
     ++generation_;
   }
+}
+
+uint64_t CachedModel::RefreshVersion() const {
+  if (version_source_ == nullptr) return 0;
+  const uint64_t now = version_source_->load(std::memory_order_acquire);
+  uint64_t seen = seen_version_.load(std::memory_order_acquire);
+  if (seen == now) return now;
+  // First observer of the swap clears; latecomers see seen == now.
+  if (seen_version_.compare_exchange_strong(seen, now)) {
+    cache_.Clear();
+    ++generation_;
+  }
+  return now;
+}
+
+bool CachedModel::VersionStable(uint64_t observed) const {
+  if (version_source_ == nullptr) return true;
+  // Seqlock check: an odd epoch means a swap is mid-flight, a changed one
+  // means the inner inference may have run on a different generation than
+  // the one in the key. Either way the answer is correct to SERVE (the
+  // inner call pinned one coherent snapshot) but not safe to CACHE.
+  return (observed & 1) == 0 &&
+         version_source_->load(std::memory_order_acquire) == observed;
 }
 
 void CachedModel::Fit(const models::Dataset& train,
@@ -67,16 +102,18 @@ Status CachedModel::LoadFrom(std::istream& in) {
 std::optional<std::vector<float>> CachedModel::Lookup(
     const std::string& statement, double opt_cost) const {
   RefreshPrecision();
-  return cache_.Get(MakeKey(statement, opt_cost));
+  const uint64_t version = RefreshVersion();
+  return cache_.Get(MakeKey(statement, opt_cost, version));
 }
 
 std::vector<float> CachedModel::Predict(const std::string& statement,
                                         double opt_cost) const {
   RefreshPrecision();
-  const std::string key = MakeKey(statement, opt_cost);
+  const uint64_t version = RefreshVersion();
+  const std::string key = MakeKey(statement, opt_cost, version);
   if (auto hit = cache_.Get(key)) return std::move(*hit);
   auto pred = inner_->Predict(statement, opt_cost);
-  cache_.Put(key, pred);
+  if (VersionStable(version)) cache_.Put(key, pred);
   return pred;
 }
 
@@ -86,6 +123,7 @@ std::vector<std::vector<float>> CachedModel::PredictBatch(
   SQLFACIL_CHECK(opt_costs.empty() || opt_costs.size() == statements.size())
       << "PredictBatch opt_costs size mismatch";
   RefreshPrecision();
+  const uint64_t version = RefreshVersion();
   const size_t n = statements.size();
   std::vector<std::vector<float>> preds(n);
   // Dedup the misses so each distinct (key) costs one inner inference even
@@ -96,7 +134,7 @@ std::vector<std::vector<float>> CachedModel::PredictBatch(
   std::vector<const std::vector<size_t>*> miss_slots;
   for (size_t i = 0; i < n; ++i) {
     const double cost = opt_costs.empty() ? 0.0 : opt_costs[i];
-    std::string key = MakeKey(statements[i], cost);
+    std::string key = MakeKey(statements[i], cost, version);
     if (auto hit = cache_.Get(key)) {
       preds[i] = std::move(*hit);
       continue;
@@ -112,9 +150,13 @@ std::vector<std::vector<float>> CachedModel::PredictBatch(
   }
   if (miss_statements.empty()) return preds;
   auto miss_preds = inner_->PredictBatch(miss_statements, miss_costs);
+  const bool cacheable = VersionStable(version);
   for (size_t m = 0; m < miss_statements.size(); ++m) {
     const auto& positions = *miss_slots[m];
-    cache_.Put(MakeKey(miss_statements[m], miss_costs[m]), miss_preds[m]);
+    if (cacheable) {
+      cache_.Put(MakeKey(miss_statements[m], miss_costs[m], version),
+                 miss_preds[m]);
+    }
     for (size_t pos : positions) preds[pos] = miss_preds[m];
   }
   return preds;

@@ -24,6 +24,15 @@ namespace sqlfacil::serving {
 /// lookup: int8 and fp32 predictions are numerically different tiers and a
 /// stale-tier hit would silently violate Predict/PredictBatch bit-identity
 /// within the active tier.
+///
+/// Model hot-swap (lifecycle::ModelRegistry) invalidates through the same
+/// path: BindVersionSource attaches the registry's seqlock-style publish
+/// epoch, every lookup clears the cache when the epoch moved (exactly the
+/// RefreshPrecision pattern), the epoch value is part of the key, and a
+/// miss's result is only cached when the epoch read before keying still
+/// matches (and is even) after the inner inference — a swap landing
+/// mid-call can therefore never plant a cross-generation entry; the answer
+/// is simply served uncached.
 class CachedModel : public models::Model {
  public:
   static constexpr size_t kDefaultCapacity = 1 << 16;
@@ -57,16 +66,31 @@ class CachedModel : public models::Model {
   /// Bumped on every Fit/LoadFrom (cache invalidation epoch).
   size_t generation() const { return generation_; }
 
+  /// Attaches a publish-epoch source (lifecycle::ModelRegistry::
+  /// version_epoch()); pass nullptr to detach. Not thread-safe against
+  /// concurrent lookups — bind once at serving setup.
+  void BindVersionSource(const std::atomic<uint64_t>* source);
+
  private:
-  std::string MakeKey(const std::string& statement, double opt_cost) const;
+  std::string MakeKey(const std::string& statement, double opt_cost,
+                      uint64_t version) const;
   /// Clears the cache (and bumps generation) if the active precision tier
   /// changed since the last lookup. Called on every read path.
   void RefreshPrecision() const;
+  /// Clears the cache if the bound publish epoch moved since the last
+  /// lookup; returns the observed epoch (0 when unbound). Called on every
+  /// read path, next to RefreshPrecision.
+  uint64_t RefreshVersion() const;
+  /// True when `observed` is still the live epoch and no swap is in
+  /// flight — the condition under which a miss's result may be cached.
+  bool VersionStable(uint64_t observed) const;
 
   models::ModelPtr inner_;
   mutable PredictionCache cache_;
   mutable std::atomic<size_t> generation_{0};
   mutable std::atomic<int> seen_precision_;
+  const std::atomic<uint64_t>* version_source_ = nullptr;
+  mutable std::atomic<uint64_t> seen_version_{0};
 };
 
 }  // namespace sqlfacil::serving

@@ -38,21 +38,30 @@ struct ClientResult {
 }  // namespace
 
 std::vector<std::string> BuildSessionTrace(size_t n, double duplicate_rate,
-                                           uint64_t seed) {
+                                           uint64_t seed, int schema_epoch,
+                                           std::vector<int>* labels) {
   Rng rng(seed);
   workload::QueryGenerator gen(&rng);
+  gen.SetSchemaEpoch(schema_epoch);
   std::vector<std::string> trace;
   trace.reserve(n);
+  if (labels != nullptr) {
+    labels->clear();
+    labels->reserve(n);
+  }
   for (size_t i = 0; i < n; ++i) {
     if (!trace.empty() && rng.Bernoulli(duplicate_rate)) {
       // Replay skews towards hot statements (Zipf over the history), the
       // shape that makes a server-side cache worth having.
-      trace.push_back(trace[rng.Zipf(trace.size(), 1.0)]);
+      const size_t replay = rng.Zipf(trace.size(), 1.0);
+      trace.push_back(trace[replay]);
+      if (labels != nullptr) labels->push_back((*labels)[replay]);
       continue;
     }
     const auto cls =
         kTrafficClasses[rng.NextUint64(std::size(kTrafficClasses))];
     trace.push_back(gen.Generate(cls));
+    if (labels != nullptr) labels->push_back(static_cast<int>(cls));
   }
   return trace;
 }

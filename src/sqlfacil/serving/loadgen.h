@@ -62,8 +62,18 @@ struct LoadReport {
 /// workloads: statements generated per session class by
 /// workload::QueryGenerator, with `duplicate_rate` of entries replaying an
 /// earlier statement verbatim (Zipf-skewed towards recent/hot statements).
+///
+/// `schema_epoch` > 0 generates the drifting-workload variant: the same
+/// session mix against a schema-shifted data release
+/// (QueryGenerator::SetSchemaEpoch) — "new user" sessions whose token
+/// distribution has moved, the lifecycle retrain loop's target scenario.
+/// When `labels` is non-null it receives the session class of each trace
+/// entry (duplicates replay the original's label), giving lifecycle
+/// components a live labeled stream to score against.
 std::vector<std::string> BuildSessionTrace(size_t n, double duplicate_rate,
-                                           uint64_t seed);
+                                           uint64_t seed,
+                                           int schema_epoch = 0,
+                                           std::vector<int>* labels = nullptr);
 
 /// Runs the closed-loop load against `server` and reports. Does not shut
 /// the server down; the caller owns its lifecycle.

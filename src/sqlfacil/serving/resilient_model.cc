@@ -29,6 +29,22 @@ CircuitBreaker::CircuitBreaker(int failure_threshold, int cooldown_requests)
   SQLFACIL_CHECK(cooldown_requests_ >= 0);
 }
 
+void CircuitBreaker::SetState(State next) {
+  if (state_ == next) return;
+  switch (next) {
+    case State::kOpen:
+      ++transitions_.opens;
+      break;
+    case State::kHalfOpen:
+      ++transitions_.half_opens;
+      break;
+    case State::kClosed:
+      ++transitions_.closes;
+      break;
+  }
+  state_ = next;
+}
+
 bool CircuitBreaker::AllowRequest() {
   switch (state_) {
     case State::kClosed:
@@ -38,7 +54,7 @@ bool CircuitBreaker::AllowRequest() {
       // Call-counted cool-down: the first `cooldown_requests_` requests are
       // rejected, the one after becomes the half-open probe.
       if (++rejected_in_open_ > cooldown_requests_) {
-        state_ = State::kHalfOpen;
+        SetState(State::kHalfOpen);
         return true;
       }
       return false;
@@ -47,7 +63,7 @@ bool CircuitBreaker::AllowRequest() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  state_ = State::kClosed;
+  SetState(State::kClosed);
   consecutive_failures_ = 0;
   rejected_in_open_ = 0;
 }
@@ -56,7 +72,7 @@ void CircuitBreaker::RecordFailure() {
   ++consecutive_failures_;
   if (state_ == State::kHalfOpen ||
       consecutive_failures_ >= failure_threshold_) {
-    state_ = State::kOpen;
+    SetState(State::kOpen);
     rejected_in_open_ = 0;
   }
 }
@@ -214,6 +230,15 @@ ServedBatch ResilientModel::PredictBatch(
 CircuitBreaker::State ResilientModel::breaker_state() const {
   std::lock_guard<std::mutex> lock(mu_);
   return breaker_.state();
+}
+
+CircuitBreaker::Transitions ResilientModel::breaker_transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_.transitions();
+}
+
+void ResilientModel::BindVersionSource(const std::atomic<uint64_t>* source) {
+  if (primary_ != nullptr) primary_->BindVersionSource(source);
 }
 
 ResilientModel::TierCounts ResilientModel::tier_counts() const {

@@ -1,6 +1,8 @@
 #ifndef SQLFACIL_SERVING_RESILIENT_MODEL_H_
 #define SQLFACIL_SERVING_RESILIENT_MODEL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -46,12 +48,24 @@ class CircuitBreaker {
   State state() const { return state_; }
   int consecutive_failures() const { return consecutive_failures_; }
 
+  /// Cumulative state transitions (monotonic; serve_bench --json reports
+  /// them so soaks can assert the breaker actually cycled).
+  struct Transitions {
+    uint64_t opens = 0;       ///< closed/half-open -> open
+    uint64_t half_opens = 0;  ///< open -> half-open (probe admitted)
+    uint64_t closes = 0;      ///< half-open/open -> closed (probe success)
+  };
+  const Transitions& transitions() const { return transitions_; }
+
  private:
+  void SetState(State next);
+
   const int failure_threshold_;
   const int cooldown_requests_;
   State state_ = State::kClosed;
   int consecutive_failures_ = 0;
   int rejected_in_open_ = 0;
+  Transitions transitions_;
 };
 
 struct ResilientOptions {
@@ -117,6 +131,13 @@ class ResilientModel {
   const models::Model& baseline() const { return *baseline_; }
 
   CircuitBreaker::State breaker_state() const;
+  CircuitBreaker::Transitions breaker_transitions() const;
+
+  /// Forwards to the primary CachedModel's version binding (no-op without
+  /// a primary): attaches a lifecycle::ModelRegistry publish epoch so a
+  /// hot swap invalidates this shard's prediction cache. Bind at setup,
+  /// before serving traffic.
+  void BindVersionSource(const std::atomic<uint64_t>* source);
 
   /// Cumulative per-tier response counts (monotonic; for tests/telemetry).
   struct TierCounts {

@@ -3,6 +3,7 @@
 #include <future>
 #include <utility>
 
+#include "sqlfacil/util/drain.h"
 #include "sqlfacil/util/env.h"
 #include "sqlfacil/util/logging.h"
 
@@ -44,9 +45,20 @@ size_t Server::ShardFor(const std::string& statement) const {
          shards_.size();
 }
 
+bool Server::PollDrain() {
+  if (train::DrainRequested() && accepting_.load(std::memory_order_acquire)) {
+    // SIGTERM-initiated drain: stop admitting, keep serving what is queued.
+    // Shutdown (join) stays with the owner — a signal handler must never
+    // join threads, and the owner may still want GetStats first.
+    accepting_.store(false, std::memory_order_release);
+  }
+  return !accepting_.load(std::memory_order_acquire);
+}
+
 bool Server::Submit(std::string statement, double opt_cost,
                     ReplyCallback done, int64_t deadline_us) {
   SQLFACIL_CHECK(done != nullptr);
+  PollDrain();
   if (!accepting_.load(std::memory_order_acquire)) {
     rejected_unavailable_.fetch_add(1, std::memory_order_relaxed);
     ServerReply reply;
@@ -224,6 +236,11 @@ Server::Stats Server::GetStats() const {
       stats.cache.evictions += cache.evictions;
       stats.cache.size += cache.size;
     }
+    const CircuitBreaker::Transitions transitions =
+        shard->model->breaker_transitions();
+    stats.breaker.opens += transitions.opens;
+    stats.breaker.half_opens += transitions.half_opens;
+    stats.breaker.closes += transitions.closes;
   }
   stats.mean_batch_size =
       stats.batches == 0

@@ -174,8 +174,16 @@ class Server {
     LatencyHistogram total_ns;  ///< admission -> reply
     ResilientModel::TierCounts tiers;  ///< summed over shards
     PredictionCache::Stats cache;      ///< summed over shard caches
+    CircuitBreaker::Transitions breaker;  ///< summed over shard breakers
   };
   Stats GetStats() const;
+
+  /// Polls util/drain: once a SIGTERM/SIGINT drain has been requested the
+  /// server stops admitting (new Submits reject with kUnavailable) while
+  /// already-accepted requests still drain through the batch path. Cheap
+  /// enough to call per Submit; binaries call it from their load loop.
+  /// Returns true when draining.
+  bool PollDrain();
 
   size_t num_shards() const { return shards_.size(); }
   const ResilientModel& shard_model(size_t shard) const {

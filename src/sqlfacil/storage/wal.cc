@@ -218,7 +218,15 @@ Status WalManager::RequestSync() {
   if (fd_ < 0) return Status::Internal("WalManager not open");
   Status deferred = deferred_sync_error_;
   deferred_sync_error_ = Status::Ok();
-  sync_goal_ = next_lsn_.load(std::memory_order_relaxed);
+  ++stats_.sync_requests;
+  const lsn_t goal = next_lsn_.load(std::memory_order_relaxed);
+  // A goal raised while earlier records are still pending (sync in flight
+  // or a previous goal unreached) coalesces into that sync's fsync.
+  if (sync_in_flight_ ||
+      sync_goal_ > durable_lsn_.load(std::memory_order_relaxed)) {
+    ++stats_.syncs_coalesced;
+  }
+  sync_goal_ = goal;
   if (!flusher_.joinable()) {
     flusher_stop_ = false;
     flusher_ = std::thread(&WalManager::FlusherLoop, this);

@@ -43,6 +43,11 @@ struct WalStats {
   uint64_t bytes_appended = 0;
   uint64_t syncs = 0;        // fsync calls
   uint64_t truncations = 0;  // log tail rewrites
+  uint64_t sync_requests = 0;   // RequestSync calls (group-commit goals)
+  // Goals raised while earlier appends were still pending: they rode an
+  // upcoming fsync instead of forcing their own. sync_requests - syncs >= 0
+  // only when this is engaging; crash-storm and bench runs assert on it.
+  uint64_t syncs_coalesced = 0;
 };
 
 /// Append-only redo log with group-commit batching.

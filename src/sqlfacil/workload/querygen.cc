@@ -22,6 +22,17 @@ const char* kBands[] = {"u", "g", "r", "i", "z"};
 const char* kFlagNames[] = {"BLENDED",   "SATURATED", "EDGE",  "CHILD",
                             "DEBLENDED", "BRIGHT",    "COSMIC"};
 
+/// Replaces every occurrence of `from`, scanning forward past each
+/// replacement so a `to` that contains `from` is never re-expanded.
+void ReplaceAll(std::string* text, const std::string& from,
+                const std::string& to) {
+  size_t pos = 0;
+  while ((pos = text->find(from, pos)) != std::string::npos) {
+    text->replace(pos, from.size(), to);
+    pos += to.size();
+  }
+}
+
 }  // namespace
 
 int64_t QueryGenerator::PopularObjId() {
@@ -37,7 +48,30 @@ double QueryGenerator::GridDec() {
   return -20.0 + 0.25 * static_cast<double>(rng_->UniformInt(0, 420));
 }
 
+std::string QueryGenerator::ApplySchemaShift(std::string statement) const {
+  if (schema_epoch_ <= 0) return statement;
+  // A new data release: same query shapes, renamed schema. Archive
+  // qualification lengthens table references, camelCase renames move the
+  // identifier-shape features — exactly the drift axis the paper's
+  // heterogeneous-schema setting describes. Each epoch gets its own
+  // archive prefix so successive shifts remain distinguishable.
+  const std::string dr = "dr" + std::to_string(schema_epoch_ + 1) + ".";
+  ReplaceAll(&statement, "SpecPhoto", dr + "SpecPhotoAll");
+  ReplaceAll(&statement, "PhotoTag", dr + "PhotoTagAll");
+  ReplaceAll(&statement, "PhotoObj", dr + "PhotoObjAll");
+  ReplaceAll(&statement, "SpecObj", dr + "SpecObjAll");
+  ReplaceAll(&statement, "Galaxy", dr + "GalaxyView");
+  ReplaceAll(&statement, "Star", dr + "StarView");
+  ReplaceAll(&statement, "modelmag_", "cModelMag_");
+  ReplaceAll(&statement, "objid", "objID");
+  return statement;
+}
+
 std::string QueryGenerator::Generate(SessionClass session_class) {
+  return ApplySchemaShift(GenerateUnshifted(session_class));
+}
+
+std::string QueryGenerator::GenerateUnshifted(SessionClass session_class) {
   // Cross-talk: real classes overlap (an astronomer pastes a web-form
   // query into CasJobs; a script runs browser-style queries). Without it
   // session classification is trivially separable, unlike the paper's
@@ -95,6 +129,10 @@ std::string QueryGenerator::Generate(SessionClass session_class) {
 }
 
 std::string QueryGenerator::GenerateBotWithTemplate(int template_idx) {
+  return ApplySchemaShift(BotTemplate(template_idx));
+}
+
+std::string QueryGenerator::BotTemplate(int template_idx) {
   switch (template_idx % kNumBotTemplates) {
     case 0:
       return Fmt("SELECT * FROM PhotoTag WHERE objId=%lld",
@@ -116,8 +154,9 @@ std::string QueryGenerator::GenerateBotWithTemplate(int template_idx) {
 }
 
 std::string QueryGenerator::GenBot() {
-  return GenerateBotWithTemplate(
-      static_cast<int>(rng_->NextUint64(kNumBotTemplates)));
+  // Unshifted on purpose: GenerateUnshifted's caller applies the epoch
+  // shift exactly once at the end.
+  return BotTemplate(static_cast<int>(rng_->NextUint64(kNumBotTemplates)));
 }
 
 std::string QueryGenerator::GenAdmin() {

@@ -37,7 +37,21 @@ class QueryGenerator {
 
   static constexpr int kNumBotTemplates = 5;
 
+  /// Drifting-workload mode: epoch 0 (default) generates the baseline SDSS
+  /// schema; epoch N >= 1 generates schema-shifted "new user" sessions —
+  /// the same query shapes against a renamed data release (archive-
+  /// qualified table names like `dr2.PhotoObjAll`, `modelmag_*` renamed to
+  /// `cModelMag_*`, `objid` to `objID`). This is the paper's hardest
+  /// setting (heterogeneous-schema new-user drift): statements keep their
+  /// class-discriminative structure but the token distribution moves, so a
+  /// model trained on epoch 0 degrades and the lifecycle's DriftDetector /
+  /// retrain loop has something real to catch.
+  void SetSchemaEpoch(int epoch) { schema_epoch_ = epoch < 0 ? 0 : epoch; }
+  int schema_epoch() const { return schema_epoch_; }
+
  private:
+  std::string GenerateUnshifted(SessionClass session_class);
+  std::string BotTemplate(int template_idx);
   std::string GenBot();
   std::string GenAdmin();
   std::string GenProgram();
@@ -53,8 +67,11 @@ class QueryGenerator {
   double GridDec();
   /// Applies a random typo to a statement (drives severe errors).
   std::string Corrupt(std::string statement);
+  /// Rewrites identifiers for the active schema epoch (no-op at epoch 0).
+  std::string ApplySchemaShift(std::string statement) const;
 
   Rng* rng_;
+  int schema_epoch_ = 0;
 };
 
 }  // namespace sqlfacil::workload

@@ -785,5 +785,72 @@ TEST_F(DurableTableTest, DurableLoadUnderEnvWalFailpoints) {
   }
 }
 
+// A crash can leave the log in degenerate-but-legal shapes: zero bytes
+// (created, never written), header only (every record lost), or a lone
+// checkpoint record (clean shutdown of an empty table). Each must recover
+// to an empty-but-valid table that accepts appends — not an open error.
+
+TEST_F(DurableTableTest, ZeroLengthLogRecoversEmptyButValid) {
+  {
+    engine::Table table(CrashSchema("crash"), DurableOptions(dir_, true));
+    ASSERT_TRUE(table.OpenStorage().ok());
+  }
+  // Crash before the header hit disk: the file exists with zero bytes.
+  WriteFile(dir_ + "/sqlfacil_crash.tbl.wal", {});
+  engine::Table table(CrashSchema("crash"), DurableOptions(dir_, true));
+  ASSERT_TRUE(table.OpenStorage().ok());
+  EXPECT_EQ(table.num_rows(), 0u);
+  ASSERT_TRUE(table.TryAppendRow(CrashRow(3, 0)).ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.GetValue(0, 0).AsInt(), CrashRow(3, 0)[0].AsInt());
+}
+
+TEST_F(DurableTableTest, HeaderOnlyLogRecoversEmptyButValid) {
+  {
+    engine::Table table(CrashSchema("crash"), DurableOptions(dir_, true));
+    ASSERT_TRUE(table.OpenStorage().ok());
+  }
+  const std::string wal_path = dir_ + "/sqlfacil_crash.tbl.wal";
+  std::vector<char> bytes = ReadFile(wal_path);
+  ASSERT_GE(bytes.size(), 24u);
+  bytes.resize(24);  // header survived; every record past it was lost
+  WriteFile(wal_path, bytes);
+  engine::Table table(CrashSchema("crash"), DurableOptions(dir_, true));
+  ASSERT_TRUE(table.OpenStorage().ok());
+  EXPECT_EQ(table.num_rows(), 0u);
+  ASSERT_TRUE(table.TryAppendRow(CrashRow(4, 0)).ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.GetValue(0, 2).AsString(), CrashRow(4, 0)[2].AsString());
+}
+
+TEST_F(DurableTableTest, CheckpointOnlyLogRecoversEmptyButValid) {
+  {
+    engine::Table table(CrashSchema("crash"), DurableOptions(dir_, true));
+    ASSERT_TRUE(table.OpenStorage().ok());
+    ASSERT_TRUE(table.Checkpoint().ok());
+    // Destructor checkpoints again: the surviving log holds checkpoint
+    // records and not a single tuple.
+  }
+  {
+    WalManager wal;
+    ASSERT_TRUE(wal.Open(dir_ + "/sqlfacil_crash.tbl.wal").ok());
+    std::vector<char> buf;
+    std::vector<WalRecord> records;
+    lsn_t frontier = 0;
+    ASSERT_TRUE(wal.ScanAll(&buf, &records, &frontier).ok());
+    ASSERT_FALSE(records.empty());
+    for (const WalRecord& r : records) {
+      EXPECT_EQ(r.type, WalRecordType::kCheckpoint);
+    }
+    wal.Close();
+  }
+  engine::Table table(CrashSchema("crash"), DurableOptions(dir_, true));
+  ASSERT_TRUE(table.OpenStorage().ok());
+  EXPECT_TRUE(table.GetStorageStats().recovered);
+  EXPECT_EQ(table.num_rows(), 0u);
+  ASSERT_TRUE(table.TryAppendRow(CrashRow(5, 0)).ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
 }  // namespace
 }  // namespace sqlfacil::storage

@@ -264,13 +264,20 @@ void WriteJson(const std::string& path, const Args& args,
         "%" PRIu64 ", \"failed\": %" PRIu64
         ", \"p50_us\": %.2f, \"p99_us\": %.2f, \"p999_us\": %.2f, "
         "\"mean_us\": %.2f, \"mean_batch\": %.2f, \"cache_hit_rate\": %.4f, "
-        "\"tier_primary\": %zu, \"tier_stale_cache\": %zu, "
+        "\"cache_hits\": %" PRIu64 ", \"cache_misses\": %" PRIu64
+        ", \"cache_evictions\": %" PRIu64
+        ", \"breaker_opens\": %" PRIu64 ", \"breaker_half_opens\": %" PRIu64
+        ", \"breaker_closes\": %" PRIu64
+        ", \"tier_primary\": %zu, \"tier_stale_cache\": %zu, "
         "\"tier_baseline\": %zu, \"tier_failed\": %zu}%s\n",
         r.precision.c_str(), r.rate_qps, r.window_us, rep.achieved_qps,
         rep.issued, rep.ok, rep.rejected, rep.expired, rep.failed,
         rep.latency_ns.PercentileUs(50.0), rep.latency_ns.PercentileUs(99.0),
         rep.latency_ns.PercentileUs(99.9), rep.latency_ns.MeanUs(),
         rep.server.mean_batch_size, rep.server.cache.hit_rate(),
+        rep.server.cache.hits, rep.server.cache.misses,
+        rep.server.cache.evictions, rep.server.breaker.opens,
+        rep.server.breaker.half_opens, rep.server.breaker.closes,
         rep.server.tiers.primary, rep.server.tiers.stale_cache,
         rep.server.tiers.baseline, rep.server.tiers.failed,
         i + 1 < records.size() ? "," : "");
